@@ -1,0 +1,89 @@
+// Extension study: the three architectural answers to prefill-decode
+// interference, head to head on identical hardware —
+//   * gLLM: unified pipeline + Token Throttling (per-batch rebalancing);
+//   * TD-Pipe: temporal disaggregation (phase switching, §2.4 related work);
+//   * Splitwise/DistServe-style spatial disaggregation (static GPU split);
+//   * vLLM (Sarathi) as the unified baseline.
+// The paper's argument (§1): disaggregation fixes interference but cannot
+// track a drifting prefill:decode ratio; gLLM rebalances every batch.
+
+#include "bench_common.hpp"
+#include "engine/disagg_engine.hpp"
+
+using namespace gllm;
+using namespace gllm::bench;
+
+namespace {
+
+serve::SweepPoint run_disagg(int prefill_gpus, int decode_gpus,
+                             const model::ModelConfig& m, const workload::Trace& trace,
+                             double rate) {
+  engine::DisaggConfig cfg;
+  cfg.model = m;
+  cfg.cluster = hw::clusters::l20_node(4);
+  cfg.prefill_gpus = prefill_gpus;
+  cfg.decode_gpus = decode_gpus;
+  engine::DisaggEngine engine(cfg);
+  const auto result = engine.run(trace);
+  serve::SystemOptions label_only;
+  label_only.label =
+      "disagg " + std::to_string(prefill_gpus) + "p:" + std::to_string(decode_gpus) + "d";
+  return serve::summarize(label_only, rate, result);
+}
+
+void online_comparison(const model::ModelConfig& m, const workload::WorkloadSpec& wl,
+                       double rate, double duration) {
+  const auto cluster = hw::clusters::l20_node(4);
+  workload::TraceBuilder builder(wl, kSeed);
+  workload::ArrivalProcess arrivals;
+  arrivals.rate = rate;
+  const auto trace = builder.generate_for_duration(arrivals, duration);
+
+  std::vector<serve::SweepPoint> points;
+  for (const auto& options : {serve::SystemOptions::gllm(m, cluster, 4),
+                              serve::SystemOptions::td_pipe(m, cluster, 4),
+                              serve::SystemOptions::vllm(m, cluster, 4)}) {
+    serve::ServingSystem system(options);
+    points.push_back(serve::summarize(options, rate, system.run(trace)));
+  }
+  points.push_back(run_disagg(1, 3, m, trace, rate));
+  points.push_back(run_disagg(2, 2, m, trace, rate));
+  points.push_back(run_disagg(3, 1, m, trace, rate));
+  print_points("online, " + m.name + " / " + wl.name + " @ " + std::to_string(rate),
+               points);
+}
+
+void offline_comparison(const model::ModelConfig& m, std::size_t n_requests) {
+  const auto cluster = hw::clusters::l20_node(4);
+  workload::TraceBuilder builder(workload::WorkloadSpec::sharegpt(), kSeed);
+  const auto burst = builder.generate_burst(n_requests, 0.0);
+
+  std::vector<serve::SweepPoint> points;
+  for (const auto& options : {serve::SystemOptions::gllm(m, cluster, 4),
+                              serve::SystemOptions::td_pipe(m, cluster, 4),
+                              serve::SystemOptions::vllm(m, cluster, 4)}) {
+    serve::ServingSystem system(options);
+    points.push_back(serve::summarize(options, 0.0, system.run(burst)));
+  }
+  points.push_back(run_disagg(2, 2, m, burst, 0.0));
+  print_points("offline burst of " + std::to_string(n_requests) + " requests, " + m.name,
+               points);
+}
+
+}  // namespace
+
+int main() {
+  banner("Extension - architectural comparison: throttling vs temporal vs "
+         "spatial disaggregation",
+         "gLLM highest online throughput; TD-Pipe best offline TPOT but stalls "
+         "prompts online; static splits only competitive when the split "
+         "matches the workload's prefill:decode ratio");
+
+  const auto m14 = model::presets::qwen2_5_14b();
+  const double duration = duration_s(32.0, 128.0);
+
+  online_comparison(m14, workload::WorkloadSpec::sharegpt(), 16.0, duration);
+  online_comparison(m14, workload::WorkloadSpec::azure_conv(), 3.0, duration);
+  offline_comparison(m14, full_mode() ? 1200 : 400);
+  return 0;
+}

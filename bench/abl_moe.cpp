@@ -1,0 +1,49 @@
+// Extension study (paper §6): mixture-of-experts serving. Expert-activation
+// variance adds inter-batch imbalance that token-count balancing alone cannot
+// remove — the reason the paper lists expert-aware balancing as future work.
+// Mixtral-8x7B (8 experts, top-2) on 4x A800, cross-node.
+
+#include "bench_common.hpp"
+
+using namespace gllm;
+using namespace gllm::bench;
+
+int main() {
+  banner("Extension - MoE serving (Mixtral-8x7B, 4x A800 cross-node)",
+         "gLLM still wins on MoE, but by less than on dense models: expert "
+         "imbalance is orthogonal to token-count balancing (paper 6)");
+
+  const auto moe = model::presets::mixtral_8x7b();
+  const auto dense = model::presets::qwen2_5_32b();
+  const auto cluster = hw::clusters::a800_cross_node(4);
+  const double duration = duration_s(32.0, 128.0);
+
+  for (const auto* m : {&moe, &dense}) {
+    std::vector<serve::SweepPoint> points;
+    for (double rate : {2.0, 4.0, 8.0, 16.0}) {
+      for (const auto& options : {serve::SystemOptions::gllm(*m, cluster, 4),
+                                  serve::SystemOptions::vllm(*m, cluster, 4)}) {
+        points.push_back(serve::run_at_rate(options, workload::WorkloadSpec::sharegpt(),
+                                            rate, duration, kSeed));
+      }
+    }
+    print_points(m->name, points);
+  }
+
+  // Per-token cost asymmetry that creates the MoE-specific imbalance.
+  std::cout << "\n-- cost-model view: per-token forward cost vs batch size "
+               "(stage 0 of 4)\n";
+  const model::PartitionPlan plan(moe, 4);
+  const model::CostModel cost(moe, hw::gpus::a800_80g());
+  util::TablePrinter table({"batch tokens", "stage time", "time/token"});
+  for (int n : {1, 8, 64, 512, 2048}) {
+    const model::WorkItem item{n, 0, true, true};
+    const double t = cost.stage_time(plan.stage(0), {&item, 1});
+    table.add(std::to_string(n), util::format_duration(t),
+              util::format_duration(t / n));
+  }
+  table.print(std::cout);
+  std::cout << "(small MoE batches pay both the expert-streaming and the "
+               "expert-imbalance penalty)\n";
+  return 0;
+}

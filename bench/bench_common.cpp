@@ -1,0 +1,76 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "serve/report.hpp"
+
+namespace gllm::bench {
+
+void banner(const std::string& experiment, const std::string& paper_expectation) {
+  std::cout << "\n================================================================\n"
+            << experiment << "\n"
+            << "paper expectation: " << paper_expectation << "\n"
+            << "================================================================\n";
+}
+
+namespace {
+std::unique_ptr<serve::ReportWriter> g_report;
+std::string g_report_stem;
+}  // namespace
+
+void report_begin(const std::string& stem, const std::string& title) {
+  if (std::getenv("GLLM_BENCH_REPORT_DIR") == nullptr) return;
+  g_report = std::make_unique<serve::ReportWriter>(title);
+  g_report_stem = stem;
+}
+
+void report_finish() {
+  const char* dir = std::getenv("GLLM_BENCH_REPORT_DIR");
+  if (g_report == nullptr || dir == nullptr) return;
+  const std::string base = std::string(dir) + "/" + g_report_stem;
+  std::ofstream md(base + ".md");
+  g_report->write_markdown(md);
+  std::ofstream csv(base + ".csv");
+  g_report->write_csv(csv);
+  std::cout << "\n[report written to " << base << ".{md,csv}]\n";
+  g_report.reset();
+}
+
+void print_points(const std::string& title, const std::vector<serve::SweepPoint>& points) {
+  if (g_report != nullptr) g_report->add_section(title, points);
+  std::cout << "\n-- " << title << "\n";
+  util::TablePrinter table({"system", "rate(req/s)", "TTFT(ms)", "TPOT(ms)", "E2EL(s)",
+                            "thr(tok/s)", "util", "tokenCV", "preempt"});
+  for (const auto& p : points) {
+    table.add(p.system, util::format_double(p.request_rate, 2),
+              util::format_double(p.mean_ttft * 1e3, 0),
+              util::format_double(p.mean_tpot * 1e3, 0),
+              util::format_double(p.mean_e2el, 1), util::format_double(p.throughput, 0),
+              util::format_double(p.utilization, 2), util::format_double(p.token_cv, 2),
+              std::to_string(p.preemptions));
+  }
+  table.print(std::cout);
+}
+
+bool full_mode() {
+  const char* env = std::getenv("GLLM_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+double duration_s(double fast, double full) { return full_mode() ? full : fast; }
+
+serve::SystemOptions gllm_l20(const model::ModelConfig& m, int pp) {
+  return serve::SystemOptions::gllm(m, hw::clusters::l20_node(pp), pp);
+}
+
+serve::SystemOptions vllm_l20(const model::ModelConfig& m, int pp) {
+  return serve::SystemOptions::vllm(m, hw::clusters::l20_node(pp), pp);
+}
+
+serve::SystemOptions sglang_l20(const model::ModelConfig& m, int tp) {
+  return serve::SystemOptions::sglang(m, hw::clusters::l20_node(tp), tp);
+}
+
+}  // namespace gllm::bench

@@ -1,0 +1,43 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary regenerates one of the paper's evaluation artifacts and prints the
+// same rows/series the paper reports, plus the paper's expectation so the
+// shape comparison is visible in the output itself.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/gllm.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace gllm::bench {
+
+inline constexpr std::uint64_t kSeed = 2025;
+
+/// Banner naming the experiment and the paper's expected shape.
+void banner(const std::string& experiment, const std::string& paper_expectation);
+
+/// Print one latency/throughput table for a set of sweep points.
+void print_points(const std::string& title, const std::vector<serve::SweepPoint>& points);
+
+/// "fast" mode trims durations so `for b in build/bench/*; do $b; done`
+/// completes in minutes; set GLLM_BENCH_FULL=1 for paper-scale runs.
+bool full_mode();
+double duration_s(double fast, double full);
+
+/// When GLLM_BENCH_REPORT_DIR is set, write the accumulated sections of this
+/// binary's run as markdown + CSV into that directory (named after `stem`).
+/// Collects every print_points() call made after report_begin().
+void report_begin(const std::string& stem, const std::string& title);
+void report_finish();
+
+/// The paper's deployments (4.1).
+serve::SystemOptions gllm_l20(const model::ModelConfig& m, int pp = 4);
+serve::SystemOptions vllm_l20(const model::ModelConfig& m, int pp = 4);
+serve::SystemOptions sglang_l20(const model::ModelConfig& m, int tp = 4);
+
+}  // namespace gllm::bench

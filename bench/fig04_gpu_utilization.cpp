@@ -1,0 +1,75 @@
+// Figure 4: GPU utilization and batched token counts over time when serving a
+// 32B model with 4 GPUs under Sarathi-Serve scheduling. The paper shows a
+// fluctuating phase while requests arrive, then a steadier but suboptimal
+// decode-only phase; gLLM lifts both phases.
+
+#include "bench_common.hpp"
+
+using namespace gllm;
+using namespace gllm::bench;
+
+namespace {
+
+double print_timeline(const std::string& name, const engine::RunResult& result,
+                      double horizon) {
+  const double window = 1.0;
+  const auto util = result.utilization_timeline(0.0, horizon, window);
+
+  std::cout << "\n-- " << name << ": utilization + batched tokens per 1 s window\n";
+  util::TablePrinter table({"t(s)", "utilization", "bar", "tokens/window"});
+  // Batched tokens per window from the iteration trace.
+  std::vector<double> tokens(util.size(), 0.0);
+  for (const auto& it : result.iterations) {
+    const auto w = static_cast<std::size_t>(it.time / window);
+    if (w < tokens.size()) tokens[w] += it.prefill_tokens + it.decode_tokens;
+  }
+  for (std::size_t w = 0; w < util.size(); ++w) {
+    const auto bar = static_cast<std::size_t>(util[w] * 30.0);
+    table.add(std::to_string(w), util::format_double(util[w], 2),
+              std::string(bar, '#'), util::format_double(tokens[w], 0));
+  }
+  table.print(std::cout);
+
+  util::OnlineStats stats;
+  for (double u : util) stats.add(u);
+  std::cout << name << " mean windowed utilization=" << util::format_double(stats.mean(), 2)
+            << " (stddev " << util::format_double(stats.stddev(), 2) << ")\n";
+  return stats.stddev();
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 4 - under-utilized GPUs with unbalanced scheduling (32B, 4x L20)",
+         "Sarathi utilization fluctuates during the arrival phase and settles "
+         "around 50-60%; batched token counts fluctuate throughout. gLLM's "
+         "balanced batches hold utilization high.");
+
+  const auto model = model::presets::qwen2_5_32b();
+  const double send_window = duration_s(24.0, 60.0);
+  const double horizon = send_window + 16.0;
+  const double rate = 8.0;
+
+  auto vllm = vllm_l20(model);
+  vllm.record_busy_intervals = true;
+  auto gllm = gllm_l20(model);
+  gllm.record_busy_intervals = true;
+
+  engine::RunResult v_raw, g_raw;
+  serve::run_at_rate(vllm, workload::WorkloadSpec::sharegpt(), rate, send_window, kSeed,
+                     &v_raw);
+  serve::run_at_rate(gllm, workload::WorkloadSpec::sharegpt(), rate, send_window, kSeed,
+                     &g_raw);
+
+  const double v_sigma = print_timeline("Sarathi-Serve (vLLM)", v_raw, horizon);
+  const double g_sigma = print_timeline("gLLM", g_raw, horizon);
+
+  std::cout << "\nresult: windowed-utilization stddev vLLM="
+            << util::format_double(v_sigma, 2) << " vs gLLM="
+            << util::format_double(g_sigma, 2)
+            << (g_sigma < v_sigma ? "  [matches paper: balanced batches steady the GPUs]"
+                                  : "  [MISMATCH]")
+            << "; whole-run means " << util::format_double(v_raw.mean_stage_utilization(), 2)
+            << " / " << util::format_double(g_raw.mean_stage_utilization(), 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 10: intra-node latency (TTFT/TPOT/E2EL) and throughput vs request
+// rate for vLLM, SGLang and gLLM serving Qwen2.5-14B and Qwen2.5-32B on one
+// 4x L20 node, over ShareGPT- and Azure-shaped workloads.
+
+#include "bench_common.hpp"
+
+using namespace gllm;
+using namespace gllm::bench;
+
+int main() {
+  banner("Figure 10 - intra-node latency & throughput vs request rate (4x L20)",
+         "gLLM sustains 2-6x higher rates before the TTFT knee; SGLang has the "
+         "lowest latency at low rates but falls behind at high rates; vLLM is "
+         "dominated by gLLM on both latency and throughput");
+
+  report_begin("fig10_intra_node", "Figure 10 - intra-node latency & throughput");
+  const double duration = duration_s(32.0, 128.0);
+  struct Grid {
+    model::ModelConfig model;
+    workload::WorkloadSpec workload;
+    std::vector<double> rates;
+  };
+  const std::vector<Grid> grids = {
+      {model::presets::qwen2_5_14b(), workload::WorkloadSpec::sharegpt(),
+       {1, 2, 4, 8, 16, 24}},
+      {model::presets::qwen2_5_14b(), workload::WorkloadSpec::azure_conv(),
+       {0.5, 1, 2, 4, 6}},
+      {model::presets::qwen2_5_32b(), workload::WorkloadSpec::sharegpt(),
+       {1, 2, 4, 8, 12, 16}},
+      {model::presets::qwen2_5_32b(), workload::WorkloadSpec::azure_conv(),
+       {0.25, 0.5, 1, 2, 3}},
+  };
+
+  for (const auto& grid : grids) {
+    std::vector<serve::SweepPoint> points;
+    for (const auto& options :
+         {vllm_l20(grid.model), sglang_l20(grid.model), gllm_l20(grid.model)}) {
+      const auto sweep =
+          serve::rate_sweep(options, grid.workload, grid.rates, duration, kSeed);
+      points.insert(points.end(), sweep.begin(), sweep.end());
+    }
+    print_points(grid.model.name + " / " + grid.workload.name, points);
+  }
+  report_finish();
+  return 0;
+}

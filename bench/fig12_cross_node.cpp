@@ -1,0 +1,53 @@
+// Figure 12: cross-node deployments (4 nodes, simulated 73.28 Gbps network):
+// Qwen2.5-14B/32B on 4x A100-40G and Llama3.1-100B on 4x A800-80G, comparing
+// vLLM, SGLang and gLLM over ShareGPT and Azure workloads.
+
+#include "bench_common.hpp"
+
+using namespace gllm;
+using namespace gllm::bench;
+
+int main() {
+  banner("Figure 12 - cross-node latency & throughput vs request rate (4 nodes)",
+         "tensor parallelism collapses over the 73 Gbps network (gLLM up to "
+         "+398% max throughput over SGLang); gLLM also dominates vLLM");
+
+  report_begin("fig12_cross_node", "Figure 12 - cross-node latency & throughput");
+  const double duration = duration_s(32.0, 128.0);
+  struct Grid {
+    model::ModelConfig model;
+    hw::ClusterSpec cluster;
+    workload::WorkloadSpec workload;
+    std::vector<double> rates;
+  };
+  const std::vector<Grid> grids = {
+      {model::presets::qwen2_5_14b(), hw::clusters::a100_cross_node(4),
+       workload::WorkloadSpec::sharegpt(), {2, 4, 8, 16, 24}},
+      {model::presets::qwen2_5_32b(), hw::clusters::a100_cross_node(4),
+       workload::WorkloadSpec::sharegpt(), {1, 2, 4, 8, 12}},
+      {model::presets::qwen2_5_32b(), hw::clusters::a100_cross_node(4),
+       workload::WorkloadSpec::azure_conv(), {0.5, 1, 2, 3}},
+      {model::presets::llama3_1_100b(), hw::clusters::a800_cross_node(4),
+       workload::WorkloadSpec::sharegpt(), {1, 2, 4, 8, 16}},
+      {model::presets::llama3_1_100b(), hw::clusters::a800_cross_node(4),
+       workload::WorkloadSpec::azure_conv(), {0.5, 1, 2, 4}},
+  };
+
+  for (const auto& grid : grids) {
+    std::vector<serve::SweepPoint> points;
+    const std::vector<serve::SystemOptions> systems = {
+        serve::SystemOptions::vllm(grid.model, grid.cluster, 4),
+        serve::SystemOptions::sglang(grid.model, grid.cluster, 4),
+        serve::SystemOptions::gllm(grid.model, grid.cluster, 4),
+    };
+    for (const auto& options : systems) {
+      const auto sweep =
+          serve::rate_sweep(options, grid.workload, grid.rates, duration, kSeed);
+      points.insert(points.end(), sweep.begin(), sweep.end());
+    }
+    print_points(grid.model.name + " / " + grid.cluster.name + " / " + grid.workload.name,
+                 points);
+  }
+  report_finish();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 13: maximum throughput scaling. (a) intra-node with 1..4 L20 GPUs
+// (Qwen2.5-14B; 32B from 2 GPUs); (b) cross-node with 1..4 nodes of 1x A100.
+// Bars are labelled with the multiple over the smallest configuration.
+
+#include "bench_common.hpp"
+
+using namespace gllm;
+using namespace gllm::bench;
+
+namespace {
+
+struct Row {
+  std::string system;
+  int gpus;
+  double max_thr;
+};
+
+void print_scaling(const std::string& title, const std::vector<Row>& rows) {
+  std::cout << "\n-- " << title << "\n";
+  util::TablePrinter table({"system", "gpus/nodes", "max thr (tok/s)", "speedup"});
+  for (const auto& row : rows) {
+    // Speedup relative to the same system's smallest configuration.
+    double smallest = row.max_thr;
+    int smallest_gpus = row.gpus;
+    for (const auto& other : rows) {
+      if (other.system == row.system && other.gpus < smallest_gpus) {
+        smallest = other.max_thr;
+        smallest_gpus = other.gpus;
+      }
+    }
+    table.add(row.system, std::to_string(row.gpus), util::format_double(row.max_thr, 0),
+              util::format_double(row.max_thr / smallest, 2) + "x");
+  }
+  table.print(std::cout);
+}
+
+double max_thr(const serve::SystemOptions& options, double start_rate, double duration) {
+  return serve::find_max_throughput(options, workload::WorkloadSpec::sharegpt(),
+                                    start_rate, duration, kSeed)
+      .max_throughput;
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 13 - max-throughput scalability",
+         "gLLM scales near-linearly with GPUs/nodes; vLLM sub-linear on 14B; "
+         "SGLang sub-linear intra-node and degrading cross-node");
+
+  const double duration = duration_s(16.0, 64.0);
+  const auto m14 = model::presets::qwen2_5_14b();
+  const auto m32 = model::presets::qwen2_5_32b();
+
+  {  // (a) intra-node, 14B on 1..4 L20.
+    std::vector<Row> rows;
+    for (int n : {1, 2, 4}) {
+      const auto cluster = hw::clusters::l20_node(n);
+      rows.push_back({"gLLM", n, max_thr(serve::SystemOptions::gllm(m14, cluster, n),
+                                         8.0, duration)});
+      rows.push_back({"vLLM", n, max_thr(serve::SystemOptions::vllm(m14, cluster, n),
+                                         8.0, duration)});
+      rows.push_back({"SGLang", n, max_thr(serve::SystemOptions::sglang(m14, cluster, n),
+                                           8.0, duration)});
+    }
+    print_scaling("(a) intra-node scalability, Qwen2.5-14B on n x L20", rows);
+  }
+
+  {  // (a') 32B needs at least 2 GPUs.
+    std::vector<Row> rows;
+    for (int n : {2, 4}) {
+      const auto cluster = hw::clusters::l20_node(n);
+      rows.push_back({"gLLM", n, max_thr(serve::SystemOptions::gllm(m32, cluster, n),
+                                         4.0, duration)});
+      rows.push_back({"vLLM", n, max_thr(serve::SystemOptions::vllm(m32, cluster, n),
+                                         4.0, duration)});
+      rows.push_back({"SGLang", n, max_thr(serve::SystemOptions::sglang(m32, cluster, n),
+                                           4.0, duration)});
+    }
+    print_scaling("(a) intra-node scalability, Qwen2.5-32B on n x L20", rows);
+  }
+
+  {  // (b) cross-node, 14B on 1..4 nodes of 1x A100.
+    std::vector<Row> rows;
+    for (int n : {1, 2, 4}) {
+      const auto cluster = hw::clusters::a100_cross_node(n);
+      rows.push_back({"gLLM", n, max_thr(serve::SystemOptions::gllm(m14, cluster, n),
+                                         8.0, duration)});
+      rows.push_back({"vLLM", n, max_thr(serve::SystemOptions::vllm(m14, cluster, n),
+                                         8.0, duration)});
+      rows.push_back({"SGLang", n, max_thr(serve::SystemOptions::sglang(m14, cluster, n),
+                                           8.0, duration)});
+    }
+    print_scaling("(b) cross-node scalability, Qwen2.5-14B on n nodes x 1 A100", rows);
+  }
+  return 0;
+}

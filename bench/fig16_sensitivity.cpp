@@ -1,0 +1,108 @@
+// Figure 16: sensitivity of gLLM to its hyper-parameters #T, #MaxP, #MinP and
+// KV_thresh (metrics normalized to each sweep's best). Paper trends:
+//  - #T up: TTFT flat then up, TPOT down, throughput up, E2EL down;
+//  - #MaxP 512 starves throughput; larger #MaxP trades TPOT for TTFT;
+//  - KV_thresh = 0 degrades everything slightly (preemptions);
+//  - #MinP: within ~2% everywhere.
+
+#include "bench_common.hpp"
+
+using namespace gllm;
+using namespace gllm::bench;
+
+namespace {
+
+serve::SweepPoint run_with(sched::ThrottleParams params, double memory_util, double rate,
+                           double duration) {
+  auto options = serve::SystemOptions::gllm(model::presets::qwen2_5_32b(),
+                                            hw::clusters::l20_node(4), 4);
+  options.throttle = params;
+  options.gpu_memory_util = memory_util;
+  return serve::run_at_rate(options, workload::WorkloadSpec::sharegpt(), rate, duration,
+                            kSeed);
+}
+
+void print_sweep(const std::string& name, const std::vector<std::string>& labels,
+                 const std::vector<serve::SweepPoint>& points) {
+  auto best = points[0];
+  for (const auto& p : points) {
+    best.mean_ttft = std::min(best.mean_ttft, p.mean_ttft);
+    best.mean_tpot = std::min(best.mean_tpot, p.mean_tpot);
+    best.mean_e2el = std::min(best.mean_e2el, p.mean_e2el);
+    best.throughput = std::max(best.throughput, p.throughput);
+  }
+  std::cout << "\n-- sweep of " << name << " (normalized; 1.00 = best)\n";
+  util::TablePrinter table({name, "TTFT", "TPOT", "E2EL", "throughput", "preempt"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    table.add(labels[i], util::format_double(p.mean_ttft / best.mean_ttft, 2),
+              util::format_double(p.mean_tpot / best.mean_tpot, 2),
+              util::format_double(p.mean_e2el / best.mean_e2el, 2),
+              util::format_double(p.throughput / best.throughput, 2),
+              std::to_string(p.preemptions));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 16 - hyper-parameter sensitivity (#T, #MaxP, #MinP, KV_thresh)",
+         "#T up -> TPOT/E2EL improve, TTFT worsens slowly; small #MaxP starves "
+         "throughput; KV_thresh=0 costs performance via preemption; #MinP ~ flat");
+
+  const double duration = duration_s(40.0, 128.0);
+  // Moderate load: the WT term (#WP/#T) binds, exposing the #T/#MaxP/#MinP
+  // trade-offs. The KV_thresh sweep uses a tight pool so the threshold binds.
+  const double rate = 6.0;
+  const double memory_util = 0.90;
+  const double tight_rate = 16.0;
+  const double tight_util = 0.55;
+
+  {
+    std::vector<serve::SweepPoint> points;
+    std::vector<std::string> labels;
+    for (int t : {1, 2, 4, 8, 16}) {
+      sched::ThrottleParams p;
+      p.iter_t = t;
+      points.push_back(run_with(p, memory_util, rate, duration));
+      labels.push_back(std::to_string(t));
+    }
+    print_sweep("#T", labels, points);
+  }
+  {
+    std::vector<serve::SweepPoint> points;
+    std::vector<std::string> labels;
+    // #MaxP binds at saturation, so this sweep runs at the tight point.
+    for (int maxp : {512, 1024, 2048, 4096}) {
+      sched::ThrottleParams p;
+      p.max_p = maxp;
+      points.push_back(run_with(p, tight_util, tight_rate, duration));
+      labels.push_back(std::to_string(maxp));
+    }
+    print_sweep("#MaxP", labels, points);
+  }
+  {
+    std::vector<serve::SweepPoint> points;
+    std::vector<std::string> labels;
+    for (int minp : {0, 32, 128, 512}) {
+      sched::ThrottleParams p;
+      p.min_p = minp;
+      points.push_back(run_with(p, memory_util, rate, duration));
+      labels.push_back(std::to_string(minp));
+    }
+    print_sweep("#MinP", labels, points);
+  }
+  {
+    std::vector<serve::SweepPoint> points;
+    std::vector<std::string> labels;
+    for (double thresh : {0.0, 0.05, 0.1, 0.2}) {
+      sched::ThrottleParams p;
+      p.kv_thresh = thresh;
+      points.push_back(run_with(p, tight_util, tight_rate, duration));
+      labels.push_back(util::format_double(thresh, 2));
+    }
+    print_sweep("KV_thresh", labels, points);
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Capacity planning with the serving simulator: given a model, a fleet of
+// GPUs and a target workload, compare parallelism mappings (PP vs TP vs
+// hybrid) and scheduling policies, and report which deployment sustains the
+// target rate within latency SLOs. This is the "which config do I deploy"
+// question the paper's Figure 10/12 grids answer for their testbeds.
+//
+//   ./build/examples/capacity_planner [target_rate] [slo_ttft_s] [slo_tpot_s]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/gllm.hpp"
+#include "serve/router.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace gllm;
+
+namespace {
+
+struct Candidate {
+  std::string name;
+  serve::SystemOptions options;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double target_rate = argc > 1 ? std::atof(argv[1]) : 6.0;
+  const double slo_ttft = argc > 2 ? std::atof(argv[2]) : 5.0;
+  const double slo_tpot = argc > 3 ? std::atof(argv[3]) : 0.5;
+
+  const auto model = model::presets::qwen2_5_32b();
+  const auto cluster = hw::clusters::l20_node(4);
+  const auto workload = workload::WorkloadSpec::sharegpt();
+
+  std::cout << "Planning deployment of " << model.name << " on " << cluster.name
+            << " for " << workload.name << " @ " << target_rate
+            << " req/s, SLO TTFT <= " << slo_ttft << " s, TPOT <= " << slo_tpot * 1e3
+            << " ms\n\n";
+
+  std::vector<Candidate> candidates;
+  candidates.push_back({"PP4 + token throttling", serve::SystemOptions::gllm(model, cluster, 4)});
+  candidates.push_back({"PP4 + sarathi", serve::SystemOptions::gllm_with_ck(model, cluster, 4)});
+  candidates.push_back({"TP4 + sarathi", serve::SystemOptions::sglang(model, cluster, 4)});
+  {
+    // Hybrid PP2 x TP2 with token throttling.
+    auto hybrid = serve::SystemOptions::gllm(model, cluster, 2);
+    hybrid.tp = 2;
+    hybrid.label = "gLLM-pp2tp2";
+    candidates.push_back({"PP2 x TP2 + token throttling", hybrid});
+  }
+  // Data parallelism is only on the menu when a replica fits one GPU; for a
+  // 32B model on 48 GB cards it does not, which the planner reports.
+  {
+    model::PartitionPlan single(model, 1);
+    if (model::kv_token_capacity(single, cluster.gpu, 0.9) > 0) {
+      std::cout << "(DP replicas possible; add serve::DataParallelSystem candidates)\n";
+    } else {
+      std::cout << "note: " << model.name
+                << " cannot be replicated onto single GPUs - data parallelism is "
+                   "not an option on this fleet.\n\n";
+    }
+  }
+
+  util::TablePrinter table({"deployment", "TTFT(ms)", "TPOT(ms)", "E2EL(s)",
+                            "thr(tok/s)", "SLO", "KV capacity", "verdict"});
+  std::string best;
+  double best_slo = -1.0;
+  for (const auto& candidate : candidates) {
+    engine::RunResult raw;
+    const auto point = serve::run_at_rate(candidate.options, workload, target_rate,
+                                          /*duration=*/48.0, /*seed=*/11, &raw);
+    const double slo = raw.slo_attainment(slo_ttft, slo_tpot);
+    const serve::ServingSystem probe(candidate.options);
+    table.add(candidate.name, util::format_double(point.mean_ttft * 1e3, 0),
+              util::format_double(point.mean_tpot * 1e3, 0),
+              util::format_double(point.mean_e2el, 1),
+              util::format_double(point.throughput, 0),
+              util::format_double(slo * 100, 1) + "%",
+              std::to_string(probe.engine().kv_capacity_tokens()) + " tok",
+              slo >= 0.9 ? "meets SLO" : "violates SLO");
+    if (slo > best_slo) {
+      best_slo = slo;
+      best = candidate.name;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nrecommendation: " << best << " ("
+            << util::format_double(best_slo * 100, 1) << "% SLO attainment at "
+            << target_rate << " req/s)\n";
+
+  // How far can the recommended deployment be pushed?
+  for (const auto& candidate : candidates) {
+    if (candidate.name != best) continue;
+    const auto max = serve::find_max_throughput(candidate.options, workload,
+                                                target_rate, 24.0, 11);
+    std::cout << "its maximum sustainable throughput: "
+              << util::format_double(max.max_throughput, 0) << " tok/s (saturates near "
+              << util::format_double(max.saturation_rate, 1) << " req/s)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: serve Qwen2.5-32B on one 4x L20 node and compare the three
+// systems the paper evaluates — gLLM (PP + Token Throttling), vLLM (PP +
+// Sarathi-Serve scheduling) and SGLang (TP) — on a ShareGPT-like workload.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [request_rate] [duration_s]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/gllm.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace gllm;
+
+int main(int argc, char** argv) {
+  const double rate = argc > 1 ? std::atof(argv[1]) : 6.0;
+  const double duration = argc > 2 ? std::atof(argv[2]) : 64.0;
+
+  const auto model = model::presets::qwen2_5_32b();
+  const auto cluster = hw::clusters::l20_node(4);
+  const auto workload = workload::WorkloadSpec::sharegpt();
+
+  std::cout << "Serving " << model.name << " (" << model.total_params() / 1000000000
+            << "B params) on " << cluster.name << ", workload " << workload.name
+            << " @ " << rate << " req/s for " << duration << " s\n\n";
+
+  const std::vector<serve::SystemOptions> systems = {
+      serve::SystemOptions::gllm(model, cluster, /*pp=*/4),
+      serve::SystemOptions::vllm(model, cluster, /*pp=*/4),
+      serve::SystemOptions::sglang(model, cluster, /*tp=*/4),
+  };
+
+  util::TablePrinter table({"system", "TTFT (ms)", "TPOT (ms)", "E2EL (s)",
+                            "throughput (tok/s)", "util", "token CV", "preempt"});
+  for (const auto& options : systems) {
+    const auto point = serve::run_at_rate(options, workload, rate, duration, /*seed=*/7);
+    table.add(options.label, util::format_double(point.mean_ttft * 1e3, 1),
+              util::format_double(point.mean_tpot * 1e3, 1),
+              util::format_double(point.mean_e2el, 2),
+              util::format_double(point.throughput, 0),
+              util::format_double(point.utilization, 2),
+              util::format_double(point.token_cv, 2), std::to_string(point.preemptions));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nToken Throttling keeps per-iteration batched token counts nearly\n"
+               "constant (low token CV), which removes inter-batch pipeline bubbles\n"
+               "and shows up as higher utilization and throughput at equal load.\n";
+  return 0;
+}

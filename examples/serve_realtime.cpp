@@ -1,0 +1,97 @@
+// Live pipeline-parallel serving with the real threaded runtime: a driver
+// worker schedules micro-batches with Token Throttling, stage workers execute
+// a real (tiny) transformer with paged-KV attention, and a decoupled frontend
+// thread streams tokens as they are sampled — the paper's runtime
+// architecture (3.3) end to end, on CPU.
+//
+//   ./build/examples/serve_realtime [n_requests] [pp_stages]
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "nn/reference.hpp"
+#include "runtime/pipeline_runtime.hpp"
+#include "runtime/service.hpp"
+#include "sched/token_throttle.hpp"
+#include "util/rng.hpp"
+
+using namespace gllm;
+
+int main(int argc, char** argv) {
+  const int n_requests = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int pp = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  const auto cfg = model::presets::tiny();
+  std::cout << "Serving " << n_requests << " requests on a " << pp
+            << "-stage threaded pipeline (model: " << cfg.n_layers << " layers, hidden "
+            << cfg.hidden << ", GQA " << cfg.n_heads << "/" << cfg.n_kv_heads << ")\n\n";
+
+  util::Rng rng(7);
+  std::vector<nn::GenRequest> requests;
+  for (int i = 0; i < n_requests; ++i) {
+    nn::GenRequest r;
+    r.id = i;
+    r.prompt = nn::synthetic_prompt(cfg, 900 + static_cast<std::uint64_t>(i),
+                                    8 + static_cast<int>(rng.uniform_int(0, 32)));
+    r.max_new_tokens = 6 + static_cast<int>(rng.uniform_int(0, 10));
+    requests.push_back(std::move(r));
+  }
+
+  runtime::RuntimeOptions options;
+  options.model = cfg;
+  options.pp = pp;
+  options.kv_capacity_tokens = 4096;
+  options.kv_block_size = 8;
+
+  sched::ThrottleParams params;
+  params.max_p = 64;
+  params.min_p = 8;
+  params.iter_t = 4;
+  runtime::PipelineRuntime rt(options,
+                              std::make_shared<sched::TokenThrottleScheduler>(params));
+
+  std::mutex out_mu;
+  const auto report = rt.run(requests, [&](const runtime::StreamEvent& ev) {
+    std::lock_guard lock(out_mu);
+    if (ev.is_last) {
+      std::cout << "[request " << ev.request_id << " complete]\n";
+    } else {
+      std::cout << "request " << ev.request_id << " -> token " << ev.token << "\n";
+    }
+  });
+
+  std::cout << "\nDone in " << report.wall_seconds << " s: " << report.iterations
+            << " micro-batches, scheduler cost " << report.mean_plan_seconds() * 1e3
+            << " ms/iteration (paper: 0.045 ms), " << report.preemptions
+            << " preemptions.\n";
+
+  // Output-quality parity, the Table 1 analogue: the pipelined output must be
+  // token-identical to the single-stage reference model.
+  const auto reference = nn::generate_reference(cfg, options.weight_seed, requests);
+  int matches = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    matches += report.requests[i].output == reference[i] ? 1 : 0;
+  }
+  std::cout << "token parity vs single-stage reference: " << matches << "/"
+            << requests.size() << "\n";
+
+  // The same pipeline as a persistent server (the api_server workflow):
+  // submit from the "user" thread while the driver serves.
+  std::cout << "\n-- online mode (PipelineService): submitting the same requests "
+               "to a running server --\n";
+  runtime::PipelineService service(options,
+                                   std::make_shared<sched::TokenThrottleScheduler>(params));
+  service.start();
+  for (const auto& request : requests) service.submit(request);
+  service.drain();
+  int online_matches = 0;
+  for (const auto& rec : service.results()) {
+    online_matches +=
+        rec.completed && rec.output == reference[static_cast<std::size_t>(rec.id)] ? 1 : 0;
+  }
+  service.stop();
+  std::cout << "online token parity: " << online_matches << "/" << requests.size()
+            << "\n";
+  return (matches == n_requests && online_matches == n_requests) ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+#pragma once
+
+/// Umbrella header for the gLLM reproduction library.
+///
+/// Layering (bottom to top):
+///   util     - logging, RNG, stats, tables, queues, thread pool
+///   sim      - discrete-event simulation core
+///   hw       - GPU / interconnect / cluster models
+///   model    - transformer configs, PP partitioning, roofline cost model
+///   kv       - paged KV cache (allocator, page tables, prefix cache)
+///   workload - synthetic ShareGPT / Azure traces
+///   sched    - scheduling policies (Sarathi-Serve, Token Throttling, FCFS)
+///   engine   - pipeline/tensor-parallel serving engine (DES)
+///   serve    - system presets, rate sweeps, max-throughput protocol
+///
+/// The real multi-threaded runtime executing a CPU transformer lives in
+/// tensor/, nn/ and runtime/ and has its own headers.
+
+#include "engine/metrics.hpp"
+#include "engine/pipeline_engine.hpp"
+#include "hw/cluster.hpp"
+#include "model/config.hpp"
+#include "model/cost.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/sarathi.hpp"
+#include "sched/token_throttle.hpp"
+#include "serve/options.hpp"
+#include "serve/sweep.hpp"
+#include "serve/system.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace gllm {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace gllm

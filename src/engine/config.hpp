@@ -1,0 +1,40 @@
+#pragma once
+
+#include "engine/runtime_model.hpp"
+#include "hw/cluster.hpp"
+#include "model/config.hpp"
+
+namespace gllm::engine {
+
+/// Deployment description for one engine instance: which model, on which
+/// cluster, with which parallelism mapping and runtime.
+///
+/// Parallelism mapping: `pp * tp` GPUs are used; stage `s` occupies GPUs
+/// `[s*tp, (s+1)*tp)`. Pure PP (the gLLM/vLLM configuration) is `pp=N, tp=1`;
+/// pure TP (the SGLang configuration) is `pp=1, tp=N` — with pp=1 the engine
+/// degenerates to continuous batching with no micro-batch overlap.
+struct EngineConfig {
+  model::ModelConfig model;
+  hw::ClusterSpec cluster;
+  int pp = 1;
+  int tp = 1;
+  /// Fraction of GPU memory usable (weights + KV), as in vLLM's
+  /// --gpu-memory-utilization.
+  double gpu_memory_util = 0.90;
+  int kv_block_size = 16;
+  bool prefix_caching = false;  ///< disabled in paper-matching benchmarks
+  RuntimeModel runtime = RuntimeModel::gllm_async();
+  bool record_iterations = true;
+  /// Record every stage-occupancy interval (memory-heavy; Figure 4 only).
+  bool record_busy_intervals = false;
+  /// vLLM-V0 fidelity option: pin each request to the virtual engine
+  /// (admission cohort) it first prefilled in, so its decode steps only ride
+  /// that cohort's micro-batches. This reproduces Figure 8's decode clumping
+  /// even more strongly; off by default (our vLLM baseline is the globally
+  /// scheduled, baseline-favourable variant).
+  bool cohort_pinning = false;
+
+  void validate() const;
+};
+
+}  // namespace gllm::engine

@@ -1,0 +1,345 @@
+#include "engine/disagg_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hw/interconnect.hpp"
+#include "util/log.hpp"
+
+namespace gllm::engine {
+
+void DisaggConfig::validate() const {
+  model.validate();
+  if (prefill_gpus <= 0 || decode_gpus <= 0)
+    throw std::invalid_argument("DisaggConfig: both instances need GPUs");
+  if (prefill_gpus + decode_gpus > cluster.total_gpus())
+    throw std::invalid_argument("DisaggConfig: instance sizes exceed cluster GPUs");
+  if (gpu_memory_util <= 0.0 || gpu_memory_util > 1.0)
+    throw std::invalid_argument("DisaggConfig: gpu_memory_util must be in (0, 1]");
+  if (prefill_chunk <= 0) throw std::invalid_argument("DisaggConfig: prefill_chunk <= 0");
+}
+
+DisaggEngine::DisaggEngine(DisaggConfig cfg)
+    : cfg_(std::move(cfg)), cost_(cfg_.model, cfg_.cluster.gpu) {
+  cfg_.validate();
+  prefill_.plan = model::PartitionPlan(cfg_.model, cfg_.prefill_gpus);
+  decode_.plan = model::PartitionPlan(cfg_.model, cfg_.decode_gpus);
+  prefill_.kv_capacity =
+      model::kv_token_capacity(prefill_.plan, cfg_.cluster.gpu, cfg_.gpu_memory_util);
+  decode_.kv_capacity =
+      model::kv_token_capacity(decode_.plan, cfg_.cluster.gpu, cfg_.gpu_memory_util);
+  if (prefill_.kv_capacity < cfg_.kv_block_size || decode_.kv_capacity < cfg_.kv_block_size)
+    throw std::invalid_argument("DisaggEngine: model does not fit on an instance");
+  prefill_.first_gpu = 0;
+  decode_.first_gpu = cfg_.prefill_gpus;
+}
+
+RunResult DisaggEngine::run(const workload::Trace& trace) {
+  sim_ = sim::Simulator{};
+  for (Instance* inst : {&prefill_, &decode_}) {
+    inst->kv = std::make_unique<kv::KvManager>(inst->kv_capacity, cfg_.kv_block_size);
+    const int stages = inst == &prefill_ ? cfg_.prefill_gpus : cfg_.decode_gpus;
+    inst->stage_free.assign(static_cast<std::size_t>(stages), true);
+    inst->stage_queue.assign(static_cast<std::size_t>(stages), {});
+    inst->stage_busy.assign(static_cast<std::size_t>(stages), 0.0);
+    inst->in_flight = 0;
+  }
+  sequences_.clear();
+  waiting_.clear();
+  transfer_wait_.clear();
+  decoding_.clear();
+  batches_.clear();
+  next_batch_id_ = 1;
+  iterations_.clear();
+  preemptions_ = 0;
+  sched_invocations_ = 0;
+
+  double first_arrival = 0.0;
+  bool any = false;
+  for (const auto& spec : trace) {
+    auto seq = std::make_unique<Sequence>(spec);
+    Sequence* ptr = seq.get();
+    if (!sequences_.emplace(spec.id, std::move(seq)).second)
+      throw std::invalid_argument("DisaggEngine: duplicate request id");
+    sim_.call_at(spec.arrival, [this, ptr] { on_arrival(ptr); });
+    first_arrival = any ? std::min(first_arrival, spec.arrival) : spec.arrival;
+    any = true;
+  }
+  sim_.run();
+
+  RunResult result;
+  result.start_time = first_arrival;
+  result.end_time = first_arrival;
+  result.stage_busy_seconds = prefill_.stage_busy;
+  result.stage_busy_seconds.insert(result.stage_busy_seconds.end(),
+                                   decode_.stage_busy.begin(), decode_.stage_busy.end());
+  result.iterations = std::move(iterations_);
+  result.preemptions = preemptions_;
+  result.scheduler_invocations = sched_invocations_;
+  result.kv = decode_.kv->stats();
+
+  for (const auto& [id, seq] : sequences_) {
+    RequestMetrics m;
+    m.id = id;
+    m.arrival = seq->arrival();
+    m.prompt_len = seq->prompt_len();
+    m.output_len = seq->generated();
+    m.preemptions = seq->preemptions();
+    m.completed = seq->state() == SeqState::kFinished;
+    if (m.completed) {
+      m.ttft = seq->ttft();
+      m.e2e = seq->e2e_latency();
+      m.tpot = seq->tpot();
+      result.end_time = std::max(result.end_time, seq->finish_time());
+    } else {
+      GLLM_LOG_WARN("disagg: request " << id << " did not complete");
+    }
+    result.requests.push_back(m);
+  }
+  std::sort(result.requests.begin(), result.requests.end(),
+            [](const RequestMetrics& a, const RequestMetrics& b) { return a.id < b.id; });
+  return result;
+}
+
+void DisaggEngine::on_arrival(Sequence* seq) {
+  const std::int64_t needed = seq->prompt_len() + seq->output_len();
+  if (seq->prompt_len() > prefill_.kv_capacity || needed > decode_.kv_capacity) {
+    seq->abort();
+    GLLM_LOG_WARN("disagg: rejecting oversized request " << seq->id());
+    return;
+  }
+  waiting_.push_back(seq);
+  try_schedule_prefill();
+}
+
+void DisaggEngine::try_schedule_prefill() {
+  while (prefill_.stage_free[0] && prefill_.in_flight < cfg_.prefill_gpus) {
+    ++sched_invocations_;
+    Batch batch;
+    batch.id = next_batch_id_;
+    std::int64_t budget =
+        std::min<std::int64_t>(cfg_.prefill_chunk, prefill_.kv->free_token_capacity());
+    for (Sequence* seq : waiting_) {
+      if (budget <= 0) break;
+      if (seq->outstanding_chunks() > 0 || seq->remaining_prefill() <= 0) continue;
+      const int chunk =
+          static_cast<int>(std::min<std::int64_t>(seq->remaining_prefill(), budget));
+      const std::int64_t ctx = prefill_.kv->seq_tokens(seq->id());
+      if (!prefill_.kv->allocate(seq->id(), chunk)) break;
+      seq->on_chunk_scheduled(chunk);
+      batch.seqs.push_back(seq->id());
+      batch.last_chunk.push_back(seq->remaining_prefill() == 0);
+      batch.work.push_back(
+          model::WorkItem{chunk, ctx, true, seq->remaining_prefill() == 0});
+      batch.total_new_tokens += chunk;
+      budget -= chunk;
+    }
+    if (batch.seqs.empty()) {
+      // Same half-admitted-prompt deadlock hazard as the unified engine.
+      if (prefill_.in_flight == 0) {
+        for (auto it = waiting_.rbegin(); it != waiting_.rend(); ++it) {
+          Sequence* cand = *it;
+          if (cand == waiting_.front() || cand->outstanding_chunks() > 0 ||
+              cand->scheduled_prefill() == 0)
+            continue;
+          prefill_.kv->free_seq(cand->id());
+          cand->reset_prefill_progress();
+          ++preemptions_;
+          return try_schedule_prefill();
+        }
+      }
+      return;
+    }
+    ++next_batch_id_;
+    ++prefill_.in_flight;
+    if (cfg_.record_iterations) {
+      iterations_.push_back(IterationSample{sim_.now(), batch.total_new_tokens, 0,
+                                            prefill_.kv->free_rate(), 0.0});
+    }
+    const std::uint64_t id = batch.id;
+    batches_.emplace(id, std::move(batch));
+    enter_stage(prefill_, id, 0);
+  }
+}
+
+void DisaggEngine::try_schedule_decode() {
+  while (decode_.stage_free[0] && decode_.in_flight < cfg_.decode_gpus) {
+    ++sched_invocations_;
+    const auto depth = static_cast<std::int64_t>(cfg_.decode_gpus);
+    const std::int64_t share =
+        (static_cast<std::int64_t>(decoding_.size()) + depth - 1) / depth;
+    Batch batch;
+    batch.id = next_batch_id_;
+    std::int64_t taken = 0;
+    // Iterate a snapshot: preemption below erases from decoding_.
+    const std::vector<Sequence*> candidates(decoding_.begin(), decoding_.end());
+    for (Sequence* seq : candidates) {
+      if (taken >= share) break;
+      if (seq->decode_in_flight()) continue;
+      // The sequence may have been preempted while handling an earlier item.
+      if (std::find(decoding_.begin(), decoding_.end(), seq) == decoding_.end()) continue;
+      const std::int64_t ctx = decode_.kv->seq_tokens(seq->id());
+      if (!decode_.kv->allocate(seq->id(), 1)) {
+        // Preempt the youngest idle decode (full recompute via prefill pool).
+        Sequence* victim = nullptr;
+        for (auto it = decoding_.rbegin(); it != decoding_.rend(); ++it) {
+          Sequence* cand = *it;
+          if (cand->decode_in_flight() || cand == seq) continue;
+          if (std::find(batch.seqs.begin(), batch.seqs.end(), cand->id()) !=
+              batch.seqs.end())
+            continue;
+          victim = cand;
+          break;
+        }
+        if (victim == nullptr) continue;
+        decode_.kv->free_seq(victim->id());
+        victim->preempt(sim_.now());
+        decoding_.erase(std::find(decoding_.begin(), decoding_.end(), victim));
+        waiting_.push_front(victim);
+        ++preemptions_;
+        if (!decode_.kv->allocate(seq->id(), 1)) continue;
+      }
+      seq->on_decode_scheduled();
+      batch.seqs.push_back(seq->id());
+      batch.last_chunk.push_back(false);
+      batch.work.push_back(model::WorkItem{1, ctx, false, true});
+      batch.total_new_tokens += 1;
+      ++taken;
+    }
+    if (batch.seqs.empty()) return;
+    ++next_batch_id_;
+    ++decode_.in_flight;
+    if (cfg_.record_iterations) {
+      iterations_.push_back(IterationSample{sim_.now(), 0, batch.total_new_tokens,
+                                            decode_.kv->free_rate(), 0.0});
+    }
+    const std::uint64_t id = batch.id;
+    batches_.emplace(id, std::move(batch));
+    enter_stage(decode_, id, 0);
+  }
+}
+
+double DisaggEngine::stage_time(const Instance& inst, const Batch& batch, int stage,
+                                bool charge_sched) const {
+  double t = cost_.stage_time(inst.plan.stage(stage), batch.work);
+  t *= 1.0 + cfg_.runtime.serial_cpu_fraction;
+  if (charge_sched) t += cfg_.runtime.sched_overhead;
+  return t;
+}
+
+void DisaggEngine::enter_stage(Instance& inst, std::uint64_t batch_id, int stage) {
+  if (!inst.stage_free[static_cast<std::size_t>(stage)])
+    throw std::logic_error("DisaggEngine: entering a busy stage");
+  inst.stage_free[static_cast<std::size_t>(stage)] = false;
+  const Batch& batch = batches_.at(batch_id);
+  const double dur = stage_time(inst, batch, stage, stage == 0);
+  inst.stage_busy[static_cast<std::size_t>(stage)] += dur;
+  const bool is_prefill = &inst == &prefill_;
+  sim_.call_in(dur,
+               [this, is_prefill, batch_id, stage] { on_stage_done(is_prefill, batch_id, stage); });
+}
+
+void DisaggEngine::on_stage_done(bool is_prefill, std::uint64_t batch_id, int stage) {
+  Instance& inst = instance(is_prefill);
+  inst.stage_free[static_cast<std::size_t>(stage)] = true;
+
+  const int stages = static_cast<int>(inst.stage_free.size());
+  if (stage + 1 < stages) {
+    const Batch& batch = batches_.at(batch_id);
+    const int from_gpu = inst.first_gpu + stage;
+    const hw::CommModel comm(cfg_.cluster.link_between(from_gpu, from_gpu + 1));
+    const double hop = comm.p2p_time(cost_.activation_bytes(batch.total_new_tokens));
+    sim_.call_in(hop, [this, is_prefill, batch_id, stage] {
+      Instance& target = instance(is_prefill);
+      target.stage_queue[static_cast<std::size_t>(stage + 1)].push_back(batch_id);
+      if (target.stage_free[static_cast<std::size_t>(stage + 1)]) {
+        const std::uint64_t next = target.stage_queue[static_cast<std::size_t>(stage + 1)].front();
+        target.stage_queue[static_cast<std::size_t>(stage + 1)].pop_front();
+        enter_stage(target, next, stage + 1);
+      }
+    });
+  } else if (is_prefill) {
+    complete_prefill_batch(batch_id);
+  } else {
+    complete_decode_batch(batch_id);
+  }
+
+  // Pump this stage's queue, then admit fresh work at stage 0.
+  auto& queue = inst.stage_queue[static_cast<std::size_t>(stage)];
+  if (!queue.empty()) {
+    const std::uint64_t next = queue.front();
+    queue.pop_front();
+    enter_stage(inst, next, stage);
+  }
+  if (is_prefill) {
+    try_schedule_prefill();
+  } else {
+    try_schedule_decode();
+  }
+}
+
+void DisaggEngine::complete_prefill_batch(std::uint64_t batch_id) {
+  const auto node = batches_.extract(batch_id);
+  const Batch& batch = node.mapped();
+  for (std::size_t i = 0; i < batch.seqs.size(); ++i) {
+    Sequence& seq = *sequences_.at(batch.seqs[i]);
+    const bool prompt_done = seq.on_chunk_completed(batch.last_chunk[i], sim_.now());
+    if (!prompt_done) continue;
+    waiting_.erase(std::find(waiting_.begin(), waiting_.end(), &seq));
+    if (seq.state() == SeqState::kFinished) {
+      prefill_.kv->free_seq(seq.id());
+      continue;
+    }
+    // Ship the KV cache to the decode instance (paper: "different nodes
+    // connected via KV cache transmission").
+    Sequence* ptr = &seq;
+    transfer_wait_.push_back(ptr);
+  }
+  --prefill_.in_flight;
+  pump_transfers();
+  try_schedule_prefill();
+}
+
+void DisaggEngine::pump_transfers() {
+  auto it = transfer_wait_.begin();
+  while (it != transfer_wait_.end()) {
+    Sequence* seq = *it;
+    const std::int64_t tokens = prefill_.kv->seq_tokens(seq->id());
+    if (!decode_.kv->can_allocate(seq->id(), tokens)) {
+      ++it;
+      continue;
+    }
+    decode_.kv->allocate(seq->id(), tokens);
+    const double bytes =
+        static_cast<double>(cfg_.model.kv_bytes_per_token()) * static_cast<double>(tokens);
+    const hw::CommModel comm(
+        cfg_.cluster.link_between(cfg_.prefill_gpus - 1, cfg_.prefill_gpus));
+    sim_.call_in(comm.p2p_time(bytes), [this, seq] { on_transfer_done(seq); });
+    it = transfer_wait_.erase(it);
+  }
+}
+
+void DisaggEngine::on_transfer_done(Sequence* seq) {
+  prefill_.kv->free_seq(seq->id());
+  decoding_.push_back(seq);
+  try_schedule_decode();
+  try_schedule_prefill();  // freed prefill KV may unblock admission
+}
+
+void DisaggEngine::complete_decode_batch(std::uint64_t batch_id) {
+  const auto node = batches_.extract(batch_id);
+  const Batch& batch = node.mapped();
+  for (const kv::SeqId id : batch.seqs) {
+    Sequence& seq = *sequences_.at(id);
+    if (seq.on_decode_completed(sim_.now())) {
+      decode_.kv->free_seq(id);
+      decoding_.erase(std::find(decoding_.begin(), decoding_.end(), &seq));
+    }
+  }
+  --decode_.in_flight;
+  try_schedule_decode();
+  // Freed decode KV may admit queued transfers.
+  pump_transfers();
+}
+
+}  // namespace gllm::engine

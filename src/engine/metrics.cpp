@@ -1,0 +1,139 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace gllm::engine {
+
+std::size_t RunResult::completed_requests() const {
+  std::size_t n = 0;
+  for (const auto& r : requests) n += r.completed ? 1 : 0;
+  return n;
+}
+
+std::int64_t RunResult::total_tokens() const {
+  std::int64_t n = 0;
+  for (const auto& r : requests) {
+    if (r.completed) n += r.prompt_len + r.output_len;
+  }
+  return n;
+}
+
+std::int64_t RunResult::output_tokens() const {
+  std::int64_t n = 0;
+  for (const auto& r : requests) {
+    if (r.completed) n += r.output_len;
+  }
+  return n;
+}
+
+double RunResult::mean_ttft() const {
+  util::OnlineStats s;
+  for (const auto& r : requests) {
+    if (r.completed) s.add(r.ttft);
+  }
+  return s.mean();
+}
+
+double RunResult::mean_tpot() const {
+  util::OnlineStats s;
+  for (const auto& r : requests) {
+    if (r.completed && r.output_len > 1) s.add(r.tpot);
+  }
+  return s.mean();
+}
+
+double RunResult::mean_e2el() const {
+  util::OnlineStats s;
+  for (const auto& r : requests) {
+    if (r.completed) s.add(r.e2e);
+  }
+  return s.mean();
+}
+
+double RunResult::p99_ttft() const { return percentile(Latency::kTtft, 99.0); }
+
+double RunResult::percentile(Latency metric, double p) const {
+  util::SampleStats s;
+  for (const auto& r : requests) {
+    if (!r.completed) continue;
+    switch (metric) {
+      case Latency::kTtft:
+        s.add(r.ttft);
+        break;
+      case Latency::kTpot:
+        if (r.output_len > 1) s.add(r.tpot);
+        break;
+      case Latency::kE2el:
+        s.add(r.e2e);
+        break;
+    }
+  }
+  return s.percentile(p);
+}
+
+double RunResult::throughput() const {
+  const double span = makespan();
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(total_tokens()) / span;
+}
+
+double RunResult::slo_attainment(double ttft_limit, double tpot_limit) const {
+  if (requests.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const auto& r : requests) {
+    if (r.completed && r.ttft <= ttft_limit && r.tpot <= tpot_limit) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(requests.size());
+}
+
+double RunResult::goodput(double ttft_limit, double tpot_limit) const {
+  const double span = makespan();
+  if (span <= 0.0) return 0.0;
+  std::int64_t tokens = 0;
+  for (const auto& r : requests) {
+    if (r.completed && r.ttft <= ttft_limit && r.tpot <= tpot_limit)
+      tokens += r.prompt_len + r.output_len;
+  }
+  return static_cast<double>(tokens) / span;
+}
+
+double RunResult::mean_stage_utilization() const {
+  const double span = makespan();
+  if (span <= 0.0 || stage_busy_seconds.empty()) return 0.0;
+  double total = 0.0;
+  for (double b : stage_busy_seconds) total += b / span;
+  return total / static_cast<double>(stage_busy_seconds.size());
+}
+
+double RunResult::token_count_cv() const {
+  util::OnlineStats s;
+  for (const auto& it : iterations) s.add(it.prefill_tokens + it.decode_tokens);
+  return s.cv();
+}
+
+std::vector<double> RunResult::utilization_timeline(double t0, double t1,
+                                                    double window) const {
+  if (!(t1 > t0) || window <= 0.0 || stage_busy_seconds.empty()) return {};
+  const auto n_windows = static_cast<std::size_t>((t1 - t0) / window) + 1;
+  std::vector<double> busy(n_windows, 0.0);
+  for (const auto& interval : busy_intervals) {
+    // Spread the interval's busy time over the windows it overlaps.
+    double begin = std::max(interval.start, t0);
+    const double end = std::min(interval.start + interval.duration, t1);
+    while (begin < end) {
+      const auto w = static_cast<std::size_t>((begin - t0) / window);
+      if (w >= n_windows) break;
+      const double w_end = t0 + (static_cast<double>(w) + 1.0) * window;
+      const double piece = std::min(end, w_end) - begin;
+      busy[w] += piece;
+      begin += piece;
+    }
+  }
+  const double denom = window * static_cast<double>(stage_busy_seconds.size());
+  for (double& b : busy) b /= denom;
+  return busy;
+}
+
+}  // namespace gllm::engine

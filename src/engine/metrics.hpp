@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/sequence.hpp"
+#include "kv/kv_manager.hpp"
+
+namespace gllm::engine {
+
+/// Final per-request record (the benchmark client's view).
+struct RequestMetrics {
+  std::int64_t id = 0;
+  double arrival = 0.0;
+  int prompt_len = 0;
+  int output_len = 0;   ///< tokens actually generated
+  double ttft = 0.0;    ///< time to first token, seconds
+  double e2e = 0.0;     ///< end-to-end latency, seconds
+  double tpot = 0.0;    ///< time per output token after the first, seconds
+  int preemptions = 0;
+  bool completed = false;
+};
+
+/// One scheduled micro-batch, for the Figure 1/4 token-trace reproductions.
+struct IterationSample {
+  double time = 0.0;       ///< schedule instant
+  int prefill_tokens = 0;
+  int decode_tokens = 0;
+  double kv_free_rate = 1.0;
+  double stage0_time = 0.0;  ///< modelled stage-0 forward duration
+};
+
+/// One stage-occupancy interval (recorded only when the engine is configured
+/// with record_busy_intervals; used by the Figure 4 utilization timelines).
+struct BusyInterval {
+  int stage = 0;
+  double start = 0.0;
+  double duration = 0.0;
+};
+
+/// Everything a single engine run produces.
+struct RunResult {
+  std::vector<RequestMetrics> requests;
+  std::vector<IterationSample> iterations;
+  std::vector<BusyInterval> busy_intervals;
+  std::vector<double> stage_busy_seconds;  ///< per pipeline stage
+  double start_time = 0.0;                 ///< first arrival
+  double end_time = 0.0;                   ///< last completion
+  std::int64_t preemptions = 0;
+  std::int64_t scheduler_invocations = 0;
+  kv::KvStats kv;
+
+  double makespan() const { return end_time - start_time; }
+
+  std::size_t completed_requests() const;
+  std::int64_t total_tokens() const;   ///< prompt + generated of completed requests
+  std::int64_t output_tokens() const;
+
+  // Aggregate latency metrics over completed requests (paper's four metrics).
+  double mean_ttft() const;
+  double mean_tpot() const;
+  double mean_e2el() const;
+  double p99_ttft() const;
+  /// Exact percentile of a latency metric over completed requests; p in
+  /// [0, 100]. `metric` selects the RequestMetrics field.
+  enum class Latency { kTtft, kTpot, kE2el };
+  double percentile(Latency metric, double p) const;
+  /// Input+output token throughput over the makespan.
+  double throughput() const;
+  /// Fraction of completed requests meeting both constraints; incomplete
+  /// requests count as violations.
+  double slo_attainment(double ttft_limit, double tpot_limit) const;
+  /// Goodput (the DistServe metric the artifact's --goodput flag reports):
+  /// input+output tokens of SLO-satisfying requests per second of makespan.
+  double goodput(double ttft_limit, double tpot_limit) const;
+  /// Mean busy fraction across stages over the makespan.
+  double mean_stage_utilization() const;
+  /// Coefficient of variation of per-iteration total token counts — the
+  /// balance measure behind Figure 1.
+  double token_count_cv() const;
+
+  /// Per-window mean stage utilization over [t0, t1), from busy intervals.
+  /// Returns one value per window of `window` seconds.
+  std::vector<double> utilization_timeline(double t0, double t1, double window) const;
+};
+
+}  // namespace gllm::engine

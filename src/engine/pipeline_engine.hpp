@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "engine/metrics.hpp"
+#include "engine/sequence.hpp"
+#include "model/cost.hpp"
+#include "model/partition.hpp"
+#include "sched/types.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace gllm::engine {
+
+/// Discrete-event pipeline-parallel serving engine.
+///
+/// Mechanics (mirroring the gLLM runtime of paper §3.3):
+///  * A driver invokes the scheduler whenever stage 0 is idle and fewer than
+///    `pp` micro-batches are in flight (inter-batch dependency: concurrency
+///    is bounded by pipeline depth).
+///  * A micro-batch occupies each stage for the cost model's forward time;
+///    between stages its activations cross the corresponding interconnect
+///    link. Pipeline bubbles are *emergent*: they appear exactly when
+///    consecutive micro-batches have unequal stage times.
+///  * Sequences are locked while in flight — a decode step cannot be
+///    rescheduled until its sampled token returns from the last stage, which
+///    is why decode distribution across micro-batches (eq. 4) matters.
+///  * KV allocation failures trigger vLLM-style recompute preemption of the
+///    youngest idle decoding sequence.
+///
+/// The engine is policy-agnostic: any sched::IScheduler plugs in, which is
+/// how the vLLM baseline (Sarathi policy + serialized runtime), SGLang
+/// baseline (pp=1/tp=N) and all gLLM ablation variants are expressed.
+class PipelineEngine {
+ public:
+  PipelineEngine(EngineConfig cfg, std::shared_ptr<sched::IScheduler> scheduler);
+
+  /// Simulate serving the whole trace; returns when every request has
+  /// completed (or cannot make progress, in which case the stragglers are
+  /// reported with completed=false).
+  RunResult run(const workload::Trace& trace);
+
+  const EngineConfig& config() const { return cfg_; }
+  std::int64_t kv_capacity_tokens() const { return kv_capacity_; }
+  const model::CostModel& cost_model() const { return cost_; }
+  const model::PartitionPlan& partition() const { return plan_; }
+
+ private:
+  struct Batch {
+    std::uint64_t id = 0;
+    sched::MicroBatchPlan plan;
+    std::vector<model::WorkItem> work;
+    int total_new_tokens = 0;
+  };
+
+  // --- event handlers -----------------------------------------------------
+  void on_arrival(Sequence* seq);
+  void try_schedule();
+  void enter_stage(std::uint64_t batch_id, int stage);
+  void on_stage_done(std::uint64_t batch_id, int stage);
+  void arrive_at_stage(std::uint64_t batch_id, int stage);
+  void pump_stage(int stage);
+  void complete_batch(std::uint64_t batch_id);
+
+  // --- helpers --------------------------------------------------------------
+  sched::ScheduleContext build_context(int cohort) const;
+  /// Materialise a plan: allocate KV (with preemption fallback), lock
+  /// sequences, build cost-model work items. Items that cannot get KV are
+  /// dropped. Returns nullptr if everything was dropped.
+  Batch* materialize(sched::MicroBatchPlan plan);
+  bool allocate_with_preemption(kv::SeqId seq, std::int64_t tokens,
+                                const std::vector<kv::SeqId>& untouchable);
+  /// Break a KV deadlock among half-admitted prompts: reset the youngest
+  /// idle, partially-prefilled waiting sequence (vLLM recomputes chunked
+  /// prefills the same way). Returns true if progress was freed.
+  bool reset_stalled_prefill();
+  double stage_forward_time(const Batch& batch, int stage) const;
+  double pp_hop_time(const Batch& batch, int from_stage) const;
+  Sequence& seq_ref(kv::SeqId id);
+  void finish_sequence(Sequence& seq);
+
+  // --- immutable configuration ---------------------------------------------
+  EngineConfig cfg_;
+  std::shared_ptr<sched::IScheduler> scheduler_;
+  model::PartitionPlan plan_;
+  model::CostModel cost_;
+  std::int64_t kv_capacity_ = 0;
+
+  // --- per-run state ---------------------------------------------------------
+  sim::Simulator sim_;
+  std::unique_ptr<kv::KvManager> kv_;
+  std::unordered_map<kv::SeqId, std::unique_ptr<Sequence>> sequences_;
+  std::deque<Sequence*> waiting_;     ///< FCFS; preempted re-enter at the front
+  std::vector<Sequence*> decoding_;   ///< completion order (oldest first)
+  std::vector<bool> stage_free_;
+  std::vector<std::deque<std::uint64_t>> stage_queue_;
+  std::unordered_map<std::uint64_t, Batch> batches_;
+  std::uint64_t next_batch_id_ = 1;
+  int in_flight_batches_ = 0;
+  int next_cohort_ = 0;  ///< round-robin virtual engine (cohort_pinning only)
+
+  // --- per-run metrics ---------------------------------------------------------
+  std::vector<double> stage_busy_;
+  std::vector<IterationSample> iterations_;
+  std::vector<BusyInterval> busy_intervals_;
+  std::int64_t preemptions_ = 0;
+  std::int64_t sched_invocations_ = 0;
+};
+
+}  // namespace gllm::engine

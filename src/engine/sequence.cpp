@@ -1,0 +1,88 @@
+#include "engine/sequence.hpp"
+
+#include <stdexcept>
+
+namespace gllm::engine {
+
+void Sequence::on_chunk_scheduled(int tokens) {
+  if (state_ != SeqState::kWaiting)
+    throw std::logic_error("Sequence: prefill chunk scheduled while not waiting");
+  if (tokens <= 0 || tokens > remaining_prefill())
+    throw std::invalid_argument("Sequence: chunk exceeds remaining prefill");
+  scheduled_prefill_ += tokens;
+  ++outstanding_chunks_;
+}
+
+bool Sequence::on_chunk_completed(bool last_chunk, double now) {
+  if (outstanding_chunks_ <= 0)
+    throw std::logic_error("Sequence: chunk completion without outstanding chunk");
+  --outstanding_chunks_;
+  if (!last_chunk) return false;
+
+  if (remaining_prefill() != 0 || outstanding_chunks_ != 0)
+    throw std::logic_error(
+        "Sequence: final chunk completed with prefill remaining (seq " +
+        std::to_string(spec_.id) + ", remaining " + std::to_string(remaining_prefill()) +
+        ", outstanding " + std::to_string(outstanding_chunks_) + ")");
+  // Prefill completion produces the first output token (or, after recompute
+  // preemption, the next one).
+  ++generated_;
+  if (first_token_time_ < 0.0) first_token_time_ = now;
+  if (done()) {
+    state_ = SeqState::kFinished;
+    finish_time_ = now;
+  } else {
+    state_ = SeqState::kDecoding;
+  }
+  return true;
+}
+
+void Sequence::skip_prefill(int tokens) {
+  if (state_ != SeqState::kWaiting || scheduled_prefill_ != 0 || outstanding_chunks_ != 0)
+    throw std::logic_error("Sequence: skip_prefill only valid before any chunk");
+  if (tokens < 0 || tokens >= prefill_target_)
+    throw std::invalid_argument("Sequence: skip_prefill must leave work to compute");
+  scheduled_prefill_ = tokens;
+}
+
+void Sequence::on_decode_scheduled() {
+  if (state_ != SeqState::kDecoding)
+    throw std::logic_error("Sequence: decode scheduled while not decoding");
+  if (decode_in_flight_) throw std::logic_error("Sequence: decode already in flight");
+  decode_in_flight_ = true;
+}
+
+bool Sequence::on_decode_completed(double now) {
+  if (!decode_in_flight_) throw std::logic_error("Sequence: decode completion unexpected");
+  decode_in_flight_ = false;
+  ++generated_;
+  if (done()) {
+    state_ = SeqState::kFinished;
+    finish_time_ = now;
+    return true;
+  }
+  return false;
+}
+
+void Sequence::preempt(double) {
+  if (state_ != SeqState::kDecoding || decode_in_flight_)
+    throw std::logic_error("Sequence: can only preempt an idle decoding sequence");
+  state_ = SeqState::kWaiting;
+  prefill_target_ = spec_.prompt_len + generated_;
+  scheduled_prefill_ = 0;
+  ++preemptions_;
+}
+
+void Sequence::reset_prefill_progress() {
+  if (state_ != SeqState::kWaiting || outstanding_chunks_ != 0)
+    throw std::logic_error("Sequence: can only reset an idle waiting sequence");
+  scheduled_prefill_ = 0;
+  ++preemptions_;
+}
+
+double Sequence::tpot() const {
+  if (generated_ <= 1 || first_token_time_ < 0.0 || finish_time_ < 0.0) return 0.0;
+  return (finish_time_ - first_token_time_) / static_cast<double>(generated_ - 1);
+}
+
+}  // namespace gllm::engine

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+
+#include "kv/kv_manager.hpp"
+#include "workload/trace.hpp"
+
+namespace gllm::engine {
+
+enum class SeqState {
+  kWaiting,   ///< has un-prefilled prompt tokens (incl. preempted recompute)
+  kDecoding,  ///< prompt fully prefilled, generating output tokens
+  kFinished,
+  kAborted,   ///< could not complete (capacity livelock guard)
+};
+
+/// Runtime state of one request inside an engine. Owns the scheduling
+/// bookkeeping (chunk progress, in-flight locks, preemption recovery) and the
+/// latency timestamps the metrics layer consumes.
+class Sequence {
+ public:
+  explicit Sequence(const workload::RequestSpec& spec)
+      : spec_(spec), prefill_target_(spec.prompt_len) {}
+
+  kv::SeqId id() const { return spec_.id; }
+  double arrival() const { return spec_.arrival; }
+  int prompt_len() const { return spec_.prompt_len; }
+  int output_len() const { return spec_.output_len; }
+
+  SeqState state() const { return state_; }
+
+  // ---- Prefill progress -------------------------------------------------
+
+  /// Tokens whose KV must be computed before decoding can (re)start. Equals
+  /// the prompt length initially; after a recompute preemption it also covers
+  /// the already-generated tokens (their values are fixed, their KV is gone).
+  int prefill_target() const { return prefill_target_; }
+  int scheduled_prefill() const { return scheduled_prefill_; }
+  int remaining_prefill() const { return prefill_target_ - scheduled_prefill_; }
+
+  void on_chunk_scheduled(int tokens);
+  /// Returns true when this completion finished the prompt (first token!).
+  bool on_chunk_completed(bool last_chunk, double now);
+
+  /// Mark `tokens` of the prefill target as already satisfied (prefix-cache
+  /// reuse): they need no computation. Only valid before any chunk has been
+  /// scheduled, and must leave at least one token to compute.
+  void skip_prefill(int tokens);
+
+  int outstanding_chunks() const { return outstanding_chunks_; }
+
+  // ---- Decode progress ----------------------------------------------------
+
+  int generated() const { return generated_; }
+  bool decode_in_flight() const { return decode_in_flight_; }
+  void on_decode_scheduled();
+  /// Returns true when the sequence reached its output length.
+  bool on_decode_completed(double now);
+
+  bool done() const { return generated_ >= spec_.output_len; }
+
+  // ---- Preemption (recompute policy) --------------------------------------
+
+  /// Drop all computed KV; generated tokens become forced prefill.
+  void preempt(double now);
+  /// Recompute-preempt a *waiting* sequence: discard its partial prefill
+  /// progress (used to break KV deadlocks among half-admitted prompts).
+  void reset_prefill_progress();
+  int preemptions() const { return preemptions_; }
+
+  void abort() { state_ = SeqState::kAborted; }
+
+  /// Virtual-engine cohort (vLLM-V0 pinning; -1 = unassigned / pinning off).
+  int cohort() const { return cohort_; }
+  void set_cohort(int cohort) { cohort_ = cohort; }
+
+  // ---- Timestamps ----------------------------------------------------------
+
+  double first_token_time() const { return first_token_time_; }
+  double finish_time() const { return finish_time_; }
+  double ttft() const { return first_token_time_ - spec_.arrival; }
+  double e2e_latency() const { return finish_time_ - spec_.arrival; }
+  /// Mean inter-token latency after the first token (0 for single-token outputs).
+  double tpot() const;
+
+ private:
+  workload::RequestSpec spec_;
+  SeqState state_ = SeqState::kWaiting;
+
+  int prefill_target_;
+  int scheduled_prefill_ = 0;
+  int outstanding_chunks_ = 0;
+
+  int generated_ = 0;
+  bool decode_in_flight_ = false;
+
+  int preemptions_ = 0;
+  int cohort_ = -1;
+  double first_token_time_ = -1.0;
+  double finish_time_ = -1.0;
+};
+
+}  // namespace gllm::engine

@@ -1,0 +1,38 @@
+#include "hw/cluster.hpp"
+
+namespace gllm::hw::clusters {
+
+ClusterSpec l20_node(int gpus) {
+  ClusterSpec c;
+  c.name = "1x" + std::to_string(gpus) + "xL20";
+  c.gpu = gpus::l20_48g();
+  c.nodes = 1;
+  c.gpus_per_node = gpus;
+  c.intra_node = links::pcie4();
+  c.inter_node = links::sim_network();
+  return c;
+}
+
+ClusterSpec a100_cross_node(int nodes) {
+  ClusterSpec c;
+  c.name = std::to_string(nodes) + "x1xA100";
+  c.gpu = gpus::a100_40g();
+  c.nodes = nodes;
+  c.gpus_per_node = 1;
+  c.intra_node = links::pcie4();
+  c.inter_node = links::sim_network();
+  return c;
+}
+
+ClusterSpec a800_cross_node(int nodes) {
+  ClusterSpec c;
+  c.name = std::to_string(nodes) + "x1xA800";
+  c.gpu = gpus::a800_80g();
+  c.nodes = nodes;
+  c.gpus_per_node = 1;
+  c.intra_node = links::pcie4();
+  c.inter_node = links::sim_network();
+  return c;
+}
+
+}  // namespace gllm::hw::clusters

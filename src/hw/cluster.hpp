@@ -1,0 +1,47 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "hw/gpu.hpp"
+#include "hw/interconnect.hpp"
+
+namespace gllm::hw {
+
+/// Homogeneous cluster: `nodes` machines with `gpus_per_node` identical GPUs,
+/// an intra-node link between GPUs on the same machine and an inter-node link
+/// otherwise. This matches the paper's three testbed configurations.
+struct ClusterSpec {
+  std::string name;
+  GpuSpec gpu;
+  int nodes = 1;
+  int gpus_per_node = 1;
+  LinkSpec intra_node;
+  LinkSpec inter_node;
+
+  int total_gpus() const { return nodes * gpus_per_node; }
+  int node_of(int gpu_index) const {
+    if (gpu_index < 0 || gpu_index >= total_gpus())
+      throw std::out_of_range("ClusterSpec::node_of: gpu index out of range");
+    return gpu_index / gpus_per_node;
+  }
+
+  /// Link used between two distinct GPUs.
+  const LinkSpec& link_between(int a, int b) const {
+    return node_of(a) == node_of(b) ? intra_node : inter_node;
+  }
+
+  /// Worst link spanning all GPUs — what a TP all-reduce is bottlenecked by.
+  const LinkSpec& spanning_link() const { return nodes > 1 ? inter_node : intra_node; }
+};
+
+namespace clusters {
+/// 1 node, 4x L20-48G over PCIe (paper intra-node testbed).
+ClusterSpec l20_node(int gpus = 4);
+/// `nodes` nodes, 1x A100-40G each over the simulated 73 Gbps network.
+ClusterSpec a100_cross_node(int nodes = 4);
+/// `nodes` nodes, 1x A800-80G each over the simulated 73 Gbps network.
+ClusterSpec a800_cross_node(int nodes = 4);
+}  // namespace clusters
+
+}  // namespace gllm::hw

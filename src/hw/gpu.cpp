@@ -1,0 +1,46 @@
+#include "hw/gpu.hpp"
+
+#include "util/units.hpp"
+
+namespace gllm::hw::gpus {
+
+using util::kGiB;
+using util::kTera;
+
+GpuSpec l20_48g() {
+  GpuSpec g;
+  g.name = "L20-48G";
+  g.memory_bytes = 48.0 * kGiB;
+  g.memory_bw = 864e9;
+  g.peak_flops = 59.8 * kTera;  // dense BF16
+  return g;
+}
+
+GpuSpec a100_40g() {
+  GpuSpec g;
+  g.name = "A100-40G";
+  g.memory_bytes = 40.0 * kGiB;
+  g.memory_bw = 1555e9;
+  g.peak_flops = 312.0 * kTera;
+  return g;
+}
+
+GpuSpec a800_80g() {
+  GpuSpec g;
+  g.name = "A800-80G";
+  g.memory_bytes = 80.0 * kGiB;
+  g.memory_bw = 2039e9;
+  g.peak_flops = 312.0 * kTera;
+  return g;
+}
+
+GpuSpec h100_80g() {
+  GpuSpec g;
+  g.name = "H100-80G";
+  g.memory_bytes = 80.0 * kGiB;
+  g.memory_bw = 3350e9;
+  g.peak_flops = 989.0 * kTera;
+  return g;
+}
+
+}  // namespace gllm::hw::gpus

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+namespace gllm::hw {
+
+/// Static description of one accelerator, the knobs the roofline cost model
+/// needs. Peak numbers are dense (non-sparse) BF16 tensor-core throughput and
+/// vendor HBM bandwidth; achievable fractions are modelled separately so the
+/// presets stay recognisable against spec sheets.
+struct GpuSpec {
+  std::string name;
+  double memory_bytes = 0;       ///< Total device memory.
+  double memory_bw = 0;          ///< HBM bandwidth, bytes/s.
+  double peak_flops = 0;         ///< Dense BF16 FLOP/s.
+  double max_mfu = 0.62;         ///< Achievable fraction of peak at saturation.
+  double mem_efficiency = 0.82;  ///< Achievable fraction of HBM bandwidth.
+  double sat_tokens = 48.0;      ///< Tokens at which FLOP efficiency reaches half max.
+  double kernel_overhead = 4e-6; ///< Launch/dispatch overhead per layer, seconds.
+  double iteration_overhead = 1.5e-4;  ///< Fixed per-forward overhead, seconds.
+
+  /// Saturating model-FLOPs-utilisation curve. Small decode batches achieve a
+  /// small fraction of peak; 2k-token prefill chunks approach max_mfu.
+  double flops_efficiency(double tokens) const {
+    if (tokens <= 0.0) return 0.0;
+    return max_mfu * tokens / (tokens + sat_tokens);
+  }
+
+  double effective_mem_bw() const { return memory_bw * mem_efficiency; }
+};
+
+/// Presets matching the paper's three testbeds plus one extra for headroom
+/// studies. All values are public spec-sheet numbers.
+namespace gpus {
+GpuSpec l20_48g();    ///< NVIDIA L20 48 GB (paper intra-node testbed).
+GpuSpec a100_40g();   ///< NVIDIA A100 40 GB (paper cross-node testbed).
+GpuSpec a800_80g();   ///< NVIDIA A800 80 GB (paper cross-node 100B testbed).
+GpuSpec h100_80g();   ///< NVIDIA H100 SXM (extension studies).
+}  // namespace gpus
+
+}  // namespace gllm::hw

@@ -1,0 +1,65 @@
+#include "hw/interconnect.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gllm::hw {
+
+double CommModel::p2p_time(double bytes) const {
+  if (bytes < 0) throw std::invalid_argument("p2p_time: negative bytes");
+  if (bytes == 0) return 0.0;
+  return link_.latency + bytes / link_.bandwidth;
+}
+
+double CommModel::allreduce_time(double bytes, int n) const {
+  if (n < 1) throw std::invalid_argument("allreduce_time: n must be >= 1");
+  if (n == 1 || bytes == 0) return 0.0;
+  const double steps = 2.0 * (n - 1);
+  const double traffic = 2.0 * (n - 1) / n * bytes;
+  return steps * link_.latency + traffic / collective_bw();
+}
+
+double CommModel::allgather_time(double bytes, int n) const {
+  if (n < 1) throw std::invalid_argument("allgather_time: n must be >= 1");
+  if (n == 1 || bytes == 0) return 0.0;
+  const double steps = static_cast<double>(n - 1);
+  const double traffic = static_cast<double>(n - 1) / n * bytes;
+  return steps * link_.latency + traffic / collective_bw();
+}
+
+double CommModel::broadcast_time(double bytes, int n) const {
+  if (n < 1) throw std::invalid_argument("broadcast_time: n must be >= 1");
+  if (n == 1 || bytes == 0) return 0.0;
+  const double hops = std::ceil(std::log2(static_cast<double>(n)));
+  return hops * (link_.latency + bytes / link_.bandwidth);
+}
+
+namespace links {
+
+LinkSpec pcie4() {
+  // The paper measures 20.79 GB/s for PCIe-based p2p on their testbed.
+  // Collectives over PCIe (rings through host memory, root-complex
+  // contention) achieve roughly 0.45x of p2p in NCCL algbw terms.
+  return LinkSpec{"PCIe4", 20.79e9, 8e-6, /*cross_node=*/false,
+                  /*collective_efficiency=*/0.45};
+}
+
+LinkSpec nvlink() {
+  return LinkSpec{"NVLink", 300e9, 3e-6, /*cross_node=*/false,
+                  /*collective_efficiency=*/0.90};
+}
+
+LinkSpec sim_network() {
+  // 73.28 Gbps measured with NCCL_SHM_DISABLE=1, NCCL_P2P_DISABLE=1.
+  return LinkSpec{"SimNet-73Gbps", 73.28e9 / 8.0, 5e-5, /*cross_node=*/true,
+                  /*collective_efficiency=*/0.70};
+}
+
+LinkSpec loopback() {
+  return LinkSpec{"loopback", 1e15, 0.0, /*cross_node=*/false,
+                  /*collective_efficiency=*/1.0};
+}
+
+}  // namespace links
+
+}  // namespace gllm::hw

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+namespace gllm::hw {
+
+/// Point-to-point link in the standard alpha-beta model:
+/// transfer time = alpha (latency) + bytes / beta (bandwidth).
+struct LinkSpec {
+  std::string name;
+  double bandwidth = 0;  ///< bytes/s for point-to-point (effective, as measured).
+  double latency = 0;    ///< one-way latency, seconds.
+  bool cross_node = false;
+  /// Fraction of p2p bandwidth achieved by multi-rank collectives. PCIe
+  /// rings without P2P bounce through host memory and contend on the root
+  /// complex, so NCCL all-reduce algbw lands well below the p2p number.
+  double collective_efficiency = 1.0;
+};
+
+/// Collective/point-to-point timing built on alpha-beta links. These model
+/// NCCL-style algorithms (ring all-reduce, tree broadcast); the paper's TP
+/// baseline and PP activation transfers are all expressible with these ops.
+class CommModel {
+ public:
+  explicit CommModel(LinkSpec link) : link_(std::move(link)) {}
+
+  const LinkSpec& link() const { return link_; }
+
+  /// Send `bytes` from one rank to a neighbour.
+  double p2p_time(double bytes) const;
+
+  /// Ring all-reduce over `n` ranks: 2(n-1)/n * bytes of traffic per rank.
+  double allreduce_time(double bytes, int n) const;
+
+  /// All-gather over `n` ranks: (n-1)/n * bytes per rank.
+  double allgather_time(double bytes, int n) const;
+
+  /// Binary-tree broadcast of `bytes` to `n-1` receivers.
+  double broadcast_time(double bytes, int n) const;
+
+ private:
+  double collective_bw() const { return link_.bandwidth * link_.collective_efficiency; }
+
+  LinkSpec link_;
+};
+
+/// Presets mirroring the paper's measured interconnects.
+namespace links {
+LinkSpec pcie4();        ///< Measured PCIe-based p2p: 20.79 GB/s (paper 4.1).
+LinkSpec nvlink();       ///< NVLink 3 class, extension studies.
+LinkSpec sim_network();  ///< Simulated network: 73.28 Gbps (paper 4.1).
+LinkSpec loopback();     ///< Same-device; near-zero cost (TP degree 1 etc).
+}  // namespace links
+
+}  // namespace gllm::hw

@@ -1,0 +1,51 @@
+#include "kv/block_allocator.hpp"
+
+#include <stdexcept>
+
+namespace gllm::kv {
+
+BlockAllocator::BlockAllocator(std::int32_t total_blocks, int block_size_tokens)
+    : total_(total_blocks), block_size_(block_size_tokens) {
+  if (total_blocks < 0) throw std::invalid_argument("BlockAllocator: negative pool size");
+  if (block_size_tokens <= 0)
+    throw std::invalid_argument("BlockAllocator: block size must be > 0");
+  ref_counts_.assign(static_cast<std::size_t>(total_), 0);
+  free_.reserve(static_cast<std::size_t>(total_));
+  // Populate so that block 0 is handed out first (pop from the back).
+  for (BlockId id = total_ - 1; id >= 0; --id) free_.push_back(id);
+}
+
+std::optional<BlockId> BlockAllocator::allocate() {
+  if (free_.empty()) return std::nullopt;
+  const BlockId id = free_.back();
+  free_.pop_back();
+  ref_counts_[static_cast<std::size_t>(id)] = 1;
+  return id;
+}
+
+void BlockAllocator::check_live(BlockId id) const {
+  if (id < 0 || id >= total_)
+    throw std::out_of_range("BlockAllocator: block id out of range");
+  if (ref_counts_[static_cast<std::size_t>(id)] == 0)
+    throw std::logic_error("BlockAllocator: operation on a free block");
+}
+
+void BlockAllocator::add_ref(BlockId id) {
+  check_live(id);
+  ++ref_counts_[static_cast<std::size_t>(id)];
+}
+
+int BlockAllocator::release(BlockId id) {
+  check_live(id);
+  int& count = ref_counts_[static_cast<std::size_t>(id)];
+  if (--count == 0) free_.push_back(id);
+  return count;
+}
+
+int BlockAllocator::ref_count(BlockId id) const {
+  if (id < 0 || id >= total_)
+    throw std::out_of_range("BlockAllocator: block id out of range");
+  return ref_counts_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace gllm::kv

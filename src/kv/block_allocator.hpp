@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gllm::kv {
+
+using BlockId = std::int32_t;
+inline constexpr BlockId kInvalidBlock = -1;
+
+/// Fixed-pool allocator of KV-cache blocks with reference counting.
+///
+/// Reference counts support prefix sharing (vLLM-style): a block cached by
+/// the prefix cache and referenced by two sequences has refcount 3. A block
+/// returns to the free list only when its count reaches zero.
+class BlockAllocator {
+ public:
+  BlockAllocator(std::int32_t total_blocks, int block_size_tokens);
+
+  /// Allocate a block with refcount 1; std::nullopt when the pool is empty.
+  std::optional<BlockId> allocate();
+
+  /// Increment the reference count of a live block.
+  void add_ref(BlockId id);
+
+  /// Decrement; the block is freed when the count reaches zero.
+  /// Returns the remaining count.
+  int release(BlockId id);
+
+  int ref_count(BlockId id) const;
+
+  std::int32_t total_blocks() const { return total_; }
+  std::int32_t free_blocks() const { return static_cast<std::int32_t>(free_.size()); }
+  std::int32_t used_blocks() const { return total_ - free_blocks(); }
+  int block_size() const { return block_size_; }
+
+  double free_fraction() const {
+    return total_ ? static_cast<double>(free_blocks()) / total_ : 0.0;
+  }
+
+ private:
+  void check_live(BlockId id) const;
+
+  std::int32_t total_;
+  int block_size_;
+  std::vector<BlockId> free_;     // LIFO free list
+  std::vector<int> ref_counts_;   // 0 == free
+};
+
+}  // namespace gllm::kv

@@ -1,0 +1,166 @@
+#include "kv/kv_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gllm::kv {
+
+namespace {
+std::int32_t blocks_for_capacity(std::int64_t capacity_tokens, int block_size) {
+  if (capacity_tokens < 0) throw std::invalid_argument("KvManager: negative capacity");
+  if (block_size <= 0) throw std::invalid_argument("KvManager: block size must be > 0");
+  return static_cast<std::int32_t>(capacity_tokens / block_size);
+}
+}  // namespace
+
+KvManager::KvManager(std::int64_t capacity_tokens, int block_size, bool prefix_caching)
+    : allocator_(blocks_for_capacity(capacity_tokens, block_size), block_size) {
+  if (prefix_caching) prefix_ = std::make_unique<PrefixCache>(allocator_);
+}
+
+std::int64_t KvManager::capacity_tokens() const {
+  return static_cast<std::int64_t>(allocator_.total_blocks()) * allocator_.block_size();
+}
+
+double KvManager::free_rate() const {
+  if (allocator_.total_blocks() == 0) return 0.0;
+  std::int64_t reclaimable = allocator_.free_blocks();
+  if (prefix_) reclaimable += prefix_->evictable_blocks();
+  return static_cast<double>(reclaimable) / allocator_.total_blocks();
+}
+
+std::int64_t KvManager::free_token_capacity() const {
+  std::int64_t reclaimable = allocator_.free_blocks();
+  if (prefix_) reclaimable += prefix_->evictable_blocks();
+  return reclaimable * allocator_.block_size();
+}
+
+std::int64_t KvManager::seq_tokens(SeqId id) const {
+  const auto it = tables_.find(id);
+  return it == tables_.end() ? 0 : it->second.n_tokens();
+}
+
+const PageTable& KvManager::table(SeqId id) const {
+  const auto it = tables_.find(id);
+  if (it == tables_.end()) throw std::out_of_range("KvManager::table: unknown sequence");
+  return it->second;
+}
+
+bool KvManager::can_allocate(SeqId id, std::int64_t n_new) const {
+  const auto it = tables_.find(id);
+  const std::int64_t needed = it == tables_.end()
+                                  ? (n_new + block_size() - 1) / block_size()
+                                  : it->second.blocks_needed(n_new);
+  std::int64_t reclaimable = allocator_.free_blocks();
+  if (prefix_) reclaimable += prefix_->evictable_blocks();
+  return needed <= reclaimable;
+}
+
+bool KvManager::reclaim_one() { return prefix_ && prefix_->evict_one(); }
+
+void KvManager::note_utilization() {
+  const double util =
+      allocator_.total_blocks()
+          ? static_cast<double>(allocator_.used_blocks()) / allocator_.total_blocks()
+          : 0.0;
+  stats_.peak_utilization = std::max(stats_.peak_utilization, util);
+}
+
+bool KvManager::allocate(SeqId id, std::int64_t n_new) {
+  if (n_new < 0) throw std::invalid_argument("KvManager::allocate: negative token count");
+  auto [it, inserted] = tables_.try_emplace(id, block_size());
+  PageTable& pt = it->second;
+  const std::int64_t needed = pt.blocks_needed(n_new);
+
+  std::vector<BlockId> fresh;
+  fresh.reserve(static_cast<std::size_t>(needed));
+  for (std::int64_t i = 0; i < needed; ++i) {
+    auto block = allocator_.allocate();
+    while (!block && reclaim_one()) block = allocator_.allocate();
+    if (!block) {
+      for (BlockId b : fresh) allocator_.release(b);
+      if (inserted) tables_.erase(it);
+      ++stats_.alloc_failures;
+      return false;
+    }
+    fresh.push_back(*block);
+  }
+  pt.append(n_new, fresh);
+  stats_.blocks_allocated += needed;
+  note_utilization();
+  return true;
+}
+
+std::int64_t KvManager::allocate_prompt(SeqId id, std::span<const TokenId> tokens) {
+  if (has(id) && tables_.at(id).n_tokens() > 0)
+    throw std::logic_error("KvManager::allocate_prompt: sequence already has KV");
+
+  PrefixCache::Match match;
+  if (prefix_) match = prefix_->match_and_acquire(tokens);
+
+  const std::int64_t remaining = static_cast<std::int64_t>(tokens.size()) - match.n_tokens;
+  auto [it, inserted] = tables_.try_emplace(id, block_size());
+  PageTable& pt = it->second;
+  if (match.n_tokens > 0) pt.adopt_prefix(match.blocks, match.n_tokens);
+
+  std::vector<BlockId> fresh;
+  const std::int64_t needed = pt.blocks_needed(remaining);
+  fresh.reserve(static_cast<std::size_t>(needed));
+  for (std::int64_t i = 0; i < needed; ++i) {
+    auto block = allocator_.allocate();
+    while (!block && reclaim_one()) block = allocator_.allocate();
+    if (!block) {
+      for (BlockId b : fresh) allocator_.release(b);
+      for (BlockId b : match.blocks) allocator_.release(b);
+      tables_.erase(it);
+      ++stats_.alloc_failures;
+      return -1;
+    }
+    fresh.push_back(*block);
+  }
+  pt.append(remaining, fresh);
+  stats_.blocks_allocated += needed;
+  stats_.prefix_hit_tokens += match.n_tokens;
+  note_utilization();
+  return match.n_tokens;
+}
+
+std::int64_t KvManager::adopt_cached_prefix(SeqId id, std::span<const TokenId> tokens,
+                                            std::int64_t max_tokens) {
+  if (!prefix_) return 0;
+  if (has(id) && tables_.at(id).n_tokens() > 0)
+    throw std::logic_error("KvManager::adopt_cached_prefix: sequence already has KV");
+
+  PrefixCache::Match match = prefix_->match_and_acquire(tokens);
+  // Cap the adoption (e.g. the last prompt token must still be computed so
+  // logits exist) to whole blocks; release refs on the surplus.
+  const std::int64_t max_blocks = std::max<std::int64_t>(max_tokens, 0) / block_size();
+  while (static_cast<std::int64_t>(match.blocks.size()) > max_blocks) {
+    allocator_.release(match.blocks.back());
+    match.blocks.pop_back();
+    match.n_tokens -= block_size();
+  }
+  if (match.n_tokens <= 0) return 0;
+
+  auto [it, inserted] = tables_.try_emplace(id, block_size());
+  it->second.adopt_prefix(match.blocks, match.n_tokens);
+  stats_.prefix_hit_tokens += match.n_tokens;
+  note_utilization();
+  return match.n_tokens;
+}
+
+void KvManager::register_prefix(SeqId id, std::span<const TokenId> tokens) {
+  if (!prefix_) return;
+  const auto it = tables_.find(id);
+  if (it == tables_.end()) throw std::out_of_range("KvManager::register_prefix: unknown sequence");
+  prefix_->insert(tokens, it->second.blocks());
+}
+
+void KvManager::free_seq(SeqId id) {
+  const auto it = tables_.find(id);
+  if (it == tables_.end()) return;
+  for (BlockId b : it->second.blocks()) allocator_.release(b);
+  tables_.erase(it);
+}
+
+}  // namespace gllm::kv

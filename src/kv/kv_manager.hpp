@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/block_allocator.hpp"
+#include "kv/page_table.hpp"
+#include "kv/prefix_cache.hpp"
+
+namespace gllm::kv {
+
+using SeqId = std::int64_t;
+
+/// Counters the schedulers and reports consume.
+struct KvStats {
+  std::int64_t alloc_failures = 0;   ///< allocate() calls that returned false
+  std::int64_t blocks_allocated = 0;
+  std::int64_t prefix_hit_tokens = 0;
+  double peak_utilization = 0.0;     ///< max fraction of blocks in use
+};
+
+/// Unified paged KV-cache manager, shared by all pipeline stages.
+///
+/// The paper (3.3): "The driver worker is responsible for the KV cache
+/// management and all the workers share the page tables like vLLM"; the KV
+/// free rate it exposes is the input to UT throttling (eq. 2/3).
+///
+/// Capacity is expressed in tokens; each stage stores its own layers' K/V for
+/// every resident token, so one logical token consumes one slot in each
+/// stage's physical pool — a single allocator models all of them.
+class KvManager {
+ public:
+  KvManager(std::int64_t capacity_tokens, int block_size, bool prefix_caching = false);
+
+  int block_size() const { return allocator_.block_size(); }
+  std::int64_t capacity_tokens() const;
+  std::int64_t total_blocks() const { return allocator_.total_blocks(); }
+  std::int64_t free_blocks() const { return allocator_.free_blocks(); }
+
+  /// KV_free in the paper's equations: reclaimable fraction of the pool
+  /// (free blocks plus evictable cached blocks).
+  double free_rate() const;
+  double utilization() const { return 1.0 - free_rate(); }
+
+  /// Tokens that can still be admitted before the pool is exhausted
+  /// (conservative: whole free blocks only).
+  std::int64_t free_token_capacity() const;
+
+  bool has(SeqId id) const { return tables_.contains(id); }
+  std::int64_t seq_tokens(SeqId id) const;
+  const PageTable& table(SeqId id) const;
+
+  /// Would allocate(id, n_new) succeed right now (counting evictable blocks)?
+  bool can_allocate(SeqId id, std::int64_t n_new) const;
+
+  /// Extend `id`'s cache by `n_new` tokens. All-or-nothing; returns false and
+  /// leaves state unchanged when the pool (after eviction) cannot satisfy it.
+  bool allocate(SeqId id, std::int64_t n_new);
+
+  /// Prompt admission with prefix reuse: matches the longest cached prefix of
+  /// `tokens`, adopts those blocks, allocates the rest. Returns the number of
+  /// reused tokens, or -1 (state unchanged) when capacity is insufficient.
+  /// Only valid for sequences without existing KV.
+  std::int64_t allocate_prompt(SeqId id, std::span<const TokenId> tokens);
+
+  /// Adopt only the cached prefix of `tokens` (no new allocation), capped at
+  /// `max_tokens` (rounded down to whole blocks). Returns the reused token
+  /// count (0 when caching is off or nothing matches). Only valid for
+  /// sequences without existing KV; the caller then extends with allocate().
+  std::int64_t adopt_cached_prefix(SeqId id, std::span<const TokenId> tokens,
+                                   std::int64_t max_tokens);
+
+  /// Register a finished prompt's full blocks for future reuse (no-op unless
+  /// prefix caching is enabled).
+  void register_prefix(SeqId id, std::span<const TokenId> tokens);
+
+  /// Release all of `id`'s blocks (preemption or completion).
+  void free_seq(SeqId id);
+
+  const KvStats& stats() const { return stats_; }
+  const PrefixCache* prefix_cache() const { return prefix_.get(); }
+
+ private:
+  bool reclaim_one();
+  void note_utilization();
+
+  BlockAllocator allocator_;
+  std::unique_ptr<PrefixCache> prefix_;
+  std::unordered_map<SeqId, PageTable> tables_;
+  KvStats stats_;
+};
+
+}  // namespace gllm::kv

@@ -1,0 +1,42 @@
+#include "kv/page_table.hpp"
+
+#include <stdexcept>
+
+namespace gllm::kv {
+
+std::int64_t PageTable::blocks_needed(std::int64_t n_new) const {
+  if (n_new < 0) throw std::invalid_argument("PageTable::blocks_needed: negative count");
+  const std::int64_t total_after = n_tokens_ + n_new;
+  const std::int64_t blocks_after = (total_after + block_size_ - 1) / block_size_;
+  return blocks_after - static_cast<std::int64_t>(blocks_.size());
+}
+
+void PageTable::append(std::int64_t n_new, const std::vector<BlockId>& fresh_blocks) {
+  if (static_cast<std::int64_t>(fresh_blocks.size()) != blocks_needed(n_new))
+    throw std::invalid_argument("PageTable::append: wrong number of fresh blocks");
+  blocks_.insert(blocks_.end(), fresh_blocks.begin(), fresh_blocks.end());
+  n_tokens_ += n_new;
+}
+
+void PageTable::adopt_prefix(const std::vector<BlockId>& cached,
+                             std::int64_t n_cached_tokens) {
+  if (n_tokens_ != 0 || !blocks_.empty())
+    throw std::logic_error("PageTable::adopt_prefix: table not empty");
+  if (n_cached_tokens != static_cast<std::int64_t>(cached.size()) * block_size_)
+    throw std::invalid_argument("PageTable::adopt_prefix: prefix must be whole blocks");
+  blocks_ = cached;
+  n_tokens_ = n_cached_tokens;
+}
+
+BlockId PageTable::block_of(std::int64_t token_index) const {
+  if (token_index < 0 || token_index >= n_tokens_)
+    throw std::out_of_range("PageTable::block_of: token index out of range");
+  return blocks_[static_cast<std::size_t>(token_index / block_size_)];
+}
+
+int PageTable::slack() const {
+  const std::int64_t capacity = static_cast<std::int64_t>(blocks_.size()) * block_size_;
+  return static_cast<int>(capacity - n_tokens_);
+}
+
+}  // namespace gllm::kv

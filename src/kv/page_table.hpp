@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/block_allocator.hpp"
+
+namespace gllm::kv {
+
+/// Logical-to-physical block mapping of one sequence's KV cache.
+///
+/// Token `i` lives in physical block `blocks()[i / block_size]` at slot
+/// `i % block_size`. All pipeline stages share one page table (the paper:
+/// "all the workers share the page tables like vLLM"), so this structure is
+/// stage-agnostic.
+class PageTable {
+ public:
+  explicit PageTable(int block_size) : block_size_(block_size) {}
+
+  int block_size() const { return block_size_; }
+  std::int64_t n_tokens() const { return n_tokens_; }
+  const std::vector<BlockId>& blocks() const { return blocks_; }
+
+  /// Blocks that must be appended to store `n_new` more tokens.
+  std::int64_t blocks_needed(std::int64_t n_new) const;
+
+  /// Record `n_new` tokens; `fresh_blocks` must be exactly blocks_needed(n_new).
+  void append(std::int64_t n_new, const std::vector<BlockId>& fresh_blocks);
+
+  /// Adopt pre-populated (prefix-cached) blocks; only valid while empty.
+  void adopt_prefix(const std::vector<BlockId>& cached, std::int64_t n_cached_tokens);
+
+  /// Physical block holding token index `i`.
+  BlockId block_of(std::int64_t token_index) const;
+
+  /// Free capacity in the final block (0 when exactly full or empty).
+  int slack() const;
+
+  void clear() {
+    blocks_.clear();
+    n_tokens_ = 0;
+  }
+
+ private:
+  int block_size_;
+  std::int64_t n_tokens_ = 0;
+  std::vector<BlockId> blocks_;
+};
+
+}  // namespace gllm::kv

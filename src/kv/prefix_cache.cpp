@@ -1,0 +1,77 @@
+#include "kv/prefix_cache.hpp"
+
+namespace gllm::kv {
+
+std::uint64_t PrefixCache::chain_hash(std::uint64_t prev, std::span<const TokenId> block) {
+  // FNV-1a over the token bytes, seeded by the previous block's hash so equal
+  // blocks at different prompt offsets do not collide.
+  std::uint64_t h = prev ^ 0xcbf29ce484222325ULL;
+  for (TokenId t : block) {
+    auto v = static_cast<std::uint64_t>(static_cast<std::uint32_t>(t));
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (v >> shift) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+PrefixCache::Match PrefixCache::match_and_acquire(std::span<const TokenId> tokens) {
+  ++lookups_;
+  Match match;
+  const auto block_size = static_cast<std::size_t>(allocator_.block_size());
+  std::uint64_t h = 0;
+  for (std::size_t off = 0; off + block_size <= tokens.size(); off += block_size) {
+    h = chain_hash(h, tokens.subspan(off, block_size));
+    auto it = by_hash_.find(h);
+    if (it == by_hash_.end()) break;
+    allocator_.add_ref(it->second.block);
+    match.blocks.push_back(it->second.block);
+    match.n_tokens += static_cast<std::int64_t>(block_size);
+    // Refresh recency.
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(h);
+    it->second.lru_it = lru_.begin();
+  }
+  hit_tokens_ += match.n_tokens;
+  return match;
+}
+
+void PrefixCache::insert(std::span<const TokenId> tokens, std::span<const BlockId> blocks) {
+  const auto block_size = static_cast<std::size_t>(allocator_.block_size());
+  std::uint64_t h = 0;
+  std::size_t block_idx = 0;
+  for (std::size_t off = 0; off + block_size <= tokens.size(); off += block_size, ++block_idx) {
+    if (block_idx >= blocks.size()) break;
+    h = chain_hash(h, tokens.subspan(off, block_size));
+    if (by_hash_.contains(h)) continue;
+    allocator_.add_ref(blocks[block_idx]);  // cache's own reference
+    lru_.push_front(h);
+    by_hash_.emplace(h, Entry{blocks[block_idx], lru_.begin()});
+  }
+}
+
+bool PrefixCache::evict_one() {
+  // Scan from least-recent; skip blocks still used by live sequences.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto entry_it = by_hash_.find(*it);
+    if (entry_it == by_hash_.end()) continue;
+    if (allocator_.ref_count(entry_it->second.block) == 1) {
+      allocator_.release(entry_it->second.block);
+      lru_.erase(std::next(it).base());
+      by_hash_.erase(entry_it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t PrefixCache::evictable_blocks() const {
+  std::int64_t n = 0;
+  for (const auto& [hash, entry] : by_hash_) {
+    if (allocator_.ref_count(entry.block) == 1) ++n;
+  }
+  return n;
+}
+
+}  // namespace gllm::kv

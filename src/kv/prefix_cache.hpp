@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/block_allocator.hpp"
+
+namespace gllm::kv {
+
+using TokenId = std::int32_t;
+
+/// Hash-chained prompt-prefix cache (the vLLM "automatic prefix caching"
+/// scheme the paper integrates, §3.4).
+///
+/// Each *full* block of a prompt is identified by a chained hash of its
+/// contents and everything before it. Cached blocks hold one reference from
+/// the cache itself; sequences that reuse them take extra references. Blocks
+/// whose only reference is the cache's are *evictable* and are reclaimed in
+/// LRU order when the allocator runs dry.
+///
+/// The paper's main benchmarks disable prefix reuse for fairness; this class
+/// exists because gLLM ships it as a feature, and the extension benchmarks
+/// ablate it.
+class PrefixCache {
+ public:
+  explicit PrefixCache(BlockAllocator& allocator) : allocator_(allocator) {}
+
+  /// Longest cached prefix of `tokens` in whole blocks. Takes a reference on
+  /// every matched block on behalf of the caller and refreshes LRU order.
+  struct Match {
+    std::vector<BlockId> blocks;
+    std::int64_t n_tokens = 0;
+  };
+  Match match_and_acquire(std::span<const TokenId> tokens);
+
+  /// Register the (already computed) full blocks of `tokens`. `blocks` is the
+  /// sequence's complete block list; only full blocks are cached. Idempotent:
+  /// already-cached hashes are skipped.
+  void insert(std::span<const TokenId> tokens, std::span<const BlockId> blocks);
+
+  /// Evict the least recently used block that only the cache references.
+  /// Returns false when nothing is evictable.
+  bool evict_one();
+
+  /// Blocks that could be reclaimed right now.
+  std::int64_t evictable_blocks() const;
+
+  std::size_t size() const { return by_hash_.size(); }
+
+  // Telemetry.
+  std::int64_t hit_tokens() const { return hit_tokens_; }
+  std::int64_t lookups() const { return lookups_; }
+
+ private:
+  struct Entry {
+    BlockId block;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  static std::uint64_t chain_hash(std::uint64_t prev, std::span<const TokenId> block);
+
+  BlockAllocator& allocator_;
+  std::unordered_map<std::uint64_t, Entry> by_hash_;
+  std::list<std::uint64_t> lru_;  // front == most recent
+  std::int64_t hit_tokens_ = 0;
+  std::int64_t lookups_ = 0;
+};
+
+}  // namespace gllm::kv

@@ -1,0 +1,150 @@
+#include "model/config.hpp"
+
+#include <stdexcept>
+
+namespace gllm::model {
+
+std::int64_t ModelConfig::attn_params_per_layer() const {
+  const std::int64_t q_dim = static_cast<std::int64_t>(n_heads) * head_dim;
+  const std::int64_t kv_dim = static_cast<std::int64_t>(n_kv_heads) * head_dim;
+  const std::int64_t q = static_cast<std::int64_t>(hidden) * q_dim;
+  const std::int64_t k = static_cast<std::int64_t>(hidden) * kv_dim;
+  const std::int64_t v = k;
+  const std::int64_t o = q_dim * hidden;
+  return q + k + v + o;
+}
+
+std::int64_t ModelConfig::mlp_params_per_layer() const {
+  const std::int64_t one_expert = 3LL * hidden * intermediate;  // gate, up, down
+  if (!is_moe()) return one_expert;
+  return one_expert * n_experts + static_cast<std::int64_t>(hidden) * n_experts;  // + router
+}
+
+std::int64_t ModelConfig::active_mlp_params_per_layer() const {
+  const std::int64_t one_expert = 3LL * hidden * intermediate;
+  if (!is_moe()) return one_expert;
+  return one_expert * experts_per_token + static_cast<std::int64_t>(hidden) * n_experts;
+}
+
+std::int64_t ModelConfig::norm_params_per_layer() const { return 2LL * hidden; }
+
+std::int64_t ModelConfig::params_per_layer() const {
+  return attn_params_per_layer() + mlp_params_per_layer() + norm_params_per_layer();
+}
+
+std::int64_t ModelConfig::embedding_params() const {
+  return static_cast<std::int64_t>(vocab) * hidden;
+}
+
+std::int64_t ModelConfig::lm_head_params() const {
+  return tie_embeddings ? 0 : embedding_params();
+}
+
+std::int64_t ModelConfig::total_params() const {
+  return params_per_layer() * n_layers + embedding_params() + lm_head_params() +
+         hidden;  // final norm
+}
+
+void ModelConfig::validate() const {
+  if (n_layers <= 0) throw std::invalid_argument("ModelConfig: n_layers must be > 0");
+  if (n_experts < 0) throw std::invalid_argument("ModelConfig: n_experts must be >= 0");
+  if (is_moe() && (experts_per_token <= 0 || experts_per_token > n_experts))
+    throw std::invalid_argument("ModelConfig: experts_per_token must be in [1, n_experts]");
+  if (!is_moe() && experts_per_token != 0)
+    throw std::invalid_argument("ModelConfig: experts_per_token requires n_experts > 0");
+  if (hidden <= 0) throw std::invalid_argument("ModelConfig: hidden must be > 0");
+  if (n_heads <= 0) throw std::invalid_argument("ModelConfig: n_heads must be > 0");
+  if (n_kv_heads <= 0 || n_heads % n_kv_heads != 0)
+    throw std::invalid_argument("ModelConfig: n_kv_heads must divide n_heads");
+  if (head_dim <= 0) throw std::invalid_argument("ModelConfig: head_dim must be > 0");
+  if (intermediate <= 0) throw std::invalid_argument("ModelConfig: intermediate must be > 0");
+  if (vocab <= 0) throw std::invalid_argument("ModelConfig: vocab must be > 0");
+  if (dtype_bytes <= 0) throw std::invalid_argument("ModelConfig: dtype_bytes must be > 0");
+}
+
+namespace presets {
+
+ModelConfig qwen2_5_14b() {
+  ModelConfig m;
+  m.name = "Qwen2.5-14B";
+  m.n_layers = 48;
+  m.hidden = 5120;
+  m.n_heads = 40;
+  m.n_kv_heads = 8;
+  m.head_dim = 128;
+  m.intermediate = 13824;
+  m.vocab = 152064;
+  return m;
+}
+
+ModelConfig qwen2_5_32b() {
+  ModelConfig m;
+  m.name = "Qwen2.5-32B";
+  m.n_layers = 64;
+  m.hidden = 5120;
+  m.n_heads = 40;
+  m.n_kv_heads = 8;
+  m.head_dim = 128;
+  m.intermediate = 27648;
+  m.vocab = 152064;
+  return m;
+}
+
+ModelConfig mixtral_8x7b() {
+  ModelConfig m;
+  m.name = "Mixtral-8x7B";
+  m.n_layers = 32;
+  m.hidden = 4096;
+  m.n_heads = 32;
+  m.n_kv_heads = 8;
+  m.head_dim = 128;
+  m.intermediate = 14336;
+  m.vocab = 32000;
+  m.n_experts = 8;
+  m.experts_per_token = 2;
+  return m;
+}
+
+ModelConfig llama3_1_100b() {
+  ModelConfig m;
+  m.name = "Llama3.1-100B";
+  m.n_layers = 30;  // downscaled from 405B's 126 layers to ~100B params
+  m.hidden = 16384;
+  m.n_heads = 128;
+  m.n_kv_heads = 8;
+  m.head_dim = 128;
+  m.intermediate = 53248;
+  m.vocab = 128256;
+  return m;
+}
+
+ModelConfig llama3_1_8b() {
+  ModelConfig m;
+  m.name = "Llama3.1-8B";
+  m.n_layers = 32;
+  m.hidden = 4096;
+  m.n_heads = 32;
+  m.n_kv_heads = 8;
+  m.head_dim = 128;
+  m.intermediate = 14336;
+  m.vocab = 128256;
+  return m;
+}
+
+ModelConfig tiny() {
+  ModelConfig m;
+  m.name = "tiny";
+  m.n_layers = 8;
+  m.hidden = 64;
+  m.n_heads = 4;
+  m.n_kv_heads = 2;
+  m.head_dim = 16;
+  m.intermediate = 172;
+  m.vocab = 256;
+  m.dtype_bytes = 4;  // the CPU runtime computes in fp32
+  return m;
+}
+
+}  // namespace presets
+
+}  // namespace gllm::model

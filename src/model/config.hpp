@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gllm::model {
+
+/// Architecture description of a decoder-only transformer (the only family
+/// the paper serves). All parameter/byte accounting used by the cost model
+/// and KV manager derives from these fields.
+struct ModelConfig {
+  std::string name;
+  int n_layers = 0;
+  int hidden = 0;
+  int n_heads = 0;
+  int n_kv_heads = 0;   ///< GQA group count (== n_heads for MHA).
+  int head_dim = 0;
+  int intermediate = 0; ///< SwiGLU MLP width (gate/up/down are hidden x intermediate).
+  int vocab = 0;
+  int dtype_bytes = 2;  ///< bf16 by default.
+  bool tie_embeddings = false;
+
+  /// Mixture-of-experts (0 experts = dense). Each layer carries `n_experts`
+  /// independent SwiGLU MLPs plus a router; each token activates
+  /// `experts_per_token` of them. The paper's §6 names expert-activation
+  /// variability as the next source of inter-batch imbalance.
+  int n_experts = 0;
+  int experts_per_token = 0;
+
+  bool is_moe() const { return n_experts > 0; }
+
+  // ---- Derived parameter counts ----------------------------------------
+
+  /// q/k/v/o projections of one layer.
+  std::int64_t attn_params_per_layer() const;
+  /// gate/up/down of one layer — all experts plus the router for MoE.
+  std::int64_t mlp_params_per_layer() const;
+  /// Parameters actually touched per token in one layer's MLP
+  /// (experts_per_token experts + router for MoE; the whole MLP when dense).
+  std::int64_t active_mlp_params_per_layer() const;
+  /// RMSNorm weights of one layer (2 norms).
+  std::int64_t norm_params_per_layer() const;
+  std::int64_t params_per_layer() const;
+  std::int64_t embedding_params() const;  ///< token embedding table
+  std::int64_t lm_head_params() const;    ///< output projection (0 if tied)
+  std::int64_t total_params() const;
+
+  double total_weight_bytes() const {
+    return static_cast<double>(total_params()) * dtype_bytes;
+  }
+
+  /// KV cache bytes for one token in one layer (K and V).
+  std::int64_t kv_bytes_per_token_layer() const {
+    return 2LL * n_kv_heads * head_dim * dtype_bytes;
+  }
+  /// KV cache bytes for one token across all layers.
+  std::int64_t kv_bytes_per_token() const {
+    return kv_bytes_per_token_layer() * n_layers;
+  }
+
+  /// Size of the activation tensor handed between pipeline stages, per token.
+  std::int64_t activation_bytes_per_token() const {
+    return static_cast<std::int64_t>(hidden) * dtype_bytes;
+  }
+
+  /// Throws std::invalid_argument when fields are inconsistent.
+  void validate() const;
+};
+
+/// Presets used in the paper's evaluation (4.1) plus small models for tests.
+namespace presets {
+ModelConfig qwen2_5_14b();
+ModelConfig qwen2_5_32b();
+/// Mixtral-8x7B-class MoE (8 experts, top-2) for the paper's §6 MoE
+/// extension studies.
+ModelConfig mixtral_8x7b();
+/// Llama-3.1-405B downscaled to ~100B by reducing layer count, as in the
+/// paper ("downscaled from Llama3.1-405B to fit in GPU memory").
+ModelConfig llama3_1_100b();
+ModelConfig llama3_1_8b();
+/// Tiny config for the real CPU runtime and unit tests.
+ModelConfig tiny();
+}  // namespace presets
+
+}  // namespace gllm::model

@@ -1,0 +1,122 @@
+#include "model/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gllm::model {
+
+CostModel::CostModel(ModelConfig cfg, hw::GpuSpec gpu)
+    : cfg_(std::move(cfg)), gpu_(std::move(gpu)) {
+  cfg_.validate();
+}
+
+StageTimeBreakdown CostModel::stage_breakdown(const StageShape& shape,
+                                              std::span<const WorkItem> batch,
+                                              int tp) const {
+  if (tp < 1) throw std::invalid_argument("CostModel: tp must be >= 1");
+  StageTimeBreakdown out;
+
+  std::int64_t total_tokens = 0;
+  std::int64_t sampled = 0;
+  double attn_flops = 0.0;
+  double kv_bytes = 0.0;
+  const double kv_tok_layer = static_cast<double>(cfg_.kv_bytes_per_token_layer());
+  const double q_dim = static_cast<double>(cfg_.n_heads) * cfg_.head_dim;
+
+  for (const WorkItem& item : batch) {
+    if (item.new_tokens <= 0) continue;
+    total_tokens += item.new_tokens;
+    if (item.needs_sampling) ++sampled;
+    const double n = item.new_tokens;
+    const double ctx = static_cast<double>(item.context);
+    // Causal attention: position i attends to (ctx + i) keys. Two GEMMs
+    // (QK^T, PV) of 2*q_dim FLOPs per (query, key) pair each.
+    const double pairs = ctx * n + n * (n + 1.0) / 2.0;
+    attn_flops += 4.0 * q_dim * pairs * shape.n_layers;
+    // KV traffic: read the full context per layer, write the new tokens.
+    kv_bytes += ((ctx + n) + n) * kv_tok_layer * shape.n_layers;
+  }
+
+  if (total_tokens == 0) return out;
+
+  // FLOPs follow the *active* parameters (top-k experts for MoE); weight
+  // traffic follows the experts a batch actually touches: T tokens making
+  // top-k picks over E experts activate E*(1 - (1 - k/E)^T) of them in
+  // expectation, so small decode batches stream only a few experts while a
+  // 2k prefill chunk streams all of them.
+  const double active_params =
+      static_cast<double>(cfg_.attn_params_per_layer() +
+                          cfg_.active_mlp_params_per_layer()) *
+      shape.n_layers;
+  double gemm_flops = 2.0 * active_params * static_cast<double>(total_tokens);
+
+  double resident_linear =
+      static_cast<double>(cfg_.attn_params_per_layer() + cfg_.mlp_params_per_layer()) *
+      shape.n_layers;
+  if (cfg_.is_moe()) {
+    const double e = cfg_.n_experts;
+    const double k = cfg_.experts_per_token;
+    const double touched =
+        e * (1.0 - std::pow(1.0 - k / e, static_cast<double>(total_tokens)));
+    const double expert_params = 3.0 * cfg_.hidden * cfg_.intermediate;
+    resident_linear = (static_cast<double>(cfg_.attn_params_per_layer()) +
+                       static_cast<double>(cfg_.hidden) * e +  // router
+                       expert_params * touched) *
+                      shape.n_layers;
+    // Expert-activation imbalance (paper §6): the busiest expert's queue sets
+    // the MLP latency. For k*T assignments over e experts the max/mean load
+    // ratio shrinks with batch size; small batches pay a large penalty.
+    const double assignments = k * static_cast<double>(total_tokens);
+    const double imbalance =
+        std::min(e / k, 1.0 + 1.5 * std::sqrt(e * std::log(e) / assignments));
+    gemm_flops *= imbalance;
+  }
+  double weight_bytes = resident_linear * cfg_.dtype_bytes;
+  if (shape.has_lm_head && sampled > 0) {
+    const double head = static_cast<double>(cfg_.embedding_params());
+    gemm_flops += 2.0 * head * static_cast<double>(sampled);
+    weight_bytes += head * cfg_.dtype_bytes;
+  }
+
+  const double eff = gpu_.flops_efficiency(static_cast<double>(total_tokens));
+  const double flops_rate = gpu_.peak_flops * eff;
+  const double bw = gpu_.effective_mem_bw();
+
+  out.gemm_flops = gemm_flops / tp;
+  out.attn_flops = attn_flops / tp;
+  out.weight_bytes = weight_bytes / tp;
+  out.kv_bytes = kv_bytes / tp;
+  out.gemm_time = std::max(out.gemm_flops / flops_rate, out.weight_bytes / bw);
+  out.attn_time = std::max(out.attn_flops / flops_rate, out.kv_bytes / bw);
+  out.overhead = shape.n_layers * gpu_.kernel_overhead + gpu_.iteration_overhead;
+  out.total = out.gemm_time + out.attn_time + out.overhead;
+  return out;
+}
+
+double CostModel::stage_time(const StageShape& shape, std::span<const WorkItem> batch,
+                             int tp) const {
+  return stage_breakdown(shape, batch, tp).total;
+}
+
+std::int64_t kv_token_capacity(const PartitionPlan& plan, const hw::GpuSpec& gpu,
+                               double gpu_memory_util, int tp) {
+  if (gpu_memory_util <= 0.0 || gpu_memory_util > 1.0)
+    throw std::invalid_argument("kv_token_capacity: util must be in (0, 1]");
+  if (tp < 1) throw std::invalid_argument("kv_token_capacity: tp must be >= 1");
+
+  std::int64_t capacity = std::numeric_limits<std::int64_t>::max();
+  const auto& cfg = plan.config();
+  for (int s = 0; s < plan.stages(); ++s) {
+    const double budget =
+        gpu.memory_bytes * gpu_memory_util - plan.stage_weight_bytes(s) / tp;
+    if (budget <= 0.0) return 0;
+    const double per_token =
+        static_cast<double>(cfg.kv_bytes_per_token_layer()) * plan.stage(s).n_layers / tp;
+    capacity = std::min(capacity, static_cast<std::int64_t>(budget / per_token));
+  }
+  return capacity;
+}
+
+}  // namespace gllm::model

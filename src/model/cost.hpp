@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hw/gpu.hpp"
+#include "model/config.hpp"
+#include "model/partition.hpp"
+
+namespace gllm::model {
+
+/// One sequence's contribution to a micro-batch forward pass.
+struct WorkItem {
+  int new_tokens = 0;          ///< tokens computed this iteration (1 for decode)
+  std::int64_t context = 0;    ///< KV tokens already cached before this iteration
+  bool is_prefill = false;
+  bool needs_sampling = false; ///< LM head applied (decode steps / final prefill chunk)
+};
+
+/// Timing breakdown of one stage forward, for diagnostics and tests.
+struct StageTimeBreakdown {
+  double gemm_flops = 0;
+  double attn_flops = 0;
+  double weight_bytes = 0;
+  double kv_bytes = 0;
+  double gemm_time = 0;
+  double attn_time = 0;
+  double overhead = 0;
+  double total = 0;
+};
+
+/// Roofline forward-pass timing for a pipeline stage on a single GPU.
+///
+/// Two "virtual kernels" per forward:
+///   * GEMM (projections + MLP + LM head): time = max(FLOPs / (peak * eff(T)),
+///     resident weight bytes / effective HBM bandwidth). Small decode batches
+///     are bandwidth-bound on weight streaming; 2k-token prefill chunks are
+///     compute-bound — exactly the asymmetry Token Throttling exploits.
+///   * Attention: time = max(attention FLOPs / (peak * eff(T)),
+///     KV-cache traffic / bandwidth). Decode attention is KV-read bound and
+///     grows linearly with total cached context, the paper's "variations in
+///     decode compute times" bubble source.
+/// Plus per-layer kernel-launch overhead and a fixed per-iteration cost.
+///
+/// This is the GPU substitution documented in DESIGN.md section 2: scheduler
+/// policies and queueing are exact; only kernel latency is modelled.
+class CostModel {
+ public:
+  CostModel(ModelConfig cfg, hw::GpuSpec gpu);
+
+  /// Forward time of `shape`'s layers over `batch`, optionally TP-sharded
+  /// `tp` ways (compute and traffic divided; collectives are charged by the
+  /// engine, not here).
+  double stage_time(const StageShape& shape, std::span<const WorkItem> batch,
+                    int tp = 1) const;
+
+  StageTimeBreakdown stage_breakdown(const StageShape& shape,
+                                     std::span<const WorkItem> batch, int tp = 1) const;
+
+  /// Bytes of activations handed to the next stage for `tokens` batched tokens.
+  double activation_bytes(int tokens) const {
+    return static_cast<double>(cfg_.activation_bytes_per_token()) * tokens;
+  }
+
+  /// KV bytes per token held by one stage (its layers only).
+  double kv_bytes_per_token_stage(const StageShape& shape) const {
+    return static_cast<double>(cfg_.kv_bytes_per_token_layer()) * shape.n_layers;
+  }
+
+  const ModelConfig& config() const { return cfg_; }
+  const hw::GpuSpec& gpu() const { return gpu_; }
+
+ private:
+  ModelConfig cfg_;
+  hw::GpuSpec gpu_;
+};
+
+/// KV-cache token capacity of a PP deployment: for each stage, the memory
+/// left after weights divided by that stage's per-token KV bytes; the fleet
+/// capacity is the minimum across stages (page tables are unified, so every
+/// stage must hold KV for every resident token).
+std::int64_t kv_token_capacity(const PartitionPlan& plan, const hw::GpuSpec& gpu,
+                               double gpu_memory_util, int tp = 1);
+
+}  // namespace gllm::model

@@ -1,0 +1,47 @@
+#include "model/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gllm::model {
+
+PartitionPlan::PartitionPlan(const ModelConfig& cfg, int pp_stages) : cfg_(cfg) {
+  cfg.validate();
+  if (pp_stages <= 0) throw std::invalid_argument("PartitionPlan: pp_stages must be > 0");
+  if (pp_stages > cfg.n_layers)
+    throw std::invalid_argument("PartitionPlan: more stages than layers");
+
+  const int base = cfg.n_layers / pp_stages;
+  const int extra = cfg.n_layers % pp_stages;
+  int layer = 0;
+  shapes_.reserve(static_cast<std::size_t>(pp_stages));
+  for (int s = 0; s < pp_stages; ++s) {
+    StageShape shape;
+    shape.first_layer = layer;
+    shape.n_layers = base + (s < extra ? 1 : 0);
+    shape.has_embedding = (s == 0);
+    shape.has_lm_head = (s == pp_stages - 1);
+    layer += shape.n_layers;
+    shapes_.push_back(shape);
+  }
+}
+
+std::int64_t PartitionPlan::stage_params(int s) const {
+  const StageShape& shape = stage(s);
+  std::int64_t p = cfg_.params_per_layer() * shape.n_layers;
+  if (shape.has_embedding) p += cfg_.embedding_params();
+  if (shape.has_lm_head) p += cfg_.lm_head_params() + cfg_.hidden;  // + final norm
+  return p;
+}
+
+double PartitionPlan::stage_weight_bytes(int s) const {
+  return static_cast<double>(stage_params(s)) * cfg_.dtype_bytes;
+}
+
+double PartitionPlan::max_stage_weight_bytes() const {
+  double best = 0.0;
+  for (int s = 0; s < stages(); ++s) best = std::max(best, stage_weight_bytes(s));
+  return best;
+}
+
+}  // namespace gllm::model

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "model/config.hpp"
+
+namespace gllm::model {
+
+/// One pipeline stage's slice of the model.
+struct StageShape {
+  int first_layer = 0;
+  int n_layers = 0;
+  bool has_embedding = false;  ///< token embedding lives on the first stage
+  bool has_lm_head = false;    ///< output head + final norm on the last stage
+
+  int last_layer_exclusive() const { return first_layer + n_layers; }
+};
+
+/// Even inter-layer partition of a model across `pp` pipeline stages,
+/// remainder layers assigned to the earliest stages (vLLM convention).
+class PartitionPlan {
+ public:
+  PartitionPlan(const ModelConfig& cfg, int pp_stages);
+
+  int stages() const { return static_cast<int>(shapes_.size()); }
+  const StageShape& stage(int s) const { return shapes_.at(static_cast<std::size_t>(s)); }
+  const std::vector<StageShape>& shapes() const { return shapes_; }
+
+  /// Parameters resident on stage `s` (weights only, excludes KV cache).
+  std::int64_t stage_params(int s) const;
+  double stage_weight_bytes(int s) const;
+  /// Largest stage footprint; determines weight memory per GPU.
+  double max_stage_weight_bytes() const;
+
+  const ModelConfig& config() const { return cfg_; }
+
+ private:
+  ModelConfig cfg_;
+  std::vector<StageShape> shapes_;
+};
+
+}  // namespace gllm::model

@@ -1,0 +1,45 @@
+#include "nn/kv_pool.hpp"
+
+#include <stdexcept>
+
+namespace gllm::nn {
+
+KvPool::KvPool(const model::ModelConfig& cfg, int first_layer, int n_layers,
+               std::int32_t n_blocks, int block_size)
+    : first_layer_(first_layer),
+      n_layers_(n_layers),
+      block_size_(block_size),
+      n_blocks_(n_blocks),
+      kv_dim_(cfg.n_kv_heads * cfg.head_dim) {
+  if (n_layers <= 0 || n_blocks < 0 || block_size <= 0)
+    throw std::invalid_argument("KvPool: invalid geometry");
+  const std::int64_t rows =
+      static_cast<std::int64_t>(n_layers) * n_blocks * block_size;
+  k_ = tensor::Tensor({rows, kv_dim_});
+  v_ = tensor::Tensor({rows, kv_dim_});
+}
+
+std::size_t KvPool::offset(int layer, kv::BlockId block, int slot) const {
+  const int local = layer - first_layer_;
+  if (local < 0 || local >= n_layers_) throw std::out_of_range("KvPool: layer not in pool");
+  if (block < 0 || block >= n_blocks_) throw std::out_of_range("KvPool: bad block id");
+  if (slot < 0 || slot >= block_size_) throw std::out_of_range("KvPool: bad slot");
+  return (static_cast<std::size_t>(local) * n_blocks_ + static_cast<std::size_t>(block)) *
+             block_size_ +
+         static_cast<std::size_t>(slot);
+}
+
+std::span<float> KvPool::k_slot(int layer, kv::BlockId block, int slot) {
+  return k_.row(static_cast<std::int64_t>(offset(layer, block, slot)));
+}
+std::span<float> KvPool::v_slot(int layer, kv::BlockId block, int slot) {
+  return v_.row(static_cast<std::int64_t>(offset(layer, block, slot)));
+}
+std::span<const float> KvPool::k_slot(int layer, kv::BlockId block, int slot) const {
+  return k_.row(static_cast<std::int64_t>(offset(layer, block, slot)));
+}
+std::span<const float> KvPool::v_slot(int layer, kv::BlockId block, int slot) const {
+  return v_.row(static_cast<std::int64_t>(offset(layer, block, slot)));
+}
+
+}  // namespace gllm::nn

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kv/block_allocator.hpp"
+#include "model/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gllm::nn {
+
+/// Physical paged KV storage for a contiguous range of layers — the CPU
+/// analogue of one pipeline stage's device KV cache. Slots are addressed by
+/// (layer, physical block id, in-block slot); the logical-to-physical mapping
+/// comes from the shared kv::PageTable, mirroring the paper's unified page
+/// tables across workers.
+class KvPool {
+ public:
+  KvPool(const model::ModelConfig& cfg, int first_layer, int n_layers,
+         std::int32_t n_blocks, int block_size);
+
+  int first_layer() const { return first_layer_; }
+  int n_layers() const { return n_layers_; }
+  int block_size() const { return block_size_; }
+  std::int32_t n_blocks() const { return n_blocks_; }
+  int kv_dim() const { return kv_dim_; }
+
+  /// K row for one token slot in one of this pool's layers (absolute layer
+  /// index). Writable span of kv_heads*head_dim floats.
+  std::span<float> k_slot(int layer, kv::BlockId block, int slot);
+  std::span<float> v_slot(int layer, kv::BlockId block, int slot);
+  std::span<const float> k_slot(int layer, kv::BlockId block, int slot) const;
+  std::span<const float> v_slot(int layer, kv::BlockId block, int slot) const;
+
+ private:
+  std::size_t offset(int layer, kv::BlockId block, int slot) const;
+
+  int first_layer_;
+  int n_layers_;
+  int block_size_;
+  std::int32_t n_blocks_;
+  int kv_dim_;
+  tensor::Tensor k_;  // [n_layers * n_blocks * block_size, kv_dim]
+  tensor::Tensor v_;
+};
+
+}  // namespace gllm::nn

@@ -1,0 +1,89 @@
+#include "nn/reference.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gllm::nn {
+
+std::vector<std::vector<TokenId>> generate_reference(const model::ModelConfig& cfg,
+                                                     std::uint64_t weight_seed,
+                                                     const std::vector<GenRequest>& requests,
+                                                     int kv_block_size) {
+  // One stage spanning the whole model.
+  model::StageShape shape;
+  shape.first_layer = 0;
+  shape.n_layers = cfg.n_layers;
+  shape.has_embedding = true;
+  shape.has_lm_head = true;
+
+  // Size the pool for the longest single request (requests run one at a time).
+  std::int64_t max_tokens = 1;
+  for (const auto& r : requests) {
+    max_tokens = std::max<std::int64_t>(
+        max_tokens, static_cast<std::int64_t>(r.prompt.size()) + r.max_new_tokens);
+  }
+  const auto blocks =
+      static_cast<std::int32_t>((max_tokens + kv_block_size - 1) / kv_block_size);
+  TransformerStage stage(cfg, shape, weight_seed, blocks, kv_block_size);
+
+  std::vector<std::vector<TokenId>> outputs;
+  outputs.reserve(requests.size());
+
+  for (const auto& request : requests) {
+    if (request.prompt.empty())
+      throw std::invalid_argument("generate_reference: empty prompt");
+    // Identity page table: logical block i -> physical block i. Requests are
+    // processed one at a time, so the pool is reused wholesale.
+    std::vector<kv::BlockId> table(static_cast<std::size_t>(blocks));
+    for (std::size_t i = 0; i < table.size(); ++i) table[i] = static_cast<kv::BlockId>(i);
+
+    std::vector<TokenId> generated;
+    std::vector<TokenId> context = request.prompt;
+
+    // Prefill the whole prompt in one pass.
+    ItemView item;
+    item.context = 0;
+    item.n_tokens = static_cast<int>(context.size());
+    item.blocks = table;
+    item.wants_logits = true;
+
+    tensor::Tensor hidden = stage.embed(context);
+    stage.forward(hidden, {&item, 1});
+    tensor::Tensor logits = stage.logits(hidden, {&item, 1});
+    TokenId next = static_cast<TokenId>(tensor::argmax(logits.row(0)));
+    generated.push_back(next);
+
+    // Greedy decode.
+    while (static_cast<int>(generated.size()) < request.max_new_tokens) {
+      ItemView step;
+      step.context = static_cast<std::int64_t>(context.size()) +
+                     static_cast<std::int64_t>(generated.size()) - 1;
+      step.n_tokens = 1;
+      step.blocks = table;
+      step.wants_logits = true;
+
+      const TokenId input = generated.back();
+      tensor::Tensor h = stage.embed({&input, 1});
+      stage.forward(h, {&step, 1});
+      tensor::Tensor lg = stage.logits(h, {&step, 1});
+      generated.push_back(static_cast<TokenId>(tensor::argmax(lg.row(0))));
+    }
+    outputs.push_back(std::move(generated));
+  }
+  return outputs;
+}
+
+std::vector<TokenId> synthetic_prompt(const model::ModelConfig& cfg, std::uint64_t seed,
+                                      int length) {
+  util::Rng rng(seed);
+  std::vector<TokenId> prompt;
+  prompt.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    prompt.push_back(static_cast<TokenId>(rng.uniform_int(0, cfg.vocab - 1)));
+  }
+  return prompt;
+}
+
+}  // namespace gllm::nn

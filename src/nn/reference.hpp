@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+#include "nn/stage.hpp"
+
+namespace gllm::nn {
+
+/// One generation request against the real CPU model.
+struct GenRequest {
+  std::int64_t id = 0;
+  std::vector<TokenId> prompt;
+  int max_new_tokens = 16;
+  double arrival = 0.0;  ///< submission time (seconds); the reference ignores it
+};
+
+/// Single-stage, one-request-at-a-time greedy generation — the ground truth
+/// the pipeline runtime's outputs must match token-for-token (the strict
+/// version of the paper's MMLU-pro output-parity check, Table 1).
+std::vector<std::vector<TokenId>> generate_reference(const model::ModelConfig& cfg,
+                                                     std::uint64_t weight_seed,
+                                                     const std::vector<GenRequest>& requests,
+                                                     int kv_block_size = 8);
+
+/// Deterministic synthetic prompt (token ids) for tests and examples.
+std::vector<TokenId> synthetic_prompt(const model::ModelConfig& cfg, std::uint64_t seed,
+                                      int length);
+
+}  // namespace gllm::nn

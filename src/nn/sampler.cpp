@@ -1,0 +1,45 @@
+#include "nn/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace gllm::nn {
+
+Sampler::Sampler(int top_k, float temperature, std::uint64_t seed)
+    : greedy_(false), top_k_(top_k), temperature_(temperature), rng_(seed) {
+  if (temperature <= 0.0f) throw std::invalid_argument("Sampler: temperature must be > 0");
+}
+
+kv::TokenId Sampler::sample(std::span<const float> logits) {
+  if (greedy_) return static_cast<kv::TokenId>(tensor::argmax(logits));
+
+  std::vector<std::size_t> order(logits.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t k =
+      top_k_ > 0 ? std::min<std::size_t>(static_cast<std::size_t>(top_k_), logits.size())
+                 : logits.size();
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(),
+                    [&](std::size_t a, std::size_t b) { return logits[a] > logits[b]; });
+
+  std::vector<double> probs(k);
+  const double mx = logits[order[0]];
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    probs[i] = std::exp((logits[order[i]] - mx) / temperature_);
+    sum += probs[i];
+  }
+  double r = rng_.uniform() * sum;
+  for (std::size_t i = 0; i < k; ++i) {
+    r -= probs[i];
+    if (r <= 0.0) return static_cast<kv::TokenId>(order[i]);
+  }
+  return static_cast<kv::TokenId>(order[k - 1]);
+}
+
+}  // namespace gllm::nn

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+
+#include "kv/prefix_cache.hpp"  // TokenId
+#include "util/rng.hpp"
+
+namespace gllm::nn {
+
+/// Token selection from a logits row. Greedy is the default everywhere token
+/// equality matters; top-k/temperature exists for the interactive example.
+class Sampler {
+ public:
+  /// Greedy sampler.
+  Sampler() = default;
+  /// Top-k with temperature; k <= 0 means full distribution.
+  Sampler(int top_k, float temperature, std::uint64_t seed);
+
+  kv::TokenId sample(std::span<const float> logits);
+
+  bool greedy() const { return greedy_; }
+
+ private:
+  bool greedy_ = true;
+  int top_k_ = 0;
+  float temperature_ = 1.0f;
+  util::Rng rng_{0};
+};
+
+}  // namespace gllm::nn

@@ -1,0 +1,220 @@
+#include "nn/stage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gllm::nn {
+
+namespace {
+
+/// Deterministic per-tensor weight stream: the same (seed, layer, slot)
+/// always yields the same tensor, so different partitionings agree.
+tensor::Tensor init_tensor(std::uint64_t seed, int layer, int slot,
+                           std::vector<std::int64_t> shape, double fan_in) {
+  tensor::Tensor t(std::move(shape));
+  util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(layer + 1)) ^
+                (0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(slot + 1)));
+  const auto scale = static_cast<float>(1.0 / std::sqrt(fan_in));
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal()) * scale;
+  return t;
+}
+
+tensor::Tensor ones(std::vector<std::int64_t> shape) {
+  tensor::Tensor t(std::move(shape));
+  t.fill(1.0f);
+  return t;
+}
+
+constexpr float kNormEps = 1e-5f;
+constexpr int kEmbedSlot = 100;
+constexpr int kHeadSlot = 101;
+
+}  // namespace
+
+TransformerStage::TransformerStage(model::ModelConfig cfg, model::StageShape shape,
+                                   std::uint64_t seed, std::int32_t kv_blocks,
+                                   int kv_block_size)
+    : cfg_(std::move(cfg)),
+      shape_(shape),
+      pool_(cfg_, shape.first_layer, shape.n_layers, kv_blocks, kv_block_size) {
+  cfg_.validate();
+  const std::int64_t h = cfg_.hidden;
+  const std::int64_t q_dim = static_cast<std::int64_t>(cfg_.n_heads) * cfg_.head_dim;
+  const std::int64_t kv_dim = static_cast<std::int64_t>(cfg_.n_kv_heads) * cfg_.head_dim;
+  const std::int64_t inter = cfg_.intermediate;
+
+  layers_.reserve(static_cast<std::size_t>(shape.n_layers));
+  for (int l = shape.first_layer; l < shape.last_layer_exclusive(); ++l) {
+    LayerWeights w;
+    w.wq = init_tensor(seed, l, 0, {q_dim, h}, h);
+    w.wk = init_tensor(seed, l, 1, {kv_dim, h}, h);
+    w.wv = init_tensor(seed, l, 2, {kv_dim, h}, h);
+    w.wo = init_tensor(seed, l, 3, {h, q_dim}, q_dim);
+    w.w_gate = init_tensor(seed, l, 4, {inter, h}, h);
+    w.w_up = init_tensor(seed, l, 5, {inter, h}, h);
+    w.w_down = init_tensor(seed, l, 6, {h, inter}, inter);
+    w.norm_attn = ones({h});
+    w.norm_mlp = ones({h});
+    layers_.push_back(std::move(w));
+  }
+  if (shape.has_embedding) {
+    embedding_ = init_tensor(seed, -1, kEmbedSlot, {cfg_.vocab, h}, h);
+  }
+  if (shape.has_lm_head) {
+    final_norm_ = ones({h});
+    lm_head_ = init_tensor(seed, -1, kHeadSlot, {cfg_.vocab, h}, h);
+  }
+}
+
+tensor::Tensor TransformerStage::embed(std::span<const TokenId> tokens) const {
+  if (!shape_.has_embedding)
+    throw std::logic_error("TransformerStage::embed: stage has no embedding");
+  tensor::Tensor hidden({static_cast<std::int64_t>(tokens.size()), cfg_.hidden});
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const TokenId t = tokens[i];
+    if (t < 0 || t >= cfg_.vocab)
+      throw std::out_of_range("TransformerStage::embed: token id out of vocab");
+    const auto src = embedding_.row(t);
+    auto dst = hidden.row(static_cast<std::int64_t>(i));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return hidden;
+}
+
+void TransformerStage::forward(tensor::Tensor& hidden, std::span<const ItemView> items) {
+  std::int64_t rows = 0;
+  for (const auto& item : items) rows += item.n_tokens;
+  if (hidden.rank() != 2 || hidden.dim(0) != rows || hidden.dim(1) != cfg_.hidden)
+    throw std::invalid_argument("TransformerStage::forward: hidden shape mismatch");
+
+  for (int l = shape_.first_layer; l < shape_.last_layer_exclusive(); ++l) {
+    attention(l, hidden, items);
+    mlp(l, hidden);
+  }
+}
+
+void TransformerStage::attention(int layer, tensor::Tensor& hidden,
+                                 std::span<const ItemView> items) {
+  const LayerWeights& w = layers_[static_cast<std::size_t>(layer - shape_.first_layer)];
+  const std::int64_t rows = hidden.dim(0);
+  const std::int64_t h = cfg_.hidden;
+  const std::int64_t q_dim = static_cast<std::int64_t>(cfg_.n_heads) * cfg_.head_dim;
+  const std::int64_t kv_dim = static_cast<std::int64_t>(cfg_.n_kv_heads) * cfg_.head_dim;
+  const int group = cfg_.n_heads / cfg_.n_kv_heads;
+  const auto inv_sqrt_d = static_cast<float>(1.0 / std::sqrt(cfg_.head_dim));
+  const int bs = pool_.block_size();
+
+  xn_ = tensor::Tensor({rows, h});
+  for (std::int64_t r = 0; r < rows; ++r)
+    tensor::rmsnorm_row(hidden.row(r), w.norm_attn.flat(), kNormEps, xn_.row(r));
+
+  q_ = tensor::Tensor({rows, q_dim});
+  k_ = tensor::Tensor({rows, kv_dim});
+  v_ = tensor::Tensor({rows, kv_dim});
+  tensor::matmul_nt(xn_, w.wq, q_);
+  tensor::matmul_nt(xn_, w.wk, k_);
+  tensor::matmul_nt(xn_, w.wv, v_);
+
+  attn_ = tensor::Tensor({rows, q_dim});
+
+  std::int64_t row0 = 0;
+  for (const ItemView& item : items) {
+    // RoPE + KV write for the item's new tokens.
+    for (int i = 0; i < item.n_tokens; ++i) {
+      const std::int64_t pos = item.context + i;
+      tensor::rope_row(q_.row(row0 + i), cfg_.n_heads, cfg_.head_dim, pos);
+      tensor::rope_row(k_.row(row0 + i), cfg_.n_kv_heads, cfg_.head_dim, pos);
+      const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(pos / bs));
+      const int slot = static_cast<int>(pos % bs);
+      auto kdst = pool_.k_slot(layer, block, slot);
+      auto vdst = pool_.v_slot(layer, block, slot);
+      const auto ksrc = k_.row(row0 + i);
+      const auto vsrc = v_.row(row0 + i);
+      std::copy(ksrc.begin(), ksrc.end(), kdst.begin());
+      std::copy(vsrc.begin(), vsrc.end(), vdst.begin());
+    }
+    // Causal attention over the paged cache (deterministic sequential
+    // reduction in logical position order).
+    for (int i = 0; i < item.n_tokens; ++i) {
+      const std::int64_t pos = item.context + i;
+      const auto qrow = q_.row(row0 + i);
+      auto orow = attn_.row(row0 + i);
+      std::vector<float> scores(static_cast<std::size_t>(pos) + 1);
+      for (int head = 0; head < cfg_.n_heads; ++head) {
+        const int kv_head = head / group;
+        const float* qh = qrow.data() + static_cast<std::size_t>(head) * cfg_.head_dim;
+        for (std::int64_t p = 0; p <= pos; ++p) {
+          const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(p / bs));
+          const auto krow = pool_.k_slot(layer, block, static_cast<int>(p % bs));
+          const float* kh = krow.data() + static_cast<std::size_t>(kv_head) * cfg_.head_dim;
+          float dot = 0.0f;
+          for (int d = 0; d < cfg_.head_dim; ++d) dot += qh[d] * kh[d];
+          scores[static_cast<std::size_t>(p)] = dot * inv_sqrt_d;
+        }
+        tensor::softmax_inplace(scores);
+        float* oh = orow.data() + static_cast<std::size_t>(head) * cfg_.head_dim;
+        std::fill(oh, oh + cfg_.head_dim, 0.0f);
+        for (std::int64_t p = 0; p <= pos; ++p) {
+          const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(p / bs));
+          const auto vrow = pool_.v_slot(layer, block, static_cast<int>(p % bs));
+          const float* vh = vrow.data() + static_cast<std::size_t>(kv_head) * cfg_.head_dim;
+          const float prob = scores[static_cast<std::size_t>(p)];
+          for (int d = 0; d < cfg_.head_dim; ++d) oh[d] += prob * vh[d];
+        }
+      }
+    }
+    row0 += item.n_tokens;
+  }
+
+  proj_ = tensor::Tensor({rows, h});
+  tensor::matmul_nt(attn_, w.wo, proj_);
+  for (std::int64_t r = 0; r < rows; ++r) tensor::add_inplace(hidden.row(r), proj_.row(r));
+}
+
+void TransformerStage::mlp(int layer, tensor::Tensor& hidden) {
+  const LayerWeights& w = layers_[static_cast<std::size_t>(layer - shape_.first_layer)];
+  const std::int64_t rows = hidden.dim(0);
+  const std::int64_t h = cfg_.hidden;
+  const std::int64_t inter = cfg_.intermediate;
+
+  xn_ = tensor::Tensor({rows, h});
+  for (std::int64_t r = 0; r < rows; ++r)
+    tensor::rmsnorm_row(hidden.row(r), w.norm_mlp.flat(), kNormEps, xn_.row(r));
+
+  gate_ = tensor::Tensor({rows, inter});
+  up_ = tensor::Tensor({rows, inter});
+  act_ = tensor::Tensor({rows, inter});
+  down_ = tensor::Tensor({rows, h});
+  tensor::matmul_nt(xn_, w.w_gate, gate_);
+  tensor::matmul_nt(xn_, w.w_up, up_);
+  for (std::int64_t r = 0; r < rows; ++r)
+    tensor::swiglu_row(gate_.row(r), up_.row(r), act_.row(r));
+  tensor::matmul_nt(act_, w.w_down, down_);
+  for (std::int64_t r = 0; r < rows; ++r) tensor::add_inplace(hidden.row(r), down_.row(r));
+}
+
+tensor::Tensor TransformerStage::logits(const tensor::Tensor& hidden,
+                                        std::span<const ItemView> items) const {
+  if (!shape_.has_lm_head)
+    throw std::logic_error("TransformerStage::logits: stage has no LM head");
+  std::int64_t wanting = 0;
+  for (const auto& item : items) wanting += item.wants_logits ? 1 : 0;
+
+  tensor::Tensor sampled({wanting, cfg_.hidden});
+  std::int64_t row0 = 0, out = 0;
+  for (const ItemView& item : items) {
+    if (item.wants_logits) {
+      tensor::rmsnorm_row(hidden.row(row0 + item.n_tokens - 1), final_norm_.flat(),
+                          kNormEps, sampled.row(out++));
+    }
+    row0 += item.n_tokens;
+  }
+  tensor::Tensor logits({wanting, cfg_.vocab});
+  tensor::matmul_nt(sampled, lm_head_, logits);
+  return logits;
+}
+
+}  // namespace gllm::nn

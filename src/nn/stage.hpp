@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kv/prefix_cache.hpp"  // TokenId
+#include "model/config.hpp"
+#include "model/partition.hpp"
+#include "nn/kv_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gllm::nn {
+
+using kv::TokenId;
+
+/// One item of a forward micro-batch, as seen by a stage: `n_tokens` new rows
+/// with `context` tokens already cached, mapped to physical blocks by the
+/// shared page table snapshot.
+struct ItemView {
+  std::int64_t context = 0;
+  int n_tokens = 0;
+  std::vector<kv::BlockId> blocks;  ///< page table covering context + n_tokens
+  bool wants_logits = false;        ///< sample from this item's last new row
+};
+
+/// Weights of one decoder layer (GQA attention + SwiGLU MLP, RMSNorm).
+struct LayerWeights {
+  tensor::Tensor wq, wk, wv, wo;          // projections, [out, in]
+  tensor::Tensor norm_attn, norm_mlp;     // RMSNorm gammas
+  tensor::Tensor w_gate, w_up, w_down;    // MLP
+};
+
+/// A contiguous slice of a decoder-only transformer with paged-KV attention —
+/// what one pipeline-stage worker executes. Holding the whole model in a
+/// single stage gives the reference engine used for token-equality checks.
+///
+/// Weights are generated deterministically from (seed, layer, tensor) so any
+/// partitioning of the same model id produces identical layer weights.
+class TransformerStage {
+ public:
+  TransformerStage(model::ModelConfig cfg, model::StageShape shape, std::uint64_t seed,
+                   std::int32_t kv_blocks, int kv_block_size);
+
+  const model::ModelConfig& config() const { return cfg_; }
+  const model::StageShape& shape() const { return shape_; }
+  KvPool& kv_pool() { return pool_; }
+
+  /// Embed token ids into hidden states (first stage only).
+  tensor::Tensor embed(std::span<const TokenId> tokens) const;
+
+  /// Run this stage's layers in-place over `hidden` ([sum n_tokens, hidden]),
+  /// writing new K/V into the pool. Rows are ordered item-by-item.
+  void forward(tensor::Tensor& hidden, std::span<const ItemView> items);
+
+  /// Final norm + LM head over the last new row of each logits-wanting item
+  /// (last stage only). Returns [n_wanting, vocab].
+  tensor::Tensor logits(const tensor::Tensor& hidden, std::span<const ItemView> items) const;
+
+ private:
+  void attention(int layer, tensor::Tensor& hidden, std::span<const ItemView> items);
+  void mlp(int layer, tensor::Tensor& hidden);
+
+  model::ModelConfig cfg_;
+  model::StageShape shape_;
+  std::vector<LayerWeights> layers_;
+  tensor::Tensor embedding_;   // [vocab, hidden], first stage
+  tensor::Tensor final_norm_;  // [hidden], last stage
+  tensor::Tensor lm_head_;     // [vocab, hidden], last stage
+  KvPool pool_;
+
+  // scratch buffers reused across forwards
+  tensor::Tensor xn_, q_, k_, v_, attn_, proj_, gate_, up_, act_, down_;
+};
+
+}  // namespace gllm::nn

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/sequence.hpp"
+#include "nn/reference.hpp"
+#include "runtime/worker.hpp"
+#include "sched/types.hpp"
+
+namespace gllm::runtime {
+
+/// Options shared by the batch runner and the online service (split out of
+/// RuntimeOptions so DriverState needs no circular include).
+struct DriverConfig {
+  bool prefix_caching = false;
+};
+
+/// The driver worker's scheduling state, shared between PipelineRuntime
+/// (batch mode) and PipelineService (online mode): sequence bookkeeping, KV
+/// management, plan materialisation and metadata broadcast.
+class DriverState {
+ public:
+  struct SeqCtx {
+    std::unique_ptr<engine::Sequence> seq;
+    std::vector<nn::TokenId> tokens;  ///< prompt + generated
+  };
+
+  DriverState(std::int64_t kv_capacity_tokens, int kv_block_size, int pipeline_depth,
+              DriverConfig config);
+
+  /// Register a request (throws on duplicate id); it is NOT yet waiting.
+  engine::Sequence* add_request(const nn::GenRequest& request, double arrival);
+
+  /// Move a registered sequence into the waiting queue.
+  void admit(engine::Sequence* seq) { waiting_.push_back(seq); }
+
+  sched::ScheduleContext build_context(double now) const;
+
+  /// Materialise a plan (KV allocation with recompute preemption, prefix-
+  /// cache adoption, chunk bookkeeping) and broadcast the metadata packet.
+  /// Returns true if a micro-batch was dispatched.
+  bool materialize_and_dispatch(sched::MicroBatchPlan plan, double now,
+                                const std::vector<MetaChannel*>& channels);
+
+  /// Apply one completed micro-batch's sampled tokens. For each finished or
+  /// token-bearing sequence the callbacks fire:
+  ///   on_token(seq, token, is_last)  — per sampled token.
+  /// Returns the number of sequences that finished in this batch.
+  int complete_batch(const SampleResult& result, double now,
+                     const std::function<void(const engine::Sequence&, nn::TokenId,
+                                              bool)>& on_token);
+
+  /// Break a KV deadlock among half-admitted prompts (vLLM recompute).
+  bool reset_stalled_prefill();
+
+  // --- introspection ---------------------------------------------------------
+  int in_flight() const { return static_cast<int>(in_flight_.size()); }
+  bool has_waiting() const { return !waiting_.empty(); }
+  std::int64_t preemptions() const { return preemptions_; }
+  const std::unordered_map<kv::SeqId, SeqCtx>& sequences() const { return seqs_; }
+  const SeqCtx& seq_ctx(kv::SeqId id) const { return seqs_.at(id); }
+
+ private:
+  DriverConfig config_;
+  int pipeline_depth_;
+  std::unique_ptr<kv::KvManager> kv_;
+  std::unordered_map<kv::SeqId, SeqCtx> seqs_;
+  std::deque<engine::Sequence*> waiting_;
+  std::vector<engine::Sequence*> decoding_;
+  std::unordered_map<std::uint64_t, std::vector<sched::BatchItem>> in_flight_;
+  std::uint64_t next_batch_id_ = 1;
+  std::int64_t preemptions_ = 0;
+};
+
+/// The assembled worker pipeline: per-stage metadata channels, inter-stage
+/// activation channels, the sample channel back to the driver, and the worker
+/// threads (started on construction, joined by shutdown()).
+struct PipelineHandles {
+  std::vector<std::unique_ptr<MetaChannel>> meta_channels;
+  std::vector<std::unique_ptr<ActChannel>> act_channels;
+  std::unique_ptr<SampleChannel> samples;
+  std::vector<std::unique_ptr<StageWorker>> workers;
+  std::vector<MetaChannel*> channel_ptrs;
+
+  void shutdown();
+};
+
+/// Build and start the stage workers for `model` partitioned `pp` ways.
+PipelineHandles assemble_pipeline(const model::ModelConfig& model, int pp,
+                                  std::uint64_t weight_seed, std::int64_t kv_capacity,
+                                  int kv_block_size, nn::Sampler sampler);
+
+}  // namespace gllm::runtime

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/kv_manager.hpp"
+#include "nn/stage.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gllm::runtime {
+
+/// Per-sequence slice of a scheduled micro-batch, shipped in the metadata
+/// packet (the ZeroMQ side of the paper's dual-phase transmission).
+struct ItemMeta {
+  kv::SeqId seq = 0;
+  int n_tokens = 0;
+  std::int64_t context = 0;
+  std::vector<kv::BlockId> blocks;      ///< page-table snapshot (unified across stages)
+  bool is_prefill = false;
+  bool last_chunk = false;
+  bool wants_logits = false;
+  std::vector<nn::TokenId> input_tokens;  ///< ids to embed (first stage only needs them)
+};
+
+/// Metadata packet, broadcast by the driver to every worker ahead of the
+/// activations ("preemptive metadata scheduling", paper 3.3(3)): workers use
+/// it to prepare attention metadata before the hidden states arrive.
+struct StepMetadata {
+  std::uint64_t batch_id = 0;
+  std::vector<ItemMeta> items;
+
+  int total_tokens() const {
+    int n = 0;
+    for (const auto& item : items) n += item.n_tokens;
+    return n;
+  }
+};
+
+/// Intermediate activations, passed stage-to-stage (the NCCL side).
+struct Activations {
+  std::uint64_t batch_id = 0;
+  tensor::Tensor hidden;
+};
+
+/// Sampled tokens, returned by the last stage to the driver. Sent for every
+/// batch (possibly empty) so the driver can retire in-flight micro-batches.
+struct SampleResult {
+  std::uint64_t batch_id = 0;
+  std::vector<std::pair<kv::SeqId, nn::TokenId>> tokens;
+};
+
+/// A token streamed to the frontend process.
+struct StreamEvent {
+  std::int64_t request_id = 0;
+  nn::TokenId token = 0;
+  bool is_last = false;
+};
+
+}  // namespace gllm::runtime

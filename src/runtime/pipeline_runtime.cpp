@@ -1,0 +1,147 @@
+#include "runtime/pipeline_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/queue.hpp"
+
+namespace gllm::runtime {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+PipelineRuntime::PipelineRuntime(RuntimeOptions options,
+                                 std::shared_ptr<sched::IScheduler> scheduler)
+    : options_(std::move(options)), scheduler_(std::move(scheduler)) {
+  options_.model.validate();
+  if (options_.pp <= 0) throw std::invalid_argument("PipelineRuntime: pp must be > 0");
+  if (!scheduler_) throw std::invalid_argument("PipelineRuntime: scheduler required");
+}
+
+RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
+                                   std::function<void(const StreamEvent&)> on_token) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // --- driver state (validated before any thread spawns) -------------------
+  DriverState state(options_.kv_capacity_tokens, options_.kv_block_size, options_.pp,
+                    DriverConfig{options_.prefix_caching});
+
+  // Requests enter the waiting queue in arrival order; with respect_arrivals
+  // only once their submission instant passes.
+  std::deque<engine::Sequence*> pending;
+  for (const auto& request : requests) {
+    const double arrival = options_.respect_arrivals ? request.arrival : 0.0;
+    pending.push_back(state.add_request(request, arrival));
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const engine::Sequence* a, const engine::Sequence* b) {
+              return a->arrival() < b->arrival();
+            });
+
+  // --- assemble the worker pipeline ---------------------------------------
+  const nn::Sampler sampler =
+      options_.greedy_sampling
+          ? nn::Sampler{}
+          : nn::Sampler(options_.top_k, options_.temperature, options_.sampler_seed);
+  PipelineHandles handles =
+      assemble_pipeline(options_.model, options_.pp, options_.weight_seed,
+                        options_.kv_capacity_tokens, options_.kv_block_size, sampler);
+
+  // --- decoupled frontend -----------------------------------------------------
+  util::BoundedQueue<StreamEvent> stream(4096);
+  std::thread frontend;
+  if (on_token) {
+    frontend = std::thread([&] {
+      while (auto ev = stream.pop()) on_token(*ev);
+    });
+  }
+
+  RuntimeReport report;
+  std::size_t finished = 0;
+
+  while (finished < requests.size()) {
+    // Move arrived requests into the waiting queue.
+    while (!pending.empty() && pending.front()->arrival() <= seconds_since(t0)) {
+      state.admit(pending.front());
+      pending.pop_front();
+    }
+
+    // Admit micro-batches up to the pipeline depth.
+    bool admitted_any = false;
+    while (state.in_flight() < options_.pp) {
+      const double now = seconds_since(t0);
+      const auto plan_t0 = std::chrono::steady_clock::now();
+      sched::MicroBatchPlan plan = scheduler_->plan(state.build_context(now));
+      report.total_plan_seconds += seconds_since(plan_t0);
+      if (plan.empty()) break;
+      if (!state.materialize_and_dispatch(std::move(plan), now, handles.channel_ptrs))
+        break;
+      ++report.iterations;
+      admitted_any = true;
+    }
+
+    if (state.in_flight() == 0) {
+      if (!admitted_any && !pending.empty()) {
+        // Nothing runnable yet: sleep until the next submission.
+        const double gap = pending.front()->arrival() - seconds_since(t0);
+        if (gap > 0) std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+        continue;
+      }
+      if (!admitted_any) {
+        // Half-admitted prompts may be squatting on the KV pool with nothing
+        // in flight: recompute-preempt the youngest (vLLM-style) and retry.
+        if (state.reset_stalled_prefill()) continue;
+        GLLM_LOG_ERROR("runtime stalled with " << requests.size() - finished
+                                               << " unfinished requests");
+        break;
+      }
+      continue;
+    }
+
+    // Retire the oldest micro-batch (channels are FIFO, so completion order
+    // matches dispatch order).
+    auto result = handles.samples->pop();
+    if (!result) break;
+    finished += static_cast<std::size_t>(state.complete_batch(
+        *result, seconds_since(t0),
+        [&](const engine::Sequence& seq, nn::TokenId token, bool done) {
+          if (!on_token) return;
+          stream.push(StreamEvent{seq.id(), token, false});
+          if (done) stream.push(StreamEvent{seq.id(), token, true});
+        }));
+  }
+
+  // --- shutdown ---------------------------------------------------------------
+  handles.shutdown();
+  stream.close();
+  if (frontend.joinable()) frontend.join();
+
+  report.wall_seconds = seconds_since(t0);
+  report.preemptions = state.preemptions();
+  for (const auto& request : requests) {
+    const auto& ctx = state.seq_ctx(request.id);
+    RuntimeRequestRecord rec;
+    rec.id = request.id;
+    rec.output.assign(ctx.tokens.begin() + static_cast<std::ptrdiff_t>(request.prompt.size()),
+                      ctx.tokens.end());
+    rec.completed = ctx.seq->state() == engine::SeqState::kFinished;
+    rec.preemptions = ctx.seq->preemptions();
+    if (rec.completed) {
+      rec.ttft = ctx.seq->ttft();
+      rec.e2e = ctx.seq->e2e_latency();
+    }
+    report.requests.push_back(std::move(rec));
+  }
+  std::sort(report.requests.begin(), report.requests.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  return report;
+}
+
+}  // namespace gllm::runtime

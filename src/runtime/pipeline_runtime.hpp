@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/reference.hpp"
+#include "runtime/driver_state.hpp"
+#include "sched/types.hpp"
+
+namespace gllm::runtime {
+
+/// Deployment options for the real threaded runtime.
+struct RuntimeOptions {
+  model::ModelConfig model;       ///< typically model::presets::tiny()
+  int pp = 2;                     ///< pipeline stages == worker threads
+  std::int64_t kv_capacity_tokens = 4096;
+  int kv_block_size = 8;
+  std::uint64_t weight_seed = 1234;
+  /// Sampling at the last stage. Greedy (the default) is what the
+  /// token-parity checks require; top-k adds temperature randomness for
+  /// interactive use, deterministic in sampler_seed.
+  bool greedy_sampling = true;
+  int top_k = 40;
+  float temperature = 1.0f;
+  std::uint64_t sampler_seed = 9;
+  /// Honour GenRequest::arrival (online serving). When false, every request
+  /// is available at t=0 (offline burst).
+  bool respect_arrivals = false;
+  /// Reuse KV blocks across requests sharing prompt prefixes (paper 3.4
+  /// integrates vLLM-style automatic prefix caching). Token outputs remain
+  /// bit-identical; only the reused prefix's computation is skipped.
+  bool prefix_caching = false;
+};
+
+struct RuntimeRequestRecord {
+  std::int64_t id = 0;
+  std::vector<nn::TokenId> output;
+  double ttft = 0.0;  ///< wall seconds from submission
+  double e2e = 0.0;
+  int preemptions = 0;
+  bool completed = false;
+};
+
+struct RuntimeReport {
+  std::vector<RuntimeRequestRecord> requests;
+  double wall_seconds = 0.0;
+  std::int64_t iterations = 0;
+  std::int64_t preemptions = 0;
+  double total_plan_seconds = 0.0;  ///< time spent inside the scheduler
+  double mean_plan_seconds() const {
+    return iterations ? total_plan_seconds / static_cast<double>(iterations) : 0.0;
+  }
+};
+
+/// The real (threads + message passing) gLLM runtime executing the CPU
+/// transformer: a driver thread (this class, paper's "driver worker") that
+/// schedules micro-batches with any sched::IScheduler, broadcasts metadata to
+/// all stage workers, collects sampled tokens from the last stage, and
+/// optionally streams them to a decoupled frontend thread.
+///
+/// This is the *batch* entry point (serve a fixed request set to
+/// completion); runtime/service.hpp provides the persistent online mode.
+/// Both share DriverState, so the scheduling/materialisation logic is
+/// identical, and both run the same policy objects as the discrete-event
+/// engine.
+class PipelineRuntime {
+ public:
+  PipelineRuntime(RuntimeOptions options, std::shared_ptr<sched::IScheduler> scheduler);
+
+  /// Serve `requests` to completion. If `on_token` is provided, a frontend
+  /// thread invokes it for every generated token.
+  RuntimeReport run(const std::vector<nn::GenRequest>& requests,
+                    std::function<void(const StreamEvent&)> on_token = nullptr);
+
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  RuntimeOptions options_;
+  std::shared_ptr<sched::IScheduler> scheduler_;
+};
+
+}  // namespace gllm::runtime

@@ -1,0 +1,192 @@
+#include "runtime/service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace gllm::runtime {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+PipelineService::PipelineService(RuntimeOptions options,
+                                 std::shared_ptr<sched::IScheduler> scheduler)
+    : options_(std::move(options)),
+      scheduler_(std::move(scheduler)),
+      kv_capacity_(options_.kv_capacity_tokens) {
+  options_.model.validate();
+  if (options_.pp <= 0) throw std::invalid_argument("PipelineService: pp must be > 0");
+  if (!scheduler_) throw std::invalid_argument("PipelineService: scheduler required");
+}
+
+PipelineService::~PipelineService() { stop(); }
+
+bool PipelineService::running() const {
+  std::lock_guard lock(mu_);
+  return running_;
+}
+
+void PipelineService::start() {
+  {
+    std::lock_guard lock(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  t0_ = std::chrono::steady_clock::now();
+  state_ = std::make_unique<DriverState>(options_.kv_capacity_tokens,
+                                         options_.kv_block_size, options_.pp,
+                                         DriverConfig{options_.prefix_caching});
+  const nn::Sampler sampler =
+      options_.greedy_sampling
+          ? nn::Sampler{}
+          : nn::Sampler(options_.top_k, options_.temperature, options_.sampler_seed);
+  handles_ = assemble_pipeline(options_.model, options_.pp, options_.weight_seed,
+                               options_.kv_capacity_tokens, options_.kv_block_size,
+                               sampler);
+  driver_ = std::thread([this] { service_loop(); });
+}
+
+void PipelineService::submit(nn::GenRequest request,
+                             std::function<void(const StreamEvent&)> on_token) {
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) throw std::logic_error("PipelineService: submit before start()");
+    if (static_cast<std::int64_t>(request.prompt.size()) + request.max_new_tokens >
+        kv_capacity_) {
+      // Rejected up front, as real servers reject prompts beyond max_model_len.
+      RuntimeRequestRecord rec;
+      rec.id = request.id;
+      rec.completed = false;
+      records_.push_back(std::move(rec));
+      return;
+    }
+    ++outstanding_;
+  }
+  if (!inbox_.push(Submission{std::move(request), std::move(on_token)})) {
+    std::lock_guard lock(mu_);
+    --outstanding_;
+    throw std::logic_error("PipelineService: submit after stop()");
+  }
+}
+
+void PipelineService::drain() {
+  std::unique_lock lock(mu_);
+  drained_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void PipelineService::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) return;
+  }
+  inbox_.close();
+  if (driver_.joinable()) driver_.join();
+  handles_.shutdown();
+  std::lock_guard lock(mu_);
+  running_ = false;
+}
+
+std::vector<RuntimeRequestRecord> PipelineService::results() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+void PipelineService::admit_submission(Submission submission) {
+  const double now = seconds_since(t0_);
+  engine::Sequence* seq = state_->add_request(submission.request, now);
+  state_->admit(seq);
+  if (submission.on_token) {
+    std::lock_guard lock(mu_);
+    callbacks_[submission.request.id] = std::move(submission.on_token);
+  }
+}
+
+bool PipelineService::admit_batches() {
+  bool admitted = false;
+  while (state_->in_flight() < options_.pp) {
+    const double now = seconds_since(t0_);
+    sched::MicroBatchPlan plan = scheduler_->plan(state_->build_context(now));
+    if (plan.empty()) break;
+    if (!state_->materialize_and_dispatch(std::move(plan), now, handles_.channel_ptrs))
+      break;
+    admitted = true;
+  }
+  return admitted;
+}
+
+void PipelineService::finish_record(const engine::Sequence& seq) {
+  const auto& ctx = state_->seq_ctx(seq.id());
+  RuntimeRequestRecord rec;
+  rec.id = seq.id();
+  rec.output.assign(ctx.tokens.begin() + static_cast<std::ptrdiff_t>(seq.prompt_len()),
+                    ctx.tokens.end());
+  rec.completed = seq.state() == engine::SeqState::kFinished;
+  rec.preemptions = seq.preemptions();
+  if (rec.completed) {
+    rec.ttft = seq.ttft();
+    rec.e2e = seq.e2e_latency();
+  }
+  std::lock_guard lock(mu_);
+  records_.push_back(std::move(rec));
+  callbacks_.erase(seq.id());
+  if (outstanding_ > 0) --outstanding_;
+  drained_.notify_all();
+}
+
+void PipelineService::service_loop() {
+  bool inbox_open = true;
+  for (;;) {
+    // Drain newly submitted requests without blocking.
+    while (auto submission = inbox_.try_pop()) admit_submission(std::move(*submission));
+
+    const bool admitted = admit_batches();
+
+    if (state_->in_flight() > 0) {
+      // A micro-batch is in flight: its sample result is guaranteed to come.
+      auto result = handles_.samples->pop();
+      if (!result) break;  // channels torn down underneath us
+      const double now = seconds_since(t0_);
+      state_->complete_batch(
+          *result, now,
+          [&](const engine::Sequence& seq, nn::TokenId token, bool done) {
+            std::function<void(const StreamEvent&)> cb;
+            {
+              std::lock_guard lock(mu_);
+              const auto it = callbacks_.find(seq.id());
+              if (it != callbacks_.end()) cb = it->second;
+            }
+            if (cb) {
+              cb(StreamEvent{seq.id(), token, false});
+              if (done) cb(StreamEvent{seq.id(), token, true});
+            }
+            if (done) finish_record(seq);
+          });
+      continue;
+    }
+
+    if (admitted) continue;
+    if (state_->reset_stalled_prefill()) continue;
+
+    // Fully idle: wait for the next submission (or shutdown).
+    if (!inbox_open) break;
+    auto submission = inbox_.pop();
+    if (!submission) {
+      inbox_open = false;
+      continue;
+    }
+    admit_submission(std::move(*submission));
+  }
+
+  // Anything still registered but unfinished at shutdown is reported failed.
+  for (const auto& [id, ctx] : state_->sequences()) {
+    if (ctx.seq->state() == engine::SeqState::kFinished) continue;
+    GLLM_LOG_WARN("service: request " << id << " unfinished at shutdown");
+    finish_record(*ctx.seq);
+  }
+}
+
+}  // namespace gllm::runtime

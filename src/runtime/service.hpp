@@ -1,0 +1,82 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "runtime/driver_state.hpp"
+#include "runtime/pipeline_runtime.hpp"
+
+namespace gllm::runtime {
+
+/// Online serving mode of the threaded runtime — the reproduction's analogue
+/// of the artifact's persistent `api_server`: start once, submit requests at
+/// any time from any thread, stream tokens back, stop when done.
+///
+/// The driver thread runs the same Token-Throttling admission loop as the
+/// batch runner (shared DriverState); submissions land in a thread-safe
+/// inbox that the driver drains between micro-batches, so a request submitted
+/// mid-flight joins scheduling within one iteration.
+class PipelineService {
+ public:
+  PipelineService(RuntimeOptions options, std::shared_ptr<sched::IScheduler> scheduler);
+  ~PipelineService();
+
+  PipelineService(const PipelineService&) = delete;
+  PipelineService& operator=(const PipelineService&) = delete;
+
+  /// Spin up stage workers and the driver thread. Idempotent.
+  void start();
+
+  /// Enqueue a request (thread-safe). `on_token` (optional) is invoked from
+  /// the driver thread for every sampled token, with is_last on the final
+  /// one. Oversized requests (prompt+output beyond KV capacity) are rejected
+  /// immediately with a completed=false record. Throws if not started.
+  void submit(nn::GenRequest request,
+              std::function<void(const StreamEvent&)> on_token = nullptr);
+
+  /// Block until every submitted request has finished (or been rejected).
+  void drain();
+
+  /// Drain-free shutdown: stops accepting submissions, finishes everything
+  /// already accepted, joins all threads. Idempotent; called by the dtor.
+  void stop();
+
+  /// Records of all finished/rejected requests so far (thread-safe snapshot).
+  std::vector<RuntimeRequestRecord> results() const;
+
+  bool running() const;
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  struct Submission {
+    nn::GenRequest request;
+    std::function<void(const StreamEvent&)> on_token;
+  };
+
+  void service_loop();
+  void admit_submission(Submission submission);
+  /// Admit micro-batches up to the pipeline depth; true if any was dispatched.
+  bool admit_batches();
+  void finish_record(const engine::Sequence& seq);
+
+  RuntimeOptions options_;
+  std::shared_ptr<sched::IScheduler> scheduler_;
+  std::int64_t kv_capacity_;
+
+  std::unique_ptr<DriverState> state_;  // owned by the driver thread after start
+  PipelineHandles handles_;
+  util::BoundedQueue<Submission> inbox_{1024};
+  std::thread driver_;
+  std::chrono::steady_clock::time_point t0_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  std::unordered_map<std::int64_t, std::function<void(const StreamEvent&)>> callbacks_;
+  std::vector<RuntimeRequestRecord> records_;
+  std::size_t outstanding_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace gllm::runtime

@@ -1,0 +1,90 @@
+#include "runtime/worker.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/log.hpp"
+
+namespace gllm::runtime {
+
+StageWorker::StageWorker(const model::ModelConfig& cfg, model::StageShape shape,
+                         std::uint64_t seed, std::int32_t kv_blocks, int kv_block_size,
+                         MetaChannel& meta_in, ActChannel* act_in, ActChannel* act_out,
+                         SampleChannel* samples_out, nn::Sampler sampler)
+    : stage_(cfg, shape, seed, kv_blocks, kv_block_size),
+      sampler_(sampler),
+      meta_in_(meta_in),
+      act_in_(act_in),
+      act_out_(act_out),
+      samples_out_(samples_out) {
+  if (shape.has_lm_head && samples_out_ == nullptr)
+    throw std::invalid_argument("StageWorker: last stage needs a sample channel");
+  if (!shape.has_lm_head && act_out_ == nullptr)
+    throw std::invalid_argument("StageWorker: non-last stage needs an output channel");
+  if (!shape.has_embedding && act_in_ == nullptr)
+    throw std::invalid_argument("StageWorker: non-first stage needs an input channel");
+}
+
+void StageWorker::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void StageWorker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void StageWorker::run() {
+  for (;;) {
+    auto meta = meta_in_.pop();
+    if (!meta) return;  // channel closed: clean shutdown
+    process(*meta);
+  }
+}
+
+void StageWorker::process(const StepMetadata& meta) {
+  // Input preparation from the (early-arrived) metadata packet: item views
+  // and attention tables are built before activations show up, which is the
+  // overlap the asynchronous runtime is designed for.
+  std::vector<nn::ItemView> items;
+  items.reserve(meta.items.size());
+  std::vector<nn::TokenId> all_tokens;
+  for (const ItemMeta& im : meta.items) {
+    nn::ItemView view;
+    view.context = im.context;
+    view.n_tokens = im.n_tokens;
+    view.blocks = im.blocks;
+    view.wants_logits = im.wants_logits;
+    items.push_back(std::move(view));
+    all_tokens.insert(all_tokens.end(), im.input_tokens.begin(), im.input_tokens.end());
+  }
+
+  tensor::Tensor hidden;
+  if (stage_.shape().has_embedding) {
+    hidden = stage_.embed(all_tokens);
+  } else {
+    auto act = act_in_->pop();
+    if (!act) return;  // shutting down mid-batch
+    if (act->batch_id != meta.batch_id)
+      throw std::logic_error("StageWorker: activation/metadata batch mismatch");
+    hidden = std::move(act->hidden);
+  }
+
+  stage_.forward(hidden, items);
+
+  if (stage_.shape().has_lm_head) {
+    SampleResult result;
+    result.batch_id = meta.batch_id;
+    const tensor::Tensor logits = stage_.logits(hidden, items);
+    std::int64_t out = 0;
+    for (const ItemMeta& im : meta.items) {
+      if (!im.wants_logits) continue;
+      const nn::TokenId token = sampler_.sample(logits.row(out++));
+      result.tokens.emplace_back(im.seq, token);
+    }
+    samples_out_->push(std::move(result));
+  } else {
+    act_out_->push(Activations{meta.batch_id, std::move(hidden)});
+  }
+}
+
+}  // namespace gllm::runtime

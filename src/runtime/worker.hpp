@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "nn/sampler.hpp"
+#include "nn/stage.hpp"
+#include "runtime/messages.hpp"
+#include "util/queue.hpp"
+
+namespace gllm::runtime {
+
+using MetaChannel = util::BoundedQueue<StepMetadata>;
+using ActChannel = util::BoundedQueue<Activations>;
+using SampleChannel = util::BoundedQueue<SampleResult>;
+
+/// One pipeline-stage worker thread ("ordinary worker" in the paper's
+/// runtime): receives a metadata packet, prepares inputs, receives the
+/// previous stage's activations (first stage embeds instead), runs its layer
+/// slice, and forwards activations — or samples and reports, on the last
+/// stage. Exits when its metadata channel closes.
+class StageWorker {
+ public:
+  StageWorker(const model::ModelConfig& cfg, model::StageShape shape, std::uint64_t seed,
+              std::int32_t kv_blocks, int kv_block_size, MetaChannel& meta_in,
+              ActChannel* act_in, ActChannel* act_out, SampleChannel* samples_out,
+              nn::Sampler sampler = nn::Sampler{});
+
+  void start();
+  void join();
+
+  const nn::TransformerStage& stage() const { return stage_; }
+
+ private:
+  void run();
+  void process(const StepMetadata& meta);
+
+  nn::TransformerStage stage_;
+  nn::Sampler sampler_;
+  MetaChannel& meta_in_;
+  ActChannel* act_in_;
+  ActChannel* act_out_;
+  SampleChannel* samples_out_;
+  std::thread thread_;
+};
+
+}  // namespace gllm::runtime

@@ -1,0 +1,40 @@
+#include "sched/fcfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gllm::sched {
+
+FcfsScheduler::FcfsScheduler(FcfsParams params) : params_(params) {
+  if (params_.max_prefill_tokens <= 0)
+    throw std::invalid_argument("FcfsScheduler: max_prefill_tokens must be > 0");
+}
+
+MicroBatchPlan FcfsScheduler::plan(const ScheduleContext& ctx) {
+  MicroBatchPlan out;
+  std::int64_t kv_budget = ctx.kv_free_tokens;
+
+  for (const auto& d : ctx.runnable_decodes) {
+    if (static_cast<int>(out.items.size()) >= params_.max_batch_seqs) break;
+    out.items.push_back(BatchItem{d.seq, Phase::kDecode, 1, d.context, false});
+    --kv_budget;
+  }
+
+  int prefill_budget = params_.max_prefill_tokens;
+  for (const auto& w : ctx.waiting) {
+    if (static_cast<int>(out.items.size()) >= params_.max_batch_seqs) break;
+    if (w.chunk_in_flight) continue;
+    // Whole prompt or nothing — no chunking in Orca.
+    if (w.remaining_prefill > prefill_budget ||
+        static_cast<std::int64_t>(w.remaining_prefill) > kv_budget) {
+      break;  // head-of-line blocking
+    }
+    out.items.push_back(
+        BatchItem{w.seq, Phase::kPrefill, w.remaining_prefill, w.context, true});
+    prefill_budget -= w.remaining_prefill;
+    kv_budget -= w.remaining_prefill;
+  }
+  return out;
+}
+
+}  // namespace gllm::sched

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "sched/types.hpp"
+
+namespace gllm::sched {
+
+/// Orca-style iteration-level scheduler *without* chunked prefill: whole
+/// prompts are processed in a single iteration, batched together with all
+/// runnable decodes. Kept as the historical baseline that motivates
+/// Sarathi-Serve — long prompts stall ongoing decodes (generation stalls),
+/// which the comparison tests demonstrate.
+struct FcfsParams {
+  int max_prefill_tokens = 16384;  ///< safety cap on prompt tokens per batch
+  int max_batch_seqs = 1024;
+};
+
+class FcfsScheduler final : public IScheduler {
+ public:
+  explicit FcfsScheduler(FcfsParams params = {});
+
+  MicroBatchPlan plan(const ScheduleContext& ctx) override;
+  std::string_view name() const override { return "orca-fcfs"; }
+
+ private:
+  FcfsParams params_;
+};
+
+}  // namespace gllm::sched

@@ -1,0 +1,48 @@
+#include "sched/sarathi.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gllm::sched {
+
+SarathiScheduler::SarathiScheduler(SarathiParams params) : params_(params) {
+  if (params_.token_budget <= 0)
+    throw std::invalid_argument("SarathiScheduler: token budget must be > 0");
+  if (params_.max_batch_seqs <= 0)
+    throw std::invalid_argument("SarathiScheduler: max_batch_seqs must be > 0");
+}
+
+MicroBatchPlan SarathiScheduler::plan(const ScheduleContext& ctx) {
+  MicroBatchPlan out;
+  int budget = params_.token_budget;
+  std::int64_t kv_budget = ctx.kv_free_tokens;
+
+  // Phase 1: all runnable decode tokens first ("Sarathi-Serve first schedules
+  // all decode tokens"). Decodes proceed regardless of KV pressure; the
+  // engine preempts on allocation failure, as vLLM does.
+  for (const auto& d : ctx.runnable_decodes) {
+    if (budget == 0) break;
+    if (static_cast<int>(out.items.size()) >= params_.max_batch_seqs) break;
+    out.items.push_back(BatchItem{d.seq, Phase::kDecode, 1, d.context, false});
+    --budget;
+    --kv_budget;
+  }
+
+  // Phase 2: maximise chunked prefill within the remaining budget, FCFS with
+  // head-of-line blocking (a stalled head request stops admission).
+  for (const auto& w : ctx.waiting) {
+    if (budget <= 0 || kv_budget <= 0) break;
+    if (static_cast<int>(out.items.size()) >= params_.max_batch_seqs) break;
+    if (w.chunk_in_flight && !params_.chunk_pipelining) continue;
+    const int chunk = static_cast<int>(std::min<std::int64_t>(
+        {w.remaining_prefill, budget, kv_budget}));
+    if (chunk <= 0) break;
+    out.items.push_back(BatchItem{w.seq, Phase::kPrefill, chunk, w.context,
+                                  chunk == w.remaining_prefill});
+    budget -= chunk;
+    kv_budget -= chunk;
+  }
+  return out;
+}
+
+}  // namespace gllm::sched

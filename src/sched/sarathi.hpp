@@ -1,0 +1,38 @@
+#pragma once
+
+#include "sched/types.hpp"
+
+namespace gllm::sched {
+
+/// Sarathi-Serve hybrid scheduling (the paper's baseline, used by both vLLM
+/// and SGLang): first admit every runnable decode, then fill the remainder of
+/// a *fixed token budget* with FCFS chunked prefill, stopping when the budget
+/// or the KV cache runs out.
+///
+/// The coupling of the two phases under one budget is exactly what Section
+/// 2.5 criticises: when decodes are scarce the batch under-fills (insufficient
+/// prefill available), and when prefill is scarce batches carry only the
+/// decode remainder — both produce the token-count volatility of Figure 1.
+struct SarathiParams {
+  int token_budget = 2048;
+  int max_batch_seqs = 1024;
+  /// Allow a prompt's next chunk while a previous chunk is still in flight
+  /// (CPP / Mooncake-style intra-request pipelining). vLLM's scheduler does
+  /// not do this, so the faithful baseline keeps it off.
+  bool chunk_pipelining = false;
+};
+
+class SarathiScheduler final : public IScheduler {
+ public:
+  explicit SarathiScheduler(SarathiParams params = {});
+
+  MicroBatchPlan plan(const ScheduleContext& ctx) override;
+  std::string_view name() const override { return "sarathi"; }
+
+  const SarathiParams& params() const { return params_; }
+
+ private:
+  SarathiParams params_;
+};
+
+}  // namespace gllm::sched

@@ -1,0 +1,89 @@
+#include "sched/td_pipe.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gllm::sched {
+
+TdPipeScheduler::TdPipeScheduler(TdPipeParams params) : params_(params) {
+  if (params_.prefill_chunk <= 0)
+    throw std::invalid_argument("TdPipeScheduler: prefill_chunk must be > 0");
+  if (params_.decode_entry_batch <= 0)
+    throw std::invalid_argument("TdPipeScheduler: decode_entry_batch must be > 0");
+  if (params_.decode_exit_fraction < 0.0 || params_.decode_exit_fraction >= 1.0)
+    throw std::invalid_argument("TdPipeScheduler: exit fraction must be in [0, 1)");
+}
+
+bool TdPipeScheduler::should_enter_decode(const ScheduleContext& ctx) const {
+  // Enough decodable sequences accumulated, or prefill cannot proceed
+  // (nothing waiting / KV exhausted) while decodes are available.
+  if (ctx.total_decode_seqs >= params_.decode_entry_batch) return true;
+  const bool prefill_blocked = ctx.waiting_prefill_tokens() == 0 ||
+                               ctx.kv_free_rate < params_.kv_thresh ||
+                               ctx.kv_free_tokens <= 0;
+  return prefill_blocked && ctx.total_decode_seqs > 0;
+}
+
+bool TdPipeScheduler::should_exit_decode(const ScheduleContext& ctx) const {
+  if (ctx.total_decode_seqs == 0) return true;
+  const auto exit_below = static_cast<std::int64_t>(
+      params_.decode_exit_fraction * static_cast<double>(decode_entry_size_));
+  // Only return to prefilling if there is prefill work and room for it.
+  const bool prefill_possible = ctx.waiting_prefill_tokens() > 0 &&
+                                ctx.kv_free_rate >= params_.kv_thresh &&
+                                ctx.kv_free_tokens > 0;
+  return prefill_possible && ctx.total_decode_seqs <= exit_below;
+}
+
+MicroBatchPlan TdPipeScheduler::plan_prefill(const ScheduleContext& ctx) const {
+  MicroBatchPlan out;
+  if (ctx.kv_free_rate < params_.kv_thresh) return out;
+  std::int64_t budget = std::min<std::int64_t>(params_.prefill_chunk, ctx.kv_free_tokens);
+  for (const auto& w : ctx.waiting) {
+    if (budget <= 0) break;
+    if (static_cast<int>(out.items.size()) >= params_.max_batch_seqs) break;
+    if (w.chunk_in_flight) continue;
+    const int chunk = static_cast<int>(std::min<std::int64_t>(w.remaining_prefill, budget));
+    if (chunk <= 0) continue;
+    out.items.push_back(BatchItem{w.seq, Phase::kPrefill, chunk, w.context,
+                                  chunk == w.remaining_prefill});
+    budget -= chunk;
+  }
+  return out;
+}
+
+MicroBatchPlan TdPipeScheduler::plan_decode(const ScheduleContext& ctx) const {
+  MicroBatchPlan out;
+  // Spread decodes over pipeline-depth cohorts like gLLM's eq. 4 — temporal
+  // disaggregation still needs balanced decode micro-batches to fill the
+  // pipeline.
+  const int depth = std::max(ctx.pipeline_depth, 1);
+  const std::int64_t share = (ctx.total_decode_seqs + depth - 1) / depth;
+  std::int64_t taken = 0;
+  for (const auto& d : ctx.runnable_decodes) {
+    if (taken >= share) break;
+    if (static_cast<int>(out.items.size()) >= params_.max_batch_seqs) break;
+    out.items.push_back(BatchItem{d.seq, Phase::kDecode, 1, d.context, false});
+    ++taken;
+  }
+  return out;
+}
+
+MicroBatchPlan TdPipeScheduler::plan(const ScheduleContext& ctx) {
+  if (mode_ == Mode::kPrefill && should_enter_decode(ctx)) {
+    mode_ = Mode::kDecode;
+    decode_entry_size_ = ctx.total_decode_seqs;
+  } else if (mode_ == Mode::kDecode && should_exit_decode(ctx)) {
+    mode_ = Mode::kPrefill;
+  }
+
+  MicroBatchPlan out =
+      mode_ == Mode::kPrefill ? plan_prefill(ctx) : plan_decode(ctx);
+  // Never idle the pipeline if the other phase has runnable work.
+  if (out.empty()) {
+    out = mode_ == Mode::kPrefill ? plan_decode(ctx) : plan_prefill(ctx);
+  }
+  return out;
+}
+
+}  // namespace gllm::sched

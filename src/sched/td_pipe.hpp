@@ -1,0 +1,49 @@
+#pragma once
+
+#include "sched/types.hpp"
+
+namespace gllm::sched {
+
+/// TD-Pipe-style temporally-disaggregated scheduling (Zhang et al. 2025,
+/// discussed in the paper's §2.4/§5): instead of mixing prefill and decode
+/// tokens in every batch, the engine alternates between a *prefill phase*
+/// (large prompt-only chunks, accumulating decodable sequences) and a
+/// *decode phase* (decode-only batches draining them). This eliminates
+/// prefill/decode interference — the second bubble type — and maximizes
+/// offline throughput, at the cost of decode stalls during prefill phases
+/// (poor TPOT in online serving), which is exactly the contrast the paper
+/// draws with gLLM.
+struct TdPipeParams {
+  int prefill_chunk = 2048;       ///< chunk size during prefill phases
+  /// Switch to decoding when accumulated decodable sequences reach this
+  /// count (or when prefill work/KV space runs out).
+  int decode_entry_batch = 256;
+  /// Return to prefilling when the decode pool drains below this fraction
+  /// of its entry size.
+  double decode_exit_fraction = 0.25;
+  double kv_thresh = 0.05;        ///< suspend prefill below this KV idle rate
+  int max_batch_seqs = 1024;
+};
+
+class TdPipeScheduler final : public IScheduler {
+ public:
+  explicit TdPipeScheduler(TdPipeParams params = {});
+
+  MicroBatchPlan plan(const ScheduleContext& ctx) override;
+  std::string_view name() const override { return "td-pipe"; }
+
+  enum class Mode { kPrefill, kDecode };
+  Mode mode() const { return mode_; }
+
+ private:
+  bool should_enter_decode(const ScheduleContext& ctx) const;
+  bool should_exit_decode(const ScheduleContext& ctx) const;
+  MicroBatchPlan plan_prefill(const ScheduleContext& ctx) const;
+  MicroBatchPlan plan_decode(const ScheduleContext& ctx) const;
+
+  TdPipeParams params_;
+  Mode mode_ = Mode::kPrefill;
+  std::int64_t decode_entry_size_ = 0;
+};
+
+}  // namespace gllm::sched

@@ -1,0 +1,118 @@
+#include "sched/token_throttle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gllm::sched {
+
+TokenThrottleScheduler::TokenThrottleScheduler(ThrottleParams params) : params_(params) {
+  if (params_.iter_t <= 0) throw std::invalid_argument("TokenThrottle: #T must be > 0");
+  if (params_.max_p <= 0) throw std::invalid_argument("TokenThrottle: #MaxP must be > 0");
+  if (params_.min_p < 0) throw std::invalid_argument("TokenThrottle: #MinP must be >= 0");
+  if (params_.min_p > params_.max_p)
+    throw std::invalid_argument("TokenThrottle: #MinP must not exceed #MaxP");
+  if (params_.kv_thresh < 0.0 || params_.kv_thresh >= 1.0)
+    throw std::invalid_argument("TokenThrottle: KV_thresh must be in [0, 1)");
+}
+
+std::string_view TokenThrottleScheduler::name() const {
+  if (!params_.enable_wt && !params_.enable_ut) return "token-throttle(no-wt,no-ut)";
+  if (!params_.enable_wt) return "token-throttle(w/o WT)";
+  if (!params_.enable_ut) return "token-throttle(w/o UT)";
+  return "token-throttle";
+}
+
+std::int64_t TokenThrottleScheduler::decode_budget(const ScheduleContext& ctx) const {
+  if (ctx.total_decode_seqs <= 0) return 0;
+  const int depth = std::max(ctx.pipeline_depth, 1);
+  // #D = #RD / #PP_depth (eq. 4), rounded up so the remainder is not starved.
+  return (ctx.total_decode_seqs + depth - 1) / depth;
+}
+
+std::int64_t TokenThrottleScheduler::prefill_budget(const ScheduleContext& ctx) const {
+  const std::int64_t wp = ctx.waiting_prefill_tokens();
+  if (wp == 0) return 0;
+
+  // KV idle-rate threshold (3.1.3): suspend prefill near capacity so ongoing
+  // decodes are not preempted into costly recomputation.
+  if (ctx.kv_free_rate < params_.kv_thresh) return 0;
+
+  const double max_p = params_.max_p;
+  const double min_p = params_.min_p;
+  double p = 0.0;
+
+  if (params_.enable_wt && params_.enable_ut) {
+    // Combined form (eq. 3).
+    const double scaled_cap =
+        max_p * (ctx.kv_free_rate - params_.kv_thresh) / (1.0 - params_.kv_thresh);
+    p = std::max(std::min(static_cast<double>(wp) / params_.iter_t, scaled_cap), min_p);
+  } else if (params_.enable_wt) {
+    // WT only (eq. 1).
+    p = std::min(std::max(static_cast<double>(wp) / params_.iter_t, min_p), max_p);
+  } else if (params_.enable_ut) {
+    // UT only (eq. 2).
+    p = std::max(max_p * ctx.kv_free_rate, min_p);
+  } else {
+    // Neither throttle: greedy up to #MaxP (degenerate variant for tests).
+    p = max_p;
+  }
+
+  auto budget = static_cast<std::int64_t>(std::llround(p));
+  budget = std::min(budget, wp);
+  return std::max<std::int64_t>(budget, 0);
+}
+
+int TokenThrottleScheduler::max_chunk_for_budget(std::int64_t budget,
+                                                 std::int64_t context) const {
+  if (budget <= 0) return 0;
+  if (!params_.context_aware) return static_cast<int>(std::min<std::int64_t>(budget, 1 << 30));
+  // Solve n * (1 + (c + n/2) / e) <= B for n:
+  //   n^2 / (2e) + n * (1 + c/e) - B <= 0.
+  const double e = params_.ctx_equiv;
+  const double a = 1.0 + static_cast<double>(context) / e;
+  const double b = static_cast<double>(budget);
+  const double n = e * (-a + std::sqrt(a * a + 2.0 * b / e));
+  return std::max(static_cast<int>(n), 1);  // always make progress
+}
+
+MicroBatchPlan TokenThrottleScheduler::plan(const ScheduleContext& ctx) {
+  MicroBatchPlan out;
+
+  // --- Decode Token Throttling (3.2): an even share of all running decodes.
+  const std::int64_t d_budget = decode_budget(ctx);
+  std::int64_t kv_budget = ctx.kv_free_tokens;
+  std::int64_t d_taken = 0;
+  for (const auto& d : ctx.runnable_decodes) {
+    if (d_taken >= d_budget) break;
+    if (static_cast<int>(out.items.size()) >= params_.max_batch_seqs) break;
+    out.items.push_back(BatchItem{d.seq, Phase::kDecode, 1, d.context, false});
+    ++d_taken;
+    --kv_budget;
+  }
+
+  // --- Prefill Token Throttling (3.1): decoupled budget, FCFS chunk fill.
+  // With context_aware, the budget is in attention-adjusted tokens and each
+  // chunk's cost reflects its quadratic attention share (paper §6).
+  std::int64_t p_budget = std::min(prefill_budget(ctx), std::max<std::int64_t>(kv_budget, 0));
+  for (const auto& w : ctx.waiting) {
+    if (p_budget <= 0) break;
+    if (static_cast<int>(out.items.size()) >= params_.max_batch_seqs) break;
+    if (w.chunk_in_flight && !params_.chunk_pipelining) continue;
+    const int chunk =
+        std::min(w.remaining_prefill, max_chunk_for_budget(p_budget, w.context));
+    if (chunk <= 0) continue;
+    out.items.push_back(BatchItem{w.seq, Phase::kPrefill, chunk, w.context,
+                                  chunk == w.remaining_prefill});
+    if (params_.context_aware) {
+      const double eff = chunk * (1.0 + (static_cast<double>(w.context) + chunk / 2.0) /
+                                            params_.ctx_equiv);
+      p_budget -= static_cast<std::int64_t>(std::llround(eff));
+    } else {
+      p_budget -= chunk;
+    }
+  }
+  return out;
+}
+
+}  // namespace gllm::sched

@@ -1,0 +1,66 @@
+#pragma once
+
+#include "sched/types.hpp"
+
+namespace gllm::sched {
+
+/// Hyper-parameters of gLLM Token Throttling (paper Section 3.1-3.2).
+/// Defaults are the paper's evaluation settings (4.1).
+struct ThrottleParams {
+  int iter_t = 8;          ///< #T: iterations to drain all waiting prefill tokens
+  int max_p = 2048;        ///< #MaxP: max batched prefill tokens
+  int min_p = 32;          ///< #MinP: min batched prefill tokens
+  double kv_thresh = 0.05; ///< KV_thresh: idle-rate floor below which prefill halts
+  bool enable_wt = true;   ///< throttle by tokens awaiting prefill (3.1.1, eq. 1)
+  bool enable_ut = true;   ///< throttle by KV utilisation (3.1.2, eq. 2)
+  int max_batch_seqs = 1024;
+  /// CPP-style intra-request chunk pipelining (the paper integrates CPP, 3.4).
+  bool chunk_pipelining = true;
+
+  /// Context-aware cost estimation — the paper's stated future work (§6):
+  /// "to better balance the computational load across micro-batches, we
+  /// should incorporate the context length of each sequence". When enabled,
+  /// the prefill budget is interpreted in *attention-adjusted* tokens: a
+  /// chunk of n tokens at context c costs n * (1 + (c + n/2) / ctx_equiv),
+  /// so chunks shrink as a long prompt's attention grows quadratic.
+  bool context_aware = false;
+  /// Context length whose attention work equals one token of GEMM work.
+  double ctx_equiv = 8192.0;
+};
+
+/// gLLM's Token Throttling scheduler: decoupled, dynamic regulation of
+/// prefill and decode token counts from global system state.
+///
+///  * Decode (eq. 4): spread the #RD running decodes evenly over the
+///    #PP_depth concurrently live micro-batches: #D = ceil(#RD / depth).
+///  * Prefill (eqs. 1-3): throttle by the waiting-token volume (#WP / #T),
+///    capped by a KV-pressure-scaled maximum, floored at #MinP, and suspended
+///    entirely below the KV idle threshold.
+///
+/// Setting enable_wt / enable_ut false yields the paper's ablation variants
+/// "gLLM w/o WT" and "gLLM w/o UT" (Figure 15).
+class TokenThrottleScheduler final : public IScheduler {
+ public:
+  explicit TokenThrottleScheduler(ThrottleParams params = {});
+
+  MicroBatchPlan plan(const ScheduleContext& ctx) override;
+  std::string_view name() const override;
+
+  /// The #P value of eqs. 1-3 before chunk assignment; exposed for tests and
+  /// the sensitivity study.
+  std::int64_t prefill_budget(const ScheduleContext& ctx) const;
+
+  /// The #D value of eq. 4.
+  std::int64_t decode_budget(const ScheduleContext& ctx) const;
+
+  /// Largest chunk whose attention-adjusted cost fits `budget` effective
+  /// tokens at context `context` (== budget when context_aware is off).
+  int max_chunk_for_budget(std::int64_t budget, std::int64_t context) const;
+
+  const ThrottleParams& params() const { return params_; }
+
+ private:
+  ThrottleParams params_;
+};
+
+}  // namespace gllm::sched

@@ -1,0 +1,27 @@
+#include "sched/types.hpp"
+
+namespace gllm::sched {
+
+int MicroBatchPlan::prefill_tokens() const {
+  int n = 0;
+  for (const auto& item : items) {
+    if (item.phase == Phase::kPrefill) n += item.n_tokens;
+  }
+  return n;
+}
+
+int MicroBatchPlan::decode_tokens() const {
+  int n = 0;
+  for (const auto& item : items) {
+    if (item.phase == Phase::kDecode) n += item.n_tokens;
+  }
+  return n;
+}
+
+std::int64_t ScheduleContext::waiting_prefill_tokens() const {
+  std::int64_t n = 0;
+  for (const auto& w : waiting) n += w.remaining_prefill;
+  return n;
+}
+
+}  // namespace gllm::sched

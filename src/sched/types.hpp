@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "kv/kv_manager.hpp"
+
+namespace gllm::sched {
+
+enum class Phase { kPrefill, kDecode };
+
+/// One sequence's slice of a planned micro-batch.
+struct BatchItem {
+  kv::SeqId seq = 0;
+  Phase phase = Phase::kDecode;
+  int n_tokens = 0;               ///< chunk size (1 for a decode step)
+  std::int64_t context = 0;       ///< KV tokens already cached
+  bool last_prefill_chunk = false;///< this chunk completes the prompt
+};
+
+/// What the scheduler hands the engine each iteration.
+struct MicroBatchPlan {
+  std::vector<BatchItem> items;
+
+  int prefill_tokens() const;
+  int decode_tokens() const;
+  int total_tokens() const { return prefill_tokens() + decode_tokens(); }
+  bool empty() const { return items.empty(); }
+};
+
+/// A request still holding un-prefilled prompt tokens (FCFS order preserved
+/// by the engine; preempted sequences re-enter at the front).
+struct WaitingSeq {
+  kv::SeqId seq = 0;
+  int remaining_prefill = 0;     ///< prompt tokens not yet scheduled
+  std::int64_t context = 0;      ///< KV tokens already cached (chunked progress)
+  double arrival = 0.0;
+  bool chunk_in_flight = false;  ///< an earlier chunk is still in the pipeline
+};
+
+/// A decode-phase sequence available this iteration (not in flight).
+struct DecodeSeq {
+  kv::SeqId seq = 0;
+  std::int64_t context = 0;
+};
+
+/// Global snapshot the engine exposes to the scheduler — "leveraging global
+/// information from the inference system" is the paper's framing of Token
+/// Throttling, and this struct is that information.
+struct ScheduleContext {
+  double now = 0.0;
+  int pipeline_depth = 1;
+  std::vector<WaitingSeq> waiting;          ///< FCFS
+  std::vector<DecodeSeq> runnable_decodes;  ///< not currently in flight
+  std::int64_t total_decode_seqs = 0;       ///< #RD: running decodes incl. in-flight
+  double kv_free_rate = 1.0;                ///< KV_free in [0, 1]
+  std::int64_t kv_free_tokens = 0;          ///< admissible new KV tokens (planning bound)
+
+  /// Total tokens awaiting prefill (#WP), counting only schedulable requests.
+  std::int64_t waiting_prefill_tokens() const;
+};
+
+/// Scheduling policy interface. Implementations must be pure planners: they
+/// read the context and emit a plan; KV allocation, preemption and sequence
+/// state transitions belong to the engine.
+class IScheduler {
+ public:
+  virtual ~IScheduler() = default;
+  virtual MicroBatchPlan plan(const ScheduleContext& ctx) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace gllm::sched

@@ -1,0 +1,86 @@
+#include "serve/options.hpp"
+
+namespace gllm::serve {
+
+engine::EngineConfig SystemOptions::engine_config() const {
+  engine::EngineConfig cfg;
+  cfg.model = model;
+  cfg.cluster = cluster;
+  cfg.pp = pp;
+  cfg.tp = tp;
+  cfg.gpu_memory_util = gpu_memory_util;
+  cfg.kv_block_size = kv_block_size;
+  cfg.prefix_caching = prefix_caching;
+  cfg.runtime = runtime;
+  cfg.record_busy_intervals = record_busy_intervals;
+  cfg.cohort_pinning = cohort_pinning;
+  return cfg;
+}
+
+SystemOptions SystemOptions::gllm(model::ModelConfig m, hw::ClusterSpec c, int pp) {
+  SystemOptions o;
+  o.label = "gLLM";
+  o.model = std::move(m);
+  o.cluster = std::move(c);
+  o.pp = pp;
+  o.scheduler = SchedulerKind::kTokenThrottle;
+  o.runtime = engine::RuntimeModel::gllm_async();
+  return o;
+}
+
+SystemOptions SystemOptions::gllm_wo_wt(model::ModelConfig m, hw::ClusterSpec c, int pp) {
+  SystemOptions o = gllm(std::move(m), std::move(c), pp);
+  o.label = "gLLM w/o WT";
+  o.throttle.enable_wt = false;
+  return o;
+}
+
+SystemOptions SystemOptions::gllm_wo_ut(model::ModelConfig m, hw::ClusterSpec c, int pp) {
+  SystemOptions o = gllm(std::move(m), std::move(c), pp);
+  o.label = "gLLM w/o UT";
+  o.throttle.enable_ut = false;
+  return o;
+}
+
+SystemOptions SystemOptions::gllm_with_ck(model::ModelConfig m, hw::ClusterSpec c, int pp) {
+  SystemOptions o = gllm(std::move(m), std::move(c), pp);
+  o.label = "gLLM w/ CK";
+  o.scheduler = SchedulerKind::kSarathi;
+  return o;
+}
+
+SystemOptions SystemOptions::vllm(model::ModelConfig m, hw::ClusterSpec c, int pp) {
+  SystemOptions o;
+  o.label = "vLLM";
+  o.model = std::move(m);
+  o.cluster = std::move(c);
+  o.pp = pp;
+  o.scheduler = SchedulerKind::kSarathi;
+  o.runtime = engine::RuntimeModel::vllm_like();
+  return o;
+}
+
+SystemOptions SystemOptions::td_pipe(model::ModelConfig m, hw::ClusterSpec c, int pp) {
+  SystemOptions o;
+  o.label = "TD-Pipe";
+  o.model = std::move(m);
+  o.cluster = std::move(c);
+  o.pp = pp;
+  o.scheduler = SchedulerKind::kTdPipe;
+  o.runtime = engine::RuntimeModel::gllm_async();
+  return o;
+}
+
+SystemOptions SystemOptions::sglang(model::ModelConfig m, hw::ClusterSpec c, int tp) {
+  SystemOptions o;
+  o.label = "SGLang";
+  o.model = std::move(m);
+  o.cluster = std::move(c);
+  o.pp = 1;
+  o.tp = tp;
+  o.scheduler = SchedulerKind::kSarathi;
+  o.runtime = engine::RuntimeModel::sglang_like();
+  return o;
+}
+
+}  // namespace gllm::serve

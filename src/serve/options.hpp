@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "engine/config.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/sarathi.hpp"
+#include "sched/td_pipe.hpp"
+#include "sched/token_throttle.hpp"
+
+namespace gllm::serve {
+
+enum class SchedulerKind { kSarathi, kTokenThrottle, kFcfs, kTdPipe };
+
+/// Full description of one serving system under test: deployment + policy +
+/// runtime. The static factories encode the paper's evaluated schemes (4.1),
+/// so benchmarks read like the paper's legend.
+struct SystemOptions {
+  std::string label = "system";
+  model::ModelConfig model;
+  hw::ClusterSpec cluster;
+  int pp = 1;
+  int tp = 1;
+  SchedulerKind scheduler = SchedulerKind::kTokenThrottle;
+  sched::ThrottleParams throttle;
+  sched::SarathiParams sarathi;
+  sched::FcfsParams fcfs;
+  sched::TdPipeParams td_pipe_params;
+  engine::RuntimeModel runtime = engine::RuntimeModel::gllm_async();
+  double gpu_memory_util = 0.90;
+  int kv_block_size = 16;
+  bool prefix_caching = false;
+  bool record_busy_intervals = false;  ///< Figure 4 utilization timelines
+  bool cohort_pinning = false;         ///< vLLM-V0 virtual-engine pinning
+
+  engine::EngineConfig engine_config() const;
+
+  // ---- Paper schemes -------------------------------------------------------
+
+  /// gLLM: pipeline parallel, Token Throttling, asynchronous runtime.
+  static SystemOptions gllm(model::ModelConfig m, hw::ClusterSpec c, int pp);
+  /// gLLM w/o WT (ablation): UT + threshold only.
+  static SystemOptions gllm_wo_wt(model::ModelConfig m, hw::ClusterSpec c, int pp);
+  /// gLLM w/o UT (ablation): WT only.
+  static SystemOptions gllm_wo_ut(model::ModelConfig m, hw::ClusterSpec c, int pp);
+  /// gLLM w/ CK (ablation): Sarathi coupled scheduling on the gLLM runtime.
+  static SystemOptions gllm_with_ck(model::ModelConfig m, hw::ClusterSpec c, int pp);
+  /// vLLM baseline: pipeline parallel, Sarathi scheduling (budget 2048),
+  /// serialized-metadata runtime.
+  static SystemOptions vllm(model::ModelConfig m, hw::ClusterSpec c, int pp);
+  /// SGLang baseline: tensor parallel, Sarathi mixed-chunk scheduling,
+  /// low-overhead runtime.
+  static SystemOptions sglang(model::ModelConfig m, hw::ClusterSpec c, int tp);
+  /// TD-Pipe-style temporally-disaggregated pipeline scheduling (related
+  /// work baseline: high offline throughput, decode stalls online).
+  static SystemOptions td_pipe(model::ModelConfig m, hw::ClusterSpec c, int pp);
+};
+
+}  // namespace gllm::serve

@@ -1,0 +1,64 @@
+#include "serve/report.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace gllm::serve {
+
+void ReportWriter::add_section(std::string heading, std::vector<SweepPoint> points) {
+  sections_.push_back(Section{std::move(heading), std::move(points), {}});
+}
+
+void ReportWriter::add_note(std::string note) {
+  if (sections_.empty()) throw std::logic_error("ReportWriter: note before any section");
+  sections_.back().notes.push_back(std::move(note));
+}
+
+void ReportWriter::write_markdown(std::ostream& os) const {
+  os << "# " << title_ << "\n";
+  for (const auto& section : sections_) {
+    os << "\n## " << section.heading << "\n\n";
+    os << "| system | rate (req/s) | TTFT (ms) | TPOT (ms) | E2EL (s) | throughput "
+          "(tok/s) | util | token CV | preempt |\n";
+    os << "|---|---|---|---|---|---|---|---|---|\n";
+    for (const auto& p : section.points) {
+      os << "| " << p.system << " | " << util::format_double(p.request_rate, 2) << " | "
+         << util::format_double(p.mean_ttft * 1e3, 0) << " | "
+         << util::format_double(p.mean_tpot * 1e3, 0) << " | "
+         << util::format_double(p.mean_e2el, 1) << " | "
+         << util::format_double(p.throughput, 0) << " | "
+         << util::format_double(p.utilization, 2) << " | "
+         << util::format_double(p.token_cv, 2) << " | " << p.preemptions << " |\n";
+    }
+    for (const auto& note : section.notes) os << "\n> " << note << "\n";
+  }
+}
+
+void ReportWriter::write_csv(std::ostream& os) const {
+  util::CsvWriter csv(os);
+  csv.row({"section", "system", "request_rate", "mean_ttft_s", "p99_ttft_s",
+           "mean_tpot_s", "mean_e2el_s", "throughput_tok_s", "utilization", "token_cv",
+           "preemptions"});
+  for (const auto& section : sections_) {
+    for (const auto& p : section.points) {
+      csv.write(section.heading, p.system, p.request_rate, p.mean_ttft, p.p99_ttft,
+                p.mean_tpot, p.mean_e2el, p.throughput, p.utilization, p.token_cv,
+                p.preemptions);
+    }
+  }
+}
+
+void write_request_csv(const engine::RunResult& result, std::ostream& os) {
+  util::CsvWriter csv(os);
+  csv.row({"id", "arrival", "prompt_len", "output_len", "ttft_s", "e2e_s", "tpot_s",
+           "preemptions", "completed"});
+  for (const auto& r : result.requests) {
+    csv.write(r.id, r.arrival, r.prompt_len, r.output_len, r.ttft, r.e2e, r.tpot,
+              r.preemptions, r.completed ? 1 : 0);
+  }
+}
+
+}  // namespace gllm::serve

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.hpp"
+#include "serve/sweep.hpp"
+
+namespace gllm::serve {
+
+/// Benchmark-report rendering: turns sweep points / run results into the
+/// artifacts a serving evaluation ships — a human-readable markdown summary
+/// and machine-readable CSV series (one row per point, one file per
+/// comparison).
+class ReportWriter {
+ public:
+  explicit ReportWriter(std::string title) : title_(std::move(title)) {}
+
+  /// Add one comparison section (e.g. one Figure-10 panel).
+  void add_section(std::string heading, std::vector<SweepPoint> points);
+
+  /// Free-form commentary attached to the last-added section.
+  void add_note(std::string note);
+
+  /// GitHub-flavoured markdown: a table per section.
+  void write_markdown(std::ostream& os) const;
+
+  /// Flat CSV of every point: section,system,rate,ttft,...
+  void write_csv(std::ostream& os) const;
+
+  std::size_t section_count() const { return sections_.size(); }
+
+ private:
+  struct Section {
+    std::string heading;
+    std::vector<SweepPoint> points;
+    std::vector<std::string> notes;
+  };
+
+  std::string title_;
+  std::vector<Section> sections_;
+};
+
+/// Render a single RunResult as the CLI's per-request CSV (header included).
+void write_request_csv(const engine::RunResult& result, std::ostream& os);
+
+}  // namespace gllm::serve

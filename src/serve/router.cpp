@@ -1,0 +1,110 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "serve/system.hpp"
+#include "util/rng.hpp"
+
+namespace gllm::serve {
+
+std::vector<workload::Trace> route_trace(const workload::Trace& trace, int replicas,
+                                         RoutePolicy policy, std::uint64_t seed,
+                                         double service_rate) {
+  if (replicas <= 0) throw std::invalid_argument("route_trace: replicas must be > 0");
+  if (service_rate <= 0) throw std::invalid_argument("route_trace: service_rate must be > 0");
+
+  std::vector<workload::Trace> shards(static_cast<std::size_t>(replicas));
+  util::Rng rng(seed);
+  // kLeastWork state: outstanding token estimate per replica, drained at
+  // service_rate tokens/s between arrivals.
+  std::vector<double> outstanding(static_cast<std::size_t>(replicas), 0.0);
+  double last_arrival = 0.0;
+  std::size_t next_rr = 0;
+
+  for (const auto& request : trace) {
+    std::size_t target = 0;
+    switch (policy) {
+      case RoutePolicy::kRoundRobin:
+        target = next_rr;
+        next_rr = (next_rr + 1) % static_cast<std::size_t>(replicas);
+        break;
+      case RoutePolicy::kRandom:
+        target = static_cast<std::size_t>(rng.uniform_int(0, replicas - 1));
+        break;
+      case RoutePolicy::kLeastWork: {
+        const double elapsed = std::max(request.arrival - last_arrival, 0.0);
+        for (double& w : outstanding) w = std::max(0.0, w - elapsed * service_rate);
+        target = static_cast<std::size_t>(
+            std::min_element(outstanding.begin(), outstanding.end()) -
+            outstanding.begin());
+        outstanding[target] += request.prompt_len + request.output_len;
+        last_arrival = request.arrival;
+        break;
+      }
+    }
+    shards[target].push_back(request);
+  }
+  return shards;
+}
+
+DataParallelSystem::DataParallelSystem(DataParallelOptions options)
+    : options_(std::move(options)) {
+  if (options_.replicas <= 0)
+    throw std::invalid_argument("DataParallelSystem: replicas must be > 0");
+  // Fail fast if a replica deployment is invalid (model does not fit etc.).
+  ServingSystem probe(options_.replica);
+}
+
+engine::RunResult DataParallelSystem::run(const workload::Trace& trace) {
+  const auto shards =
+      route_trace(trace, options_.replicas, options_.policy, options_.route_seed);
+  std::vector<engine::RunResult> results;
+  results.reserve(shards.size());
+  for (const auto& shard : shards) {
+    ServingSystem replica(options_.replica);
+    results.push_back(replica.run(shard));
+  }
+  return merge_results(std::move(results));
+}
+
+engine::RunResult merge_results(std::vector<engine::RunResult> results) {
+  engine::RunResult merged;
+  if (results.empty()) return merged;
+
+  bool any_request = false;
+  for (auto& r : results) {
+    if (!r.requests.empty()) {
+      merged.start_time = any_request ? std::min(merged.start_time, r.start_time)
+                                      : r.start_time;
+      merged.end_time = any_request ? std::max(merged.end_time, r.end_time) : r.end_time;
+      any_request = true;
+    }
+    merged.requests.insert(merged.requests.end(), r.requests.begin(), r.requests.end());
+    merged.iterations.insert(merged.iterations.end(), r.iterations.begin(),
+                             r.iterations.end());
+    merged.busy_intervals.insert(merged.busy_intervals.end(), r.busy_intervals.begin(),
+                                 r.busy_intervals.end());
+    merged.stage_busy_seconds.insert(merged.stage_busy_seconds.end(),
+                                     r.stage_busy_seconds.begin(),
+                                     r.stage_busy_seconds.end());
+    merged.preemptions += r.preemptions;
+    merged.scheduler_invocations += r.scheduler_invocations;
+    merged.kv.alloc_failures += r.kv.alloc_failures;
+    merged.kv.blocks_allocated += r.kv.blocks_allocated;
+    merged.kv.prefix_hit_tokens += r.kv.prefix_hit_tokens;
+    merged.kv.peak_utilization = std::max(merged.kv.peak_utilization,
+                                          r.kv.peak_utilization);
+  }
+  std::sort(merged.requests.begin(), merged.requests.end(),
+            [](const engine::RequestMetrics& a, const engine::RequestMetrics& b) {
+              return a.id < b.id;
+            });
+  std::sort(merged.iterations.begin(), merged.iterations.end(),
+            [](const engine::IterationSample& a, const engine::IterationSample& b) {
+              return a.time < b.time;
+            });
+  return merged;
+}
+
+}  // namespace gllm::serve

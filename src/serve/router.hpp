@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/metrics.hpp"
+#include "serve/options.hpp"
+#include "workload/trace.hpp"
+
+namespace gllm::serve {
+
+/// Request routing across data-parallel replicas (the third basic strategy in
+/// the paper's Figure 2). Policies operate on the arrival stream:
+///  * kRoundRobin   — classic rotation;
+///  * kLeastWork    — send each arrival to the replica with the least
+///                    outstanding token work (prompt+output estimate with
+///                    service-rate decay), a join-shortest-queue analogue;
+///  * kRandom       — seeded uniform pick (the load-balancer baseline).
+enum class RoutePolicy { kRoundRobin, kLeastWork, kRandom };
+
+/// Split `trace` into one per-replica trace (arrival times preserved).
+/// `service_rate` is the per-replica token throughput estimate used by
+/// kLeastWork's outstanding-work decay.
+std::vector<workload::Trace> route_trace(const workload::Trace& trace, int replicas,
+                                         RoutePolicy policy, std::uint64_t seed = 17,
+                                         double service_rate = 2000.0);
+
+/// N identical serving replicas behind a router. Each replica is an
+/// independent deployment (its own GPUs, KV pool and scheduler); the merged
+/// result reports fleet-level metrics.
+struct DataParallelOptions {
+  SystemOptions replica;  ///< per-replica deployment (label is reused + suffixed)
+  int replicas = 2;
+  RoutePolicy policy = RoutePolicy::kLeastWork;
+  std::uint64_t route_seed = 17;
+};
+
+class DataParallelSystem {
+ public:
+  explicit DataParallelSystem(DataParallelOptions options);
+
+  engine::RunResult run(const workload::Trace& trace);
+
+  const DataParallelOptions& options() const { return options_; }
+
+ private:
+  DataParallelOptions options_;
+};
+
+/// Merge per-replica results into a fleet-level view: requests unioned,
+/// per-stage busy times concatenated, iteration traces interleaved by time.
+engine::RunResult merge_results(std::vector<engine::RunResult> results);
+
+}  // namespace gllm::serve

@@ -1,0 +1,117 @@
+#include "serve/sweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "serve/system.hpp"
+#include "util/stats.hpp"
+
+namespace gllm::serve {
+
+SweepPoint summarize(const SystemOptions& options, double rate,
+                     const engine::RunResult& result) {
+  SweepPoint p;
+  p.system = options.label;
+  p.request_rate = rate;
+  p.requests = result.requests.size();
+  p.mean_ttft = result.mean_ttft();
+  p.p99_ttft = result.p99_ttft();
+  p.mean_tpot = result.mean_tpot();
+  p.mean_e2el = result.mean_e2el();
+  p.throughput = result.throughput();
+  p.utilization = result.mean_stage_utilization();
+  p.token_cv = result.token_count_cv();
+  p.preemptions = result.preemptions;
+  return p;
+}
+
+SweepPoint run_at_rate(const SystemOptions& options, const workload::WorkloadSpec& workload,
+                       double rate, double duration, std::uint64_t seed,
+                       engine::RunResult* raw) {
+  workload::TraceBuilder builder(workload, seed);
+  workload::ArrivalProcess arrivals;
+  arrivals.kind = workload::ArrivalProcess::Kind::kPoisson;
+  arrivals.rate = rate;
+  const workload::Trace trace = builder.generate_for_duration(arrivals, duration);
+
+  ServingSystem system(options);
+  engine::RunResult result = system.run(trace);
+  SweepPoint point = summarize(options, rate, result);
+  if (raw != nullptr) *raw = std::move(result);
+  return point;
+}
+
+std::vector<SweepPoint> rate_sweep(const SystemOptions& options,
+                                   const workload::WorkloadSpec& workload,
+                                   const std::vector<double>& rates, double duration,
+                                   std::uint64_t seed) {
+  std::vector<SweepPoint> points;
+  points.reserve(rates.size());
+  for (double rate : rates) {
+    points.push_back(run_at_rate(options, workload, rate, duration, seed));
+  }
+  return points;
+}
+
+ReplicatedPoint replicate_at_rate(const SystemOptions& options,
+                                  const workload::WorkloadSpec& workload, double rate,
+                                  double duration, std::uint64_t base_seed, int n_seeds) {
+  if (n_seeds <= 0) throw std::invalid_argument("replicate_at_rate: n_seeds must be > 0");
+  util::OnlineStats ttft, tpot, e2el, thr, util_s, cv;
+  for (int i = 0; i < n_seeds; ++i) {
+    const auto p = run_at_rate(options, workload, rate, duration,
+                               base_seed + static_cast<std::uint64_t>(i) * 7919);
+    ttft.add(p.mean_ttft);
+    tpot.add(p.mean_tpot);
+    e2el.add(p.mean_e2el);
+    thr.add(p.throughput);
+    util_s.add(p.utilization);
+    cv.add(p.token_cv);
+  }
+  ReplicatedPoint out;
+  out.n_seeds = n_seeds;
+  out.mean.system = out.stddev.system = options.label;
+  out.mean.request_rate = out.stddev.request_rate = rate;
+  out.mean.mean_ttft = ttft.mean();
+  out.stddev.mean_ttft = ttft.stddev();
+  out.mean.mean_tpot = tpot.mean();
+  out.stddev.mean_tpot = tpot.stddev();
+  out.mean.mean_e2el = e2el.mean();
+  out.stddev.mean_e2el = e2el.stddev();
+  out.mean.throughput = thr.mean();
+  out.stddev.throughput = thr.stddev();
+  out.mean.utilization = util_s.mean();
+  out.stddev.utilization = util_s.stddev();
+  out.mean.token_cv = cv.mean();
+  out.stddev.token_cv = cv.stddev();
+  return out;
+}
+
+MaxThroughputResult find_max_throughput(const SystemOptions& options,
+                                        const workload::WorkloadSpec& workload,
+                                        double start_rate, double duration,
+                                        std::uint64_t seed, double growth,
+                                        double plateau_tolerance) {
+  MaxThroughputResult out;
+  double rate = start_rate;
+  int flat_rounds = 0;
+  // Stop after two consecutive rate increases fail to raise throughput by the
+  // tolerance — the paper's "incrementally increasing request rates until
+  // system throughput stabilizes".
+  for (int i = 0; i < 24 && flat_rounds < 2; ++i) {
+    SweepPoint p = run_at_rate(options, workload, rate, duration, seed);
+    out.points.push_back(p);
+    if (p.throughput > out.max_throughput * (1.0 + plateau_tolerance)) {
+      out.max_throughput = std::max(out.max_throughput, p.throughput);
+      out.saturation_rate = rate;
+      flat_rounds = 0;
+    } else {
+      out.max_throughput = std::max(out.max_throughput, p.throughput);
+      ++flat_rounds;
+    }
+    rate *= growth;
+  }
+  return out;
+}
+
+}  // namespace gllm::serve

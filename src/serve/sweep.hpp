@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.hpp"
+#include "serve/options.hpp"
+#include "workload/generator.hpp"
+
+namespace gllm::serve {
+
+/// One point of a latency/throughput curve (one system at one request rate).
+struct SweepPoint {
+  std::string system;
+  double request_rate = 0.0;    ///< offered load, req/s
+  std::size_t requests = 0;
+  double mean_ttft = 0.0;
+  double p99_ttft = 0.0;
+  double mean_tpot = 0.0;
+  double mean_e2el = 0.0;
+  double throughput = 0.0;      ///< input+output tokens/s
+  double utilization = 0.0;     ///< mean stage busy fraction
+  double token_cv = 0.0;        ///< per-iteration batched-token volatility
+  std::int64_t preemptions = 0;
+  double slo = 0.0;             ///< filled by SLO studies
+};
+
+SweepPoint summarize(const SystemOptions& options, double rate,
+                     const engine::RunResult& result);
+
+/// Run `options` against a Poisson trace at `rate` req/s over `duration`
+/// seconds of request sending (the paper fixes 128 s), deterministic in `seed`.
+SweepPoint run_at_rate(const SystemOptions& options, const workload::WorkloadSpec& workload,
+                       double rate, double duration, std::uint64_t seed,
+                       engine::RunResult* raw = nullptr);
+
+/// Latency/throughput curves: one point per rate (Figures 10 and 12).
+std::vector<SweepPoint> rate_sweep(const SystemOptions& options,
+                                   const workload::WorkloadSpec& workload,
+                                   const std::vector<double>& rates, double duration,
+                                   std::uint64_t seed);
+
+/// Multi-seed replication: mean and (sample) standard deviation of the main
+/// metrics across `n_seeds` independent workload draws. Use to attach error
+/// bars to any figure point.
+struct ReplicatedPoint {
+  SweepPoint mean;
+  SweepPoint stddev;
+  int n_seeds = 0;
+};
+ReplicatedPoint replicate_at_rate(const SystemOptions& options,
+                                  const workload::WorkloadSpec& workload, double rate,
+                                  double duration, std::uint64_t base_seed, int n_seeds);
+
+/// The paper's "maximum throughput" protocol (4.3): raise the request rate
+/// until throughput stabilises; return the plateau (tokens/s).
+struct MaxThroughputResult {
+  double max_throughput = 0.0;
+  double saturation_rate = 0.0;  ///< lowest rate achieving the plateau
+  std::vector<SweepPoint> points;
+};
+MaxThroughputResult find_max_throughput(const SystemOptions& options,
+                                        const workload::WorkloadSpec& workload,
+                                        double start_rate, double duration,
+                                        std::uint64_t seed,
+                                        double growth = 1.30,
+                                        double plateau_tolerance = 0.03);
+
+}  // namespace gllm::serve

@@ -1,0 +1,26 @@
+#include "serve/system.hpp"
+
+#include <stdexcept>
+
+namespace gllm::serve {
+
+std::shared_ptr<sched::IScheduler> ServingSystem::make_scheduler(
+    const SystemOptions& options) {
+  switch (options.scheduler) {
+    case SchedulerKind::kSarathi:
+      return std::make_shared<sched::SarathiScheduler>(options.sarathi);
+    case SchedulerKind::kTokenThrottle:
+      return std::make_shared<sched::TokenThrottleScheduler>(options.throttle);
+    case SchedulerKind::kFcfs:
+      return std::make_shared<sched::FcfsScheduler>(options.fcfs);
+    case SchedulerKind::kTdPipe:
+      return std::make_shared<sched::TdPipeScheduler>(options.td_pipe_params);
+  }
+  throw std::invalid_argument("ServingSystem: unknown scheduler kind");
+}
+
+ServingSystem::ServingSystem(SystemOptions options)
+    : options_(std::move(options)),
+      engine_(options_.engine_config(), make_scheduler(options_)) {}
+
+}  // namespace gllm::serve

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+
+#include "engine/pipeline_engine.hpp"
+#include "serve/options.hpp"
+#include "workload/trace.hpp"
+
+namespace gllm::serve {
+
+/// Top-level facade: one serving deployment, runnable against traces.
+/// This is the public entry point the examples use.
+class ServingSystem {
+ public:
+  explicit ServingSystem(SystemOptions options);
+
+  engine::RunResult run(const workload::Trace& trace) { return engine_.run(trace); }
+
+  const SystemOptions& options() const { return options_; }
+  const engine::PipelineEngine& engine() const { return engine_; }
+
+  /// Instantiate the policy configured in `options` (exposed so tests and
+  /// microbenchmarks can drive schedulers directly).
+  static std::shared_ptr<sched::IScheduler> make_scheduler(const SystemOptions& options);
+
+ private:
+  SystemOptions options_;
+  engine::PipelineEngine engine_;
+};
+
+}  // namespace gllm::serve

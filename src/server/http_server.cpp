@@ -1,0 +1,314 @@
+#include "server/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace gllm::server {
+
+namespace {
+
+/// Read from `fd` until the full HTTP request (headers + Content-Length body)
+/// has arrived. Returns false on EOF/error before a complete request.
+bool read_http_request(int fd, std::string& raw, std::size_t& header_end,
+                       std::size_t& content_length) {
+  raw.clear();
+  char buf[4096];
+  header_end = std::string::npos;
+  content_length = 0;
+  for (;;) {
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        // Parse Content-Length (case-insensitive key).
+        std::string lower = raw.substr(0, header_end);
+        for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        const auto pos = lower.find("content-length:");
+        if (pos != std::string::npos) {
+          content_length = std::strtoull(lower.c_str() + pos + 15, nullptr, 10);
+        }
+        if (content_length > (1u << 20)) return false;  // refuse >1 MiB bodies
+      }
+    }
+    if (header_end != std::string::npos &&
+        raw.size() >= header_end + 4 + content_length) {
+      return true;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.size() > (2u << 20)) return false;
+  }
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string make_response(int status, const std::string& body) {
+  std::ostringstream oss;
+  oss << "HTTP/1.1 " << status << " " << status_text(status) << "\r\n"
+      << "Content-Type: application/json\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return oss.str();
+}
+
+}  // namespace
+
+bool json_int_field(const std::string& json, const std::string& key, std::int64_t& out) {
+  const std::string needle = "\"" + key + "\"";
+  auto pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = json.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < json.size() && std::isspace(static_cast<unsigned char>(json[pos]))) ++pos;
+  char* end = nullptr;
+  const long long value = std::strtoll(json.c_str() + pos, &end, 10);
+  if (end == json.c_str() + pos) return false;
+  out = value;
+  return true;
+}
+
+bool json_int_array_field(const std::string& json, const std::string& key,
+                          std::vector<std::int64_t>& out) {
+  out.clear();
+  const std::string needle = "\"" + key + "\"";
+  auto pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = json.find('[', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  for (;;) {
+    while (pos < json.size() && (std::isspace(static_cast<unsigned char>(json[pos])) ||
+                                 json[pos] == ','))
+      ++pos;
+    if (pos >= json.size()) return false;
+    if (json[pos] == ']') return true;
+    char* end = nullptr;
+    const long long value = std::strtoll(json.c_str() + pos, &end, 10);
+    if (end == json.c_str() + pos) return false;
+    out.push_back(value);
+    pos = static_cast<std::size_t>(end - json.c_str());
+  }
+}
+
+HttpServer::HttpServer(runtime::PipelineService& service, int port)
+    : service_(service), requested_port_(port) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.load()) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(requested_port_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("HttpServer: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("HttpServer: listen() failed");
+  }
+
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  GLLM_LOG_INFO("http server listening on 127.0.0.1:" << port_);
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::lock_guard lock(connections_mu_);
+  for (auto& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  connections_.clear();
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    std::lock_guard lock(connections_mu_);
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string raw;
+  std::size_t header_end = 0, content_length = 0;
+  if (read_http_request(fd, raw, header_end, content_length)) {
+    // Request line: METHOD SP PATH SP VERSION.
+    const auto line_end = raw.find("\r\n");
+    std::istringstream request_line(raw.substr(0, line_end));
+    std::string method, path, version;
+    request_line >> method >> path >> version;
+    const std::string body = raw.substr(header_end + 4, content_length);
+
+    int status = 500;
+    std::string response_body;
+    try {
+      response_body = handle_request(method, path, body, status);
+    } catch (const std::exception& e) {
+      status = 500;
+      response_body = std::string("{\"error\":\"") + e.what() + "\"}";
+    }
+    send_all(fd, make_response(status, response_body));
+  }
+  ::close(fd);
+}
+
+std::string HttpServer::handle_request(const std::string& method, const std::string& path,
+                                       const std::string& body, int& status) {
+  if (method == "GET" && path == "/health") {
+    status = 200;
+    return "{\"status\":\"ok\",\"model\":\"" + service_.options().model.name + "\"}";
+  }
+  if (!(method == "POST" && path == "/v1/completions")) {
+    status = 404;
+    return "{\"error\":\"unknown endpoint\"}";
+  }
+
+  std::int64_t id = 0, max_tokens = 0;
+  std::vector<std::int64_t> prompt;
+  if (!json_int_field(body, "id", id) || !json_int_field(body, "max_tokens", max_tokens) ||
+      !json_int_array_field(body, "prompt", prompt) || prompt.empty() || max_tokens <= 0) {
+    status = 400;
+    return "{\"error\":\"expected {id, prompt:[ints], max_tokens}\"}";
+  }
+  const auto& cfg = service_.options().model;
+  for (const auto token : prompt) {
+    if (token < 0 || token >= cfg.vocab) {
+      status = 400;
+      return "{\"error\":\"prompt token out of vocabulary\"}";
+    }
+  }
+  if (static_cast<std::int64_t>(prompt.size()) + max_tokens >
+      service_.options().kv_capacity_tokens) {
+    status = 400;
+    return "{\"error\":\"request exceeds KV capacity\"}";
+  }
+
+  nn::GenRequest request;
+  request.id = id;
+  request.prompt.assign(prompt.begin(), prompt.end());
+  request.max_new_tokens = static_cast<int>(max_tokens);
+
+  // Collect tokens through the streaming callback; resolve on the last one.
+  auto done = std::make_shared<std::promise<std::vector<nn::TokenId>>>();
+  auto tokens = std::make_shared<std::vector<nn::TokenId>>();
+  service_.submit(request, [done, tokens](const runtime::StreamEvent& ev) {
+    if (ev.is_last) {
+      done->set_value(*tokens);
+    } else {
+      tokens->push_back(ev.token);
+    }
+  });
+
+  auto future = done->get_future();
+  if (future.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+    status = 503;
+    return "{\"error\":\"generation timed out\"}";
+  }
+  const auto output = future.get();
+
+  std::ostringstream oss;
+  oss << "{\"id\":" << id << ",\"tokens\":[";
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    if (i) oss << ",";
+    oss << output[i];
+  }
+  oss << "],\"finish_reason\":\"length\"}";
+  status = 200;
+  return oss.str();
+}
+
+int http_request(int port, const std::string& method, const std::string& path,
+                 const std::string& body, std::string& response_body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  std::ostringstream oss;
+  oss << method << " " << path << " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      << "Content-Length: " << body.size() << "\r\nConnection: close\r\n\r\n"
+      << body;
+  if (!send_all(fd, oss.str())) {
+    ::close(fd);
+    return -1;
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return -1;
+  response_body = raw.substr(header_end + 4);
+  int status = -1;
+  std::istringstream status_line(raw.substr(0, raw.find("\r\n")));
+  std::string version;
+  status_line >> version >> status;
+  return status;
+}
+
+}  // namespace gllm::server

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/service.hpp"
+
+namespace gllm::server {
+
+/// Minimal HTTP/1.1 frontend over the online serving runtime — the
+/// reproduction of the artifact's `gllm.entrypoints.api_server` ("RESTful API
+/// frontend ... core OpenAI-compatible APIs", paper §3.4), scaled to the
+/// synthetic-token world: prompts are token-id arrays.
+///
+/// Endpoints:
+///   GET  /health            -> {"status":"ok","model":...}
+///   POST /v1/completions    -> {"id":..,"tokens":[..],"finish_reason":"length"}
+///        body: {"id": <int>, "prompt": [<int>, ...], "max_tokens": <int>}
+///
+/// One thread per connection (Connection: close); requests block until the
+/// runtime finishes generating.
+class HttpServer {
+ public:
+  /// `service` must outlive the server and be start()ed by the caller.
+  /// port 0 binds an ephemeral port (see port() after start()).
+  HttpServer(runtime::PipelineService& service, int port = 0);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  void start();
+  void stop();
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  std::string handle_request(const std::string& method, const std::string& path,
+                             const std::string& body, int& status);
+
+  runtime::PipelineService& service_;
+  int requested_port_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> connections_;
+  std::mutex connections_mu_;
+};
+
+/// Blocking HTTP client for tests and examples: one request per call over a
+/// fresh loopback connection. Returns the status code; fills `body`.
+int http_request(int port, const std::string& method, const std::string& path,
+                 const std::string& body, std::string& response_body);
+
+// --- minimal JSON helpers for the fixed schemas above (exposed for tests) --
+
+/// Extract an integer field ("key": 123); returns false if absent/malformed.
+bool json_int_field(const std::string& json, const std::string& key, std::int64_t& out);
+/// Extract an integer-array field ("key": [1, 2, 3]).
+bool json_int_array_field(const std::string& json, const std::string& key,
+                          std::vector<std::int64_t>& out);
+
+}  // namespace gllm::server

@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace gllm::sim {
+
+std::uint64_t EventQueue::schedule(double t, EventFn fn) {
+  const std::uint64_t id = next_id_++;
+  if (cancelled_.size() <= id) cancelled_.resize(id + 1, false);
+  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(std::uint64_t id) {
+  if (id == 0 || id >= cancelled_.size() || cancelled_[id]) return false;
+  // We cannot tell whether the event already fired without bookkeeping;
+  // fired events have their flag left false but are no longer in the heap.
+  // Probe by marking and adjusting the live count only if a heap entry could
+  // still exist. We track that via live_count_ consistency: mark and let
+  // drop_cancelled() reconcile. To keep cancel() truthful we maintain an
+  // alive set implicitly: an id is alive iff it was scheduled, not popped,
+  // not cancelled. Popping clears the flag slot to `true` as a tombstone.
+  cancelled_[id] = true;
+  if (live_count_ == 0) return false;
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+    const_cast<std::priority_queue<Entry, std::vector<Entry>, Later>&>(heap_).pop();
+  }
+}
+
+double EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop_next() {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop_next on empty queue");
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_count_;
+  cancelled_[entry.id] = true;  // tombstone so late cancel() returns false
+  return Popped{entry.time, std::move(entry.fn)};
+}
+
+}  // namespace gllm::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gllm::sim {
+
+using EventFn = std::function<void()>;
+
+/// Time-ordered event queue with stable FIFO ordering among equal-time
+/// events. Stability matters for reproducibility: two events scheduled for
+/// the same instant always fire in schedule order, so simulations are
+/// deterministic regardless of heap internals.
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t` (seconds). Returns an id usable with
+  /// cancel().
+  std::uint64_t schedule(double t, EventFn fn);
+
+  /// Cancel a pending event; returns false if it already fired or was
+  /// cancelled. Cancellation is lazy (tombstoned), O(1).
+  bool cancel(std::uint64_t id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; requires !empty().
+  double next_time() const;
+
+  /// Pop the earliest event without running it; requires !empty(). The caller
+  /// must advance its clock to `time` *before* invoking `fn`, so that events
+  /// scheduled from inside the callback are based at the correct instant.
+  struct Popped {
+    double time;
+    EventFn fn;
+  };
+  Popped pop_next();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;
+  mutable std::vector<bool> cancelled_;  // indexed by id
+};
+
+}  // namespace gllm::sim

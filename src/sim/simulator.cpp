@@ -1,0 +1,42 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace gllm::sim {
+
+std::uint64_t Simulator::call_in(double delay, EventFn fn) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator::call_in: negative delay");
+  return events_.schedule(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::call_at(double t, EventFn fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::call_at: time in the past");
+  return events_.schedule(t, std::move(fn));
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  stop_requested_ = false;
+  std::size_t executed = 0;
+  while (!events_.empty() && executed < max_events && !stop_requested_) {
+    auto [time, fn] = events_.pop_next();
+    now_ = time;  // advance before running, so nested call_in() bases correctly
+    fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_until(double t_end) {
+  stop_requested_ = false;
+  std::size_t executed = 0;
+  while (!events_.empty() && !stop_requested_ && events_.next_time() <= t_end) {
+    auto [time, fn] = events_.pop_next();
+    now_ = time;
+    fn();
+    ++executed;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return executed;
+}
+
+}  // namespace gllm::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace gllm::sim {
+
+/// Discrete-event simulator: a virtual clock plus an event queue.
+///
+/// All engine components (pipeline stages, interconnect transfers, request
+/// arrivals) are expressed as events against this clock. Time is in seconds.
+class Simulator {
+ public:
+  double now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  std::uint64_t call_in(double delay, EventFn fn);
+
+  /// Schedule `fn` at absolute time `t` (t >= now()).
+  std::uint64_t call_at(double t, EventFn fn);
+
+  bool cancel(std::uint64_t id) { return events_.cancel(id); }
+
+  bool idle() const { return events_.empty(); }
+  std::size_t pending_events() const { return events_.size(); }
+
+  /// Run events until the queue is empty or `max_events` have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = std::numeric_limits<std::size_t>::max());
+
+  /// Run events with time <= t_end, then advance the clock to t_end
+  /// (if the queue drains earlier). Returns the number of events executed.
+  std::size_t run_until(double t_end);
+
+  /// Stop a run() in progress after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+ private:
+  EventQueue events_;
+  double now_ = 0.0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace gllm::sim

@@ -1,0 +1,111 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/threadpool.hpp"
+
+namespace gllm::tensor {
+
+void matmul_nt(const Tensor& x, const Tensor& w, Tensor& y) {
+  if (x.rank() != 2 || w.rank() != 2 || y.rank() != 2)
+    throw std::invalid_argument("matmul_nt: tensors must be 2-D");
+  const std::int64_t m = x.dim(0), k = x.dim(1), n = w.dim(0);
+  if (w.dim(1) != k || y.dim(0) != m || y.dim(1) != n)
+    throw std::invalid_argument("matmul_nt: shape mismatch");
+
+  const float* xd = x.data();
+  const float* wd = w.data();
+  float* yd = y.data();
+
+  // Parallelise over the flattened (row, out-feature) space so both tall
+  // (prefill) and wide (lm head) shapes scale; each output element is an
+  // independent sequential dot product — deterministic regardless of split.
+  const auto total = static_cast<std::size_t>(m * n);
+  util::ThreadPool::shared().parallel_for(
+      0, total,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const std::size_t mi = idx / static_cast<std::size_t>(n);
+          const std::size_t ni = idx % static_cast<std::size_t>(n);
+          const float* xrow = xd + mi * static_cast<std::size_t>(k);
+          const float* wrow = wd + ni * static_cast<std::size_t>(k);
+          float acc = 0.0f;
+          for (std::int64_t kk = 0; kk < k; ++kk) acc += xrow[kk] * wrow[kk];
+          yd[idx] = acc;
+        }
+      },
+      /*grain=*/256);
+}
+
+void rmsnorm_row(std::span<const float> x, std::span<const float> gamma, float eps,
+                 std::span<float> out) {
+  if (x.size() != gamma.size() || x.size() != out.size())
+    throw std::invalid_argument("rmsnorm_row: size mismatch");
+  double ss = 0.0;
+  for (float v : x) ss += static_cast<double>(v) * v;
+  const auto scale =
+      static_cast<float>(1.0 / std::sqrt(ss / static_cast<double>(x.size()) + eps));
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * scale * gamma[i];
+}
+
+void softmax_inplace(std::span<float> row) {
+  if (row.empty()) return;
+  float mx = row[0];
+  for (float v : row) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (float& v : row) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  const auto inv = static_cast<float>(1.0 / sum);
+  for (float& v : row) v *= inv;
+}
+
+void swiglu_row(std::span<const float> gate, std::span<const float> up,
+                std::span<float> out) {
+  if (gate.size() != up.size() || gate.size() != out.size())
+    throw std::invalid_argument("swiglu_row: size mismatch");
+  for (std::size_t i = 0; i < gate.size(); ++i) {
+    const float g = gate[i];
+    const float silu = g / (1.0f + std::exp(-g));
+    out[i] = silu * up[i];
+  }
+}
+
+void rope_row(std::span<float> qk, int heads, int head_dim, std::int64_t pos,
+              float theta) {
+  if (head_dim % 2 != 0) throw std::invalid_argument("rope_row: head_dim must be even");
+  if (qk.size() != static_cast<std::size_t>(heads) * head_dim)
+    throw std::invalid_argument("rope_row: size mismatch");
+  const int half = head_dim / 2;
+  for (int h = 0; h < heads; ++h) {
+    float* head = qk.data() + static_cast<std::size_t>(h) * head_dim;
+    for (int i = 0; i < half; ++i) {
+      const double freq = std::pow(static_cast<double>(theta), -2.0 * i / head_dim);
+      const double angle = static_cast<double>(pos) * freq;
+      const auto c = static_cast<float>(std::cos(angle));
+      const auto s = static_cast<float>(std::sin(angle));
+      const float a = head[i];
+      const float b = head[i + half];
+      head[i] = a * c - b * s;
+      head[i + half] = a * s + b * c;
+    }
+  }
+}
+
+void add_inplace(std::span<float> out, std::span<const float> a) {
+  if (out.size() != a.size()) throw std::invalid_argument("add_inplace: size mismatch");
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += a[i];
+}
+
+std::int64_t argmax(std::span<const float> row) {
+  if (row.empty()) throw std::invalid_argument("argmax: empty row");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    if (row[i] > row[best]) best = i;
+  }
+  return static_cast<std::int64_t>(best);
+}
+
+}  // namespace gllm::tensor

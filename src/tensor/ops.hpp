@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace gllm::tensor {
+
+/// Numeric kernels for the CPU transformer.
+///
+/// Determinism contract: every output row is computed from its inputs with a
+/// fixed sequential reduction order, independent of how rows are batched or
+/// which thread computes them. This is what makes the pipeline runtime's
+/// chunked/batched execution produce bit-identical tokens to the
+/// single-stage reference (the reproduction's stand-in for the paper's
+/// MMLU-pro output-quality parity check).
+
+/// y[m, n] = sum_k x[m, k] * w[n, k]   (linear layer with row-major weights,
+/// i.e. C = X * W^T). Parallelised over output rows via the shared pool.
+void matmul_nt(const Tensor& x, const Tensor& w, Tensor& y);
+
+/// Row-wise RMSNorm: out = x / sqrt(mean(x^2) + eps) * gamma.
+void rmsnorm_row(std::span<const float> x, std::span<const float> gamma, float eps,
+                 std::span<float> out);
+
+/// In-place numerically-stable softmax over a row.
+void softmax_inplace(std::span<float> row);
+
+/// SiLU(gate) * up, elementwise into out.
+void swiglu_row(std::span<const float> gate, std::span<const float> up,
+                std::span<float> out);
+
+/// Rotary position embedding applied in-place to one row of `heads` heads of
+/// width `head_dim` at sequence position `pos` (Llama pairing: i, i+dim/2).
+void rope_row(std::span<float> qk, int heads, int head_dim, std::int64_t pos,
+              float theta = 10000.0f);
+
+/// out += a (elementwise); sizes must match.
+void add_inplace(std::span<float> out, std::span<const float> a);
+
+/// Index of the maximum element (first on ties) — greedy sampling.
+std::int64_t argmax(std::span<const float> row);
+
+}  // namespace gllm::tensor

@@ -1,0 +1,59 @@
+#include "tensor/tensor.hpp"
+
+#include <stdexcept>
+
+namespace gllm::tensor {
+
+namespace {
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+std::int64_t Tensor::dim(std::size_t i) const {
+  if (i >= shape_.size()) throw std::out_of_range("Tensor::dim: index out of range");
+  return shape_[i];
+}
+
+std::size_t Tensor::check(std::int64_t i, std::int64_t n) {
+  if (i < 0 || i >= n) throw std::out_of_range("Tensor: index out of range");
+  return static_cast<std::size_t>(i);
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  if (rank() != 2) throw std::logic_error("Tensor::at(i,j): not 2-D");
+  return data_[check(i, dim(0)) * static_cast<std::size_t>(dim(1)) + check(j, dim(1))];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+std::span<float> Tensor::row(std::int64_t i) {
+  if (rank() != 2) throw std::logic_error("Tensor::row: not 2-D");
+  const auto cols = static_cast<std::size_t>(dim(1));
+  return {data_.data() + check(i, dim(0)) * cols, cols};
+}
+
+std::span<const float> Tensor::row(std::int64_t i) const {
+  return const_cast<Tensor*>(this)->row(i);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::reshape(std::vector<std::int64_t> shape) {
+  if (shape_numel(shape) != numel())
+    throw std::invalid_argument("Tensor::reshape: element count mismatch");
+  shape_ = std::move(shape);
+}
+
+}  // namespace gllm::tensor

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gllm::tensor {
+
+/// Minimal owning row-major float tensor (1-3 dims). The CPU runtime computes
+/// in fp32; this is deliberately simple — contiguous storage, no views with
+/// strides, bounds-checked accessors in debug paths.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::int64_t> shape);
+  static Tensor zeros(std::vector<std::int64_t> shape) { return Tensor(std::move(shape)); }
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const;
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  float& at(std::int64_t i) { return data_[check(i, numel())]; }
+  float at(std::int64_t i) const { return data_[check(i, numel())]; }
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i, std::int64_t j) const;
+
+  /// Row `i` of a 2-D tensor.
+  std::span<float> row(std::int64_t i);
+  std::span<const float> row(std::int64_t i) const;
+
+  void fill(float v);
+
+  /// Reinterpret as a new shape with the same element count.
+  void reshape(std::vector<std::int64_t> shape);
+
+ private:
+  static std::size_t check(std::int64_t i, std::int64_t n);
+
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace gllm::tensor

@@ -1,0 +1,112 @@
+#include "util/args.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gllm::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  add_flag("help", "show this help text");
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{help, /*is_flag=*/true, ""};
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  specs_[name] = Spec{help, /*is_flag=*/false, default_value};
+  values_[name] = default_value;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_inline_value = true;
+    }
+    const auto it = specs_.find(arg);
+    if (it == specs_.end()) {
+      error_ = "unknown option --" + arg;
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (has_inline_value) {
+        error_ = "flag --" + arg + " does not take a value";
+        return false;
+      }
+      values_[arg] = "1";
+      continue;
+    }
+    if (!has_inline_value) {
+      if (i + 1 >= argc) {
+        error_ = "option --" + arg + " requires a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[arg] = std::move(value);
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it != values_.end() && !it->second.empty();
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  if (spec == specs_.end()) throw std::invalid_argument("undeclared option --" + name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? "" : it->second;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+int ArgParser::get_int(const std::string& name) const {
+  return static_cast<int>(get_int64(name));
+}
+
+std::int64_t ArgParser::get_int64(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" + v +
+                                "'");
+  }
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream oss;
+  oss << program_ << " - " << description_ << "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    oss << "  --" << name;
+    if (!spec.is_flag) oss << " <value>";
+    oss << "\n      " << spec.help;
+    if (!spec.is_flag && !spec.default_value.empty())
+      oss << " (default: " << spec.default_value << ")";
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace gllm::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gllm::util {
+
+/// Minimal GNU-style command-line parser for the tools: `--key value`,
+/// `--key=value` and boolean `--flag` forms, plus positional arguments.
+///
+/// Unknown options are an error (collected and reported), so typos in
+/// benchmark scripts fail fast rather than silently using defaults.
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declare options before parse(). `help` appears in usage().
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Returns false (and fills error()) on unknown/malformed arguments.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  std::int64_t get_int64(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string default_value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;         // ordered for usage()
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace gllm::util

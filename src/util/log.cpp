@@ -1,0 +1,49 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace gllm::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard lock(mu_);
+  return level_;
+}
+
+void Logger::write(LogLevel level, std::string_view file, int line,
+                   const std::string& msg) {
+  // Trim the path to the basename for readability.
+  const auto slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+
+  std::lock_guard lock(mu_);
+  std::fprintf(stderr, "[%s] %.*s:%d %s\n", to_string(level).data(),
+               static_cast<int>(file.size()), file.data(), line, msg.c_str());
+}
+
+}  // namespace gllm::util

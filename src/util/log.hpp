@@ -1,0 +1,73 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gllm::util {
+
+/// Severity levels in increasing order; messages below the configured level
+/// are discarded.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+std::string_view to_string(LogLevel level);
+
+/// Process-wide, thread-safe logger writing to stderr.
+///
+/// Intentionally minimal: serving simulations emit few log lines, and tests
+/// silence output by raising the level. Use the GLLM_LOG_* macros so that the
+/// message formatting cost is only paid when the level is enabled.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view file, int line, const std::string& msg);
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+ private:
+  Logger() = default;
+
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+/// RAII helper to temporarily change the global log level (used in tests).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level)
+      : prev_(Logger::instance().level()) {
+    Logger::instance().set_level(level);
+  }
+  ~ScopedLogLevel() { Logger::instance().set_level(prev_); }
+
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel prev_;
+};
+
+}  // namespace gllm::util
+
+#define GLLM_LOG_AT(lvl, expr)                                                  \
+  do {                                                                          \
+    if (::gllm::util::Logger::instance().enabled(lvl)) {                        \
+      std::ostringstream gllm_log_oss_;                                         \
+      gllm_log_oss_ << expr;                                                    \
+      ::gllm::util::Logger::instance().write(lvl, __FILE__, __LINE__,           \
+                                             gllm_log_oss_.str());              \
+    }                                                                           \
+  } while (0)
+
+#define GLLM_LOG_DEBUG(expr) GLLM_LOG_AT(::gllm::util::LogLevel::kDebug, expr)
+#define GLLM_LOG_INFO(expr) GLLM_LOG_AT(::gllm::util::LogLevel::kInfo, expr)
+#define GLLM_LOG_WARN(expr) GLLM_LOG_AT(::gllm::util::LogLevel::kWarn, expr)
+#define GLLM_LOG_ERROR(expr) GLLM_LOG_AT(::gllm::util::LogLevel::kError, expr)

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace gllm::util {
+
+/// Deterministic, seedable xoshiro256** generator with the statistical
+/// distributions the workload generators and simulators need.
+///
+/// We avoid <random> engines because their sequences are not guaranteed to be
+/// identical across standard library implementations; reproducing paper
+/// figures requires bit-stable traces on any platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Derive an independent stream, e.g. one per request generator.
+  Rng fork();
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Standard normal via Box-Muller (cached spare).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Sample an index proportionally to non-negative weights. Requires a
+  /// positive total weight.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4] = {};
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace gllm::util

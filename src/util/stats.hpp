@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gllm::util {
+
+/// Streaming mean/variance/min/max via Welford's algorithm. O(1) memory,
+/// suitable for per-iteration metrics inside long simulations.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  /// Coefficient of variation, stddev/mean (0 when mean == 0).
+  double cv() const;
+
+  void merge(const OnlineStats& other);
+  void reset() { *this = OnlineStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container supporting exact percentiles. Stores all samples; callers
+/// with millions of samples should prefer Histogram.
+class SampleStats {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Exact percentile with linear interpolation; p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket. Used for utilization traces and length distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  double bucket_weight(std::size_t i) const { return counts_[i]; }
+  double total_weight() const { return total_; }
+
+  /// Approximate quantile from bucket boundaries; q in [0, 1].
+  double quantile(double q) const;
+
+  /// Render as an ASCII bar chart, `width` columns for the largest bucket.
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace gllm::util

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace gllm::util {
+
+void TablePrinter::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+bool TablePrinter::looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%' &&
+               c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  if (cols == 0) return;
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      const std::size_t pad = widths[i] - cell.size();
+      if (looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      os << (i + 1 < cols ? "  " : "");
+    }
+    os << "\n";
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (cols - 1);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ",";
+    os_ << escape(cells[i]);
+  }
+  os_ << "\n";
+}
+
+}  // namespace gllm::util

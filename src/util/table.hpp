@@ -1,0 +1,98 @@
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gllm::util {
+
+/// Column-aligned plain-text table for benchmark/report output.
+///
+/// Numeric-looking cells are right-aligned, text left-aligned; the header row
+/// is separated by dashes. Intentionally free of any terminal-escape styling
+/// so output diffs cleanly and pipes into files.
+class TablePrinter {
+ public:
+  TablePrinter() = default;
+  explicit TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: accepts any streamable cell types.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  template <typename T>
+  static std::string cell_to_string(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return streamed(v);
+    }
+  }
+
+  template <typename T>
+  static std::string streamed(const T& v);
+
+  static bool looks_numeric(const std::string& s);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// CSV writer with RFC-4180-style quoting; one instance per output file.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void row(const std::vector<std::string>& cells);
+
+  template <typename... Cells>
+  void write(const Cells&... cells) {
+    row({to_cell(cells)...});
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v);
+
+  static std::string escape(const std::string& s);
+
+  std::ostream& os_;
+};
+
+}  // namespace gllm::util
+
+#include <sstream>
+
+namespace gllm::util {
+
+template <typename T>
+std::string TablePrinter::streamed(const T& v) {
+  std::ostringstream oss;
+  oss << v;
+  return oss.str();
+}
+
+template <typename T>
+std::string CsvWriter::to_cell(const T& v) {
+  if constexpr (std::is_convertible_v<T, std::string>) {
+    return std::string(v);
+  } else {
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+  }
+}
+
+}  // namespace gllm::util

@@ -1,0 +1,103 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+
+namespace gllm::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw : 2;
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  const std::size_t spawn = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (std::size_t i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (stop_ && pending_.empty()) return;
+      task = std::move(pending_.back());
+      pending_.pop_back();
+    }
+    task.fn(task.begin, task.end);
+    {
+      std::lock_guard lock(mu_);
+      --outstanding_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t n = end - begin;
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t chunks = std::min(max_chunks, thread_count());
+
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  // Enqueue all but the first chunk; the caller runs the first chunk itself.
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t b = begin + c * chunk_size;
+      const std::size_t e = std::min(end, b + chunk_size);
+      if (b >= e) continue;
+      pending_.push_back(Task{fn, b, e});
+      ++outstanding_;
+    }
+  }
+  cv_.notify_all();
+
+  fn(begin, std::min(end, begin + chunk_size));
+
+  // Help drain the queue instead of just waiting, to avoid idling the caller.
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      if (pending_.empty()) break;
+      task = std::move(pending_.back());
+      pending_.pop_back();
+    }
+    task.fn(task.begin, task.end);
+    {
+      std::lock_guard lock(mu_);
+      --outstanding_;
+    }
+    done_cv_.notify_all();
+  }
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gllm::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gllm::util {
+
+/// Fixed-size worker pool with a fork-join `parallel_for`.
+///
+/// The CPU transformer's GEMMs and attention use this for data-parallel loops
+/// (OpenMP-style static scheduling over contiguous index ranges, but with
+/// plain std::thread so the library has no compiler-flag requirements).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }  // + caller
+
+  /// Run fn(i) for i in [begin, end), splitting the range statically across
+  /// the pool plus the calling thread. Blocks until all iterations complete.
+  /// `grain` is the minimum chunk size per worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Process-wide default pool (hardware_concurrency threads).
+  static ThreadPool& shared();
+
+ private:
+  struct Task {
+    std::function<void(std::size_t, std::size_t)> fn;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<Task> pending_;
+  std::size_t outstanding_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gllm::util

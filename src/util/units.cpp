@@ -1,0 +1,42 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gllm::util {
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  const double abs = std::abs(bytes);
+  if (abs >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", bytes / kGiB);
+  } else if (abs >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", bytes / kMiB);
+  } else if (abs >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", bytes / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  const double abs = std::abs(seconds);
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (abs >= kMilli) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds / kMilli);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds / kMicro);
+  }
+  return buf;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace gllm::util

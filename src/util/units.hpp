@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+namespace gllm::util {
+
+// Byte units.
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+// Rate units.
+inline constexpr double kTera = 1e12;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kGbps = 1e9 / 8.0;  // bits/s -> bytes/s
+
+// Time units expressed in seconds.
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+
+/// "1.50 GiB"-style human-readable bytes.
+std::string format_bytes(double bytes);
+
+/// "12.3 ms" / "1.20 s"-style human-readable duration given seconds.
+std::string format_duration(double seconds);
+
+/// Fixed-precision double (no trailing-zero stripping; table alignment).
+std::string format_double(double v, int precision = 2);
+
+}  // namespace gllm::util

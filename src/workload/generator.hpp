@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace gllm::workload {
+
+/// Truncated lognormal over integer token counts — the standard fit for both
+/// conversational (ShareGPT) and production (Azure) LLM length distributions.
+struct LengthDistribution {
+  double mu = 0.0;
+  double sigma = 1.0;
+  int min_len = 1;
+  int max_len = 1 << 20;
+
+  int sample(util::Rng& rng) const;
+
+  /// Construct from a target mean and coefficient of variation:
+  /// sigma^2 = ln(1 + cv^2), mu = ln(mean) - sigma^2 / 2.
+  static LengthDistribution from_mean_cv(double mean, double cv, int min_len, int max_len);
+};
+
+/// Inter-arrival process for the open-loop load generator.
+struct ArrivalProcess {
+  enum class Kind {
+    kPoisson,  ///< exponential gaps, the paper's cloud-service scenario
+    kUniform,  ///< deterministic gaps at the given rate
+    kBursty,   ///< lognormal gaps with heavy CV (stress test, extension)
+  };
+  Kind kind = Kind::kPoisson;
+  double rate = 1.0;       ///< requests/second
+  double burst_cv = 4.0;   ///< only for kBursty
+
+  double next_gap(util::Rng& rng) const;
+};
+
+/// A named (input, output) length model. The paper's two datasets are given
+/// as presets whose means reproduce Figure 11: Azure input mean = 5.21x and
+/// output mean = 1.66x those of ShareGPT.
+struct WorkloadSpec {
+  std::string name;
+  LengthDistribution input;
+  LengthDistribution output;
+
+  static WorkloadSpec sharegpt();
+  static WorkloadSpec azure_conv();
+  /// Short prompts/outputs for unit tests and the tiny CPU runtime.
+  static WorkloadSpec tiny();
+};
+
+/// Deterministic trace synthesis: one generator per (spec, seed) yields a
+/// reproducible request stream.
+class TraceBuilder {
+ public:
+  TraceBuilder(WorkloadSpec spec, std::uint64_t seed);
+
+  /// Open-loop trace over a fixed sending duration (paper: 128 s windows).
+  Trace generate_for_duration(const ArrivalProcess& arrivals, double duration);
+
+  /// Exactly `n` requests.
+  Trace generate_count(const ArrivalProcess& arrivals, std::size_t n);
+
+  /// All requests arriving simultaneously at `at` (bubble case studies).
+  Trace generate_burst(std::size_t n, double at = 0.0);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  RequestSpec next_request(double arrival);
+
+  WorkloadSpec spec_;
+  util::Rng rng_;
+  std::int64_t next_id_ = 0;
+};
+
+}  // namespace gllm::workload

@@ -1,0 +1,130 @@
+#include "workload/trace.hpp"
+
+#include <ctime>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace gllm::workload {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats s;
+  s.n = trace.size();
+  if (trace.empty()) return s;
+
+  util::SampleStats in, out;
+  double last_arrival = 0.0;
+  for (const auto& r : trace) {
+    in.add(r.prompt_len);
+    out.add(r.output_len);
+    last_arrival = std::max(last_arrival, r.arrival);
+    s.total_tokens += r.prompt_len + r.output_len;
+  }
+  s.input_mean = in.mean();
+  s.input_p50 = in.percentile(50);
+  s.input_p90 = in.percentile(90);
+  s.input_max = in.max();
+  s.output_mean = out.mean();
+  s.output_p50 = out.percentile(50);
+  s.output_p90 = out.percentile(90);
+  s.output_max = out.max();
+  s.duration = last_arrival;
+  s.request_rate = last_arrival > 0 ? static_cast<double>(s.n) / last_arrival : 0.0;
+  return s;
+}
+
+void save_csv(const Trace& trace, std::ostream& os) {
+  os << "id,arrival,prompt_len,output_len\n";
+  for (const auto& r : trace) {
+    os << r.id << "," << r.arrival << "," << r.prompt_len << "," << r.output_len << "\n";
+  }
+}
+
+namespace {
+
+/// Seconds since an arbitrary epoch for either `YYYY-MM-DD HH:MM:SS[.frac]`
+/// or a plain floating-point number. Throws on anything else.
+double parse_timestamp(const std::string& field) {
+  if (field.find('-') != std::string::npos && field.find(':') != std::string::npos) {
+    std::tm tm = {};
+    std::istringstream ts(field);
+    ts >> std::get_time(&tm, "%Y-%m-%d %H:%M:%S");
+    if (ts.fail()) throw std::runtime_error("load_azure_trace: bad timestamp: " + field);
+    double fractional = 0.0;
+    if (ts.peek() == '.') {
+      ts >> fractional;  // reads ".6805900" as 0.68059
+      if (ts.fail()) fractional = 0.0;
+    }
+    // timegm avoids local-timezone dependence; the absolute epoch cancels out
+    // when arrivals are rebased anyway.
+    return static_cast<double>(timegm(&tm)) + fractional;
+  }
+  std::size_t used = 0;
+  const double value = std::stod(field, &used);
+  if (used == 0) throw std::runtime_error("load_azure_trace: bad timestamp: " + field);
+  return value;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ls(line);
+  while (std::getline(ls, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+Trace load_azure_trace(std::istream& is, std::size_t max_requests) {
+  Trace trace;
+  std::string line;
+  if (!std::getline(is, line)) return trace;  // header
+  double epoch = 0.0;
+  bool have_epoch = false;
+  std::int64_t id = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (max_requests > 0 && trace.size() >= max_requests) break;
+    const auto fields = split_csv_line(line);
+    if (fields.size() < 3)
+      throw std::runtime_error("load_azure_trace: malformed line: " + line);
+    const double t = parse_timestamp(fields[0]);
+    if (!have_epoch) {
+      epoch = t;
+      have_epoch = true;
+    }
+    RequestSpec r;
+    r.id = id++;
+    r.arrival = t - epoch;
+    r.prompt_len = std::stoi(fields[1]);
+    r.output_len = std::stoi(fields[2]);
+    if (r.prompt_len <= 0 || r.output_len <= 0)
+      throw std::runtime_error("load_azure_trace: non-positive lengths: " + line);
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+Trace load_csv(std::istream& is) {
+  Trace trace;
+  std::string line;
+  if (!std::getline(is, line)) return trace;  // header (or empty)
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    RequestSpec r;
+    char comma = 0;
+    if (!(ls >> r.id >> comma >> r.arrival >> comma >> r.prompt_len >> comma >>
+          r.output_len)) {
+      throw std::runtime_error("load_csv: malformed trace line: " + line);
+    }
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace gllm::workload

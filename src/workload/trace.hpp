@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gllm::workload {
+
+/// One serving request, as the benchmark client would submit it: an arrival
+/// time plus prompt/output token counts (the Azure production trace format).
+struct RequestSpec {
+  std::int64_t id = 0;
+  double arrival = 0.0;  ///< seconds from trace start
+  int prompt_len = 0;
+  int output_len = 0;
+};
+
+using Trace = std::vector<RequestSpec>;
+
+/// Aggregate shape of a trace, used to validate generators against the
+/// paper's Figure 11 statistics.
+struct TraceStats {
+  std::size_t n = 0;
+  double input_mean = 0, input_p50 = 0, input_p90 = 0, input_max = 0;
+  double output_mean = 0, output_p50 = 0, output_p90 = 0, output_max = 0;
+  double duration = 0;       ///< last arrival
+  double request_rate = 0;   ///< n / duration
+  double total_tokens = 0;   ///< sum of prompt + output lengths
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+/// CSV round-trip: header `id,arrival,prompt_len,output_len`.
+void save_csv(const Trace& trace, std::ostream& os);
+Trace load_csv(std::istream& is);
+
+/// Load the Azure LLM inference production trace format the paper benchmarks
+/// with (AzureLLMInferenceTrace_conv.csv): header
+/// `TIMESTAMP,ContextTokens,GeneratedTokens`, timestamps either
+/// `YYYY-MM-DD HH:MM:SS[.frac]` wall-clock strings or plain seconds.
+/// Arrivals are rebased so the first request lands at t=0. `max_requests`
+/// (0 = all) truncates long production traces.
+Trace load_azure_trace(std::istream& is, std::size_t max_requests = 0);
+
+}  // namespace gllm::workload

@@ -1,0 +1,101 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args("test", "test parser");
+  args.add_option("rate", "request rate", "4");
+  args.add_option("model", "model name", "qwen");
+  args.add_flag("verbose", "chatty output");
+  return args;
+}
+
+bool parse(ArgParser& args, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "test");
+  return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApply) {
+  auto args = make_parser();
+  ASSERT_TRUE(parse(args, {}));
+  EXPECT_EQ(args.get("rate"), "4");
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 4.0);
+  EXPECT_FALSE(args.has("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValue) {
+  auto args = make_parser();
+  ASSERT_TRUE(parse(args, {"--rate", "7.5"}));
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 7.5);
+}
+
+TEST(ArgParser, EqualsForm) {
+  auto args = make_parser();
+  ASSERT_TRUE(parse(args, {"--rate=12", "--model=llama"}));
+  EXPECT_EQ(args.get_int("rate"), 12);
+  EXPECT_EQ(args.get("model"), "llama");
+}
+
+TEST(ArgParser, FlagsSet) {
+  auto args = make_parser();
+  ASSERT_TRUE(parse(args, {"--verbose"}));
+  EXPECT_TRUE(args.has("verbose"));
+}
+
+TEST(ArgParser, PositionalCollected) {
+  auto args = make_parser();
+  ASSERT_TRUE(parse(args, {"a.csv", "--rate", "2", "b.csv"}));
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"a.csv", "b.csv"}));
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  auto args = make_parser();
+  EXPECT_FALSE(parse(args, {"--nope", "1"}));
+  EXPECT_NE(args.error().find("unknown option"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails) {
+  auto args = make_parser();
+  EXPECT_FALSE(parse(args, {"--rate"}));
+  EXPECT_NE(args.error().find("requires a value"), std::string::npos);
+}
+
+TEST(ArgParser, FlagWithValueFails) {
+  auto args = make_parser();
+  EXPECT_FALSE(parse(args, {"--verbose=1"}));
+}
+
+TEST(ArgParser, BadNumberThrows) {
+  auto args = make_parser();
+  ASSERT_TRUE(parse(args, {"--rate", "abc"}));
+  EXPECT_THROW(args.get_double("rate"), std::invalid_argument);
+  EXPECT_THROW(args.get_int("rate"), std::invalid_argument);
+}
+
+TEST(ArgParser, UndeclaredGetThrows) {
+  auto args = make_parser();
+  ASSERT_TRUE(parse(args, {}));
+  EXPECT_THROW(args.get("missing"), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpFlagBuiltIn) {
+  auto args = make_parser();
+  ASSERT_TRUE(parse(args, {"--help"}));
+  EXPECT_TRUE(args.has("help"));
+  EXPECT_NE(args.usage().find("--rate"), std::string::npos);
+  EXPECT_NE(args.usage().find("default: 4"), std::string::npos);
+}
+
+TEST(ArgParser, Int64RoundTrip) {
+  ArgParser args("t", "d");
+  args.add_option("big", "large value", "0");
+  const char* argv[] = {"t", "--big", "123456789012"};
+  ASSERT_TRUE(args.parse(3, argv));
+  EXPECT_EQ(args.get_int64("big"), 123456789012LL);
+}
+
+}  // namespace
+}  // namespace gllm::util

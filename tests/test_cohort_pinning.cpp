@@ -1,0 +1,104 @@
+// vLLM-V0 virtual-engine pinning (EngineConfig::cohort_pinning): requests are
+// bound to the admission cohort they first prefilled in, reproducing the
+// decode clumping of the paper's Figure 8 even more faithfully than the
+// globally scheduled baseline.
+
+#include <gtest/gtest.h>
+
+#include "engine/pipeline_engine.hpp"
+#include "sched/sarathi.hpp"
+#include "sched/token_throttle.hpp"
+#include "workload/generator.hpp"
+
+namespace gllm::engine {
+namespace {
+
+EngineConfig pinned_config(bool pinning) {
+  EngineConfig cfg;
+  cfg.model = model::presets::qwen2_5_32b();
+  cfg.cluster = hw::clusters::l20_node(4);
+  cfg.pp = 4;
+  cfg.cohort_pinning = pinning;
+  return cfg;
+}
+
+workload::Trace trace_at(double rate, double duration) {
+  workload::TraceBuilder builder(workload::WorkloadSpec::sharegpt(), 7);
+  workload::ArrivalProcess arrivals;
+  arrivals.rate = rate;
+  return builder.generate_for_duration(arrivals, duration);
+}
+
+std::shared_ptr<sched::IScheduler> sarathi() {
+  return std::make_shared<sched::SarathiScheduler>(sched::SarathiParams{});
+}
+
+TEST(CohortPinning, AllRequestsCompleteWhenPinned) {
+  PipelineEngine engine(pinned_config(true), sarathi());
+  const auto trace = trace_at(3.0, 16.0);
+  const auto result = engine.run(trace);
+  EXPECT_EQ(result.completed_requests(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(result.requests[i].output_len, trace[i].output_len);
+}
+
+TEST(CohortPinning, DeterministicWhenPinned) {
+  PipelineEngine engine(pinned_config(true), sarathi());
+  const auto trace = trace_at(2.0, 10.0);
+  const auto a = engine.run(trace);
+  const auto b = engine.run(trace);
+  for (std::size_t i = 0; i < a.requests.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.requests[i].e2e, b.requests[i].e2e);
+}
+
+TEST(CohortPinning, PinningPartiallyBalancesDecodes) {
+  // A notable emergent effect: vLLM-V0's virtual engines split the decode
+  // pool into pp cohorts, which *partially* mimics gLLM's eq. 4 — at
+  // moderate load the pinned variant's decode latency is no worse than the
+  // globally scheduled one's, and throughput stays within a few percent.
+  // (Token Throttling still dominates both; see GllmStillBeatsPinnedVllm.)
+  const auto trace = trace_at(8.0, 30.0);
+  PipelineEngine unpinned(pinned_config(false), sarathi());
+  PipelineEngine pinned(pinned_config(true), sarathi());
+  const auto u = unpinned.run(trace);
+  const auto p = pinned.run(trace);
+  EXPECT_LE(p.mean_tpot(), u.mean_tpot() * 1.05);
+  EXPECT_GE(p.throughput(), u.throughput() * 0.90);
+}
+
+TEST(CohortPinning, GllmStillBeatsPinnedVllm) {
+  const auto trace = trace_at(8.0, 30.0);
+  auto vllm_cfg = pinned_config(true);
+  vllm_cfg.runtime = RuntimeModel::vllm_like();
+  PipelineEngine vllm(vllm_cfg, sarathi());
+  PipelineEngine gllm(pinned_config(false),
+                      std::make_shared<sched::TokenThrottleScheduler>(
+                          sched::ThrottleParams{}));
+  const auto v = vllm.run(trace);
+  const auto g = gllm.run(trace);
+  EXPECT_GT(g.throughput(), v.throughput());
+  EXPECT_LT(g.mean_tpot(), v.mean_tpot());
+}
+
+TEST(CohortPinning, WorksWithThrottleToo) {
+  // Not a sensible combination (gLLM is global by design) but it must not
+  // deadlock or corrupt sequence accounting.
+  PipelineEngine engine(pinned_config(true),
+                        std::make_shared<sched::TokenThrottleScheduler>(
+                            sched::ThrottleParams{}));
+  const auto trace = trace_at(2.0, 10.0);
+  const auto result = engine.run(trace);
+  EXPECT_EQ(result.completed_requests(), trace.size());
+}
+
+TEST(CohortPinning, OffByDefault) {
+  EXPECT_FALSE(EngineConfig{}.cohort_pinning);
+  // And sequences start unassigned.
+  Sequence seq(workload::RequestSpec{1, 0.0, 10, 2});
+  EXPECT_EQ(seq.cohort(), -1);
+  seq.set_cohort(2);
+  EXPECT_EQ(seq.cohort(), 2);
+}
+
+}  // namespace
+}  // namespace gllm::engine

@@ -1,0 +1,112 @@
+// Tests for context-aware cost throttling — the paper's §6 future-work
+// feature: budget prefill in attention-adjusted tokens so long-context
+// chunks shrink, balancing *time* instead of token count.
+
+#include <gtest/gtest.h>
+
+#include "sched/token_throttle.hpp"
+#include "serve/options.hpp"
+#include "serve/sweep.hpp"
+#include "util/stats.hpp"
+
+namespace gllm::sched {
+namespace {
+
+ThrottleParams aware_params() {
+  ThrottleParams p;
+  p.context_aware = true;
+  p.ctx_equiv = 8192.0;
+  return p;
+}
+
+TEST(ContextAware, DisabledChunkEqualsBudget) {
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  EXPECT_EQ(sched.max_chunk_for_budget(500, 0), 500);
+  EXPECT_EQ(sched.max_chunk_for_budget(500, 100000), 500);
+  EXPECT_EQ(sched.max_chunk_for_budget(0, 0), 0);
+}
+
+TEST(ContextAware, ZeroContextNearlyFullBudget) {
+  TokenThrottleScheduler sched(aware_params());
+  // At context 0 the quadratic term is tiny: n ~ budget.
+  const int n = sched.max_chunk_for_budget(1024, 0);
+  EXPECT_GT(n, 950);
+  EXPECT_LE(n, 1024);
+}
+
+TEST(ContextAware, ChunkShrinksWithContext) {
+  TokenThrottleScheduler sched(aware_params());
+  int prev = 1 << 30;
+  for (std::int64_t ctx : {0LL, 4096LL, 16384LL, 65536LL}) {
+    const int n = sched.max_chunk_for_budget(1024, ctx);
+    EXPECT_LT(n, prev);
+    EXPECT_GE(n, 1);
+    prev = n;
+  }
+  // At 8x the equivalence context, chunks shrink to roughly 1/9.
+  EXPECT_LT(sched.max_chunk_for_budget(1024, 65536), 1024 / 6);
+}
+
+TEST(ContextAware, SolvedChunkSatisfiesBudget) {
+  TokenThrottleScheduler sched(aware_params());
+  for (std::int64_t budget : {64LL, 512LL, 2048LL}) {
+    for (std::int64_t ctx : {0LL, 1000LL, 20000LL}) {
+      const int n = sched.max_chunk_for_budget(budget, ctx);
+      const double eff = n * (1.0 + (static_cast<double>(ctx) + n / 2.0) / 8192.0);
+      EXPECT_LE(eff, static_cast<double>(budget) * 1.02 + 2.0)
+          << "budget=" << budget << " ctx=" << ctx;
+    }
+  }
+}
+
+TEST(ContextAware, AlwaysMakesProgress) {
+  TokenThrottleScheduler sched(aware_params());
+  // Even at extreme contexts a positive chunk is returned (no starvation).
+  EXPECT_GE(sched.max_chunk_for_budget(1, 1 << 20), 1);
+}
+
+TEST(ContextAware, PlanChargesAdjustedCost) {
+  // One long-context waiting request: the planned chunk must be smaller than
+  // the nominal budget.
+  TokenThrottleScheduler plain{ThrottleParams{}};
+  TokenThrottleScheduler aware(aware_params());
+
+  ScheduleContext ctx;
+  ctx.pipeline_depth = 4;
+  ctx.kv_free_rate = 1.0;
+  ctx.kv_free_tokens = 1 << 20;
+  ctx.waiting.push_back(WaitingSeq{1, 30000, /*context=*/24000, 0.0, false});
+
+  const auto plain_plan = plain.plan(ctx);
+  const auto aware_plan = aware.plan(ctx);
+  ASSERT_FALSE(plain_plan.empty());
+  ASSERT_FALSE(aware_plan.empty());
+  EXPECT_LT(aware_plan.prefill_tokens(), plain_plan.prefill_tokens());
+}
+
+TEST(ContextAwareEndToEnd, BalancesStageTimeOnLongPrompts) {
+  // On Azure-like long prompts, time-aware budgeting should lower the
+  // variance of per-iteration stage time relative to token-count budgeting.
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+
+  auto plain = serve::SystemOptions::gllm(m, c, 4);
+  auto aware = serve::SystemOptions::gllm(m, c, 4);
+  aware.throttle.context_aware = true;
+
+  engine::RunResult plain_raw, aware_raw;
+  serve::run_at_rate(plain, workload::WorkloadSpec::azure_conv(), 1.5, 30.0, 7,
+                     &plain_raw);
+  serve::run_at_rate(aware, workload::WorkloadSpec::azure_conv(), 1.5, 30.0, 7,
+                     &aware_raw);
+
+  util::OnlineStats plain_time, aware_time;
+  for (const auto& it : plain_raw.iterations) plain_time.add(it.stage0_time);
+  for (const auto& it : aware_raw.iterations) aware_time.add(it.stage0_time);
+  EXPECT_LT(aware_time.cv(), plain_time.cv());
+  // And it must not break completion.
+  EXPECT_EQ(aware_raw.completed_requests(), aware_raw.requests.size());
+}
+
+}  // namespace
+}  // namespace gllm::sched

@@ -1,0 +1,169 @@
+#include "model/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu.hpp"
+
+namespace gllm::model {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  ModelConfig cfg_ = presets::qwen2_5_32b();
+  hw::GpuSpec gpu_ = hw::gpus::l20_48g();
+  PartitionPlan plan_{cfg_, 4};
+  CostModel cost_{cfg_, gpu_};
+};
+
+TEST_F(CostModelTest, EmptyBatchIsFree) {
+  EXPECT_DOUBLE_EQ(cost_.stage_time(plan_.stage(0), {}), 0.0);
+  const WorkItem zero{0, 100, false, false};
+  EXPECT_DOUBLE_EQ(cost_.stage_time(plan_.stage(0), {&zero, 1}), 0.0);
+}
+
+TEST_F(CostModelTest, MonotonicInTokens) {
+  double prev = 0.0;
+  for (int n : {32, 128, 512, 2048}) {
+    const WorkItem item{n, 0, true, true};
+    const double t = cost_.stage_time(plan_.stage(0), {&item, 1});
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(CostModelTest, DecodeBatchBoundedBelowByWeightStreaming) {
+  // A 1-token decode batch cannot beat the time to stream the stage weights.
+  const WorkItem item{1, 500, false, true};
+  const auto bd = cost_.stage_breakdown(plan_.stage(1), {&item, 1});
+  const double weight_floor = bd.weight_bytes / gpu_.effective_mem_bw();
+  EXPECT_GE(bd.gemm_time, weight_floor * 0.999);
+  // And it is on the order of 20ms for a 16-layer slice of a 32B model.
+  EXPECT_GT(bd.total, 0.010);
+  EXPECT_LT(bd.total, 0.100);
+}
+
+TEST_F(CostModelTest, PrefillChunkIsComputeBound) {
+  const WorkItem item{2048, 0, true, true};
+  const auto bd = cost_.stage_breakdown(plan_.stage(1), {&item, 1});
+  EXPECT_GT(bd.gemm_flops / (gpu_.peak_flops * gpu_.max_mfu),
+            bd.weight_bytes / gpu_.effective_mem_bw());
+  // Roughly 0.8-1.0s for a 2048-token chunk of a 32B/4 stage on L20.
+  EXPECT_GT(bd.total, 0.4);
+  EXPECT_LT(bd.total, 2.0);
+}
+
+TEST_F(CostModelTest, QuadraticAttentionTermGrowsWithContext) {
+  const WorkItem short_ctx{256, 0, true, false};
+  const WorkItem long_ctx{256, 8192, true, false};
+  const double t_short = cost_.stage_time(plan_.stage(1), {&short_ctx, 1});
+  const double t_long = cost_.stage_time(plan_.stage(1), {&long_ctx, 1});
+  EXPECT_GT(t_long, t_short);
+}
+
+TEST_F(CostModelTest, DecodeKvReadsGrowWithContext) {
+  const WorkItem near{1, 64, false, true};
+  const WorkItem far{1, 65536, false, true};
+  const auto bd_near = cost_.stage_breakdown(plan_.stage(1), {&near, 1});
+  const auto bd_far = cost_.stage_breakdown(plan_.stage(1), {&far, 1});
+  EXPECT_GT(bd_far.kv_bytes, 100 * bd_near.kv_bytes);
+  EXPECT_GT(bd_far.total, bd_near.total);
+}
+
+TEST_F(CostModelTest, TpShardsComputeAndTraffic) {
+  const WorkItem item{1024, 0, true, true};
+  const auto bd1 = cost_.stage_breakdown(plan_.stage(0), {&item, 1}, 1);
+  const auto bd4 = cost_.stage_breakdown(plan_.stage(0), {&item, 1}, 4);
+  EXPECT_NEAR(bd4.gemm_flops, bd1.gemm_flops / 4.0, 1e-3);
+  EXPECT_NEAR(bd4.weight_bytes, bd1.weight_bytes / 4.0, 1e-3);
+  EXPECT_LT(bd4.total, bd1.total);
+  EXPECT_GT(bd4.total, bd1.total / 4.5);  // overheads don't shard
+}
+
+TEST_F(CostModelTest, InvalidTpThrows) {
+  const WorkItem item{8, 0, true, false};
+  EXPECT_THROW(cost_.stage_time(plan_.stage(0), {&item, 1}, 0), std::invalid_argument);
+}
+
+TEST_F(CostModelTest, BreakdownTotalConsistent) {
+  const WorkItem items[2] = {{512, 0, true, true}, {1, 900, false, true}};
+  const auto bd = cost_.stage_breakdown(plan_.stage(3), items);
+  EXPECT_NEAR(bd.total, bd.gemm_time + bd.attn_time + bd.overhead, 1e-12);
+  EXPECT_DOUBLE_EQ(bd.total, cost_.stage_time(plan_.stage(3), items));
+}
+
+TEST_F(CostModelTest, LmHeadChargedOnlyWhenSampling) {
+  const WorkItem sampling{64, 0, true, true};
+  const WorkItem not_sampling{64, 0, true, false};
+  const auto with = cost_.stage_breakdown(plan_.stage(3), {&sampling, 1});
+  const auto without = cost_.stage_breakdown(plan_.stage(3), {&not_sampling, 1});
+  EXPECT_GT(with.gemm_flops, without.gemm_flops);
+  // Non-head stages never charge the head.
+  const auto mid_a = cost_.stage_breakdown(plan_.stage(1), {&sampling, 1});
+  const auto mid_b = cost_.stage_breakdown(plan_.stage(1), {&not_sampling, 1});
+  EXPECT_DOUBLE_EQ(mid_a.gemm_flops, mid_b.gemm_flops);
+}
+
+TEST_F(CostModelTest, ActivationBytes) {
+  EXPECT_DOUBLE_EQ(cost_.activation_bytes(100), 100.0 * 5120 * 2);
+}
+
+TEST_F(CostModelTest, KvBytesPerTokenStage) {
+  EXPECT_DOUBLE_EQ(cost_.kv_bytes_per_token_stage(plan_.stage(0)), 4096.0 * 16);
+}
+
+TEST(KvCapacity, PaperConfigsFit) {
+  // 32B over 4x L20-48G leaves room for >100k tokens of KV.
+  const PartitionPlan plan(presets::qwen2_5_32b(), 4);
+  const auto cap = kv_token_capacity(plan, hw::gpus::l20_48g(), 0.9);
+  EXPECT_GT(cap, 100000);
+
+  // 100B over 4x A800-80G fits.
+  const PartitionPlan plan100(presets::llama3_1_100b(), 4);
+  EXPECT_GT(kv_token_capacity(plan100, hw::gpus::a800_80g(), 0.9), 50000);
+}
+
+TEST(KvCapacity, ModelTooBigYieldsZero) {
+  const PartitionPlan plan(presets::qwen2_5_32b(), 1);
+  EXPECT_EQ(kv_token_capacity(plan, hw::gpus::l20_48g(), 0.9), 0);
+}
+
+TEST(KvCapacity, MonotonicInUtilAndTp) {
+  const PartitionPlan plan(presets::qwen2_5_32b(), 4);
+  const auto lo = kv_token_capacity(plan, hw::gpus::l20_48g(), 0.5);
+  const auto hi = kv_token_capacity(plan, hw::gpus::l20_48g(), 0.95);
+  EXPECT_GT(hi, lo);
+  const auto tp2 = kv_token_capacity(plan, hw::gpus::l20_48g(), 0.9, 2);
+  EXPECT_GT(tp2, kv_token_capacity(plan, hw::gpus::l20_48g(), 0.9, 1));
+}
+
+TEST(KvCapacity, InvalidArgsThrow) {
+  const PartitionPlan plan(presets::tiny(), 1);
+  EXPECT_THROW(kv_token_capacity(plan, hw::gpus::l20_48g(), 0.0), std::invalid_argument);
+  EXPECT_THROW(kv_token_capacity(plan, hw::gpus::l20_48g(), 1.1), std::invalid_argument);
+  EXPECT_THROW(kv_token_capacity(plan, hw::gpus::l20_48g(), 0.5, 0), std::invalid_argument);
+}
+
+TEST(CostModelScaling, FasterGpuIsFaster) {
+  const auto cfg = presets::qwen2_5_14b();
+  const PartitionPlan plan(cfg, 4);
+  const CostModel slow(cfg, hw::gpus::l20_48g());
+  const CostModel fast(cfg, hw::gpus::h100_80g());
+  const WorkItem item{2048, 0, true, true};
+  EXPECT_LT(fast.stage_time(plan.stage(0), {&item, 1}),
+            slow.stage_time(plan.stage(0), {&item, 1}));
+}
+
+TEST(CostModelScaling, BatchingDecodesAmortizesWeights) {
+  // Per-token decode cost falls sharply as the batch grows.
+  const auto cfg = presets::qwen2_5_32b();
+  const PartitionPlan plan(cfg, 4);
+  const CostModel cost(cfg, hw::gpus::l20_48g());
+  std::vector<WorkItem> one{{1, 500, false, true}};
+  std::vector<WorkItem> many(64, WorkItem{1, 500, false, true});
+  const double t1 = cost.stage_time(plan.stage(1), one);
+  const double t64 = cost.stage_time(plan.stage(1), many);
+  EXPECT_LT(t64, t1 * 8);  // far better than linear scaling
+}
+
+}  // namespace
+}  // namespace gllm::model

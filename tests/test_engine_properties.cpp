@@ -1,0 +1,122 @@
+// Cross-cutting engine invariants, swept over every scheduling policy and
+// several deployments (parameterized): whatever the policy, the engine must
+// conserve tokens, stay deterministic, respect causality and never lose a
+// request.
+
+#include <gtest/gtest.h>
+
+#include "serve/options.hpp"
+#include "serve/system.hpp"
+#include "workload/generator.hpp"
+
+namespace gllm::engine {
+namespace {
+
+struct PropertyCase {
+  const char* name;
+  serve::SchedulerKind scheduler;
+  int pp;
+  int tp;
+  double memory_util;
+};
+
+class EngineProperty : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  serve::SystemOptions make_options() const {
+    const auto& c = GetParam();
+    serve::SystemOptions o;
+    o.label = c.name;
+    o.model = model::presets::qwen2_5_14b();
+    o.cluster = hw::clusters::l20_node(4);
+    o.pp = c.pp;
+    o.tp = c.tp;
+    o.scheduler = c.scheduler;
+    o.gpu_memory_util = c.memory_util;
+    return o;
+  }
+
+  workload::Trace make_trace() const {
+    workload::TraceBuilder builder(workload::WorkloadSpec::sharegpt(), 31);
+    workload::ArrivalProcess arrivals;
+    arrivals.kind = workload::ArrivalProcess::Kind::kBursty;  // stress arrivals
+    arrivals.rate = 4.0;
+    return builder.generate_for_duration(arrivals, 16.0);
+  }
+};
+
+TEST_P(EngineProperty, EveryRequestCompletesWithExactOutput) {
+  serve::ServingSystem system(make_options());
+  const auto trace = make_trace();
+  const auto result = system.run(trace);
+  ASSERT_EQ(result.requests.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_TRUE(result.requests[i].completed) << trace[i].id;
+    EXPECT_EQ(result.requests[i].output_len, trace[i].output_len);
+  }
+}
+
+TEST_P(EngineProperty, CausalityAndOrdering) {
+  serve::ServingSystem system(make_options());
+  const auto result = system.run(make_trace());
+  for (const auto& r : result.requests) {
+    if (!r.completed) continue;
+    EXPECT_GT(r.ttft, 0.0);
+    EXPECT_GE(r.e2e, r.ttft);
+    EXPECT_GE(r.tpot, 0.0);
+  }
+  EXPECT_GE(result.end_time, result.start_time);
+}
+
+TEST_P(EngineProperty, RunIsDeterministic) {
+  serve::ServingSystem a(make_options());
+  serve::ServingSystem b(make_options());
+  const auto trace = make_trace();
+  const auto ra = a.run(trace);
+  const auto rb = b.run(trace);
+  ASSERT_EQ(ra.requests.size(), rb.requests.size());
+  for (std::size_t i = 0; i < ra.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.requests[i].ttft, rb.requests[i].ttft);
+    EXPECT_DOUBLE_EQ(ra.requests[i].e2e, rb.requests[i].e2e);
+  }
+  EXPECT_EQ(ra.preemptions, rb.preemptions);
+  EXPECT_EQ(ra.scheduler_invocations, rb.scheduler_invocations);
+}
+
+TEST_P(EngineProperty, StageBusyNeverExceedsMakespan) {
+  serve::ServingSystem system(make_options());
+  const auto result = system.run(make_trace());
+  for (double busy : result.stage_busy_seconds) {
+    EXPECT_GE(busy, 0.0);
+    EXPECT_LE(busy, result.makespan() * 1.001);
+  }
+}
+
+TEST_P(EngineProperty, IterationTokensNonNegativeAndBounded) {
+  serve::ServingSystem system(make_options());
+  const auto result = system.run(make_trace());
+  for (const auto& it : result.iterations) {
+    EXPECT_GE(it.prefill_tokens, 0);
+    EXPECT_GE(it.decode_tokens, 0);
+    EXPECT_GT(it.prefill_tokens + it.decode_tokens, 0);
+    EXPECT_GE(it.kv_free_rate, 0.0);
+    EXPECT_LE(it.kv_free_rate, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, EngineProperty,
+    ::testing::Values(
+        PropertyCase{"throttle_pp4", serve::SchedulerKind::kTokenThrottle, 4, 1, 0.9},
+        PropertyCase{"sarathi_pp4", serve::SchedulerKind::kSarathi, 4, 1, 0.9},
+        PropertyCase{"fcfs_pp4", serve::SchedulerKind::kFcfs, 4, 1, 0.9},
+        PropertyCase{"tdpipe_pp4", serve::SchedulerKind::kTdPipe, 4, 1, 0.9},
+        PropertyCase{"throttle_pp2", serve::SchedulerKind::kTokenThrottle, 2, 1, 0.9},
+        PropertyCase{"throttle_tp4", serve::SchedulerKind::kTokenThrottle, 1, 4, 0.9},
+        PropertyCase{"sarathi_tp4", serve::SchedulerKind::kSarathi, 1, 4, 0.9},
+        PropertyCase{"hybrid_pp2tp2", serve::SchedulerKind::kTokenThrottle, 2, 2, 0.9},
+        PropertyCase{"throttle_tight_kv", serve::SchedulerKind::kTokenThrottle, 4, 1, 0.25},
+        PropertyCase{"sarathi_tight_kv", serve::SchedulerKind::kSarathi, 4, 1, 0.25}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace gllm::engine

@@ -1,0 +1,178 @@
+// HTTP frontend over the online runtime: the artifact's api_server analogue,
+// exercised end-to-end over loopback sockets.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sched/token_throttle.hpp"
+#include "server/http_server.hpp"
+
+namespace gllm::server {
+namespace {
+
+constexpr std::uint64_t kSeed = 1234;
+
+runtime::RuntimeOptions tiny_options() {
+  runtime::RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.pp = 2;
+  opt.kv_capacity_tokens = 2048;
+  opt.kv_block_size = 8;
+  opt.weight_seed = kSeed;
+  return opt;
+}
+
+std::shared_ptr<sched::IScheduler> small_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 2;
+  return std::make_shared<sched::TokenThrottleScheduler>(p);
+}
+
+std::string completion_body(std::int64_t id, const std::vector<nn::TokenId>& prompt,
+                            int max_tokens) {
+  std::string body = "{\"id\":" + std::to_string(id) + ",\"prompt\":[";
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    if (i) body += ",";
+    body += std::to_string(prompt[i]);
+  }
+  body += "],\"max_tokens\":" + std::to_string(max_tokens) + "}";
+  return body;
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<runtime::PipelineService>(tiny_options(), small_throttle());
+    service_->start();
+    server_ = std::make_unique<HttpServer>(*service_);
+    server_->start();
+    ASSERT_GT(server_->port(), 0);
+  }
+  void TearDown() override {
+    server_->stop();
+    service_->stop();
+  }
+
+  std::unique_ptr<runtime::PipelineService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, HealthEndpoint) {
+  std::string body;
+  const int status = http_request(server_->port(), "GET", "/health", "", body);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("tiny"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, CompletionMatchesReference) {
+  const auto cfg = model::presets::tiny();
+  nn::GenRequest request;
+  request.id = 1;
+  request.prompt = nn::synthetic_prompt(cfg, 5, 12);
+  request.max_new_tokens = 6;
+  const auto reference = nn::generate_reference(cfg, kSeed, {request});
+
+  std::string body;
+  const int status = http_request(server_->port(), "POST", "/v1/completions",
+                                  completion_body(1, request.prompt, 6), body);
+  ASSERT_EQ(status, 200);
+
+  std::vector<std::int64_t> tokens;
+  ASSERT_TRUE(json_int_array_field(body, "tokens", tokens));
+  ASSERT_EQ(tokens.size(), reference[0].size());
+  for (std::size_t i = 0; i < tokens.size(); ++i)
+    EXPECT_EQ(tokens[i], reference[0][i]) << "token " << i;
+  EXPECT_NE(body.find("\"finish_reason\":\"length\""), std::string::npos);
+}
+
+TEST_F(HttpServerTest, ConcurrentClients) {
+  const auto cfg = model::presets::tiny();
+  constexpr int kClients = 6;
+  std::vector<std::thread> clients;
+  std::vector<int> statuses(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const auto prompt = nn::synthetic_prompt(cfg, 100 + static_cast<std::uint64_t>(c), 8);
+      std::string body;
+      statuses[static_cast<std::size_t>(c)] =
+          http_request(server_->port(), "POST", "/v1/completions",
+                       completion_body(c, prompt, 4), body);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int s : statuses) EXPECT_EQ(s, 200);
+}
+
+TEST_F(HttpServerTest, MalformedJsonRejected) {
+  std::string body;
+  EXPECT_EQ(http_request(server_->port(), "POST", "/v1/completions", "not json", body),
+            400);
+  EXPECT_EQ(http_request(server_->port(), "POST", "/v1/completions",
+                         "{\"id\":1,\"prompt\":[],\"max_tokens\":4}", body),
+            400);
+  EXPECT_EQ(http_request(server_->port(), "POST", "/v1/completions",
+                         "{\"id\":1,\"prompt\":[3,4],\"max_tokens\":0}", body),
+            400);
+}
+
+TEST_F(HttpServerTest, OutOfVocabRejected) {
+  std::string body;
+  const int status = http_request(server_->port(), "POST", "/v1/completions",
+                                  "{\"id\":1,\"prompt\":[999999],\"max_tokens\":2}", body);
+  EXPECT_EQ(status, 400);
+  EXPECT_NE(body.find("vocabulary"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, OversizedRejected) {
+  const auto cfg = model::presets::tiny();
+  const auto prompt = nn::synthetic_prompt(cfg, 2, 64);
+  std::string body;
+  const int status = http_request(server_->port(), "POST", "/v1/completions",
+                                  completion_body(9, prompt, 100000), body);
+  EXPECT_EQ(status, 400);
+  EXPECT_NE(body.find("KV capacity"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnknownPath404) {
+  std::string body;
+  EXPECT_EQ(http_request(server_->port(), "GET", "/nope", "", body), 404);
+  EXPECT_EQ(http_request(server_->port(), "POST", "/health", "", body), 404);
+}
+
+TEST(HttpJson, FieldParsers) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(json_int_field("{\"max_tokens\": 42}", "max_tokens", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(json_int_field("{\"id\":-7}", "id", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(json_int_field("{\"id\":\"x\"}", "id", v));
+  EXPECT_FALSE(json_int_field("{}", "id", v));
+
+  std::vector<std::int64_t> arr;
+  EXPECT_TRUE(json_int_array_field("{\"prompt\":[1, 2,3]}", "prompt", arr));
+  EXPECT_EQ(arr, (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_TRUE(json_int_array_field("{\"prompt\":[]}", "prompt", arr));
+  EXPECT_TRUE(arr.empty());
+  EXPECT_FALSE(json_int_array_field("{\"prompt\":[1,}", "prompt", arr));
+  EXPECT_FALSE(json_int_array_field("{}", "prompt", arr));
+}
+
+TEST(HttpServerLifecycle, StartStopIdempotent) {
+  runtime::PipelineService service(tiny_options(), small_throttle());
+  service.start();
+  HttpServer server(service);
+  server.start();
+  server.start();
+  EXPECT_TRUE(server.running());
+  server.stop();
+  server.stop();
+  EXPECT_FALSE(server.running());
+  service.stop();
+}
+
+}  // namespace
+}  // namespace gllm::server

@@ -1,0 +1,129 @@
+#include "hw/cluster.hpp"
+#include "hw/gpu.hpp"
+#include "hw/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::hw {
+namespace {
+
+TEST(GpuSpec, PresetsMatchSpecSheets) {
+  const auto l20 = gpus::l20_48g();
+  EXPECT_NEAR(l20.memory_bytes / (1024.0 * 1024 * 1024), 48.0, 1e-9);
+  EXPECT_NEAR(l20.memory_bw, 864e9, 1e6);
+  EXPECT_NEAR(l20.peak_flops, 59.8e12, 1e9);
+
+  const auto a100 = gpus::a100_40g();
+  EXPECT_NEAR(a100.peak_flops, 312e12, 1e9);
+  EXPECT_NEAR(a100.memory_bw, 1555e9, 1e6);
+
+  const auto a800 = gpus::a800_80g();
+  EXPECT_NEAR(a800.memory_bytes / (1024.0 * 1024 * 1024), 80.0, 1e-9);
+  EXPECT_NEAR(a800.memory_bw, 2039e9, 1e6);
+}
+
+TEST(GpuSpec, FlopsEfficiencyMonotonicSaturating) {
+  const auto gpu = gpus::l20_48g();
+  EXPECT_EQ(gpu.flops_efficiency(0), 0.0);
+  double prev = 0.0;
+  for (double t : {1.0, 8.0, 64.0, 512.0, 4096.0}) {
+    const double eff = gpu.flops_efficiency(t);
+    EXPECT_GT(eff, prev);
+    EXPECT_LE(eff, gpu.max_mfu);
+    prev = eff;
+  }
+  // Large batches approach max MFU.
+  EXPECT_GT(gpu.flops_efficiency(1 << 20), 0.99 * gpu.max_mfu);
+}
+
+TEST(GpuSpec, EffectiveBandwidthBelowPeak) {
+  const auto gpu = gpus::a100_40g();
+  EXPECT_LT(gpu.effective_mem_bw(), gpu.memory_bw);
+  EXPECT_GT(gpu.effective_mem_bw(), 0.5 * gpu.memory_bw);
+}
+
+TEST(CommModel, P2pAlphaBeta) {
+  CommModel comm(LinkSpec{"test", 1e9, 1e-5, false, 1.0});
+  EXPECT_DOUBLE_EQ(comm.p2p_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(comm.p2p_time(1e9), 1e-5 + 1.0);
+  EXPECT_THROW(comm.p2p_time(-1), std::invalid_argument);
+}
+
+TEST(CommModel, AllreduceRingFormula) {
+  CommModel comm(LinkSpec{"test", 1e9, 0.0, false, 1.0});
+  // 2(n-1)/n of the payload at full collective efficiency.
+  EXPECT_NEAR(comm.allreduce_time(4e9, 4), 2.0 * 3.0 / 4.0 * 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(comm.allreduce_time(1e9, 1), 0.0);
+  EXPECT_THROW(comm.allreduce_time(1.0, 0), std::invalid_argument);
+}
+
+TEST(CommModel, AllreduceLatencyTerm) {
+  CommModel comm(LinkSpec{"test", 1e15, 1e-4, false, 1.0});
+  // 2(n-1) latency steps dominate for tiny payloads.
+  EXPECT_NEAR(comm.allreduce_time(8, 4), 6e-4, 1e-8);
+}
+
+TEST(CommModel, CollectiveEfficiencySlowsCollectivesOnly) {
+  const LinkSpec full{"full", 1e9, 0.0, false, 1.0};
+  const LinkSpec degraded{"deg", 1e9, 0.0, false, 0.5};
+  CommModel a(full), b(degraded);
+  EXPECT_DOUBLE_EQ(b.allreduce_time(1e9, 4), 2.0 * a.allreduce_time(1e9, 4));
+  EXPECT_DOUBLE_EQ(b.p2p_time(1e9), a.p2p_time(1e9));  // p2p unaffected
+}
+
+TEST(CommModel, AllgatherFormula) {
+  CommModel comm(LinkSpec{"test", 1e9, 0.0, false, 1.0});
+  EXPECT_NEAR(comm.allgather_time(4e9, 4), 3.0 / 4.0 * 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(comm.allgather_time(1e9, 1), 0.0);
+}
+
+TEST(CommModel, BroadcastLogarithmicHops) {
+  CommModel comm(LinkSpec{"test", 1e9, 1e-3, false, 1.0});
+  EXPECT_NEAR(comm.broadcast_time(0.0, 8), 0.0, 1e-12);
+  EXPECT_NEAR(comm.broadcast_time(1e6, 8), 3 * (1e-3 + 1e-3), 1e-9);
+  EXPECT_DOUBLE_EQ(comm.broadcast_time(1e6, 1), 0.0);
+}
+
+TEST(Links, PaperMeasuredValues) {
+  EXPECT_NEAR(links::pcie4().bandwidth, 20.79e9, 1e6);
+  EXPECT_NEAR(links::sim_network().bandwidth, 73.28e9 / 8.0, 1e6);
+  EXPECT_TRUE(links::sim_network().cross_node);
+  EXPECT_FALSE(links::pcie4().cross_node);
+  EXPECT_LT(links::pcie4().collective_efficiency, 1.0);
+}
+
+TEST(Cluster, NodeMappingIntraNode) {
+  const auto c = clusters::l20_node(4);
+  EXPECT_EQ(c.total_gpus(), 4);
+  EXPECT_EQ(c.node_of(0), 0);
+  EXPECT_EQ(c.node_of(3), 0);
+  EXPECT_EQ(c.link_between(0, 3).name, "PCIe4");
+  EXPECT_THROW(c.node_of(4), std::out_of_range);
+}
+
+TEST(Cluster, NodeMappingCrossNode) {
+  const auto c = clusters::a100_cross_node(4);
+  EXPECT_EQ(c.total_gpus(), 4);
+  EXPECT_EQ(c.node_of(2), 2);
+  EXPECT_TRUE(c.link_between(0, 1).cross_node);
+  EXPECT_EQ(c.spanning_link().name, "SimNet-73Gbps");
+}
+
+TEST(Cluster, SpanningLinkSingleNode) {
+  const auto c = clusters::l20_node(4);
+  EXPECT_EQ(c.spanning_link().name, "PCIe4");
+}
+
+TEST(Cluster, MixedTopology) {
+  ClusterSpec c;
+  c.gpu = gpus::a100_40g();
+  c.nodes = 2;
+  c.gpus_per_node = 2;
+  c.intra_node = links::pcie4();
+  c.inter_node = links::sim_network();
+  EXPECT_FALSE(c.link_between(0, 1).cross_node);  // same node
+  EXPECT_TRUE(c.link_between(1, 2).cross_node);   // across nodes
+}
+
+}  // namespace
+}  // namespace gllm::hw

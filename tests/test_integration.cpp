@@ -1,0 +1,153 @@
+// End-to-end checks that the simulated systems reproduce the *shapes* of the
+// paper's headline results (who wins, in which regime). Absolute numbers are
+// asserted only loosely; EXPERIMENTS.md records the measured values.
+
+#include <gtest/gtest.h>
+
+#include "serve/options.hpp"
+#include "serve/sweep.hpp"
+
+namespace gllm::serve {
+namespace {
+
+const auto kShareGpt = workload::WorkloadSpec::sharegpt();
+
+TEST(Integration, GllmBeatsVllmUnderLoadIntraNode) {
+  // Paper 4.2: gLLM outperforms vLLM on both latency and throughput.
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  const auto g = run_at_rate(SystemOptions::gllm(m, c, 4), kShareGpt, 8.0, 40.0, 7);
+  const auto v = run_at_rate(SystemOptions::vllm(m, c, 4), kShareGpt, 8.0, 40.0, 7);
+  EXPECT_GT(g.throughput, v.throughput * 1.05);
+  EXPECT_LT(g.mean_e2el, v.mean_e2el);
+  EXPECT_LT(g.mean_tpot, v.mean_tpot);
+}
+
+TEST(Integration, TokenVolatilityOrderingMatchesFigure1) {
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  const auto g = run_at_rate(SystemOptions::gllm(m, c, 4), kShareGpt, 6.0, 40.0, 7);
+  const auto v = run_at_rate(SystemOptions::vllm(m, c, 4), kShareGpt, 6.0, 40.0, 7);
+  EXPECT_LT(g.token_cv, v.token_cv);
+}
+
+TEST(Integration, SglangWinsLatencyAtLowRateIntraNode) {
+  // Paper 4.2(5): TP is suited to low request rates with high bandwidth.
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  const auto s = run_at_rate(SystemOptions::sglang(m, c, 4), kShareGpt, 0.5, 30.0, 7);
+  const auto g = run_at_rate(SystemOptions::gllm(m, c, 4), kShareGpt, 0.5, 30.0, 7);
+  EXPECT_LT(s.mean_ttft, g.mean_ttft);
+  EXPECT_LT(s.mean_tpot, g.mean_tpot);
+}
+
+TEST(Integration, GllmOvertakesSglangAtHighRateIntraNode) {
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  const auto g = run_at_rate(SystemOptions::gllm(m, c, 4), kShareGpt, 24.0, 40.0, 7);
+  const auto s = run_at_rate(SystemOptions::sglang(m, c, 4), kShareGpt, 24.0, 40.0, 7);
+  EXPECT_GT(g.throughput, s.throughput);
+}
+
+TEST(Integration, CrossNodeTpCollapses) {
+  // Paper 4.2(5): cross-node, gLLM >> SGLang due to communication overhead.
+  const auto m = model::presets::qwen2_5_14b();
+  const auto c = hw::clusters::a100_cross_node(4);
+  const auto g = run_at_rate(SystemOptions::gllm(m, c, 4), kShareGpt, 16.0, 30.0, 7);
+  const auto s = run_at_rate(SystemOptions::sglang(m, c, 4), kShareGpt, 16.0, 30.0, 7);
+  EXPECT_GT(g.throughput, s.throughput * 1.4);
+  EXPECT_LT(g.mean_e2el, s.mean_e2el);
+}
+
+TEST(Integration, AblationOrderingMatchesFigure15) {
+  // Under KV pressure: full gLLM best E2EL; w/o UT degrades sharply; w/o WT
+  // trades a little TTFT for worse TPOT.
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  auto mk = [&](SystemOptions o) {
+    o.gpu_memory_util = 0.55;  // tight KV to expose UT
+    return run_at_rate(o, kShareGpt, 24.0, 40.0, 7);
+  };
+  const auto full = mk(SystemOptions::gllm(m, c, 4));
+  const auto wo_ut = mk(SystemOptions::gllm_wo_ut(m, c, 4));
+  const auto wo_wt = mk(SystemOptions::gllm_wo_wt(m, c, 4));
+
+  EXPECT_GT(wo_ut.mean_tpot, full.mean_tpot * 1.1);
+  EXPECT_GT(wo_ut.mean_e2el, full.mean_e2el);
+  EXPECT_GT(wo_wt.mean_tpot, full.mean_tpot);
+  EXPECT_GT(full.throughput, wo_ut.throughput);
+}
+
+TEST(Integration, GllmRuntimeAloneBeatsVllm) {
+  // "gLLM w/ CK": Sarathi's policy on the asynchronous runtime still beats
+  // vLLM (paper: +10% throughput), isolating the runtime contribution.
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  const auto ck = run_at_rate(SystemOptions::gllm_with_ck(m, c, 4), kShareGpt, 8.0, 40.0, 7);
+  const auto v = run_at_rate(SystemOptions::vllm(m, c, 4), kShareGpt, 8.0, 40.0, 7);
+  EXPECT_GT(ck.throughput, v.throughput);
+}
+
+TEST(Integration, SloAttainmentHigherForGllm) {
+  // Paper 4.4 (cross-node Llama-100B on A800).
+  const auto m = model::presets::llama3_1_100b();
+  const auto c = hw::clusters::a800_cross_node(4);
+  engine::RunResult g_raw, v_raw;
+  run_at_rate(SystemOptions::gllm(m, c, 4), kShareGpt, 1.2, 40.0, 7, &g_raw);
+  run_at_rate(SystemOptions::vllm(m, c, 4), kShareGpt, 1.2, 40.0, 7, &v_raw);
+  const double g_slo = g_raw.slo_attainment(10.0, 0.100);
+  const double v_slo = v_raw.slo_attainment(10.0, 0.100);
+  EXPECT_GE(g_slo, v_slo);
+}
+
+TEST(Integration, PreemptionsAppearOnlyWithoutUt) {
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  auto tight = [&](SystemOptions o) {
+    o.gpu_memory_util = 0.55;
+    return run_at_rate(o, kShareGpt, 24.0, 40.0, 7);
+  };
+  const auto full = tight(SystemOptions::gllm(m, c, 4));
+  const auto wo_ut = tight(SystemOptions::gllm_wo_ut(m, c, 4));
+  EXPECT_EQ(full.preemptions, 0);
+  EXPECT_GT(wo_ut.preemptions, 0);
+}
+
+TEST(Integration, ScalabilityImprovesWithGpus) {
+  // Fig 13a shape: more GPUs -> higher max throughput for gLLM.
+  const auto m = model::presets::qwen2_5_14b();
+  const auto thr2 = find_max_throughput(
+      SystemOptions::gllm(m, hw::clusters::l20_node(2), 2), kShareGpt, 8.0, 24.0, 7);
+  const auto thr4 = find_max_throughput(
+      SystemOptions::gllm(m, hw::clusters::l20_node(4), 4), kShareGpt, 8.0, 24.0, 7);
+  EXPECT_GT(thr4.max_throughput, thr2.max_throughput * 1.4);
+}
+
+TEST(Integration, OrcaBaselineStallsDecodes) {
+  // The historical motivation for chunked prefill: Orca-style whole-prompt
+  // scheduling inflates TPOT versus Sarathi's chunked batching.
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  // Azure's long prompts make whole-prompt scheduling visibly harmful.
+  const auto azure = workload::WorkloadSpec::azure_conv();
+  auto orca_opt = SystemOptions::vllm(m, c, 4);
+  orca_opt.scheduler = SchedulerKind::kFcfs;
+  orca_opt.label = "orca";
+  const auto orca = run_at_rate(orca_opt, azure, 2.0, 30.0, 7);
+  const auto sarathi = run_at_rate(SystemOptions::vllm(m, c, 4), azure, 2.0, 30.0, 7);
+  EXPECT_GT(orca.mean_tpot, sarathi.mean_tpot);
+  EXPECT_GT(orca.p99_ttft, sarathi.p99_ttft * 1.5);  // head-of-line blocking
+}
+
+TEST(Integration, AzureWorkloadHeavierThanShareGpt) {
+  // Same rate, same system: Azure's 5.21x longer prompts saturate earlier.
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  const auto opt = SystemOptions::gllm(m, c, 4);
+  const auto sg = run_at_rate(opt, workload::WorkloadSpec::sharegpt(), 2.0, 30.0, 7);
+  const auto az = run_at_rate(opt, workload::WorkloadSpec::azure_conv(), 2.0, 30.0, 7);
+  EXPECT_GT(az.mean_ttft, sg.mean_ttft);
+}
+
+}  // namespace
+}  // namespace gllm::serve

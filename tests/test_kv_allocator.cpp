@@ -1,0 +1,97 @@
+#include "kv/block_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gllm::kv {
+namespace {
+
+TEST(BlockAllocator, AllocateUntilExhausted) {
+  BlockAllocator alloc(4, 16);
+  std::set<BlockId> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = alloc.allocate();
+    ASSERT_TRUE(id.has_value());
+    ids.insert(*id);
+  }
+  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_EQ(alloc.allocate(), std::nullopt);
+  EXPECT_EQ(alloc.free_blocks(), 0);
+  EXPECT_EQ(alloc.used_blocks(), 4);
+}
+
+TEST(BlockAllocator, ReleaseReturnsToPool) {
+  BlockAllocator alloc(2, 16);
+  const auto a = *alloc.allocate();
+  *alloc.allocate();
+  EXPECT_EQ(alloc.release(a), 0);
+  EXPECT_EQ(alloc.free_blocks(), 1);
+  EXPECT_TRUE(alloc.allocate().has_value());
+}
+
+TEST(BlockAllocator, RefCountingLifecycle) {
+  BlockAllocator alloc(1, 16);
+  const auto id = *alloc.allocate();
+  EXPECT_EQ(alloc.ref_count(id), 1);
+  alloc.add_ref(id);
+  EXPECT_EQ(alloc.ref_count(id), 2);
+  EXPECT_EQ(alloc.release(id), 1);
+  EXPECT_EQ(alloc.free_blocks(), 0);  // still referenced
+  EXPECT_EQ(alloc.release(id), 0);
+  EXPECT_EQ(alloc.free_blocks(), 1);
+}
+
+TEST(BlockAllocator, OperationsOnFreeBlockThrow) {
+  BlockAllocator alloc(2, 16);
+  const auto id = *alloc.allocate();
+  alloc.release(id);
+  EXPECT_THROW(alloc.release(id), std::logic_error);
+  EXPECT_THROW(alloc.add_ref(id), std::logic_error);
+}
+
+TEST(BlockAllocator, OutOfRangeThrows) {
+  BlockAllocator alloc(2, 16);
+  EXPECT_THROW(alloc.ref_count(-1), std::out_of_range);
+  EXPECT_THROW(alloc.ref_count(2), std::out_of_range);
+  EXPECT_THROW(alloc.release(5), std::out_of_range);
+}
+
+TEST(BlockAllocator, FreeFraction) {
+  BlockAllocator alloc(4, 16);
+  EXPECT_DOUBLE_EQ(alloc.free_fraction(), 1.0);
+  *alloc.allocate();
+  EXPECT_DOUBLE_EQ(alloc.free_fraction(), 0.75);
+}
+
+TEST(BlockAllocator, InvalidConstructionThrows) {
+  EXPECT_THROW(BlockAllocator(-1, 16), std::invalid_argument);
+  EXPECT_THROW(BlockAllocator(4, 0), std::invalid_argument);
+}
+
+TEST(BlockAllocator, EmptyPoolNeverAllocates) {
+  BlockAllocator alloc(0, 16);
+  EXPECT_EQ(alloc.allocate(), std::nullopt);
+  EXPECT_DOUBLE_EQ(alloc.free_fraction(), 0.0);
+}
+
+TEST(BlockAllocator, BlockSizeAccessor) {
+  BlockAllocator alloc(4, 32);
+  EXPECT_EQ(alloc.block_size(), 32);
+  EXPECT_EQ(alloc.total_blocks(), 4);
+}
+
+TEST(BlockAllocator, ReuseAfterFullCycle) {
+  BlockAllocator alloc(8, 16);
+  std::vector<BlockId> ids;
+  for (int round = 0; round < 3; ++round) {
+    ids.clear();
+    for (int i = 0; i < 8; ++i) ids.push_back(*alloc.allocate());
+    EXPECT_EQ(alloc.free_blocks(), 0);
+    for (const auto id : ids) alloc.release(id);
+    EXPECT_EQ(alloc.free_blocks(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace gllm::kv

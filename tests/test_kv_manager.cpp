@@ -1,0 +1,115 @@
+#include "kv/kv_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::kv {
+namespace {
+
+TEST(KvManager, CapacityRoundsDownToBlocks) {
+  KvManager kv(100, 16);
+  EXPECT_EQ(kv.total_blocks(), 6);
+  EXPECT_EQ(kv.capacity_tokens(), 96);
+}
+
+TEST(KvManager, AllocateTracksTokens) {
+  KvManager kv(64, 16);
+  EXPECT_TRUE(kv.allocate(1, 10));
+  EXPECT_EQ(kv.seq_tokens(1), 10);
+  EXPECT_TRUE(kv.allocate(1, 10));
+  EXPECT_EQ(kv.seq_tokens(1), 20);
+  EXPECT_EQ(kv.table(1).blocks().size(), 2u);
+}
+
+TEST(KvManager, FreeRateReflectsUsage) {
+  KvManager kv(64, 16);  // 4 blocks
+  EXPECT_DOUBLE_EQ(kv.free_rate(), 1.0);
+  kv.allocate(1, 16);
+  EXPECT_DOUBLE_EQ(kv.free_rate(), 0.75);
+  kv.allocate(2, 32);
+  EXPECT_DOUBLE_EQ(kv.free_rate(), 0.25);
+  kv.free_seq(1);
+  EXPECT_DOUBLE_EQ(kv.free_rate(), 0.5);
+}
+
+TEST(KvManager, AllOrNothingOnExhaustion) {
+  KvManager kv(48, 16);  // 3 blocks
+  EXPECT_TRUE(kv.allocate(1, 32));
+  EXPECT_FALSE(kv.allocate(2, 32));  // needs 2, only 1 free
+  EXPECT_EQ(kv.seq_tokens(2), 0);    // rolled back entirely
+  EXPECT_FALSE(kv.has(2));
+  EXPECT_EQ(kv.stats().alloc_failures, 1);
+  EXPECT_TRUE(kv.allocate(2, 16));
+}
+
+TEST(KvManager, CanAllocatePredictsAllocate) {
+  KvManager kv(64, 16);
+  kv.allocate(1, 40);
+  for (int n : {1, 8, 16, 24, 25, 40}) {
+    const bool predicted = kv.can_allocate(2, n);
+    KvManager copy(64, 16);
+    copy.allocate(1, 40);
+    EXPECT_EQ(copy.allocate(2, n), predicted) << "n=" << n;
+  }
+}
+
+TEST(KvManager, SlackAllocationNeedsNoBlock) {
+  KvManager kv(32, 16);
+  kv.allocate(1, 17);  // 2 blocks, 15 slack
+  kv.allocate(2, 0);
+  EXPECT_EQ(kv.free_blocks(), 0);
+  EXPECT_TRUE(kv.can_allocate(1, 15));
+  EXPECT_TRUE(kv.allocate(1, 15));
+  EXPECT_FALSE(kv.allocate(1, 1));
+}
+
+TEST(KvManager, FreeSeqIdempotentAndUnknownTableThrows) {
+  KvManager kv(64, 16);
+  kv.allocate(1, 16);
+  kv.free_seq(1);
+  EXPECT_NO_THROW(kv.free_seq(1));
+  EXPECT_NO_THROW(kv.free_seq(999));
+  EXPECT_THROW(kv.table(1), std::out_of_range);
+}
+
+TEST(KvManager, FreeTokenCapacityCountsWholeBlocks) {
+  KvManager kv(64, 16);
+  kv.allocate(1, 8);
+  EXPECT_EQ(kv.free_token_capacity(), 48);
+}
+
+TEST(KvManager, PeakUtilizationTracked) {
+  KvManager kv(64, 16);
+  kv.allocate(1, 64);
+  kv.free_seq(1);
+  EXPECT_DOUBLE_EQ(kv.stats().peak_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(kv.free_rate(), 1.0);
+}
+
+TEST(KvManager, NegativeAllocationThrows) {
+  KvManager kv(64, 16);
+  EXPECT_THROW(kv.allocate(1, -1), std::invalid_argument);
+}
+
+TEST(KvManager, ManySequencesIndependent) {
+  KvManager kv(16 * 100, 16);
+  for (SeqId s = 0; s < 50; ++s) EXPECT_TRUE(kv.allocate(s, 17));
+  EXPECT_EQ(kv.free_blocks(), 0);
+  for (SeqId s = 0; s < 50; s += 2) kv.free_seq(s);
+  EXPECT_EQ(kv.free_blocks(), 50);
+  for (SeqId s = 1; s < 50; s += 2) EXPECT_EQ(kv.seq_tokens(s), 17);
+}
+
+TEST(KvManager, UtilizationComplementsFreeRate) {
+  KvManager kv(64, 16);
+  kv.allocate(1, 16);
+  EXPECT_DOUBLE_EQ(kv.utilization() + kv.free_rate(), 1.0);
+}
+
+TEST(KvManager, BlocksAllocatedStat) {
+  KvManager kv(64, 16);
+  kv.allocate(1, 33);
+  EXPECT_EQ(kv.stats().blocks_allocated, 3);
+}
+
+}  // namespace
+}  // namespace gllm::kv

@@ -1,0 +1,64 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::util {
+namespace {
+
+TEST(Logger, SingletonIdentity) { EXPECT_EQ(&Logger::instance(), &Logger::instance()); }
+
+TEST(Logger, LevelGating) {
+  ScopedLogLevel guard(LogLevel::kWarn);
+  auto& log = Logger::instance();
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+}
+
+TEST(Logger, OffSilencesEverything) {
+  ScopedLogLevel guard(LogLevel::kOff);
+  auto& log = Logger::instance();
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+}
+
+TEST(Logger, ScopedLevelRestores) {
+  const LogLevel before = Logger::instance().level();
+  {
+    ScopedLogLevel guard(LogLevel::kDebug);
+    EXPECT_EQ(Logger::instance().level(), LogLevel::kDebug);
+    {
+      ScopedLogLevel inner(LogLevel::kError);
+      EXPECT_EQ(Logger::instance().level(), LogLevel::kError);
+    }
+    EXPECT_EQ(Logger::instance().level(), LogLevel::kDebug);
+  }
+  EXPECT_EQ(Logger::instance().level(), before);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(Logger, MacroOnlyFormatsWhenEnabled) {
+  ScopedLogLevel guard(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  GLLM_LOG_ERROR(expensive());
+  EXPECT_EQ(evaluations, 0);  // formatting skipped below the level
+
+  Logger::instance().set_level(LogLevel::kDebug);
+  // Route to a quiet write by temporarily... writing to stderr once is fine.
+  GLLM_LOG_DEBUG(expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace gllm::util

@@ -1,0 +1,96 @@
+#include "engine/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::engine {
+namespace {
+
+RunResult sample_result() {
+  RunResult r;
+  r.start_time = 0.0;
+  r.end_time = 10.0;
+  r.stage_busy_seconds = {8.0, 6.0};
+  // Three completed, one failed.
+  r.requests = {
+      RequestMetrics{0, 0.0, 100, 10, 0.5, 2.0, 0.1, 0, true},
+      RequestMetrics{1, 1.0, 200, 20, 1.0, 4.0, 0.2, 1, true},
+      RequestMetrics{2, 2.0, 300, 1, 1.5, 1.5, 0.0, 0, true},
+      RequestMetrics{3, 3.0, 400, 0, 0.0, 0.0, 0.0, 0, false},
+  };
+  r.iterations = {
+      IterationSample{0.0, 100, 0, 1.0, 0.1},
+      IterationSample{1.0, 0, 100, 0.9, 0.1},
+      IterationSample{2.0, 50, 50, 0.8, 0.1},
+  };
+  return r;
+}
+
+TEST(RunResult, CompletedAndTokens) {
+  const auto r = sample_result();
+  EXPECT_EQ(r.completed_requests(), 3u);
+  EXPECT_EQ(r.total_tokens(), 100 + 10 + 200 + 20 + 300 + 1);
+  EXPECT_EQ(r.output_tokens(), 31);
+}
+
+TEST(RunResult, LatencyMeans) {
+  const auto r = sample_result();
+  EXPECT_DOUBLE_EQ(r.mean_ttft(), 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_e2el(), 2.5);
+  // TPOT mean only over requests with output_len > 1.
+  EXPECT_NEAR(r.mean_tpot(), 0.15, 1e-12);
+}
+
+TEST(RunResult, P99Ttft) {
+  const auto r = sample_result();
+  EXPECT_NEAR(r.p99_ttft(), 1.49, 0.011);
+}
+
+TEST(RunResult, ThroughputOverMakespan) {
+  const auto r = sample_result();
+  EXPECT_DOUBLE_EQ(r.makespan(), 10.0);
+  EXPECT_DOUBLE_EQ(r.throughput(), 631.0 / 10.0);
+}
+
+TEST(RunResult, SloCountsIncompleteAsViolation) {
+  const auto r = sample_result();
+  // All three completed meet ttft<=2.0, tpot<=0.3; the failed one violates.
+  EXPECT_DOUBLE_EQ(r.slo_attainment(2.0, 0.3), 0.75);
+  // Tight TTFT excludes two.
+  EXPECT_DOUBLE_EQ(r.slo_attainment(0.6, 0.3), 0.25);
+  EXPECT_DOUBLE_EQ(r.slo_attainment(0.0, 0.0), 0.0);
+}
+
+TEST(RunResult, StageUtilization) {
+  const auto r = sample_result();
+  EXPECT_DOUBLE_EQ(r.mean_stage_utilization(), (0.8 + 0.6) / 2.0);
+}
+
+TEST(RunResult, TokenCountCv) {
+  const auto r = sample_result();
+  // Token totals per iteration: 100, 100, 100 -> CV 0.
+  EXPECT_DOUBLE_EQ(r.token_count_cv(), 0.0);
+}
+
+TEST(RunResult, EmptySafeDefaults) {
+  RunResult r;
+  EXPECT_EQ(r.completed_requests(), 0u);
+  EXPECT_EQ(r.throughput(), 0.0);
+  EXPECT_EQ(r.mean_ttft(), 0.0);
+  EXPECT_EQ(r.slo_attainment(1, 1), 0.0);
+  EXPECT_EQ(r.mean_stage_utilization(), 0.0);
+  EXPECT_EQ(r.token_count_cv(), 0.0);
+}
+
+TEST(RunResult, CvDetectsVolatility) {
+  RunResult balanced, volatile_;
+  for (int i = 0; i < 10; ++i) {
+    balanced.iterations.push_back(IterationSample{0, 500, 12, 1.0, 0.1});
+    volatile_.iterations.push_back(
+        IterationSample{0, i % 2 ? 2000 : 0, i % 2 ? 0 : 20, 1.0, 0.1});
+  }
+  EXPECT_LT(balanced.token_count_cv(), 0.05);
+  EXPECT_GT(volatile_.token_count_cv(), 0.8);
+}
+
+}  // namespace
+}  // namespace gllm::engine

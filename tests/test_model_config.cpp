@@ -1,0 +1,125 @@
+#include "model/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::model {
+namespace {
+
+TEST(ModelConfig, Qwen14bParamCount) {
+  const auto m = presets::qwen2_5_14b();
+  const double billions = static_cast<double>(m.total_params()) / 1e9;
+  EXPECT_GT(billions, 13.5);
+  EXPECT_LT(billions, 16.5);
+}
+
+TEST(ModelConfig, Qwen32bParamCount) {
+  const auto m = presets::qwen2_5_32b();
+  const double billions = static_cast<double>(m.total_params()) / 1e9;
+  EXPECT_GT(billions, 31.0);
+  EXPECT_LT(billions, 34.5);
+}
+
+TEST(ModelConfig, Llama100bParamCount) {
+  const auto m = presets::llama3_1_100b();
+  const double billions = static_cast<double>(m.total_params()) / 1e9;
+  EXPECT_GT(billions, 93.0);
+  EXPECT_LT(billions, 107.0);
+}
+
+TEST(ModelConfig, Llama8bParamCount) {
+  const auto m = presets::llama3_1_8b();
+  const double billions = static_cast<double>(m.total_params()) / 1e9;
+  EXPECT_GT(billions, 7.2);
+  EXPECT_LT(billions, 8.6);
+}
+
+TEST(ModelConfig, AttnParamsFormula) {
+  auto m = presets::tiny();
+  // q: h*(heads*hd), k/v: h*(kv*hd), o: (heads*hd)*h
+  const std::int64_t q_dim = static_cast<std::int64_t>(m.n_heads) * m.head_dim;
+  const std::int64_t kv_dim = static_cast<std::int64_t>(m.n_kv_heads) * m.head_dim;
+  EXPECT_EQ(m.attn_params_per_layer(),
+            2 * m.hidden * q_dim + 2 * m.hidden * kv_dim);
+}
+
+TEST(ModelConfig, MlpParamsFormula) {
+  const auto m = presets::tiny();
+  EXPECT_EQ(m.mlp_params_per_layer(), 3LL * m.hidden * m.intermediate);
+}
+
+TEST(ModelConfig, KvBytesPerTokenLayer) {
+  const auto m = presets::qwen2_5_32b();
+  // GQA: 2 (K+V) * 8 kv heads * 128 head dim * 2 bytes = 4096 B
+  EXPECT_EQ(m.kv_bytes_per_token_layer(), 4096);
+  EXPECT_EQ(m.kv_bytes_per_token(), 4096LL * 64);
+}
+
+TEST(ModelConfig, ActivationBytesPerToken) {
+  const auto m = presets::qwen2_5_14b();
+  EXPECT_EQ(m.activation_bytes_per_token(), 5120LL * 2);
+}
+
+TEST(ModelConfig, WeightBytesAreDtypeScaled) {
+  auto m = presets::tiny();
+  const double bf16 = [&] {
+    auto c = m;
+    c.dtype_bytes = 2;
+    return c.total_weight_bytes();
+  }();
+  const double fp32 = [&] {
+    auto c = m;
+    c.dtype_bytes = 4;
+    return c.total_weight_bytes();
+  }();
+  EXPECT_DOUBLE_EQ(fp32, 2.0 * bf16);
+}
+
+TEST(ModelConfig, TiedEmbeddingsDropHead) {
+  auto m = presets::tiny();
+  const auto untied = m.total_params();
+  m.tie_embeddings = true;
+  EXPECT_EQ(m.total_params(), untied - m.embedding_params());
+}
+
+TEST(ModelConfig, ValidateAcceptsPresets) {
+  EXPECT_NO_THROW(presets::qwen2_5_14b().validate());
+  EXPECT_NO_THROW(presets::qwen2_5_32b().validate());
+  EXPECT_NO_THROW(presets::llama3_1_100b().validate());
+  EXPECT_NO_THROW(presets::llama3_1_8b().validate());
+  EXPECT_NO_THROW(presets::tiny().validate());
+}
+
+struct InvalidCase {
+  const char* name;
+  void (*mutate)(ModelConfig&);
+};
+
+class ModelConfigInvalid : public ::testing::TestWithParam<InvalidCase> {};
+
+TEST_P(ModelConfigInvalid, Throws) {
+  auto m = presets::tiny();
+  GetParam().mutate(m);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFields, ModelConfigInvalid,
+    ::testing::Values(
+        InvalidCase{"zero_layers", [](ModelConfig& m) { m.n_layers = 0; }},
+        InvalidCase{"zero_hidden", [](ModelConfig& m) { m.hidden = 0; }},
+        InvalidCase{"zero_heads", [](ModelConfig& m) { m.n_heads = 0; }},
+        InvalidCase{"kv_not_divisor", [](ModelConfig& m) { m.n_kv_heads = 3; }},
+        InvalidCase{"zero_kv", [](ModelConfig& m) { m.n_kv_heads = 0; }},
+        InvalidCase{"zero_head_dim", [](ModelConfig& m) { m.head_dim = 0; }},
+        InvalidCase{"zero_inter", [](ModelConfig& m) { m.intermediate = 0; }},
+        InvalidCase{"zero_vocab", [](ModelConfig& m) { m.vocab = 0; }},
+        InvalidCase{"zero_dtype", [](ModelConfig& m) { m.dtype_bytes = 0; }}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ModelConfig, GqaRatioPresets) {
+  EXPECT_EQ(presets::qwen2_5_32b().n_heads % presets::qwen2_5_32b().n_kv_heads, 0);
+  EXPECT_EQ(presets::llama3_1_100b().n_heads / presets::llama3_1_100b().n_kv_heads, 16);
+}
+
+}  // namespace
+}  // namespace gllm::model

@@ -1,0 +1,235 @@
+#include "nn/stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "model/partition.hpp"
+#include "nn/reference.hpp"
+#include "tensor/ops.hpp"
+
+namespace gllm::nn {
+namespace {
+
+constexpr std::uint64_t kSeed = 77;
+constexpr int kBs = 4;  // kv block size
+
+model::StageShape full_shape(const model::ModelConfig& cfg) {
+  return model::StageShape{0, cfg.n_layers, true, true};
+}
+
+std::vector<kv::BlockId> identity_blocks(int n) {
+  std::vector<kv::BlockId> b(static_cast<std::size_t>(n));
+  std::iota(b.begin(), b.end(), 0);
+  return b;
+}
+
+TEST(StageWeights, DeterministicAcrossInstances) {
+  const auto cfg = model::presets::tiny();
+  TransformerStage a(cfg, full_shape(cfg), kSeed, 8, kBs);
+  TransformerStage b(cfg, full_shape(cfg), kSeed, 8, kBs);
+  const auto prompt = synthetic_prompt(cfg, 1, 8);
+  auto ha = a.embed(prompt);
+  auto hb = b.embed(prompt);
+  for (std::int64_t i = 0; i < ha.numel(); ++i) EXPECT_EQ(ha.at(i), hb.at(i));
+}
+
+TEST(StageWeights, PartitionedStagesMatchFullModelLayers) {
+  // Forward through the full model must equal forward through stage0 then
+  // stage1 of a 2-way partition (same seed => same layer weights).
+  const auto cfg = model::presets::tiny();
+  const model::PartitionPlan plan(cfg, 2);
+  TransformerStage full(cfg, full_shape(cfg), kSeed, 16, kBs);
+  TransformerStage s0(cfg, plan.stage(0), kSeed, 16, kBs);
+  TransformerStage s1(cfg, plan.stage(1), kSeed, 16, kBs);
+
+  const auto prompt = synthetic_prompt(cfg, 2, 10);
+  ItemView item;
+  item.context = 0;
+  item.n_tokens = static_cast<int>(prompt.size());
+  item.blocks = identity_blocks(16);
+  item.wants_logits = true;
+
+  auto h_full = full.embed(prompt);
+  full.forward(h_full, {&item, 1});
+  auto l_full = full.logits(h_full, {&item, 1});
+
+  auto h_split = s0.embed(prompt);
+  s0.forward(h_split, {&item, 1});
+  s1.forward(h_split, {&item, 1});
+  auto l_split = s1.logits(h_split, {&item, 1});
+
+  ASSERT_EQ(l_full.numel(), l_split.numel());
+  for (std::int64_t i = 0; i < l_full.numel(); ++i)
+    EXPECT_EQ(l_full.at(i), l_split.at(i)) << "logit " << i;
+}
+
+TEST(StageForward, ChunkedPrefillBitExactVsFull) {
+  const auto cfg = model::presets::tiny();
+  TransformerStage whole(cfg, full_shape(cfg), kSeed, 16, kBs);
+  TransformerStage chunked(cfg, full_shape(cfg), kSeed, 16, kBs);
+
+  const auto prompt = synthetic_prompt(cfg, 3, 12);
+
+  // Whole prompt in one pass.
+  ItemView all;
+  all.context = 0;
+  all.n_tokens = 12;
+  all.blocks = identity_blocks(16);
+  all.wants_logits = true;
+  auto h = whole.embed(prompt);
+  whole.forward(h, {&all, 1});
+  auto logits_all = whole.logits(h, {&all, 1});
+
+  // Same prompt in chunks of 5 + 7.
+  ItemView c1;
+  c1.context = 0;
+  c1.n_tokens = 5;
+  c1.blocks = identity_blocks(16);
+  auto h1 = chunked.embed({prompt.data(), 5});
+  chunked.forward(h1, {&c1, 1});
+
+  ItemView c2;
+  c2.context = 5;
+  c2.n_tokens = 7;
+  c2.blocks = identity_blocks(16);
+  c2.wants_logits = true;
+  auto h2 = chunked.embed({prompt.data() + 5, 7});
+  chunked.forward(h2, {&c2, 1});
+  auto logits_chunked = chunked.logits(h2, {&c2, 1});
+
+  for (std::int64_t i = 0; i < logits_all.numel(); ++i)
+    EXPECT_EQ(logits_all.at(i), logits_chunked.at(i));
+}
+
+TEST(StageForward, PagedLayoutIndependence) {
+  // The same logical sequence stored in different physical blocks must give
+  // identical outputs: attention reads through the page table only.
+  const auto cfg = model::presets::tiny();
+  TransformerStage a(cfg, full_shape(cfg), kSeed, 16, kBs);
+  TransformerStage b(cfg, full_shape(cfg), kSeed, 16, kBs);
+
+  const auto prompt = synthetic_prompt(cfg, 4, 9);
+
+  ItemView ia;
+  ia.context = 0;
+  ia.n_tokens = 9;
+  ia.blocks = {0, 1, 2};
+  ia.wants_logits = true;
+  auto ha = a.embed(prompt);
+  a.forward(ha, {&ia, 1});
+  auto la = a.logits(ha, {&ia, 1});
+
+  ItemView ib;
+  ib.context = 0;
+  ib.n_tokens = 9;
+  ib.blocks = {13, 2, 7};  // scrambled physical placement
+  ib.wants_logits = true;
+  auto hb = b.embed(prompt);
+  b.forward(hb, {&ib, 1});
+  auto lb = b.logits(hb, {&ib, 1});
+
+  for (std::int64_t i = 0; i < la.numel(); ++i) EXPECT_EQ(la.at(i), lb.at(i));
+}
+
+TEST(StageForward, BatchCompositionInvariance) {
+  // A sequence's logits must not depend on which other items share its batch.
+  const auto cfg = model::presets::tiny();
+  TransformerStage solo(cfg, full_shape(cfg), kSeed, 32, kBs);
+  TransformerStage batched(cfg, full_shape(cfg), kSeed, 32, kBs);
+
+  const auto p1 = synthetic_prompt(cfg, 5, 8);
+  const auto p2 = synthetic_prompt(cfg, 6, 6);
+
+  ItemView i1;
+  i1.context = 0;
+  i1.n_tokens = 8;
+  i1.blocks = {0, 1};
+  i1.wants_logits = true;
+
+  auto h1 = solo.embed(p1);
+  solo.forward(h1, {&i1, 1});
+  auto l1 = solo.logits(h1, {&i1, 1});
+
+  // Batched: p1 and p2 together (p2 uses different blocks).
+  std::vector<ItemView> items(2);
+  items[0] = i1;
+  items[1].context = 0;
+  items[1].n_tokens = 6;
+  items[1].blocks = {4, 5};
+  items[1].wants_logits = true;
+
+  std::vector<TokenId> both = p1;
+  both.insert(both.end(), p2.begin(), p2.end());
+  auto hb = batched.embed(both);
+  batched.forward(hb, items);
+  auto lb = batched.logits(hb, items);  // row 0 is p1's
+
+  for (std::int64_t j = 0; j < cfg.vocab; ++j) EXPECT_EQ(l1.at(0, j), lb.at(0, j));
+}
+
+TEST(StageForward, GqaHeadsShareKv) {
+  // Sanity: config with n_heads != n_kv_heads runs and produces finite output.
+  auto cfg = model::presets::tiny();
+  ASSERT_NE(cfg.n_heads, cfg.n_kv_heads);
+  TransformerStage stage(cfg, full_shape(cfg), kSeed, 8, kBs);
+  const auto prompt = synthetic_prompt(cfg, 7, 5);
+  ItemView item;
+  item.context = 0;
+  item.n_tokens = 5;
+  item.blocks = identity_blocks(8);
+  item.wants_logits = true;
+  auto h = stage.embed(prompt);
+  stage.forward(h, {&item, 1});
+  for (float v : h.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(StageApi, EmbedRejectsBadTokens) {
+  const auto cfg = model::presets::tiny();
+  TransformerStage stage(cfg, full_shape(cfg), kSeed, 8, kBs);
+  const TokenId bad = static_cast<TokenId>(cfg.vocab);
+  EXPECT_THROW(stage.embed({&bad, 1}), std::out_of_range);
+}
+
+TEST(StageApi, WrongStageRoleRejected) {
+  const auto cfg = model::presets::tiny();
+  const model::PartitionPlan plan(cfg, 2);
+  TransformerStage s0(cfg, plan.stage(0), kSeed, 8, kBs);  // embedding, no head
+  TransformerStage s1(cfg, plan.stage(1), kSeed, 8, kBs);  // head, no embedding
+  tensor::Tensor h({1, cfg.hidden});
+  ItemView item;
+  item.n_tokens = 1;
+  item.wants_logits = true;
+  item.blocks = {0};
+  EXPECT_THROW(s0.logits(h, {&item, 1}), std::logic_error);
+  EXPECT_THROW(s1.embed(std::vector<TokenId>{1}), std::logic_error);
+}
+
+TEST(StageApi, ForwardValidatesRowCount) {
+  const auto cfg = model::presets::tiny();
+  TransformerStage stage(cfg, full_shape(cfg), kSeed, 8, kBs);
+  tensor::Tensor h({3, cfg.hidden});
+  ItemView item;
+  item.n_tokens = 5;  // mismatch
+  item.blocks = identity_blocks(8);
+  EXPECT_THROW(stage.forward(h, {&item, 1}), std::invalid_argument);
+}
+
+TEST(KvPoolGeometry, SlotAddressingAndBounds) {
+  const auto cfg = model::presets::tiny();
+  KvPool pool(cfg, 2, 3, 4, kBs);  // layers 2..4
+  EXPECT_EQ(pool.kv_dim(), cfg.n_kv_heads * cfg.head_dim);
+  auto slot = pool.k_slot(2, 0, 0);
+  EXPECT_EQ(slot.size(), static_cast<std::size_t>(pool.kv_dim()));
+  slot[0] = 1.5f;
+  EXPECT_EQ(pool.k_slot(2, 0, 0)[0], 1.5f);
+  EXPECT_EQ(pool.v_slot(2, 0, 0)[0], 0.0f);  // distinct storage
+  EXPECT_THROW(pool.k_slot(1, 0, 0), std::out_of_range);  // below range
+  EXPECT_THROW(pool.k_slot(5, 0, 0), std::out_of_range);  // above range
+  EXPECT_THROW(pool.k_slot(2, 4, 0), std::out_of_range);  // bad block
+  EXPECT_THROW(pool.k_slot(2, 0, kBs), std::out_of_range);  // bad slot
+}
+
+}  // namespace
+}  // namespace gllm::nn

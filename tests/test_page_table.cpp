@@ -1,0 +1,120 @@
+#include "kv/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::kv {
+namespace {
+
+TEST(PageTable, BlocksNeededFromEmpty) {
+  PageTable pt(16);
+  EXPECT_EQ(pt.blocks_needed(0), 0);
+  EXPECT_EQ(pt.blocks_needed(1), 1);
+  EXPECT_EQ(pt.blocks_needed(16), 1);
+  EXPECT_EQ(pt.blocks_needed(17), 2);
+  EXPECT_EQ(pt.blocks_needed(160), 10);
+}
+
+TEST(PageTable, BlocksNeededUsesSlack) {
+  PageTable pt(16);
+  pt.append(10, {0});
+  EXPECT_EQ(pt.blocks_needed(6), 0);   // fits in the open block
+  EXPECT_EQ(pt.blocks_needed(7), 1);
+  EXPECT_EQ(pt.blocks_needed(6 + 16), 1);
+}
+
+TEST(PageTable, AppendValidatesBlockCount) {
+  PageTable pt(16);
+  EXPECT_THROW(pt.append(20, {0}), std::invalid_argument);       // needs 2
+  EXPECT_THROW(pt.append(10, {0, 1}), std::invalid_argument);    // needs 1
+  EXPECT_NO_THROW(pt.append(20, {0, 1}));
+  EXPECT_EQ(pt.n_tokens(), 20);
+  EXPECT_EQ(pt.blocks().size(), 2u);
+}
+
+TEST(PageTable, BlockOfMapsTokensToBlocks) {
+  PageTable pt(4);
+  pt.append(10, {7, 9, 11});
+  EXPECT_EQ(pt.block_of(0), 7);
+  EXPECT_EQ(pt.block_of(3), 7);
+  EXPECT_EQ(pt.block_of(4), 9);
+  EXPECT_EQ(pt.block_of(9), 11);
+  EXPECT_THROW(pt.block_of(10), std::out_of_range);
+  EXPECT_THROW(pt.block_of(-1), std::out_of_range);
+}
+
+TEST(PageTable, SlackComputation) {
+  PageTable pt(8);
+  EXPECT_EQ(pt.slack(), 0);
+  pt.append(5, {0});
+  EXPECT_EQ(pt.slack(), 3);
+  pt.append(3, {});
+  EXPECT_EQ(pt.slack(), 0);
+}
+
+TEST(PageTable, AdoptPrefixOnlyWhenEmpty) {
+  PageTable pt(4);
+  pt.adopt_prefix({3, 4}, 8);
+  EXPECT_EQ(pt.n_tokens(), 8);
+  EXPECT_THROW(pt.adopt_prefix({5}, 4), std::logic_error);
+}
+
+TEST(PageTable, AdoptPrefixMustBeWholeBlocks) {
+  PageTable pt(4);
+  EXPECT_THROW(pt.adopt_prefix({3}, 3), std::invalid_argument);
+}
+
+TEST(PageTable, AppendAfterAdopt) {
+  PageTable pt(4);
+  pt.adopt_prefix({0, 1}, 8);
+  EXPECT_EQ(pt.blocks_needed(5), 2);
+  pt.append(5, {2, 3});
+  EXPECT_EQ(pt.n_tokens(), 13);
+  EXPECT_EQ(pt.block_of(12), 3);
+}
+
+TEST(PageTable, ClearResets) {
+  PageTable pt(4);
+  pt.append(6, {0, 1});
+  pt.clear();
+  EXPECT_EQ(pt.n_tokens(), 0);
+  EXPECT_TRUE(pt.blocks().empty());
+  EXPECT_EQ(pt.blocks_needed(1), 1);
+}
+
+TEST(PageTable, NegativeAppendThrows) {
+  PageTable pt(4);
+  EXPECT_THROW(pt.blocks_needed(-1), std::invalid_argument);
+}
+
+struct NeedCase {
+  int block_size;
+  std::int64_t existing;
+  std::int64_t added;
+  std::int64_t expected_new_blocks;
+};
+
+class BlocksNeededProperty : public ::testing::TestWithParam<NeedCase> {};
+
+TEST_P(BlocksNeededProperty, MatchesCeilArithmetic) {
+  const auto& c = GetParam();
+  PageTable pt(c.block_size);
+  if (c.existing > 0) {
+    std::vector<BlockId> blocks(
+        static_cast<std::size_t>((c.existing + c.block_size - 1) / c.block_size));
+    for (std::size_t i = 0; i < blocks.size(); ++i) blocks[i] = static_cast<BlockId>(i);
+    pt.append(c.existing, blocks);
+  }
+  EXPECT_EQ(pt.blocks_needed(c.added), c.expected_new_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, BlocksNeededProperty,
+    ::testing::Values(NeedCase{16, 0, 0, 0}, NeedCase{16, 0, 1, 1},
+                      NeedCase{16, 0, 16, 1}, NeedCase{16, 0, 17, 2},
+                      NeedCase{16, 15, 1, 0}, NeedCase{16, 15, 2, 1},
+                      NeedCase{16, 16, 1, 1}, NeedCase{8, 20, 4, 0},
+                      NeedCase{8, 20, 5, 1}, NeedCase{1, 5, 3, 3},
+                      NeedCase{128, 100, 400, 3}));
+
+}  // namespace
+}  // namespace gllm::kv

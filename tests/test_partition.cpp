@@ -1,0 +1,111 @@
+#include "model/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::model {
+namespace {
+
+TEST(PartitionPlan, EvenSplit) {
+  const PartitionPlan plan(presets::qwen2_5_32b(), 4);
+  ASSERT_EQ(plan.stages(), 4);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(plan.stage(s).n_layers, 16);
+}
+
+TEST(PartitionPlan, RemainderGoesToEarlyStages) {
+  auto cfg = presets::tiny();
+  cfg.n_layers = 10;
+  const PartitionPlan plan(cfg, 4);
+  EXPECT_EQ(plan.stage(0).n_layers, 3);
+  EXPECT_EQ(plan.stage(1).n_layers, 3);
+  EXPECT_EQ(plan.stage(2).n_layers, 2);
+  EXPECT_EQ(plan.stage(3).n_layers, 2);
+}
+
+TEST(PartitionPlan, LayersContiguousAndComplete) {
+  const auto cfg = presets::llama3_1_100b();
+  for (int pp : {1, 2, 3, 4, 5, 6}) {
+    const PartitionPlan plan(cfg, pp);
+    int next = 0;
+    for (int s = 0; s < pp; ++s) {
+      EXPECT_EQ(plan.stage(s).first_layer, next);
+      next = plan.stage(s).last_layer_exclusive();
+    }
+    EXPECT_EQ(next, cfg.n_layers);
+  }
+}
+
+TEST(PartitionPlan, EmbeddingFirstHeadLast) {
+  const PartitionPlan plan(presets::qwen2_5_14b(), 4);
+  EXPECT_TRUE(plan.stage(0).has_embedding);
+  EXPECT_FALSE(plan.stage(0).has_lm_head);
+  EXPECT_TRUE(plan.stage(3).has_lm_head);
+  EXPECT_FALSE(plan.stage(3).has_embedding);
+  EXPECT_FALSE(plan.stage(1).has_embedding);
+  EXPECT_FALSE(plan.stage(2).has_lm_head);
+}
+
+TEST(PartitionPlan, SingleStageHasBoth) {
+  const PartitionPlan plan(presets::tiny(), 1);
+  EXPECT_TRUE(plan.stage(0).has_embedding);
+  EXPECT_TRUE(plan.stage(0).has_lm_head);
+}
+
+TEST(PartitionPlan, StageParamsSumToTotal) {
+  const auto cfg = presets::qwen2_5_32b();
+  for (int pp : {1, 2, 4, 8}) {
+    const PartitionPlan plan(cfg, pp);
+    std::int64_t sum = 0;
+    for (int s = 0; s < pp; ++s) sum += plan.stage_params(s);
+    EXPECT_EQ(sum, cfg.total_params());
+  }
+}
+
+TEST(PartitionPlan, WeightBytesMatchParams) {
+  const PartitionPlan plan(presets::qwen2_5_14b(), 2);
+  EXPECT_DOUBLE_EQ(plan.stage_weight_bytes(0),
+                   static_cast<double>(plan.stage_params(0)) * 2);
+}
+
+TEST(PartitionPlan, MaxStageWeightIsMaximum) {
+  const PartitionPlan plan(presets::qwen2_5_32b(), 4);
+  double mx = 0;
+  for (int s = 0; s < 4; ++s) mx = std::max(mx, plan.stage_weight_bytes(s));
+  EXPECT_DOUBLE_EQ(plan.max_stage_weight_bytes(), mx);
+}
+
+TEST(PartitionPlan, LmHeadStageIsHeaviestForBigVocab) {
+  // Qwen vocab 152k x hidden 5120 ~ 0.78B extra params on the last stage.
+  const PartitionPlan plan(presets::qwen2_5_32b(), 4);
+  EXPECT_GT(plan.stage_params(3), plan.stage_params(1));
+}
+
+TEST(PartitionPlan, InvalidArgsThrow) {
+  EXPECT_THROW(PartitionPlan(presets::tiny(), 0), std::invalid_argument);
+  EXPECT_THROW(PartitionPlan(presets::tiny(), -1), std::invalid_argument);
+  EXPECT_THROW(PartitionPlan(presets::tiny(), 9), std::invalid_argument);  // 8 layers
+}
+
+TEST(PartitionPlan, StageOutOfRangeThrows) {
+  const PartitionPlan plan(presets::tiny(), 2);
+  EXPECT_THROW(plan.stage(2), std::out_of_range);
+}
+
+class PartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionProperty, EveryStageNonEmptyAndBalanced) {
+  const int pp = GetParam();
+  const PartitionPlan plan(presets::qwen2_5_32b(), pp);
+  int min_layers = 1 << 30, max_layers = 0;
+  for (int s = 0; s < pp; ++s) {
+    min_layers = std::min(min_layers, plan.stage(s).n_layers);
+    max_layers = std::max(max_layers, plan.stage(s).n_layers);
+  }
+  EXPECT_GE(min_layers, 1);
+  EXPECT_LE(max_layers - min_layers, 1);  // balanced within one layer
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PartitionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace gllm::model

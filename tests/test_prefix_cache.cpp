@@ -1,0 +1,213 @@
+#include "kv/kv_manager.hpp"
+#include "kv/prefix_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gllm::kv {
+namespace {
+
+std::vector<TokenId> tokens_iota(int n, TokenId start = 0) {
+  std::vector<TokenId> t(static_cast<std::size_t>(n));
+  std::iota(t.begin(), t.end(), start);
+  return t;
+}
+
+TEST(PrefixCache, MatchAfterInsert) {
+  BlockAllocator alloc(8, 4);
+  PrefixCache cache(alloc);
+  const auto prompt = tokens_iota(8);
+  const BlockId b0 = *alloc.allocate();
+  const BlockId b1 = *alloc.allocate();
+  const std::vector<BlockId> blocks{b0, b1};
+  cache.insert(prompt, blocks);
+  EXPECT_EQ(cache.size(), 2u);
+
+  auto match = cache.match_and_acquire(prompt);
+  EXPECT_EQ(match.n_tokens, 8);
+  EXPECT_EQ(match.blocks, blocks);
+  EXPECT_EQ(alloc.ref_count(b0), 3);  // owner + cache + match
+}
+
+TEST(PrefixCache, PartialBlocksNotCached) {
+  BlockAllocator alloc(8, 4);
+  PrefixCache cache(alloc);
+  const auto prompt = tokens_iota(6);  // 1 full block + 2 spare tokens
+  const BlockId b0 = *alloc.allocate();
+  const BlockId b1 = *alloc.allocate();
+  cache.insert(prompt, {{b0, b1}});
+  EXPECT_EQ(cache.size(), 1u);  // only the full block
+}
+
+TEST(PrefixCache, PrefixMatchingStopsAtDivergence) {
+  BlockAllocator alloc(8, 4);
+  PrefixCache cache(alloc);
+  const auto prompt = tokens_iota(8);
+  const BlockId b0 = *alloc.allocate();
+  const BlockId b1 = *alloc.allocate();
+  cache.insert(prompt, {{b0, b1}});
+
+  auto diverged = prompt;
+  diverged[5] = 999;  // second block differs
+  auto match = cache.match_and_acquire(diverged);
+  EXPECT_EQ(match.n_tokens, 4);
+  ASSERT_EQ(match.blocks.size(), 1u);
+  EXPECT_EQ(match.blocks[0], b0);
+  alloc.release(b0);  // release the acquired ref
+}
+
+TEST(PrefixCache, SameBlockDifferentPositionDistinct) {
+  BlockAllocator alloc(8, 4);
+  PrefixCache cache(alloc);
+  // Prompt with identical halves: chained hashing must distinguish them.
+  std::vector<TokenId> prompt{1, 2, 3, 4, 1, 2, 3, 4};
+  const BlockId b0 = *alloc.allocate();
+  const BlockId b1 = *alloc.allocate();
+  cache.insert(prompt, {{b0, b1}});
+  EXPECT_EQ(cache.size(), 2u);
+
+  // A prompt that *starts* with the second half's content only matches the
+  // first block entry (hash chain differs beyond it).
+  auto match = cache.match_and_acquire(std::vector<TokenId>{1, 2, 3, 4});
+  EXPECT_EQ(match.n_tokens, 4);
+  EXPECT_EQ(match.blocks[0], b0);
+  alloc.release(b0);
+}
+
+TEST(PrefixCache, EvictOneLruOrder) {
+  BlockAllocator alloc(8, 4);
+  PrefixCache cache(alloc);
+  const auto p1 = tokens_iota(4, 0);
+  const auto p2 = tokens_iota(4, 100);
+  const BlockId b1 = *alloc.allocate();
+  const BlockId b2 = *alloc.allocate();
+  cache.insert(p1, {{b1}});
+  cache.insert(p2, {{b2}});
+  alloc.release(b1);  // only the cache holds them now
+  alloc.release(b2);
+  EXPECT_EQ(cache.evictable_blocks(), 2);
+
+  // Touch p1 so p2 is least-recent.
+  auto m = cache.match_and_acquire(p1);
+  alloc.release(m.blocks[0]);
+
+  EXPECT_TRUE(cache.evict_one());
+  EXPECT_EQ(cache.size(), 1u);
+  auto m2 = cache.match_and_acquire(p2);
+  EXPECT_EQ(m2.n_tokens, 0);  // p2 was evicted
+  auto m1 = cache.match_and_acquire(p1);
+  EXPECT_EQ(m1.n_tokens, 4);  // p1 survived
+  alloc.release(m1.blocks[0]);
+}
+
+TEST(PrefixCache, InUseBlocksNotEvictable) {
+  BlockAllocator alloc(4, 4);
+  PrefixCache cache(alloc);
+  const auto p = tokens_iota(4);
+  const BlockId b = *alloc.allocate();
+  cache.insert(p, {{b}});
+  // Owner still holds a reference: refcount 2 -> not evictable.
+  EXPECT_EQ(cache.evictable_blocks(), 0);
+  EXPECT_FALSE(cache.evict_one());
+  alloc.release(b);
+  EXPECT_EQ(cache.evictable_blocks(), 1);
+  EXPECT_TRUE(cache.evict_one());
+  EXPECT_EQ(alloc.free_blocks(), 4);
+}
+
+TEST(PrefixCache, HitTokensTelemetry) {
+  BlockAllocator alloc(8, 4);
+  PrefixCache cache(alloc);
+  const auto p = tokens_iota(8);
+  const BlockId b0 = *alloc.allocate();
+  const BlockId b1 = *alloc.allocate();
+  cache.insert(p, {{b0, b1}});
+  auto m = cache.match_and_acquire(p);
+  EXPECT_EQ(cache.hit_tokens(), 8);
+  EXPECT_EQ(cache.lookups(), 1);
+  for (auto blk : m.blocks) alloc.release(blk);
+}
+
+// --- integration through KvManager -----------------------------------------
+
+TEST(KvManagerPrefix, PromptReuseAcrossSequences) {
+  KvManager kv(16 * 8, 16, /*prefix_caching=*/true);
+  std::vector<TokenId> prompt = [] {
+    std::vector<TokenId> t(40);
+    std::iota(t.begin(), t.end(), 0);
+    return t;
+  }();
+
+  EXPECT_EQ(kv.allocate_prompt(1, prompt), 0);  // cold
+  kv.register_prefix(1, prompt);
+  // A second sequence with the same prompt reuses the two full blocks.
+  EXPECT_EQ(kv.allocate_prompt(2, prompt), 32);
+  EXPECT_EQ(kv.stats().prefix_hit_tokens, 32);
+  // Shared physical blocks:
+  EXPECT_EQ(kv.table(1).blocks()[0], kv.table(2).blocks()[0]);
+  EXPECT_NE(kv.table(1).blocks()[2], kv.table(2).blocks()[2]);  // partial block
+}
+
+TEST(KvManagerPrefix, EvictionFreesSpaceUnderPressure) {
+  KvManager kv(16 * 4, 16, /*prefix_caching=*/true);
+  const auto p1 = [] {
+    std::vector<TokenId> t(32);
+    std::iota(t.begin(), t.end(), 0);
+    return t;
+  }();
+  ASSERT_EQ(kv.allocate_prompt(1, p1), 0);
+  kv.register_prefix(1, p1);
+  kv.free_seq(1);  // blocks now cached-only (evictable)
+  EXPECT_DOUBLE_EQ(kv.free_rate(), 1.0);
+
+  // A different prompt needing all 4 blocks forces eviction of the cache.
+  const auto p2 = [] {
+    std::vector<TokenId> t(64);
+    std::iota(t.begin(), t.end(), 1000);
+    return t;
+  }();
+  EXPECT_EQ(kv.allocate_prompt(2, p2), 0);
+  EXPECT_EQ(kv.seq_tokens(2), 64);
+}
+
+TEST(KvManagerPrefix, ReuseSurvivesOwnerExit) {
+  KvManager kv(16 * 8, 16, /*prefix_caching=*/true);
+  const auto p = [] {
+    std::vector<TokenId> t(32);
+    std::iota(t.begin(), t.end(), 7);
+    return t;
+  }();
+  kv.allocate_prompt(1, p);
+  kv.register_prefix(1, p);
+  kv.free_seq(1);
+  EXPECT_EQ(kv.allocate_prompt(2, p), 32);  // cache outlived sequence 1
+}
+
+TEST(KvManagerPrefix, AllocatePromptFailureRollsBack) {
+  KvManager kv(16 * 2, 16, /*prefix_caching=*/true);
+  const auto p = [] {
+    std::vector<TokenId> t(64);
+    std::iota(t.begin(), t.end(), 0);
+    return t;
+  }();
+  EXPECT_EQ(kv.allocate_prompt(1, p), -1);
+  EXPECT_FALSE(kv.has(1));
+  EXPECT_DOUBLE_EQ(kv.free_rate(), 1.0);
+}
+
+TEST(KvManagerPrefix, DisabledCacheNeverReuses) {
+  KvManager kv(16 * 8, 16, /*prefix_caching=*/false);
+  const auto p = [] {
+    std::vector<TokenId> t(32);
+    std::iota(t.begin(), t.end(), 0);
+    return t;
+  }();
+  kv.allocate_prompt(1, p);
+  kv.register_prefix(1, p);  // no-op
+  EXPECT_EQ(kv.allocate_prompt(2, p), 0);
+  EXPECT_EQ(kv.prefix_cache(), nullptr);
+}
+
+}  // namespace
+}  // namespace gllm::kv

@@ -1,0 +1,125 @@
+#include "nn/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/sampler.hpp"
+
+namespace gllm::nn {
+namespace {
+
+std::vector<GenRequest> make_requests(const model::ModelConfig& cfg, int n) {
+  std::vector<GenRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    GenRequest r;
+    r.id = i;
+    r.prompt = synthetic_prompt(cfg, 100 + static_cast<std::uint64_t>(i), 6 + i * 3);
+    r.max_new_tokens = 4 + i;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+TEST(Reference, OutputLengthsMatchRequests) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 3);
+  const auto out = generate_reference(cfg, 1234, reqs);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i].size(), static_cast<std::size_t>(reqs[i].max_new_tokens));
+}
+
+TEST(Reference, TokensWithinVocab) {
+  const auto cfg = model::presets::tiny();
+  const auto out = generate_reference(cfg, 1234, make_requests(cfg, 2));
+  for (const auto& seq : out) {
+    for (TokenId t : seq) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, cfg.vocab);
+    }
+  }
+}
+
+TEST(Reference, DeterministicAcrossCalls) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 2);
+  EXPECT_EQ(generate_reference(cfg, 1234, reqs), generate_reference(cfg, 1234, reqs));
+}
+
+TEST(Reference, WeightSeedChangesOutput) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 1);
+  EXPECT_NE(generate_reference(cfg, 1, reqs), generate_reference(cfg, 2, reqs));
+}
+
+TEST(Reference, PromptChangesOutput) {
+  const auto cfg = model::presets::tiny();
+  auto reqs = make_requests(cfg, 1);
+  const auto a = generate_reference(cfg, 1234, reqs);
+  reqs[0].prompt[0] = static_cast<TokenId>((reqs[0].prompt[0] + 1) % cfg.vocab);
+  const auto b = generate_reference(cfg, 1234, reqs);
+  EXPECT_NE(a, b);
+}
+
+TEST(Reference, BlockSizeDoesNotChangeTokens) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 2);
+  EXPECT_EQ(generate_reference(cfg, 1234, reqs, 4),
+            generate_reference(cfg, 1234, reqs, 16));
+}
+
+TEST(Reference, EmptyPromptRejected) {
+  const auto cfg = model::presets::tiny();
+  std::vector<GenRequest> reqs(1);
+  reqs[0].max_new_tokens = 2;
+  EXPECT_THROW(generate_reference(cfg, 1, reqs), std::invalid_argument);
+}
+
+TEST(SyntheticPrompt, DeterministicAndBounded) {
+  const auto cfg = model::presets::tiny();
+  const auto a = synthetic_prompt(cfg, 9, 32);
+  const auto b = synthetic_prompt(cfg, 9, 32);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 32u);
+  for (TokenId t : a) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, cfg.vocab);
+  }
+  EXPECT_NE(a, synthetic_prompt(cfg, 10, 32));
+}
+
+TEST(Sampler, GreedyPicksArgmax) {
+  Sampler greedy;
+  const std::vector<float> logits{0.1f, 2.0f, 1.0f};
+  EXPECT_EQ(greedy.sample(logits), 1);
+  EXPECT_TRUE(greedy.greedy());
+}
+
+TEST(Sampler, TopKRestrictsSupport) {
+  Sampler topk(2, 1.0f, 42);
+  const std::vector<float> logits{10.0f, 9.0f, -100.0f, -100.0f};
+  for (int i = 0; i < 50; ++i) {
+    const auto t = topk.sample(logits);
+    EXPECT_TRUE(t == 0 || t == 1);
+  }
+}
+
+TEST(Sampler, TemperatureZeroRejected) {
+  EXPECT_THROW(Sampler(5, 0.0f, 1), std::invalid_argument);
+}
+
+TEST(Sampler, LowTemperatureNearGreedy) {
+  Sampler cold(0, 0.01f, 7);
+  const std::vector<float> logits{1.0f, 5.0f, 2.0f};
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) hits += cold.sample(logits) == 1 ? 1 : 0;
+  EXPECT_GT(hits, 95);
+}
+
+TEST(Sampler, SeededDeterminism) {
+  Sampler a(3, 1.0f, 5), b(3, 1.0f, 5);
+  const std::vector<float> logits{1.0f, 1.1f, 0.9f, 1.05f};
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.sample(logits), b.sample(logits));
+}
+
+}  // namespace
+}  // namespace gllm::nn

@@ -1,0 +1,83 @@
+#include "serve/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gllm::serve {
+namespace {
+
+SweepPoint point(const std::string& system, double rate, double thr) {
+  SweepPoint p;
+  p.system = system;
+  p.request_rate = rate;
+  p.mean_ttft = 0.5;
+  p.p99_ttft = 1.2;
+  p.mean_tpot = 0.05;
+  p.mean_e2el = 10.0;
+  p.throughput = thr;
+  p.utilization = 0.9;
+  p.token_cv = 1.5;
+  p.preemptions = 2;
+  return p;
+}
+
+TEST(ReportWriter, MarkdownHasTitleSectionsAndRows) {
+  ReportWriter report("Figure 10 reproduction");
+  report.add_section("32B / sharegpt", {point("gLLM", 4, 900), point("vLLM", 4, 700)});
+  report.add_note("gLLM wins throughput at equal load.");
+  report.add_section("32B / azure", {point("gLLM", 1, 400)});
+
+  std::ostringstream md;
+  report.write_markdown(md);
+  const std::string out = md.str();
+  EXPECT_NE(out.find("# Figure 10 reproduction"), std::string::npos);
+  EXPECT_NE(out.find("## 32B / sharegpt"), std::string::npos);
+  EXPECT_NE(out.find("| gLLM | 4.00 | 500 | 50 | 10.0 | 900 | 0.90 | 1.50 | 2 |"),
+            std::string::npos);
+  EXPECT_NE(out.find("> gLLM wins throughput"), std::string::npos);
+  EXPECT_EQ(report.section_count(), 2u);
+}
+
+TEST(ReportWriter, CsvFlattensAllSections) {
+  ReportWriter report("r");
+  report.add_section("a", {point("gLLM", 4, 900)});
+  report.add_section("b", {point("vLLM", 8, 700), point("gLLM", 8, 950)});
+
+  std::ostringstream csv;
+  report.write_csv(csv);
+  std::istringstream lines(csv.str());
+  std::string line;
+  std::getline(lines, line);
+  EXPECT_NE(line.find("section,system,request_rate"), std::string::npos);
+  int rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+  EXPECT_NE(csv.str().find("b,vLLM,8,"), std::string::npos);
+}
+
+TEST(ReportWriter, NoteBeforeSectionThrows) {
+  ReportWriter report("r");
+  EXPECT_THROW(report.add_note("x"), std::logic_error);
+}
+
+TEST(RequestCsv, OneRowPerRequest) {
+  engine::RunResult result;
+  result.requests = {
+      engine::RequestMetrics{1, 0.5, 100, 10, 0.2, 1.5, 0.1, 0, true},
+      engine::RequestMetrics{2, 1.0, 50, 0, 0, 0, 0, 1, false},
+  };
+  std::ostringstream os;
+  write_request_csv(result, os);
+  std::istringstream lines(os.str());
+  std::string header, r1, r2;
+  std::getline(lines, header);
+  std::getline(lines, r1);
+  std::getline(lines, r2);
+  EXPECT_NE(header.find("id,arrival"), std::string::npos);
+  EXPECT_EQ(r1.rfind("1,0.5,100,10,", 0), 0u);
+  EXPECT_NE(r2.find(",0"), std::string::npos);  // completed=0
+}
+
+}  // namespace
+}  // namespace gllm::serve

@@ -1,0 +1,169 @@
+#include "serve/router.hpp"
+#include "serve/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generator.hpp"
+
+namespace gllm::serve {
+namespace {
+
+workload::Trace make_trace(std::size_t n = 64, std::uint64_t seed = 5) {
+  workload::TraceBuilder builder(workload::WorkloadSpec::sharegpt(), seed);
+  workload::ArrivalProcess arrivals;
+  arrivals.rate = 4.0;
+  return builder.generate_count(arrivals, n);
+}
+
+std::size_t total_requests(const std::vector<workload::Trace>& shards) {
+  std::size_t n = 0;
+  for (const auto& shard : shards) n += shard.size();
+  return n;
+}
+
+TEST(RouteTrace, PartitionIsCompleteAndDisjoint) {
+  const auto trace = make_trace(50);
+  for (auto policy :
+       {RoutePolicy::kRoundRobin, RoutePolicy::kLeastWork, RoutePolicy::kRandom}) {
+    const auto shards = route_trace(trace, 3, policy);
+    EXPECT_EQ(total_requests(shards), trace.size());
+    std::set<std::int64_t> ids;
+    for (const auto& shard : shards) {
+      for (const auto& r : shard) EXPECT_TRUE(ids.insert(r.id).second);
+    }
+  }
+}
+
+TEST(RouteTrace, RoundRobinEvenCounts) {
+  const auto shards = route_trace(make_trace(60), 4, RoutePolicy::kRoundRobin);
+  for (const auto& shard : shards) EXPECT_EQ(shard.size(), 15u);
+}
+
+TEST(RouteTrace, ArrivalOrderPreservedPerShard) {
+  const auto shards = route_trace(make_trace(80), 3, RoutePolicy::kLeastWork);
+  for (const auto& shard : shards) {
+    for (std::size_t i = 1; i < shard.size(); ++i)
+      EXPECT_GE(shard[i].arrival, shard[i - 1].arrival);
+  }
+}
+
+TEST(RouteTrace, LeastWorkBalancesTokensOnSkewedTrace) {
+  // A trace alternating huge and tiny requests: round-robin puts all the huge
+  // ones on the same replicas; least-work spreads token mass.
+  workload::Trace trace;
+  for (int i = 0; i < 40; ++i) {
+    trace.push_back(workload::RequestSpec{i, i * 0.1, i % 2 == 0 ? 4000 : 20, 10});
+  }
+  auto token_spread = [](const std::vector<workload::Trace>& shards) {
+    double lo = 1e18, hi = 0;
+    for (const auto& shard : shards) {
+      double tokens = 0;
+      for (const auto& r : shard) tokens += r.prompt_len + r.output_len;
+      lo = std::min(lo, tokens);
+      hi = std::max(hi, tokens);
+    }
+    return hi - lo;
+  };
+  const double rr = token_spread(route_trace(trace, 2, RoutePolicy::kRoundRobin));
+  const double lw = token_spread(route_trace(trace, 2, RoutePolicy::kLeastWork,
+                                             /*seed=*/17, /*service_rate=*/1.0));
+  EXPECT_LT(lw, rr);
+}
+
+TEST(RouteTrace, RandomIsSeedDeterministic) {
+  const auto trace = make_trace(40);
+  const auto a = route_trace(trace, 3, RoutePolicy::kRandom, 9);
+  const auto b = route_trace(trace, 3, RoutePolicy::kRandom, 9);
+  for (int s = 0; s < 3; ++s)
+    EXPECT_EQ(a[static_cast<std::size_t>(s)].size(), b[static_cast<std::size_t>(s)].size());
+  const auto c = route_trace(trace, 3, RoutePolicy::kRandom, 10);
+  bool differs = false;
+  for (int s = 0; s < 3; ++s)
+    differs |= a[static_cast<std::size_t>(s)].size() != c[static_cast<std::size_t>(s)].size();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RouteTrace, InvalidArgsThrow) {
+  EXPECT_THROW(route_trace({}, 0, RoutePolicy::kRoundRobin), std::invalid_argument);
+  EXPECT_THROW(route_trace({}, 2, RoutePolicy::kLeastWork, 1, 0.0), std::invalid_argument);
+}
+
+TEST(DataParallelSystem, FleetCompletesEverything) {
+  DataParallelOptions options;
+  options.replica = SystemOptions::gllm(model::presets::qwen2_5_14b(),
+                                        hw::clusters::l20_node(1), /*pp=*/1);
+  options.replicas = 4;
+  DataParallelSystem fleet(options);
+  const auto trace = make_trace(48);
+  const auto result = fleet.run(trace);
+  EXPECT_EQ(result.requests.size(), trace.size());
+  EXPECT_EQ(result.completed_requests(), trace.size());
+  EXPECT_EQ(result.stage_busy_seconds.size(), 4u);  // 4 replicas x pp1
+  // Requests come back id-sorted regardless of sharding.
+  for (std::size_t i = 1; i < result.requests.size(); ++i)
+    EXPECT_LT(result.requests[i - 1].id, result.requests[i].id);
+}
+
+TEST(DataParallelSystem, InvalidReplicaRejectedEagerly) {
+  DataParallelOptions options;
+  // 32B does not fit one L20: the constructor must fail, not run().
+  options.replica = SystemOptions::gllm(model::presets::qwen2_5_32b(),
+                                        hw::clusters::l20_node(1), 1);
+  options.replicas = 2;
+  EXPECT_THROW(DataParallelSystem{options}, std::invalid_argument);
+}
+
+TEST(MergeResults, AggregatesAcrossReplicas) {
+  engine::RunResult a, b;
+  a.start_time = 1.0;
+  a.end_time = 5.0;
+  a.requests = {engine::RequestMetrics{2, 1, 10, 5, 0.1, 1.0, 0.05, 0, true}};
+  a.stage_busy_seconds = {3.0};
+  a.preemptions = 1;
+  b.start_time = 0.5;
+  b.end_time = 7.0;
+  b.requests = {engine::RequestMetrics{1, 0.5, 20, 8, 0.2, 2.0, 0.06, 1, true}};
+  b.stage_busy_seconds = {4.0};
+  b.preemptions = 2;
+
+  const auto merged = merge_results({a, b});
+  EXPECT_DOUBLE_EQ(merged.start_time, 0.5);
+  EXPECT_DOUBLE_EQ(merged.end_time, 7.0);
+  EXPECT_EQ(merged.requests.size(), 2u);
+  EXPECT_EQ(merged.requests[0].id, 1);  // id-sorted
+  EXPECT_EQ(merged.stage_busy_seconds.size(), 2u);
+  EXPECT_EQ(merged.preemptions, 3);
+}
+
+TEST(MergeResults, EmptyInput) {
+  const auto merged = merge_results({});
+  EXPECT_TRUE(merged.requests.empty());
+  EXPECT_DOUBLE_EQ(merged.makespan(), 0.0);
+}
+
+TEST(DataParallel, DpVsPpTradeoffRuns) {
+  // 4 single-GPU replicas vs one PP4 deployment of the same fleet: DP avoids
+  // pipeline hops entirely, PP pools KV. Both must serve the trace; the
+  // comparison itself is the abl_data_parallel bench's subject.
+  const auto m = model::presets::qwen2_5_14b();
+  const auto trace = make_trace(64);
+
+  DataParallelOptions dp_options;
+  dp_options.replica = SystemOptions::gllm(m, hw::clusters::l20_node(1), 1);
+  dp_options.replicas = 4;
+  DataParallelSystem dp(dp_options);
+  const auto dp_result = dp.run(trace);
+
+  ServingSystem pp(SystemOptions::gllm(m, hw::clusters::l20_node(4), 4));
+  const auto pp_result = pp.run(trace);
+
+  EXPECT_EQ(dp_result.completed_requests(), trace.size());
+  EXPECT_EQ(pp_result.completed_requests(), trace.size());
+  EXPECT_GT(dp_result.throughput(), 0.0);
+  EXPECT_GT(pp_result.throughput(), 0.0);
+}
+
+}  // namespace
+}  // namespace gllm::serve

@@ -1,0 +1,129 @@
+// Online-serving features of the threaded runtime: arrival-time honouring
+// and configurable sampling.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/pipeline_runtime.hpp"
+#include "sched/token_throttle.hpp"
+
+namespace gllm::runtime {
+namespace {
+
+RuntimeOptions tiny_options(int pp = 2) {
+  RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.pp = pp;
+  opt.kv_capacity_tokens = 2048;
+  opt.kv_block_size = 8;
+  return opt;
+}
+
+std::shared_ptr<sched::IScheduler> small_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 2;
+  return std::make_shared<sched::TokenThrottleScheduler>(p);
+}
+
+std::vector<nn::GenRequest> staggered_requests(const model::ModelConfig& cfg, int n,
+                                               double gap) {
+  std::vector<nn::GenRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    nn::GenRequest r;
+    r.id = i;
+    r.prompt = nn::synthetic_prompt(cfg, 700 + static_cast<std::uint64_t>(i), 10);
+    r.max_new_tokens = 4;
+    r.arrival = gap * i;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+TEST(RuntimeOnline, ArrivalsDelayService) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = staggered_requests(cfg, 4, 0.05);
+
+  auto opt = tiny_options();
+  opt.respect_arrivals = true;
+  PipelineRuntime rt(opt, small_throttle());
+  const auto report = rt.run(reqs);
+
+  // The whole run must span at least the last arrival.
+  EXPECT_GE(report.wall_seconds, 0.15);
+  for (const auto& rec : report.requests) {
+    EXPECT_TRUE(rec.completed);
+    EXPECT_GT(rec.ttft, 0.0);  // measured from each request's own arrival
+  }
+}
+
+TEST(RuntimeOnline, ArrivalsIgnoredByDefault) {
+  const auto cfg = model::presets::tiny();
+  auto reqs = staggered_requests(cfg, 4, 10.0);  // absurd gaps
+  PipelineRuntime rt(tiny_options(), small_throttle());
+  const auto report = rt.run(reqs);
+  // Without respect_arrivals this completes immediately, not in 30+ seconds.
+  EXPECT_LT(report.wall_seconds, 5.0);
+  for (const auto& rec : report.requests) EXPECT_TRUE(rec.completed);
+}
+
+TEST(RuntimeOnline, OnlineTokensStillExact) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = staggered_requests(cfg, 6, 0.01);
+  const auto ref = nn::generate_reference(cfg, 1234, reqs);
+
+  auto opt = tiny_options(2);
+  opt.respect_arrivals = true;
+  PipelineRuntime rt(opt, small_throttle());
+  const auto report = rt.run(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    EXPECT_EQ(report.requests[i].output, ref[i]);
+}
+
+TEST(RuntimeSampling, TopKDeterministicInSeed) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = staggered_requests(cfg, 4, 0.0);
+
+  auto opt = tiny_options();
+  opt.greedy_sampling = false;
+  opt.top_k = 8;
+  opt.temperature = 1.2f;
+  opt.sampler_seed = 123;
+
+  PipelineRuntime a(opt, small_throttle());
+  PipelineRuntime b(opt, small_throttle());
+  const auto ra = a.run(reqs);
+  const auto rb = b.run(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    EXPECT_EQ(ra.requests[i].output, rb.requests[i].output);
+}
+
+TEST(RuntimeSampling, TopKDiffersFromGreedyEventually) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = staggered_requests(cfg, 8, 0.0);
+  const auto greedy_ref = nn::generate_reference(cfg, 1234, reqs);
+
+  auto opt = tiny_options();
+  opt.greedy_sampling = false;
+  opt.top_k = 16;
+  opt.temperature = 2.0f;
+  opt.sampler_seed = 5;
+  PipelineRuntime rt(opt, small_throttle());
+  const auto report = rt.run(reqs);
+
+  int diffs = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    diffs += report.requests[i].output != greedy_ref[i] ? 1 : 0;
+  EXPECT_GT(diffs, 0);  // hot sampling explores off the argmax path
+  for (const auto& rec : report.requests) {
+    for (const auto tok : rec.output) {
+      EXPECT_GE(tok, 0);
+      EXPECT_LT(tok, cfg.vocab);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gllm::runtime

@@ -1,0 +1,79 @@
+#include "sched/fcfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::sched {
+namespace {
+
+ScheduleContext make_ctx(std::vector<WaitingSeq> waiting, std::vector<DecodeSeq> decodes,
+                         std::int64_t kv_free_tokens = 1 << 20) {
+  ScheduleContext ctx;
+  ctx.pipeline_depth = 2;
+  ctx.waiting = std::move(waiting);
+  ctx.runnable_decodes = std::move(decodes);
+  ctx.total_decode_seqs = static_cast<std::int64_t>(ctx.runnable_decodes.size());
+  ctx.kv_free_tokens = kv_free_tokens;
+  ctx.kv_free_rate = 0.9;
+  return ctx;
+}
+
+TEST(Fcfs, WholePromptsOnlyNoChunking) {
+  FcfsScheduler sched;
+  auto ctx = make_ctx({{1, 500, 0, 0.0, false}}, {});
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].n_tokens, 500);
+  EXPECT_TRUE(plan.items[0].last_prefill_chunk);
+}
+
+TEST(Fcfs, HeadOfLineBlocking) {
+  FcfsParams p;
+  p.max_prefill_tokens = 400;
+  FcfsScheduler sched(p);
+  // Head request too large: nothing behind it is admitted either.
+  auto ctx = make_ctx({{1, 500, 0, 0.0, false}, {2, 100, 0, 0.0, false}}, {});
+  EXPECT_TRUE(sched.plan(ctx).empty());
+}
+
+TEST(Fcfs, MultiplePromptsWithinBudget) {
+  FcfsParams p;
+  p.max_prefill_tokens = 600;
+  FcfsScheduler sched(p);
+  auto ctx = make_ctx({{1, 300, 0, 0.0, false}, {2, 300, 0, 0.0, false},
+                       {3, 300, 0, 0.0, false}},
+                      {});
+  const auto plan = sched.plan(ctx);
+  EXPECT_EQ(plan.items.size(), 2u);
+  EXPECT_EQ(plan.prefill_tokens(), 600);
+}
+
+TEST(Fcfs, DecodesAlwaysIncluded) {
+  FcfsScheduler sched;
+  auto ctx = make_ctx({{1, 100, 0, 0.0, false}}, {{10, 5}, {11, 6}});
+  const auto plan = sched.plan(ctx);
+  EXPECT_EQ(plan.decode_tokens(), 2);
+  EXPECT_EQ(plan.prefill_tokens(), 100);
+}
+
+TEST(Fcfs, KvExhaustionBlocksAdmission) {
+  FcfsScheduler sched;
+  auto ctx = make_ctx({{1, 100, 0, 0.0, false}}, {}, /*kv_free_tokens=*/50);
+  EXPECT_TRUE(sched.plan(ctx).empty());
+}
+
+TEST(Fcfs, SkipsInFlightChunks) {
+  FcfsScheduler sched;
+  auto ctx = make_ctx({{1, 100, 0, 0.0, /*in_flight=*/true}}, {});
+  EXPECT_TRUE(sched.plan(ctx).empty());
+}
+
+TEST(Fcfs, InvalidParamsThrow) {
+  FcfsParams p;
+  p.max_prefill_tokens = 0;
+  EXPECT_THROW(FcfsScheduler{p}, std::invalid_argument);
+}
+
+TEST(Fcfs, NameIsOrca) { EXPECT_EQ(FcfsScheduler{}.name(), "orca-fcfs"); }
+
+}  // namespace
+}  // namespace gllm::sched

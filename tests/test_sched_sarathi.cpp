@@ -1,0 +1,155 @@
+#include "sched/sarathi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::sched {
+namespace {
+
+ScheduleContext make_ctx(std::vector<WaitingSeq> waiting, std::vector<DecodeSeq> decodes,
+                         std::int64_t kv_free_tokens = 1 << 20, int depth = 4) {
+  ScheduleContext ctx;
+  ctx.pipeline_depth = depth;
+  ctx.waiting = std::move(waiting);
+  ctx.runnable_decodes = std::move(decodes);
+  ctx.total_decode_seqs = static_cast<std::int64_t>(ctx.runnable_decodes.size());
+  ctx.kv_free_tokens = kv_free_tokens;
+  ctx.kv_free_rate = 0.9;
+  return ctx;
+}
+
+TEST(Sarathi, DecodesScheduledFirstThenPrefill) {
+  SarathiScheduler sched({/*budget=*/100});
+  auto ctx = make_ctx({{1, 500, 0, 0.0, false}}, {{10, 50}, {11, 60}});
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 3u);
+  EXPECT_EQ(plan.items[0].phase, Phase::kDecode);
+  EXPECT_EQ(plan.items[1].phase, Phase::kDecode);
+  EXPECT_EQ(plan.items[2].phase, Phase::kPrefill);
+  EXPECT_EQ(plan.items[2].n_tokens, 98);  // budget 100 - 2 decodes
+  EXPECT_EQ(plan.decode_tokens(), 2);
+  EXPECT_EQ(plan.prefill_tokens(), 98);
+}
+
+TEST(Sarathi, BudgetNeverExceeded) {
+  for (int budget : {64, 256, 2048}) {
+    SarathiScheduler sched({budget});
+    auto ctx = make_ctx({{1, 10000, 0, 0.0, false}, {2, 10000, 0, 0.0, false}},
+                        std::vector<DecodeSeq>(30, DecodeSeq{99, 100}));
+    // distinct ids for decodes
+    for (std::size_t i = 0; i < ctx.runnable_decodes.size(); ++i)
+      ctx.runnable_decodes[i].seq = 100 + static_cast<kv::SeqId>(i);
+    const auto plan = sched.plan(ctx);
+    EXPECT_LE(plan.total_tokens(), budget);
+    EXPECT_EQ(plan.total_tokens(), budget);  // saturated when work is abundant
+  }
+}
+
+TEST(Sarathi, ChunksSplitAcrossRequestsFcfs) {
+  SarathiScheduler sched({2048});
+  auto ctx = make_ctx({{1, 1000, 0, 0.0, false}, {2, 2000, 0, 0.0, false}}, {});
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 2u);
+  EXPECT_EQ(plan.items[0].seq, 1);
+  EXPECT_EQ(plan.items[0].n_tokens, 1000);
+  EXPECT_TRUE(plan.items[0].last_prefill_chunk);
+  EXPECT_EQ(plan.items[1].seq, 2);
+  EXPECT_EQ(plan.items[1].n_tokens, 1048);
+  EXPECT_FALSE(plan.items[1].last_prefill_chunk);
+}
+
+TEST(Sarathi, LastChunkFlagWhenExactFit) {
+  SarathiScheduler sched({2048});
+  auto ctx = make_ctx({{1, 2048, 0, 0.0, false}}, {});
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_TRUE(plan.items[0].last_prefill_chunk);
+}
+
+TEST(Sarathi, KvBudgetLimitsPrefill) {
+  SarathiScheduler sched({2048});
+  auto ctx = make_ctx({{1, 2000, 0, 0.0, false}}, {{10, 50}}, /*kv_free_tokens=*/101);
+  const auto plan = sched.plan(ctx);
+  // 1 decode consumes 1 KV token; prefill gets the remaining 100.
+  EXPECT_EQ(plan.decode_tokens(), 1);
+  EXPECT_EQ(plan.prefill_tokens(), 100);
+}
+
+TEST(Sarathi, NoKvBudgetMeansNoPrefill) {
+  SarathiScheduler sched({2048});
+  auto ctx = make_ctx({{1, 2000, 0, 0.0, false}}, {}, /*kv_free_tokens=*/0);
+  EXPECT_TRUE(sched.plan(ctx).empty());
+}
+
+TEST(Sarathi, ChunkInFlightSkippedWithoutCpp) {
+  SarathiScheduler sched({2048});
+  auto ctx = make_ctx({{1, 500, 100, 0.0, /*in_flight=*/true},
+                       {2, 300, 0, 0.0, false}},
+                      {});
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].seq, 2);
+}
+
+TEST(Sarathi, ChunkPipeliningAllowsInFlightSeqs) {
+  SarathiParams params;
+  params.chunk_pipelining = true;
+  SarathiScheduler sched(params);
+  auto ctx = make_ctx({{1, 500, 100, 0.0, /*in_flight=*/true}}, {});
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].seq, 1);
+}
+
+TEST(Sarathi, MaxBatchSeqsRespected) {
+  SarathiParams params;
+  params.token_budget = 2048;
+  params.max_batch_seqs = 8;
+  SarathiScheduler sched(params);
+  std::vector<DecodeSeq> decodes;
+  for (int i = 0; i < 20; ++i) decodes.push_back({i, 10});
+  auto ctx = make_ctx({}, std::move(decodes));
+  EXPECT_EQ(sched.plan(ctx).items.size(), 8u);
+}
+
+TEST(Sarathi, EmptyContextEmptyPlan) {
+  SarathiScheduler sched;
+  auto ctx = make_ctx({}, {});
+  EXPECT_TRUE(sched.plan(ctx).empty());
+}
+
+TEST(Sarathi, DecodeOnlyWhenNoWaiting) {
+  SarathiScheduler sched;
+  auto ctx = make_ctx({}, {{5, 123}});
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].phase, Phase::kDecode);
+  EXPECT_EQ(plan.items[0].context, 123);
+}
+
+TEST(Sarathi, InvalidParamsThrow) {
+  EXPECT_THROW(SarathiScheduler(SarathiParams{0}), std::invalid_argument);
+  SarathiParams p;
+  p.max_batch_seqs = 0;
+  EXPECT_THROW(SarathiScheduler{p}, std::invalid_argument);
+}
+
+// Property sweep: token volatility of Sarathi plans across a mixed horizon.
+class SarathiBudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SarathiBudgetSweep, PlanIsAlwaysWithinBudgetAndKv) {
+  const int budget = GetParam();
+  SarathiScheduler sched({budget});
+  for (int kv : {0, 5, 100, 5000}) {
+    auto ctx = make_ctx({{1, 700, 0, 0.0, false}, {2, 50, 0, 0.0, false}},
+                        {{10, 10}, {11, 20}, {12, 30}}, kv);
+    const auto plan = sched.plan(ctx);
+    EXPECT_LE(plan.total_tokens(), budget);
+    EXPECT_LE(plan.prefill_tokens() + plan.decode_tokens() - 3, kv);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SarathiBudgetSweep,
+                         ::testing::Values(16, 64, 256, 512, 1024, 2048, 4096));
+
+}  // namespace
+}  // namespace gllm::sched

@@ -1,0 +1,297 @@
+#include "sched/token_throttle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gllm::sched {
+namespace {
+
+ScheduleContext make_ctx(std::int64_t waiting_tokens, std::int64_t total_decodes,
+                         std::int64_t runnable, double kv_free, int depth = 4,
+                         std::int64_t kv_free_tokens = 1 << 20) {
+  ScheduleContext ctx;
+  ctx.pipeline_depth = depth;
+  if (waiting_tokens > 0)
+    ctx.waiting.push_back(WaitingSeq{1, static_cast<int>(waiting_tokens), 0, 0.0, false});
+  for (std::int64_t i = 0; i < runnable; ++i)
+    ctx.runnable_decodes.push_back(DecodeSeq{100 + i, 50});
+  ctx.total_decode_seqs = total_decodes;
+  ctx.kv_free_rate = kv_free;
+  ctx.kv_free_tokens = kv_free_tokens;
+  return ctx;
+}
+
+// ---- eq. 1: WT only ---------------------------------------------------------
+
+TEST(ThrottleEq1, WtOnlyMatchesFormula) {
+  ThrottleParams p;
+  p.enable_ut = false;
+  p.iter_t = 8;
+  p.max_p = 2048;
+  p.min_p = 32;
+  TokenThrottleScheduler sched(p);
+  // #P = min(max(WP/T, MinP), MaxP)
+  EXPECT_EQ(sched.prefill_budget(make_ctx(8000, 0, 0, 1.0)), 1000);
+  EXPECT_EQ(sched.prefill_budget(make_ctx(100000, 0, 0, 1.0)), 2048);   // capped
+  EXPECT_EQ(sched.prefill_budget(make_ctx(64, 0, 0, 1.0)), 32);        // floored... but <= WP
+}
+
+TEST(ThrottleEq1, BudgetNeverExceedsWaitingTokens) {
+  ThrottleParams p;
+  p.enable_ut = false;
+  p.min_p = 32;
+  TokenThrottleScheduler sched(p);
+  EXPECT_EQ(sched.prefill_budget(make_ctx(10, 0, 0, 1.0)), 10);
+}
+
+// ---- eq. 2: UT only -----------------------------------------------------------
+
+TEST(ThrottleEq2, UtOnlyMatchesFormula) {
+  ThrottleParams p;
+  p.enable_wt = false;
+  p.max_p = 2048;
+  p.min_p = 32;
+  p.kv_thresh = 0.0;
+  TokenThrottleScheduler sched(p);
+  // #P = max(MaxP * KV_free, MinP)
+  EXPECT_EQ(sched.prefill_budget(make_ctx(100000, 0, 0, 0.5)), 1024);
+  EXPECT_EQ(sched.prefill_budget(make_ctx(100000, 0, 0, 1.0)), 2048);
+  EXPECT_EQ(sched.prefill_budget(make_ctx(100000, 0, 0, 0.001)), 32);  // floor
+}
+
+// ---- eq. 3: combined ------------------------------------------------------------
+
+TEST(ThrottleEq3, CombinedMatchesFormula) {
+  ThrottleParams p;  // defaults: T=8, MaxP=2048, MinP=32, thresh=0.05
+  TokenThrottleScheduler sched(p);
+  // #P = max(min(WP/T, MaxP*(KVfree-thr)/(1-thr)), MinP)
+  const double kv_free = 0.5;
+  const double scaled = 2048.0 * (kv_free - 0.05) / 0.95;
+  const auto expected = static_cast<std::int64_t>(std::llround(scaled));
+  EXPECT_EQ(sched.prefill_budget(make_ctx(100000, 0, 0, kv_free)), expected);
+  // WT term wins when waiting pool is small relative to KV headroom.
+  EXPECT_EQ(sched.prefill_budget(make_ctx(800, 0, 0, 1.0)), 100);
+}
+
+TEST(ThrottleEq3, MinPFloorApplies) {
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  // WP/T = 4 -> floored to MinP=32 (but never above WP).
+  EXPECT_EQ(sched.prefill_budget(make_ctx(32, 0, 0, 1.0)), 32);
+  EXPECT_EQ(sched.prefill_budget(make_ctx(20, 0, 0, 1.0)), 20);
+}
+
+TEST(ThrottleThreshold, SuspendsPrefillNearCapacity) {
+  TokenThrottleScheduler sched{ThrottleParams{}};  // kv_thresh = 0.05
+  EXPECT_EQ(sched.prefill_budget(make_ctx(100000, 0, 0, 0.04)), 0);
+  EXPECT_GT(sched.prefill_budget(make_ctx(100000, 0, 0, 0.06)), 0);
+}
+
+TEST(ThrottleThreshold, ZeroWaitingAlwaysZero) {
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  EXPECT_EQ(sched.prefill_budget(make_ctx(0, 0, 0, 1.0)), 0);
+}
+
+// ---- eq. 4: decode --------------------------------------------------------------
+
+TEST(ThrottleEq4, DecodeEvenShare) {
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  // #D = ceil(#RD / depth)
+  EXPECT_EQ(sched.decode_budget(make_ctx(0, 100, 100, 1.0, 4)), 25);
+  EXPECT_EQ(sched.decode_budget(make_ctx(0, 101, 101, 1.0, 4)), 26);
+  EXPECT_EQ(sched.decode_budget(make_ctx(0, 3, 3, 1.0, 4)), 1);
+  EXPECT_EQ(sched.decode_budget(make_ctx(0, 0, 0, 1.0, 4)), 0);
+  EXPECT_EQ(sched.decode_budget(make_ctx(0, 7, 7, 1.0, 1)), 7);  // depth 1 = all
+}
+
+TEST(ThrottleEq4, PlanTakesMinOfBudgetAndRunnable) {
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  // 100 total decodes, depth 4 -> #D = 25; only 10 runnable -> take 10.
+  auto ctx = make_ctx(0, 100, 10, 1.0, 4);
+  EXPECT_EQ(sched.plan(ctx).decode_tokens(), 10);
+  // 40 runnable -> take exactly 25.
+  auto ctx2 = make_ctx(0, 100, 40, 1.0, 4);
+  EXPECT_EQ(sched.plan(ctx2).decode_tokens(), 25);
+}
+
+// ---- plan assembly -----------------------------------------------------------------
+
+TEST(ThrottlePlan, DecoupledBudgetsBothApplied) {
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  auto ctx = make_ctx(8000, 40, 40, 1.0, 4);
+  const auto plan = sched.plan(ctx);
+  EXPECT_EQ(plan.decode_tokens(), 10);     // 40/4
+  EXPECT_EQ(plan.prefill_tokens(), 1000);  // 8000/8
+  // Unlike Sarathi, the total is NOT tied to a fixed budget.
+  EXPECT_EQ(plan.total_tokens(), 1010);
+}
+
+TEST(ThrottlePlan, PrefillSplitsAcrossWaitingFcfs) {
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  ScheduleContext ctx = make_ctx(0, 0, 0, 1.0);
+  ctx.waiting.push_back(WaitingSeq{1, 600, 0, 0.0, false});
+  ctx.waiting.push_back(WaitingSeq{2, 600, 0, 0.0, false});
+  // WP = 1200, T = 8 -> 150 tokens: all from request 1.
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].seq, 1);
+  EXPECT_EQ(plan.items[0].n_tokens, 150);
+  EXPECT_FALSE(plan.items[0].last_prefill_chunk);
+}
+
+TEST(ThrottlePlan, LastChunkFlaggedAndSpillToNext) {
+  ThrottleParams p;
+  p.iter_t = 1;  // schedule everything waiting
+  TokenThrottleScheduler sched(p);
+  ScheduleContext ctx = make_ctx(0, 0, 0, 1.0);
+  ctx.waiting.push_back(WaitingSeq{1, 100, 0, 0.0, false});
+  ctx.waiting.push_back(WaitingSeq{2, 100, 0, 0.0, false});
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 2u);
+  EXPECT_TRUE(plan.items[0].last_prefill_chunk);
+  EXPECT_TRUE(plan.items[1].last_prefill_chunk);
+}
+
+TEST(ThrottlePlan, KvFreeTokensCapsPrefill) {
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  auto ctx = make_ctx(100000, 0, 0, 1.0, 4, /*kv_free_tokens=*/300);
+  const auto plan = sched.plan(ctx);
+  EXPECT_LE(plan.prefill_tokens(), 300);
+}
+
+TEST(ThrottlePlan, ChunkPipeliningDefaultOn) {
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  ScheduleContext ctx = make_ctx(0, 0, 0, 1.0);
+  ctx.waiting.push_back(WaitingSeq{1, 800, 100, 0.0, /*in_flight=*/true});
+  const auto plan = sched.plan(ctx);
+  ASSERT_EQ(plan.items.size(), 1u);  // scheduled despite chunk in flight (CPP)
+}
+
+TEST(ThrottlePlan, ChunkPipeliningCanBeDisabled) {
+  ThrottleParams p;
+  p.chunk_pipelining = false;
+  TokenThrottleScheduler sched(p);
+  ScheduleContext ctx = make_ctx(0, 0, 0, 1.0);
+  ctx.waiting.push_back(WaitingSeq{1, 800, 100, 0.0, /*in_flight=*/true});
+  EXPECT_TRUE(sched.plan(ctx).empty());
+}
+
+TEST(ThrottlePlan, MaxBatchSeqsBoundsItems) {
+  ThrottleParams p;
+  p.max_batch_seqs = 4;
+  TokenThrottleScheduler sched(p);
+  auto ctx = make_ctx(0, 40, 40, 1.0, 1);  // depth 1 -> wants all 40
+  EXPECT_EQ(sched.plan(ctx).items.size(), 4u);
+}
+
+// ---- variants ------------------------------------------------------------------------
+
+TEST(ThrottleVariants, NamesReflectAblation) {
+  ThrottleParams wo_wt;
+  wo_wt.enable_wt = false;
+  ThrottleParams wo_ut;
+  wo_ut.enable_ut = false;
+  EXPECT_EQ(TokenThrottleScheduler(ThrottleParams{}).name(), "token-throttle");
+  EXPECT_EQ(TokenThrottleScheduler(wo_wt).name(), "token-throttle(w/o WT)");
+  EXPECT_EQ(TokenThrottleScheduler(wo_ut).name(), "token-throttle(w/o UT)");
+}
+
+TEST(ThrottleVariants, WoUtIgnoresKvPressureAboveThreshold) {
+  ThrottleParams p;
+  p.enable_ut = false;
+  TokenThrottleScheduler sched(p);
+  // Same budget at 0.9 and 0.1 free (WT only), unlike the combined form.
+  EXPECT_EQ(sched.prefill_budget(make_ctx(100000, 0, 0, 0.9)),
+            sched.prefill_budget(make_ctx(100000, 0, 0, 0.1)));
+}
+
+TEST(ThrottleVariants, WoWtIgnoresWaitingVolume) {
+  ThrottleParams p;
+  p.enable_wt = false;
+  p.kv_thresh = 0.0;
+  TokenThrottleScheduler sched(p);
+  EXPECT_EQ(sched.prefill_budget(make_ctx(100000, 0, 0, 0.5)),
+            sched.prefill_budget(make_ctx(2000, 0, 0, 0.5)));
+}
+
+// ---- parameter validation -------------------------------------------------------------
+
+TEST(ThrottleParamsValidation, Throws) {
+  ThrottleParams p;
+  p.iter_t = 0;
+  EXPECT_THROW(TokenThrottleScheduler{p}, std::invalid_argument);
+  p = {};
+  p.max_p = 0;
+  EXPECT_THROW(TokenThrottleScheduler{p}, std::invalid_argument);
+  p = {};
+  p.min_p = -1;
+  EXPECT_THROW(TokenThrottleScheduler{p}, std::invalid_argument);
+  p = {};
+  p.min_p = 4096;  // > max_p
+  EXPECT_THROW(TokenThrottleScheduler{p}, std::invalid_argument);
+  p = {};
+  p.kv_thresh = 1.0;
+  EXPECT_THROW(TokenThrottleScheduler{p}, std::invalid_argument);
+  p = {};
+  p.kv_thresh = -0.1;
+  EXPECT_THROW(TokenThrottleScheduler{p}, std::invalid_argument);
+}
+
+// ---- property sweeps (sensitivity-study invariants) --------------------------------------
+
+struct SweepCase {
+  int iter_t;
+  int max_p;
+  int min_p;
+  double kv_thresh;
+};
+
+class ThrottleSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ThrottleSweep, BudgetAlwaysWithinBounds) {
+  const auto& c = GetParam();
+  ThrottleParams p;
+  p.iter_t = c.iter_t;
+  p.max_p = c.max_p;
+  p.min_p = c.min_p;
+  p.kv_thresh = c.kv_thresh;
+  TokenThrottleScheduler sched(p);
+  for (std::int64_t wp : {0LL, 1LL, 100LL, 5000LL, 1000000LL}) {
+    for (double kv : {0.0, 0.03, 0.1, 0.5, 1.0}) {
+      const auto budget = sched.prefill_budget(make_ctx(wp, 0, 0, kv));
+      EXPECT_GE(budget, 0);
+      EXPECT_LE(budget, std::max<std::int64_t>(wp, 0));
+      EXPECT_LE(budget, c.max_p);
+      if (kv < c.kv_thresh || wp == 0) {
+        EXPECT_EQ(budget, 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HyperParams, ThrottleSweep,
+    ::testing::Values(SweepCase{1, 2048, 32, 0.05}, SweepCase{2, 2048, 32, 0.05},
+                      SweepCase{4, 2048, 32, 0.05}, SweepCase{8, 2048, 32, 0.05},
+                      SweepCase{16, 2048, 32, 0.05}, SweepCase{8, 512, 32, 0.05},
+                      SweepCase{8, 1024, 32, 0.05}, SweepCase{8, 4096, 32, 0.05},
+                      SweepCase{8, 2048, 0, 0.05}, SweepCase{8, 2048, 128, 0.05},
+                      SweepCase{8, 2048, 32, 0.0}, SweepCase{8, 2048, 32, 0.1},
+                      SweepCase{8, 2048, 32, 0.2}));
+
+class ThrottleDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThrottleDepthSweep, DecodeShareCoversAllInDepthRounds) {
+  const int depth = GetParam();
+  TokenThrottleScheduler sched{ThrottleParams{}};
+  for (std::int64_t rd : {1LL, 5LL, 16LL, 100LL, 999LL}) {
+    const auto share = sched.decode_budget(make_ctx(0, rd, rd, 1.0, depth));
+    EXPECT_GE(share * depth, rd);             // depth batches cover everyone
+    EXPECT_LE((share - 1) * depth, rd - 1);   // share is the minimal such value
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ThrottleDepthSweep, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace gllm::sched

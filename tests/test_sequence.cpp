@@ -1,0 +1,124 @@
+#include "engine/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::engine {
+namespace {
+
+workload::RequestSpec spec(int prompt = 100, int output = 10) {
+  return workload::RequestSpec{1, 5.0, prompt, output};
+}
+
+TEST(Sequence, InitialState) {
+  Sequence s(spec());
+  EXPECT_EQ(s.state(), SeqState::kWaiting);
+  EXPECT_EQ(s.prefill_target(), 100);
+  EXPECT_EQ(s.remaining_prefill(), 100);
+  EXPECT_EQ(s.generated(), 0);
+  EXPECT_FALSE(s.decode_in_flight());
+}
+
+TEST(Sequence, ChunkedPrefillLifecycle) {
+  Sequence s(spec(100, 10));
+  s.on_chunk_scheduled(60);
+  EXPECT_EQ(s.remaining_prefill(), 40);
+  EXPECT_EQ(s.outstanding_chunks(), 1);
+  s.on_chunk_scheduled(40);
+  EXPECT_EQ(s.remaining_prefill(), 0);
+  EXPECT_EQ(s.outstanding_chunks(), 2);
+
+  EXPECT_FALSE(s.on_chunk_completed(false, 6.0));
+  EXPECT_EQ(s.state(), SeqState::kWaiting);
+  EXPECT_TRUE(s.on_chunk_completed(true, 7.0));
+  EXPECT_EQ(s.state(), SeqState::kDecoding);
+  EXPECT_EQ(s.generated(), 1);  // prefill emits the first token
+  EXPECT_DOUBLE_EQ(s.first_token_time(), 7.0);
+  EXPECT_DOUBLE_EQ(s.ttft(), 2.0);
+}
+
+TEST(Sequence, SingleTokenOutputFinishesAtPrefill) {
+  Sequence s(spec(50, 1));
+  s.on_chunk_scheduled(50);
+  EXPECT_TRUE(s.on_chunk_completed(true, 6.0));
+  EXPECT_EQ(s.state(), SeqState::kFinished);
+  EXPECT_DOUBLE_EQ(s.finish_time(), 6.0);
+  EXPECT_DOUBLE_EQ(s.tpot(), 0.0);
+}
+
+TEST(Sequence, DecodeLifecycle) {
+  Sequence s(spec(10, 3));
+  s.on_chunk_scheduled(10);
+  s.on_chunk_completed(true, 6.0);
+
+  s.on_decode_scheduled();
+  EXPECT_TRUE(s.decode_in_flight());
+  EXPECT_FALSE(s.on_decode_completed(6.5));
+  EXPECT_EQ(s.generated(), 2);
+
+  s.on_decode_scheduled();
+  EXPECT_TRUE(s.on_decode_completed(7.0));
+  EXPECT_EQ(s.state(), SeqState::kFinished);
+  EXPECT_DOUBLE_EQ(s.e2e_latency(), 2.0);
+  EXPECT_DOUBLE_EQ(s.tpot(), 0.5);  // (7.0 - 6.0) / 2
+}
+
+TEST(Sequence, PreemptionFoldsGeneratedIntoPrefill) {
+  Sequence s(spec(10, 5));
+  s.on_chunk_scheduled(10);
+  s.on_chunk_completed(true, 6.0);  // generated = 1
+  s.on_decode_scheduled();
+  s.on_decode_completed(6.5);  // generated = 2
+
+  s.preempt(7.0);
+  EXPECT_EQ(s.state(), SeqState::kWaiting);
+  EXPECT_EQ(s.prefill_target(), 12);  // prompt 10 + 2 generated
+  EXPECT_EQ(s.remaining_prefill(), 12);
+  EXPECT_EQ(s.preemptions(), 1);
+
+  // Recompute: single chunk, completion emits the *third* token.
+  s.on_chunk_scheduled(12);
+  s.on_chunk_completed(true, 8.0);
+  EXPECT_EQ(s.generated(), 3);
+  EXPECT_EQ(s.state(), SeqState::kDecoding);
+  // TTFT unchanged by recompute.
+  EXPECT_DOUBLE_EQ(s.first_token_time(), 6.0);
+}
+
+TEST(Sequence, InvalidTransitionsThrow) {
+  Sequence s(spec(10, 5));
+  EXPECT_THROW(s.on_decode_scheduled(), std::logic_error);      // not decoding yet
+  EXPECT_THROW(s.on_chunk_scheduled(11), std::invalid_argument);  // over target
+  EXPECT_THROW(s.on_chunk_scheduled(0), std::invalid_argument);
+  EXPECT_THROW(s.on_chunk_completed(false, 1.0), std::logic_error);  // none outstanding
+
+  s.on_chunk_scheduled(10);
+  s.on_chunk_completed(true, 6.0);
+  EXPECT_THROW(s.on_chunk_scheduled(1), std::logic_error);  // already decoding
+  EXPECT_THROW(s.on_decode_completed(6.5), std::logic_error);  // not in flight
+  s.on_decode_scheduled();
+  EXPECT_THROW(s.on_decode_scheduled(), std::logic_error);  // double schedule
+  EXPECT_THROW(s.preempt(7.0), std::logic_error);           // in flight
+}
+
+TEST(Sequence, FinalChunkWithOutstandingSiblingThrows) {
+  Sequence s(spec(20, 5));
+  s.on_chunk_scheduled(10);
+  s.on_chunk_scheduled(10);
+  // Completing the final chunk while the first is still outstanding is a
+  // pipeline-ordering violation.
+  EXPECT_THROW(s.on_chunk_completed(true, 6.0), std::logic_error);
+}
+
+TEST(Sequence, TpotZeroBeforeFinish) {
+  Sequence s(spec(10, 5));
+  EXPECT_DOUBLE_EQ(s.tpot(), 0.0);
+}
+
+TEST(Sequence, AbortMarksState) {
+  Sequence s(spec());
+  s.abort();
+  EXPECT_EQ(s.state(), SeqState::kAborted);
+}
+
+}  // namespace
+}  // namespace gllm::engine

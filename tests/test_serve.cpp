@@ -1,0 +1,156 @@
+#include "serve/options.hpp"
+#include "serve/sweep.hpp"
+#include "serve/system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::serve {
+namespace {
+
+SystemOptions small_gllm() {
+  return SystemOptions::gllm(model::presets::qwen2_5_14b(), hw::clusters::l20_node(4), 4);
+}
+
+TEST(SystemOptions, PaperSchemePresets) {
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+
+  const auto g = SystemOptions::gllm(m, c, 4);
+  EXPECT_EQ(g.label, "gLLM");
+  EXPECT_EQ(g.scheduler, SchedulerKind::kTokenThrottle);
+  EXPECT_EQ(g.pp, 4);
+  EXPECT_EQ(g.tp, 1);
+  EXPECT_EQ(g.runtime.name, "gllm-runtime");
+  EXPECT_TRUE(g.throttle.enable_wt);
+  EXPECT_TRUE(g.throttle.enable_ut);
+
+  const auto v = SystemOptions::vllm(m, c, 4);
+  EXPECT_EQ(v.scheduler, SchedulerKind::kSarathi);
+  EXPECT_EQ(v.sarathi.token_budget, 2048);  // paper's budget
+  EXPECT_GT(v.runtime.serial_cpu_fraction, 0.15);
+
+  const auto s = SystemOptions::sglang(m, c, 4);
+  EXPECT_EQ(s.pp, 1);
+  EXPECT_EQ(s.tp, 4);
+  EXPECT_EQ(s.scheduler, SchedulerKind::kSarathi);
+
+  EXPECT_FALSE(SystemOptions::gllm_wo_wt(m, c, 4).throttle.enable_wt);
+  EXPECT_FALSE(SystemOptions::gllm_wo_ut(m, c, 4).throttle.enable_ut);
+  EXPECT_EQ(SystemOptions::gllm_with_ck(m, c, 4).scheduler, SchedulerKind::kSarathi);
+  EXPECT_EQ(SystemOptions::gllm_with_ck(m, c, 4).runtime.name, "gllm-runtime");
+}
+
+TEST(SystemOptions, PaperDefaultsMatchSection41) {
+  const auto g = small_gllm();
+  EXPECT_EQ(g.throttle.iter_t, 8);
+  EXPECT_EQ(g.throttle.max_p, 2048);
+  EXPECT_EQ(g.throttle.min_p, 32);
+  EXPECT_DOUBLE_EQ(g.throttle.kv_thresh, 0.05);
+}
+
+TEST(MakeScheduler, InstantiatesCorrectPolicy) {
+  auto opt = small_gllm();
+  EXPECT_EQ(ServingSystem::make_scheduler(opt)->name(), "token-throttle");
+  opt.scheduler = SchedulerKind::kSarathi;
+  EXPECT_EQ(ServingSystem::make_scheduler(opt)->name(), "sarathi");
+  opt.scheduler = SchedulerKind::kFcfs;
+  EXPECT_EQ(ServingSystem::make_scheduler(opt)->name(), "orca-fcfs");
+}
+
+TEST(RunAtRate, ProducesSummaryAndRaw) {
+  engine::RunResult raw;
+  const auto point = run_at_rate(small_gllm(), workload::WorkloadSpec::sharegpt(), 2.0,
+                                 10.0, 7, &raw);
+  EXPECT_EQ(point.system, "gLLM");
+  EXPECT_DOUBLE_EQ(point.request_rate, 2.0);
+  EXPECT_GT(point.requests, 5u);
+  EXPECT_GT(point.throughput, 0.0);
+  EXPECT_GT(point.mean_ttft, 0.0);
+  EXPECT_EQ(raw.requests.size(), point.requests);
+}
+
+TEST(RunAtRate, DeterministicInSeed) {
+  const auto a = run_at_rate(small_gllm(), workload::WorkloadSpec::sharegpt(), 2.0, 8.0, 3);
+  const auto b = run_at_rate(small_gllm(), workload::WorkloadSpec::sharegpt(), 2.0, 8.0, 3);
+  EXPECT_DOUBLE_EQ(a.mean_ttft, b.mean_ttft);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(RateSweep, OnePointPerRate) {
+  const auto points =
+      rate_sweep(small_gllm(), workload::WorkloadSpec::sharegpt(), {1.0, 2.0}, 6.0, 5);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].request_rate, 1.0);
+  EXPECT_DOUBLE_EQ(points[1].request_rate, 2.0);
+}
+
+TEST(RateSweep, LatencyGrowsWithLoad) {
+  const auto points = rate_sweep(small_gllm(), workload::WorkloadSpec::sharegpt(),
+                                 {1.0, 16.0}, 16.0, 5);
+  EXPECT_GT(points[1].mean_ttft, points[0].mean_ttft);
+  EXPECT_GT(points[1].mean_e2el, points[0].mean_e2el);
+}
+
+TEST(MaxThroughput, FindsPlateau) {
+  const auto result = find_max_throughput(small_gllm(), workload::WorkloadSpec::tiny(),
+                                          /*start=*/32.0, /*duration=*/8.0, 5);
+  EXPECT_GT(result.max_throughput, 0.0);
+  EXPECT_GE(result.points.size(), 3u);
+  EXPECT_GT(result.saturation_rate, 0.0);
+  // Every explored throughput is within the reported max.
+  for (const auto& p : result.points) EXPECT_LE(p.throughput, result.max_throughput * 1.001);
+}
+
+TEST(Replication, MeanAndSpreadAcrossSeeds) {
+  const auto rep = replicate_at_rate(small_gllm(), workload::WorkloadSpec::sharegpt(),
+                                     2.0, 8.0, /*base_seed=*/3, /*n_seeds=*/4);
+  EXPECT_EQ(rep.n_seeds, 4);
+  EXPECT_GT(rep.mean.throughput, 0.0);
+  EXPECT_GT(rep.mean.mean_ttft, 0.0);
+  // Different seeds genuinely differ, but not wildly at a stable load.
+  EXPECT_GT(rep.stddev.throughput, 0.0);
+  EXPECT_LT(rep.stddev.throughput, rep.mean.throughput * 0.5);
+  EXPECT_EQ(rep.mean.system, "gLLM");
+}
+
+TEST(Replication, SingleSeedZeroSpread) {
+  const auto rep = replicate_at_rate(small_gllm(), workload::WorkloadSpec::tiny(), 4.0,
+                                     4.0, 5, 1);
+  EXPECT_EQ(rep.stddev.throughput, 0.0);
+  EXPECT_EQ(rep.stddev.mean_ttft, 0.0);
+}
+
+TEST(Replication, InvalidSeedCountThrows) {
+  EXPECT_THROW(replicate_at_rate(small_gllm(), workload::WorkloadSpec::tiny(), 1.0, 1.0,
+                                 1, 0),
+               std::invalid_argument);
+}
+
+TEST(Summarize, CopiesAggregatesFaithfully) {
+  engine::RunResult raw;
+  raw.start_time = 0;
+  raw.end_time = 10;
+  raw.requests = {engine::RequestMetrics{0, 0, 100, 10, 0.5, 2.0, 0.1, 0, true}};
+  raw.preemptions = 3;
+  const auto p = summarize(small_gllm(), 1.5, raw);
+  EXPECT_DOUBLE_EQ(p.mean_ttft, 0.5);
+  EXPECT_DOUBLE_EQ(p.throughput, 11.0);
+  EXPECT_EQ(p.preemptions, 3);
+  EXPECT_DOUBLE_EQ(p.request_rate, 1.5);
+}
+
+TEST(ServingSystem, EngineConfigRoundTrip) {
+  auto opt = small_gllm();
+  opt.gpu_memory_util = 0.8;
+  opt.kv_block_size = 32;
+  const auto cfg = opt.engine_config();
+  EXPECT_EQ(cfg.pp, 4);
+  EXPECT_DOUBLE_EQ(cfg.gpu_memory_util, 0.8);
+  EXPECT_EQ(cfg.kv_block_size, 32);
+  EXPECT_EQ(cfg.runtime.name, "gllm-runtime");
+  ServingSystem system(opt);
+  EXPECT_EQ(system.options().label, "gLLM");
+}
+
+}  // namespace
+}  // namespace gllm::serve

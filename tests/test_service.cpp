@@ -1,0 +1,215 @@
+// Online serving mode (PipelineService): submissions at arbitrary times from
+// arbitrary threads, streamed tokens, drain/stop semantics — with outputs
+// still bit-identical to the single-stage reference.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "runtime/service.hpp"
+#include "sched/token_throttle.hpp"
+
+namespace gllm::runtime {
+namespace {
+
+constexpr std::uint64_t kSeed = 1234;
+
+RuntimeOptions tiny_options(int pp = 2) {
+  RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.pp = pp;
+  opt.kv_capacity_tokens = 4096;
+  opt.kv_block_size = 8;
+  opt.weight_seed = kSeed;
+  return opt;
+}
+
+std::shared_ptr<sched::IScheduler> small_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 2;
+  return std::make_shared<sched::TokenThrottleScheduler>(p);
+}
+
+std::vector<nn::GenRequest> make_requests(const model::ModelConfig& cfg, int n) {
+  std::vector<nn::GenRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    nn::GenRequest r;
+    r.id = i;
+    r.prompt = nn::synthetic_prompt(cfg, 800 + static_cast<std::uint64_t>(i),
+                                    8 + (i * 5) % 24);
+    r.max_new_tokens = 3 + i % 7;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+std::map<std::int64_t, RuntimeRequestRecord> by_id(
+    const std::vector<RuntimeRequestRecord>& records) {
+  std::map<std::int64_t, RuntimeRequestRecord> out;
+  for (const auto& rec : records) out[rec.id] = rec;
+  return out;
+}
+
+TEST(Service, SubmitDrainTokenExact) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 10);
+  const auto ref = nn::generate_reference(cfg, kSeed, reqs);
+
+  PipelineService service(tiny_options(), small_throttle());
+  service.start();
+  for (const auto& r : reqs) service.submit(r);
+  service.drain();
+  const auto records = by_id(service.results());
+  service.stop();
+
+  ASSERT_EQ(records.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& rec = records.at(static_cast<std::int64_t>(i));
+    EXPECT_TRUE(rec.completed);
+    EXPECT_EQ(rec.output, ref[i]) << "request " << i;
+    EXPECT_GT(rec.ttft, 0.0);
+    EXPECT_GE(rec.e2e, rec.ttft);
+  }
+}
+
+TEST(Service, LateSubmissionsJoinARunningServer) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 8);
+  const auto ref = nn::generate_reference(cfg, kSeed, reqs);
+
+  PipelineService service(tiny_options(4), small_throttle());
+  service.start();
+  // First wave, let it get going, then a second wave mid-flight.
+  for (int i = 0; i < 4; ++i) service.submit(reqs[static_cast<std::size_t>(i)]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  for (int i = 4; i < 8; ++i) service.submit(reqs[static_cast<std::size_t>(i)]);
+  service.drain();
+  const auto records = by_id(service.results());
+  service.stop();
+
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    EXPECT_EQ(records.at(static_cast<std::int64_t>(i)).output, ref[i]);
+}
+
+TEST(Service, ConcurrentSubmittersAreSafe) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 12);
+  PipelineService service(tiny_options(2), small_throttle());
+  service.start();
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = t; i < 12; i += 3) service.submit(reqs[static_cast<std::size_t>(i)]);
+    });
+  }
+  for (auto& t : submitters) t.join();
+  service.drain();
+  EXPECT_EQ(service.results().size(), 12u);
+  service.stop();
+}
+
+TEST(Service, StreamsTokensPerRequest) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 4);
+  PipelineService service(tiny_options(), small_throttle());
+  service.start();
+
+  std::mutex mu;
+  std::map<std::int64_t, int> counts;
+  std::map<std::int64_t, int> finals;
+  for (const auto& r : reqs) {
+    service.submit(r, [&](const StreamEvent& ev) {
+      std::lock_guard lock(mu);
+      (ev.is_last ? finals : counts)[ev.request_id]++;
+    });
+  }
+  service.drain();
+  const auto records = by_id(service.results());
+  service.stop();
+
+  for (const auto& r : reqs) {
+    EXPECT_EQ(finals[r.id], 1);
+    EXPECT_EQ(counts[r.id], static_cast<int>(records.at(r.id).output.size()));
+  }
+}
+
+TEST(Service, OversizedRequestRejectedImmediately) {
+  const auto cfg = model::presets::tiny();
+  auto opt = tiny_options();
+  opt.kv_capacity_tokens = 64;
+  PipelineService service(opt, small_throttle());
+  service.start();
+
+  nn::GenRequest huge;
+  huge.id = 7;
+  huge.prompt = nn::synthetic_prompt(cfg, 1, 100);
+  huge.max_new_tokens = 4;
+  service.submit(huge);
+  service.drain();  // must not hang on the rejected request
+  const auto records = service.results();
+  service.stop();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].completed);
+}
+
+TEST(Service, LifecycleGuards) {
+  PipelineService service(tiny_options(), small_throttle());
+  EXPECT_FALSE(service.running());
+  EXPECT_THROW(service.submit(nn::GenRequest{}), std::logic_error);
+  service.start();
+  EXPECT_TRUE(service.running());
+  service.start();  // idempotent
+  service.stop();
+  EXPECT_FALSE(service.running());
+  service.stop();  // idempotent
+}
+
+TEST(Service, StopFinishesAcceptedWork) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 6);
+  PipelineService service(tiny_options(), small_throttle());
+  service.start();
+  for (const auto& r : reqs) service.submit(r);
+  service.stop();  // no drain() first: stop must still complete accepted work
+  const auto records = service.results();
+  EXPECT_EQ(records.size(), reqs.size());
+  for (const auto& rec : records) EXPECT_TRUE(rec.completed);
+}
+
+TEST(Service, DestructorStops) {
+  const auto cfg = model::presets::tiny();
+  {
+    PipelineService service(tiny_options(), small_throttle());
+    service.start();
+    service.submit(make_requests(cfg, 2)[0]);
+  }  // dtor must join cleanly without leaks/hangs
+  SUCCEED();
+}
+
+TEST(Service, MatchesBatchRuntimeOutputs) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 8);
+
+  PipelineRuntime batch(tiny_options(2), small_throttle());
+  const auto batch_report = batch.run(reqs);
+
+  PipelineService service(tiny_options(2), small_throttle());
+  service.start();
+  for (const auto& r : reqs) service.submit(r);
+  service.drain();
+  const auto records = by_id(service.results());
+  service.stop();
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(records.at(static_cast<std::int64_t>(i)).output,
+              batch_report.requests[i].output);
+  }
+}
+
+}  // namespace
+}  // namespace gllm::runtime

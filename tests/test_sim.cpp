@@ -1,0 +1,193 @@
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gllm::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    auto [t, fn] = q.pop_next();
+    fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableFifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop_next().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.schedule(7.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 7.5);
+  EXPECT_DOUBLE_EQ(q.pop_next().time, 7.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const auto id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const auto id = q.schedule(1.0, [] {});
+  q.pop_next().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const auto a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);  // cancelled head skipped
+}
+
+TEST(EventQueue, EmptyPopThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop_next(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(Simulator, CallInAdvancesClock) {
+  Simulator sim;
+  double seen = -1;
+  sim.call_in(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+// Regression test: events scheduled from inside a callback must be based at
+// the callback's own time, not the previous event's time.
+TEST(Simulator, NestedSchedulingUsesCurrentTime) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.call_in(1.0, [&] {
+    times.push_back(sim.now());
+    sim.call_in(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.call_in(1.5, [&] { times.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+  EXPECT_DOUBLE_EQ(times[2], 2.0);
+}
+
+TEST(Simulator, ChainedEventsKeepMonotonicClock) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> step = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 5) sim.call_in(0.5, step);
+  };
+  sim.call_in(0.5, step);
+  sim.run();
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t i = 0; i < times.size(); ++i)
+    EXPECT_DOUBLE_EQ(times[i], 0.5 * static_cast<double>(i + 1));
+}
+
+TEST(Simulator, CallAtAbsoluteTime) {
+  Simulator sim;
+  double seen = -1;
+  sim.call_at(4.0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 4.0);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.call_in(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CallAtPastThrows) {
+  Simulator sim;
+  sim.call_in(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.call_at(0.5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvances) {
+  Simulator sim;
+  int fired = 0;
+  sim.call_in(1.0, [&] { ++fired; });
+  sim.call_in(3.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunMaxEventsLimit) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.call_in(i + 1.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.call_in(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.call_in(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.call_in(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ZeroDelayEventFiresAtCurrentTime) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.call_in(1.0, [&] {
+    sim.call_in(0.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+}
+
+}  // namespace
+}  // namespace gllm::sim

@@ -1,0 +1,151 @@
+#include "sched/td_pipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "serve/options.hpp"
+#include "serve/sweep.hpp"
+#include "serve/system.hpp"
+
+namespace gllm::sched {
+namespace {
+
+ScheduleContext make_ctx(std::vector<WaitingSeq> waiting, std::int64_t total_decodes,
+                         std::int64_t runnable, double kv_free = 0.9, int depth = 4) {
+  ScheduleContext ctx;
+  ctx.pipeline_depth = depth;
+  ctx.waiting = std::move(waiting);
+  for (std::int64_t i = 0; i < runnable; ++i)
+    ctx.runnable_decodes.push_back(DecodeSeq{100 + i, 50});
+  ctx.total_decode_seqs = total_decodes;
+  ctx.kv_free_rate = kv_free;
+  ctx.kv_free_tokens = 1 << 20;
+  return ctx;
+}
+
+TEST(TdPipe, StartsInPrefillMode) {
+  TdPipeScheduler sched{TdPipeParams{}};
+  EXPECT_EQ(sched.mode(), TdPipeScheduler::Mode::kPrefill);
+  auto ctx = make_ctx({{1, 5000, 0, 0.0, false}}, 0, 0);
+  const auto plan = sched.plan(ctx);
+  EXPECT_EQ(plan.decode_tokens(), 0);
+  EXPECT_EQ(plan.prefill_tokens(), 2048);  // full chunk
+}
+
+TEST(TdPipe, PrefillPhaseIgnoresRunnableDecodes) {
+  TdPipeScheduler sched{TdPipeParams{}};
+  // Plenty of prefill work, a few decodes accumulated: stay in prefill.
+  auto ctx = make_ctx({{1, 5000, 0, 0.0, false}}, 10, 10);
+  const auto plan = sched.plan(ctx);
+  EXPECT_EQ(sched.mode(), TdPipeScheduler::Mode::kPrefill);
+  EXPECT_EQ(plan.decode_tokens(), 0);
+  EXPECT_GT(plan.prefill_tokens(), 0);
+}
+
+TEST(TdPipe, EntersDecodeAtThreshold) {
+  TdPipeParams params;
+  params.decode_entry_batch = 16;
+  TdPipeScheduler sched(params);
+  auto ctx = make_ctx({{1, 5000, 0, 0.0, false}}, 16, 16);
+  const auto plan = sched.plan(ctx);
+  EXPECT_EQ(sched.mode(), TdPipeScheduler::Mode::kDecode);
+  EXPECT_EQ(plan.prefill_tokens(), 0);
+  EXPECT_EQ(plan.decode_tokens(), 4);  // 16 / depth 4
+}
+
+TEST(TdPipe, EntersDecodeWhenPrefillExhausted) {
+  TdPipeScheduler sched{TdPipeParams{}};
+  auto ctx = make_ctx({}, 3, 3);  // nothing to prefill, decodes pending
+  const auto plan = sched.plan(ctx);
+  EXPECT_EQ(sched.mode(), TdPipeScheduler::Mode::kDecode);
+  EXPECT_GT(plan.decode_tokens(), 0);
+}
+
+TEST(TdPipe, ExitsDecodeWhenDrained) {
+  TdPipeParams params;
+  params.decode_entry_batch = 8;
+  params.decode_exit_fraction = 0.5;
+  TdPipeScheduler sched(params);
+  // Enter decode with 8.
+  auto enter = make_ctx({{1, 5000, 0, 0.0, false}}, 8, 8);
+  sched.plan(enter);
+  ASSERT_EQ(sched.mode(), TdPipeScheduler::Mode::kDecode);
+  // Pool drains to 3 (< 0.5 * 8) while prefill work exists: back to prefill.
+  auto drained = make_ctx({{1, 5000, 0, 0.0, false}}, 3, 3);
+  const auto plan = sched.plan(drained);
+  EXPECT_EQ(sched.mode(), TdPipeScheduler::Mode::kPrefill);
+  EXPECT_GT(plan.prefill_tokens(), 0);
+}
+
+TEST(TdPipe, StaysInDecodeWithoutPrefillWork) {
+  TdPipeParams params;
+  params.decode_entry_batch = 8;
+  TdPipeScheduler sched(params);
+  sched.plan(make_ctx({}, 8, 8));
+  ASSERT_EQ(sched.mode(), TdPipeScheduler::Mode::kDecode);
+  const auto plan = sched.plan(make_ctx({}, 1, 1));
+  EXPECT_EQ(sched.mode(), TdPipeScheduler::Mode::kDecode);
+  EXPECT_EQ(plan.decode_tokens(), 1);
+}
+
+TEST(TdPipe, KvPressureSuspendsPrefill) {
+  TdPipeScheduler sched{TdPipeParams{}};
+  auto ctx = make_ctx({{1, 5000, 0, 0.0, false}}, 1, 1, /*kv_free=*/0.02);
+  const auto plan = sched.plan(ctx);
+  // Prefill blocked by KV threshold -> falls through to decode.
+  EXPECT_EQ(plan.prefill_tokens(), 0);
+  EXPECT_EQ(plan.decode_tokens(), 1);
+}
+
+TEST(TdPipe, NeverIdlesWhenOtherPhaseHasWork) {
+  TdPipeParams params;
+  params.decode_entry_batch = 64;
+  TdPipeScheduler sched(params);
+  // Prefill mode, but nothing waiting; decodes available -> decode anyway.
+  const auto plan = sched.plan(make_ctx({}, 5, 5));
+  EXPECT_GT(plan.total_tokens(), 0);
+}
+
+TEST(TdPipe, InvalidParamsThrow) {
+  TdPipeParams p;
+  p.prefill_chunk = 0;
+  EXPECT_THROW(TdPipeScheduler{p}, std::invalid_argument);
+  p = {};
+  p.decode_entry_batch = 0;
+  EXPECT_THROW(TdPipeScheduler{p}, std::invalid_argument);
+  p = {};
+  p.decode_exit_fraction = 1.0;
+  EXPECT_THROW(TdPipeScheduler{p}, std::invalid_argument);
+}
+
+TEST(TdPipeEndToEnd, EliminatesInterferenceOffline) {
+  // TD-Pipe's purpose: phase separation eliminates prefill-decode
+  // interference, giving the best TPOT in offline (burst) scenarios.
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  workload::TraceBuilder builder(workload::WorkloadSpec::sharegpt(), 7);
+  const auto burst = builder.generate_burst(300, 0.0);
+
+  serve::ServingSystem td(serve::SystemOptions::td_pipe(m, c, 4));
+  serve::ServingSystem vllm(serve::SystemOptions::vllm(m, c, 4));
+  const auto td_result = td.run(burst);
+  const auto vllm_result = vllm.run(burst);
+  EXPECT_LT(td_result.mean_tpot(), vllm_result.mean_tpot());
+  EXPECT_GE(td_result.completed_requests(), burst.size());
+}
+
+TEST(TdPipeEndToEnd, StallsPromptsInOnlineServing) {
+  // Its cost in the paper's online setting: decode phases block incoming
+  // prompts, inflating TTFT far beyond gLLM's.
+  const auto m = model::presets::qwen2_5_32b();
+  const auto c = hw::clusters::l20_node(4);
+  const auto azure = workload::WorkloadSpec::azure_conv();
+  const auto td =
+      serve::run_at_rate(serve::SystemOptions::td_pipe(m, c, 4), azure, 1.5, 30.0, 7);
+  const auto gllm =
+      serve::run_at_rate(serve::SystemOptions::gllm(m, c, 4), azure, 1.5, 30.0, 7);
+  EXPECT_GT(td.mean_ttft, gllm.mean_ttft * 2.0);
+  EXPECT_GT(gllm.throughput, td.throughput);
+}
+
+}  // namespace
+}  // namespace gllm::sched

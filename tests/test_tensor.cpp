@@ -1,0 +1,178 @@
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gllm::tensor {
+namespace {
+
+TEST(Tensor, ShapeAndZeroInit) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, TwoDimAccess) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_EQ(t.at(5), 5.0f);  // flat index
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 3), std::out_of_range);
+}
+
+TEST(Tensor, RowSpanIsView) {
+  Tensor t({2, 4});
+  auto r = t.row(1);
+  r[0] = 9.0f;
+  EXPECT_EQ(t.at(1, 0), 9.0f);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_THROW(t.row(2), std::out_of_range);
+}
+
+TEST(Tensor, ReshapePreservesCount) {
+  Tensor t({2, 6});
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndNegativeDimRejected) {
+  Tensor t({4});
+  t.fill(2.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 2.5f);
+  EXPECT_THROW(Tensor({-1, 2}), std::invalid_argument);
+}
+
+TEST(MatmulNt, MatchesNaive) {
+  util::Rng rng(1);
+  const std::int64_t m = 7, k = 13, n = 5;
+  Tensor x({m, k}), w({n, k}), y({m, n}), ref({m, n});
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : w.flat()) v = static_cast<float>(rng.normal());
+  matmul_nt(x, w, y);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += x.at(i, kk) * w.at(j, kk);
+      ref.at(i, j) = acc;
+    }
+  }
+  for (std::int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(y.at(i), ref.at(i), 1e-5f);
+}
+
+TEST(MatmulNt, LargeShapeParallelConsistency) {
+  util::Rng rng(2);
+  Tensor x({64, 96}), w({128, 96}), a({64, 128}), b({64, 128});
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : w.flat()) v = static_cast<float>(rng.normal());
+  matmul_nt(x, w, a);
+  matmul_nt(x, w, b);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(MatmulNt, ShapeMismatchThrows) {
+  Tensor x({2, 3}), w({4, 5}), y({2, 4});
+  EXPECT_THROW(matmul_nt(x, w, y), std::invalid_argument);
+}
+
+TEST(RmsNorm, KnownValue) {
+  const std::vector<float> x{3.0f, 4.0f};  // mean square = 12.5
+  const std::vector<float> gamma{1.0f, 2.0f};
+  std::vector<float> out(2);
+  rmsnorm_row(x, gamma, 0.0f, out);
+  const float inv = 1.0f / std::sqrt(12.5f);
+  EXPECT_NEAR(out[0], 3.0f * inv, 1e-6f);
+  EXPECT_NEAR(out[1], 8.0f * inv, 1e-6f);
+}
+
+TEST(RmsNorm, EpsStabilisesZeroInput) {
+  const std::vector<float> x{0.0f, 0.0f};
+  const std::vector<float> gamma{1.0f, 1.0f};
+  std::vector<float> out(2);
+  rmsnorm_row(x, gamma, 1e-5f, out);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_FALSE(std::isnan(out[0]));
+}
+
+TEST(Softmax, SumsToOne) {
+  std::vector<float> row{1.0f, 2.0f, 3.0f, 4.0f};
+  softmax_inplace(row);
+  float sum = 0;
+  for (float v : row) {
+    EXPECT_GT(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(row[3], row[0]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  std::vector<float> row{1000.0f, 1001.0f};
+  softmax_inplace(row);
+  EXPECT_FALSE(std::isnan(row[0]));
+  EXPECT_NEAR(row[0] + row[1], 1.0f, 1e-6f);
+}
+
+TEST(Swiglu, KnownValue) {
+  const std::vector<float> gate{0.0f, 1.0f};
+  const std::vector<float> up{2.0f, 3.0f};
+  std::vector<float> out(2);
+  swiglu_row(gate, up, out);
+  EXPECT_NEAR(out[0], 0.0f, 1e-7f);                                // silu(0)=0
+  EXPECT_NEAR(out[1], 3.0f / (1.0f + std::exp(-1.0f)), 1e-6f);     // silu(1)*3
+}
+
+TEST(Rope, PositionZeroIsIdentity) {
+  std::vector<float> qk{1.0f, 2.0f, 3.0f, 4.0f};
+  const auto orig = qk;
+  rope_row(qk, 1, 4, 0);
+  for (std::size_t i = 0; i < qk.size(); ++i) EXPECT_NEAR(qk[i], orig[i], 1e-6f);
+}
+
+TEST(Rope, PreservesNormPerPair) {
+  std::vector<float> qk{1.0f, 2.0f, 3.0f, 4.0f};
+  rope_row(qk, 1, 4, 17);
+  // Pairs (0,2) and (1,3) are rotations: norms preserved.
+  EXPECT_NEAR(qk[0] * qk[0] + qk[2] * qk[2], 1 + 9, 1e-4f);
+  EXPECT_NEAR(qk[1] * qk[1] + qk[3] * qk[3], 4 + 16, 1e-4f);
+}
+
+TEST(Rope, DifferentPositionsDiffer) {
+  std::vector<float> a{1.0f, 2.0f, 3.0f, 4.0f};
+  auto b = a;
+  rope_row(a, 1, 4, 1);
+  rope_row(b, 1, 4, 2);
+  EXPECT_NE(a[0], b[0]);
+}
+
+TEST(Rope, OddHeadDimRejected) {
+  std::vector<float> qk{1.0f, 2.0f, 3.0f};
+  EXPECT_THROW(rope_row(qk, 1, 3, 0), std::invalid_argument);
+}
+
+TEST(AddInplace, Accumulates) {
+  std::vector<float> out{1.0f, 2.0f};
+  const std::vector<float> a{0.5f, -1.0f};
+  add_inplace(out, a);
+  EXPECT_EQ(out[0], 1.5f);
+  EXPECT_EQ(out[1], 1.0f);
+  const std::vector<float> bad{1.0f};
+  EXPECT_THROW(add_inplace(out, bad), std::invalid_argument);
+}
+
+TEST(Argmax, FirstOnTies) {
+  const std::vector<float> row{1.0f, 3.0f, 3.0f, 2.0f};
+  EXPECT_EQ(argmax(row), 1);
+  EXPECT_THROW(argmax(std::vector<float>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gllm::tensor

@@ -1,0 +1,92 @@
+// Azure production-trace loader (the artifact's --splitwise-path input) and
+// the goodput metric.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace gllm::workload {
+namespace {
+
+TEST(AzureTrace, ParsesWallClockTimestamps) {
+  std::stringstream ss(
+      "TIMESTAMP,ContextTokens,GeneratedTokens\n"
+      "2023-11-16 18:15:46.6805900,374,60\n"
+      "2023-11-16 18:15:48.1805900,120,196\n"
+      "2023-11-16 18:16:46.6805900,4000,12\n");
+  const auto trace = load_azure_trace(ss);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[0].arrival, 0.0);  // rebased
+  EXPECT_NEAR(trace[1].arrival, 1.5, 1e-6);
+  EXPECT_NEAR(trace[2].arrival, 60.0, 1e-6);
+  EXPECT_EQ(trace[0].prompt_len, 374);
+  EXPECT_EQ(trace[0].output_len, 60);
+  EXPECT_EQ(trace[2].id, 2);
+}
+
+TEST(AzureTrace, ParsesNumericTimestamps) {
+  std::stringstream ss(
+      "TIMESTAMP,ContextTokens,GeneratedTokens\n"
+      "100.5,10,5\n"
+      "103.25,20,8\n");
+  const auto trace = load_azure_trace(ss);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(trace[1].arrival, 2.75);
+}
+
+TEST(AzureTrace, MaxRequestsTruncates) {
+  std::stringstream ss(
+      "TIMESTAMP,ContextTokens,GeneratedTokens\n"
+      "1,10,5\n2,10,5\n3,10,5\n4,10,5\n");
+  EXPECT_EQ(load_azure_trace(ss, 2).size(), 2u);
+}
+
+TEST(AzureTrace, MalformedInputRejected) {
+  std::stringstream missing("TIMESTAMP,ContextTokens,GeneratedTokens\n1,10\n");
+  EXPECT_THROW(load_azure_trace(missing), std::runtime_error);
+  std::stringstream bad_ts("TIMESTAMP,ContextTokens,GeneratedTokens\nxyz-a:b,10,5\n");
+  EXPECT_THROW(load_azure_trace(bad_ts), std::runtime_error);
+  std::stringstream zero_len("TIMESTAMP,ContextTokens,GeneratedTokens\n1,0,5\n");
+  EXPECT_THROW(load_azure_trace(zero_len), std::runtime_error);
+}
+
+TEST(AzureTrace, EmptyInputEmptyTrace) {
+  std::stringstream empty;
+  EXPECT_TRUE(load_azure_trace(empty).empty());
+  std::stringstream header_only("TIMESTAMP,ContextTokens,GeneratedTokens\n");
+  EXPECT_TRUE(load_azure_trace(header_only).empty());
+}
+
+TEST(Goodput, OnlySloSatisfyingTokensCount) {
+  engine::RunResult r;
+  r.start_time = 0;
+  r.end_time = 10;
+  r.requests = {
+      engine::RequestMetrics{0, 0, 100, 10, 0.5, 2.0, 0.05, 0, true},  // meets
+      engine::RequestMetrics{1, 0, 200, 20, 5.0, 9.0, 0.05, 0, true},  // TTFT violation
+      engine::RequestMetrics{2, 0, 300, 30, 0.5, 2.0, 0.50, 0, true},  // TPOT violation
+      engine::RequestMetrics{3, 0, 400, 0, 0.0, 0.0, 0.0, 0, false},   // incomplete
+  };
+  EXPECT_DOUBLE_EQ(r.goodput(1.0, 0.1), 11.0);             // (100+10)/10
+  EXPECT_DOUBLE_EQ(r.goodput(10.0, 1.0), 66.0);            // all completed count
+  EXPECT_DOUBLE_EQ(r.goodput(0.0, 0.0), 0.0);
+  EXPECT_LE(r.goodput(10.0, 1.0), r.throughput());
+}
+
+TEST(Percentiles, LatencyPercentilesOverCompleted) {
+  engine::RunResult r;
+  for (int i = 1; i <= 100; ++i) {
+    r.requests.push_back(engine::RequestMetrics{i, 0, 10, 5, i * 0.01, i * 0.1,
+                                                i * 0.001, 0, true});
+  }
+  EXPECT_NEAR(r.percentile(engine::RunResult::Latency::kTtft, 50), 0.505, 1e-9);
+  EXPECT_NEAR(r.percentile(engine::RunResult::Latency::kE2el, 90), 9.01, 1e-9);
+  EXPECT_NEAR(r.percentile(engine::RunResult::Latency::kTpot, 99), 0.09901, 1e-9);
+}
+
+}  // namespace
+}  // namespace gllm::workload

@@ -1,0 +1,167 @@
+#include "util/queue.hpp"
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace gllm::util {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BoundedQueue, TryPushFullFails) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, TryPopEmpty) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseDrainsThenNullopt) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_FALSE(q.push(3));
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingConsumer) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed);
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, MultiProducerMultiConsumerConservation) {
+  BoundedQueue<int> q(16);
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::atomic<long long> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++count;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long long>(total) * (total - 1) / 2);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForGrainLimitsSplitting) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(
+      0, 10, [&](std::size_t, std::size_t) { ++chunks; }, /*grain=*/10);
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSum) {
+  ThreadPool pool(4);
+  std::vector<long long> partial(64, 0);
+  std::atomic<std::size_t> slot{0};
+  pool.parallel_for(1, 100001, [&](std::size_t b, std::size_t e) {
+    long long s = 0;
+    for (std::size_t i = b; i < e; ++i) s += static_cast<long long>(i);
+    partial[slot++] = s;
+  });
+  const long long total = std::accumulate(partial.begin(), partial.end(), 0LL);
+  EXPECT_EQ(total, 100000LL * 100001 / 2);
+}
+
+TEST(ThreadPool, RepeatedUse) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(0, 100, [&](std::size_t b, std::size_t e) {
+      n += static_cast<int>(e - b);
+    });
+    ASSERT_EQ(n.load(), 100);
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 50, [&](std::size_t b, std::size_t e) {
+    n += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(n.load(), 50);
+}
+
+TEST(ThreadPool, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().thread_count(), 2u);
+}
+
+}  // namespace
+}  // namespace gllm::util

@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gllm::util {
+namespace {
+
+TEST(TablePrinter, EmptyPrintsNothing) {
+  TablePrinter t;
+  std::ostringstream oss;
+  t.print(oss);
+  EXPECT_TRUE(oss.str().empty());
+}
+
+TEST(TablePrinter, HeaderSeparatorAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, ColumnsAligned) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"xxxxxx", "1"});
+  t.add_row({"y", "2"});
+  std::istringstream lines(t.to_string());
+  std::string l1, l2, l3, l4;
+  std::getline(lines, l1);
+  std::getline(lines, l2);
+  std::getline(lines, l3);
+  std::getline(lines, l4);
+  EXPECT_EQ(l3.size(), l4.size());  // equal-width rows
+}
+
+TEST(TablePrinter, VariadicAddConvertsStreamables) {
+  TablePrinter t({"k", "v"});
+  t.add("rate", 42);
+  t.add("ratio", 1.5);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(TablePrinter, RaggedRowsTolerated) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(CsvWriter, BasicRow) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.write("a", 1, 2.5);
+  EXPECT_EQ(oss.str(), "a,1,2.5\n");
+}
+
+TEST(CsvWriter, QuotesCommasAndQuotes) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.row({"hello, world", "say \"hi\""});
+  EXPECT_EQ(oss.str(), "\"hello, world\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.row({"two\nlines"});
+  EXPECT_EQ(oss.str(), "\"two\nlines\"\n");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3.5 * kMiB), "3.50 MiB");
+  EXPECT_EQ(format_bytes(48 * kGiB), "48.00 GiB");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(2.0), "2.00 s");
+  EXPECT_EQ(format_duration(0.0123), "12.30 ms");
+  EXPECT_EQ(format_duration(4.5e-5), "45.0 us");
+}
+
+TEST(Units, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace gllm::util

@@ -1,0 +1,214 @@
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gllm::workload {
+namespace {
+
+TEST(LengthDistribution, FromMeanCvReproducesMean) {
+  util::Rng rng(1);
+  const auto d = LengthDistribution::from_mean_cv(200.0, 1.0, 1, 1 << 20);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, 200.0, 6.0);
+}
+
+TEST(LengthDistribution, TruncationRespected) {
+  util::Rng rng(2);
+  const auto d = LengthDistribution::from_mean_cv(100.0, 2.0, 10, 300);
+  for (int i = 0; i < 10000; ++i) {
+    const int v = d.sample(rng);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 300);
+  }
+}
+
+TEST(LengthDistribution, InvalidParamsThrow) {
+  EXPECT_THROW(LengthDistribution::from_mean_cv(0, 1, 1, 10), std::invalid_argument);
+  EXPECT_THROW(LengthDistribution::from_mean_cv(10, 0, 1, 10), std::invalid_argument);
+}
+
+TEST(ArrivalProcess, PoissonMeanGap) {
+  util::Rng rng(3);
+  ArrivalProcess p;
+  p.rate = 5.0;
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += p.next_gap(rng);
+  EXPECT_NEAR(sum / n, 0.2, 0.005);
+}
+
+TEST(ArrivalProcess, UniformExactGap) {
+  util::Rng rng(4);
+  ArrivalProcess p;
+  p.kind = ArrivalProcess::Kind::kUniform;
+  p.rate = 4.0;
+  EXPECT_DOUBLE_EQ(p.next_gap(rng), 0.25);
+}
+
+TEST(ArrivalProcess, BurstyHasHigherVariance) {
+  util::Rng rng(5);
+  ArrivalProcess poisson;
+  poisson.rate = 1.0;
+  ArrivalProcess bursty;
+  bursty.kind = ArrivalProcess::Kind::kBursty;
+  bursty.rate = 1.0;
+  bursty.burst_cv = 4.0;
+
+  util::Rng r1(7), r2(7);
+  double var_p = 0, var_b = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double gp = poisson.next_gap(r1) - 1.0;
+    const double gb = bursty.next_gap(r2) - 1.0;
+    var_p += gp * gp;
+    var_b += gb * gb;
+  }
+  EXPECT_GT(var_b, 3.0 * var_p);
+}
+
+TEST(ArrivalProcess, InvalidRateThrows) {
+  util::Rng rng(6);
+  ArrivalProcess p;
+  p.rate = 0.0;
+  EXPECT_THROW(p.next_gap(rng), std::invalid_argument);
+}
+
+TEST(WorkloadSpec, AzureToShareGptRatiosMatchPaper) {
+  // Paper Fig. 11: Azure input mean 5.21x, output mean 1.66x ShareGPT's.
+  TraceBuilder sg(WorkloadSpec::sharegpt(), 11);
+  TraceBuilder az(WorkloadSpec::azure_conv(), 11);
+  ArrivalProcess p;
+  p.rate = 100.0;
+  const auto t_sg = compute_stats(sg.generate_count(p, 20000));
+  const auto t_az = compute_stats(az.generate_count(p, 20000));
+  EXPECT_NEAR(t_az.input_mean / t_sg.input_mean, 5.21, 5.21 * 0.15);
+  EXPECT_NEAR(t_az.output_mean / t_sg.output_mean, 1.66, 1.66 * 0.15);
+}
+
+TEST(TraceBuilder, DeterministicAcrossInstances) {
+  TraceBuilder a(WorkloadSpec::sharegpt(), 42);
+  TraceBuilder b(WorkloadSpec::sharegpt(), 42);
+  ArrivalProcess p;
+  p.rate = 5.0;
+  const auto ta = a.generate_count(p, 100);
+  const auto tb = b.generate_count(p, 100);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].prompt_len, tb[i].prompt_len);
+    EXPECT_DOUBLE_EQ(ta[i].arrival, tb[i].arrival);
+  }
+}
+
+TEST(TraceBuilder, SeedsChangeTraces) {
+  TraceBuilder a(WorkloadSpec::sharegpt(), 1);
+  TraceBuilder b(WorkloadSpec::sharegpt(), 2);
+  ArrivalProcess p;
+  p.rate = 5.0;
+  EXPECT_NE(a.generate_count(p, 50)[10].prompt_len,
+            b.generate_count(p, 50)[10].prompt_len);
+}
+
+TEST(TraceBuilder, DurationBoundsArrivals) {
+  TraceBuilder builder(WorkloadSpec::tiny(), 9);
+  ArrivalProcess p;
+  p.rate = 10.0;
+  const auto trace = builder.generate_for_duration(p, 32.0);
+  EXPECT_GT(trace.size(), 200u);  // ~320 expected
+  EXPECT_LT(trace.size(), 450u);
+  for (const auto& r : trace) {
+    EXPECT_GT(r.arrival, 0.0);
+    EXPECT_LE(r.arrival, 32.0);
+  }
+}
+
+TEST(TraceBuilder, ArrivalsMonotonic) {
+  TraceBuilder builder(WorkloadSpec::sharegpt(), 10);
+  ArrivalProcess p;
+  p.rate = 3.0;
+  const auto trace = builder.generate_count(p, 200);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+}
+
+TEST(TraceBuilder, IdsUniqueAndSequential) {
+  TraceBuilder builder(WorkloadSpec::tiny(), 12);
+  ArrivalProcess p;
+  p.rate = 5.0;
+  const auto trace = builder.generate_count(p, 64);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].id, static_cast<std::int64_t>(i));
+}
+
+TEST(TraceBuilder, BurstAllAtSameInstant) {
+  TraceBuilder builder(WorkloadSpec::tiny(), 13);
+  const auto trace = builder.generate_burst(32, 5.0);
+  EXPECT_EQ(trace.size(), 32u);
+  for (const auto& r : trace) EXPECT_DOUBLE_EQ(r.arrival, 5.0);
+}
+
+TEST(TraceStats, ComputedCorrectly) {
+  Trace trace{{0, 0.0, 10, 5}, {1, 2.0, 30, 15}, {2, 4.0, 20, 10}};
+  const auto s = compute_stats(trace);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.input_mean, 20.0);
+  EXPECT_DOUBLE_EQ(s.output_mean, 10.0);
+  EXPECT_DOUBLE_EQ(s.input_p50, 20.0);
+  EXPECT_DOUBLE_EQ(s.duration, 4.0);
+  EXPECT_DOUBLE_EQ(s.request_rate, 0.75);
+  EXPECT_DOUBLE_EQ(s.total_tokens, 90.0);
+  EXPECT_DOUBLE_EQ(s.input_max, 30.0);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const auto s = compute_stats({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.input_mean, 0.0);
+}
+
+TEST(TraceCsv, RoundTrip) {
+  Trace trace{{0, 0.5, 10, 5}, {1, 1.25, 30, 15}};
+  std::stringstream ss;
+  save_csv(trace, ss);
+  const auto loaded = load_csv(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].id, 1);
+  EXPECT_DOUBLE_EQ(loaded[1].arrival, 1.25);
+  EXPECT_EQ(loaded[1].prompt_len, 30);
+  EXPECT_EQ(loaded[1].output_len, 15);
+}
+
+TEST(TraceCsv, MalformedLineThrows) {
+  std::stringstream ss("id,arrival,prompt_len,output_len\nnot-a-number\n");
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, EmptyStream) {
+  std::stringstream ss;
+  EXPECT_TRUE(load_csv(ss).empty());
+}
+
+class WorkloadMeans : public ::testing::TestWithParam<WorkloadSpec> {};
+
+TEST_P(WorkloadMeans, PositiveLengthsAlways) {
+  TraceBuilder builder(GetParam(), 21);
+  ArrivalProcess p;
+  p.rate = 50.0;
+  for (const auto& r : builder.generate_count(p, 5000)) {
+    EXPECT_GT(r.prompt_len, 0);
+    EXPECT_GT(r.output_len, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Specs, WorkloadMeans,
+                         ::testing::Values(WorkloadSpec::sharegpt(),
+                                           WorkloadSpec::azure_conv(),
+                                           WorkloadSpec::tiny()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace gllm::workload

@@ -1,0 +1,98 @@
+// gllm_server: the artifact's `python -m gllm.entrypoints.api_server`
+// analogue — a persistent HTTP server in front of the real threaded pipeline
+// runtime (tiny CPU model, synthetic token ids).
+//
+//   gllm_server --port 8080 --pp 4 &
+//   curl localhost:8080/health
+//   curl -d '{"id":1,"prompt":[5,9,23,7],"max_tokens":8}' localhost:8080/v1/completions
+//
+// With --demo N, the binary instead serves itself: it spins up the server,
+// fires N loopback requests, prints the responses and exits (useful for
+// smoke tests and CI).
+
+#include <csignal>
+#include <iostream>
+
+#include "nn/reference.hpp"
+#include "sched/token_throttle.hpp"
+#include "server/http_server.hpp"
+#include "util/args.hpp"
+
+using namespace gllm;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("gllm_server", "HTTP serving frontend over the threaded runtime");
+  args.add_option("port", "listen port (0 = ephemeral)", "8080");
+  args.add_option("pp", "pipeline stages", "2");
+  args.add_option("kv-capacity", "KV cache capacity in tokens", "8192");
+  args.add_option("iterp", "#T", "4");
+  args.add_option("maxp", "#MaxP", "64");
+  args.add_option("minp", "#MinP", "8");
+  args.add_option("demo", "serve N self-generated requests and exit (0 = serve forever)",
+                  "0");
+
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  try {
+    runtime::RuntimeOptions options;
+    options.model = model::presets::tiny();
+    options.pp = args.get_int("pp");
+    options.kv_capacity_tokens = args.get_int64("kv-capacity");
+    options.kv_block_size = 8;
+
+    sched::ThrottleParams params;
+    params.iter_t = args.get_int("iterp");
+    params.max_p = args.get_int("maxp");
+    params.min_p = args.get_int("minp");
+
+    runtime::PipelineService service(
+        options, std::make_shared<sched::TokenThrottleScheduler>(params));
+    service.start();
+    server::HttpServer server(service, args.get_int("port"));
+    server.start();
+    std::cout << "gllm_server: listening on 127.0.0.1:" << server.port() << " (model "
+              << options.model.name << ", pp=" << options.pp << ")\n";
+
+    const int demo = args.get_int("demo");
+    if (demo > 0) {
+      for (int i = 0; i < demo; ++i) {
+        const auto prompt =
+            nn::synthetic_prompt(options.model, 40 + static_cast<std::uint64_t>(i), 10);
+        std::string body = "{\"id\":" + std::to_string(i) + ",\"prompt\":[";
+        for (std::size_t j = 0; j < prompt.size(); ++j) {
+          if (j) body += ",";
+          body += std::to_string(prompt[j]);
+        }
+        body += "],\"max_tokens\":6}";
+        std::string response;
+        const int status =
+            server::http_request(server.port(), "POST", "/v1/completions", body, response);
+        std::cout << "request " << i << " -> HTTP " << status << " " << response << "\n";
+      }
+    } else {
+      std::signal(SIGINT, on_signal);
+      std::signal(SIGTERM, on_signal);
+      while (!g_stop) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::cout << "shutting down...\n";
+    }
+
+    server.stop();
+    service.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,204 @@
+// gllm_sim: command-line serving simulator, the reproduction's analogue of
+// the artifact's `gllm.entrypoints.api_server` + `benchmark_serving.py` pair.
+// It launches one simulated deployment, drives it with a synthetic workload
+// (or a saved trace CSV) and prints the benchmark-client metrics.
+//
+// Examples:
+//   gllm_sim --model qwen2.5-32b --cluster l20x4 --pp 4 --rate 6
+//   gllm_sim --system vllm --model qwen2.5-14b --cluster a100x4 --rate 8
+//   gllm_sim --scheduler sarathi --runtime gllm --dataset azure --rate 1
+//   gllm_sim --trace my_trace.csv --iterp 4 --maxp 1024 --kvthresh 0.1
+//   gllm_sim --use-naive-schedule ...      # artifact's Sarathi-policy switch
+
+#include <fstream>
+#include <iostream>
+
+#include "core/gllm.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace gllm;
+
+namespace {
+
+model::ModelConfig parse_model(const std::string& name) {
+  if (name == "qwen2.5-14b") return model::presets::qwen2_5_14b();
+  if (name == "qwen2.5-32b") return model::presets::qwen2_5_32b();
+  if (name == "llama3.1-100b") return model::presets::llama3_1_100b();
+  if (name == "llama3.1-8b") return model::presets::llama3_1_8b();
+  if (name == "tiny") return model::presets::tiny();
+  throw std::invalid_argument("unknown model '" + name +
+                              "' (qwen2.5-14b, qwen2.5-32b, llama3.1-100b, llama3.1-8b, tiny)");
+}
+
+hw::ClusterSpec parse_cluster(const std::string& name) {
+  if (name == "l20x4") return hw::clusters::l20_node(4);
+  if (name == "l20x2") return hw::clusters::l20_node(2);
+  if (name == "l20x1") return hw::clusters::l20_node(1);
+  if (name == "a100x4") return hw::clusters::a100_cross_node(4);
+  if (name == "a100x2") return hw::clusters::a100_cross_node(2);
+  if (name == "a800x4") return hw::clusters::a800_cross_node(4);
+  throw std::invalid_argument("unknown cluster '" + name +
+                              "' (l20x1, l20x2, l20x4, a100x2, a100x4, a800x4)");
+}
+
+workload::WorkloadSpec parse_dataset(const std::string& name) {
+  if (name == "sharegpt") return workload::WorkloadSpec::sharegpt();
+  if (name == "azure") return workload::WorkloadSpec::azure_conv();
+  if (name == "tiny") return workload::WorkloadSpec::tiny();
+  throw std::invalid_argument("unknown dataset '" + name + "' (sharegpt, azure, tiny)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("gllm_sim", "simulated distributed LLM serving benchmark");
+  args.add_option("system", "preset: gllm | vllm | sglang | tdpipe | custom", "gllm");
+  args.add_option("model", "model preset", "qwen2.5-32b");
+  args.add_option("cluster", "cluster preset", "l20x4");
+  args.add_option("pp", "pipeline-parallel degree", "4");
+  args.add_option("tp", "tensor-parallel degree", "1");
+  args.add_option("scheduler", "custom system policy: throttle | sarathi | fcfs | tdpipe",
+                  "throttle");
+  args.add_option("runtime", "custom system runtime: gllm | vllm | sglang", "gllm");
+  args.add_option("dataset", "workload: sharegpt | azure | tiny", "sharegpt");
+  args.add_option("trace", "replay a trace CSV instead of synthesizing", "");
+  args.add_option("rate", "request rate (req/s)", "4");
+  args.add_option("duration", "request sending duration (s, paper: 128)", "128");
+  args.add_option("seed", "workload seed", "2025");
+  args.add_option("gpu-memory-util", "usable fraction of GPU memory", "0.9");
+  args.add_option("iterp", "#T (iterations to drain waiting prefill)", "8");
+  args.add_option("maxp", "#MaxP (max batched prefill tokens)", "2048");
+  args.add_option("minp", "#MinP (min batched prefill tokens)", "32");
+  args.add_option("kvthresh", "KV_thresh (idle-rate floor)", "0.05");
+  args.add_option("goodput", "SLO as 'ttft_ms:tpot_ms' for attainment reporting", "");
+  args.add_flag("use-naive-schedule", "use Sarathi-Serve's policy (artifact switch)");
+  args.add_flag("context-aware", "enable context-aware cost throttling (paper 6)");
+  args.add_flag("cohort-pinning", "pin requests to vLLM-V0 style virtual engines");
+  args.add_option("trace-format", "saved-trace format: gllm | azure", "gllm");
+  args.add_flag("csv", "emit the per-request records as CSV on stdout");
+
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  try {
+    const auto model = parse_model(args.get("model"));
+    const auto cluster = parse_cluster(args.get("cluster"));
+    const int pp = args.get_int("pp");
+    const int tp = args.get_int("tp");
+
+    serve::SystemOptions options;
+    const std::string system = args.get("system");
+    if (system == "gllm") {
+      options = serve::SystemOptions::gllm(model, cluster, pp);
+    } else if (system == "vllm") {
+      options = serve::SystemOptions::vllm(model, cluster, pp);
+    } else if (system == "sglang") {
+      options = serve::SystemOptions::sglang(model, cluster, tp > 1 ? tp : pp);
+    } else if (system == "tdpipe") {
+      options = serve::SystemOptions::td_pipe(model, cluster, pp);
+    } else if (system == "custom") {
+      options.label = "custom";
+      options.model = model;
+      options.cluster = cluster;
+      options.pp = pp;
+      options.tp = tp;
+      const std::string sched = args.get("scheduler");
+      if (sched == "throttle") options.scheduler = serve::SchedulerKind::kTokenThrottle;
+      else if (sched == "sarathi") options.scheduler = serve::SchedulerKind::kSarathi;
+      else if (sched == "fcfs") options.scheduler = serve::SchedulerKind::kFcfs;
+      else if (sched == "tdpipe") options.scheduler = serve::SchedulerKind::kTdPipe;
+      else throw std::invalid_argument("unknown scheduler '" + sched + "'");
+      const std::string rt = args.get("runtime");
+      if (rt == "gllm") options.runtime = engine::RuntimeModel::gllm_async();
+      else if (rt == "vllm") options.runtime = engine::RuntimeModel::vllm_like();
+      else if (rt == "sglang") options.runtime = engine::RuntimeModel::sglang_like();
+      else throw std::invalid_argument("unknown runtime '" + rt + "'");
+    } else {
+      throw std::invalid_argument("unknown system '" + system + "'");
+    }
+    options.tp = system == "sglang" ? options.tp : tp;
+    options.gpu_memory_util = args.get_double("gpu-memory-util");
+    options.throttle.iter_t = args.get_int("iterp");
+    options.throttle.max_p = args.get_int("maxp");
+    options.throttle.min_p = args.get_int("minp");
+    options.throttle.kv_thresh = args.get_double("kvthresh");
+    options.throttle.context_aware = args.has("context-aware");
+    if (args.has("use-naive-schedule")) options.scheduler = serve::SchedulerKind::kSarathi;
+    options.cohort_pinning = args.has("cohort-pinning");
+
+    // Workload.
+    workload::Trace trace;
+    const double rate = args.get_double("rate");
+    if (args.has("trace")) {
+      std::ifstream in(args.get("trace"));
+      if (!in) throw std::runtime_error("cannot open trace " + args.get("trace"));
+      trace = args.get("trace-format") == "azure" ? workload::load_azure_trace(in)
+                                                  : workload::load_csv(in);
+    } else {
+      workload::TraceBuilder builder(parse_dataset(args.get("dataset")),
+                                     args.get_int64("seed"));
+      workload::ArrivalProcess arrivals;
+      arrivals.rate = rate;
+      trace = builder.generate_for_duration(arrivals, args.get_double("duration"));
+    }
+
+    serve::ServingSystem server(options);
+    std::cerr << "serving " << trace.size() << " requests on " << options.label << " ("
+              << model.name << ", " << cluster.name << ", pp=" << options.pp
+              << ", tp=" << options.tp << ", KV capacity "
+              << server.engine().kv_capacity_tokens() << " tokens)\n";
+    const auto result = server.run(trace);
+
+    if (args.has("csv")) {
+      util::CsvWriter csv(std::cout);
+      csv.row({"id", "arrival", "prompt_len", "output_len", "ttft_s", "e2e_s", "tpot_s",
+               "preemptions", "completed"});
+      for (const auto& r : result.requests) {
+        csv.write(r.id, r.arrival, r.prompt_len, r.output_len, r.ttft, r.e2e, r.tpot,
+                  r.preemptions, r.completed ? 1 : 0);
+      }
+      return 0;
+    }
+
+    util::TablePrinter table({"metric", "value"});
+    table.add("completed requests", std::to_string(result.completed_requests()) + "/" +
+                                        std::to_string(result.requests.size()));
+    table.add("mean TTFT", util::format_duration(result.mean_ttft()));
+    table.add("p99 TTFT", util::format_duration(result.p99_ttft()));
+    table.add("mean TPOT", util::format_duration(result.mean_tpot()));
+    table.add("mean E2EL", util::format_duration(result.mean_e2el()));
+    table.add("throughput", util::format_double(result.throughput(), 1) + " tok/s");
+    table.add("stage utilization", util::format_double(result.mean_stage_utilization(), 3));
+    table.add("token-count CV", util::format_double(result.token_count_cv(), 3));
+    table.add("preemptions", std::to_string(result.preemptions));
+    table.add("KV peak utilization", util::format_double(result.kv.peak_utilization, 3));
+    if (args.has("goodput")) {
+      const std::string spec = args.get("goodput");
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos)
+        throw std::invalid_argument("--goodput expects 'ttft_ms:tpot_ms'");
+      const double ttft_ms = std::stod(spec.substr(0, colon));
+      const double tpot_ms = std::stod(spec.substr(colon + 1));
+      table.add("SLO attainment",
+                util::format_double(
+                    result.slo_attainment(ttft_ms / 1e3, tpot_ms / 1e3) * 100, 1) +
+                    "%");
+      table.add("goodput", util::format_double(
+                               result.goodput(ttft_ms / 1e3, tpot_ms / 1e3), 1) +
+                               " tok/s");
+    }
+    table.print(std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
