@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_architectures.dir/abl_architectures.cpp.o"
+  "CMakeFiles/abl_architectures.dir/abl_architectures.cpp.o.d"
+  "abl_architectures"
+  "abl_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

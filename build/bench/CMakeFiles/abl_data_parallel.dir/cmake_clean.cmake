@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_data_parallel.dir/abl_data_parallel.cpp.o"
+  "CMakeFiles/abl_data_parallel.dir/abl_data_parallel.cpp.o.d"
+  "abl_data_parallel"
+  "abl_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_moe.dir/abl_moe.cpp.o"
+  "CMakeFiles/abl_moe.dir/abl_moe.cpp.o.d"
+  "abl_moe"
+  "abl_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

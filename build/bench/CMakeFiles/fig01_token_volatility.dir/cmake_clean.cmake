@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_token_volatility.dir/fig01_token_volatility.cpp.o"
+  "CMakeFiles/fig01_token_volatility.dir/fig01_token_volatility.cpp.o.d"
+  "fig01_token_volatility"
+  "fig01_token_volatility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_token_volatility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_gpu_utilization.dir/fig04_gpu_utilization.cpp.o"
+  "CMakeFiles/fig04_gpu_utilization.dir/fig04_gpu_utilization.cpp.o.d"
+  "fig04_gpu_utilization"
+  "fig04_gpu_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_gpu_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

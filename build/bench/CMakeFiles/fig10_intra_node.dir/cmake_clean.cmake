@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_intra_node.dir/fig10_intra_node.cpp.o"
+  "CMakeFiles/fig10_intra_node.dir/fig10_intra_node.cpp.o.d"
+  "fig10_intra_node"
+  "fig10_intra_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_intra_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_workload_dist.dir/fig11_workload_dist.cpp.o"
+  "CMakeFiles/fig11_workload_dist.dir/fig11_workload_dist.cpp.o.d"
+  "fig11_workload_dist"
+  "fig11_workload_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_workload_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cross_node.dir/fig12_cross_node.cpp.o"
+  "CMakeFiles/fig12_cross_node.dir/fig12_cross_node.cpp.o.d"
+  "fig12_cross_node"
+  "fig12_cross_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cross_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_slo_attainment.dir/fig14_slo_attainment.cpp.o"
+  "CMakeFiles/fig14_slo_attainment.dir/fig14_slo_attainment.cpp.o.d"
+  "fig14_slo_attainment"
+  "fig14_slo_attainment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_slo_attainment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

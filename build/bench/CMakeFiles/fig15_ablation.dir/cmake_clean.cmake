@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ablation.dir/fig15_ablation.cpp.o"
+  "CMakeFiles/fig15_ablation.dir/fig15_ablation.cpp.o.d"
+  "fig15_ablation"
+  "fig15_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gllm_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/gllm_bench_common.dir/bench_common.cpp.o.d"
+  "libgllm_bench_common.a"
+  "libgllm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gllm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgllm_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kv.dir/micro_kv.cpp.o"
+  "CMakeFiles/micro_kv.dir/micro_kv.cpp.o.d"
+  "micro_kv"
+  "micro_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_overhead.dir/tab01_overhead.cpp.o"
+  "CMakeFiles/tab01_overhead.dir/tab01_overhead.cpp.o.d"
+  "tab01_overhead"
+  "tab01_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

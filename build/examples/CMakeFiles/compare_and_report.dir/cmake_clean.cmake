@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_and_report.dir/compare_and_report.cpp.o"
+  "CMakeFiles/compare_and_report.dir/compare_and_report.cpp.o.d"
+  "compare_and_report"
+  "compare_and_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_and_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

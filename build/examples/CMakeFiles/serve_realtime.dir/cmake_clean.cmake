@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_realtime.dir/serve_realtime.cpp.o"
+  "CMakeFiles/serve_realtime.dir/serve_realtime.cpp.o.d"
+  "serve_realtime"
+  "serve_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

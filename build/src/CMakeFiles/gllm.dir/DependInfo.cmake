@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/disagg_engine.cpp" "src/CMakeFiles/gllm.dir/engine/disagg_engine.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/engine/disagg_engine.cpp.o.d"
+  "/root/repo/src/engine/metrics.cpp" "src/CMakeFiles/gllm.dir/engine/metrics.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/engine/metrics.cpp.o.d"
+  "/root/repo/src/engine/pipeline_engine.cpp" "src/CMakeFiles/gllm.dir/engine/pipeline_engine.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/engine/pipeline_engine.cpp.o.d"
+  "/root/repo/src/engine/sequence.cpp" "src/CMakeFiles/gllm.dir/engine/sequence.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/engine/sequence.cpp.o.d"
+  "/root/repo/src/hw/cluster.cpp" "src/CMakeFiles/gllm.dir/hw/cluster.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/hw/cluster.cpp.o.d"
+  "/root/repo/src/hw/gpu.cpp" "src/CMakeFiles/gllm.dir/hw/gpu.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/hw/gpu.cpp.o.d"
+  "/root/repo/src/hw/interconnect.cpp" "src/CMakeFiles/gllm.dir/hw/interconnect.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/hw/interconnect.cpp.o.d"
+  "/root/repo/src/kv/block_allocator.cpp" "src/CMakeFiles/gllm.dir/kv/block_allocator.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/kv/block_allocator.cpp.o.d"
+  "/root/repo/src/kv/kv_manager.cpp" "src/CMakeFiles/gllm.dir/kv/kv_manager.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/kv/kv_manager.cpp.o.d"
+  "/root/repo/src/kv/page_table.cpp" "src/CMakeFiles/gllm.dir/kv/page_table.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/kv/page_table.cpp.o.d"
+  "/root/repo/src/kv/prefix_cache.cpp" "src/CMakeFiles/gllm.dir/kv/prefix_cache.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/kv/prefix_cache.cpp.o.d"
+  "/root/repo/src/model/config.cpp" "src/CMakeFiles/gllm.dir/model/config.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/model/config.cpp.o.d"
+  "/root/repo/src/model/cost.cpp" "src/CMakeFiles/gllm.dir/model/cost.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/model/cost.cpp.o.d"
+  "/root/repo/src/model/partition.cpp" "src/CMakeFiles/gllm.dir/model/partition.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/model/partition.cpp.o.d"
+  "/root/repo/src/nn/kv_pool.cpp" "src/CMakeFiles/gllm.dir/nn/kv_pool.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/nn/kv_pool.cpp.o.d"
+  "/root/repo/src/nn/reference.cpp" "src/CMakeFiles/gllm.dir/nn/reference.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/nn/reference.cpp.o.d"
+  "/root/repo/src/nn/sampler.cpp" "src/CMakeFiles/gllm.dir/nn/sampler.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/nn/sampler.cpp.o.d"
+  "/root/repo/src/nn/stage.cpp" "src/CMakeFiles/gllm.dir/nn/stage.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/nn/stage.cpp.o.d"
+  "/root/repo/src/runtime/driver_state.cpp" "src/CMakeFiles/gllm.dir/runtime/driver_state.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/runtime/driver_state.cpp.o.d"
+  "/root/repo/src/runtime/pipeline_runtime.cpp" "src/CMakeFiles/gllm.dir/runtime/pipeline_runtime.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/runtime/pipeline_runtime.cpp.o.d"
+  "/root/repo/src/runtime/service.cpp" "src/CMakeFiles/gllm.dir/runtime/service.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/runtime/service.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "src/CMakeFiles/gllm.dir/runtime/worker.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/runtime/worker.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/CMakeFiles/gllm.dir/sched/fcfs.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/sched/fcfs.cpp.o.d"
+  "/root/repo/src/sched/sarathi.cpp" "src/CMakeFiles/gllm.dir/sched/sarathi.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/sched/sarathi.cpp.o.d"
+  "/root/repo/src/sched/td_pipe.cpp" "src/CMakeFiles/gllm.dir/sched/td_pipe.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/sched/td_pipe.cpp.o.d"
+  "/root/repo/src/sched/token_throttle.cpp" "src/CMakeFiles/gllm.dir/sched/token_throttle.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/sched/token_throttle.cpp.o.d"
+  "/root/repo/src/sched/types.cpp" "src/CMakeFiles/gllm.dir/sched/types.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/sched/types.cpp.o.d"
+  "/root/repo/src/serve/options.cpp" "src/CMakeFiles/gllm.dir/serve/options.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/serve/options.cpp.o.d"
+  "/root/repo/src/serve/report.cpp" "src/CMakeFiles/gllm.dir/serve/report.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/serve/report.cpp.o.d"
+  "/root/repo/src/serve/router.cpp" "src/CMakeFiles/gllm.dir/serve/router.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/serve/router.cpp.o.d"
+  "/root/repo/src/serve/sweep.cpp" "src/CMakeFiles/gllm.dir/serve/sweep.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/serve/sweep.cpp.o.d"
+  "/root/repo/src/serve/system.cpp" "src/CMakeFiles/gllm.dir/serve/system.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/serve/system.cpp.o.d"
+  "/root/repo/src/server/http_server.cpp" "src/CMakeFiles/gllm.dir/server/http_server.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/server/http_server.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/gllm.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/gllm.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/gllm.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/gllm.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/gllm.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/gllm.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/gllm.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/gllm.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/gllm.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "src/CMakeFiles/gllm.dir/util/threadpool.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/util/threadpool.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/gllm.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/util/units.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/gllm.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/gllm.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/gllm.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

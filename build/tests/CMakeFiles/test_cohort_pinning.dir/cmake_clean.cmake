@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cohort_pinning.dir/test_cohort_pinning.cpp.o"
+  "CMakeFiles/test_cohort_pinning.dir/test_cohort_pinning.cpp.o.d"
+  "test_cohort_pinning"
+  "test_cohort_pinning.pdb"
+  "test_cohort_pinning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cohort_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

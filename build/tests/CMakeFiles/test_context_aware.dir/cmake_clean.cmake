@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_aware.dir/test_context_aware.cpp.o"
+  "CMakeFiles/test_context_aware.dir/test_context_aware.cpp.o.d"
+  "test_context_aware"
+  "test_context_aware.pdb"
+  "test_context_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

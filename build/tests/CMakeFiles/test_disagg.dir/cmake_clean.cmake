@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disagg.dir/test_disagg.cpp.o"
+  "CMakeFiles/test_disagg.dir/test_disagg.cpp.o.d"
+  "test_disagg"
+  "test_disagg.pdb"
+  "test_disagg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disagg_backpressure.dir/test_disagg_backpressure.cpp.o"
+  "CMakeFiles/test_disagg_backpressure.dir/test_disagg_backpressure.cpp.o.d"
+  "test_disagg_backpressure"
+  "test_disagg_backpressure.pdb"
+  "test_disagg_backpressure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disagg_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

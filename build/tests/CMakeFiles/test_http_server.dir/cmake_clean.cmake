@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_server.dir/test_http_server.cpp.o"
+  "CMakeFiles/test_http_server.dir/test_http_server.cpp.o.d"
+  "test_http_server"
+  "test_http_server.pdb"
+  "test_http_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_allocator.dir/test_kv_allocator.cpp.o"
+  "CMakeFiles/test_kv_allocator.dir/test_kv_allocator.cpp.o.d"
+  "test_kv_allocator"
+  "test_kv_allocator.pdb"
+  "test_kv_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

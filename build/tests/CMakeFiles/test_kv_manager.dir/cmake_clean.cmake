@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_manager.dir/test_kv_manager.cpp.o"
+  "CMakeFiles/test_kv_manager.dir/test_kv_manager.cpp.o.d"
+  "test_kv_manager"
+  "test_kv_manager.pdb"
+  "test_kv_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

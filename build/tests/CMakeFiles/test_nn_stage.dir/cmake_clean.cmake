@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_stage.dir/test_nn_stage.cpp.o"
+  "CMakeFiles/test_nn_stage.dir/test_nn_stage.cpp.o.d"
+  "test_nn_stage"
+  "test_nn_stage.pdb"
+  "test_nn_stage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

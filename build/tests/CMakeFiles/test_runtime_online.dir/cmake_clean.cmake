@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_online.dir/test_runtime_online.cpp.o"
+  "CMakeFiles/test_runtime_online.dir/test_runtime_online.cpp.o.d"
+  "test_runtime_online"
+  "test_runtime_online.pdb"
+  "test_runtime_online[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_fcfs.dir/test_sched_fcfs.cpp.o"
+  "CMakeFiles/test_sched_fcfs.dir/test_sched_fcfs.cpp.o.d"
+  "test_sched_fcfs"
+  "test_sched_fcfs.pdb"
+  "test_sched_fcfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_fcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

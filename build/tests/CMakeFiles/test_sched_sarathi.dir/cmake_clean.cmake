@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_sarathi.dir/test_sched_sarathi.cpp.o"
+  "CMakeFiles/test_sched_sarathi.dir/test_sched_sarathi.cpp.o.d"
+  "test_sched_sarathi"
+  "test_sched_sarathi.pdb"
+  "test_sched_sarathi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_sarathi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

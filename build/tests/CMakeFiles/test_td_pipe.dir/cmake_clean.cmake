@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_td_pipe.dir/test_td_pipe.cpp.o"
+  "CMakeFiles/test_td_pipe.dir/test_td_pipe.cpp.o.d"
+  "test_td_pipe"
+  "test_td_pipe.pdb"
+  "test_td_pipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_td_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

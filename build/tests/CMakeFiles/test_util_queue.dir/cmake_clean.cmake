@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_queue.dir/test_util_queue.cpp.o"
+  "CMakeFiles/test_util_queue.dir/test_util_queue.cpp.o.d"
+  "test_util_queue"
+  "test_util_queue.pdb"
+  "test_util_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gllm_server.dir/gllm_server.cpp.o"
+  "CMakeFiles/gllm_server.dir/gllm_server.cpp.o.d"
+  "gllm_server"
+  "gllm_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gllm_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gllm_sim.dir/gllm_sim.cpp.o"
+  "CMakeFiles/gllm_sim.dir/gllm_sim.cpp.o.d"
+  "gllm_sim"
+  "gllm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gllm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
