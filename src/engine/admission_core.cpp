@@ -1,0 +1,268 @@
+#include "engine/admission_core.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace gllm::engine {
+
+AdmissionCore::AdmissionCore(AdmissionConfig cfg) : cfg_(cfg) {
+  if (cfg_.kv_capacity_tokens < cfg_.kv_block_size)
+    throw std::invalid_argument("AdmissionCore: KV pool smaller than one block");
+  prefill_kv_ = std::make_unique<kv::KvManager>(cfg_.kv_capacity_tokens,
+                                                cfg_.kv_block_size, cfg_.prefix_caching);
+  if (cfg_.decode_kv_capacity_tokens >= 0) {
+    if (cfg_.decode_kv_capacity_tokens < cfg_.kv_block_size)
+      throw std::invalid_argument("AdmissionCore: decode KV pool smaller than one block");
+    decode_kv_ = std::make_unique<kv::KvManager>(cfg_.decode_kv_capacity_tokens,
+                                                 cfg_.kv_block_size, false);
+  }
+}
+
+Sequence* AdmissionCore::add(const workload::RequestSpec& spec) {
+  return add(spec, {});
+}
+
+Sequence* AdmissionCore::add(const workload::RequestSpec& spec,
+                             std::vector<kv::TokenId> prompt) {
+  Entry e;
+  e.seq = std::make_unique<Sequence>(spec);
+  e.tokens = std::move(prompt);
+  Sequence* ptr = e.seq.get();
+  if (!seqs_.emplace(spec.id, std::move(e)).second)
+    throw std::invalid_argument("AdmissionCore: duplicate request id");
+  return ptr;
+}
+
+AdmissionCore::Entry& AdmissionCore::entry(kv::SeqId id) {
+  const auto it = seqs_.find(id);
+  if (it == seqs_.end()) throw std::logic_error("AdmissionCore: unknown sequence id");
+  return it->second;
+}
+
+Sequence& AdmissionCore::seq(kv::SeqId id) { return *entry(id).seq; }
+
+const Sequence& AdmissionCore::seq(kv::SeqId id) const {
+  const auto it = seqs_.find(id);
+  if (it == seqs_.end()) throw std::logic_error("AdmissionCore: unknown sequence id");
+  return *it->second.seq;
+}
+
+const std::vector<kv::TokenId>& AdmissionCore::tokens(kv::SeqId id) const {
+  const auto it = seqs_.find(id);
+  if (it == seqs_.end()) throw std::logic_error("AdmissionCore: unknown sequence id");
+  return it->second.tokens;
+}
+
+const std::vector<int>& AdmissionCore::scheduled_chunks(kv::SeqId id) const {
+  const auto it = seqs_.find(id);
+  if (it == seqs_.end()) throw std::logic_error("AdmissionCore: unknown sequence id");
+  return it->second.chunks;
+}
+
+sched::ScheduleContext AdmissionCore::build_context(double now, int cohort) const {
+  sched::ScheduleContext ctx;
+  ctx.now = now;
+  ctx.pipeline_depth = cfg_.pipeline_depth;
+  ctx.kv_free_rate = decode_kv().free_rate();
+  ctx.kv_free_tokens = decode_kv().free_token_capacity();
+  ctx.total_decode_seqs = static_cast<std::int64_t>(decoding_.size());
+
+  // cohort < 0: global view. Otherwise only this virtual engine's sequences
+  // (plus unassigned prompts, which the engine pins on first admission).
+  ctx.waiting.reserve(waiting_.size());
+  for (const Sequence* s : waiting_) {
+    if (s->remaining_prefill() <= 0) continue;  // final chunk in flight
+    if (cohort >= 0 && s->cohort() >= 0 && s->cohort() != cohort) continue;
+    ctx.waiting.push_back(sched::WaitingSeq{s->id(), s->remaining_prefill(),
+                                            prefill_kv().seq_tokens(s->id()), s->arrival(),
+                                            s->outstanding_chunks() > 0});
+  }
+  ctx.runnable_decodes.reserve(decoding_.size());
+  for (const Sequence* s : decoding_) {
+    if (s->in_flight()) continue;
+    if (cohort >= 0 && s->cohort() != cohort) continue;
+    ctx.runnable_decodes.push_back(sched::DecodeSeq{s->id(), decode_kv().seq_tokens(s->id())});
+  }
+  return ctx;
+}
+
+Sequence* AdmissionCore::youngest_idle_victim(kv::SeqId exclude) {
+  for (auto it = decoding_.rbegin(); it != decoding_.rend(); ++it) {
+    Sequence* cand = *it;
+    if (cand->in_flight() || cand->id() == exclude) continue;
+    return cand;
+  }
+  return nullptr;
+}
+
+bool AdmissionCore::allocate_decode_with_preemption(kv::SeqId id, double now) {
+  while (!decode_kv().allocate(id, 1)) {
+    Sequence* victim = youngest_idle_victim(id);
+    if (victim == nullptr) return false;
+    decode_kv().free_seq(victim->id());
+    victim->preempt(now);
+    decoding_.erase(std::find(decoding_.begin(), decoding_.end(), victim));
+    waiting_.push_front(victim);
+    ++preemptions_;
+    GLLM_LOG_DEBUG("preempted seq " << victim->id() << " at t=" << now);
+  }
+  return true;
+}
+
+AdmittedBatch AdmissionCore::materialize(const sched::MicroBatchPlan& plan, double now) {
+  AdmittedBatch batch;
+
+  for (const sched::BatchItem& planned : plan.items) {
+    Entry& e = entry(planned.seq);
+    Sequence& s = *e.seq;
+
+    if (planned.phase == sched::Phase::kDecode) {
+      // The sequence may have been recompute-preempted while an earlier item
+      // of this very plan was materialised — it is Waiting now, skip it.
+      if (s.state() != SeqState::kDecoding || s.in_flight()) continue;
+      const std::int64_t ctx_before = decode_kv().seq_tokens(planned.seq);
+      if (!allocate_decode_with_preemption(planned.seq, now)) continue;  // skip this step
+      s.on_decode_scheduled();
+      batch.plan.items.push_back(sched::CommittedItem{planned, ctx_before});
+      batch.work.push_back(model::WorkItem{1, ctx_before, false, true});
+      batch.plan.total_new_tokens += 1;
+    } else {
+      if (s.state() != SeqState::kWaiting || planned.n_tokens > s.remaining_prefill())
+        throw std::logic_error("AdmissionCore: scheduler planned an invalid prefill chunk");
+
+      sched::BatchItem chunk = planned;
+      std::int64_t context = prefill_kv().seq_tokens(planned.seq);
+      // Prefix-cache adoption at first admission: reuse cached KV blocks of
+      // this prompt's prefix and skip their computation (the final target
+      // token is always computed so logits exist). Requires real token ids.
+      if (cfg_.prefix_caching && context == 0 && s.scheduled_prefill() == 0 &&
+          !e.tokens.empty()) {
+        const auto reused = prefill_kv().adopt_cached_prefix(
+            planned.seq, e.tokens, static_cast<std::int64_t>(s.prefill_target()) - 1);
+        if (reused > 0) {
+          s.skip_prefill(static_cast<int>(reused));
+          context = reused;
+          chunk.n_tokens = std::min(chunk.n_tokens, s.remaining_prefill());
+        }
+      }
+      if (!prefill_kv().allocate(chunk.seq, chunk.n_tokens)) continue;  // no preemption
+      s.on_chunk_scheduled(chunk.n_tokens);
+      chunk.context = context;
+      chunk.last_prefill_chunk = s.remaining_prefill() == 0;
+      e.chunks.push_back(chunk.n_tokens);
+      batch.plan.items.push_back(sched::CommittedItem{chunk, context});
+      batch.work.push_back(
+          model::WorkItem{chunk.n_tokens, context, true, chunk.last_prefill_chunk});
+      batch.plan.total_new_tokens += chunk.n_tokens;
+    }
+  }
+
+  if (batch.empty()) return batch;
+  batch.id = next_batch_id_++;
+  std::vector<sched::BatchItem> committed;
+  committed.reserve(batch.plan.items.size());
+  for (const auto& c : batch.plan.items) committed.push_back(c.item);
+  in_flight_.emplace(batch.id, std::move(committed));
+  return batch;
+}
+
+int AdmissionCore::complete(std::uint64_t batch_id, double now,
+                            const CompletionHooks* hooks) {
+  const auto node = in_flight_.extract(batch_id);
+  if (node.empty()) throw std::logic_error("AdmissionCore: completing unknown batch");
+
+  int finished = 0;
+  for (const sched::BatchItem& item : node.mapped()) {
+    Entry& e = entry(item.seq);
+    Sequence& s = *e.seq;
+    const bool samples_token =
+        item.phase == sched::Phase::kDecode || item.last_prefill_chunk;
+    kv::TokenId token = -1;
+    if (samples_token && hooks != nullptr && hooks->sample) {
+      token = hooks->sample(s);
+      e.tokens.push_back(token);
+    }
+
+    bool done = false;
+    if (item.phase == sched::Phase::kDecode) {
+      done = s.on_decode_completed(now);
+      if (done) {
+        decode_kv().free_seq(s.id());
+        decoding_.erase(std::find(decoding_.begin(), decoding_.end(), &s));
+      }
+    } else {
+      const bool prompt_done = s.on_chunk_completed(item.last_prefill_chunk, now);
+      if (prompt_done) {
+        if (cfg_.prefix_caching && !e.tokens.empty()) {
+          const auto target = static_cast<std::size_t>(s.prefill_target());
+          prefill_kv().register_prefix(item.seq, {e.tokens.data(), target});
+        }
+        const auto it = std::find(waiting_.begin(), waiting_.end(), &s);
+        if (it != waiting_.end()) waiting_.erase(it);
+        if (s.state() == SeqState::kFinished) {
+          prefill_kv().free_seq(s.id());
+          done = true;
+        } else if (on_prompt_ready_) {
+          // Disaggregated: the adapter ships the KV cache, then enter_decode().
+          on_prompt_ready_(&s);
+        } else {
+          decoding_.push_back(&s);
+        }
+      }
+    }
+    if (done) ++finished;
+    if (samples_token && hooks != nullptr && hooks->on_token) hooks->on_token(s, token, done);
+  }
+  return finished;
+}
+
+bool AdmissionCore::reset_stalled_prefill() {
+  for (auto it = waiting_.rbegin(); it != waiting_.rend(); ++it) {
+    Sequence* cand = *it;
+    if (cand == waiting_.front()) continue;  // keep the head's progress
+    if (cand->outstanding_chunks() > 0 || cand->scheduled_prefill() == 0) continue;
+    prefill_kv().free_seq(cand->id());
+    cand->reset_prefill_progress();
+    ++preemptions_;
+    GLLM_LOG_DEBUG("reset stalled prefill of seq " << cand->id());
+    return true;
+  }
+  return false;
+}
+
+void AdmissionCore::collect_requests(RunResult& result) const {
+  result.requests.reserve(result.requests.size() + seqs_.size());
+  for (const auto& [id, e] : seqs_) {
+    const Sequence& s = *e.seq;
+    RequestMetrics m;
+    m.id = id;
+    m.arrival = s.arrival();
+    m.prompt_len = s.prompt_len();
+    m.output_len = s.generated();
+    m.preemptions = s.preemptions();
+    m.completed = s.state() == SeqState::kFinished;
+    m.scheduled_chunks = e.chunks;
+    if (m.completed) {
+      m.ttft = s.ttft();
+      m.e2e = s.e2e_latency();
+      m.tpot = s.tpot();
+      result.end_time = std::max(result.end_time, s.finish_time());
+    } else {
+      GLLM_LOG_WARN("request " << id << " did not complete (state "
+                               << static_cast<int>(s.state()) << ")");
+    }
+    result.requests.push_back(std::move(m));
+  }
+  std::sort(result.requests.begin(), result.requests.end(),
+            [](const RequestMetrics& a, const RequestMetrics& b) { return a.id < b.id; });
+  result.preemptions = preemptions_;
+}
+
+void AdmissionCore::for_each_sequence(
+    const std::function<void(const Sequence&)>& fn) const {
+  for (const auto& [id, e] : seqs_) fn(*e.seq);
+}
+
+}  // namespace gllm::engine

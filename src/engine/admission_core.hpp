@@ -1,0 +1,179 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/metrics.hpp"
+#include "engine/sequence.hpp"
+#include "kv/kv_manager.hpp"
+#include "model/cost.hpp"
+#include "sched/types.hpp"
+#include "workload/trace.hpp"
+
+namespace gllm::engine {
+
+/// Configuration of the shared admission component.
+struct AdmissionConfig {
+  /// Capacity (tokens) of the pool prefill chunks allocate from. In unified
+  /// mode this is the only pool.
+  std::int64_t kv_capacity_tokens = 0;
+  /// Capacity of a separate decode-side pool (spatially disaggregated
+  /// engines). Negative = unified: prefill and decode share one pool.
+  std::int64_t decode_kv_capacity_tokens = -1;
+  int kv_block_size = 16;
+  int pipeline_depth = 1;
+  bool prefix_caching = false;
+};
+
+/// Result of materialising one scheduler plan: the committed items plus the
+/// cost-model view of each (parallel to `plan.items`). `id` is 0 when every
+/// item was dropped (no batch was admitted).
+struct AdmittedBatch {
+  std::uint64_t id = 0;
+  sched::CommittedPlan plan;
+  std::vector<model::WorkItem> work;
+
+  bool empty() const { return plan.empty(); }
+  int total_new_tokens() const { return plan.total_new_tokens; }
+};
+
+/// Callbacks consumed while retiring a batch. The threaded runtime wires real
+/// token ids through these; the DES engines pass none.
+struct CompletionHooks {
+  /// Resolve the sampled token for a token-bearing item (decode step or final
+  /// prefill chunk). The token is appended to the sequence's stored token
+  /// stream before state transitions run.
+  std::function<kv::TokenId(const Sequence&)> sample;
+  /// Invoked after the item's transitions, with done=true when the sequence
+  /// finished on this step.
+  std::function<void(const Sequence&, kv::TokenId, bool done)> on_token;
+};
+
+/// The single sequence-lifecycle/admission implementation shared by every
+/// executor: the DES PipelineEngine, the DES DisaggEngine and the threaded
+/// runtime's DriverState are thin adapters over this class (DESIGN.md §5,
+/// decision 5 — "the same IScheduler implementations drive both" extends to
+/// admission/preemption semantics by construction, because there is only one
+/// implementation to diverge from).
+///
+/// It owns:
+///  * the sequence table (plus each sequence's token stream when the executor
+///    carries real tokens) and the waiting/decoding queues,
+///  * ScheduleContext snapshots (`build_context`),
+///  * micro-batch materialisation: KV allocation, vLLM-style youngest-first
+///    recompute preemption, stalled-prefill reset, prefix-cache adoption and
+///    chunk/decode in-flight bookkeeping,
+///  * completion handling and per-sequence metric accumulation.
+///
+/// Executor-specific concerns stay outside: simulated vs wall-clock time,
+/// stage occupancy and cost models, metadata packets and channels, and the
+/// disaggregated engine's KV-transfer machinery.
+///
+/// Thread safety: none. The threaded runtime serialises access from its
+/// driver thread (as DriverState always did).
+class AdmissionCore {
+ public:
+  explicit AdmissionCore(AdmissionConfig cfg);
+
+  // --- registration and admission -----------------------------------------
+  /// Register a request (throws on duplicate id). Not yet waiting.
+  Sequence* add(const workload::RequestSpec& spec);
+  /// Register with the real prompt token ids (threaded runtime). Enables
+  /// prefix-cache adoption/registration and per-step input-token slicing.
+  Sequence* add(const workload::RequestSpec& spec, std::vector<kv::TokenId> prompt);
+  /// Move a registered sequence into the waiting queue.
+  void enqueue(Sequence* seq) { waiting_.push_back(seq); }
+  /// Disaggregated mode: enter the decode queue once the KV transfer landed.
+  void enter_decode(Sequence* seq) { decoding_.push_back(seq); }
+
+  /// Route finished prompts here instead of the decode queue (disaggregated
+  /// engines ship the KV cache first). Unset = direct entry.
+  void set_prompt_ready_hook(std::function<void(Sequence*)> hook) {
+    on_prompt_ready_ = std::move(hook);
+  }
+
+  // --- scheduling ----------------------------------------------------------
+  /// Global snapshot for the scheduler. cohort >= 0 restricts waiting/decode
+  /// entries to that virtual engine (vLLM-V0 cohort pinning).
+  sched::ScheduleContext build_context(double now, int cohort = -1) const;
+
+  /// Materialise a plan: allocate KV (decode steps fall back to recompute
+  /// preemption of the youngest idle decoding sequence), adopt cached
+  /// prefixes, lock sequences in flight, and build the cost-model work items.
+  /// Items the pool cannot back are dropped. A non-empty result is recorded
+  /// in the in-flight ledger under its batch id.
+  AdmittedBatch materialize(const sched::MicroBatchPlan& plan, double now);
+
+  /// Retire a previously materialised batch: apply completions, move
+  /// sequences between queues, free finished KV, register prefixes and fire
+  /// the hooks. Returns the number of sequences that finished.
+  int complete(std::uint64_t batch_id, double now, const CompletionHooks* hooks = nullptr);
+
+  /// Break a KV deadlock among half-admitted prompts: recompute-preempt the
+  /// youngest idle, partially prefilled waiting sequence (never the head).
+  /// Returns true if progress was freed.
+  bool reset_stalled_prefill();
+
+  // --- introspection -------------------------------------------------------
+  kv::KvManager& prefill_kv() { return *prefill_kv_; }
+  const kv::KvManager& prefill_kv() const { return *prefill_kv_; }
+  kv::KvManager& decode_kv() { return split() ? *decode_kv_ : *prefill_kv_; }
+  const kv::KvManager& decode_kv() const { return split() ? *decode_kv_ : *prefill_kv_; }
+
+  const std::deque<Sequence*>& waiting() const { return waiting_; }
+  const std::vector<Sequence*>& decoding() const { return decoding_; }
+  /// Micro-batches materialised but not yet completed.
+  int in_flight() const { return static_cast<int>(in_flight_.size()); }
+  std::int64_t preemptions() const { return preemptions_; }
+
+  Sequence& seq(kv::SeqId id);
+  const Sequence& seq(kv::SeqId id) const;
+  bool has_seq(kv::SeqId id) const { return seqs_.contains(id); }
+  std::size_t sequence_count() const { return seqs_.size(); }
+  /// Prompt + generated token ids (empty unless registered with tokens).
+  const std::vector<kv::TokenId>& tokens(kv::SeqId id) const;
+  /// Prefill chunk sizes in commit order (the admission-parity fingerprint).
+  const std::vector<int>& scheduled_chunks(kv::SeqId id) const;
+
+  /// Per-request metrics for every registered sequence, sorted by id;
+  /// advances `end_time` to the latest completion. Incomplete requests are
+  /// reported with completed=false (and logged).
+  void collect_requests(RunResult& result) const;
+  /// Visit every registered sequence (unspecified order).
+  void for_each_sequence(const std::function<void(const Sequence&)>& fn) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Sequence> seq;
+    std::vector<kv::TokenId> tokens;  ///< prompt + generated (runtime only)
+    std::vector<int> chunks;          ///< committed prefill chunk sizes
+  };
+
+  bool split() const { return decode_kv_ != nullptr; }
+  Entry& entry(kv::SeqId id);
+  /// The one preemption-victim search: youngest decoding sequence that is not
+  /// in flight (Sequence::in_flight() covers steps committed into the batch
+  /// under construction) and not `exclude` itself.
+  Sequence* youngest_idle_victim(kv::SeqId exclude);
+  /// Allocate one decode token, evicting victims until it fits or no victim
+  /// remains (vLLM recompute preemption).
+  bool allocate_decode_with_preemption(kv::SeqId id, double now);
+
+  AdmissionConfig cfg_;
+  std::unique_ptr<kv::KvManager> prefill_kv_;
+  std::unique_ptr<kv::KvManager> decode_kv_;  ///< null in unified mode
+  std::function<void(Sequence*)> on_prompt_ready_;
+
+  std::unordered_map<kv::SeqId, Entry> seqs_;
+  std::deque<Sequence*> waiting_;    ///< FCFS; preempted re-enter at the front
+  std::vector<Sequence*> decoding_;  ///< completion order (oldest first)
+  std::unordered_map<std::uint64_t, std::vector<sched::BatchItem>> in_flight_;
+  std::uint64_t next_batch_id_ = 1;
+  std::int64_t preemptions_ = 0;
+};
+
+}  // namespace gllm::engine

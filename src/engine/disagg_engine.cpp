@@ -36,31 +36,35 @@ DisaggEngine::DisaggEngine(DisaggConfig cfg)
 
 RunResult DisaggEngine::run(const workload::Trace& trace) {
   sim_ = sim::Simulator{};
+  AdmissionConfig admission;
+  admission.kv_capacity_tokens = prefill_.kv_capacity;
+  admission.decode_kv_capacity_tokens = decode_.kv_capacity;
+  admission.kv_block_size = cfg_.kv_block_size;
+  admission.pipeline_depth = cfg_.decode_gpus;
+  core_.emplace(admission);
+  // Finished prompts queue for a KV transfer instead of entering decode.
+  core_->set_prompt_ready_hook([this](Sequence* seq) { transfer_wait_.push_back(seq); });
   for (Instance* inst : {&prefill_, &decode_}) {
-    inst->kv = std::make_unique<kv::KvManager>(inst->kv_capacity, cfg_.kv_block_size);
     const int stages = inst == &prefill_ ? cfg_.prefill_gpus : cfg_.decode_gpus;
     inst->stage_free.assign(static_cast<std::size_t>(stages), true);
     inst->stage_queue.assign(static_cast<std::size_t>(stages), {});
     inst->stage_busy.assign(static_cast<std::size_t>(stages), 0.0);
     inst->in_flight = 0;
   }
-  sequences_.clear();
-  waiting_.clear();
   transfer_wait_.clear();
-  decoding_.clear();
   batches_.clear();
-  next_batch_id_ = 1;
   iterations_.clear();
-  preemptions_ = 0;
   sched_invocations_ = 0;
 
   double first_arrival = 0.0;
   bool any = false;
   for (const auto& spec : trace) {
-    auto seq = std::make_unique<Sequence>(spec);
-    Sequence* ptr = seq.get();
-    if (!sequences_.emplace(spec.id, std::move(seq)).second)
+    Sequence* ptr;
+    try {
+      ptr = core_->add(spec);
+    } catch (const std::invalid_argument&) {
       throw std::invalid_argument("DisaggEngine: duplicate request id");
+    }
     sim_.call_at(spec.arrival, [this, ptr] { on_arrival(ptr); });
     first_arrival = any ? std::min(first_arrival, spec.arrival) : spec.arrival;
     any = true;
@@ -74,30 +78,9 @@ RunResult DisaggEngine::run(const workload::Trace& trace) {
   result.stage_busy_seconds.insert(result.stage_busy_seconds.end(),
                                    decode_.stage_busy.begin(), decode_.stage_busy.end());
   result.iterations = std::move(iterations_);
-  result.preemptions = preemptions_;
   result.scheduler_invocations = sched_invocations_;
-  result.kv = decode_.kv->stats();
-
-  for (const auto& [id, seq] : sequences_) {
-    RequestMetrics m;
-    m.id = id;
-    m.arrival = seq->arrival();
-    m.prompt_len = seq->prompt_len();
-    m.output_len = seq->generated();
-    m.preemptions = seq->preemptions();
-    m.completed = seq->state() == SeqState::kFinished;
-    if (m.completed) {
-      m.ttft = seq->ttft();
-      m.e2e = seq->e2e_latency();
-      m.tpot = seq->tpot();
-      result.end_time = std::max(result.end_time, seq->finish_time());
-    } else {
-      GLLM_LOG_WARN("disagg: request " << id << " did not complete");
-    }
-    result.requests.push_back(m);
-  }
-  std::sort(result.requests.begin(), result.requests.end(),
-            [](const RequestMetrics& a, const RequestMetrics& b) { return a.id < b.id; });
+  result.kv = core_->decode_kv().stats();
+  core_->collect_requests(result);
   return result;
 }
 
@@ -108,114 +91,66 @@ void DisaggEngine::on_arrival(Sequence* seq) {
     GLLM_LOG_WARN("disagg: rejecting oversized request " << seq->id());
     return;
   }
-  waiting_.push_back(seq);
+  core_->enqueue(seq);
   try_schedule_prefill();
 }
 
 void DisaggEngine::try_schedule_prefill() {
   while (prefill_.stage_free[0] && prefill_.in_flight < cfg_.prefill_gpus) {
     ++sched_invocations_;
-    Batch batch;
-    batch.id = next_batch_id_;
-    std::int64_t budget =
-        std::min<std::int64_t>(cfg_.prefill_chunk, prefill_.kv->free_token_capacity());
-    for (Sequence* seq : waiting_) {
+    // Pack waiting prompts into one chunked-prefill batch, FCFS, bounded by
+    // the chunk budget and the prefill pool's free space.
+    sched::MicroBatchPlan plan;
+    std::int64_t budget = std::min<std::int64_t>(
+        cfg_.prefill_chunk, core_->prefill_kv().free_token_capacity());
+    for (Sequence* seq : core_->waiting()) {
       if (budget <= 0) break;
       if (seq->outstanding_chunks() > 0 || seq->remaining_prefill() <= 0) continue;
       const int chunk =
           static_cast<int>(std::min<std::int64_t>(seq->remaining_prefill(), budget));
-      const std::int64_t ctx = prefill_.kv->seq_tokens(seq->id());
-      if (!prefill_.kv->allocate(seq->id(), chunk)) break;
-      seq->on_chunk_scheduled(chunk);
-      batch.seqs.push_back(seq->id());
-      batch.last_chunk.push_back(seq->remaining_prefill() == 0);
-      batch.work.push_back(
-          model::WorkItem{chunk, ctx, true, seq->remaining_prefill() == 0});
-      batch.total_new_tokens += chunk;
+      plan.items.push_back(sched::BatchItem{seq->id(), sched::Phase::kPrefill, chunk});
       budget -= chunk;
     }
-    if (batch.seqs.empty()) {
+
+    const AdmittedBatch admitted = core_->materialize(plan, sim_.now());
+    if (admitted.empty()) {
       // Same half-admitted-prompt deadlock hazard as the unified engine.
-      if (prefill_.in_flight == 0) {
-        for (auto it = waiting_.rbegin(); it != waiting_.rend(); ++it) {
-          Sequence* cand = *it;
-          if (cand == waiting_.front() || cand->outstanding_chunks() > 0 ||
-              cand->scheduled_prefill() == 0)
-            continue;
-          prefill_.kv->free_seq(cand->id());
-          cand->reset_prefill_progress();
-          ++preemptions_;
-          return try_schedule_prefill();
-        }
-      }
+      if (prefill_.in_flight == 0 && core_->reset_stalled_prefill()) continue;
       return;
     }
-    ++next_batch_id_;
     ++prefill_.in_flight;
     if (cfg_.record_iterations) {
-      iterations_.push_back(IterationSample{sim_.now(), batch.total_new_tokens, 0,
-                                            prefill_.kv->free_rate(), 0.0});
+      iterations_.push_back(IterationSample{sim_.now(), admitted.total_new_tokens(), 0,
+                                            core_->prefill_kv().free_rate(), 0.0});
     }
-    const std::uint64_t id = batch.id;
-    batches_.emplace(id, std::move(batch));
-    enter_stage(prefill_, id, 0);
+    batches_.emplace(admitted.id, Batch{admitted.work, admitted.total_new_tokens()});
+    enter_stage(prefill_, admitted.id, 0);
   }
 }
 
 void DisaggEngine::try_schedule_decode() {
   while (decode_.stage_free[0] && decode_.in_flight < cfg_.decode_gpus) {
     ++sched_invocations_;
+    // Spread runnable decodes evenly over the decode pipeline's depth.
     const auto depth = static_cast<std::int64_t>(cfg_.decode_gpus);
     const std::int64_t share =
-        (static_cast<std::int64_t>(decoding_.size()) + depth - 1) / depth;
-    Batch batch;
-    batch.id = next_batch_id_;
-    std::int64_t taken = 0;
-    // Iterate a snapshot: preemption below erases from decoding_.
-    const std::vector<Sequence*> candidates(decoding_.begin(), decoding_.end());
-    for (Sequence* seq : candidates) {
-      if (taken >= share) break;
-      if (seq->decode_in_flight()) continue;
-      // The sequence may have been preempted while handling an earlier item.
-      if (std::find(decoding_.begin(), decoding_.end(), seq) == decoding_.end()) continue;
-      const std::int64_t ctx = decode_.kv->seq_tokens(seq->id());
-      if (!decode_.kv->allocate(seq->id(), 1)) {
-        // Preempt the youngest idle decode (full recompute via prefill pool).
-        Sequence* victim = nullptr;
-        for (auto it = decoding_.rbegin(); it != decoding_.rend(); ++it) {
-          Sequence* cand = *it;
-          if (cand->decode_in_flight() || cand == seq) continue;
-          if (std::find(batch.seqs.begin(), batch.seqs.end(), cand->id()) !=
-              batch.seqs.end())
-            continue;
-          victim = cand;
-          break;
-        }
-        if (victim == nullptr) continue;
-        decode_.kv->free_seq(victim->id());
-        victim->preempt(sim_.now());
-        decoding_.erase(std::find(decoding_.begin(), decoding_.end(), victim));
-        waiting_.push_front(victim);
-        ++preemptions_;
-        if (!decode_.kv->allocate(seq->id(), 1)) continue;
-      }
-      seq->on_decode_scheduled();
-      batch.seqs.push_back(seq->id());
-      batch.last_chunk.push_back(false);
-      batch.work.push_back(model::WorkItem{1, ctx, false, true});
-      batch.total_new_tokens += 1;
-      ++taken;
+        (static_cast<std::int64_t>(core_->decoding().size()) + depth - 1) / depth;
+    sched::MicroBatchPlan plan;
+    for (Sequence* seq : core_->decoding()) {
+      if (static_cast<std::int64_t>(plan.items.size()) >= share) break;
+      if (seq->in_flight()) continue;
+      plan.items.push_back(sched::BatchItem{seq->id(), sched::Phase::kDecode, 1});
     }
-    if (batch.seqs.empty()) return;
-    ++next_batch_id_;
+
+    const AdmittedBatch admitted = core_->materialize(plan, sim_.now());
+    if (admitted.empty()) return;
     ++decode_.in_flight;
     if (cfg_.record_iterations) {
-      iterations_.push_back(IterationSample{sim_.now(), 0, batch.total_new_tokens,
-                                            decode_.kv->free_rate(), 0.0});
+      iterations_.push_back(IterationSample{sim_.now(), 0, admitted.total_new_tokens(),
+                                            core_->decode_kv().free_rate(), 0.0});
     }
-    const std::uint64_t id = batch.id;
-    batches_.emplace(id, std::move(batch));
-    enter_stage(decode_, id, 0);
+    batches_.emplace(admitted.id, Batch{admitted.work, admitted.total_new_tokens()});
+    enter_stage(decode_, admitted.id, 0);
   }
 }
 
@@ -279,22 +214,9 @@ void DisaggEngine::on_stage_done(bool is_prefill, std::uint64_t batch_id, int st
 }
 
 void DisaggEngine::complete_prefill_batch(std::uint64_t batch_id) {
-  const auto node = batches_.extract(batch_id);
-  const Batch& batch = node.mapped();
-  for (std::size_t i = 0; i < batch.seqs.size(); ++i) {
-    Sequence& seq = *sequences_.at(batch.seqs[i]);
-    const bool prompt_done = seq.on_chunk_completed(batch.last_chunk[i], sim_.now());
-    if (!prompt_done) continue;
-    waiting_.erase(std::find(waiting_.begin(), waiting_.end(), &seq));
-    if (seq.state() == SeqState::kFinished) {
-      prefill_.kv->free_seq(seq.id());
-      continue;
-    }
-    // Ship the KV cache to the decode instance (paper: "different nodes
-    // connected via KV cache transmission").
-    Sequence* ptr = &seq;
-    transfer_wait_.push_back(ptr);
-  }
+  if (batches_.erase(batch_id) == 0)
+    throw std::logic_error("DisaggEngine: completing unknown batch");
+  core_->complete(batch_id, sim_.now());  // finished prompts hit the transfer hook
   --prefill_.in_flight;
   pump_transfers();
   try_schedule_prefill();
@@ -304,12 +226,12 @@ void DisaggEngine::pump_transfers() {
   auto it = transfer_wait_.begin();
   while (it != transfer_wait_.end()) {
     Sequence* seq = *it;
-    const std::int64_t tokens = prefill_.kv->seq_tokens(seq->id());
-    if (!decode_.kv->can_allocate(seq->id(), tokens)) {
+    const std::int64_t tokens = core_->prefill_kv().seq_tokens(seq->id());
+    if (!core_->decode_kv().can_allocate(seq->id(), tokens)) {
       ++it;
       continue;
     }
-    decode_.kv->allocate(seq->id(), tokens);
+    core_->decode_kv().allocate(seq->id(), tokens);
     const double bytes =
         static_cast<double>(cfg_.model.kv_bytes_per_token()) * static_cast<double>(tokens);
     const hw::CommModel comm(
@@ -320,22 +242,16 @@ void DisaggEngine::pump_transfers() {
 }
 
 void DisaggEngine::on_transfer_done(Sequence* seq) {
-  prefill_.kv->free_seq(seq->id());
-  decoding_.push_back(seq);
+  core_->prefill_kv().free_seq(seq->id());
+  core_->enter_decode(seq);
   try_schedule_decode();
   try_schedule_prefill();  // freed prefill KV may unblock admission
 }
 
 void DisaggEngine::complete_decode_batch(std::uint64_t batch_id) {
-  const auto node = batches_.extract(batch_id);
-  const Batch& batch = node.mapped();
-  for (const kv::SeqId id : batch.seqs) {
-    Sequence& seq = *sequences_.at(id);
-    if (seq.on_decode_completed(sim_.now())) {
-      decode_.kv->free_seq(id);
-      decoding_.erase(std::find(decoding_.begin(), decoding_.end(), &seq));
-    }
-  }
+  if (batches_.erase(batch_id) == 0)
+    throw std::logic_error("DisaggEngine: completing unknown batch");
+  core_->complete(batch_id, sim_.now());
   --decode_.in_flight;
   try_schedule_decode();
   // Freed decode KV may admit queued transfers.

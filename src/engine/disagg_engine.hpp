@@ -2,10 +2,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "engine/admission_core.hpp"
 #include "engine/config.hpp"
 #include "engine/metrics.hpp"
 #include "engine/sequence.hpp"
@@ -39,6 +40,11 @@ struct DisaggConfig {
 /// reproduce the paper's argument (§1): static GPU partitioning is efficient
 /// when the prefill:decode ratio matches the split, and fragile when the
 /// workload drifts — unlike Token Throttling, which rebalances per batch.
+///
+/// Sequence lifecycle (queues, split KV pools, recompute preemption, stalled-
+/// prefill reset, completion bookkeeping) lives in the shared AdmissionCore;
+/// this class only builds single-phase plans, runs the two stage pipelines,
+/// and models the KV-cache transfer between the instances.
 class DisaggEngine {
  public:
   explicit DisaggEngine(DisaggConfig cfg);
@@ -51,17 +57,13 @@ class DisaggEngine {
 
  private:
   struct Batch {
-    std::uint64_t id = 0;
-    std::vector<kv::SeqId> seqs;
     std::vector<model::WorkItem> work;
-    std::vector<bool> last_chunk;  ///< parallel to seqs (prefill instance)
     int total_new_tokens = 0;
   };
 
   struct Instance {
     model::PartitionPlan plan{model::presets::tiny(), 1};  // re-set in ctor
     std::int64_t kv_capacity = 0;
-    std::unique_ptr<kv::KvManager> kv;
     std::vector<bool> stage_free;
     std::vector<std::deque<std::uint64_t>> stage_queue;
     int in_flight = 0;
@@ -92,14 +94,10 @@ class DisaggEngine {
   sim::Simulator sim_;
   Instance prefill_;
   Instance decode_;
-  std::unordered_map<kv::SeqId, std::unique_ptr<Sequence>> sequences_;
-  std::deque<Sequence*> waiting_;       ///< prompts pending prefill
-  std::deque<Sequence*> transfer_wait_; ///< prefilled, waiting for decode KV space
-  std::vector<Sequence*> decoding_;
+  std::optional<AdmissionCore> core_;
+  std::deque<Sequence*> transfer_wait_;  ///< prefilled, waiting for decode KV space
   std::unordered_map<std::uint64_t, Batch> batches_;
-  std::uint64_t next_batch_id_ = 1;
   std::vector<IterationSample> iterations_;
-  std::int64_t preemptions_ = 0;
   std::int64_t sched_invocations_ = 0;
 };
 

@@ -19,6 +19,10 @@ struct RequestMetrics {
   double tpot = 0.0;    ///< time per output token after the first, seconds
   int preemptions = 0;
   bool completed = false;
+  /// Prefill chunk sizes in the order they were committed (includes recompute
+  /// chunks after preemption). Identical across executors for the same trace
+  /// and scheduler — the cross-executor parity tests pin this.
+  std::vector<int> scheduled_chunks;
 };
 
 /// One scheduled micro-batch, for the Figure 1/4 token-trace reproductions.

@@ -30,40 +30,33 @@ PipelineEngine::PipelineEngine(EngineConfig cfg, std::shared_ptr<sched::ISchedul
     throw std::invalid_argument("PipelineEngine: model does not fit (no KV capacity)");
 }
 
-Sequence& PipelineEngine::seq_ref(kv::SeqId id) {
-  const auto it = sequences_.find(id);
-  if (it == sequences_.end()) throw std::logic_error("PipelineEngine: unknown sequence id");
-  return *it->second;
-}
-
 RunResult PipelineEngine::run(const workload::Trace& trace) {
   // Reset per-run state.
   sim_ = sim::Simulator{};
-  kv_ = std::make_unique<kv::KvManager>(kv_capacity_, cfg_.kv_block_size,
-                                        cfg_.prefix_caching);
-  sequences_.clear();
-  waiting_.clear();
-  decoding_.clear();
+  AdmissionConfig admission;
+  admission.kv_capacity_tokens = kv_capacity_;
+  admission.kv_block_size = cfg_.kv_block_size;
+  admission.pipeline_depth = cfg_.pp;
+  admission.prefix_caching = cfg_.prefix_caching;
+  core_.emplace(admission);
   stage_free_.assign(static_cast<std::size_t>(cfg_.pp), true);
   stage_queue_.assign(static_cast<std::size_t>(cfg_.pp), {});
   batches_.clear();
-  next_batch_id_ = 1;
-  in_flight_batches_ = 0;
   next_cohort_ = 0;
   stage_busy_.assign(static_cast<std::size_t>(cfg_.pp), 0.0);
   iterations_.clear();
   busy_intervals_.clear();
-  preemptions_ = 0;
   sched_invocations_ = 0;
 
   double first_arrival = 0.0;
   bool any = false;
   for (const auto& spec : trace) {
-    auto seq = std::make_unique<Sequence>(spec);
-    Sequence* ptr = seq.get();
-    if (sequences_.contains(spec.id))
+    Sequence* ptr;
+    try {
+      ptr = core_->add(spec);
+    } catch (const std::invalid_argument&) {
       throw std::invalid_argument("PipelineEngine: duplicate request id in trace");
-    sequences_.emplace(spec.id, std::move(seq));
+    }
     sim_.call_at(spec.arrival, [this, ptr] { on_arrival(ptr); });
     first_arrival = any ? std::min(first_arrival, spec.arrival) : spec.arrival;
     any = true;
@@ -77,32 +70,9 @@ RunResult PipelineEngine::run(const workload::Trace& trace) {
   result.stage_busy_seconds = stage_busy_;
   result.iterations = std::move(iterations_);
   result.busy_intervals = std::move(busy_intervals_);
-  result.preemptions = preemptions_;
   result.scheduler_invocations = sched_invocations_;
-  result.kv = kv_->stats();
-
-  result.requests.reserve(sequences_.size());
-  for (const auto& [id, seq] : sequences_) {
-    RequestMetrics m;
-    m.id = id;
-    m.arrival = seq->arrival();
-    m.prompt_len = seq->prompt_len();
-    m.output_len = seq->generated();
-    m.preemptions = seq->preemptions();
-    m.completed = seq->state() == SeqState::kFinished;
-    if (m.completed) {
-      m.ttft = seq->ttft();
-      m.e2e = seq->e2e_latency();
-      m.tpot = seq->tpot();
-      result.end_time = std::max(result.end_time, seq->finish_time());
-    } else {
-      GLLM_LOG_WARN("request " << id << " did not complete (state "
-                               << static_cast<int>(seq->state()) << ")");
-    }
-    result.requests.push_back(m);
-  }
-  std::sort(result.requests.begin(), result.requests.end(),
-            [](const RequestMetrics& a, const RequestMetrics& b) { return a.id < b.id; });
+  result.kv = core_->prefill_kv().stats();
+  core_->collect_requests(result);
   return result;
 }
 
@@ -116,122 +86,12 @@ void PipelineEngine::on_arrival(Sequence* seq) {
                                        << " KV tokens, capacity " << kv_capacity_);
     return;
   }
-  waiting_.push_back(seq);
+  core_->enqueue(seq);
   try_schedule();
 }
 
-bool PipelineEngine::reset_stalled_prefill() {
-  for (auto it = waiting_.rbegin(); it != waiting_.rend(); ++it) {
-    Sequence* seq = *it;
-    if (seq == waiting_.front()) continue;  // keep the head's progress
-    if (seq->outstanding_chunks() > 0 || seq->scheduled_prefill() == 0) continue;
-    kv_->free_seq(seq->id());
-    seq->reset_prefill_progress();
-    ++preemptions_;
-    GLLM_LOG_DEBUG("reset stalled prefill of seq " << seq->id() << " at t=" << sim_.now());
-    return true;
-  }
-  return false;
-}
-
-sched::ScheduleContext PipelineEngine::build_context(int cohort) const {
-  sched::ScheduleContext ctx;
-  ctx.now = sim_.now();
-  ctx.pipeline_depth = cfg_.pp;
-  ctx.kv_free_rate = kv_->free_rate();
-  ctx.kv_free_tokens = kv_->free_token_capacity();
-  ctx.total_decode_seqs = static_cast<std::int64_t>(decoding_.size());
-
-  // cohort < 0: global view. Otherwise only this virtual engine's sequences
-  // (plus unassigned prompts, which the engine pins on first admission).
-  ctx.waiting.reserve(waiting_.size());
-  for (const Sequence* seq : waiting_) {
-    if (seq->remaining_prefill() <= 0) continue;  // final chunk in flight
-    if (cohort >= 0 && seq->cohort() >= 0 && seq->cohort() != cohort) continue;
-    ctx.waiting.push_back(sched::WaitingSeq{seq->id(), seq->remaining_prefill(),
-                                            kv_->seq_tokens(seq->id()), seq->arrival(),
-                                            seq->outstanding_chunks() > 0});
-  }
-  ctx.runnable_decodes.reserve(decoding_.size());
-  for (const Sequence* seq : decoding_) {
-    if (seq->decode_in_flight()) continue;
-    if (cohort >= 0 && seq->cohort() != cohort) continue;
-    ctx.runnable_decodes.push_back(sched::DecodeSeq{seq->id(), kv_->seq_tokens(seq->id())});
-  }
-  return ctx;
-}
-
-bool PipelineEngine::allocate_with_preemption(kv::SeqId seq, std::int64_t tokens,
-                                              const std::vector<kv::SeqId>& untouchable) {
-  while (!kv_->allocate(seq, tokens)) {
-    // vLLM recompute preemption: evict the youngest idle decoding sequence
-    // that is not part of the batch being built.
-    Sequence* victim = nullptr;
-    for (auto it = decoding_.rbegin(); it != decoding_.rend(); ++it) {
-      Sequence* cand = *it;
-      if (cand->decode_in_flight()) continue;
-      if (cand->id() == seq) continue;
-      if (std::find(untouchable.begin(), untouchable.end(), cand->id()) !=
-          untouchable.end())
-        continue;
-      victim = cand;
-      break;
-    }
-    if (victim == nullptr) return false;
-    kv_->free_seq(victim->id());
-    victim->preempt(sim_.now());
-    decoding_.erase(std::find(decoding_.begin(), decoding_.end(), victim));
-    waiting_.push_front(victim);
-    ++preemptions_;
-    GLLM_LOG_DEBUG("preempted seq " << victim->id() << " at t=" << sim_.now());
-  }
-  return true;
-}
-
-PipelineEngine::Batch* PipelineEngine::materialize(sched::MicroBatchPlan plan) {
-  Batch batch;
-  batch.id = next_batch_id_++;
-
-  // Sequences already materialised into this batch must not be preempted;
-  // later-planned ones may be (their item is then skipped gracefully below).
-  std::vector<kv::SeqId> locked;
-  locked.reserve(plan.items.size());
-
-  for (const sched::BatchItem& item : plan.items) {
-    Sequence& seq = seq_ref(item.seq);
-    const std::int64_t ctx_before = kv_->seq_tokens(item.seq);
-
-    if (item.phase == sched::Phase::kDecode) {
-      // The sequence may have been recompute-preempted while an earlier item
-      // of this very plan was materialised - it is Waiting now, skip it.
-      if (seq.state() != SeqState::kDecoding || seq.decode_in_flight()) continue;
-      if (!allocate_with_preemption(item.seq, 1, locked)) continue;  // skip this step
-      seq.on_decode_scheduled();
-      batch.plan.items.push_back(item);
-      batch.work.push_back(model::WorkItem{1, ctx_before, false, true});
-      batch.total_new_tokens += 1;
-      locked.push_back(item.seq);
-    } else {
-      if (seq.state() != SeqState::kWaiting || item.n_tokens > seq.remaining_prefill())
-        throw std::logic_error("scheduler planned an invalid prefill chunk");
-      if (!kv_->allocate(item.seq, item.n_tokens)) continue;  // no preemption for prefill
-      seq.on_chunk_scheduled(item.n_tokens);
-      batch.plan.items.push_back(item);
-      batch.work.push_back(
-          model::WorkItem{item.n_tokens, ctx_before, true, item.last_prefill_chunk});
-      batch.total_new_tokens += item.n_tokens;
-      locked.push_back(item.seq);
-    }
-  }
-
-  if (batch.plan.items.empty()) return nullptr;
-  const auto [it, ok] = batches_.emplace(batch.id, std::move(batch));
-  (void)ok;
-  return &it->second;
-}
-
 void PipelineEngine::try_schedule() {
-  while (stage_free_[0] && in_flight_batches_ < cfg_.pp) {
+  while (stage_free_[0] && core_->in_flight() < cfg_.pp) {
     // With cohort pinning, try the virtual engines round-robin, skipping
     // those with nothing runnable (vLLM V0 skips idle virtual engines).
     sched::MicroBatchPlan plan;
@@ -240,7 +100,7 @@ void PipelineEngine::try_schedule() {
     for (int i = 0; i < attempts; ++i) {
       cohort = cfg_.cohort_pinning ? next_cohort_ : -1;
       if (cfg_.cohort_pinning) next_cohort_ = (next_cohort_ + 1) % cfg_.pp;
-      sched::ScheduleContext ctx = build_context(cohort);
+      sched::ScheduleContext ctx = core_->build_context(sim_.now(), cohort);
       ++sched_invocations_;
       plan = scheduler_->plan(ctx);
       if (!plan.empty()) break;
@@ -248,30 +108,32 @@ void PipelineEngine::try_schedule() {
     if (plan.empty()) {
       // With nothing in flight and nothing schedulable, half-admitted prompts
       // may be squatting on the whole KV pool — recompute-preempt one.
-      if (in_flight_batches_ == 0 && reset_stalled_prefill()) continue;
+      if (core_->in_flight() == 0 && core_->reset_stalled_prefill()) continue;
       return;
     }
 
-    Batch* batch = materialize(std::move(plan));
-    if (batch == nullptr) {  // every item dropped (KV saturated)
-      if (in_flight_batches_ == 0 && reset_stalled_prefill()) continue;
+    const AdmittedBatch admitted = core_->materialize(plan, sim_.now());
+    if (admitted.empty()) {  // every item dropped (KV saturated)
+      if (core_->in_flight() == 0 && core_->reset_stalled_prefill()) continue;
       return;
     }
     if (cfg_.cohort_pinning) {
       // Pin newly admitted prompts to this virtual engine.
-      for (const sched::BatchItem& item : batch->plan.items) {
-        Sequence& seq = seq_ref(item.seq);
+      for (const sched::CommittedItem& c : admitted.plan.items) {
+        Sequence& seq = core_->seq(c.item.seq);
         if (seq.cohort() < 0) seq.set_cohort(cohort);
       }
     }
 
-    ++in_flight_batches_;
+    Batch batch{admitted.work, admitted.total_new_tokens()};
     if (cfg_.record_iterations) {
-      iterations_.push_back(IterationSample{sim_.now(), batch->plan.prefill_tokens(),
-                                            batch->plan.decode_tokens(), kv_->free_rate(),
-                                            stage_forward_time(*batch, 0)});
+      iterations_.push_back(IterationSample{sim_.now(), admitted.plan.prefill_tokens(),
+                                            admitted.plan.decode_tokens(),
+                                            core_->prefill_kv().free_rate(),
+                                            stage_forward_time(batch, 0)});
     }
-    enter_stage(batch->id, 0);
+    batches_.emplace(admitted.id, std::move(batch));
+    enter_stage(admitted.id, 0);
   }
 }
 
@@ -339,36 +201,10 @@ void PipelineEngine::pump_stage(int stage) {
   enter_stage(batch_id, stage);
 }
 
-void PipelineEngine::finish_sequence(Sequence& seq) {
-  kv_->free_seq(seq.id());
-  const auto it = std::find(decoding_.begin(), decoding_.end(), &seq);
-  if (it != decoding_.end()) decoding_.erase(it);
-}
-
 void PipelineEngine::complete_batch(std::uint64_t batch_id) {
-  const auto node = batches_.extract(batch_id);
-  if (node.empty()) throw std::logic_error("PipelineEngine: completing unknown batch");
-  const Batch& batch = node.mapped();
-
-  for (const sched::BatchItem& item : batch.plan.items) {
-    Sequence& seq = seq_ref(item.seq);
-    if (item.phase == sched::Phase::kDecode) {
-      if (seq.on_decode_completed(sim_.now())) finish_sequence(seq);
-    } else {
-      const bool prompt_done = seq.on_chunk_completed(item.last_prefill_chunk, sim_.now());
-      if (prompt_done) {
-        const auto it = std::find(waiting_.begin(), waiting_.end(), &seq);
-        if (it != waiting_.end()) waiting_.erase(it);
-        if (seq.state() == SeqState::kFinished) {
-          kv_->free_seq(seq.id());
-        } else {
-          decoding_.push_back(&seq);
-        }
-      }
-    }
-  }
-
-  --in_flight_batches_;
+  if (batches_.erase(batch_id) == 0)
+    throw std::logic_error("PipelineEngine: completing unknown batch");
+  core_->complete(batch_id, sim_.now());
   try_schedule();
 }
 

@@ -3,9 +3,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "engine/admission_core.hpp"
 #include "engine/config.hpp"
 #include "engine/metrics.hpp"
 #include "engine/sequence.hpp"
@@ -36,6 +38,10 @@ namespace gllm::engine {
 /// The engine is policy-agnostic: any sched::IScheduler plugs in, which is
 /// how the vLLM baseline (Sarathi policy + serialized runtime), SGLang
 /// baseline (pp=1/tp=N) and all gLLM ablation variants are expressed.
+///
+/// All sequence-lifecycle/admission semantics live in engine::AdmissionCore —
+/// this class only adds the simulated-time event flow, the stage-occupancy
+/// model and the cohort-pinning variant.
 class PipelineEngine {
  public:
   PipelineEngine(EngineConfig cfg, std::shared_ptr<sched::IScheduler> scheduler);
@@ -51,9 +57,8 @@ class PipelineEngine {
   const model::PartitionPlan& partition() const { return plan_; }
 
  private:
+  /// Executor-side remainder of a materialised batch: the cost-model work.
   struct Batch {
-    std::uint64_t id = 0;
-    sched::MicroBatchPlan plan;
     std::vector<model::WorkItem> work;
     int total_new_tokens = 0;
   };
@@ -68,21 +73,8 @@ class PipelineEngine {
   void complete_batch(std::uint64_t batch_id);
 
   // --- helpers --------------------------------------------------------------
-  sched::ScheduleContext build_context(int cohort) const;
-  /// Materialise a plan: allocate KV (with preemption fallback), lock
-  /// sequences, build cost-model work items. Items that cannot get KV are
-  /// dropped. Returns nullptr if everything was dropped.
-  Batch* materialize(sched::MicroBatchPlan plan);
-  bool allocate_with_preemption(kv::SeqId seq, std::int64_t tokens,
-                                const std::vector<kv::SeqId>& untouchable);
-  /// Break a KV deadlock among half-admitted prompts: reset the youngest
-  /// idle, partially-prefilled waiting sequence (vLLM recomputes chunked
-  /// prefills the same way). Returns true if progress was freed.
-  bool reset_stalled_prefill();
   double stage_forward_time(const Batch& batch, int stage) const;
   double pp_hop_time(const Batch& batch, int from_stage) const;
-  Sequence& seq_ref(kv::SeqId id);
-  void finish_sequence(Sequence& seq);
 
   // --- immutable configuration ---------------------------------------------
   EngineConfig cfg_;
@@ -93,22 +85,16 @@ class PipelineEngine {
 
   // --- per-run state ---------------------------------------------------------
   sim::Simulator sim_;
-  std::unique_ptr<kv::KvManager> kv_;
-  std::unordered_map<kv::SeqId, std::unique_ptr<Sequence>> sequences_;
-  std::deque<Sequence*> waiting_;     ///< FCFS; preempted re-enter at the front
-  std::vector<Sequence*> decoding_;   ///< completion order (oldest first)
+  std::optional<AdmissionCore> core_;
   std::vector<bool> stage_free_;
   std::vector<std::deque<std::uint64_t>> stage_queue_;
   std::unordered_map<std::uint64_t, Batch> batches_;
-  std::uint64_t next_batch_id_ = 1;
-  int in_flight_batches_ = 0;
   int next_cohort_ = 0;  ///< round-robin virtual engine (cohort_pinning only)
 
   // --- per-run metrics ---------------------------------------------------------
   std::vector<double> stage_busy_;
   std::vector<IterationSample> iterations_;
   std::vector<BusyInterval> busy_intervals_;
-  std::int64_t preemptions_ = 0;
   std::int64_t sched_invocations_ = 0;
 };
 

@@ -59,6 +59,14 @@ class Sequence {
 
   bool done() const { return generated_ >= spec_.output_len; }
 
+  /// O(1) in-flight lock: true while any step of this sequence (decode token
+  /// or prefill chunk) is inside the pipeline. A sequence materialised into
+  /// the micro-batch currently being built is locked the moment its step is
+  /// committed, which is what makes it ineligible as a preemption victim —
+  /// the single victim-search loop in AdmissionCore relies on this instead of
+  /// a linear membership scan over the batch under construction.
+  bool in_flight() const { return decode_in_flight_ || outstanding_chunks_ > 0; }
+
   // ---- Preemption (recompute policy) --------------------------------------
 
   /// Drop all computed KV; generated tokens become forced prefill.

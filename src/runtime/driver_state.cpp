@@ -2,140 +2,58 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "model/partition.hpp"
 
 namespace gllm::runtime {
 
+namespace {
+engine::AdmissionConfig admission_config(std::int64_t kv_capacity_tokens, int kv_block_size,
+                                         int pipeline_depth, const DriverConfig& config) {
+  engine::AdmissionConfig cfg;
+  cfg.kv_capacity_tokens = kv_capacity_tokens;
+  cfg.kv_block_size = kv_block_size;
+  cfg.pipeline_depth = pipeline_depth;
+  cfg.prefix_caching = config.prefix_caching;
+  return cfg;
+}
+}  // namespace
+
 DriverState::DriverState(std::int64_t kv_capacity_tokens, int kv_block_size,
                          int pipeline_depth, DriverConfig config)
-    : config_(config),
-      pipeline_depth_(pipeline_depth),
-      kv_(std::make_unique<kv::KvManager>(kv_capacity_tokens, kv_block_size,
-                                          config.prefix_caching)) {}
+    : core_(admission_config(kv_capacity_tokens, kv_block_size, pipeline_depth, config)) {}
 
 engine::Sequence* DriverState::add_request(const nn::GenRequest& request, double arrival) {
   workload::RequestSpec spec{request.id, arrival, static_cast<int>(request.prompt.size()),
                              request.max_new_tokens};
-  SeqCtx sc;
-  sc.seq = std::make_unique<engine::Sequence>(spec);
-  sc.tokens = request.prompt;
-  engine::Sequence* ptr = sc.seq.get();
-  if (!seqs_.emplace(request.id, std::move(sc)).second)
-    throw std::invalid_argument("DriverState: duplicate request id");
-  return ptr;
-}
-
-sched::ScheduleContext DriverState::build_context(double now) const {
-  sched::ScheduleContext ctx;
-  ctx.now = now;
-  ctx.pipeline_depth = pipeline_depth_;
-  ctx.kv_free_rate = kv_->free_rate();
-  ctx.kv_free_tokens = kv_->free_token_capacity();
-  ctx.total_decode_seqs = static_cast<std::int64_t>(decoding_.size());
-  for (const engine::Sequence* seq : waiting_) {
-    if (seq->remaining_prefill() <= 0) continue;
-    ctx.waiting.push_back(sched::WaitingSeq{seq->id(), seq->remaining_prefill(),
-                                            kv_->seq_tokens(seq->id()), seq->arrival(),
-                                            seq->outstanding_chunks() > 0});
-  }
-  for (const engine::Sequence* seq : decoding_) {
-    if (seq->decode_in_flight()) continue;
-    ctx.runnable_decodes.push_back(sched::DecodeSeq{seq->id(), kv_->seq_tokens(seq->id())});
-  }
-  return ctx;
+  return core_.add(spec, request.prompt);
 }
 
 bool DriverState::materialize_and_dispatch(sched::MicroBatchPlan plan, double now,
                                            const std::vector<MetaChannel*>& channels) {
+  const engine::AdmittedBatch admitted = core_.materialize(plan, now);
+  if (admitted.empty()) return false;
+
   StepMetadata meta;
-  meta.batch_id = next_batch_id_++;
-  std::vector<sched::BatchItem> committed;
-  std::vector<kv::SeqId> locked;
-
-  for (const sched::BatchItem& item : plan.items) {
-    SeqCtx& sc = seqs_.at(item.seq);
-    engine::Sequence& seq = *sc.seq;
-    const std::int64_t ctx_before = kv_->seq_tokens(item.seq);
-
-    if (item.phase == sched::Phase::kDecode) {
-      // Possibly recompute-preempted while materialising an earlier item.
-      if (seq.state() != engine::SeqState::kDecoding || seq.decode_in_flight()) continue;
-      bool ok = kv_->allocate(item.seq, 1);
-      while (!ok) {
-        engine::Sequence* victim = nullptr;
-        for (auto it = decoding_.rbegin(); it != decoding_.rend(); ++it) {
-          engine::Sequence* cand = *it;
-          if (cand->decode_in_flight() || cand->id() == item.seq) continue;
-          if (std::find(locked.begin(), locked.end(), cand->id()) != locked.end())
-            continue;
-          victim = cand;
-          break;
-        }
-        if (victim == nullptr) break;
-        kv_->free_seq(victim->id());
-        victim->preempt(now);
-        decoding_.erase(std::find(decoding_.begin(), decoding_.end(), victim));
-        waiting_.push_front(victim);
-        ++preemptions_;
-        ok = kv_->allocate(item.seq, 1);
-      }
-      if (!ok) continue;
-      seq.on_decode_scheduled();
-
-      ItemMeta im;
-      im.seq = item.seq;
-      im.n_tokens = 1;
-      im.context = ctx_before;
-      im.blocks = kv_->table(item.seq).blocks();
-      im.is_prefill = false;
-      im.wants_logits = true;
-      im.input_tokens = {sc.tokens.at(static_cast<std::size_t>(ctx_before))};
-      meta.items.push_back(std::move(im));
-      committed.push_back(item);
-      locked.push_back(item.seq);
-    } else {
-      if (seq.state() != engine::SeqState::kWaiting ||
-          item.n_tokens > seq.remaining_prefill())
-        throw std::logic_error("DriverState: scheduler planned an invalid prefill chunk");
-
-      // Prefix-cache adoption at first admission: reuse cached KV blocks of
-      // this prompt's prefix and skip their computation (the final target
-      // token is always computed so logits exist).
-      sched::BatchItem chunk = item;
-      std::int64_t context = ctx_before;
-      if (config_.prefix_caching && ctx_before == 0 && seq.scheduled_prefill() == 0) {
-        const auto reused = kv_->adopt_cached_prefix(
-            item.seq, sc.tokens, static_cast<std::int64_t>(seq.prefill_target()) - 1);
-        if (reused > 0) {
-          seq.skip_prefill(static_cast<int>(reused));
-          context = reused;
-          chunk.n_tokens = std::min(chunk.n_tokens, seq.remaining_prefill());
-        }
-      }
-      if (!kv_->allocate(chunk.seq, chunk.n_tokens)) continue;
-      seq.on_chunk_scheduled(chunk.n_tokens);
-      chunk.last_prefill_chunk = seq.remaining_prefill() == 0;
-
-      ItemMeta im;
-      im.seq = chunk.seq;
-      im.n_tokens = chunk.n_tokens;
-      im.context = context;
-      im.blocks = kv_->table(chunk.seq).blocks();
-      im.is_prefill = true;
-      im.last_chunk = chunk.last_prefill_chunk;
-      im.wants_logits = chunk.last_prefill_chunk;
-      im.input_tokens.assign(
-          sc.tokens.begin() + static_cast<std::ptrdiff_t>(context),
-          sc.tokens.begin() + static_cast<std::ptrdiff_t>(context + chunk.n_tokens));
-      meta.items.push_back(std::move(im));
-      committed.push_back(chunk);
-      locked.push_back(chunk.seq);
-    }
+  meta.batch_id = admitted.id;
+  meta.items.reserve(admitted.plan.items.size());
+  for (const sched::CommittedItem& c : admitted.plan.items) {
+    const auto& tokens = core_.tokens(c.item.seq);
+    ItemMeta im;
+    im.seq = c.item.seq;
+    im.n_tokens = c.item.n_tokens;
+    im.context = c.context;
+    im.blocks = core_.prefill_kv().table(c.item.seq).blocks();
+    im.is_prefill = c.item.phase == sched::Phase::kPrefill;
+    im.last_chunk = im.is_prefill && c.item.last_prefill_chunk;
+    im.wants_logits = !im.is_prefill || c.item.last_prefill_chunk;
+    im.input_tokens.assign(
+        tokens.begin() + static_cast<std::ptrdiff_t>(c.context),
+        tokens.begin() + static_cast<std::ptrdiff_t>(c.context + c.item.n_tokens));
+    meta.items.push_back(std::move(im));
   }
 
-  if (meta.items.empty()) return false;
-  in_flight_.emplace(meta.batch_id, std::move(committed));
   // Metadata broadcast: every worker receives the packet early ("preemptive
   // metadata scheduling").
   for (MetaChannel* ch : channels) ch->push(meta);
@@ -145,61 +63,17 @@ bool DriverState::materialize_and_dispatch(sched::MicroBatchPlan plan, double no
 int DriverState::complete_batch(
     const SampleResult& result, double now,
     const std::function<void(const engine::Sequence&, nn::TokenId, bool)>& on_token) {
-  const auto node = in_flight_.extract(result.batch_id);
-  if (node.empty()) throw std::logic_error("DriverState: sample for unknown batch");
   std::unordered_map<kv::SeqId, nn::TokenId> sampled(result.tokens.begin(),
                                                      result.tokens.end());
-  int finished = 0;
-  for (const sched::BatchItem& item : node.mapped()) {
-    SeqCtx& sc = seqs_.at(item.seq);
-    engine::Sequence& seq = *sc.seq;
-    const bool samples_token =
-        item.phase == sched::Phase::kDecode || item.last_prefill_chunk;
-    nn::TokenId token = -1;
-    if (samples_token) {
-      const auto it = sampled.find(item.seq);
-      if (it == sampled.end())
-        throw std::logic_error("DriverState: missing sampled token for sequence");
-      token = it->second;
-      sc.tokens.push_back(token);
-    }
-    bool done = false;
-    if (item.phase == sched::Phase::kDecode) {
-      done = seq.on_decode_completed(now);
-    } else {
-      const bool prompt_done = seq.on_chunk_completed(item.last_prefill_chunk, now);
-      if (prompt_done) {
-        if (config_.prefix_caching) {
-          const auto target = static_cast<std::size_t>(seq.prefill_target());
-          kv_->register_prefix(item.seq, {sc.tokens.data(), target});
-        }
-        waiting_.erase(std::find(waiting_.begin(), waiting_.end(), &seq));
-        if (seq.state() == engine::SeqState::kDecoding) decoding_.push_back(&seq);
-        done = seq.state() == engine::SeqState::kFinished;
-      }
-    }
-    if (done) {
-      kv_->free_seq(seq.id());
-      const auto dit = std::find(decoding_.begin(), decoding_.end(), &seq);
-      if (dit != decoding_.end()) decoding_.erase(dit);
-      ++finished;
-    }
-    if (samples_token && on_token) on_token(seq, token, done);
-  }
-  return finished;
-}
-
-bool DriverState::reset_stalled_prefill() {
-  for (auto it = waiting_.rbegin(); it != waiting_.rend(); ++it) {
-    engine::Sequence* cand = *it;
-    if (cand == waiting_.front()) continue;
-    if (cand->outstanding_chunks() > 0 || cand->scheduled_prefill() == 0) continue;
-    kv_->free_seq(cand->id());
-    cand->reset_prefill_progress();
-    ++preemptions_;
-    return true;
-  }
-  return false;
+  engine::CompletionHooks hooks;
+  hooks.sample = [&sampled](const engine::Sequence& seq) {
+    const auto it = sampled.find(seq.id());
+    if (it == sampled.end())
+      throw std::logic_error("DriverState: missing sampled token for sequence");
+    return it->second;
+  };
+  if (on_token) hooks.on_token = on_token;
+  return core_.complete(result.batch_id, now, &hooks);
 }
 
 void PipelineHandles::shutdown() {

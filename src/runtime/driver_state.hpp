@@ -1,12 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "engine/admission_core.hpp"
 #include "engine/sequence.hpp"
 #include "nn/reference.hpp"
 #include "runtime/worker.hpp"
@@ -21,15 +20,14 @@ struct DriverConfig {
 };
 
 /// The driver worker's scheduling state, shared between PipelineRuntime
-/// (batch mode) and PipelineService (online mode): sequence bookkeeping, KV
-/// management, plan materialisation and metadata broadcast.
+/// (batch mode) and PipelineService (online mode). All sequence-lifecycle/
+/// admission logic (queues, KV allocation, recompute preemption, prefix-cache
+/// adoption, completion bookkeeping) lives in engine::AdmissionCore — the
+/// same implementation the DES engines run — so this adapter only translates
+/// committed micro-batches into StepMetadata packets for the stage workers
+/// and sampled tokens back into completions.
 class DriverState {
  public:
-  struct SeqCtx {
-    std::unique_ptr<engine::Sequence> seq;
-    std::vector<nn::TokenId> tokens;  ///< prompt + generated
-  };
-
   DriverState(std::int64_t kv_capacity_tokens, int kv_block_size, int pipeline_depth,
               DriverConfig config);
 
@@ -37,9 +35,11 @@ class DriverState {
   engine::Sequence* add_request(const nn::GenRequest& request, double arrival);
 
   /// Move a registered sequence into the waiting queue.
-  void admit(engine::Sequence* seq) { waiting_.push_back(seq); }
+  void admit(engine::Sequence* seq) { core_.enqueue(seq); }
 
-  sched::ScheduleContext build_context(double now) const;
+  sched::ScheduleContext build_context(double now) const {
+    return core_.build_context(now);
+  }
 
   /// Materialise a plan (KV allocation with recompute preemption, prefix-
   /// cache adoption, chunk bookkeeping) and broadcast the metadata packet.
@@ -56,25 +56,25 @@ class DriverState {
                                               bool)>& on_token);
 
   /// Break a KV deadlock among half-admitted prompts (vLLM recompute).
-  bool reset_stalled_prefill();
+  bool reset_stalled_prefill() { return core_.reset_stalled_prefill(); }
 
   // --- introspection ---------------------------------------------------------
-  int in_flight() const { return static_cast<int>(in_flight_.size()); }
-  bool has_waiting() const { return !waiting_.empty(); }
-  std::int64_t preemptions() const { return preemptions_; }
-  const std::unordered_map<kv::SeqId, SeqCtx>& sequences() const { return seqs_; }
-  const SeqCtx& seq_ctx(kv::SeqId id) const { return seqs_.at(id); }
+  int in_flight() const { return core_.in_flight(); }
+  bool has_waiting() const { return !core_.waiting().empty(); }
+  std::int64_t preemptions() const { return core_.preemptions(); }
+  const engine::Sequence& seq(kv::SeqId id) const { return core_.seq(id); }
+  /// Prompt + generated token ids of a registered request.
+  const std::vector<nn::TokenId>& tokens(kv::SeqId id) const { return core_.tokens(id); }
+  /// Prefill chunk sizes in commit order (admission-parity fingerprint).
+  const std::vector<int>& scheduled_chunks(kv::SeqId id) const {
+    return core_.scheduled_chunks(id);
+  }
+  void for_each_sequence(const std::function<void(const engine::Sequence&)>& fn) const {
+    core_.for_each_sequence(fn);
+  }
 
  private:
-  DriverConfig config_;
-  int pipeline_depth_;
-  std::unique_ptr<kv::KvManager> kv_;
-  std::unordered_map<kv::SeqId, SeqCtx> seqs_;
-  std::deque<engine::Sequence*> waiting_;
-  std::vector<engine::Sequence*> decoding_;
-  std::unordered_map<std::uint64_t, std::vector<sched::BatchItem>> in_flight_;
-  std::uint64_t next_batch_id_ = 1;
-  std::int64_t preemptions_ = 0;
+  engine::AdmissionCore core_;
 };
 
 /// The assembled worker pipeline: per-stage metadata channels, inter-stage

@@ -40,10 +40,12 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
     const double arrival = options_.respect_arrivals ? request.arrival : 0.0;
     pending.push_back(state.add_request(request, arrival));
   }
-  std::sort(pending.begin(), pending.end(),
-            [](const engine::Sequence* a, const engine::Sequence* b) {
-              return a->arrival() < b->arrival();
-            });
+  // Stable: simultaneous arrivals keep submission order, exactly like the
+  // DES engine's event queue — a precondition for cross-executor parity.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const engine::Sequence* a, const engine::Sequence* b) {
+                     return a->arrival() < b->arrival();
+                   });
 
   // --- assemble the worker pipeline ---------------------------------------
   const nn::Sampler sampler =
@@ -126,16 +128,18 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
   report.wall_seconds = seconds_since(t0);
   report.preemptions = state.preemptions();
   for (const auto& request : requests) {
-    const auto& ctx = state.seq_ctx(request.id);
+    const auto& tokens = state.tokens(request.id);
+    const engine::Sequence& seq = state.seq(request.id);
     RuntimeRequestRecord rec;
     rec.id = request.id;
-    rec.output.assign(ctx.tokens.begin() + static_cast<std::ptrdiff_t>(request.prompt.size()),
-                      ctx.tokens.end());
-    rec.completed = ctx.seq->state() == engine::SeqState::kFinished;
-    rec.preemptions = ctx.seq->preemptions();
+    rec.output.assign(tokens.begin() + static_cast<std::ptrdiff_t>(request.prompt.size()),
+                      tokens.end());
+    rec.completed = seq.state() == engine::SeqState::kFinished;
+    rec.preemptions = seq.preemptions();
+    rec.scheduled_chunks = state.scheduled_chunks(request.id);
     if (rec.completed) {
-      rec.ttft = ctx.seq->ttft();
-      rec.e2e = ctx.seq->e2e_latency();
+      rec.ttft = seq.ttft();
+      rec.e2e = seq.e2e_latency();
     }
     report.requests.push_back(std::move(rec));
   }

@@ -41,6 +41,9 @@ struct RuntimeRequestRecord {
   double e2e = 0.0;
   int preemptions = 0;
   bool completed = false;
+  /// Prefill chunk sizes in commit order; comparable 1:1 with the DES
+  /// engine's RequestMetrics::scheduled_chunks (admission parity).
+  std::vector<int> scheduled_chunks;
 };
 
 struct RuntimeReport {

@@ -119,13 +119,14 @@ bool PipelineService::admit_batches() {
 }
 
 void PipelineService::finish_record(const engine::Sequence& seq) {
-  const auto& ctx = state_->seq_ctx(seq.id());
+  const auto& tokens = state_->tokens(seq.id());
   RuntimeRequestRecord rec;
   rec.id = seq.id();
-  rec.output.assign(ctx.tokens.begin() + static_cast<std::ptrdiff_t>(seq.prompt_len()),
-                    ctx.tokens.end());
+  rec.output.assign(tokens.begin() + static_cast<std::ptrdiff_t>(seq.prompt_len()),
+                    tokens.end());
   rec.completed = seq.state() == engine::SeqState::kFinished;
   rec.preemptions = seq.preemptions();
+  rec.scheduled_chunks = state_->scheduled_chunks(seq.id());
   if (rec.completed) {
     rec.ttft = seq.ttft();
     rec.e2e = seq.e2e_latency();
@@ -182,11 +183,11 @@ void PipelineService::service_loop() {
   }
 
   // Anything still registered but unfinished at shutdown is reported failed.
-  for (const auto& [id, ctx] : state_->sequences()) {
-    if (ctx.seq->state() == engine::SeqState::kFinished) continue;
-    GLLM_LOG_WARN("service: request " << id << " unfinished at shutdown");
-    finish_record(*ctx.seq);
-  }
+  state_->for_each_sequence([this](const engine::Sequence& seq) {
+    if (seq.state() == engine::SeqState::kFinished) return;
+    GLLM_LOG_WARN("service: request " << seq.id() << " unfinished at shutdown");
+    finish_record(seq);
+  });
 }
 
 }  // namespace gllm::runtime

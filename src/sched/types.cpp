@@ -18,6 +18,22 @@ int MicroBatchPlan::decode_tokens() const {
   return n;
 }
 
+int CommittedPlan::prefill_tokens() const {
+  int n = 0;
+  for (const auto& c : items) {
+    if (c.item.phase == Phase::kPrefill) n += c.item.n_tokens;
+  }
+  return n;
+}
+
+int CommittedPlan::decode_tokens() const {
+  int n = 0;
+  for (const auto& c : items) {
+    if (c.item.phase == Phase::kDecode) n += c.item.n_tokens;
+  }
+  return n;
+}
+
 std::int64_t ScheduleContext::waiting_prefill_tokens() const {
   std::int64_t n = 0;
   for (const auto& w : waiting) n += w.remaining_prefill;

@@ -29,6 +29,28 @@ struct MicroBatchPlan {
   bool empty() const { return items.empty(); }
 };
 
+/// A plan item as actually *committed* by the engine's admission layer: KV is
+/// allocated, the sequence is locked in flight, and — unlike the planned
+/// BatchItem — the chunk size and context reflect what really happened
+/// (prefix-cache adoption may shrink a chunk; `last_prefill_chunk` is
+/// recomputed from the sequence, not trusted from the policy).
+struct CommittedItem {
+  BatchItem item;
+  std::int64_t context = 0;  ///< KV tokens cached before this step ran
+};
+
+/// The materialization result: the slice of a MicroBatchPlan that survived KV
+/// allocation (items the pool could not back are dropped, possibly after
+/// recompute preemption). This is what executors run and later retire.
+struct CommittedPlan {
+  std::vector<CommittedItem> items;
+  int total_new_tokens = 0;
+
+  bool empty() const { return items.empty(); }
+  int prefill_tokens() const;
+  int decode_tokens() const;
+};
+
 /// A request still holding un-prefilled prompt tokens (FCFS order preserved
 /// by the engine; preempted sequences re-enter at the front).
 struct WaitingSeq {

@@ -1,0 +1,176 @@
+// Cross-executor admission parity: the discrete-event PipelineEngine and the
+// real threaded runtime share one sequence-lifecycle/admission implementation
+// (engine::AdmissionCore), so the same request set under the same scheduler
+// must make bit-identical admission decisions — identical preemption counts,
+// identical per-request scheduled-chunk sequences, and token-equal outputs —
+// even though one executor runs in simulated time and the other on threads.
+//
+// The argument (DESIGN.md §5, decision 5): with respect_arrivals=false and a
+// time-independent scheduler, both executors produce the same interleaving of
+// (admit, complete) events, so every ScheduleContext snapshot matches. The
+// one asymmetry is the very first plan() call — the DES has processed only
+// the first arrival event when it fires, while the runtime has enqueued every
+// request — so the fixtures give request 0 a prompt larger than any prefill
+// budget, making the first micro-batch single-sequence on both sides.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/pipeline_engine.hpp"
+#include "model/cost.hpp"
+#include "nn/reference.hpp"
+#include "runtime/pipeline_runtime.hpp"
+#include "sched/sarathi.hpp"
+#include "sched/token_throttle.hpp"
+
+namespace gllm {
+namespace {
+
+constexpr std::uint64_t kWeightSeed = 1234;
+constexpr int kBlockSize = 8;
+constexpr int kHeadPrompt = 160;  ///< request 0: larger than any prefill budget
+
+std::vector<nn::GenRequest> make_requests(int n) {
+  const auto cfg = model::presets::tiny();
+  std::vector<nn::GenRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    nn::GenRequest r;
+    r.id = i;
+    const int prompt_len = i == 0 ? kHeadPrompt : 12 + (i * 7) % 24;
+    r.prompt = nn::synthetic_prompt(cfg, 500 + static_cast<std::uint64_t>(i), prompt_len);
+    r.max_new_tokens = i == 0 ? 4 : 3 + i % 6;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+workload::Trace to_trace(const std::vector<nn::GenRequest>& reqs) {
+  workload::Trace trace;
+  for (const auto& r : reqs)
+    trace.push_back(workload::RequestSpec{r.id, 0.0, static_cast<int>(r.prompt.size()),
+                                          r.max_new_tokens});
+  return trace;
+}
+
+/// An EngineConfig whose derived KV capacity lands in [lo, hi] tokens, found
+/// by bisecting gpu_memory_util (capacity is monotone in it). This is how the
+/// DES side and the runtime side are given the *same* pool size: the runtime
+/// takes the engine's derived capacity verbatim.
+engine::EngineConfig engine_config(int pp, std::int64_t lo, std::int64_t hi) {
+  engine::EngineConfig cfg;
+  cfg.model = model::presets::tiny();
+  cfg.cluster = hw::clusters::l20_node(4);
+  cfg.pp = pp;
+  cfg.kv_block_size = kBlockSize;
+  cfg.record_iterations = false;
+
+  const model::PartitionPlan plan(cfg.model, pp);
+  double u_lo = 0.0, u_hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (u_lo + u_hi);
+    const std::int64_t cap = model::kv_token_capacity(plan, cfg.cluster.gpu, mid, cfg.tp);
+    if (cap < lo) {
+      u_lo = mid;
+    } else if (cap > hi) {
+      u_hi = mid;
+    } else {
+      cfg.gpu_memory_util = mid;
+      return cfg;
+    }
+  }
+  throw std::logic_error("no gpu_memory_util yields a capacity in the window");
+}
+
+runtime::RuntimeOptions runtime_options(int pp, std::int64_t kv_capacity) {
+  runtime::RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.pp = pp;
+  opt.kv_capacity_tokens = kv_capacity;
+  opt.kv_block_size = kBlockSize;
+  opt.weight_seed = kWeightSeed;
+  return opt;
+}
+
+void expect_parity(const engine::RunResult& des, const runtime::RuntimeReport& rt) {
+  EXPECT_EQ(des.preemptions, rt.preemptions);
+  ASSERT_EQ(des.requests.size(), rt.requests.size());
+  for (std::size_t i = 0; i < des.requests.size(); ++i) {
+    const auto& d = des.requests[i];
+    const auto& r = rt.requests[i];
+    ASSERT_EQ(d.id, r.id);
+    EXPECT_TRUE(d.completed) << "request " << d.id;
+    EXPECT_TRUE(r.completed) << "request " << r.id;
+    EXPECT_EQ(d.scheduled_chunks, r.scheduled_chunks) << "request " << d.id;
+    EXPECT_EQ(d.preemptions, r.preemptions) << "request " << d.id;
+    EXPECT_EQ(static_cast<std::size_t>(d.output_len), r.output.size())
+        << "request " << d.id;
+  }
+}
+
+sched::ThrottleParams tight_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 2;  // kHeadPrompt / iter_t >= max_p: first budget caps at max_p
+  // The "w/o UT" ablation: admit prefill regardless of KV pressure, so the
+  // tight pool actually triggers recompute preemptions to compare.
+  p.enable_ut = false;
+  p.kv_thresh = 0.0;
+  return p;
+}
+
+class AdmissionParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdmissionParity, TokenThrottleUnderKvPressure) {
+  const int pp = GetParam();
+  const auto reqs = make_requests(10);
+  // Window floor clears the largest request (164 tokens, so the DES does not
+  // reject it up front) while total demand (~420 tokens) forces preemptions.
+  const auto cfg = engine_config(pp, 176, 192);
+
+  engine::PipelineEngine des(cfg, std::make_shared<sched::TokenThrottleScheduler>(
+                                      tight_throttle()));
+  const auto des_result = des.run(to_trace(reqs));
+
+  runtime::PipelineRuntime rt(
+      runtime_options(pp, des.kv_capacity_tokens()),
+      std::make_shared<sched::TokenThrottleScheduler>(tight_throttle()));
+  const auto rt_report = rt.run(reqs);
+
+  EXPECT_GT(des_result.preemptions, 0);  // otherwise the scenario proves little
+  expect_parity(des_result, rt_report);
+
+  // And the runtime's outputs are still the reference model's, bit for bit.
+  const auto ref = nn::generate_reference(model::presets::tiny(), kWeightSeed, reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    EXPECT_EQ(rt_report.requests[i].output, ref[i]) << "request " << i;
+}
+
+// pp >= 3 is excluded deliberately: with deeper pipelines the DES can retire
+// micro-batch k before batch k+2 clears stage 0, an ordering the threaded
+// runtime's admit-until-depth loop cannot reproduce, so exact admission parity
+// is only guaranteed at depths 1 and 2.
+INSTANTIATE_TEST_SUITE_P(Depths, AdmissionParity, ::testing::Values(1, 2));
+
+TEST(AdmissionParityAmple, SarathiNoPressure) {
+  const auto reqs = make_requests(8);
+  const auto cfg = engine_config(2, 2048, 2304);
+
+  sched::SarathiParams p;
+  p.token_budget = 48;  // < kHeadPrompt: first micro-batch is single-sequence
+  engine::PipelineEngine des(cfg, std::make_shared<sched::SarathiScheduler>(p));
+  const auto des_result = des.run(to_trace(reqs));
+
+  runtime::PipelineRuntime rt(runtime_options(2, des.kv_capacity_tokens()),
+                              std::make_shared<sched::SarathiScheduler>(p));
+  const auto rt_report = rt.run(reqs);
+
+  EXPECT_EQ(des_result.preemptions, 0);
+  expect_parity(des_result, rt_report);
+}
+
+}  // namespace
+}  // namespace gllm

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local check: the tier-1 verify build/test pass (ROADMAP.md), then an
+# ASan+UBSan instrumented build of the unit tests (-DGLLM_SANITIZE).
+#
+# Usage: tools/check.sh [--no-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1 verify (build/) =="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  echo "== sanitizer pass skipped =="
+  exit 0
+fi
+
+echo "== ASan/UBSan unit tests (build-asan/) =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGLLM_SANITIZE=address,undefined \
+  -DGLLM_BUILD_BENCH=OFF \
+  -DGLLM_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "== all checks passed =="
