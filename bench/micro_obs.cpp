@@ -1,0 +1,158 @@
+// Microbenchmarks of the gllm::obs observability subsystem: the per-event
+// instrument costs (sharded counters, histograms, span recording) and the
+// end-to-end cost of running the DES engine with observability off, with
+// metrics only, and with full span tracing. The headline number is the
+// disabled path: a null Observability* / disabled tracer must cost a branch,
+// so serving with observability off stays within noise of the seed engine.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "engine/pipeline_engine.hpp"
+#include "obs/obs.hpp"
+#include "sched/token_throttle.hpp"
+#include "workload/generator.hpp"
+
+using namespace gllm;
+
+namespace {
+
+obs::Registry& shared_registry() {
+  static obs::Registry registry;
+  return registry;
+}
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Counter& c = shared_registry().counter("bench_counter_total", "bench");
+  for (auto _ : state) c.inc();
+}
+BENCHMARK(BM_CounterInc);
+
+// Thread-sharded increments: contended throughput is the point of the design.
+void BM_CounterIncContended(benchmark::State& state) {
+  obs::Counter& c = shared_registry().counter("bench_counter_mt_total", "bench");
+  for (auto _ : state) c.inc();
+}
+BENCHMARK(BM_CounterIncContended)->Threads(4);
+
+void BM_GaugeSet(benchmark::State& state) {
+  obs::Gauge& g = shared_registry().gauge("bench_gauge", "bench");
+  double v = 0.0;
+  for (auto _ : state) g.set(v += 0.5);
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram& h = shared_registry().histogram(
+      "bench_hist", "bench", obs::Histogram::exponential_bounds(0.001, 2.0, 16));
+  double v = 0.0;
+  for (auto _ : state) h.observe(v += 0.017);
+}
+BENCHMARK(BM_HistogramObserve);
+
+// --- the disabled path: what every layer pays when observability is off -----
+
+void BM_SpanGuardNullTracer(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::SpanGuard guard(nullptr, 0, "noop");
+    benchmark::DoNotOptimize(guard);
+  }
+}
+BENCHMARK(BM_SpanGuardNullTracer);
+
+void BM_SpanGuardDisabledTracer(benchmark::State& state) {
+  obs::Tracer tracer;  // constructed disabled
+  for (auto _ : state) {
+    obs::SpanGuard guard(&tracer, 0, "noop");
+    benchmark::DoNotOptimize(guard);
+  }
+}
+BENCHMARK(BM_SpanGuardDisabledTracer);
+
+void BM_InstantDisabledTracer(benchmark::State& state) {
+  obs::Tracer tracer;
+  for (auto _ : state) tracer.instant(0, "noop", {{"p", 1.0}, {"d", 2.0}});
+}
+BENCHMARK(BM_InstantDisabledTracer);
+
+// --- the enabled path --------------------------------------------------------
+
+void BM_SpanGuardEnabled(benchmark::State& state) {
+  obs::Tracer tracer(1 << 16);
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    obs::SpanGuard guard(&tracer, 0, "span");
+    benchmark::DoNotOptimize(guard);
+  }
+}
+BENCHMARK(BM_SpanGuardEnabled);
+
+void BM_InstantEnabledWithArgs(benchmark::State& state) {
+  obs::Tracer tracer(1 << 16);
+  tracer.set_enabled(true);
+  for (auto _ : state) tracer.instant(0, "decision", {{"p", 96.0}, {"d", 32.0}});
+}
+BENCHMARK(BM_InstantEnabledWithArgs);
+
+// --- end to end: the DES engine with observability off / metrics / tracing --
+
+workload::Trace bench_trace() {
+  workload::TraceBuilder builder(workload::WorkloadSpec::sharegpt(), 42);
+  workload::ArrivalProcess arrivals;
+  arrivals.rate = 4.0;
+  return builder.generate_for_duration(arrivals, 10.0);
+}
+
+engine::EngineConfig bench_config(obs::Observability* obs) {
+  engine::EngineConfig cfg;
+  cfg.model = model::presets::qwen2_5_32b();
+  cfg.cluster = hw::clusters::l20_node(4);
+  cfg.pp = 4;
+  cfg.record_iterations = false;
+  cfg.obs = obs;
+  return cfg;
+}
+
+void run_engine(benchmark::State& state, obs::Observability* obs) {
+  const auto trace = bench_trace();
+  for (auto _ : state) {
+    engine::PipelineEngine engine(bench_config(obs),
+                                  std::make_shared<sched::TokenThrottleScheduler>(
+                                      sched::ThrottleParams{}));
+    const auto result = engine.run(trace);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(trace.size()));
+}
+
+void BM_EngineRunObsOff(benchmark::State& state) { run_engine(state, nullptr); }
+BENCHMARK(BM_EngineRunObsOff)->Unit(benchmark::kMillisecond);
+
+void BM_EngineRunMetricsOnly(benchmark::State& state) {
+  obs::Observability obs;  // tracer stays disabled
+  run_engine(state, &obs);
+}
+BENCHMARK(BM_EngineRunMetricsOnly)->Unit(benchmark::kMillisecond);
+
+void BM_EngineRunTracing(benchmark::State& state) {
+  obs::ObsConfig cfg;
+  cfg.tracing = true;
+  cfg.trace_ring_capacity = 1 << 18;
+  obs::Observability obs(cfg);
+  for (auto _ : state) {
+    state.PauseTiming();
+    obs.tracer().clear();
+    state.ResumeTiming();
+    engine::PipelineEngine engine(bench_config(&obs),
+                                  std::make_shared<sched::TokenThrottleScheduler>(
+                                      sched::ThrottleParams{}));
+    const auto result = engine.run(bench_trace());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EngineRunTracing)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

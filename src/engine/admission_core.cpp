@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace gllm::engine {
@@ -33,6 +34,11 @@ Sequence* AdmissionCore::add(const workload::RequestSpec& spec,
   if (!seqs_.emplace(spec.id, std::move(e)).second)
     throw std::invalid_argument("AdmissionCore: duplicate request id");
   return ptr;
+}
+
+void AdmissionCore::enqueue(Sequence* seq) {
+  waiting_.push_back(seq);
+  if (cfg_.obs != nullptr) cfg_.obs->serving().requests_admitted->inc();
 }
 
 AdmissionCore::Entry& AdmissionCore::entry(kv::SeqId id) {
@@ -106,6 +112,11 @@ bool AdmissionCore::allocate_decode_with_preemption(kv::SeqId id, double now) {
     decoding_.erase(std::find(decoding_.begin(), decoding_.end(), victim));
     waiting_.push_front(victim);
     ++preemptions_;
+    if (cfg_.obs != nullptr) {
+      cfg_.obs->serving().preemptions->inc();
+      cfg_.obs->tracer().instant(cfg_.trace_track, "preempt",
+                                 {{"seq", static_cast<double>(victim->id())}});
+    }
     GLLM_LOG_DEBUG("preempted seq " << victim->id() << " at t=" << now);
   }
   return true;
@@ -161,6 +172,12 @@ AdmittedBatch AdmissionCore::materialize(const sched::MicroBatchPlan& plan, doub
 
   if (batch.empty()) return batch;
   batch.id = next_batch_id_++;
+  if (cfg_.obs != nullptr) {
+    auto& m = cfg_.obs->serving();
+    m.tokens_scheduled->inc(batch.plan.total_new_tokens);
+    m.iteration_tokens->observe(batch.plan.total_new_tokens);
+    m.kv_free_rate->set(decode_kv().free_rate());
+  }
   std::vector<sched::BatchItem> committed;
   committed.reserve(batch.plan.items.size());
   for (const auto& c : batch.plan.items) committed.push_back(c.item);
@@ -212,7 +229,15 @@ int AdmissionCore::complete(std::uint64_t batch_id, double now,
         }
       }
     }
-    if (done) ++finished;
+    if (done) {
+      ++finished;
+      if (cfg_.obs != nullptr) {
+        auto& m = cfg_.obs->serving();
+        m.requests_completed->inc();
+        m.ttft_seconds->observe(s.ttft());
+        m.tpot_seconds->observe(s.tpot());
+      }
+    }
     if (samples_token && hooks != nullptr && hooks->on_token) hooks->on_token(s, token, done);
   }
   return finished;
@@ -226,6 +251,11 @@ bool AdmissionCore::reset_stalled_prefill() {
     prefill_kv().free_seq(cand->id());
     cand->reset_prefill_progress();
     ++preemptions_;
+    if (cfg_.obs != nullptr) {
+      cfg_.obs->serving().stalled_prefill_resets->inc();
+      cfg_.obs->tracer().instant(cfg_.trace_track, "stalled_prefill_reset",
+                                 {{"seq", static_cast<double>(cand->id())}});
+    }
     GLLM_LOG_DEBUG("reset stalled prefill of seq " << cand->id());
     return true;
   }

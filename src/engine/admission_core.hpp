@@ -14,6 +14,10 @@
 #include "sched/types.hpp"
 #include "workload/trace.hpp"
 
+namespace gllm::obs {
+class Observability;
+}
+
 namespace gllm::engine {
 
 /// Configuration of the shared admission component.
@@ -27,6 +31,13 @@ struct AdmissionConfig {
   int kv_block_size = 16;
   int pipeline_depth = 1;
   bool prefix_caching = false;
+  /// Observability sink (serving counters/histograms + lifecycle trace
+  /// instants). Null — the default — disables everything; the hot path then
+  /// pays one pointer test per call site. Must outlive the core.
+  obs::Observability* obs = nullptr;
+  /// Trace track admission instants (preemption, stalled-prefill reset) are
+  /// recorded on — by convention the executor's driver track.
+  int trace_track = 0;
 };
 
 /// Result of materialising one scheduler plan: the committed items plus the
@@ -86,7 +97,7 @@ class AdmissionCore {
   /// prefix-cache adoption/registration and per-step input-token slicing.
   Sequence* add(const workload::RequestSpec& spec, std::vector<kv::TokenId> prompt);
   /// Move a registered sequence into the waiting queue.
-  void enqueue(Sequence* seq) { waiting_.push_back(seq); }
+  void enqueue(Sequence* seq);
   /// Disaggregated mode: enter the decode queue once the KV transfer landed.
   void enter_decode(Sequence* seq) { decoding_.push_back(seq); }
 

@@ -4,6 +4,10 @@
 #include "hw/cluster.hpp"
 #include "model/config.hpp"
 
+namespace gllm::obs {
+class Observability;
+}
+
 namespace gllm::engine {
 
 /// Deployment description for one engine instance: which model, on which
@@ -33,6 +37,11 @@ struct EngineConfig {
   /// even more strongly; off by default (our vLLM baseline is the globally
   /// scheduled, baseline-favourable variant).
   bool cohort_pinning = false;
+  /// Observability sink (metrics always; spans when its tracer is enabled).
+  /// Null disables. Must outlive the engine; the engine installs a sim-time
+  /// clock on the tracer at run(), so scrape traces only while the engine that
+  /// produced them is alive.
+  obs::Observability* obs = nullptr;
 
   void validate() const;
 };

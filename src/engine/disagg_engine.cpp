@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "hw/interconnect.hpp"
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace gllm::engine {
@@ -41,7 +43,18 @@ RunResult DisaggEngine::run(const workload::Trace& trace) {
   admission.decode_kv_capacity_tokens = decode_.kv_capacity;
   admission.kv_block_size = cfg_.kv_block_size;
   admission.pipeline_depth = cfg_.decode_gpus;
+  admission.obs = cfg_.obs;
+  admission.trace_track = cfg_.prefill_gpus + cfg_.decode_gpus;
   core_.emplace(admission);
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->tracer().set_clock([this] { return sim_.now(); });
+    for (int s = 0; s < cfg_.prefill_gpus; ++s)
+      cfg_.obs->tracer().set_track_name(s, "prefill stage " + std::to_string(s));
+    for (int s = 0; s < cfg_.decode_gpus; ++s)
+      cfg_.obs->tracer().set_track_name(cfg_.prefill_gpus + s,
+                                        "decode stage " + std::to_string(s));
+    cfg_.obs->tracer().set_track_name(cfg_.prefill_gpus + cfg_.decode_gpus, "driver");
+  }
   // Finished prompts queue for a KV transfer instead of entering decode.
   core_->set_prompt_ready_hook([this](Sequence* seq) { transfer_wait_.push_back(seq); });
   for (Instance* inst : {&prefill_, &decode_}) {
@@ -170,6 +183,10 @@ void DisaggEngine::enter_stage(Instance& inst, std::uint64_t batch_id, int stage
   const double dur = stage_time(inst, batch, stage, stage == 0);
   inst.stage_busy[static_cast<std::size_t>(stage)] += dur;
   const bool is_prefill = &inst == &prefill_;
+  if (cfg_.obs != nullptr)
+    cfg_.obs->tracer().begin(inst.first_gpu + stage, "forward",
+                             {{"batch", static_cast<double>(batch_id)},
+                              {"tokens", static_cast<double>(batch.total_new_tokens)}});
   sim_.call_in(dur,
                [this, is_prefill, batch_id, stage] { on_stage_done(is_prefill, batch_id, stage); });
 }
@@ -177,6 +194,7 @@ void DisaggEngine::enter_stage(Instance& inst, std::uint64_t batch_id, int stage
 void DisaggEngine::on_stage_done(bool is_prefill, std::uint64_t batch_id, int stage) {
   Instance& inst = instance(is_prefill);
   inst.stage_free[static_cast<std::size_t>(stage)] = true;
+  if (cfg_.obs != nullptr) cfg_.obs->tracer().end(inst.first_gpu + stage, "forward");
 
   const int stages = static_cast<int>(inst.stage_free.size());
   if (stage + 1 < stages) {

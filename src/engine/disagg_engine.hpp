@@ -32,6 +32,9 @@ struct DisaggConfig {
   RuntimeModel runtime = RuntimeModel::gllm_async();
   int prefill_chunk = 2048;  ///< chunk size on the prefill instance
   bool record_iterations = true;
+  /// Observability sink (see EngineConfig::obs). Tracks 0..p-1 are the
+  /// prefill stages, p..p+d-1 the decode stages, p+d the driver.
+  obs::Observability* obs = nullptr;
 
   void validate() const;
 };

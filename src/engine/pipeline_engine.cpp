@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace gllm::engine {
@@ -38,7 +40,19 @@ RunResult PipelineEngine::run(const workload::Trace& trace) {
   admission.kv_block_size = cfg_.kv_block_size;
   admission.pipeline_depth = cfg_.pp;
   admission.prefix_caching = cfg_.prefix_caching;
+  admission.obs = cfg_.obs;
+  admission.trace_track = cfg_.pp;  // driver track sits after the stage tracks
   core_.emplace(admission);
+  if (cfg_.obs != nullptr) {
+    // Trace in simulated seconds: the tracer reads the DES clock, so spans
+    // line up with the sim timeline (and with the runtime's wall timeline
+    // when comparing shapes in Perfetto).
+    cfg_.obs->tracer().set_clock([this] { return sim_.now(); });
+    for (int s = 0; s < cfg_.pp; ++s)
+      cfg_.obs->tracer().set_track_name(s, "stage " + std::to_string(s));
+    cfg_.obs->tracer().set_track_name(cfg_.pp, "driver");
+    scheduler_->set_observability(cfg_.obs, cfg_.pp);
+  }
   stage_free_.assign(static_cast<std::size_t>(cfg_.pp), true);
   stage_queue_.assign(static_cast<std::size_t>(cfg_.pp), {});
   batches_.clear();
@@ -171,11 +185,16 @@ void PipelineEngine::enter_stage(std::uint64_t batch_id, int stage) {
   stage_busy_[static_cast<std::size_t>(stage)] += dur;
   if (cfg_.record_busy_intervals)
     busy_intervals_.push_back(BusyInterval{stage, sim_.now(), dur});
+  if (cfg_.obs != nullptr)
+    cfg_.obs->tracer().begin(stage, "forward",
+                             {{"batch", static_cast<double>(batch_id)},
+                              {"tokens", static_cast<double>(batch.total_new_tokens)}});
   sim_.call_in(dur, [this, batch_id, stage] { on_stage_done(batch_id, stage); });
 }
 
 void PipelineEngine::on_stage_done(std::uint64_t batch_id, int stage) {
   stage_free_[static_cast<std::size_t>(stage)] = true;
+  if (cfg_.obs != nullptr) cfg_.obs->tracer().end(stage, "forward");
 
   if (stage + 1 < cfg_.pp) {
     const double hop = pp_hop_time(batches_.at(batch_id), stage);

@@ -1,0 +1,215 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace gllm::obs {
+
+std::size_t thread_shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: needs >= 1 bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  const std::size_t cells = kMetricShards * (bounds_.size() + 1);
+  cells_ = std::make_unique<std::atomic<std::int64_t>[]>(cells);
+  for (std::size_t i = 0; i < cells; ++i) cells_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  // Prometheus `le` buckets: upper bounds are inclusive, so a value equal to
+  // a bound lands in that bound's bucket (first bound >= v).
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const std::size_t shard = thread_shard_index();
+  cells_[shard * (bounds_.size() + 1) + bucket].fetch_add(1, std::memory_order_relaxed);
+  auto& sum = sums_[shard].sum;
+  double cur = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(bounds_.size() + 1, 0);
+  for (std::size_t s = 0; s < kMetricShards; ++s)
+    for (std::size_t b = 0; b < out.size(); ++b)
+      out[b] += cells_[s * out.size() + b].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t total = 0;
+  for (const auto c : bucket_counts()) total += c;
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : sums_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor, int count) {
+  if (start <= 0 || factor <= 1.0 || count <= 0)
+    throw std::invalid_argument("Histogram: bad exponential bounds");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i, b *= factor) out.push_back(b);
+  return out;
+}
+
+std::vector<double> Histogram::linear_bounds(double start, double width, int count) {
+  if (width <= 0 || count <= 0) throw std::invalid_argument("Histogram: bad linear bounds");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(start + width * i);
+  return out;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+void Registry::check_name(std::string_view name) const {
+  // Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+  auto ok_head = [](char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':'; };
+  auto ok_tail = [&](char c) { return ok_head(c) || std::isdigit(static_cast<unsigned char>(c)); };
+  if (name.empty() || !ok_head(name.front()) ||
+      !std::all_of(name.begin() + 1, name.end(), ok_tail))
+    throw std::invalid_argument("Registry: invalid metric name '" + std::string(name) + "'");
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  check_name(name);
+  std::lock_guard lock(mu_);
+  if (gauges_.count(name) || histograms_.count(name))
+    throw std::invalid_argument("Registry: '" + std::string(name) + "' is not a counter");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           Named<Counter>{std::unique_ptr<Counter>(new Counter()),
+                                          std::string(help)})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  check_name(name);
+  std::lock_guard lock(mu_);
+  if (counters_.count(name) || histograms_.count(name))
+    throw std::invalid_argument("Registry: '" + std::string(name) + "' is not a gauge");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Named<Gauge>{std::unique_ptr<Gauge>(new Gauge()),
+                                                         std::string(help)})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds) {
+  check_name(name);
+  std::lock_guard lock(mu_);
+  if (counters_.count(name) || gauges_.count(name))
+    throw std::invalid_argument("Registry: '" + std::string(name) + "' is not a histogram");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      Named<Histogram>{
+                          std::unique_ptr<Histogram>(new Histogram(std::move(bounds))),
+                          std::string(help)})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.instrument.get();
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.instrument.get();
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.instrument.get();
+}
+
+std::string Registry::render_prometheus() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream oss;
+  for (const auto& [name, c] : counters_) {
+    oss << "# HELP " << name << " " << c.help << "\n"
+        << "# TYPE " << name << " counter\n"
+        << name << " " << c.instrument->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    oss << "# HELP " << name << " " << g.help << "\n"
+        << "# TYPE " << name << " gauge\n"
+        << name << " " << g.instrument->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    oss << "# HELP " << name << " " << h.help << "\n"
+        << "# TYPE " << name << " histogram\n";
+    const auto counts = h.instrument->bucket_counts();
+    std::int64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.instrument->bounds().size(); ++b) {
+      cumulative += counts[b];
+      oss << name << "_bucket{le=\"" << h.instrument->bounds()[b] << "\"} " << cumulative
+          << "\n";
+    }
+    cumulative += counts.back();
+    oss << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+        << name << "_sum " << h.instrument->sum() << "\n"
+        << name << "_count " << cumulative << "\n";
+  }
+  return oss.str();
+}
+
+std::string Registry::render_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream oss;
+  oss << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    oss << (first ? "" : ",") << "\"" << name << "\":" << c.instrument->value();
+    first = false;
+  }
+  oss << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    oss << (first ? "" : ",") << "\"" << name << "\":" << g.instrument->value();
+    first = false;
+  }
+  oss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const auto count = h.instrument->count();
+    const auto sum = h.instrument->sum();
+    oss << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << count
+        << ",\"sum\":" << sum << ",\"mean\":" << (count ? sum / static_cast<double>(count) : 0.0)
+        << "}";
+    first = false;
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+}  // namespace gllm::obs

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gllm::obs {
+
+/// Number of cache-line-separated shards each instrument spreads its updates
+/// over. Threads are assigned shards round-robin on first use, so increments
+/// from different threads rarely touch the same line; reads fold all shards.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Index of the calling thread's shard (stable for the thread's lifetime).
+std::size_t thread_shard_index();
+
+/// Monotone event count. Increments are relaxed atomics on a per-thread
+/// shard; value() folds the shards, so concurrent totals are exact.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) {
+    shards_[thread_shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (e.g. KV free rate).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds, with
+/// an implicit +Inf overflow bucket. observe() is one relaxed fetch_add on a
+/// per-thread shard plus a CAS on the shard's running sum; scrapes fold.
+class Histogram {
+ public:
+  void observe(double v);
+
+  std::int64_t count() const;
+  double sum() const;
+  /// Per-bucket (non-cumulative) folded counts, one per bound plus +Inf last.
+  std::vector<std::int64_t> bucket_counts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// `count` bounds starting at `start`, each `factor` times the previous.
+  static std::vector<double> exponential_bounds(double start, double factor, int count);
+  /// `count` bounds `start, start+width, ...`.
+  static std::vector<double> linear_bounds(double start, double width, int count);
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+
+  struct alignas(64) Shard {
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> sums_{};
+  /// kMetricShards consecutive blocks of bounds_.size()+1 relaxed cells.
+  std::unique_ptr<std::atomic<std::int64_t>[]> cells_;
+};
+
+/// Named-instrument registry with Prometheus text exposition. Instrument
+/// creation is mutex-protected and idempotent (same name returns the same
+/// object; a name reused across kinds throws); the returned references stay
+/// valid for the registry's lifetime, so hot paths hold plain pointers and
+/// never touch the lock again.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name, std::string_view help);
+  Gauge& gauge(std::string_view name, std::string_view help);
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> bounds);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Prometheus text exposition format 0.0.4 (# HELP / # TYPE headers,
+  /// cumulative `_bucket{le=...}` lines, `_sum` / `_count`).
+  std::string render_prometheus() const;
+  /// One JSON object: {"counters":{..},"gauges":{..},"histograms":{..}}.
+  std::string render_json() const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::unique_ptr<T> instrument;
+    std::string help;
+  };
+  void check_name(std::string_view name) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Named<Counter>, std::less<>> counters_;
+  std::map<std::string, Named<Gauge>, std::less<>> gauges_;
+  std::map<std::string, Named<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace gllm::obs

@@ -1,0 +1,31 @@
+#include "obs/obs.hpp"
+
+namespace gllm::obs {
+
+Observability::Observability(ObsConfig cfg) : tracer_(cfg.trace_ring_capacity) {
+  tracer_.set_enabled(cfg.tracing);
+
+  serving_.requests_admitted =
+      &registry_.counter("gllm_requests_admitted_total", "Requests admitted to the waiting queue");
+  serving_.requests_completed =
+      &registry_.counter("gllm_requests_completed_total", "Requests that finished generating");
+  serving_.preemptions =
+      &registry_.counter("gllm_preemptions_total", "Recompute preemptions (KV pressure)");
+  serving_.stalled_prefill_resets = &registry_.counter(
+      "gllm_stalled_prefill_resets_total", "Half-admitted prompts reset to break KV deadlocks");
+  serving_.tokens_scheduled = &registry_.counter(
+      "gllm_tokens_scheduled_total", "Prefill+decode tokens committed into micro-batches");
+  serving_.kv_free_rate =
+      &registry_.gauge("gllm_kv_free_rate", "KV cache free rate at the last scheduled batch");
+  serving_.ttft_seconds =
+      &registry_.histogram("gllm_ttft_seconds", "Time to first token (s)",
+                           Histogram::exponential_bounds(0.001, 2.0, 17));  // 1 ms .. ~65 s
+  serving_.tpot_seconds =
+      &registry_.histogram("gllm_tpot_seconds", "Time per output token after the first (s)",
+                           Histogram::exponential_bounds(0.0001, 2.0, 16));  // 0.1 ms .. ~3 s
+  serving_.iteration_tokens = &registry_.histogram(
+      "gllm_iteration_tokens", "Scheduled tokens per micro-batch",
+      Histogram::linear_bounds(256.0, 256.0, 16));  // 256 .. 4096, +Inf beyond
+}
+
+}  // namespace gllm::obs

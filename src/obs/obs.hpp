@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gllm::obs {
+
+/// Construction-time switches for one Observability instance.
+struct ObsConfig {
+  /// Record spans / instant events (metrics are always live once an
+  /// Observability exists; tracing is the memory-heavy part).
+  bool tracing = false;
+  /// Per-thread trace ring capacity, in events.
+  std::size_t trace_ring_capacity = 1 << 14;
+};
+
+/// Pre-registered instrument handles for the serving pipeline, resolved once
+/// at construction so hot paths never touch the registry lock. Every executor
+/// (DES engines, threaded runtime) increments the same names, which is what
+/// makes `GET /metrics` and the figure-style dashboards executor-agnostic.
+struct ServingMetrics {
+  Counter* requests_admitted = nullptr;       ///< entered the waiting queue
+  Counter* requests_completed = nullptr;      ///< finished generating
+  Counter* preemptions = nullptr;             ///< recompute preemptions
+  Counter* stalled_prefill_resets = nullptr;  ///< KV-deadlock resets
+  Counter* tokens_scheduled = nullptr;        ///< committed prefill+decode tokens
+  Gauge* kv_free_rate = nullptr;              ///< KV_free of eq. 2/3, last scheduled batch
+  Histogram* ttft_seconds = nullptr;
+  Histogram* tpot_seconds = nullptr;
+  Histogram* iteration_tokens = nullptr;  ///< per-micro-batch scheduled tokens
+};
+
+/// The unified observability handle threaded through the serving layers:
+/// one metrics registry + one span tracer + the pre-registered serving
+/// instruments. Layers hold an `Observability*` that defaults to nullptr —
+/// the disabled path is a single pointer test.
+class Observability {
+ public:
+  explicit Observability(ObsConfig cfg = {});
+
+  Registry& metrics() { return registry_; }
+  const Registry& metrics() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  ServingMetrics& serving() { return serving_; }
+  const ServingMetrics& serving() const { return serving_; }
+
+  /// JSON summary of every registered instrument (the /v1/stats body).
+  std::string stats_json() const { return registry_.render_json(); }
+
+ private:
+  Registry registry_;
+  Tracer tracer_;
+  ServingMetrics serving_;
+};
+
+}  // namespace gllm::obs

@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+namespace gllm::obs {
+
+namespace {
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// JSON number: integral values print without a fraction so Perfetto shows
+/// token counts as integers.
+void write_number(std::ostream& os, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+}
+
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+}  // namespace
+
+double TraceEvent::arg(const char* key, double fallback) const {
+  for (int i = 0; i < n_args; ++i) {
+    if (std::strcmp(args[static_cast<std::size_t>(i)].key, key) == 0)
+      return args[static_cast<std::size_t>(i)].value;
+  }
+  return fallback;
+}
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : id_(next_tracer_id()),
+      capacity_(ring_capacity),
+      t0_(std::chrono::steady_clock::now()) {
+  if (capacity_ == 0) throw std::invalid_argument("Tracer: ring capacity must be > 0");
+}
+
+void Tracer::set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+double Tracer::now() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+}
+
+void Tracer::set_track_name(int track, std::string name) {
+  std::lock_guard lock(mu_);
+  track_names_[track] = std::move(name);
+}
+
+void Tracer::begin(int track, const char* name, std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent ev{name, EventPhase::kBegin, track, now(), 0, {}};
+  for (const TraceArg& a : args) {
+    if (ev.n_args >= static_cast<int>(ev.args.size())) break;
+    ev.args[static_cast<std::size_t>(ev.n_args++)] = a;
+  }
+  record(ev);
+}
+
+void Tracer::instant(int track, const char* name, std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent ev{name, EventPhase::kInstant, track, now(), 0, {}};
+  for (const TraceArg& a : args) {
+    if (ev.n_args >= static_cast<int>(ev.args.size())) break;
+    ev.args[static_cast<std::size_t>(ev.n_args++)] = a;
+  }
+  record(ev);
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  struct CacheEntry {
+    std::uint64_t tracer_id;
+    Buffer* buffer;
+  };
+  // Keyed by the process-unique tracer id, so an entry can never resolve to a
+  // buffer of a destroyed-and-reallocated tracer.
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.tracer_id == id_) return *e.buffer;
+  }
+  auto owned = std::make_unique<Buffer>(capacity_);
+  Buffer* buffer = owned.get();
+  {
+    std::lock_guard lock(mu_);
+    buffers_.push_back(std::move(owned));
+  }
+  cache.push_back(CacheEntry{id_, buffer});
+  return *buffer;
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  Buffer& b = local_buffer();
+  std::lock_guard lock(b.mu);
+  if (b.size == b.slots.size()) {
+    // Full: overwrite the oldest event (bounded memory, drop counter).
+    b.slots[b.start] = ev;
+    b.start = (b.start + 1) % b.slots.size();
+    ++b.dropped;
+  } else {
+    b.slots[(b.start + b.size) % b.slots.size()] = ev;
+    ++b.size;
+  }
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard buffer_lock(b->mu);
+    total += b->dropped;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& b : buffers_) {
+      std::lock_guard buffer_lock(b->mu);
+      for (std::size_t i = 0; i < b->size; ++i)
+        out.push_back(b->slots[(b->start + i) % b->slots.size()]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const auto events = snapshot();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [track, name] : track_names_) {
+      os << (first ? "" : ",")
+         << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+         << ",\"args\":{\"name\":\"";
+      write_escaped(os, name.c_str());
+      os << "\"}}";
+      first = false;
+    }
+  }
+  for (const TraceEvent& ev : events) {
+    const char* ph = ev.phase == EventPhase::kBegin  ? "B"
+                     : ev.phase == EventPhase::kEnd  ? "E"
+                                                     : "i";
+    os << (first ? "" : ",") << "{\"name\":\"";
+    write_escaped(os, ev.name);
+    os << "\",\"ph\":\"" << ph << "\",\"pid\":1,\"tid\":" << ev.track << ",\"ts\":"
+       << ev.ts * 1e6;
+    if (ev.phase == EventPhase::kInstant) os << ",\"s\":\"t\"";
+    if (ev.n_args > 0) {
+      os << ",\"args\":{";
+      for (int i = 0; i < ev.n_args; ++i) {
+        if (i) os << ",";
+        os << "\"";
+        write_escaped(os, ev.args[static_cast<std::size_t>(i)].key);
+        os << "\":";
+        write_number(os, ev.args[static_cast<std::size_t>(i)].value);
+      }
+      os << "}";
+    }
+    os << "}";
+    first = false;
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  for (const auto& b : buffers_) {
+    std::lock_guard buffer_lock(b->mu);
+    b->start = 0;
+    b->size = 0;
+    b->dropped = 0;
+  }
+}
+
+}  // namespace gllm::obs

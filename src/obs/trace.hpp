@@ -1,0 +1,132 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gllm::obs {
+
+enum class EventPhase { kBegin, kEnd, kInstant };
+
+/// One named numeric annotation on a trace event (rendered into Chrome
+/// trace-event `args`). Keys must be string literals / static strings — the
+/// tracer stores the pointer, not a copy.
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+/// One span edge or instant event. `name` must be a static string. `track` is
+/// the logical timeline the event belongs to (a pipeline stage, the driver);
+/// it is exported as the Chrome trace `tid`, with `pid` fixed to 1.
+struct TraceEvent {
+  const char* name = nullptr;
+  EventPhase phase = EventPhase::kInstant;
+  int track = 0;
+  double ts = 0.0;  ///< seconds on the tracer's clock
+  int n_args = 0;
+  std::array<TraceArg, 4> args{};
+
+  double arg(const char* key, double fallback = 0.0) const;
+};
+
+/// Span/instant recorder with bounded memory: events land in per-thread ring
+/// buffers (oldest dropped on overflow, counted); a scrape folds all buffers
+/// into one time-sorted snapshot or a Chrome trace-event JSON file loadable
+/// in chrome://tracing or Perfetto.
+///
+/// Dual clock: by default timestamps are wall-clock seconds since
+/// construction (steady_clock); a discrete-event engine injects its simulated
+/// clock with set_clock() before recording (single-threaded setup only —
+/// swapping the clock while other threads record is undefined).
+///
+/// Disabled (the default) every recording call is one relaxed load + branch.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t ring_capacity = 1 << 14);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Inject a clock (e.g. DES sim time). nullptr restores the wall clock.
+  void set_clock(std::function<double()> clock);
+  double now() const;
+
+  /// Label a track in the exported trace (Chrome thread_name metadata).
+  void set_track_name(int track, std::string name);
+
+  void begin(int track, const char* name) {
+    if (enabled()) record(TraceEvent{name, EventPhase::kBegin, track, now(), 0, {}});
+  }
+  /// Begin with annotations (shown on the span in Perfetto).
+  void begin(int track, const char* name, std::initializer_list<TraceArg> args);
+  void end(int track, const char* name) {
+    if (enabled()) record(TraceEvent{name, EventPhase::kEnd, track, now(), 0, {}});
+  }
+  void instant(int track, const char* name, std::initializer_list<TraceArg> args = {});
+
+  /// Events dropped to ring-buffer overflow, across all threads.
+  std::uint64_t dropped() const;
+  /// All buffered events, folded across threads and sorted by timestamp.
+  std::vector<TraceEvent> snapshot() const;
+  /// Chrome trace-event JSON (one {"traceEvents":[...]} object, ts in µs).
+  void write_chrome_trace(std::ostream& os) const;
+  void clear();
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t capacity) : slots(capacity) {}
+    mutable std::mutex mu;
+    std::vector<TraceEvent> slots;
+    std::size_t start = 0;  ///< oldest event
+    std::size_t size = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  Buffer& local_buffer();
+  void record(const TraceEvent& ev);
+
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::function<double()> clock_;  ///< null = wall clock
+  std::chrono::steady_clock::time_point t0_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::map<int, std::string> track_names_;
+};
+
+/// RAII span: begin on construction, end on destruction. A null tracer (or a
+/// disabled one) makes both ends no-ops.
+class SpanGuard {
+ public:
+  SpanGuard(Tracer* tracer, int track, const char* name)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        track_(track),
+        name_(name) {
+    if (tracer_ != nullptr) tracer_->begin(track_, name_);
+  }
+  ~SpanGuard() {
+    if (tracer_ != nullptr) tracer_->end(track_, name_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Tracer* tracer_;
+  int track_;
+  const char* name_;
+};
+
+}  // namespace gllm::obs

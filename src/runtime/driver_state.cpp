@@ -16,6 +16,8 @@ engine::AdmissionConfig admission_config(std::int64_t kv_capacity_tokens, int kv
   cfg.kv_block_size = kv_block_size;
   cfg.pipeline_depth = pipeline_depth;
   cfg.prefix_caching = config.prefix_caching;
+  cfg.obs = config.obs;
+  cfg.trace_track = config.trace_track;
   return cfg;
 }
 }  // namespace
@@ -85,7 +87,8 @@ void PipelineHandles::shutdown() {
 
 PipelineHandles assemble_pipeline(const model::ModelConfig& model, int pp,
                                   std::uint64_t weight_seed, std::int64_t kv_capacity,
-                                  int kv_block_size, nn::Sampler sampler) {
+                                  int kv_block_size, nn::Sampler sampler,
+                                  obs::Tracer* tracer) {
   PipelineHandles handles;
   const model::PartitionPlan partition(model, pp);
   const auto kv_blocks = static_cast<std::int32_t>(kv_capacity / kv_block_size);
@@ -104,7 +107,8 @@ PipelineHandles assemble_pipeline(const model::ModelConfig& model, int pp,
     SampleChannel* sout = s == pp - 1 ? handles.samples.get() : nullptr;
     handles.workers.push_back(std::make_unique<StageWorker>(
         model, partition.stage(s), weight_seed, kv_blocks, kv_block_size,
-        *handles.meta_channels[static_cast<std::size_t>(s)], in, out, sout, sampler));
+        *handles.meta_channels[static_cast<std::size_t>(s)], in, out, sout, sampler,
+        tracer, s));
   }
   for (auto& w : handles.workers) w->start();
   for (auto& ch : handles.meta_channels) handles.channel_ptrs.push_back(ch.get());

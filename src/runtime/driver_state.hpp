@@ -17,6 +17,10 @@ namespace gllm::runtime {
 /// RuntimeOptions so DriverState needs no circular include).
 struct DriverConfig {
   bool prefix_caching = false;
+  /// Observability sink forwarded into the shared AdmissionCore (null = off).
+  obs::Observability* obs = nullptr;
+  /// Trace track for admission instants (by convention pp, the driver track).
+  int trace_track = 0;
 };
 
 /// The driver worker's scheduling state, shared between PipelineRuntime
@@ -91,8 +95,11 @@ struct PipelineHandles {
 };
 
 /// Build and start the stage workers for `model` partitioned `pp` ways.
+/// `tracer` (nullable) gives each worker a span track equal to its stage
+/// index; it must outlive the workers.
 PipelineHandles assemble_pipeline(const model::ModelConfig& model, int pp,
                                   std::uint64_t weight_seed, std::int64_t kv_capacity,
-                                  int kv_block_size, nn::Sampler sampler);
+                                  int kv_block_size, nn::Sampler sampler,
+                                  obs::Tracer* tracer = nullptr);
 
 }  // namespace gllm::runtime

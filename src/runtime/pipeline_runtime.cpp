@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 #include "util/queue.hpp"
 
@@ -29,9 +32,21 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
                                    std::function<void(const StreamEvent&)> on_token) {
   const auto t0 = std::chrono::steady_clock::now();
 
+  // Wall-clock tracing, origin at this run's t0 so both executors' traces
+  // start near zero. The driver owns the tracer's clock for the whole run.
+  obs::Tracer* tracer = nullptr;
+  if (options_.obs != nullptr) {
+    tracer = &options_.obs->tracer();
+    tracer->set_clock([t0] { return seconds_since(t0); });
+    for (int s = 0; s < options_.pp; ++s)
+      tracer->set_track_name(s, "stage " + std::to_string(s));
+    tracer->set_track_name(options_.pp, "driver");
+    scheduler_->set_observability(options_.obs, options_.pp);
+  }
+
   // --- driver state (validated before any thread spawns) -------------------
   DriverState state(options_.kv_capacity_tokens, options_.kv_block_size, options_.pp,
-                    DriverConfig{options_.prefix_caching});
+                    DriverConfig{options_.prefix_caching, options_.obs, options_.pp});
 
   // Requests enter the waiting queue in arrival order; with respect_arrivals
   // only once their submission instant passes.
@@ -54,7 +69,8 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
           : nn::Sampler(options_.top_k, options_.temperature, options_.sampler_seed);
   PipelineHandles handles =
       assemble_pipeline(options_.model, options_.pp, options_.weight_seed,
-                        options_.kv_capacity_tokens, options_.kv_block_size, sampler);
+                        options_.kv_capacity_tokens, options_.kv_block_size, sampler,
+                        tracer);
 
   // --- decoupled frontend -----------------------------------------------------
   util::BoundedQueue<StreamEvent> stream(4096);
@@ -80,7 +96,11 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
     while (state.in_flight() < options_.pp) {
       const double now = seconds_since(t0);
       const auto plan_t0 = std::chrono::steady_clock::now();
-      sched::MicroBatchPlan plan = scheduler_->plan(state.build_context(now));
+      sched::MicroBatchPlan plan;
+      {
+        obs::SpanGuard span(tracer, options_.pp, "sched.plan");
+        plan = scheduler_->plan(state.build_context(now));
+      }
       report.total_plan_seconds += seconds_since(plan_t0);
       if (plan.empty()) break;
       if (!state.materialize_and_dispatch(std::move(plan), now, handles.channel_ptrs))
@@ -109,7 +129,11 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
 
     // Retire the oldest micro-batch (channels are FIFO, so completion order
     // matches dispatch order).
-    auto result = handles.samples->pop();
+    std::optional<SampleResult> result;
+    {
+      obs::SpanGuard span(tracer, options_.pp, "wait.sample");
+      result = handles.samples->pop();
+    }
     if (!result) break;
     finished += static_cast<std::size_t>(state.complete_batch(
         *result, seconds_since(t0),

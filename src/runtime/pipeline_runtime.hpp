@@ -32,6 +32,10 @@ struct RuntimeOptions {
   /// integrates vLLM-style automatic prefix caching). Token outputs remain
   /// bit-identical; only the reused prefix's computation is skipped.
   bool prefix_caching = false;
+  /// Observability sink. Metrics are always recorded when non-null; spans
+  /// additionally when its tracer is enabled. Tracks 0..pp-1 are the stage
+  /// workers, pp the driver. Must outlive the run.
+  obs::Observability* obs = nullptr;
 };
 
 struct RuntimeRequestRecord {

@@ -1,8 +1,11 @@
 #include "runtime/service.hpp"
 
 #include <chrono>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace gllm::runtime {
@@ -37,16 +40,27 @@ void PipelineService::start() {
     running_ = true;
   }
   t0_ = std::chrono::steady_clock::now();
+  if (options_.obs != nullptr) {
+    obs::Tracer& tracer = options_.obs->tracer();
+    const auto t0 = t0_;
+    tracer.set_clock([t0] { return seconds_since(t0); });
+    for (int s = 0; s < options_.pp; ++s)
+      tracer.set_track_name(s, "stage " + std::to_string(s));
+    tracer.set_track_name(options_.pp, "driver");
+    scheduler_->set_observability(options_.obs, options_.pp);
+  }
   state_ = std::make_unique<DriverState>(options_.kv_capacity_tokens,
                                          options_.kv_block_size, options_.pp,
-                                         DriverConfig{options_.prefix_caching});
+                                         DriverConfig{options_.prefix_caching,
+                                                      options_.obs, options_.pp});
   const nn::Sampler sampler =
       options_.greedy_sampling
           ? nn::Sampler{}
           : nn::Sampler(options_.top_k, options_.temperature, options_.sampler_seed);
   handles_ = assemble_pipeline(options_.model, options_.pp, options_.weight_seed,
                                options_.kv_capacity_tokens, options_.kv_block_size,
-                               sampler);
+                               sampler,
+                               options_.obs != nullptr ? &options_.obs->tracer() : nullptr);
   driver_ = std::thread([this] { service_loop(); });
 }
 
@@ -107,9 +121,14 @@ void PipelineService::admit_submission(Submission submission) {
 
 bool PipelineService::admit_batches() {
   bool admitted = false;
+  obs::Tracer* tracer = options_.obs != nullptr ? &options_.obs->tracer() : nullptr;
   while (state_->in_flight() < options_.pp) {
     const double now = seconds_since(t0_);
-    sched::MicroBatchPlan plan = scheduler_->plan(state_->build_context(now));
+    sched::MicroBatchPlan plan;
+    {
+      obs::SpanGuard span(tracer, options_.pp, "sched.plan");
+      plan = scheduler_->plan(state_->build_context(now));
+    }
     if (plan.empty()) break;
     if (!state_->materialize_and_dispatch(std::move(plan), now, handles_.channel_ptrs))
       break;
@@ -148,7 +167,12 @@ void PipelineService::service_loop() {
 
     if (state_->in_flight() > 0) {
       // A micro-batch is in flight: its sample result is guaranteed to come.
-      auto result = handles_.samples->pop();
+      std::optional<SampleResult> result;
+      {
+        obs::SpanGuard span(options_.obs != nullptr ? &options_.obs->tracer() : nullptr,
+                            options_.pp, "wait.sample");
+        result = handles_.samples->pop();
+      }
       if (!result) break;  // channels torn down underneath us
       const double now = seconds_since(t0_);
       state_->complete_batch(

@@ -1,5 +1,6 @@
 #include "runtime/worker.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
@@ -10,13 +11,16 @@ namespace gllm::runtime {
 StageWorker::StageWorker(const model::ModelConfig& cfg, model::StageShape shape,
                          std::uint64_t seed, std::int32_t kv_blocks, int kv_block_size,
                          MetaChannel& meta_in, ActChannel* act_in, ActChannel* act_out,
-                         SampleChannel* samples_out, nn::Sampler sampler)
+                         SampleChannel* samples_out, nn::Sampler sampler,
+                         obs::Tracer* tracer, int track)
     : stage_(cfg, shape, seed, kv_blocks, kv_block_size),
       sampler_(sampler),
       meta_in_(meta_in),
       act_in_(act_in),
       act_out_(act_out),
-      samples_out_(samples_out) {
+      samples_out_(samples_out),
+      tracer_(tracer),
+      track_(track) {
   if (shape.has_lm_head && samples_out_ == nullptr)
     throw std::invalid_argument("StageWorker: last stage needs a sample channel");
   if (!shape.has_lm_head && act_out_ == nullptr)
@@ -35,7 +39,11 @@ void StageWorker::join() {
 
 void StageWorker::run() {
   for (;;) {
-    auto meta = meta_in_.pop();
+    std::optional<StepMetadata> meta;
+    {
+      obs::SpanGuard wait(tracer_, track_, "wait.meta");
+      meta = meta_in_.pop();
+    }
     if (!meta) return;  // channel closed: clean shutdown
     process(*meta);
   }
@@ -62,13 +70,18 @@ void StageWorker::process(const StepMetadata& meta) {
   if (stage_.shape().has_embedding) {
     hidden = stage_.embed(all_tokens);
   } else {
-    auto act = act_in_->pop();
+    std::optional<Activations> act;
+    {
+      obs::SpanGuard wait(tracer_, track_, "wait.act");
+      act = act_in_->pop();
+    }
     if (!act) return;  // shutting down mid-batch
     if (act->batch_id != meta.batch_id)
       throw std::logic_error("StageWorker: activation/metadata batch mismatch");
     hidden = std::move(act->hidden);
   }
 
+  obs::SpanGuard forward(tracer_, track_, "forward");
   stage_.forward(hidden, items);
 
   if (stage_.shape().has_lm_head) {
@@ -81,6 +94,10 @@ void StageWorker::process(const StepMetadata& meta) {
       const nn::TokenId token = sampler_.sample(logits.row(out++));
       result.tokens.emplace_back(im.seq, token);
     }
+    if (tracer_ != nullptr)
+      tracer_->instant(track_, "sample.return",
+                       {{"batch", static_cast<double>(meta.batch_id)},
+                        {"tokens", static_cast<double>(result.tokens.size())}});
     samples_out_->push(std::move(result));
   } else {
     act_out_->push(Activations{meta.batch_id, std::move(hidden)});

@@ -5,6 +5,7 @@
 
 #include "nn/sampler.hpp"
 #include "nn/stage.hpp"
+#include "obs/trace.hpp"
 #include "runtime/messages.hpp"
 #include "util/queue.hpp"
 
@@ -24,7 +25,8 @@ class StageWorker {
   StageWorker(const model::ModelConfig& cfg, model::StageShape shape, std::uint64_t seed,
               std::int32_t kv_blocks, int kv_block_size, MetaChannel& meta_in,
               ActChannel* act_in, ActChannel* act_out, SampleChannel* samples_out,
-              nn::Sampler sampler = nn::Sampler{});
+              nn::Sampler sampler = nn::Sampler{}, obs::Tracer* tracer = nullptr,
+              int track = 0);
 
   void start();
   void join();
@@ -41,6 +43,8 @@ class StageWorker {
   ActChannel* act_in_;
   ActChannel* act_out_;
   SampleChannel* samples_out_;
+  obs::Tracer* tracer_;  ///< null = tracing off for this worker
+  int track_;
   std::thread thread_;
 };
 

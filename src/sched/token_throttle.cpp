@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace gllm::sched {
 
 TokenThrottleScheduler::TokenThrottleScheduler(ThrottleParams params) : params_(params) {
@@ -111,6 +113,20 @@ MicroBatchPlan TokenThrottleScheduler::plan(const ScheduleContext& ctx) {
     } else {
       p_budget -= chunk;
     }
+  }
+
+  // One decision instant per non-empty plan: the eq. 1-4 inputs (#WP,
+  // KV_free) and outputs (#P, #D). Empty plans are skipped so the decision
+  // stream is identical between the DES engines and the threaded runtime
+  // (idle-poll counts differ; committed decisions cannot, by AdmissionCore
+  // parity).
+  if (obs_ != nullptr && !out.items.empty()) {
+    obs_->tracer().instant(
+        track_, "throttle.decision",
+        {{"wp", static_cast<double>(ctx.waiting_prefill_tokens())},
+         {"kv_free", ctx.kv_free_rate},
+         {"p", static_cast<double>(out.prefill_tokens())},
+         {"d", static_cast<double>(out.decode_tokens())}});
   }
   return out;
 }

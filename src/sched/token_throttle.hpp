@@ -45,6 +45,10 @@ class TokenThrottleScheduler final : public IScheduler {
 
   MicroBatchPlan plan(const ScheduleContext& ctx) override;
   std::string_view name() const override;
+  void set_observability(obs::Observability* obs, int track) override {
+    obs_ = obs;
+    track_ = track;
+  }
 
   /// The #P value of eqs. 1-3 before chunk assignment; exposed for tests and
   /// the sensitivity study.
@@ -61,6 +65,8 @@ class TokenThrottleScheduler final : public IScheduler {
 
  private:
   ThrottleParams params_;
+  obs::Observability* obs_ = nullptr;
+  int track_ = 0;
 };
 
 }  // namespace gllm::sched

@@ -6,6 +6,10 @@
 
 #include "kv/kv_manager.hpp"
 
+namespace gllm::obs {
+class Observability;
+}
+
 namespace gllm::sched {
 
 enum class Phase { kPrefill, kDecode };
@@ -91,6 +95,10 @@ class IScheduler {
   virtual ~IScheduler() = default;
   virtual MicroBatchPlan plan(const ScheduleContext& ctx) = 0;
   virtual std::string_view name() const = 0;
+  /// Attach an observability sink; decision-aware policies emit one trace
+  /// instant per non-empty plan on `track`. Default: ignore (policies without
+  /// interesting decisions stay silent).
+  virtual void set_observability(obs::Observability* /*obs*/, int /*track*/) {}
 };
 
 }  // namespace gllm::sched

@@ -14,6 +14,7 @@ engine::EngineConfig SystemOptions::engine_config() const {
   cfg.runtime = runtime;
   cfg.record_busy_intervals = record_busy_intervals;
   cfg.cohort_pinning = cohort_pinning;
+  cfg.obs = obs;
   return cfg;
 }
 

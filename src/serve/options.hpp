@@ -32,6 +32,8 @@ struct SystemOptions {
   bool prefix_caching = false;
   bool record_busy_intervals = false;  ///< Figure 4 utilization timelines
   bool cohort_pinning = false;         ///< vLLM-V0 virtual-engine pinning
+  /// Observability sink passed through to the engine (null = off).
+  obs::Observability* obs = nullptr;
 
   engine::EngineConfig engine_config() const;
 

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace gllm::server {
@@ -69,21 +70,13 @@ std::string status_text(int status) {
       return "Bad Request";
     case 404:
       return "Not Found";
+    case 405:
+      return "Method Not Allowed";
     case 503:
       return "Service Unavailable";
     default:
       return "Internal Server Error";
   }
-}
-
-std::string make_response(int status, const std::string& body) {
-  std::ostringstream oss;
-  oss << "HTTP/1.1 " << status << " " << status_text(status) << "\r\n"
-      << "Content-Type: application/json\r\n"
-      << "Content-Length: " << body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << body;
-  return oss.str();
 }
 
 }  // namespace
@@ -195,48 +188,76 @@ void HttpServer::handle_connection(int fd) {
     request_line >> method >> path >> version;
     const std::string body = raw.substr(header_end + 4, content_length);
 
-    int status = 500;
-    std::string response_body;
+    Response response;
     try {
-      response_body = handle_request(method, path, body, status);
+      response = handle_request(method, path, body);
     } catch (const std::exception& e) {
-      status = 500;
-      response_body = std::string("{\"error\":\"") + e.what() + "\"}";
+      response = Response{500, std::string("{\"error\":\"") + e.what() + "\"}",
+                          "application/json", ""};
     }
-    send_all(fd, make_response(status, response_body));
+    std::ostringstream oss;
+    oss << "HTTP/1.1 " << response.status << " " << status_text(response.status) << "\r\n"
+        << "Content-Type: " << response.content_type << "\r\n"
+        << "Content-Length: " << response.body.size() << "\r\n";
+    if (!response.allow.empty()) oss << "Allow: " << response.allow << "\r\n";
+    oss << "Connection: close\r\n\r\n" << response.body;
+    send_all(fd, oss.str());
   }
   ::close(fd);
 }
 
-std::string HttpServer::handle_request(const std::string& method, const std::string& path,
-                                       const std::string& body, int& status) {
-  if (method == "GET" && path == "/health") {
-    status = 200;
-    return "{\"status\":\"ok\",\"model\":\"" + service_.options().model.name + "\"}";
-  }
-  if (!(method == "POST" && path == "/v1/completions")) {
-    status = 404;
-    return "{\"error\":\"unknown endpoint\"}";
-  }
+HttpServer::Response HttpServer::handle_request(const std::string& method,
+                                                const std::string& path,
+                                                const std::string& body) {
+  // Route by path first so a known path with the wrong method gets a 405
+  // (with an Allow header) instead of a misleading 404.
+  const bool get_path = path == "/health" || path == "/metrics" || path == "/v1/stats";
+  if (get_path && method != "GET")
+    return Response{405, "{\"error\":\"method not allowed\"}", "application/json", "GET"};
+  if (path == "/v1/completions" && method != "POST")
+    return Response{405, "{\"error\":\"method not allowed\"}", "application/json", "POST"};
+  if (!get_path && path != "/v1/completions")
+    return Response{404, "{\"error\":\"unknown endpoint\"}", "application/json", ""};
 
+  if (path == "/health") {
+    return Response{200,
+                    "{\"status\":\"ok\",\"model\":\"" + service_.options().model.name + "\"}",
+                    "application/json", ""};
+  }
+  if (path == "/metrics" || path == "/v1/stats") {
+    obs::Observability* obs = service_.options().obs;
+    if (obs == nullptr)
+      return Response{503, "{\"error\":\"observability disabled\"}", "application/json", ""};
+    if (path == "/metrics")
+      return Response{200, obs->metrics().render_prometheus(),
+                      "text/plain; version=0.0.4; charset=utf-8", ""};
+    return Response{200,
+                    "{\"model\":\"" + service_.options().model.name +
+                        "\",\"metrics\":" + obs->stats_json() + "}",
+                    "application/json", ""};
+  }
+  return handle_completion(body);
+}
+
+HttpServer::Response HttpServer::handle_completion(const std::string& body) {
   std::int64_t id = 0, max_tokens = 0;
   std::vector<std::int64_t> prompt;
   if (!json_int_field(body, "id", id) || !json_int_field(body, "max_tokens", max_tokens) ||
       !json_int_array_field(body, "prompt", prompt) || prompt.empty() || max_tokens <= 0) {
-    status = 400;
-    return "{\"error\":\"expected {id, prompt:[ints], max_tokens}\"}";
+    return Response{400, "{\"error\":\"expected {id, prompt:[ints], max_tokens}\"}",
+                    "application/json", ""};
   }
   const auto& cfg = service_.options().model;
   for (const auto token : prompt) {
     if (token < 0 || token >= cfg.vocab) {
-      status = 400;
-      return "{\"error\":\"prompt token out of vocabulary\"}";
+      return Response{400, "{\"error\":\"prompt token out of vocabulary\"}",
+                      "application/json", ""};
     }
   }
   if (static_cast<std::int64_t>(prompt.size()) + max_tokens >
       service_.options().kv_capacity_tokens) {
-    status = 400;
-    return "{\"error\":\"request exceeds KV capacity\"}";
+    return Response{400, "{\"error\":\"request exceeds KV capacity\"}", "application/json",
+                    ""};
   }
 
   nn::GenRequest request;
@@ -257,8 +278,7 @@ std::string HttpServer::handle_request(const std::string& method, const std::str
 
   auto future = done->get_future();
   if (future.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
-    status = 503;
-    return "{\"error\":\"generation timed out\"}";
+    return Response{503, "{\"error\":\"generation timed out\"}", "application/json", ""};
   }
   const auto output = future.get();
 
@@ -269,12 +289,12 @@ std::string HttpServer::handle_request(const std::string& method, const std::str
     oss << output[i];
   }
   oss << "],\"finish_reason\":\"length\"}";
-  status = 200;
-  return oss.str();
+  return Response{200, oss.str(), "application/json", ""};
 }
 
 int http_request(int port, const std::string& method, const std::string& path,
-                 const std::string& body, std::string& response_body) {
+                 const std::string& body, std::string& response_body,
+                 std::string* response_headers) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   sockaddr_in addr{};
@@ -304,6 +324,7 @@ int http_request(int port, const std::string& method, const std::string& path,
   const auto header_end = raw.find("\r\n\r\n");
   if (header_end == std::string::npos) return -1;
   response_body = raw.substr(header_end + 4);
+  if (response_headers != nullptr) *response_headers = raw.substr(0, header_end);
   int status = -1;
   std::istringstream status_line(raw.substr(0, raw.find("\r\n")));
   std::string version;

@@ -16,8 +16,15 @@ namespace gllm::server {
 ///
 /// Endpoints:
 ///   GET  /health            -> {"status":"ok","model":...}
+///   GET  /metrics           -> Prometheus text exposition (0.0.4) of the
+///                              obs::Registry (503 unless the service's
+///                              RuntimeOptions carry an Observability)
+///   GET  /v1/stats          -> JSON snapshot of the same registry
 ///   POST /v1/completions    -> {"id":..,"tokens":[..],"finish_reason":"length"}
 ///        body: {"id": <int>, "prompt": [<int>, ...], "max_tokens": <int>}
+///
+/// A wrong method on a known path yields 405 with an Allow header (RFC 9110);
+/// unknown paths yield 404.
 ///
 /// One thread per connection (Connection: close); requests block until the
 /// runtime finishes generating.
@@ -37,10 +44,18 @@ class HttpServer {
   bool running() const { return running_.load(); }
 
  private:
+  struct Response {
+    int status = 500;
+    std::string body;
+    std::string content_type = "application/json";
+    std::string allow;  ///< Allow header value, set on 405 responses
+  };
+
   void accept_loop();
   void handle_connection(int fd);
-  std::string handle_request(const std::string& method, const std::string& path,
-                             const std::string& body, int& status);
+  Response handle_request(const std::string& method, const std::string& path,
+                          const std::string& body);
+  Response handle_completion(const std::string& body);
 
   runtime::PipelineService& service_;
   int requested_port_;
@@ -53,9 +68,12 @@ class HttpServer {
 };
 
 /// Blocking HTTP client for tests and examples: one request per call over a
-/// fresh loopback connection. Returns the status code; fills `body`.
+/// fresh loopback connection. Returns the status code; fills `body`. When
+/// `response_headers` is non-null it receives the raw header block (status
+/// line + headers, no terminating blank line).
 int http_request(int port, const std::string& method, const std::string& path,
-                 const std::string& body, std::string& response_body);
+                 const std::string& body, std::string& response_body,
+                 std::string* response_headers = nullptr);
 
 // --- minimal JSON helpers for the fixed schemas above (exposed for tests) --
 

@@ -17,11 +17,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "engine/pipeline_engine.hpp"
 #include "model/cost.hpp"
 #include "nn/reference.hpp"
+#include "obs/obs.hpp"
 #include "runtime/pipeline_runtime.hpp"
 #include "sched/sarathi.hpp"
 #include "sched/token_throttle.hpp"
@@ -154,6 +157,48 @@ TEST_P(AdmissionParity, TokenThrottleUnderKvPressure) {
 // runtime's admit-until-depth loop cannot reproduce, so exact admission parity
 // is only guaranteed at depths 1 and 2.
 INSTANTIATE_TEST_SUITE_P(Depths, AdmissionParity, ::testing::Values(1, 2));
+
+// Trace-level parity: both executors report the committed scheduling
+// decisions as "throttle.decision" instants (emitted only on non-empty plans,
+// because idle-poll counts legitimately differ between a DES and a threaded
+// driver). With shared admission, the ordered sequence of (#P, #D) token
+// pairs must be identical — the observability layer sees one system, not two.
+TEST(AdmissionParityTrace, ThrottleDecisionSequencesMatch) {
+  const auto reqs = make_requests(10);
+  const auto cfg_base = engine_config(2, 176, 192);
+
+  obs::ObsConfig obs_cfg;
+  obs_cfg.tracing = true;
+
+  obs::Observability des_obs(obs_cfg);
+  auto cfg = cfg_base;
+  cfg.obs = &des_obs;
+  engine::PipelineEngine des(cfg, std::make_shared<sched::TokenThrottleScheduler>(
+                                      tight_throttle()));
+  const auto des_result = des.run(to_trace(reqs));
+  EXPECT_GT(des_result.preemptions, 0);
+
+  obs::Observability rt_obs(obs_cfg);
+  auto opt = runtime_options(2, des.kv_capacity_tokens());
+  opt.obs = &rt_obs;
+  runtime::PipelineRuntime rt(
+      opt, std::make_shared<sched::TokenThrottleScheduler>(tight_throttle()));
+  const auto rt_report = rt.run(reqs);
+  expect_parity(des_result, rt_report);
+
+  auto decisions = [](const obs::Observability& obs) {
+    std::vector<std::pair<int, int>> out;
+    for (const auto& ev : obs.tracer().snapshot()) {
+      if (std::string_view(ev.name) == "throttle.decision")
+        out.emplace_back(static_cast<int>(ev.arg("p")), static_cast<int>(ev.arg("d")));
+    }
+    return out;
+  };
+  const auto des_decisions = decisions(des_obs);
+  const auto rt_decisions = decisions(rt_obs);
+  ASSERT_FALSE(des_decisions.empty());
+  EXPECT_EQ(des_decisions, rt_decisions);
+}
 
 TEST(AdmissionParityAmple, SarathiNoPressure) {
   const auto reqs = make_requests(8);

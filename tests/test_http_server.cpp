@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "sched/token_throttle.hpp"
 #include "server/http_server.hpp"
 
@@ -45,7 +46,10 @@ std::string completion_body(std::int64_t id, const std::vector<nn::TokenId>& pro
 class HttpServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    service_ = std::make_unique<runtime::PipelineService>(tiny_options(), small_throttle());
+    obs_ = std::make_unique<obs::Observability>();
+    auto options = tiny_options();
+    options.obs = obs_.get();
+    service_ = std::make_unique<runtime::PipelineService>(options, small_throttle());
     service_->start();
     server_ = std::make_unique<HttpServer>(*service_);
     server_->start();
@@ -56,6 +60,7 @@ class HttpServerTest : public ::testing::Test {
     service_->stop();
   }
 
+  std::unique_ptr<obs::Observability> obs_;
   std::unique_ptr<runtime::PipelineService> service_;
   std::unique_ptr<HttpServer> server_;
 };
@@ -140,7 +145,63 @@ TEST_F(HttpServerTest, OversizedRejected) {
 TEST_F(HttpServerTest, UnknownPath404) {
   std::string body;
   EXPECT_EQ(http_request(server_->port(), "GET", "/nope", "", body), 404);
-  EXPECT_EQ(http_request(server_->port(), "POST", "/health", "", body), 404);
+  EXPECT_EQ(http_request(server_->port(), "POST", "/v1/nope", "", body), 404);
+}
+
+TEST_F(HttpServerTest, WrongMethodIs405WithAllow) {
+  std::string body, headers;
+  EXPECT_EQ(http_request(server_->port(), "POST", "/health", "", body, &headers), 405);
+  EXPECT_NE(headers.find("Allow: GET"), std::string::npos);
+  EXPECT_EQ(http_request(server_->port(), "POST", "/metrics", "", body, &headers), 405);
+  EXPECT_NE(headers.find("Allow: GET"), std::string::npos);
+  EXPECT_EQ(http_request(server_->port(), "GET", "/v1/completions", "", body, &headers),
+            405);
+  EXPECT_NE(headers.find("Allow: POST"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MetricsEndpointExposesPrometheusText) {
+  // Drive one request through so the serving counters are non-zero.
+  const auto cfg = model::presets::tiny();
+  const auto prompt = nn::synthetic_prompt(cfg, 7, 10);
+  std::string body;
+  ASSERT_EQ(http_request(server_->port(), "POST", "/v1/completions",
+                         completion_body(3, prompt, 4), body),
+            200);
+
+  std::string headers;
+  const int status = http_request(server_->port(), "GET", "/metrics", "", body, &headers);
+  ASSERT_EQ(status, 200);
+  EXPECT_NE(headers.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  for (const char* metric :
+       {"gllm_requests_admitted_total", "gllm_requests_completed_total",
+        "gllm_preemptions_total", "gllm_kv_free_rate", "gllm_ttft_seconds_bucket",
+        "gllm_tpot_seconds_count", "gllm_iteration_tokens_sum",
+        "gllm_tokens_scheduled_total"}) {
+    EXPECT_NE(body.find(metric), std::string::npos) << metric;
+  }
+  EXPECT_NE(body.find("gllm_requests_admitted_total 1"), std::string::npos);
+  EXPECT_NE(body.find("gllm_requests_completed_total 1"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, StatsEndpointReturnsJson) {
+  std::string body;
+  const int status = http_request(server_->port(), "GET", "/v1/stats", "", body);
+  ASSERT_EQ(status, 200);
+  EXPECT_NE(body.find("\"model\":\"tiny\""), std::string::npos);
+  EXPECT_NE(body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(body.find("gllm_requests_admitted_total"), std::string::npos);
+}
+
+TEST(HttpServerNoObs, MetricsUnavailableWithoutObservability) {
+  runtime::PipelineService service(tiny_options(), small_throttle());
+  service.start();
+  HttpServer server(service);
+  server.start();
+  std::string body;
+  EXPECT_EQ(http_request(server.port(), "GET", "/metrics", "", body), 503);
+  EXPECT_EQ(http_request(server.port(), "GET", "/v1/stats", "", body), 503);
+  server.stop();
+  service.stop();
 }
 
 TEST(HttpJson, FieldParsers) {

@@ -11,9 +11,11 @@
 // smoke tests and CI).
 
 #include <csignal>
+#include <fstream>
 #include <iostream>
 
 #include "nn/reference.hpp"
+#include "obs/obs.hpp"
 #include "sched/token_throttle.hpp"
 #include "server/http_server.hpp"
 #include "util/args.hpp"
@@ -35,6 +37,8 @@ int main(int argc, char** argv) {
   args.add_option("minp", "#MinP", "8");
   args.add_option("demo", "serve N self-generated requests and exit (0 = serve forever)",
                   "0");
+  args.add_option("trace-out", "write a Chrome trace-event JSON on shutdown (Perfetto)",
+                  "");
 
   if (!args.parse(argc, argv)) {
     std::cerr << "error: " << args.error() << "\n\n" << args.usage();
@@ -56,6 +60,13 @@ int main(int argc, char** argv) {
     params.iter_t = args.get_int("iterp");
     params.max_p = args.get_int("maxp");
     params.min_p = args.get_int("minp");
+
+    // Metrics are always on (they back GET /metrics and /v1/stats); span
+    // tracing only when a trace file was requested.
+    obs::ObsConfig obs_cfg;
+    obs_cfg.tracing = args.has("trace-out");
+    obs::Observability observability(obs_cfg);
+    options.obs = &observability;
 
     runtime::PipelineService service(
         options, std::make_shared<sched::TokenThrottleScheduler>(params));
@@ -90,6 +101,14 @@ int main(int argc, char** argv) {
 
     server.stop();
     service.stop();
+
+    if (args.has("trace-out")) {
+      std::ofstream out(args.get("trace-out"));
+      if (!out) throw std::runtime_error("cannot open trace-out " + args.get("trace-out"));
+      observability.tracer().write_chrome_trace(out);
+      std::cout << "wrote trace (" << observability.tracer().snapshot().size()
+                << " events) to " << args.get("trace-out") << "\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -12,8 +12,10 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/gllm.hpp"
+#include "obs/obs.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
   args.add_flag("context-aware", "enable context-aware cost throttling (paper 6)");
   args.add_flag("cohort-pinning", "pin requests to vLLM-V0 style virtual engines");
   args.add_option("trace-format", "saved-trace format: gllm | azure", "gllm");
+  args.add_option("trace-out", "write a Chrome trace-event JSON of the run (Perfetto)", "");
   args.add_flag("csv", "emit the per-request records as CSV on stdout");
 
   if (!args.parse(argc, argv)) {
@@ -150,12 +153,31 @@ int main(int argc, char** argv) {
       trace = builder.generate_for_duration(arrivals, args.get_double("duration"));
     }
 
+    // Observability: spans land in the obs tracer during the run, then export
+    // as a Chrome trace-event file loadable in chrome://tracing or Perfetto.
+    std::unique_ptr<obs::Observability> observability;
+    if (args.has("trace-out")) {
+      obs::ObsConfig obs_cfg;
+      obs_cfg.tracing = true;
+      observability = std::make_unique<obs::Observability>(obs_cfg);
+      options.obs = observability.get();
+    }
+
     serve::ServingSystem server(options);
     std::cerr << "serving " << trace.size() << " requests on " << options.label << " ("
               << model.name << ", " << cluster.name << ", pp=" << options.pp
               << ", tp=" << options.tp << ", KV capacity "
               << server.engine().kv_capacity_tokens() << " tokens)\n";
     const auto result = server.run(trace);
+
+    if (observability) {
+      std::ofstream out(args.get("trace-out"));
+      if (!out) throw std::runtime_error("cannot open trace-out " + args.get("trace-out"));
+      observability->tracer().write_chrome_trace(out);
+      std::cerr << "wrote trace (" << observability->tracer().snapshot().size()
+                << " events, " << observability->tracer().dropped() << " dropped) to "
+                << args.get("trace-out") << "\n";
+    }
 
     if (args.has("csv")) {
       util::CsvWriter csv(std::cout);
