@@ -1,0 +1,213 @@
+// Microbenchmarks of the gllm::net transport: the per-frame costs a
+// multi-process deployment pays on top of the in-process BoundedQueues —
+// checksumming, wire encode/decode of the runtime messages, frame assembly,
+// and the end-to-end loopback round-trip latency/throughput of framed
+// StepMetadata and Activations traffic. The headline numbers are the
+// Activations path (the NCCL side of the paper's dual-phase transmission,
+// dominated by crc32 + memcpy of the hidden-state tensor) and the metadata
+// round-trip (the ZeroMQ side, dominated by syscall latency, which bounds
+// how far ahead preemptive metadata scheduling can run).
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "runtime/messages.hpp"
+#include "util/rng.hpp"
+
+using namespace gllm;
+
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return v;
+}
+
+/// A decode-heavy metadata packet: 16 sequences with paged KV tables, the
+/// size class of a throttled micro-batch under the default token budget.
+runtime::StepMetadata bench_metadata() {
+  runtime::StepMetadata m;
+  m.batch_id = 77;
+  for (int i = 0; i < 16; ++i) {
+    runtime::ItemMeta item;
+    item.seq = static_cast<kv::SeqId>(i + 1);
+    item.n_tokens = (i % 4 == 0) ? 128 : 1;
+    item.context = 512 + 13 * i;
+    item.is_prefill = i % 4 == 0;
+    item.last_chunk = i % 8 == 0;
+    item.wants_logits = true;
+    for (int b = 0; b < 64; ++b) item.blocks.push_back(b * 17 + i);
+    for (int t = 0; t < item.n_tokens; ++t)
+      item.input_tokens.push_back(static_cast<nn::TokenId>(t % 151));
+    m.items.push_back(std::move(item));
+  }
+  return m;
+}
+
+/// Activations for a 256-token micro-batch of a hidden-size-1024 stage.
+runtime::Activations bench_activations() {
+  runtime::Activations a;
+  a.batch_id = 77;
+  a.hidden = tensor::Tensor::zeros({256, 1024});
+  util::Rng rng(9);
+  for (auto& v : a.hidden.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return a;
+}
+
+template <typename T>
+std::vector<std::uint8_t> encoded(const T& msg) {
+  net::WireWriter w;
+  net::encode(w, msg);
+  return w.take();
+}
+
+// --- checksum and frame assembly --------------------------------------------
+
+void BM_Crc32(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(net::crc32(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4 << 10)->Arg(1 << 20);
+
+void BM_EncodeFrame(benchmark::State& state) {
+  const auto payload = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::encode_frame(net::MsgType::kActivations, payload));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeFrame)->Arg(4 << 10)->Arg(1 << 20);
+
+// --- wire codecs -------------------------------------------------------------
+
+void BM_EncodeStepMetadata(benchmark::State& state) {
+  const auto m = bench_metadata();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    net::WireWriter w;
+    net::encode(w, m);
+    bytes = w.size();
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_EncodeStepMetadata);
+
+void BM_DecodeStepMetadata(benchmark::State& state) {
+  const auto bytes = encoded(bench_metadata());
+  for (auto _ : state) {
+    net::WireReader r(bytes);
+    runtime::StepMetadata out;
+    const bool ok = net::decode(r, out) && r.done();
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DecodeStepMetadata);
+
+void BM_EncodeActivations(benchmark::State& state) {
+  const auto a = bench_activations();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    net::WireWriter w;
+    net::encode(w, a);
+    bytes = w.size();
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_EncodeActivations);
+
+void BM_DecodeActivations(benchmark::State& state) {
+  const auto bytes = encoded(bench_activations());
+  for (auto _ : state) {
+    net::WireReader r(bytes);
+    runtime::Activations out;
+    const bool ok = net::decode(r, out) && r.done();
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DecodeActivations);
+
+// --- loopback round trips ----------------------------------------------------
+// An echo peer thread receives each frame and sends it straight back; the
+// timed loop measures one full send_frame + recv_frame * 2 round trip, i.e.
+// the floor for a stage-to-stage hop on the same host.
+
+class EchoPeer {
+ public:
+  EchoPeer() {
+    const int listener = net::listen_tcp(0);
+    client_ = net::connect_tcp("127.0.0.1", net::local_port(listener), 5.0);
+    server_ = net::accept_conn(listener);
+    net::close_fd(listener);
+    echo_ = std::thread([fd = server_] {
+      net::Frame f;
+      while (net::recv_frame(fd, f) == net::RecvStatus::kOk)
+        if (!net::send_frame(fd, f.type, f.payload)) break;
+    });
+  }
+  ~EchoPeer() {
+    net::shutdown_fd(client_);
+    net::shutdown_fd(server_);
+    echo_.join();
+    net::close_fd(client_);
+    net::close_fd(server_);
+  }
+  int fd() const { return client_; }
+
+ private:
+  int client_ = -1;
+  int server_ = -1;
+  std::thread echo_;
+};
+
+void BM_LoopbackFrameRoundTrip(benchmark::State& state) {
+  EchoPeer peer;
+  const auto payload = random_bytes(static_cast<std::size_t>(state.range(0)), 3);
+  net::Frame f;
+  for (auto _ : state) {
+    if (!net::send_frame(peer.fd(), net::MsgType::kActivations, payload) ||
+        net::recv_frame(peer.fd(), f) != net::RecvStatus::kOk) {
+      state.SkipWithError("loopback transfer failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_LoopbackFrameRoundTrip)->Arg(64)->Arg(4 << 10)->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+// End to end for one metadata broadcast hop: encode, frame, loopback round
+// trip, decode — everything a driver pump + worker ctrl loop do per batch.
+void BM_LoopbackStepMetadataHop(benchmark::State& state) {
+  EchoPeer peer;
+  const auto m = bench_metadata();
+  net::Frame f;
+  for (auto _ : state) {
+    net::WireWriter w;
+    net::encode(w, m);
+    if (!net::send_frame(peer.fd(), net::MsgType::kStepMetadata, w.bytes()) ||
+        net::recv_frame(peer.fd(), f) != net::RecvStatus::kOk) {
+      state.SkipWithError("loopback transfer failed");
+      return;
+    }
+    net::WireReader r(f.payload);
+    runtime::StepMetadata out;
+    const bool ok = net::decode(r, out) && r.done();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_LoopbackStepMetadataHop)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

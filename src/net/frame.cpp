@@ -1,0 +1,94 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "net/socket.hpp"
+
+namespace gllm::net {
+
+const char* to_string(FrameDecodeStatus s) {
+  switch (s) {
+    case FrameDecodeStatus::kOk: return "ok";
+    case FrameDecodeStatus::kNeedMore: return "truncated";
+    case FrameDecodeStatus::kBadMagic: return "bad magic";
+    case FrameDecodeStatus::kBadVersion: return "bad version";
+    case FrameDecodeStatus::kTooLarge: return "oversized";
+    case FrameDecodeStatus::kBadChecksum: return "bad checksum";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(MsgType type, std::span<const std::uint8_t> payload) {
+  WireWriter w;
+  w.u32(kFrameMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  auto buf = w.take();
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return buf;
+}
+
+FrameDecodeStatus decode_frame(std::span<const std::uint8_t> buf, Frame& out,
+                               std::size_t& consumed) {
+  if (buf.size() < kFrameHeaderBytes) return FrameDecodeStatus::kNeedMore;
+  WireReader r(buf);
+  std::uint32_t magic, len, crc;
+  std::uint16_t version, type;
+  r.u32(magic);
+  r.u16(version);
+  r.u16(type);
+  r.u32(len);
+  r.u32(crc);
+  if (magic != kFrameMagic) return FrameDecodeStatus::kBadMagic;
+  if (version != kWireVersion) return FrameDecodeStatus::kBadVersion;
+  if (len > kMaxFramePayload) return FrameDecodeStatus::kTooLarge;
+  if (buf.size() - kFrameHeaderBytes < len) return FrameDecodeStatus::kNeedMore;
+  const auto payload = buf.subspan(kFrameHeaderBytes, len);
+  if (crc32(payload) != crc) return FrameDecodeStatus::kBadChecksum;
+  out.type = static_cast<MsgType>(type);
+  out.payload.assign(payload.begin(), payload.end());
+  consumed = kFrameHeaderBytes + len;
+  return FrameDecodeStatus::kOk;
+}
+
+bool send_frame(int fd, MsgType type, std::span<const std::uint8_t> payload,
+                const ChannelStats& stats) {
+  const auto buf = encode_frame(type, payload);
+  if (!send_all(fd, buf.data(), buf.size())) return false;
+  stats.count(buf.size());
+  return true;
+}
+
+RecvStatus recv_frame(int fd, Frame& out, double timeout_s, const ChannelStats& stats) {
+  if (timeout_s >= 0 && !wait_readable(fd, timeout_s)) return RecvStatus::kTimeout;
+
+  std::uint8_t header[kFrameHeaderBytes];
+  // First byte separately: an orderly close before any header byte is a clean
+  // frame-boundary EOF, while EOF mid-frame is corruption.
+  const ssize_t first = recv_some(fd, header, 1);
+  if (first == 0) return RecvStatus::kClosed;
+  if (first < 0) return RecvStatus::kCorrupt;
+  if (!recv_all(fd, header + 1, kFrameHeaderBytes - 1)) return RecvStatus::kCorrupt;
+
+  WireReader r(std::span<const std::uint8_t>(header, kFrameHeaderBytes));
+  std::uint32_t magic, len, crc;
+  std::uint16_t version, type;
+  r.u32(magic);
+  r.u16(version);
+  r.u16(type);
+  r.u32(len);
+  r.u32(crc);
+  if (magic != kFrameMagic || version != kWireVersion || len > kMaxFramePayload)
+    return RecvStatus::kCorrupt;
+
+  out.type = static_cast<MsgType>(type);
+  out.payload.resize(len);
+  if (len > 0 && !recv_all(fd, out.payload.data(), len)) return RecvStatus::kCorrupt;
+  if (crc32(out.payload) != crc) return RecvStatus::kCorrupt;
+  stats.count(kFrameHeaderBytes + static_cast<std::size_t>(len));
+  return RecvStatus::kOk;
+}
+
+}  // namespace gllm::net

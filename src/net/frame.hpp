@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace gllm::net {
+
+/// Frame types multiplexed over one connection. Control frames share the
+/// driver<->worker connection with metadata/sample traffic; activations flow
+/// on dedicated stage-to-stage links.
+enum class MsgType : std::uint16_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kReady = 3,
+  kHeartbeat = 4,
+  kShutdown = 5,
+  kStepMetadata = 16,
+  kActivations = 17,
+  kSampleResult = 18,
+  kStreamEvent = 19,
+};
+
+/// Length-prefixed binary framing:
+///   magic u32 ("GLLM" little-endian) | version u16 | type u16 |
+///   payload_len u32 | crc32(payload) u32 | payload bytes
+inline constexpr std::uint32_t kFrameMagic = 0x4D4C4C47u;  // "GLLM"
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Hard payload cap: anything larger is corrupt (tiny-model activations are
+/// kilobytes; this guards allocation on a garbage length field).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 28;
+
+struct Frame {
+  MsgType type = MsgType::kHeartbeat;
+  std::vector<std::uint8_t> payload;
+};
+
+enum class FrameDecodeStatus {
+  kOk,
+  kNeedMore,      ///< buffer ends before the full header + payload (truncated)
+  kBadMagic,
+  kBadVersion,
+  kTooLarge,      ///< length field beyond kMaxFramePayload
+  kBadChecksum,
+};
+
+const char* to_string(FrameDecodeStatus s);
+
+/// Serialize one frame (header + payload) into a fresh buffer.
+std::vector<std::uint8_t> encode_frame(MsgType type, std::span<const std::uint8_t> payload);
+
+/// Decode the frame starting at buf[0]. On kOk, `consumed` is the total
+/// frame size; every other status leaves `out`/`consumed` unspecified. Never
+/// reads past `buf`, never allocates from an unvalidated length.
+FrameDecodeStatus decode_frame(std::span<const std::uint8_t> buf, Frame& out,
+                               std::size_t& consumed);
+
+/// Per-channel transfer counters (frames + bytes); null members = off.
+struct ChannelStats {
+  obs::Counter* frames = nullptr;
+  obs::Counter* bytes = nullptr;
+  void count(std::size_t n_bytes) const {
+    if (frames != nullptr) frames->inc();
+    if (bytes != nullptr) bytes->inc(static_cast<std::int64_t>(n_bytes));
+  }
+};
+
+/// Write one frame with a single send (header and payload coalesced so
+/// concurrent senders — serialized by the caller — never interleave).
+bool send_frame(int fd, MsgType type, std::span<const std::uint8_t> payload,
+                const ChannelStats& stats = {});
+
+enum class RecvStatus {
+  kOk,
+  kClosed,   ///< orderly peer close on a frame boundary
+  kTimeout,  ///< no frame started within the timeout (heartbeat death signal)
+  kCorrupt,  ///< bad header/checksum or EOF mid-frame
+};
+
+/// Blocking read of the next frame. `timeout_s >= 0` bounds the wait for the
+/// frame to *start* (an idle-connection watchdog); once a header byte arrived
+/// the rest is read to completion.
+RecvStatus recv_frame(int fd, Frame& out, double timeout_s = -1.0,
+                      const ChannelStats& stats = {});
+
+}  // namespace gllm::net

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+
+namespace gllm::net {
+
+/// EINTR-safe POSIX TCP primitives — the repo's single socket-primitive
+/// implementation, shared by the gllm::net transport and the HTTP server.
+/// Every loop retries on EINTR instead of treating an interrupted syscall as
+/// a peer close, and sends use MSG_NOSIGNAL so a dead peer surfaces as EPIPE
+/// rather than killing the process with SIGPIPE.
+
+/// Bind + listen on `port` (0 = kernel-assigned ephemeral port; read it back
+/// with local_port()). Binds loopback unless `any_interface`. Throws
+/// std::runtime_error on failure.
+int listen_tcp(int port, bool any_interface = false, int backlog = 64);
+
+/// The locally bound port of a socket (ephemeral-port resolution via
+/// getsockname). Throws on failure.
+int local_port(int fd);
+
+/// Accept one connection, retrying on EINTR. Returns -1 once the listening
+/// socket has been shut down / closed.
+int accept_conn(int listen_fd);
+
+/// Connect to host:port, retrying refused connections until `timeout_s`
+/// elapses (covers racing a peer that is still binding). `host` is a dotted
+/// IPv4 address or "localhost". Returns the fd, or -1 on timeout/error.
+int connect_tcp(const std::string& host, int port, double timeout_s = 5.0);
+
+/// Write exactly `len` bytes, retrying short writes and EINTR.
+bool send_all(int fd, const void* data, std::size_t len);
+
+/// Read exactly `len` bytes, retrying short reads and EINTR. False on
+/// EOF/error before `len` bytes arrived.
+bool recv_all(int fd, void* data, std::size_t len);
+
+/// One recv() with EINTR retry: >0 bytes read, 0 on orderly close, -1 error.
+ssize_t recv_some(int fd, void* buf, std::size_t len);
+
+/// Block until `fd` is readable (or error/hup). False on timeout.
+/// `timeout_s < 0` waits forever.
+bool wait_readable(int fd, double timeout_s);
+
+/// Numeric address of the connected peer ("" on failure).
+std::string peer_host(int fd);
+
+/// shutdown(SHUT_RDWR): unblocks any thread inside recv/accept on `fd`.
+void shutdown_fd(int fd);
+
+void close_fd(int fd);
+
+}  // namespace gllm::net

@@ -1,0 +1,650 @@
+#include "net/transport.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+#include "model/partition.hpp"
+#include "net/socket.hpp"
+#include "runtime/worker.hpp"
+#include "util/log.hpp"
+
+namespace gllm::net {
+namespace {
+
+template <typename T>
+std::vector<std::uint8_t> encode_payload(const T& msg) {
+  WireWriter w;
+  encode(w, msg);
+  return w.take();
+}
+
+/// Strict frame-payload decode: the message must consume the payload exactly.
+template <typename T>
+bool decode_payload(const Frame& f, T& out) {
+  WireReader r(f.payload);
+  return decode(r, out) && r.done();
+}
+
+obs::NetChannelMetrics* channel_for(obs::NetMetrics* m, MsgType type) {
+  if (m == nullptr) return nullptr;
+  switch (type) {
+    case MsgType::kStepMetadata: return &m->meta;
+    case MsgType::kActivations: return &m->act;
+    case MsgType::kSampleResult:
+    case MsgType::kStreamEvent: return &m->sample;
+    default: return &m->ctrl;
+  }
+}
+
+ChannelStats sent_stats(obs::NetMetrics* m, MsgType type) {
+  auto* ch = channel_for(m, type);
+  return ch != nullptr ? ChannelStats{ch->frames_sent, ch->bytes_sent} : ChannelStats{};
+}
+
+ChannelStats recvd_stats(obs::NetMetrics* m, MsgType type) {
+  auto* ch = channel_for(m, type);
+  return ch != nullptr ? ChannelStats{ch->frames_recv, ch->bytes_recv} : ChannelStats{};
+}
+
+const char* to_string(RecvStatus s) {
+  switch (s) {
+    case RecvStatus::kOk: return "ok";
+    case RecvStatus::kClosed: return "closed";
+    case RecvStatus::kTimeout: return "timeout";
+    case RecvStatus::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+/// Wall-clock countdown for the handshake deadline.
+class Deadline {
+ public:
+  explicit Deadline(double seconds)
+      : end_(std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(seconds))) {}
+  double remaining() const {
+    const std::chrono::duration<double> left = end_ - std::chrono::steady_clock::now();
+    return left.count() > 0.0 ? left.count() : 0.0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point end_;
+};
+
+}  // namespace
+
+// --- Conn -------------------------------------------------------------------
+
+Conn::~Conn() {
+  if (fd_ >= 0) close_fd(fd_);
+}
+
+bool Conn::send(MsgType type, std::span<const std::uint8_t> payload,
+                const ChannelStats& stats) {
+  std::lock_guard lock(write_mu_);
+  return send_frame(fd_, type, payload, stats);
+}
+
+RecvStatus Conn::recv(Frame& out, double timeout_s, const ChannelStats& stats) {
+  return recv_frame(fd_, out, timeout_s, stats);
+}
+
+std::string Conn::peer() const { return peer_host(fd_); }
+
+void Conn::shutdown() { shutdown_fd(fd_); }
+
+// --- DriverTransport --------------------------------------------------------
+
+DriverTransport::DriverTransport(runtime::RuntimeOptions options)
+    : options_(std::move(options)) {
+  if (options_.obs != nullptr) {
+    net_metrics_ = &options_.obs->net();
+    tracer_ = &options_.obs->tracer();
+  }
+  const bool any = options_.deployment.mode == runtime::DeploymentOptions::Mode::kRemote;
+  listen_fd_ = listen_tcp(options_.deployment.worker_port, any);
+  port_ = local_port(listen_fd_);
+  GLLM_LOG_INFO("driver transport listening on port " << port_ << " for " << options_.pp
+                                                      << " workers");
+}
+
+DriverTransport::~DriverTransport() { shutdown(); }
+
+void DriverTransport::fork_local_workers() {
+  for (int s = 0; s < options_.pp; ++s) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      kill_children();
+      reap_children(2.0);
+      throw std::runtime_error("gllm::net: fork() failed");
+    }
+    if (pid == 0) {
+      // Child: become the stage-s worker process. _exit (not exit) skips
+      // atexit handlers and sanitizer leak checks inherited from the parent.
+      close_fd(listen_fd_);
+      WorkerOptions wopt;
+      wopt.driver_host = "127.0.0.1";
+      wopt.driver_port = port_;
+      wopt.requested_stage = s;
+      wopt.connect_timeout_s = options_.deployment.handshake_timeout_s;
+      ::_exit(run_worker(wopt));
+    }
+    children_.push_back(ChildProc{pid, s, false, 0});
+  }
+}
+
+void DriverTransport::wait_ready() {
+  const auto& dep = options_.deployment;
+  const int pp = options_.pp;
+  Deadline deadline(dep.handshake_timeout_s);
+
+  const auto fail = [&](const std::string& why) -> void {
+    kill_children();
+    reap_children(2.0);
+    throw std::runtime_error("gllm::net handshake failed: " + why);
+  };
+
+  // Phase 1: accept pp control connections and read their Hellos.
+  struct PendingWorker {
+    std::unique_ptr<Conn> conn;
+    Hello hello;
+  };
+  std::vector<PendingWorker> pending;
+  for (int i = 0; i < pp; ++i) {
+    if (!wait_readable(listen_fd_, deadline.remaining()))
+      fail("timed out waiting for worker " + std::to_string(i) + " of " +
+           std::to_string(pp) + " to connect");
+    const int fd = accept_conn(listen_fd_);
+    if (fd < 0) fail("accept failed");
+    auto conn = std::make_unique<Conn>(fd);
+    Frame f;
+    const RecvStatus st = conn->recv(f, deadline.remaining());
+    if (st != RecvStatus::kOk || f.type != MsgType::kHello)
+      fail(std::string("bad hello (") + to_string(st) + ")");
+    recvd_stats(net_metrics_, f.type).count(kFrameHeaderBytes + f.payload.size());
+    Hello hello;
+    if (!decode_payload(f, hello)) fail("malformed hello payload");
+    if (hello.wire_version != kWireVersion)
+      fail("wire version mismatch: worker speaks v" + std::to_string(hello.wire_version) +
+           ", driver v" + std::to_string(kWireVersion));
+    pending.push_back(PendingWorker{std::move(conn), hello});
+  }
+
+  // Phase 2: assign stages — honour explicit requests first, hand the
+  // remaining stages out in connection order.
+  conns_.resize(static_cast<std::size_t>(pp));
+  std::vector<Hello> hello_of(static_cast<std::size_t>(pp));
+  std::vector<bool> taken(static_cast<std::size_t>(pp), false);
+  for (auto& p : pending) {
+    const std::int32_t req = p.hello.requested_stage;
+    if (req < 0) continue;
+    if (req >= pp) fail("worker requested stage " + std::to_string(req) +
+                        " of a " + std::to_string(pp) + "-stage pipeline");
+    if (taken[static_cast<std::size_t>(req)])
+      fail("two workers requested stage " + std::to_string(req));
+    taken[static_cast<std::size_t>(req)] = true;
+    conns_[static_cast<std::size_t>(req)] = std::move(p.conn);
+    hello_of[static_cast<std::size_t>(req)] = p.hello;
+  }
+  int next_free = 0;
+  for (auto& p : pending) {
+    if (p.conn == nullptr) continue;  // already placed
+    while (taken[static_cast<std::size_t>(next_free)]) ++next_free;
+    taken[static_cast<std::size_t>(next_free)] = true;
+    conns_[static_cast<std::size_t>(next_free)] = std::move(p.conn);
+    hello_of[static_cast<std::size_t>(next_free)] = p.hello;
+  }
+
+  // Phase 3: HelloAck carries the full stage-hosting agreement — model
+  // config, partition width, weight seed, KV + sampler config, and the
+  // successor's activation listener so workers can wire the ring themselves.
+  for (int s = 0; s < pp; ++s) {
+    HelloAck ack;
+    ack.stage = s;
+    ack.pp = pp;
+    ack.model = options_.model;
+    ack.weight_seed = options_.weight_seed;
+    ack.kv_capacity_tokens = options_.kv_capacity_tokens;
+    ack.kv_block_size = options_.kv_block_size;
+    ack.greedy_sampling = options_.greedy_sampling;
+    ack.top_k = options_.top_k;
+    ack.temperature = options_.temperature;
+    ack.sampler_seed = options_.sampler_seed;
+    ack.heartbeat_interval_s = dep.heartbeat_interval_s;
+    ack.heartbeat_timeout_s = dep.heartbeat_timeout_s;
+    if (s + 1 < pp) {
+      ack.next_host = conns_[static_cast<std::size_t>(s + 1)]->peer();
+      ack.next_port = hello_of[static_cast<std::size_t>(s + 1)].act_in_port;
+      if (ack.next_host.empty()) fail("cannot resolve successor address");
+    }
+    if (!conns_[static_cast<std::size_t>(s)]->send(MsgType::kHelloAck, encode_payload(ack),
+                                                   sent_stats(net_metrics_, MsgType::kHelloAck)))
+      fail("worker for stage " + std::to_string(s) + " vanished during handshake");
+  }
+
+  // Phase 4: Ready barrier — each worker has built its weights and wired its
+  // activation links before the driver starts pumping metadata.
+  for (int s = 0; s < pp; ++s) {
+    Frame f;
+    const RecvStatus st = conns_[static_cast<std::size_t>(s)]->recv(f, deadline.remaining());
+    if (st != RecvStatus::kOk || f.type != MsgType::kReady)
+      fail("stage " + std::to_string(s) + " never became ready (" + to_string(st) + ")");
+    recvd_stats(net_metrics_, f.type).count(kFrameHeaderBytes + f.payload.size());
+  }
+  GLLM_LOG_INFO("driver transport: all " << pp << " stages ready");
+
+  // Phase 5: present the in-process channel surface. Pump threads bridge the
+  // per-stage metadata queues onto the wire; reader threads bridge sample
+  // results (and peer death) back.
+  meta_channels_.reserve(static_cast<std::size_t>(pp));
+  for (int s = 0; s < pp; ++s) {
+    meta_channels_.push_back(std::make_unique<runtime::MetaChannel>(1024));
+    meta_channel_ptrs_.push_back(meta_channels_.back().get());
+  }
+  for (int s = 0; s < pp; ++s) pumps_.emplace_back([this, s] { pump_loop(s); });
+  for (int s = 0; s < pp; ++s) readers_.emplace_back([this, s] { reader_loop(s); });
+  heartbeat_ = std::thread([this] { heartbeat_loop(); });
+  ready_ = true;
+}
+
+void DriverTransport::pump_loop(int stage) {
+  auto& q = *meta_channels_[static_cast<std::size_t>(stage)];
+  auto& conn = *conns_[static_cast<std::size_t>(stage)];
+  const int driver_track = options_.pp;
+  while (true) {
+    std::optional<runtime::StepMetadata> meta = q.pop();
+    if (!meta.has_value()) break;  // closed + drained: clean shutdown
+    std::vector<std::uint8_t> payload;
+    {
+      obs::SpanGuard span(tracer_, driver_track, "net.encode");
+      payload = encode_payload(*meta);
+    }
+    if (!conn.send(MsgType::kStepMetadata, payload,
+                   sent_stats(net_metrics_, MsgType::kStepMetadata))) {
+      on_peer_dead(stage, "metadata send failed");
+      return;
+    }
+  }
+  conn.send(MsgType::kShutdown, {}, sent_stats(net_metrics_, MsgType::kShutdown));
+}
+
+void DriverTransport::reader_loop(int stage) {
+  auto& conn = *conns_[static_cast<std::size_t>(stage)];
+  const int driver_track = options_.pp;
+  while (true) {
+    Frame f;
+    const RecvStatus st = conn.recv(f, options_.deployment.heartbeat_timeout_s);
+    if (st != RecvStatus::kOk) {
+      if (!shutting_down_.load()) on_peer_dead(stage, to_string(st));
+      return;
+    }
+    recvd_stats(net_metrics_, f.type).count(kFrameHeaderBytes + f.payload.size());
+    switch (f.type) {
+      case MsgType::kSampleResult: {
+        runtime::SampleResult result;
+        bool ok;
+        {
+          obs::SpanGuard span(tracer_, driver_track, "net.decode");
+          ok = decode_payload(f, result);
+        }
+        if (!ok) {
+          on_peer_dead(stage, "malformed sample result");
+          return;
+        }
+        samples_.push(std::move(result));
+        break;
+      }
+      case MsgType::kHeartbeat:
+        break;  // the worker echoing our heartbeat — liveness already noted
+      default:
+        GLLM_LOG_WARN("driver transport: unexpected frame type "
+                      << static_cast<int>(f.type) << " from stage " << stage);
+        break;
+    }
+  }
+}
+
+void DriverTransport::heartbeat_loop() {
+  std::unique_lock lock(heartbeat_mu_);
+  while (!shutting_down_.load()) {
+    heartbeat_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.deployment.heartbeat_interval_s));
+    if (shutting_down_.load()) break;
+    for (int s = 0; s < options_.pp; ++s) {
+      if (!conns_[static_cast<std::size_t>(s)]->send(
+              MsgType::kHeartbeat, {}, sent_stats(net_metrics_, MsgType::kHeartbeat))) {
+        on_peer_dead(s, "heartbeat send failed");
+      }
+    }
+  }
+}
+
+void DriverTransport::on_peer_dead(int stage, const char* why) {
+  if (shutting_down_.load()) return;
+  const bool first = !peer_died_.exchange(true);
+  if (first) {
+    GLLM_LOG_ERROR("driver transport: stage " << stage << " worker died (" << why
+                                              << "); failing the pipeline");
+    // Closing the sample channel is the death signal the driver loop observes
+    // (its blocking pop returns nullopt); it then tears the transport down.
+    samples_.close();
+  }
+}
+
+void DriverTransport::kill_children() {
+  for (auto& child : children_) {
+    if (!child.reaped && child.pid > 0) ::kill(child.pid, SIGKILL);
+  }
+}
+
+void DriverTransport::reap_children(double timeout_s) {
+  Deadline deadline(timeout_s);
+  while (true) {
+    bool pending = false;
+    for (auto& child : children_) {
+      if (child.reaped || child.pid <= 0) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(child.pid, &status, WNOHANG);
+      if (got == child.pid || (got < 0 && errno == ECHILD)) {
+        child.reaped = true;
+        child.status = status;
+      } else {
+        pending = true;
+      }
+    }
+    if (!pending) return;
+    if (deadline.remaining() <= 0.0) break;
+    ::usleep(10'000);
+  }
+  // Stragglers past the deadline: SIGKILL, then reap for certain.
+  for (auto& child : children_) {
+    if (child.reaped || child.pid <= 0) continue;
+    GLLM_LOG_WARN("driver transport: SIGKILL straggler worker pid " << child.pid);
+    ::kill(child.pid, SIGKILL);
+    int status = 0;
+    if (::waitpid(child.pid, &status, 0) == child.pid) child.status = status;
+    child.reaped = true;
+  }
+}
+
+void DriverTransport::shutdown() {
+  if (shut_) return;
+  shut_ = true;
+  shutting_down_.store(true);
+
+  // Close the metadata queues: pumps drain what is left, send kShutdown to
+  // their worker, and exit. Workers then tear down and close their control
+  // connections, which is what lets the reader threads finish.
+  for (auto& q : meta_channels_) q->close();
+  for (auto& t : pumps_) t.join();
+  {
+    std::lock_guard lock(heartbeat_mu_);
+  }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  for (auto& t : readers_) t.join();
+  samples_.close();
+
+  reap_children(options_.deployment.heartbeat_timeout_s);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    close_fd(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+// --- worker endpoint --------------------------------------------------------
+
+int run_worker(const WorkerOptions& opt) {
+  obs::NetMetrics* net_metrics = opt.obs != nullptr ? &opt.obs->net() : nullptr;
+  obs::Tracer* tracer = opt.obs != nullptr ? &opt.obs->tracer() : nullptr;
+
+  // The activation listener opens before Hello is sent, so the predecessor's
+  // connect (triggered by its HelloAck) can never race an unbound port.
+  int act_listen_fd = -1;
+  try {
+    act_listen_fd = listen_tcp(0, opt.listen_any);
+  } catch (const std::exception& e) {
+    GLLM_LOG_ERROR("worker: cannot open activation listener: " << e.what());
+    return 1;
+  }
+  const int act_port = local_port(act_listen_fd);
+
+  const int driver_fd = connect_tcp(opt.driver_host, opt.driver_port, opt.connect_timeout_s);
+  if (driver_fd < 0) {
+    GLLM_LOG_ERROR("worker: cannot reach driver at " << opt.driver_host << ":"
+                                                     << opt.driver_port);
+    close_fd(act_listen_fd);
+    return 1;
+  }
+  Conn driver(driver_fd);
+
+  Hello hello;
+  hello.requested_stage = opt.requested_stage;
+  hello.act_in_port = static_cast<std::uint16_t>(act_port);
+  if (!driver.send(MsgType::kHello, encode_payload(hello),
+                   sent_stats(net_metrics, MsgType::kHello))) {
+    GLLM_LOG_ERROR("worker: hello send failed");
+    close_fd(act_listen_fd);
+    return 1;
+  }
+
+  Frame f;
+  HelloAck ack;
+  const RecvStatus hs = driver.recv(f, opt.connect_timeout_s);
+  if (hs != RecvStatus::kOk || f.type != MsgType::kHelloAck || !decode_payload(f, ack)) {
+    GLLM_LOG_ERROR("worker: handshake failed (no valid hello-ack)");
+    close_fd(act_listen_fd);
+    return 1;
+  }
+  recvd_stats(net_metrics, f.type).count(kFrameHeaderBytes + f.payload.size());
+
+  const int stage = ack.stage;
+  const int pp = ack.pp;
+  std::unique_ptr<Conn> pred;  // activations in, from stage-1
+  std::unique_ptr<Conn> next;  // activations out, to stage+1
+  try {
+    ack.model.validate();
+    if (stage < 0 || stage >= pp) throw std::invalid_argument("stage out of range");
+    if (ack.kv_block_size <= 0 || ack.kv_capacity_tokens <= 0)
+      throw std::invalid_argument("bad kv config");
+
+    // Wire the activation ring: connect downstream first (the successor's
+    // listener pre-dates its Hello, so this cannot block), then accept the
+    // predecessor.
+    if (stage + 1 < pp) {
+      const int fd = connect_tcp(ack.next_host, static_cast<int>(ack.next_port),
+                                 opt.connect_timeout_s);
+      if (fd < 0) throw std::runtime_error("cannot connect successor activation link");
+      next = std::make_unique<Conn>(fd);
+    }
+    if (stage > 0) {
+      if (!wait_readable(act_listen_fd, opt.connect_timeout_s))
+        throw std::runtime_error("predecessor activation link never arrived");
+      const int fd = accept_conn(act_listen_fd);
+      if (fd < 0) throw std::runtime_error("activation accept failed");
+      pred = std::make_unique<Conn>(fd);
+    }
+  } catch (const std::exception& e) {
+    GLLM_LOG_ERROR("worker stage " << stage << ": handshake rejected: " << e.what());
+    close_fd(act_listen_fd);
+    return 1;
+  }
+  close_fd(act_listen_fd);
+
+  const model::PartitionPlan plan(ack.model, pp);
+  const model::StageShape shape = plan.stage(stage);
+  const auto kv_blocks =
+      static_cast<std::int32_t>(ack.kv_capacity_tokens / ack.kv_block_size);
+  const nn::Sampler sampler = ack.greedy_sampling
+                                  ? nn::Sampler{}
+                                  : nn::Sampler(ack.top_k, ack.temperature, ack.sampler_seed);
+
+  // The stage worker runs unmodified over local BoundedQueues; the threads
+  // below bridge those queues to the TCP links (same capacities as the
+  // in-process pipeline in assemble_pipeline()).
+  runtime::MetaChannel meta_q(1024);
+  runtime::ActChannel act_in_q(64);
+  runtime::ActChannel act_out_q(64);
+  runtime::SampleChannel sample_q(1024);
+  const bool last = stage == pp - 1;
+  runtime::StageWorker worker(ack.model, shape, ack.weight_seed, kv_blocks,
+                              ack.kv_block_size, meta_q, stage > 0 ? &act_in_q : nullptr,
+                              !last ? &act_out_q : nullptr, last ? &sample_q : nullptr,
+                              sampler, tracer, stage);
+  worker.start();
+
+  if (!driver.send(MsgType::kReady, {}, sent_stats(net_metrics, MsgType::kReady))) {
+    GLLM_LOG_ERROR("worker stage " << stage << ": ready send failed");
+    meta_q.close();
+    worker.join();
+    return 1;
+  }
+  GLLM_LOG_INFO("worker pid " << ::getpid() << " hosting stage " << stage << "/" << pp
+                              << " (layers " << shape.first_layer << ".."
+                              << shape.last_layer_exclusive() - 1 << ")");
+
+  std::thread act_reader;
+  if (pred != nullptr) {
+    act_reader = std::thread([&] {
+      while (true) {
+        Frame af;
+        const RecvStatus st =
+            pred->recv(af, -1.0, recvd_stats(net_metrics, MsgType::kActivations));
+        if (st != RecvStatus::kOk || af.type != MsgType::kActivations) {
+          act_in_q.close();  // EOF (or corruption) cascades down the ring
+          return;
+        }
+        runtime::Activations acts;
+        bool ok;
+        {
+          obs::SpanGuard span(tracer, stage, "net.decode");
+          ok = decode_payload(af, acts);
+        }
+        if (!ok || !act_in_q.push(std::move(acts))) {
+          act_in_q.close();
+          return;
+        }
+      }
+    });
+  }
+
+  std::thread act_writer;
+  if (next != nullptr) {
+    act_writer = std::thread([&] {
+      while (true) {
+        std::optional<runtime::Activations> acts = act_out_q.pop();
+        if (!acts.has_value()) break;
+        std::vector<std::uint8_t> payload;
+        {
+          obs::SpanGuard span(tracer, stage, "net.encode");
+          payload = encode_payload(*acts);
+        }
+        if (!next->send(MsgType::kActivations, payload,
+                        sent_stats(net_metrics, MsgType::kActivations)))
+          break;
+      }
+      next->shutdown();  // frame-boundary EOF for the successor's reader
+    });
+  }
+
+  std::thread sample_writer;
+  if (last) {
+    sample_writer = std::thread([&] {
+      while (true) {
+        std::optional<runtime::SampleResult> result = sample_q.pop();
+        if (!result.has_value()) return;
+        std::vector<std::uint8_t> payload;
+        {
+          obs::SpanGuard span(tracer, stage, "net.encode");
+          payload = encode_payload(*result);
+        }
+        if (!driver.send(MsgType::kSampleResult, payload,
+                         sent_stats(net_metrics, MsgType::kSampleResult)))
+          return;
+      }
+    });
+  }
+
+  // Control loop: metadata in, heartbeats echoed, Shutdown (or peer death)
+  // ends the stage. No frame at all within the heartbeat timeout means the
+  // driver is gone even if the TCP connection still looks healthy.
+  bool clean = false;
+  while (true) {
+    Frame cf;
+    const RecvStatus st = driver.recv(cf, ack.heartbeat_timeout_s);
+    if (st != RecvStatus::kOk) {
+      GLLM_LOG_ERROR("worker stage " << stage << ": driver link " << to_string(st)
+                                     << "; aborting");
+      break;
+    }
+    recvd_stats(net_metrics, cf.type).count(kFrameHeaderBytes + cf.payload.size());
+    if (cf.type == MsgType::kStepMetadata) {
+      runtime::StepMetadata meta;
+      bool ok;
+      {
+        obs::SpanGuard span(tracer, stage, "net.decode");
+        ok = decode_payload(cf, meta);
+      }
+      if (!ok) {
+        GLLM_LOG_ERROR("worker stage " << stage << ": malformed metadata frame");
+        break;
+      }
+      meta_q.push(std::move(meta));
+    } else if (cf.type == MsgType::kHeartbeat) {
+      driver.send(MsgType::kHeartbeat, {}, sent_stats(net_metrics, MsgType::kHeartbeat));
+    } else if (cf.type == MsgType::kShutdown) {
+      clean = true;
+      break;
+    } else {
+      GLLM_LOG_WARN("worker stage " << stage << ": unexpected frame type "
+                                    << static_cast<int>(cf.type));
+    }
+  }
+
+  meta_q.close();
+  if (!clean) {
+    // Peer death: unblock the stage worker wherever it sits — a shut-down
+    // link makes the act reader close act_in_q, and sends fail fast.
+    if (pred != nullptr) pred->shutdown();
+    if (next != nullptr) next->shutdown();
+  }
+  worker.join();
+  act_out_q.close();
+  sample_q.close();
+  if (act_writer.joinable()) act_writer.join();
+  if (sample_writer.joinable()) sample_writer.join();
+  if (pred != nullptr) pred->shutdown();
+  if (act_reader.joinable()) act_reader.join();
+  driver.shutdown();
+  GLLM_LOG_INFO("worker stage " << stage << " exiting " << (clean ? "cleanly" : "dirty"));
+  return clean ? 0 : 1;
+}
+
+// --- backend facade ---------------------------------------------------------
+
+PipelineBackend make_pipeline_backend(const runtime::RuntimeOptions& opt,
+                                      nn::Sampler sampler, obs::Tracer* tracer) {
+  PipelineBackend backend;
+  if (!opt.deployment.multi_process()) {
+    backend.local =
+        runtime::assemble_pipeline(opt.model, opt.pp, opt.weight_seed,
+                                   opt.kv_capacity_tokens, opt.kv_block_size,
+                                   std::move(sampler), tracer);
+    return backend;
+  }
+  backend.remote = std::make_unique<DriverTransport>(opt);
+  if (opt.deployment.mode == runtime::DeploymentOptions::Mode::kFork)
+    backend.remote->fork_local_workers();
+  backend.remote->wait_ready();
+  return backend;
+}
+
+}  // namespace gllm::net

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "obs/obs.hpp"
+#include "runtime/driver_state.hpp"
+#include "runtime/pipeline_runtime.hpp"
+
+namespace gllm::net {
+
+/// A framed connection shared by multiple sender threads: sends are
+/// serialized by a write mutex (one coalesced send_frame each, so frames
+/// never interleave); receiving is single-reader by convention. Closes the
+/// fd on destruction.
+class Conn {
+ public:
+  explicit Conn(int fd) : fd_(fd) {}
+  ~Conn();
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  bool send(MsgType type, std::span<const std::uint8_t> payload,
+            const ChannelStats& stats = {});
+  RecvStatus recv(Frame& out, double timeout_s = -1.0, const ChannelStats& stats = {});
+
+  int fd() const { return fd_; }
+  std::string peer() const;
+  /// shutdown(SHUT_RDWR): unblocks a thread inside recv().
+  void shutdown();
+
+ private:
+  int fd_;
+  std::mutex write_mu_;
+};
+
+/// One forked local worker process.
+struct ChildProc {
+  pid_t pid = -1;
+  int stage = -1;
+  bool reaped = false;
+  int status = 0;
+};
+
+/// Driver side of the multi-process deployment: listens for worker control
+/// connections, runs the handshake (stage assignment, model/partition/seed
+/// agreement, activation-ring wiring), then presents the exact channel
+/// surface of the in-process pipeline — per-stage StepMetadata queues whose
+/// pump threads broadcast frames, and a SampleResult queue fed by the last
+/// stage — so DriverState and the PipelineRuntime/PipelineService driver
+/// loops run unmodified over TCP. Heartbeats detect dead peers; shutdown()
+/// closes everything and reaps forked children, leaving no orphans.
+class DriverTransport {
+ public:
+  /// Starts listening immediately (worker_port of opt.deployment; 0 =
+  /// ephemeral, see port()). No threads yet.
+  explicit DriverTransport(runtime::RuntimeOptions options);
+  ~DriverTransport();
+
+  DriverTransport(const DriverTransport&) = delete;
+  DriverTransport& operator=(const DriverTransport&) = delete;
+
+  int port() const { return port_; }
+
+  /// fork() one local worker process per stage, each connecting back over
+  /// loopback. Must be called before any thread exists in the calling
+  /// process (the children never return — they _exit from run_worker).
+  void fork_local_workers();
+
+  /// Accept pp workers, complete the handshake, start pumps + heartbeats.
+  /// Throws on handshake timeout/protocol error (after killing children).
+  void wait_ready();
+
+  const std::vector<runtime::MetaChannel*>& meta_channels() const {
+    return meta_channel_ptrs_;
+  }
+  runtime::SampleChannel& samples() { return samples_; }
+
+  /// True once any worker connection died outside of shutdown.
+  bool peer_died() const { return peer_died_.load(); }
+  const std::vector<ChildProc>& children() const { return children_; }
+
+  /// Idempotent: broadcast Shutdown, close channels, join all transport
+  /// threads, reap forked children (SIGKILL stragglers past the heartbeat
+  /// timeout).
+  void shutdown();
+
+ private:
+  void pump_loop(int stage);
+  void reader_loop(int stage);
+  void heartbeat_loop();
+  void on_peer_dead(int stage, const char* why);
+  void kill_children();
+  void reap_children(double timeout_s);
+
+  runtime::RuntimeOptions options_;
+  obs::NetMetrics* net_metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::vector<std::unique_ptr<Conn>> conns_;  ///< control conns, index = stage
+  std::vector<std::unique_ptr<runtime::MetaChannel>> meta_channels_;
+  std::vector<runtime::MetaChannel*> meta_channel_ptrs_;
+  runtime::SampleChannel samples_{1024};
+
+  std::vector<std::thread> pumps_;
+  std::vector<std::thread> readers_;
+  std::thread heartbeat_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> peer_died_{false};
+  std::mutex heartbeat_mu_;
+  std::condition_variable heartbeat_cv_;
+
+  std::vector<ChildProc> children_;
+  bool ready_ = false;
+  bool shut_ = false;
+};
+
+/// Options for one worker-process endpoint (tools/gllm_worker, or the forked
+/// children of a kFork deployment).
+struct WorkerOptions {
+  std::string driver_host = "127.0.0.1";
+  int driver_port = 0;
+  int requested_stage = -1;     ///< -1 = let the driver assign one
+  bool listen_any = false;      ///< activation listener binds 0.0.0.0
+  double connect_timeout_s = 30.0;
+  obs::Observability* obs = nullptr;  ///< this process's sink (may be null)
+};
+
+/// Host one pipeline stage: connect to the driver, handshake, wire the
+/// activation ring, and bridge TCP frames to the local BoundedQueues a
+/// runtime::StageWorker consumes — the worker logic itself runs unmodified.
+/// Returns 0 on clean (Shutdown-frame) exit, 1 on peer death or error.
+int run_worker(const WorkerOptions& opt);
+
+/// Either an in-process pipeline (threads over BoundedQueues) or a TCP
+/// DriverTransport, behind the one surface the driver loops need.
+struct PipelineBackend {
+  runtime::PipelineHandles local;            ///< kThreads mode
+  std::unique_ptr<DriverTransport> remote;   ///< multi-process modes
+
+  const std::vector<runtime::MetaChannel*>& channels() const {
+    return remote != nullptr ? remote->meta_channels() : local.channel_ptrs;
+  }
+  runtime::SampleChannel* samples() {
+    return remote != nullptr ? &remote->samples() : local.samples.get();
+  }
+  void shutdown() {
+    if (remote != nullptr) {
+      remote->shutdown();
+    } else {
+      local.shutdown();
+    }
+  }
+};
+
+/// Assemble the pipeline for `opt.deployment.mode`: spawn in-process workers,
+/// fork local worker processes, or wait for remote ones. Blocks until the
+/// pipeline is ready to execute micro-batches.
+PipelineBackend make_pipeline_backend(const runtime::RuntimeOptions& opt,
+                                      nn::Sampler sampler, obs::Tracer* tracer);
+
+}  // namespace gllm::net

@@ -1,0 +1,344 @@
+#include "net/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace gllm::net {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// --- WireWriter -------------------------------------------------------------
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::f32(float v) {
+  std::uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireWriter::f32_span(std::span<const float> v) {
+  buf_.reserve(buf_.size() + v.size() * 4);
+  for (const float x : v) f32(x);
+}
+
+// --- WireReader -------------------------------------------------------------
+
+bool WireReader::take(void* out, std::size_t n) {
+  if (data_.size() - pos_ < n) return false;
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::u8(std::uint8_t& v) { return take(&v, 1); }
+
+bool WireReader::u16(std::uint16_t& v) {
+  std::uint8_t b[2];
+  if (!take(b, 2)) return false;
+  v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  return true;
+}
+
+bool WireReader::u32(std::uint32_t& v) {
+  std::uint8_t b[4];
+  if (!take(b, 4)) return false;
+  v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+
+bool WireReader::u64(std::uint64_t& v) {
+  std::uint8_t b[8];
+  if (!take(b, 8)) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+
+bool WireReader::i32(std::int32_t& v) {
+  std::uint32_t u;
+  if (!u32(u)) return false;
+  v = static_cast<std::int32_t>(u);
+  return true;
+}
+
+bool WireReader::i64(std::int64_t& v) {
+  std::uint64_t u;
+  if (!u64(u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool WireReader::f32(float& v) {
+  std::uint32_t bits;
+  if (!u32(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool WireReader::f64(double& v) {
+  std::uint64_t bits;
+  if (!u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool WireReader::boolean(bool& v) {
+  std::uint8_t b;
+  if (!u8(b)) return false;
+  if (b > 1) return false;  // strict: anything else is a malformed stream
+  v = b != 0;
+  return true;
+}
+
+bool WireReader::str(std::string& s, std::size_t max_len) {
+  std::uint32_t len;
+  if (!u32(len)) return false;
+  if (len > max_len || len > remaining()) return false;
+  s.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+bool WireReader::f32_vec(std::vector<float>& v, std::size_t count) {
+  if (count > remaining() / 4) return false;
+  v.resize(count);
+  for (auto& x : v) {
+    if (!f32(x)) return false;
+  }
+  return true;
+}
+
+// --- runtime message codecs -------------------------------------------------
+
+namespace {
+
+void encode_item(WireWriter& w, const runtime::ItemMeta& im) {
+  w.i64(im.seq);
+  w.i32(im.n_tokens);
+  w.i64(im.context);
+  w.u32(static_cast<std::uint32_t>(im.blocks.size()));
+  for (const kv::BlockId b : im.blocks) w.i32(b);
+  w.boolean(im.is_prefill);
+  w.boolean(im.last_chunk);
+  w.boolean(im.wants_logits);
+  w.u32(static_cast<std::uint32_t>(im.input_tokens.size()));
+  for (const nn::TokenId t : im.input_tokens) w.i32(t);
+}
+
+bool decode_item(WireReader& r, runtime::ItemMeta& im) {
+  if (!r.i64(im.seq) || !r.i32(im.n_tokens) || !r.i64(im.context)) return false;
+  std::uint32_t n_blocks;
+  if (!r.u32(n_blocks) || n_blocks > r.remaining() / 4) return false;
+  im.blocks.resize(n_blocks);
+  for (auto& b : im.blocks) {
+    if (!r.i32(b)) return false;
+  }
+  if (!r.boolean(im.is_prefill) || !r.boolean(im.last_chunk) ||
+      !r.boolean(im.wants_logits))
+    return false;
+  std::uint32_t n_tokens;
+  if (!r.u32(n_tokens) || n_tokens > r.remaining() / 4) return false;
+  im.input_tokens.resize(n_tokens);
+  for (auto& t : im.input_tokens) {
+    if (!r.i32(t)) return false;
+  }
+  return true;
+}
+
+/// Smallest possible encoded ItemMeta: guards the pre-reserve of the items
+/// vector against absurd counts in corrupt input.
+constexpr std::size_t kMinItemBytes = 8 + 4 + 8 + 4 + 3 + 4;
+
+}  // namespace
+
+void encode(WireWriter& w, const runtime::StepMetadata& m) {
+  w.u64(m.batch_id);
+  w.u32(static_cast<std::uint32_t>(m.items.size()));
+  for (const auto& im : m.items) encode_item(w, im);
+}
+
+bool decode(WireReader& r, runtime::StepMetadata& m) {
+  if (!r.u64(m.batch_id)) return false;
+  std::uint32_t n;
+  if (!r.u32(n) || n > r.remaining() / kMinItemBytes) return false;
+  m.items.resize(n);
+  for (auto& im : m.items) {
+    if (!decode_item(r, im)) return false;
+  }
+  return true;
+}
+
+void encode(WireWriter& w, const runtime::Activations& a) {
+  w.u64(a.batch_id);
+  const auto& shape = a.hidden.shape();
+  w.u8(static_cast<std::uint8_t>(shape.size()));
+  for (const std::int64_t d : shape) w.i64(d);
+  w.f32_span(a.hidden.flat());
+}
+
+bool decode(WireReader& r, runtime::Activations& a) {
+  if (!r.u64(a.batch_id)) return false;
+  std::uint8_t rank;
+  if (!r.u8(rank) || rank > 3) return false;
+  if (rank == 0) {
+    a.hidden = tensor::Tensor();
+    return true;
+  }
+  std::vector<std::int64_t> shape(rank);
+  std::int64_t numel = 1;
+  for (auto& d : shape) {
+    if (!r.i64(d) || d < 0) return false;
+    // Overflow-safe running product, bounded by what could possibly fit.
+    if (d != 0 && numel > static_cast<std::int64_t>(r.remaining() / 4) / d) return false;
+    numel *= d;
+  }
+  if (static_cast<std::size_t>(numel) > r.remaining() / 4) return false;
+  tensor::Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < numel; ++i) {
+    if (!r.f32(t.data()[i])) return false;
+  }
+  a.hidden = std::move(t);
+  return true;
+}
+
+void encode(WireWriter& w, const runtime::SampleResult& s) {
+  w.u64(s.batch_id);
+  w.u32(static_cast<std::uint32_t>(s.tokens.size()));
+  for (const auto& [seq, token] : s.tokens) {
+    w.i64(seq);
+    w.i32(token);
+  }
+}
+
+bool decode(WireReader& r, runtime::SampleResult& s) {
+  if (!r.u64(s.batch_id)) return false;
+  std::uint32_t n;
+  if (!r.u32(n) || n > r.remaining() / 12) return false;
+  s.tokens.resize(n);
+  for (auto& [seq, token] : s.tokens) {
+    if (!r.i64(seq) || !r.i32(token)) return false;
+  }
+  return true;
+}
+
+void encode(WireWriter& w, const runtime::StreamEvent& e) {
+  w.i64(e.request_id);
+  w.i32(e.token);
+  w.boolean(e.is_last);
+}
+
+bool decode(WireReader& r, runtime::StreamEvent& e) {
+  return r.i64(e.request_id) && r.i32(e.token) && r.boolean(e.is_last);
+}
+
+// --- control-plane codecs ---------------------------------------------------
+
+void encode(WireWriter& w, const Hello& h) {
+  w.u16(h.wire_version);
+  w.i32(h.requested_stage);
+  w.u16(h.act_in_port);
+}
+
+bool decode(WireReader& r, Hello& h) {
+  return r.u16(h.wire_version) && r.i32(h.requested_stage) && r.u16(h.act_in_port);
+}
+
+namespace {
+
+void encode_model(WireWriter& w, const model::ModelConfig& m) {
+  w.str(m.name);
+  w.i32(m.n_layers);
+  w.i32(m.hidden);
+  w.i32(m.n_heads);
+  w.i32(m.n_kv_heads);
+  w.i32(m.head_dim);
+  w.i32(m.intermediate);
+  w.i32(m.vocab);
+  w.i32(m.dtype_bytes);
+  w.boolean(m.tie_embeddings);
+  w.i32(m.n_experts);
+  w.i32(m.experts_per_token);
+}
+
+bool decode_model(WireReader& r, model::ModelConfig& m) {
+  return r.str(m.name, 256) && r.i32(m.n_layers) && r.i32(m.hidden) &&
+         r.i32(m.n_heads) && r.i32(m.n_kv_heads) && r.i32(m.head_dim) &&
+         r.i32(m.intermediate) && r.i32(m.vocab) && r.i32(m.dtype_bytes) &&
+         r.boolean(m.tie_embeddings) && r.i32(m.n_experts) &&
+         r.i32(m.experts_per_token);
+}
+
+}  // namespace
+
+void encode(WireWriter& w, const HelloAck& a) {
+  w.i32(a.stage);
+  w.i32(a.pp);
+  encode_model(w, a.model);
+  w.u64(a.weight_seed);
+  w.i64(a.kv_capacity_tokens);
+  w.i32(a.kv_block_size);
+  w.boolean(a.greedy_sampling);
+  w.i32(a.top_k);
+  w.f32(a.temperature);
+  w.u64(a.sampler_seed);
+  w.str(a.next_host);
+  w.u16(a.next_port);
+  w.f64(a.heartbeat_interval_s);
+  w.f64(a.heartbeat_timeout_s);
+}
+
+bool decode(WireReader& r, HelloAck& a) {
+  return r.i32(a.stage) && r.i32(a.pp) && decode_model(r, a.model) &&
+         r.u64(a.weight_seed) && r.i64(a.kv_capacity_tokens) &&
+         r.i32(a.kv_block_size) && r.boolean(a.greedy_sampling) && r.i32(a.top_k) &&
+         r.f32(a.temperature) && r.u64(a.sampler_seed) && r.str(a.next_host, 256) &&
+         r.u16(a.next_port) && r.f64(a.heartbeat_interval_s) &&
+         r.f64(a.heartbeat_timeout_s);
+}
+
+}  // namespace gllm::net

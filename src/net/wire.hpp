@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+#include "runtime/messages.hpp"
+
+namespace gllm::net {
+
+/// Wire protocol version, carried in every frame header and in the Hello
+/// handshake. Bump on any incompatible change to the encodings below.
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the per-frame checksum.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Append-only little-endian byte writer. All multi-byte integers are
+/// serialized explicitly byte-by-byte so the wire format is identical on any
+/// host endianness; floats go as their IEEE-754 bit patterns.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// u32 length prefix + raw bytes.
+  void str(const std::string& s);
+  /// Raw IEEE-754 little-endian floats, no length prefix (caller encodes the
+  /// count separately, e.g. as tensor dims).
+  void f32_span(std::span<const float> v);
+
+  std::span<const std::uint8_t> bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed buffer. Every getter
+/// returns false (leaving the cursor unchanged) instead of reading past the
+/// end, so decoding adversarial input can fail but never over-read.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool u8(std::uint8_t& v);
+  bool u16(std::uint16_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  bool i32(std::int32_t& v);
+  bool i64(std::int64_t& v);
+  bool f32(float& v);
+  bool f64(double& v);
+  bool boolean(bool& v);
+  bool str(std::string& s, std::size_t max_len = 1 << 16);
+  bool f32_vec(std::vector<float>& v, std::size_t count);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// True once the cursor consumed the whole buffer (strict decoders check
+  /// this to reject trailing garbage).
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  bool take(void* out, std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- runtime message codecs -------------------------------------------------
+// decode() returns false on truncated/malformed input; the out-param may be
+// partially filled in that case and must be discarded. Strict: a successful
+// decode consumes the reader exactly when the message is the whole payload
+// (checked by the frame-level helpers in transport.cpp, not here, so messages
+// can also be embedded in larger payloads).
+
+void encode(WireWriter& w, const runtime::StepMetadata& m);
+bool decode(WireReader& r, runtime::StepMetadata& m);
+
+void encode(WireWriter& w, const runtime::Activations& a);
+bool decode(WireReader& r, runtime::Activations& a);
+
+void encode(WireWriter& w, const runtime::SampleResult& s);
+bool decode(WireReader& r, runtime::SampleResult& s);
+
+void encode(WireWriter& w, const runtime::StreamEvent& e);
+bool decode(WireReader& r, runtime::StreamEvent& e);
+
+// --- control-plane messages -------------------------------------------------
+
+/// Worker -> driver, first frame on the control connection.
+struct Hello {
+  std::uint16_t wire_version = kWireVersion;
+  std::int32_t requested_stage = -1;  ///< -1 = assign me any stage
+  std::uint16_t act_in_port = 0;      ///< my listener for predecessor activations
+};
+
+/// Driver -> worker: everything the worker needs to host its stage — the
+/// model config + partition + weight-seed agreement of the handshake.
+struct HelloAck {
+  std::int32_t stage = 0;
+  std::int32_t pp = 1;
+  model::ModelConfig model;
+  std::uint64_t weight_seed = 0;
+  std::int64_t kv_capacity_tokens = 0;
+  std::int32_t kv_block_size = 8;
+  bool greedy_sampling = true;
+  std::int32_t top_k = 0;
+  float temperature = 1.0f;
+  std::uint64_t sampler_seed = 0;
+  std::string next_host;        ///< successor's activation listener ("" on last stage)
+  std::uint16_t next_port = 0;
+  double heartbeat_interval_s = 0.25;
+  double heartbeat_timeout_s = 10.0;
+};
+
+void encode(WireWriter& w, const Hello& h);
+bool decode(WireReader& r, Hello& h);
+
+void encode(WireWriter& w, const HelloAck& a);
+bool decode(WireReader& r, HelloAck& a);
+
+}  // namespace gllm::net

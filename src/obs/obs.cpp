@@ -26,6 +26,24 @@ Observability::Observability(ObsConfig cfg) : tracer_(cfg.trace_ring_capacity) {
   serving_.iteration_tokens = &registry_.histogram(
       "gllm_iteration_tokens", "Scheduled tokens per micro-batch",
       Histogram::linear_bounds(256.0, 256.0, 16));  // 256 .. 4096, +Inf beyond
+
+  const auto net_channel = [this](NetChannelMetrics& ch, const char* name,
+                                  const char* what) {
+    const std::string prefix = std::string("gllm_net_") + name;
+    ch.frames_sent = &registry_.counter(prefix + "_frames_sent_total",
+                                        std::string(what) + " frames sent");
+    ch.bytes_sent = &registry_.counter(prefix + "_bytes_sent_total",
+                                       std::string(what) + " bytes sent (incl. headers)");
+    ch.frames_recv = &registry_.counter(prefix + "_frames_recv_total",
+                                        std::string(what) + " frames received");
+    ch.bytes_recv =
+        &registry_.counter(prefix + "_bytes_recv_total",
+                           std::string(what) + " bytes received (incl. headers)");
+  };
+  net_channel(net_.meta, "meta", "StepMetadata broadcast");
+  net_channel(net_.act, "act", "Stage-to-stage activation");
+  net_channel(net_.sample, "sample", "SampleResult");
+  net_channel(net_.ctrl, "ctrl", "Control-plane (hello/heartbeat/shutdown)");
 }
 
 }  // namespace gllm::obs

@@ -32,6 +32,28 @@ struct ServingMetrics {
   Histogram* iteration_tokens = nullptr;  ///< per-micro-batch scheduled tokens
 };
 
+/// Transfer counters of one gllm::net channel kind (frames and bytes in each
+/// direction). A process plays one role per channel — the driver sends
+/// metadata and receives samples, a stage worker the reverse — so the unused
+/// direction simply stays zero.
+struct NetChannelMetrics {
+  Counter* frames_sent = nullptr;
+  Counter* bytes_sent = nullptr;
+  Counter* frames_recv = nullptr;
+  Counter* bytes_recv = nullptr;
+};
+
+/// Pre-registered gllm::net instruments, one channel kind per runtime message
+/// class plus the control plane (hello/heartbeat/shutdown). Surfaced through
+/// the same registry as the serving metrics, so `/v1/stats` and `/metrics`
+/// report transport traffic alongside scheduling behaviour.
+struct NetMetrics {
+  NetChannelMetrics meta;    ///< driver -> workers StepMetadata broadcast
+  NetChannelMetrics act;     ///< stage i -> i+1 activations ring
+  NetChannelMetrics sample;  ///< last stage -> driver sampled tokens
+  NetChannelMetrics ctrl;    ///< handshake, heartbeats, shutdown
+};
+
 /// The unified observability handle threaded through the serving layers:
 /// one metrics registry + one span tracer + the pre-registered serving
 /// instruments. Layers hold an `Observability*` that defaults to nullptr —
@@ -46,6 +68,8 @@ class Observability {
   const Tracer& tracer() const { return tracer_; }
   ServingMetrics& serving() { return serving_; }
   const ServingMetrics& serving() const { return serving_; }
+  NetMetrics& net() { return net_; }
+  const NetMetrics& net() const { return net_; }
 
   /// JSON summary of every registered instrument (the /v1/stats body).
   std::string stats_json() const { return registry_.render_json(); }
@@ -54,6 +78,7 @@ class Observability {
   Registry registry_;
   Tracer tracer_;
   ServingMetrics serving_;
+  NetMetrics net_;
 };
 
 }  // namespace gllm::obs

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "net/transport.hpp"
 #include "obs/obs.hpp"
 #include "util/log.hpp"
 #include "util/queue.hpp"
@@ -63,14 +64,15 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
                    });
 
   // --- assemble the worker pipeline ---------------------------------------
+  // In-process threads, forked local processes, or remote workers over TCP —
+  // all present the same channel surface, so the driver loop below is
+  // deployment-agnostic. Must run before the frontend thread spawns: fork
+  // mode may only fork while this process is single-threaded.
   const nn::Sampler sampler =
       options_.greedy_sampling
           ? nn::Sampler{}
           : nn::Sampler(options_.top_k, options_.temperature, options_.sampler_seed);
-  PipelineHandles handles =
-      assemble_pipeline(options_.model, options_.pp, options_.weight_seed,
-                        options_.kv_capacity_tokens, options_.kv_block_size, sampler,
-                        tracer);
+  net::PipelineBackend backend = net::make_pipeline_backend(options_, sampler, tracer);
 
   // --- decoupled frontend -----------------------------------------------------
   util::BoundedQueue<StreamEvent> stream(4096);
@@ -103,7 +105,7 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
       }
       report.total_plan_seconds += seconds_since(plan_t0);
       if (plan.empty()) break;
-      if (!state.materialize_and_dispatch(std::move(plan), now, handles.channel_ptrs))
+      if (!state.materialize_and_dispatch(std::move(plan), now, backend.channels()))
         break;
       ++report.iterations;
       admitted_any = true;
@@ -132,9 +134,13 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
     std::optional<SampleResult> result;
     {
       obs::SpanGuard span(tracer, options_.pp, "wait.sample");
-      result = handles.samples->pop();
+      result = backend.samples()->pop();
     }
-    if (!result) break;
+    if (!result) {
+      GLLM_LOG_ERROR("runtime: sample channel closed with "
+                     << requests.size() - finished << " unfinished requests");
+      break;
+    }
     finished += static_cast<std::size_t>(state.complete_batch(
         *result, seconds_since(t0),
         [&](const engine::Sequence& seq, nn::TokenId token, bool done) {
@@ -145,7 +151,7 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
   }
 
   // --- shutdown ---------------------------------------------------------------
-  handles.shutdown();
+  backend.shutdown();
   stream.close();
   if (frontend.joinable()) frontend.join();
 

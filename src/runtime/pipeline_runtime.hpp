@@ -11,6 +11,27 @@
 
 namespace gllm::runtime {
 
+/// How the pipeline-stage workers are hosted (paper §3.3: the runtime is
+/// multi-process — a driver worker plus one process per stage).
+struct DeploymentOptions {
+  enum class Mode {
+    kThreads,  ///< in-process worker threads over BoundedQueues (default)
+    kFork,     ///< fork() one local worker process per stage, loopback TCP
+    kRemote,   ///< accept externally launched gllm_worker processes over TCP
+  };
+  Mode mode = Mode::kThreads;
+  /// Driver control listener for worker connections (0 = ephemeral; kRemote
+  /// deployments should pin a port so workers know where to connect).
+  int worker_port = 0;
+  double heartbeat_interval_s = 0.25;  ///< driver -> worker heartbeat period
+  /// No frame (heartbeat or data) for this long on a control connection
+  /// declares the peer dead.
+  double heartbeat_timeout_s = 10.0;
+  double handshake_timeout_s = 30.0;
+
+  bool multi_process() const { return mode != Mode::kThreads; }
+};
+
 /// Deployment options for the real threaded runtime.
 struct RuntimeOptions {
   model::ModelConfig model;       ///< typically model::presets::tiny()
@@ -36,6 +57,9 @@ struct RuntimeOptions {
   /// additionally when its tracer is enabled. Tracks 0..pp-1 are the stage
   /// workers, pp the driver. Must outlive the run.
   obs::Observability* obs = nullptr;
+  /// Worker hosting: in-process threads (default) or a multi-process
+  /// deployment over the gllm::net TCP transport.
+  DeploymentOptions deployment;
 };
 
 struct RuntimeRequestRecord {

@@ -57,10 +57,11 @@ void PipelineService::start() {
       options_.greedy_sampling
           ? nn::Sampler{}
           : nn::Sampler(options_.top_k, options_.temperature, options_.sampler_seed);
-  handles_ = assemble_pipeline(options_.model, options_.pp, options_.weight_seed,
-                               options_.kv_capacity_tokens, options_.kv_block_size,
-                               sampler,
-                               options_.obs != nullptr ? &options_.obs->tracer() : nullptr);
+  // Deployment-agnostic pipeline (threads / forked processes / remote
+  // workers). Fork mode requires this process to still be single-threaded
+  // here — start() the service before spawning server threads.
+  backend_ = net::make_pipeline_backend(
+      options_, sampler, options_.obs != nullptr ? &options_.obs->tracer() : nullptr);
   driver_ = std::thread([this] { service_loop(); });
 }
 
@@ -99,7 +100,7 @@ void PipelineService::stop() {
   }
   inbox_.close();
   if (driver_.joinable()) driver_.join();
-  handles_.shutdown();
+  backend_.shutdown();
   std::lock_guard lock(mu_);
   running_ = false;
 }
@@ -130,7 +131,7 @@ bool PipelineService::admit_batches() {
       plan = scheduler_->plan(state_->build_context(now));
     }
     if (plan.empty()) break;
-    if (!state_->materialize_and_dispatch(std::move(plan), now, handles_.channel_ptrs))
+    if (!state_->materialize_and_dispatch(std::move(plan), now, backend_.channels()))
       break;
     admitted = true;
   }
@@ -171,7 +172,7 @@ void PipelineService::service_loop() {
       {
         obs::SpanGuard span(options_.obs != nullptr ? &options_.obs->tracer() : nullptr,
                             options_.pp, "wait.sample");
-        result = handles_.samples->pop();
+        result = backend_.samples()->pop();
       }
       if (!result) break;  // channels torn down underneath us
       const double now = seconds_since(t0_);

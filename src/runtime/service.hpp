@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "net/transport.hpp"
 #include "runtime/driver_state.hpp"
 #include "runtime/pipeline_runtime.hpp"
 
@@ -66,7 +67,7 @@ class PipelineService {
   std::int64_t kv_capacity_;
 
   std::unique_ptr<DriverState> state_;  // owned by the driver thread after start
-  PipelineHandles handles_;
+  net::PipelineBackend backend_;
   util::BoundedQueue<Submission> inbox_{1024};
   std::thread driver_;
   std::chrono::steady_clock::time_point t0_;

@@ -1,10 +1,5 @@
 #include "server/http_server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cctype>
 #include <chrono>
 #include <cstring>
@@ -12,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "net/socket.hpp"
 #include "obs/obs.hpp"
 #include "util/log.hpp"
 
@@ -45,7 +41,9 @@ bool read_http_request(int fd, std::string& raw, std::size_t& header_end,
         raw.size() >= header_end + 4 + content_length) {
       return true;
     }
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    // net::recv_some retries EINTR, so an interrupted syscall is not
+    // mistaken for a peer close.
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
     if (n <= 0) return false;
     raw.append(buf, static_cast<std::size_t>(n));
     if (raw.size() > (2u << 20)) return false;
@@ -53,13 +51,7 @@ bool read_http_request(int fd, std::string& raw, std::size_t& header_end,
 }
 
 bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+  return net::send_all(fd, data.data(), data.size());
 }
 
 std::string status_text(int status) {
@@ -127,26 +119,8 @@ HttpServer::~HttpServer() { stop(); }
 void HttpServer::start() {
   if (running_.load()) return;
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(requested_port_));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("HttpServer: bind() failed");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("HttpServer: listen() failed");
-  }
+  listen_fd_ = net::listen_tcp(requested_port_);
+  port_ = net::local_port(listen_fd_);
 
   running_.store(true);
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -155,8 +129,8 @@ void HttpServer::start() {
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
+  net::shutdown_fd(listen_fd_);
+  net::close_fd(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
   std::lock_guard lock(connections_mu_);
   for (auto& t : connections_) {
@@ -167,7 +141,7 @@ void HttpServer::stop() {
 
 void HttpServer::accept_loop() {
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = net::accept_conn(listen_fd_);  // EINTR-safe; -1 once closed
     if (fd < 0) {
       if (!running_.load()) return;
       continue;
@@ -203,7 +177,7 @@ void HttpServer::handle_connection(int fd) {
     oss << "Connection: close\r\n\r\n" << response.body;
     send_all(fd, oss.str());
   }
-  ::close(fd);
+  net::close_fd(fd);
 }
 
 HttpServer::Response HttpServer::handle_request(const std::string& method,
@@ -295,32 +269,24 @@ HttpServer::Response HttpServer::handle_completion(const std::string& body) {
 int http_request(int port, const std::string& method, const std::string& path,
                  const std::string& body, std::string& response_body,
                  std::string* response_headers) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = net::connect_tcp("127.0.0.1", port);
   if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return -1;
-  }
   std::ostringstream oss;
   oss << method << " " << path << " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
       << "Content-Length: " << body.size() << "\r\nConnection: close\r\n\r\n"
       << body;
   if (!send_all(fd, oss.str())) {
-    ::close(fd);
+    net::close_fd(fd);
     return -1;
   }
   std::string raw;
   char buf[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
     if (n <= 0) break;
     raw.append(buf, static_cast<std::size_t>(n));
   }
-  ::close(fd);
+  net::close_fd(fd);
   const auto header_end = raw.find("\r\n\r\n");
   if (header_end == std::string::npos) return -1;
   response_body = raw.substr(header_end + 4);

@@ -1,0 +1,204 @@
+// Socket-level tests for gllm::net: EINTR-safe primitives, framed transfer
+// over real loopback TCP, idle timeouts, orderly close vs corruption, and
+// write-mutex interleaving under concurrent senders.
+
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace gllm::net {
+namespace {
+
+struct SocketPair {
+  int server = -1;
+  int client = -1;
+  ~SocketPair() {
+    if (server >= 0) close_fd(server);
+    if (client >= 0) close_fd(client);
+  }
+};
+
+/// Loopback listener + connected pair on an ephemeral port.
+SocketPair make_pair_fds() {
+  const int listener = listen_tcp(0);
+  const int port = local_port(listener);
+  SocketPair p;
+  p.client = connect_tcp("127.0.0.1", port, 5.0);
+  EXPECT_GE(p.client, 0);
+  p.server = accept_conn(listener);
+  EXPECT_GE(p.server, 0);
+  close_fd(listener);
+  return p;
+}
+
+TEST(NetSocket, EphemeralPortResolvesNonZero) {
+  const int fd = listen_tcp(0);
+  EXPECT_GT(local_port(fd), 0);
+  close_fd(fd);
+}
+
+TEST(NetSocket, SendAllRecvAllExactBytes) {
+  SocketPair p = make_pair_fds();
+  std::vector<std::uint8_t> out(100'000);
+  util::Rng rng(3);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+
+  std::thread sender([&] { EXPECT_TRUE(send_all(p.client, out.data(), out.size())); });
+  std::vector<std::uint8_t> in(out.size());
+  EXPECT_TRUE(recv_all(p.server, in.data(), in.size()));
+  sender.join();
+  EXPECT_EQ(in, out);
+}
+
+TEST(NetSocket, RecvAllFailsOnEarlyClose) {
+  SocketPair p = make_pair_fds();
+  const char partial[3] = {1, 2, 3};
+  EXPECT_TRUE(send_all(p.client, partial, sizeof(partial)));
+  close_fd(p.client);
+  p.client = -1;
+  std::uint8_t buf[8];
+  EXPECT_FALSE(recv_all(p.server, buf, sizeof(buf)));
+}
+
+TEST(NetSocket, ConnectTimesOutOnDeadPort) {
+  // Grab an ephemeral port, then close it so nothing listens there.
+  const int fd = listen_tcp(0);
+  const int port = local_port(fd);
+  close_fd(fd);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_LT(connect_tcp("127.0.0.1", port, 0.3), 0);
+  const std::chrono::duration<double> took = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(took.count(), 5.0);
+}
+
+TEST(NetSocket, WaitReadableTimesOutOnIdleConn) {
+  SocketPair p = make_pair_fds();
+  EXPECT_FALSE(wait_readable(p.server, 0.05));
+  const char byte = 42;
+  EXPECT_TRUE(send_all(p.client, &byte, 1));
+  EXPECT_TRUE(wait_readable(p.server, 5.0));
+}
+
+TEST(NetFrame, RoundTripOverRealSocket) {
+  SocketPair p = make_pair_fds();
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6, 7};
+  ASSERT_TRUE(send_frame(p.client, MsgType::kStepMetadata, payload));
+  Frame f;
+  ASSERT_EQ(recv_frame(p.server, f), RecvStatus::kOk);
+  EXPECT_EQ(f.type, MsgType::kStepMetadata);
+  EXPECT_EQ(f.payload, payload);
+}
+
+TEST(NetFrame, IdleTimeoutReturnsTimeout) {
+  SocketPair p = make_pair_fds();
+  Frame f;
+  EXPECT_EQ(recv_frame(p.server, f, 0.05), RecvStatus::kTimeout);
+}
+
+TEST(NetFrame, OrderlyCloseAtFrameBoundaryIsClosed) {
+  SocketPair p = make_pair_fds();
+  ASSERT_TRUE(send_frame(p.client, MsgType::kHeartbeat, {}));
+  close_fd(p.client);
+  p.client = -1;
+  Frame f;
+  EXPECT_EQ(recv_frame(p.server, f), RecvStatus::kOk);  // the heartbeat
+  EXPECT_EQ(recv_frame(p.server, f), RecvStatus::kClosed);
+}
+
+TEST(NetFrame, EofMidFrameIsCorrupt) {
+  SocketPair p = make_pair_fds();
+  const auto buf = encode_frame(MsgType::kActivations, std::vector<std::uint8_t>(64, 9));
+  ASSERT_TRUE(send_all(p.client, buf.data(), buf.size() / 2));  // half a frame
+  close_fd(p.client);
+  p.client = -1;
+  Frame f;
+  EXPECT_EQ(recv_frame(p.server, f), RecvStatus::kCorrupt);
+}
+
+TEST(NetFrame, GarbageBytesAreCorrupt) {
+  SocketPair p = make_pair_fds();
+  std::vector<std::uint8_t> junk(64);
+  util::Rng rng(99);
+  for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  junk[0] = 0;  // ensure the magic cannot match
+  ASSERT_TRUE(send_all(p.client, junk.data(), junk.size()));
+  Frame f;
+  EXPECT_EQ(recv_frame(p.server, f, 1.0), RecvStatus::kCorrupt);
+}
+
+TEST(NetFrame, FlippedPayloadByteOverSocketIsCorrupt) {
+  SocketPair p = make_pair_fds();
+  auto buf = encode_frame(MsgType::kSampleResult, std::vector<std::uint8_t>{5, 6, 7, 8});
+  buf[kFrameHeaderBytes + 1] ^= 0x10;
+  ASSERT_TRUE(send_all(p.client, buf.data(), buf.size()));
+  Frame f;
+  EXPECT_EQ(recv_frame(p.server, f, 1.0), RecvStatus::kCorrupt);
+}
+
+TEST(NetConn, ConcurrentSendersNeverInterleaveFrames) {
+  SocketPair p = make_pair_fds();
+  Conn sender(p.client);
+  p.client = -1;  // Conn owns it now
+
+  constexpr int kThreads = 4;
+  constexpr int kFramesEach = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sender, t] {
+      // Distinct payload sizes per thread so interleaving would corrupt
+      // framing or checksums immediately.
+      std::vector<std::uint8_t> payload(static_cast<std::size_t>(16 * (t + 1)),
+                                        static_cast<std::uint8_t>(t));
+      for (int i = 0; i < kFramesEach; ++i)
+        EXPECT_TRUE(sender.send(MsgType::kStreamEvent, payload));
+    });
+  }
+
+  int received = 0;
+  while (received < kThreads * kFramesEach) {
+    Frame f;
+    ASSERT_EQ(recv_frame(p.server, f, 10.0), RecvStatus::kOk);
+    ASSERT_EQ(f.type, MsgType::kStreamEvent);
+    ASSERT_FALSE(f.payload.empty());
+    ASSERT_EQ(f.payload.size() % 16u, 0u);
+    const std::uint8_t tag = f.payload[0];
+    EXPECT_EQ(f.payload.size(), 16u * (tag + 1u));
+    for (const auto b : f.payload) EXPECT_EQ(b, tag);
+    ++received;
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(NetConn, ShutdownUnblocksReader) {
+  SocketPair p = make_pair_fds();
+  Conn conn(p.server);
+  p.server = -1;
+  std::thread reader([&] {
+    Frame f;
+    EXPECT_NE(conn.recv(f, 30.0), RecvStatus::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  conn.shutdown();
+  reader.join();
+}
+
+TEST(NetSocket, LargeFrameRoundTrip) {
+  SocketPair p = make_pair_fds();
+  std::vector<std::uint8_t> payload(1 << 20);
+  util::Rng rng(1);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  std::thread sender(
+      [&] { EXPECT_TRUE(send_frame(p.client, MsgType::kActivations, payload)); });
+  Frame f;
+  ASSERT_EQ(recv_frame(p.server, f, 30.0), RecvStatus::kOk);
+  sender.join();
+  EXPECT_EQ(f.payload, payload);
+}
+
+}  // namespace
+}  // namespace gllm::net

@@ -1,0 +1,369 @@
+// Wire-format coverage for gllm::net: randomized round-trip property tests
+// over the runtime message types, and adversarial-input tests (truncation,
+// bad magic/version, corrupt checksum, garbage bytes) that must produce
+// decode errors — never a crash or an over-read (enforced by the ASan/UBSan
+// CI job).
+
+#include "net/frame.hpp"
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gllm::net {
+namespace {
+
+template <typename T>
+std::vector<std::uint8_t> encoded(const T& msg) {
+  WireWriter w;
+  encode(w, msg);
+  return w.take();
+}
+
+template <typename T>
+bool decoded(std::span<const std::uint8_t> bytes, T& out) {
+  WireReader r(bytes);
+  return decode(r, out) && r.done();
+}
+
+runtime::StepMetadata random_metadata(util::Rng& rng) {
+  runtime::StepMetadata m;
+  m.batch_id = rng.next_u64();
+  const auto n_items = rng.uniform_int(0, 6);
+  for (std::int64_t i = 0; i < n_items; ++i) {
+    runtime::ItemMeta im;
+    im.seq = rng.uniform_int(-1000, 1'000'000);
+    im.n_tokens = static_cast<int>(rng.uniform_int(0, 512));
+    im.context = rng.uniform_int(0, 1 << 20);
+    const auto n_blocks = rng.uniform_int(0, 16);
+    for (std::int64_t b = 0; b < n_blocks; ++b)
+      im.blocks.push_back(static_cast<kv::BlockId>(rng.uniform_int(0, 1 << 20)));
+    im.is_prefill = rng.bernoulli(0.5);
+    im.last_chunk = rng.bernoulli(0.5);
+    im.wants_logits = rng.bernoulli(0.5);
+    const auto n_tokens = rng.uniform_int(0, 32);
+    for (std::int64_t t = 0; t < n_tokens; ++t)
+      im.input_tokens.push_back(static_cast<nn::TokenId>(rng.uniform_int(0, 1 << 16)));
+    m.items.push_back(std::move(im));
+  }
+  return m;
+}
+
+runtime::Activations random_activations(util::Rng& rng) {
+  runtime::Activations a;
+  a.batch_id = rng.next_u64();
+  const auto rows = rng.uniform_int(0, 8);
+  const auto cols = rng.uniform_int(1, 24);
+  a.hidden = tensor::Tensor({rows, cols});
+  for (auto& x : a.hidden.flat()) x = static_cast<float>(rng.normal());
+  return a;
+}
+
+runtime::SampleResult random_samples(util::Rng& rng) {
+  runtime::SampleResult s;
+  s.batch_id = rng.next_u64();
+  const auto n = rng.uniform_int(0, 20);
+  for (std::int64_t i = 0; i < n; ++i)
+    s.tokens.emplace_back(rng.uniform_int(0, 1 << 20),
+                          static_cast<nn::TokenId>(rng.uniform_int(0, 1 << 16)));
+  return s;
+}
+
+bool operator_eq(const runtime::ItemMeta& a, const runtime::ItemMeta& b) {
+  return a.seq == b.seq && a.n_tokens == b.n_tokens && a.context == b.context &&
+         a.blocks == b.blocks && a.is_prefill == b.is_prefill &&
+         a.last_chunk == b.last_chunk && a.wants_logits == b.wants_logits &&
+         a.input_tokens == b.input_tokens;
+}
+
+// --- round trips -------------------------------------------------------------
+
+TEST(WireRoundTrip, StepMetadataRandomized) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    util::Rng rng(seed);
+    const auto m = random_metadata(rng);
+    runtime::StepMetadata out;
+    ASSERT_TRUE(decoded(encoded(m), out)) << "seed " << seed;
+    EXPECT_EQ(out.batch_id, m.batch_id);
+    ASSERT_EQ(out.items.size(), m.items.size());
+    for (std::size_t i = 0; i < m.items.size(); ++i)
+      EXPECT_TRUE(operator_eq(out.items[i], m.items[i])) << "seed " << seed << " item " << i;
+  }
+}
+
+TEST(WireRoundTrip, ActivationsRandomized) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    util::Rng rng(seed * 77);
+    const auto a = random_activations(rng);
+    runtime::Activations out;
+    ASSERT_TRUE(decoded(encoded(a), out)) << "seed " << seed;
+    EXPECT_EQ(out.batch_id, a.batch_id);
+    EXPECT_EQ(out.hidden.shape(), a.hidden.shape());
+    const auto in = a.hidden.flat();
+    const auto got = out.hidden.flat();
+    ASSERT_EQ(got.size(), in.size());
+    // Bit-exact: floats travel as IEEE-754 bit patterns.
+    for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(got[i], in[i]);
+  }
+}
+
+TEST(WireRoundTrip, SampleResultRandomized) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    util::Rng rng(seed * 1234 + 5);
+    const auto s = random_samples(rng);
+    runtime::SampleResult out;
+    ASSERT_TRUE(decoded(encoded(s), out)) << "seed " << seed;
+    EXPECT_EQ(out.batch_id, s.batch_id);
+    EXPECT_EQ(out.tokens, s.tokens);
+  }
+}
+
+TEST(WireRoundTrip, StreamEventAndControlMessages) {
+  const runtime::StreamEvent ev{-42, 7, true};
+  runtime::StreamEvent ev_out;
+  ASSERT_TRUE(decoded(encoded(ev), ev_out));
+  EXPECT_EQ(ev_out.request_id, ev.request_id);
+  EXPECT_EQ(ev_out.token, ev.token);
+  EXPECT_EQ(ev_out.is_last, ev.is_last);
+
+  Hello hello;
+  hello.requested_stage = 3;
+  hello.act_in_port = 40123;
+  Hello hello_out;
+  ASSERT_TRUE(decoded(encoded(hello), hello_out));
+  EXPECT_EQ(hello_out.wire_version, kWireVersion);
+  EXPECT_EQ(hello_out.requested_stage, 3);
+  EXPECT_EQ(hello_out.act_in_port, 40123);
+
+  HelloAck ack;
+  ack.stage = 1;
+  ack.pp = 4;
+  ack.model = model::presets::tiny();
+  ack.weight_seed = 99;
+  ack.kv_capacity_tokens = 4096;
+  ack.kv_block_size = 16;
+  ack.greedy_sampling = false;
+  ack.top_k = 40;
+  ack.temperature = 0.7f;
+  ack.sampler_seed = 5;
+  ack.next_host = "10.0.0.7";
+  ack.next_port = 31999;
+  ack.heartbeat_interval_s = 0.125;
+  ack.heartbeat_timeout_s = 3.5;
+  HelloAck out;
+  ASSERT_TRUE(decoded(encoded(ack), out));
+  EXPECT_EQ(out.stage, ack.stage);
+  EXPECT_EQ(out.pp, ack.pp);
+  EXPECT_EQ(out.model.name, ack.model.name);
+  EXPECT_EQ(out.model.n_layers, ack.model.n_layers);
+  EXPECT_EQ(out.model.vocab, ack.model.vocab);
+  EXPECT_EQ(out.weight_seed, ack.weight_seed);
+  EXPECT_EQ(out.kv_capacity_tokens, ack.kv_capacity_tokens);
+  EXPECT_EQ(out.kv_block_size, ack.kv_block_size);
+  EXPECT_EQ(out.greedy_sampling, ack.greedy_sampling);
+  EXPECT_EQ(out.top_k, ack.top_k);
+  EXPECT_EQ(out.temperature, ack.temperature);
+  EXPECT_EQ(out.sampler_seed, ack.sampler_seed);
+  EXPECT_EQ(out.next_host, ack.next_host);
+  EXPECT_EQ(out.next_port, ack.next_port);
+  EXPECT_EQ(out.heartbeat_interval_s, ack.heartbeat_interval_s);
+  EXPECT_EQ(out.heartbeat_timeout_s, ack.heartbeat_timeout_s);
+}
+
+// --- adversarial inputs ------------------------------------------------------
+
+TEST(WireAdversarial, TruncatedMessageAtEveryPrefixFailsCleanly) {
+  util::Rng rng(7);
+  const auto bytes = encoded(random_metadata(rng));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    runtime::StepMetadata out;
+    // The item/block/token counts at the head of the encoding pin the exact
+    // byte length, so every strict prefix must fail to decode.
+    EXPECT_FALSE(decoded(std::span<const std::uint8_t>(bytes.data(), len), out))
+        << "prefix " << len;
+  }
+}
+
+TEST(WireAdversarial, TruncatedActivationsNeverOverRead) {
+  util::Rng rng(11);
+  const auto bytes = encoded(random_activations(rng));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    runtime::Activations out;
+    WireReader r(std::span<const std::uint8_t>(bytes.data(), len));
+    decode(r, out);  // must not crash or over-read (ASan-checked)
+  }
+}
+
+TEST(WireAdversarial, RandomBytesNeverCrashDecoders) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(static_cast<std::size_t>(rng.uniform_int(0, 96)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    {
+      runtime::StepMetadata out;
+      WireReader r(junk);
+      decode(r, out);
+    }
+    {
+      runtime::Activations out;
+      WireReader r(junk);
+      decode(r, out);
+    }
+    {
+      runtime::SampleResult out;
+      WireReader r(junk);
+      decode(r, out);
+    }
+    {
+      HelloAck out;
+      WireReader r(junk);
+      decode(r, out);
+    }
+  }
+}
+
+TEST(WireAdversarial, AbsurdCountsRejectedBeforeAllocation) {
+  // StepMetadata claiming 2^32-1 items in a 16-byte payload must fail fast
+  // (and certainly not reserve gigabytes).
+  WireWriter w;
+  w.u64(1);            // batch_id
+  w.u32(0xFFFFFFFFu);  // item count
+  w.u32(0);
+  const auto bytes = w.take();
+  runtime::StepMetadata out;
+  WireReader r(bytes);
+  EXPECT_FALSE(decode(r, out));
+
+  // Activations with a huge dim product must be rejected by the numel guard.
+  WireWriter w2;
+  w2.u64(2);
+  w2.u8(3);
+  w2.i64(1 << 20);
+  w2.i64(1 << 20);
+  w2.i64(1 << 20);
+  const auto bytes2 = w2.take();
+  runtime::Activations act;
+  WireReader r2(bytes2);
+  EXPECT_FALSE(decode(r2, act));
+}
+
+TEST(WireAdversarial, NegativeTensorDimRejected) {
+  WireWriter w;
+  w.u64(3);
+  w.u8(2);
+  w.i64(-4);
+  w.i64(4);
+  const auto bytes = w.take();
+  runtime::Activations act;
+  WireReader r(bytes);
+  EXPECT_FALSE(decode(r, act));
+}
+
+TEST(WireAdversarial, NonCanonicalBoolRejected) {
+  WireWriter w;
+  w.i64(1);  // request_id
+  w.i32(2);  // token
+  w.u8(7);   // is_last must be 0 or 1
+  const auto bytes = w.take();
+  runtime::StreamEvent ev;
+  WireReader r(bytes);
+  EXPECT_FALSE(decode(r, ev));
+}
+
+// --- framing -----------------------------------------------------------------
+
+TEST(FrameCodec, RoundTripAndExactConsumption) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto buf = encode_frame(MsgType::kStepMetadata, payload);
+  EXPECT_EQ(buf.size(), kFrameHeaderBytes + payload.size());
+  Frame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(buf, out, consumed), FrameDecodeStatus::kOk);
+  EXPECT_EQ(out.type, MsgType::kStepMetadata);
+  EXPECT_EQ(out.payload, payload);
+  EXPECT_EQ(consumed, buf.size());
+}
+
+TEST(FrameCodec, EmptyPayloadFrames) {
+  const auto buf = encode_frame(MsgType::kHeartbeat, {});
+  Frame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(buf, out, consumed), FrameDecodeStatus::kOk);
+  EXPECT_EQ(out.type, MsgType::kHeartbeat);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(FrameCodec, TruncatedAtEveryPrefixNeedsMore) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  const auto buf = encode_frame(MsgType::kSampleResult, payload);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    Frame out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_frame(std::span<const std::uint8_t>(buf.data(), len), out, consumed),
+              FrameDecodeStatus::kNeedMore)
+        << "prefix " << len;
+  }
+}
+
+TEST(FrameCodec, BadMagicBadVersionTooLarge) {
+  auto buf = encode_frame(MsgType::kHello, {});
+  Frame out;
+  std::size_t consumed = 0;
+
+  auto corrupted = buf;
+  corrupted[0] ^= 0xFF;
+  EXPECT_EQ(decode_frame(corrupted, out, consumed), FrameDecodeStatus::kBadMagic);
+
+  corrupted = buf;
+  corrupted[4] ^= 0xFF;  // version little-endian low byte
+  EXPECT_EQ(decode_frame(corrupted, out, consumed), FrameDecodeStatus::kBadVersion);
+
+  corrupted = buf;
+  corrupted[8] = 0xFF;  // payload_len bytes 8..11
+  corrupted[9] = 0xFF;
+  corrupted[10] = 0xFF;
+  corrupted[11] = 0xFF;
+  EXPECT_EQ(decode_frame(corrupted, out, consumed), FrameDecodeStatus::kTooLarge);
+}
+
+TEST(FrameCodec, CorruptPayloadFailsChecksum) {
+  const std::vector<std::uint8_t> payload = {10, 20, 30, 40};
+  auto buf = encode_frame(MsgType::kActivations, payload);
+  for (std::size_t i = kFrameHeaderBytes; i < buf.size(); ++i) {
+    auto corrupted = buf;
+    corrupted[i] ^= 0x01;
+    Frame out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_frame(corrupted, out, consumed), FrameDecodeStatus::kBadChecksum)
+        << "byte " << i;
+  }
+}
+
+TEST(FrameCodec, EveryHeaderBitFlipIsRejected) {
+  const std::vector<std::uint8_t> payload = {1, 1, 2, 3, 5, 8};
+  const auto buf = encode_frame(MsgType::kStepMetadata, payload);
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      // Flipping the type field changes the frame's meaning but stays a valid
+      // frame; every other header byte must make decoding fail.
+      if (i == 6 || i == 7) continue;
+      auto corrupted = buf;
+      corrupted[i] ^= static_cast<std::uint8_t>(1 << bit);
+      Frame out;
+      std::size_t consumed = 0;
+      EXPECT_NE(decode_frame(corrupted, out, consumed), FrameDecodeStatus::kOk)
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(FrameCodec, Crc32KnownVector) {
+  // IEEE 802.3 check value for "123456789".
+  const std::string s = "123456789";
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(p, s.size())), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace gllm::net

@@ -12,6 +12,7 @@ echo "== tier-1 verify (build/) =="
 cmake -B build -S .
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
+tools/smoke_multiproc.sh build
 
 if [[ "${1:-}" == "--no-sanitize" ]]; then
   echo "== sanitizer pass skipped =="
@@ -26,5 +27,6 @@ cmake -B build-asan -S . \
   -DGLLM_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+tools/smoke_multiproc.sh build-asan
 
 echo "== all checks passed =="

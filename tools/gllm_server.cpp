@@ -37,6 +37,11 @@ int main(int argc, char** argv) {
   args.add_option("minp", "#MinP", "8");
   args.add_option("demo", "serve N self-generated requests and exit (0 = serve forever)",
                   "0");
+  args.add_option("workers", "stage hosting: threads | fork | remote", "threads");
+  args.add_option("worker-port",
+                  "listen port for worker control connections (0 = ephemeral)", "9100");
+  args.add_option("heartbeat-timeout", "seconds of silence before a worker is dead",
+                  "10");
   args.add_option("trace-out", "write a Chrome trace-event JSON on shutdown (Perfetto)",
                   "");
 
@@ -56,6 +61,18 @@ int main(int argc, char** argv) {
     options.kv_capacity_tokens = args.get_int64("kv-capacity");
     options.kv_block_size = 8;
 
+    const std::string workers = args.get("workers");
+    if (workers == "fork") {
+      options.deployment.mode = runtime::DeploymentOptions::Mode::kFork;
+    } else if (workers == "remote") {
+      options.deployment.mode = runtime::DeploymentOptions::Mode::kRemote;
+    } else if (workers != "threads") {
+      std::cerr << "error: --workers must be threads, fork or remote\n";
+      return 2;
+    }
+    options.deployment.worker_port = args.get_int("worker-port");
+    options.deployment.heartbeat_timeout_s = args.get_double("heartbeat-timeout");
+
     sched::ThrottleParams params;
     params.iter_t = args.get_int("iterp");
     params.max_p = args.get_int("maxp");
@@ -70,6 +87,13 @@ int main(int argc, char** argv) {
 
     runtime::PipelineService service(
         options, std::make_shared<sched::TokenThrottleScheduler>(params));
+    // start() assembles the pipeline (and fork()s workers in fork mode, which
+    // requires a still-single-threaded process) before the HTTP threads spawn.
+    if (options.deployment.mode == runtime::DeploymentOptions::Mode::kRemote) {
+      std::cout << "gllm_server: waiting for " << options.pp
+                << " gllm_worker processes on port " << options.deployment.worker_port
+                << "...\n";
+    }
     service.start();
     server::HttpServer server(service, args.get_int("port"));
     server.start();

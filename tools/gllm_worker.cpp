@@ -1,0 +1,57 @@
+// gllm_worker: hosts one pipeline stage as its own process — the "ordinary
+// worker" of the paper's multi-process runtime. It connects to a driver
+// (gllm_server --workers remote), completes the gllm::net handshake (model
+// config + partition + weight seed come back in the HelloAck), wires its
+// activation links to the neighbouring stages, and serves until the driver
+// sends Shutdown or disappears (heartbeat timeout).
+//
+//   gllm_server --workers remote --worker-port 9100 --pp 2 &
+//   gllm_worker --driver 127.0.0.1:9100 &
+//   gllm_worker --driver 127.0.0.1:9100 &
+
+#include <iostream>
+
+#include "net/transport.hpp"
+#include "util/args.hpp"
+#include "util/log.hpp"
+
+using namespace gllm;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("gllm_worker", "one pipeline-stage worker process");
+  args.add_option("driver", "driver worker address (host:port)", "127.0.0.1:9100");
+  args.add_option("stage", "pipeline stage to request (-1 = driver assigns)", "-1");
+  args.add_option("connect-timeout", "seconds to wait for the driver / the ring", "30");
+  args.add_flag("listen-any", "accept predecessor activations on all interfaces");
+  args.add_flag("verbose", "log at info level");
+
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << args.usage();
+    return 0;
+  }
+  if (args.has("verbose")) util::Logger::instance().set_level(util::LogLevel::kInfo);
+
+  net::WorkerOptions options;
+  const std::string driver = args.get("driver");
+  const auto colon = driver.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "error: --driver must be host:port, got '" << driver << "'\n";
+    return 2;
+  }
+  options.driver_host = driver.substr(0, colon);
+  try {
+    options.driver_port = std::stoi(driver.substr(colon + 1));
+  } catch (const std::exception&) {
+    std::cerr << "error: bad --driver port in '" << driver << "'\n";
+    return 2;
+  }
+  options.requested_stage = args.get_int("stage");
+  options.listen_any = args.has("listen-any");
+  options.connect_timeout_s = args.get_double("connect-timeout");
+
+  return net::run_worker(options);
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Multi-process deployment smoke: the same --demo request set must produce
+# byte-identical completions whether the pipeline stages run as in-process
+# threads, fork()ed local worker processes, or externally launched
+# gllm_worker processes connected over TCP. This is the transport-parity
+# proof bar of DESIGN.md §5 exercised through the real binaries, end to end
+# (handshake, metadata broadcast, activation ring, sampled-token return,
+# clean shutdown).
+#
+# Usage: tools/smoke_multiproc.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build=${1:-build}
+server="$build/tools/gllm_server"
+worker="$build/tools/gllm_worker"
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+echo "== threads baseline =="
+"$server" --workers threads --demo 3 --port 0 | grep '^request' > "$out/threads.txt"
+cat "$out/threads.txt"
+
+echo "== fork workers =="
+"$server" --workers fork --demo 3 --port 0 --worker-port 0 | grep '^request' > "$out/fork.txt"
+diff "$out/threads.txt" "$out/fork.txt"
+echo "fork output matches threads"
+
+echo "== remote workers =="
+"$server" --workers remote --demo 3 --port 0 --worker-port 9143 > "$out/remote.log" 2>&1 &
+server_pid=$!
+sleep 1
+"$worker" --driver 127.0.0.1:9143 &
+w1=$!
+"$worker" --driver 127.0.0.1:9143 &
+w2=$!
+wait "$server_pid"
+wait "$w1" "$w2"
+grep '^request' "$out/remote.log" | diff "$out/threads.txt" -
+echo "remote output matches threads"
+
+echo "== multi-process smoke passed =="
