@@ -262,6 +262,71 @@ bool AdmissionCore::reset_stalled_prefill() {
   return false;
 }
 
+int AdmissionCore::recover_all() {
+  // Discard the in-flight ledger: those micro-batches died inside the
+  // pipeline and will never complete.
+  in_flight_.clear();
+
+  // Rebuild the waiting queue deterministically: decoding sequences were all
+  // admitted before anything still waiting (completion order is admission
+  // order here), so they re-enter ahead of the old waiting set.
+  std::deque<Sequence*> waiting;
+  int folded = 0;
+  for (Sequence* s : decoding_) {
+    s->fold_back();
+    waiting.push_back(s);
+    ++folded;
+  }
+  decoding_.clear();
+  for (Sequence* s : waiting_) {
+    // A waiting sequence that never got a chunk scheduled lost nothing —
+    // don't charge its failure budget for a crash it wasn't part of.
+    if (s->scheduled_prefill() > 0 || s->generated() > 0 || s->in_flight()) {
+      s->fold_back();
+      ++folded;
+    }
+    waiting.push_back(s);
+  }
+  waiting_ = std::move(waiting);
+  preemptions_ += folded;
+
+  // Fresh KV pools: every page table referenced worker-side KV that no longer
+  // exists, and cached prefixes point at the same dead blocks.
+  prefill_kv_ = std::make_unique<kv::KvManager>(cfg_.kv_capacity_tokens,
+                                                cfg_.kv_block_size, cfg_.prefix_caching);
+  if (decode_kv_ != nullptr)
+    decode_kv_ = std::make_unique<kv::KvManager>(cfg_.decode_kv_capacity_tokens,
+                                                 cfg_.kv_block_size, false);
+
+  if (cfg_.obs != nullptr && folded > 0) {
+    cfg_.obs->fault().requests_folded->inc(folded);
+    cfg_.obs->tracer().instant(cfg_.trace_track, "fault.fold_back",
+                               {{"folded", static_cast<double>(folded)}});
+  }
+  return folded;
+}
+
+void AdmissionCore::abort_sequence(kv::SeqId id) {
+  Sequence& s = seq(id);
+  if (s.state() == SeqState::kFinished || s.state() == SeqState::kAborted)
+    throw std::logic_error("AdmissionCore: aborting a terminal sequence");
+  if (s.in_flight())
+    throw std::logic_error("AdmissionCore: aborting an in-flight sequence");
+  const auto wit = std::find(waiting_.begin(), waiting_.end(), &s);
+  if (wit != waiting_.end()) waiting_.erase(wit);
+  const auto dit = std::find(decoding_.begin(), decoding_.end(), &s);
+  if (dit != decoding_.end()) decoding_.erase(dit);
+  prefill_kv().free_seq(id);
+  if (split()) decode_kv().free_seq(id);
+  s.abort();
+  // (gllm_fault_requests_failed_total is counted where the failure record is
+  // written — the service layer — so rejections and aborts share one counter.)
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->tracer().instant(cfg_.trace_track, "fault.abort",
+                               {{"seq", static_cast<double>(id)}});
+  }
+}
+
 void AdmissionCore::collect_requests(RunResult& result) const {
   result.requests.reserve(result.requests.size() + seqs_.size());
   for (const auto& [id, e] : seqs_) {

@@ -129,6 +129,21 @@ class AdmissionCore {
   /// Returns true if progress was freed.
   bool reset_stalled_prefill();
 
+  // --- failure recovery ----------------------------------------------------
+  /// Pipeline-failure recovery: drop the in-flight ledger, fold every
+  /// unfinished sequence back into pending prefill (recompute resumes it from
+  /// its own token stream — the tokens survive in the entry, only their KV is
+  /// gone), and rebuild the KV pools from scratch (the workers' physical KV
+  /// died with them; fresh pools keep refcounts trivially balanced and drop
+  /// the now-stale prefix cache). Former decoding sequences re-enter the
+  /// waiting queue ahead of the old waiting set, preserving FCFS arrival
+  /// order. Returns the number of sequences folded.
+  int recover_all();
+
+  /// Terminate a non-finished, non-in-flight sequence with an explicit
+  /// failure: remove it from the queues, free its KV and mark it kAborted.
+  void abort_sequence(kv::SeqId id);
+
   // --- introspection -------------------------------------------------------
   kv::KvManager& prefill_kv() { return *prefill_kv_; }
   const kv::KvManager& prefill_kv() const { return *prefill_kv_; }

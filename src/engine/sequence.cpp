@@ -73,6 +73,20 @@ void Sequence::preempt(double) {
   ++preemptions_;
 }
 
+void Sequence::fold_back() {
+  if (state_ == SeqState::kFinished || state_ == SeqState::kAborted)
+    throw std::logic_error("Sequence: fold_back on a terminal sequence");
+  outstanding_chunks_ = 0;
+  decode_in_flight_ = false;
+  state_ = SeqState::kWaiting;
+  // Same recompute arithmetic as preempt(): every token generated so far has
+  // a fixed value but its KV is gone, so it becomes forced prefill.
+  prefill_target_ = spec_.prompt_len + generated_;
+  scheduled_prefill_ = 0;
+  ++preemptions_;
+  ++fold_backs_;
+}
+
 void Sequence::reset_prefill_progress() {
   if (state_ != SeqState::kWaiting || outstanding_chunks_ != 0)
     throw std::logic_error("Sequence: can only reset an idle waiting sequence");

@@ -76,6 +76,16 @@ class Sequence {
   void reset_prefill_progress();
   int preemptions() const { return preemptions_; }
 
+  /// Pipeline-failure recovery: drop in-flight locks and all computed KV
+  /// progress, folding the sequence back into pending prefill so recompute
+  /// resumes it from scratch. Unlike preempt()/reset_prefill_progress() this
+  /// is valid with steps in flight — the pipeline that held them is gone.
+  /// Only terminal states are off-limits.
+  void fold_back();
+  /// How many pipeline failures this sequence absorbed (per-request failure
+  /// budget counter; preemptions_ also counts each fold).
+  int fold_backs() const { return fold_backs_; }
+
   void abort() { state_ = SeqState::kAborted; }
 
   /// Virtual-engine cohort (vLLM-V0 pinning; -1 = unassigned / pinning off).
@@ -103,6 +113,7 @@ class Sequence {
   bool decode_in_flight_ = false;
 
   int preemptions_ = 0;
+  int fold_backs_ = 0;
   int cohort_ = -1;
   double first_token_time_ = -1.0;
   double finish_time_ = -1.0;

@@ -1,6 +1,7 @@
 #include "kv/kv_manager.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace gllm::kv {
@@ -9,7 +10,12 @@ namespace {
 std::int32_t blocks_for_capacity(std::int64_t capacity_tokens, int block_size) {
   if (capacity_tokens < 0) throw std::invalid_argument("KvManager: negative capacity");
   if (block_size <= 0) throw std::invalid_argument("KvManager: block size must be > 0");
-  return static_cast<std::int32_t>(capacity_tokens / block_size);
+  const std::int64_t blocks = capacity_tokens / block_size;
+  // Reject instead of silently truncating: a wrapped int32 would size the
+  // allocator to garbage (possibly negative) for absurd capacity/block ratios.
+  if (blocks > std::numeric_limits<std::int32_t>::max())
+    throw std::invalid_argument("KvManager: capacity exceeds 2^31-1 blocks");
+  return static_cast<std::int32_t>(blocks);
 }
 }  // namespace
 
@@ -133,14 +139,25 @@ std::int64_t KvManager::adopt_cached_prefix(SeqId id, std::span<const TokenId> t
 
   PrefixCache::Match match = prefix_->match_and_acquire(tokens);
   // Cap the adoption (e.g. the last prompt token must still be computed so
-  // logits exist) to whole blocks; release refs on the surplus.
+  // logits exist) to whole blocks; release refs on the surplus. The popped
+  // tail block may be partially filled, so credit its actual token count —
+  // subtracting a full block_size() would under-credit prefix_hit_tokens and
+  // desynchronise n_tokens from the surviving blocks.
   const std::int64_t max_blocks = std::max<std::int64_t>(max_tokens, 0) / block_size();
   while (static_cast<std::int64_t>(match.blocks.size()) > max_blocks) {
+    const std::int64_t tail =
+        match.n_tokens -
+        static_cast<std::int64_t>(match.blocks.size() - 1) * block_size();
     allocator_.release(match.blocks.back());
     match.blocks.pop_back();
-    match.n_tokens -= block_size();
+    match.n_tokens -= tail;
   }
-  if (match.n_tokens <= 0) return 0;
+  if (match.n_tokens <= 0) {
+    // Still-held refs on any remaining matched blocks must be released, or
+    // they leak and the blocks become unreclaimable.
+    for (BlockId b : match.blocks) allocator_.release(b);
+    return 0;
+  }
 
   auto [it, inserted] = tables_.try_emplace(id, block_size());
   it->second.adopt_prefix(match.blocks, match.n_tokens);

@@ -1,0 +1,125 @@
+#include "net/fault.hpp"
+
+#include <stdexcept>
+
+namespace gllm::net {
+
+namespace {
+
+/// splitmix64: tiny, seedable, and stable across platforms — the plan must be
+/// identical for identical seeds or chaos runs stop being reproducible.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+FaultKind parse_kind(const std::string& word) {
+  if (word == "drop") return FaultKind::kDropFrame;
+  if (word == "corrupt") return FaultKind::kCorruptFrame;
+  if (word == "kill") return FaultKind::kKillWorker;
+  if (word == "stall") return FaultKind::kStallHeartbeat;
+  throw std::invalid_argument("FaultInjector: unknown fault kind '" + word +
+                              "' (want kill|drop|corrupt|stall)");
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropFrame: return "drop";
+    case FaultKind::kCorruptFrame: return "corrupt";
+    case FaultKind::kKillWorker: return "kill";
+    case FaultKind::kStallHeartbeat: return "stall";
+  }
+  return "unknown";
+}
+
+void FaultInjector::schedule(FaultSpec spec) {
+  if (spec.stage < 0) throw std::invalid_argument("FaultInjector: negative stage");
+  std::lock_guard lock(mu_);
+  armed_.push_back(Armed{spec, false});
+}
+
+FiredFaults FaultInjector::on_metadata_frame(int stage, std::uint64_t frame_index) {
+  FiredFaults fired;
+  std::lock_guard lock(mu_);
+  for (Armed& a : armed_) {
+    if (a.fired || a.spec.stage != stage || a.spec.at_frame != frame_index) continue;
+    bool* flag = nullptr;
+    switch (a.spec.kind) {
+      case FaultKind::kDropFrame: flag = &fired.drop; break;
+      case FaultKind::kCorruptFrame: flag = &fired.corrupt; break;
+      case FaultKind::kKillWorker: flag = &fired.kill; break;
+      case FaultKind::kStallHeartbeat: flag = &fired.stall; break;
+    }
+    if (flag == nullptr || *flag) continue;  // one spec per kind per point
+    *flag = true;
+    a.fired = true;
+    ++fired_;
+  }
+  return fired;
+}
+
+std::int64_t FaultInjector::fired_count() const {
+  std::lock_guard lock(mu_);
+  return fired_;
+}
+
+std::size_t FaultInjector::pending_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const Armed& a : armed_)
+    if (!a.fired) ++n;
+  return n;
+}
+
+std::shared_ptr<FaultInjector> FaultInjector::parse(const std::string& plan) {
+  auto injector = std::make_shared<FaultInjector>();
+  std::size_t pos = 0;
+  while (pos < plan.size()) {
+    std::size_t end = plan.find(',', pos);
+    if (end == std::string::npos) end = plan.size();
+    const std::string item = plan.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+
+    const std::size_t colon = item.find(':');
+    const std::size_t at = item.find('@');
+    if (colon == std::string::npos || at == std::string::npos || at < colon)
+      throw std::invalid_argument("FaultInjector: want kind:stage@frame, got '" + item +
+                                  "'");
+    FaultSpec spec;
+    spec.kind = parse_kind(item.substr(0, colon));
+    try {
+      spec.stage = std::stoi(item.substr(colon + 1, at - colon - 1));
+      spec.at_frame = std::stoull(item.substr(at + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("FaultInjector: bad numbers in '" + item + "'");
+    }
+    injector->schedule(spec);
+  }
+  if (injector->pending_count() == 0)
+    throw std::invalid_argument("FaultInjector: empty fault plan");
+  return injector;
+}
+
+std::shared_ptr<FaultInjector> FaultInjector::random_plan(std::uint64_t seed, int pp,
+                                                          int n_faults,
+                                                          std::uint64_t frame_window) {
+  if (pp <= 0) throw std::invalid_argument("FaultInjector: pp must be > 0");
+  if (frame_window == 0) frame_window = 1;
+  auto injector = std::make_shared<FaultInjector>();
+  std::uint64_t state = seed;
+  for (int i = 0; i < n_faults; ++i) {
+    FaultSpec spec;
+    spec.kind = static_cast<FaultKind>(splitmix64(state) % 4);
+    spec.stage = static_cast<int>(splitmix64(state) % static_cast<std::uint64_t>(pp));
+    spec.at_frame = splitmix64(state) % frame_window;
+    injector->schedule(spec);
+  }
+  return injector;
+}
+
+}  // namespace gllm::net

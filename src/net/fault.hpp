@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gllm::net {
+
+/// Injectable transport faults. Every kind funnels into one of the two
+/// failure signals the driver already handles: peer death (the sample channel
+/// closes) or a wedged micro-batch (the driver's sample-wait watchdog fires).
+enum class FaultKind : std::uint8_t {
+  kDropFrame,       ///< swallow one driver->worker StepMetadata frame
+  kCorruptFrame,    ///< flip a payload byte (CRC re-covers it, codec rejects)
+  kKillWorker,      ///< SIGKILL the stage's process / hard-close its conn
+  kStallHeartbeat,  ///< stop heartbeating the stage until the pipeline rebuilds
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled fault: fires when the driver is about to send the
+/// `at_frame`-th StepMetadata frame (0-based) to `stage`.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kKillWorker;
+  int stage = 0;
+  std::uint64_t at_frame = 0;
+};
+
+/// The faults that fired at one (stage, frame) injection point.
+struct FiredFaults {
+  bool drop = false;
+  bool corrupt = false;
+  bool kill = false;
+  bool stall = false;
+  bool any() const { return drop || corrupt || kill || stall; }
+};
+
+/// Deterministic fault scheduler for chaos runs. Faults are keyed on the
+/// per-stage *outgoing metadata frame count* — the driver broadcasts frames in
+/// a deterministic order, so a (stage, frame) coordinate pins the same fault
+/// to the same point of every run, which is what makes the recovery proof bar
+/// (byte-identical token streams vs. a fault-free reference) checkable.
+///
+/// Each spec is one-shot. A rebuilt pipeline (post-recovery DriverTransport)
+/// restarts its frame counters at zero, so scheduling the same (stage, frame)
+/// twice arms one fault per pipeline generation; at most one spec per kind
+/// fires at a single injection point.
+///
+/// Thread-safe: the driver's per-stage pump threads all consult one injector.
+class FaultInjector {
+ public:
+  void schedule(FaultSpec spec);
+
+  /// Driver pump hook, called once per outgoing StepMetadata frame (before
+  /// the send). Marks matched specs as spent.
+  FiredFaults on_metadata_frame(int stage, std::uint64_t frame_index);
+
+  std::int64_t fired_count() const;
+  std::size_t pending_count() const;
+
+  /// Parse a comma-separated plan: "kill:1@4,drop:0@2" means SIGKILL stage
+  /// 1's worker at its metadata frame 4 and swallow stage 0's frame 2. Kinds:
+  /// kill, drop, corrupt, stall. Throws std::invalid_argument on bad syntax.
+  static std::shared_ptr<FaultInjector> parse(const std::string& plan);
+
+  /// Seeded chaos plan: `n_faults` faults with uniformly drawn kind, stage in
+  /// [0, pp) and frame in [0, frame_window). Same seed, same plan.
+  static std::shared_ptr<FaultInjector> random_plan(std::uint64_t seed, int pp,
+                                                    int n_faults,
+                                                    std::uint64_t frame_window = 32);
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    bool fired = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Armed> armed_;
+  std::int64_t fired_ = 0;
+};
+
+}  // namespace gllm::net

@@ -1,6 +1,8 @@
 #include "net/transport.hpp"
 
 #include <signal.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -10,6 +12,7 @@
 #include <stdexcept>
 
 #include "model/partition.hpp"
+#include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "runtime/worker.hpp"
 #include "util/log.hpp"
@@ -50,6 +53,20 @@ ChannelStats sent_stats(obs::NetMetrics* m, MsgType type) {
 ChannelStats recvd_stats(obs::NetMetrics* m, MsgType type) {
   auto* ch = channel_for(m, type);
   return ch != nullptr ? ChannelStats{ch->frames_recv, ch->bytes_recv} : ChannelStats{};
+}
+
+/// Close every descriptor >= lowfd. A forked worker inherits whatever the
+/// driver process had open — server listen sockets, accepted client
+/// connections, the previous pipeline generation's links. A worker holding a
+/// copy of such a descriptor keeps the socket alive past the driver's own
+/// close, so a peer waiting for EOF waits forever.
+void close_fds_from(int lowfd) {
+#ifdef SYS_close_range
+  if (::syscall(SYS_close_range, static_cast<unsigned>(lowfd), ~0U, 0U) == 0) return;
+#endif
+  const long open_max = ::sysconf(_SC_OPEN_MAX);
+  const int limit = open_max > 0 ? static_cast<int>(open_max) : 1024;
+  for (int fd = lowfd; fd < limit; ++fd) ::close(fd);
 }
 
 const char* to_string(RecvStatus s) {
@@ -106,8 +123,12 @@ DriverTransport::DriverTransport(runtime::RuntimeOptions options)
     : options_(std::move(options)) {
   if (options_.obs != nullptr) {
     net_metrics_ = &options_.obs->net();
+    fault_metrics_ = &options_.obs->fault();
     tracer_ = &options_.obs->tracer();
   }
+  injector_ = options_.deployment.fault_injector;
+  stall_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(options_.pp));
+  for (int s = 0; s < options_.pp; ++s) stall_[static_cast<std::size_t>(s)] = false;
   const bool any = options_.deployment.mode == runtime::DeploymentOptions::Mode::kRemote;
   listen_fd_ = listen_tcp(options_.deployment.worker_port, any);
   port_ = local_port(listen_fd_);
@@ -128,7 +149,9 @@ void DriverTransport::fork_local_workers() {
     if (pid == 0) {
       // Child: become the stage-s worker process. _exit (not exit) skips
       // atexit handlers and sanitizer leak checks inherited from the parent.
-      close_fd(listen_fd_);
+      // Recovery re-forks from a driver with live server sockets, so every
+      // inherited descriptor beyond stdio must go (see close_fds_from).
+      close_fds_from(3);
       WorkerOptions wopt;
       wopt.driver_host = "127.0.0.1";
       wopt.driver_port = port_;
@@ -157,9 +180,25 @@ void DriverTransport::wait_ready() {
     Hello hello;
   };
   std::vector<PendingWorker> pending;
-  for (int i = 0; i < pp; ++i) {
+  for (;;) {
+    // Drop pending workers that died while we waited for the rest. A worker
+    // that times out waiting for its HelloAck leaves a dead connection
+    // behind; assigning it a stage dooms the round at the Ready barrier —
+    // and with per-worker relaunch loops outside, every retry round would
+    // again pair one live connection with the previous attempt's corpse, a
+    // phase-locked failure that burns the whole restart budget. After Hello
+    // a live worker sends nothing until its ack, so a readable-with-EOF (or
+    // errored) connection is unambiguously dead.
+    std::erase_if(pending, [](const PendingWorker& p) {
+      char probe;
+      const ssize_t n = ::recv(p.conn->fd(), &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (n == 0) return true;                                   // EOF
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return true;
+      return false;
+    });
+    if (static_cast<int>(pending.size()) >= pp) break;
     if (!wait_readable(listen_fd_, deadline.remaining()))
-      fail("timed out waiting for worker " + std::to_string(i) + " of " +
+      fail("timed out waiting for worker " + std::to_string(pending.size()) + " of " +
            std::to_string(pp) + " to connect");
     const int fd = accept_conn(listen_fd_);
     if (fd < 0) fail("accept failed");
@@ -258,6 +297,7 @@ void DriverTransport::pump_loop(int stage) {
   auto& q = *meta_channels_[static_cast<std::size_t>(stage)];
   auto& conn = *conns_[static_cast<std::size_t>(stage)];
   const int driver_track = options_.pp;
+  std::uint64_t frame_index = 0;
   while (true) {
     std::optional<runtime::StepMetadata> meta = q.pop();
     if (!meta.has_value()) break;  // closed + drained: clean shutdown
@@ -265,6 +305,30 @@ void DriverTransport::pump_loop(int stage) {
     {
       obs::SpanGuard span(tracer_, driver_track, "net.encode");
       payload = encode_payload(*meta);
+    }
+    if (injector_ != nullptr) {
+      const FiredFaults fired = injector_->on_metadata_frame(stage, frame_index);
+      ++frame_index;
+      if (fired.any()) {
+        GLLM_LOG_WARN("fault injection at stage " << stage << " frame " << frame_index - 1
+                                                  << (fired.kill ? " [kill]" : "")
+                                                  << (fired.drop ? " [drop]" : "")
+                                                  << (fired.corrupt ? " [corrupt]" : "")
+                                                  << (fired.stall ? " [stall]" : ""));
+        if (fault_metrics_ != nullptr) {
+          fault_metrics_->injected->inc(static_cast<int>(fired.kill) + fired.drop +
+                                        fired.corrupt + fired.stall);
+        }
+      }
+      if (fired.stall) stall_[static_cast<std::size_t>(stage)].store(true);
+      if (fired.kill) kill_stage(stage);
+      // The CRC is computed over the corrupted bytes, so the frame survives
+      // transport validation and fails at the worker's codec — exercising the
+      // bounds-checked decode path, which treats it as fatal.
+      if (fired.corrupt && !payload.empty()) payload[payload.size() / 2] ^= 0x40u;
+      if (fired.drop) continue;  // the batch wedges; the driver watchdog fires
+    } else {
+      ++frame_index;
     }
     if (!conn.send(MsgType::kStepMetadata, payload,
                    sent_stats(net_metrics_, MsgType::kStepMetadata))) {
@@ -318,6 +382,7 @@ void DriverTransport::heartbeat_loop() {
         lock, std::chrono::duration<double>(options_.deployment.heartbeat_interval_s));
     if (shutting_down_.load()) break;
     for (int s = 0; s < options_.pp; ++s) {
+      if (stall_[static_cast<std::size_t>(s)].load()) continue;  // injected stall
       if (!conns_[static_cast<std::size_t>(s)]->send(
               MsgType::kHeartbeat, {}, sent_stats(net_metrics_, MsgType::kHeartbeat))) {
         on_peer_dead(s, "heartbeat send failed");
@@ -332,10 +397,25 @@ void DriverTransport::on_peer_dead(int stage, const char* why) {
   if (first) {
     GLLM_LOG_ERROR("driver transport: stage " << stage << " worker died (" << why
                                               << "); failing the pipeline");
+    if (fault_metrics_ != nullptr) fault_metrics_->worker_failures->inc();
+    if (tracer_ != nullptr)
+      tracer_->instant(options_.pp, "fault.peer_dead",
+                       {{"stage", static_cast<double>(stage)}});
     // Closing the sample channel is the death signal the driver loop observes
     // (its blocking pop returns nullopt); it then tears the transport down.
     samples_.close();
   }
+}
+
+void DriverTransport::kill_stage(int stage) {
+  for (auto& child : children_) {
+    if (child.stage != stage) continue;
+    if (!child.reaped && child.pid > 0) ::kill(child.pid, SIGKILL);
+    return;
+  }
+  // Remote worker: hard-close its control connection; the worker treats a
+  // dead driver link as fatal and exits, and our reader sees the close.
+  conns_[static_cast<std::size_t>(stage)]->shutdown();
 }
 
 void DriverTransport::kill_children() {

@@ -17,6 +17,8 @@
 
 namespace gllm::net {
 
+class FaultInjector;
+
 /// A framed connection shared by multiple sender threads: sends are
 /// serialized by a write mutex (one coalesced send_frame each, so frames
 /// never interleave); receiving is single-reader by convention. Closes the
@@ -100,10 +102,19 @@ class DriverTransport {
   void on_peer_dead(int stage, const char* why);
   void kill_children();
   void reap_children(double timeout_s);
+  /// Fault injection: take the stage's worker down hard — SIGKILL the forked
+  /// child, or hard-close the control connection of a remote worker.
+  void kill_stage(int stage);
 
   runtime::RuntimeOptions options_;
   obs::NetMetrics* net_metrics_ = nullptr;
+  obs::FaultMetrics* fault_metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  std::shared_ptr<FaultInjector> injector_;
+  /// Per-stage heartbeat suppression (kStallHeartbeat), set by the stage's
+  /// pump thread, read by the heartbeat thread. Scoped to this transport
+  /// instance so a rebuilt pipeline starts unstalled.
+  std::unique_ptr<std::atomic<bool>[]> stall_;
 
   int listen_fd_ = -1;
   int port_ = 0;

@@ -270,10 +270,17 @@ void encode(WireWriter& w, const runtime::StreamEvent& e) {
   w.i64(e.request_id);
   w.i32(e.token);
   w.boolean(e.is_last);
+  w.u8(static_cast<std::uint8_t>(e.error));
 }
 
 bool decode(WireReader& r, runtime::StreamEvent& e) {
-  return r.i64(e.request_id) && r.i32(e.token) && r.boolean(e.is_last);
+  std::uint8_t error;
+  if (!r.i64(e.request_id) || !r.i32(e.token) || !r.boolean(e.is_last) || !r.u8(error))
+    return false;
+  if (error > static_cast<std::uint8_t>(runtime::StreamError::kWorkerFailure))
+    return false;
+  e.error = static_cast<runtime::StreamError>(error);
+  return true;
 }
 
 // --- control-plane codecs ---------------------------------------------------

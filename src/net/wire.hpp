@@ -12,7 +12,8 @@ namespace gllm::net {
 
 /// Wire protocol version, carried in every frame header and in the Hello
 /// handshake. Bump on any incompatible change to the encodings below.
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2: StreamEvent carries a terminal error code.
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the per-frame checksum.
 std::uint32_t crc32(std::span<const std::uint8_t> data);

@@ -44,6 +44,21 @@ Observability::Observability(ObsConfig cfg) : tracer_(cfg.trace_ring_capacity) {
   net_channel(net_.act, "act", "Stage-to-stage activation");
   net_channel(net_.sample, "sample", "SampleResult");
   net_channel(net_.ctrl, "ctrl", "Control-plane (hello/heartbeat/shutdown)");
+
+  fault_.injected =
+      &registry_.counter("gllm_fault_injected_total", "Faults fired by the injector");
+  fault_.worker_failures = &registry_.counter("gllm_fault_worker_failures_total",
+                                              "Pipeline failures detected by the driver");
+  fault_.pipeline_restarts = &registry_.counter(
+      "gllm_fault_pipeline_restarts_total", "Pipeline respawn/re-handshake attempts");
+  fault_.requests_folded = &registry_.counter(
+      "gllm_fault_requests_folded_total",
+      "Sequences folded back into pending prefill after a pipeline failure");
+  fault_.requests_failed = &registry_.counter(
+      "gllm_fault_requests_failed_total",
+      "Requests terminated with an explicit error event");
+  fault_.degraded = &registry_.gauge(
+      "gllm_fault_degraded", "1 while the service is recovering or failed, else 0");
 }
 
 }  // namespace gllm::obs

@@ -54,6 +54,20 @@ struct NetMetrics {
   NetChannelMetrics ctrl;    ///< handshake, heartbeats, shutdown
 };
 
+/// Pre-registered fault-tolerance instruments: injected faults, detected
+/// worker failures, pipeline restarts and the request-level outcomes of
+/// recovery (folded back vs. declared failed), plus a degraded-mode gauge.
+/// Surfaced through /metrics and /v1/stats like every other instrument, so a
+/// chaos run's recovery behaviour is externally observable.
+struct FaultMetrics {
+  Counter* injected = nullptr;           ///< faults fired by the injector
+  Counter* worker_failures = nullptr;    ///< pipeline failures detected
+  Counter* pipeline_restarts = nullptr;  ///< respawn/re-handshake attempts
+  Counter* requests_folded = nullptr;    ///< sequences folded back to prefill
+  Counter* requests_failed = nullptr;    ///< requests terminated with an error
+  Gauge* degraded = nullptr;             ///< 1 while recovering or failed
+};
+
 /// The unified observability handle threaded through the serving layers:
 /// one metrics registry + one span tracer + the pre-registered serving
 /// instruments. Layers hold an `Observability*` that defaults to nullptr —
@@ -70,6 +84,8 @@ class Observability {
   const ServingMetrics& serving() const { return serving_; }
   NetMetrics& net() { return net_; }
   const NetMetrics& net() const { return net_; }
+  FaultMetrics& fault() { return fault_; }
+  const FaultMetrics& fault() const { return fault_; }
 
   /// JSON summary of every registered instrument (the /v1/stats body).
   std::string stats_json() const { return registry_.render_json(); }
@@ -79,6 +95,7 @@ class Observability {
   Tracer tracer_;
   ServingMetrics serving_;
   NetMetrics net_;
+  FaultMetrics fault_;
 };
 
 }  // namespace gllm::obs

@@ -62,6 +62,15 @@ class DriverState {
   /// Break a KV deadlock among half-admitted prompts (vLLM recompute).
   bool reset_stalled_prefill() { return core_.reset_stalled_prefill(); }
 
+  /// Pipeline-failure recovery: fold every unfinished sequence back into
+  /// pending prefill and rebuild the KV pools (engine::AdmissionCore's
+  /// recompute-preemption machinery pointed at failure instead of KV
+  /// pressure). Returns the number of sequences folded.
+  int recover_all() { return core_.recover_all(); }
+
+  /// Terminate a non-finished sequence with an explicit failure (kAborted).
+  void abort_sequence(kv::SeqId id) { core_.abort_sequence(id); }
+
   // --- introspection ---------------------------------------------------------
   int in_flight() const { return core_.in_flight(); }
   bool has_waiting() const { return !core_.waiting().empty(); }

@@ -49,11 +49,33 @@ struct SampleResult {
   std::vector<std::pair<kv::SeqId, nn::TokenId>> tokens;
 };
 
-/// A token streamed to the frontend process.
+/// Why a request terminated without completing. Every accepted request ends
+/// in exactly one terminal StreamEvent — either a normal is_last token
+/// (kNone) or an explicit error — so streaming clients never hang.
+enum class StreamError : std::uint8_t {
+  kNone = 0,
+  kRejected = 1,       ///< refused before admission (beyond KV capacity)
+  kShutdown = 2,       ///< service stopped before the request finished
+  kWorkerFailure = 3,  ///< failure budget exhausted after worker death
+};
+
+inline const char* to_string(StreamError error) {
+  switch (error) {
+    case StreamError::kNone: return "none";
+    case StreamError::kRejected: return "rejected";
+    case StreamError::kShutdown: return "shutdown";
+    case StreamError::kWorkerFailure: return "worker_failure";
+  }
+  return "unknown";
+}
+
+/// A token streamed to the frontend process. `error != kNone` implies
+/// is_last and carries no valid token (token is -1).
 struct StreamEvent {
   std::int64_t request_id = 0;
   nn::TokenId token = 0;
   bool is_last = false;
+  StreamError error = StreamError::kNone;
 };
 
 }  // namespace gllm::runtime

@@ -9,6 +9,10 @@
 #include "runtime/driver_state.hpp"
 #include "sched/types.hpp"
 
+namespace gllm::net {
+class FaultInjector;
+}
+
 namespace gllm::runtime {
 
 /// How the pipeline-stage workers are hosted (paper §3.3: the runtime is
@@ -28,8 +32,32 @@ struct DeploymentOptions {
   /// declares the peer dead.
   double heartbeat_timeout_s = 10.0;
   double handshake_timeout_s = 30.0;
+  /// Deterministic chaos hook (net/fault.hpp): faults keyed on per-stage
+  /// outgoing metadata frame counts, consulted by the DriverTransport pumps.
+  /// Null (the default) disables injection entirely.
+  std::shared_ptr<net::FaultInjector> fault_injector;
 
   bool multi_process() const { return mode != Mode::kThreads; }
+};
+
+/// Recovery policy of the online service (runtime/service.hpp): how hard to
+/// try before declaring the pipeline — or an individual request — failed.
+struct FaultToleranceOptions {
+  /// Total pipeline teardown+respawn attempts before the service gives up
+  /// and terminates everything with explicit errors (kFailed health).
+  int max_pipeline_restarts = 8;
+  /// A request folded back into pending prefill by more than this many
+  /// pipeline failures is terminated with StreamError::kWorkerFailure
+  /// instead of being recomputed yet again.
+  int max_request_failures = 2;
+  /// Backoff before each respawn attempt; doubles per attempt (capped at
+  /// 32x). Remote deployments may want this larger so workers have time to
+  /// reconnect.
+  double restart_backoff_s = 0.05;
+  /// Watchdog: a micro-batch in flight this long without a sample result
+  /// declares the pipeline wedged (e.g. a lost metadata frame) and triggers
+  /// the same recovery as peer death. <= 0 disables the watchdog.
+  double sample_wait_timeout_s = 60.0;
 };
 
 /// Deployment options for the real threaded runtime.
@@ -60,6 +88,9 @@ struct RuntimeOptions {
   /// Worker hosting: in-process threads (default) or a multi-process
   /// deployment over the gllm::net TCP transport.
   DeploymentOptions deployment;
+  /// Failure-recovery policy of the online service (ignored by the batch
+  /// runner, which reports unfinished requests instead of recovering).
+  FaultToleranceOptions fault;
 };
 
 struct RuntimeRequestRecord {
@@ -69,6 +100,8 @@ struct RuntimeRequestRecord {
   double e2e = 0.0;
   int preemptions = 0;
   bool completed = false;
+  /// Why the request terminated without completing (kNone when completed).
+  StreamError error = StreamError::kNone;
   /// Prefill chunk sizes in commit order; comparable 1:1 with the DES
   /// engine's RequestMetrics::scheduled_chunks (admission parity).
   std::vector<int> scheduled_chunks;

@@ -1,5 +1,6 @@
 #include "runtime/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <stdexcept>
@@ -33,6 +34,16 @@ bool PipelineService::running() const {
   return running_;
 }
 
+nn::Sampler PipelineService::make_sampler() const {
+  // Rebuilt identically on every (re)spawn. With greedy sampling (the
+  // byte-identical recovery guarantee) the sampler is stateless; seeded top-k
+  // restarts its RNG stream on respawn, so post-recovery draws differ from an
+  // uninterrupted run (still deterministic per fault schedule).
+  return options_.greedy_sampling
+             ? nn::Sampler{}
+             : nn::Sampler(options_.top_k, options_.temperature, options_.sampler_seed);
+}
+
 void PipelineService::start() {
   {
     std::lock_guard lock(mu_);
@@ -53,38 +64,37 @@ void PipelineService::start() {
                                          options_.kv_block_size, options_.pp,
                                          DriverConfig{options_.prefix_caching,
                                                       options_.obs, options_.pp});
-  const nn::Sampler sampler =
-      options_.greedy_sampling
-          ? nn::Sampler{}
-          : nn::Sampler(options_.top_k, options_.temperature, options_.sampler_seed);
   // Deployment-agnostic pipeline (threads / forked processes / remote
   // workers). Fork mode requires this process to still be single-threaded
   // here — start() the service before spawning server threads.
   backend_ = net::make_pipeline_backend(
-      options_, sampler, options_.obs != nullptr ? &options_.obs->tracer() : nullptr);
+      options_, make_sampler(),
+      options_.obs != nullptr ? &options_.obs->tracer() : nullptr);
   driver_ = std::thread([this] { service_loop(); });
 }
 
 void PipelineService::submit(nn::GenRequest request,
                              std::function<void(const StreamEvent&)> on_token) {
+  const std::int64_t id = request.id;
+  const bool oversized =
+      static_cast<std::int64_t>(request.prompt.size()) + request.max_new_tokens >
+      kv_capacity_;
   {
     std::lock_guard lock(mu_);
     if (!running_) throw std::logic_error("PipelineService: submit before start()");
-    if (static_cast<std::int64_t>(request.prompt.size()) + request.max_new_tokens >
-        kv_capacity_) {
-      // Rejected up front, as real servers reject prompts beyond max_model_len.
-      RuntimeRequestRecord rec;
-      rec.id = request.id;
-      rec.completed = false;
-      records_.push_back(std::move(rec));
-      return;
-    }
     ++outstanding_;
   }
-  if (!inbox_.push(Submission{std::move(request), std::move(on_token)})) {
-    std::lock_guard lock(mu_);
-    --outstanding_;
-    throw std::logic_error("PipelineService: submit after stop()");
+  if (oversized) {
+    // Rejected up front, as real servers reject prompts beyond max_model_len.
+    // The terminal error event fires from this (submitting) thread, so a
+    // streaming client is never left waiting on a request the driver will
+    // never see.
+    record_rejection(id, on_token, StreamError::kRejected, true);
+    return;
+  }
+  if (!inbox_.push(Submission{std::move(request), on_token})) {
+    // stop() raced this submit: a benign rejection, not a programming error.
+    record_rejection(id, on_token, StreamError::kShutdown, true);
   }
 }
 
@@ -110,7 +120,29 @@ std::vector<RuntimeRequestRecord> PipelineService::results() const {
   return records_;
 }
 
+void PipelineService::record_rejection(std::int64_t id,
+                                       const std::function<void(const StreamEvent&)>& cb,
+                                       StreamError error, bool count_outstanding) {
+  if (cb) cb(StreamEvent{id, -1, true, error});
+  if (options_.obs != nullptr) options_.obs->fault().requests_failed->inc();
+  std::lock_guard lock(mu_);
+  RuntimeRequestRecord rec;
+  rec.id = id;
+  rec.completed = false;
+  rec.error = error;
+  records_.push_back(std::move(rec));
+  recorded_.insert(id);
+  if (count_outstanding && outstanding_ > 0) --outstanding_;
+  drained_.notify_all();
+}
+
 void PipelineService::admit_submission(Submission submission) {
+  if (health_.load() == ServiceHealth::kFailed) {
+    // The pipeline is gone for good; reject instead of queueing forever.
+    record_rejection(submission.request.id, submission.on_token,
+                     StreamError::kWorkerFailure, true);
+    return;
+  }
   const double now = seconds_since(t0_);
   engine::Sequence* seq = state_->add_request(submission.request, now);
   state_->admit(seq);
@@ -121,6 +153,7 @@ void PipelineService::admit_submission(Submission submission) {
 }
 
 bool PipelineService::admit_batches() {
+  if (health_.load() == ServiceHealth::kFailed) return false;  // no backend
   bool admitted = false;
   obs::Tracer* tracer = options_.obs != nullptr ? &options_.obs->tracer() : nullptr;
   while (state_->in_flight() < options_.pp) {
@@ -138,24 +171,129 @@ bool PipelineService::admit_batches() {
   return admitted;
 }
 
-void PipelineService::finish_record(const engine::Sequence& seq) {
+void PipelineService::finish_record(const engine::Sequence& seq, StreamError error) {
   const auto& tokens = state_->tokens(seq.id());
   RuntimeRequestRecord rec;
   rec.id = seq.id();
-  rec.output.assign(tokens.begin() + static_cast<std::ptrdiff_t>(seq.prompt_len()),
-                    tokens.end());
+  // Clamp the prompt slice: a sequence shut down mid-prefill has fewer stored
+  // tokens than its prompt length, and an unclamped begin()+prompt_len would
+  // run past the end.
+  const auto prompt = std::min(
+      tokens.size(), static_cast<std::size_t>(std::max(seq.prompt_len(), 0)));
+  rec.output.assign(tokens.begin() + static_cast<std::ptrdiff_t>(prompt), tokens.end());
   rec.completed = seq.state() == engine::SeqState::kFinished;
+  rec.error = error;
   rec.preemptions = seq.preemptions();
   rec.scheduled_chunks = state_->scheduled_chunks(seq.id());
   if (rec.completed) {
     rec.ttft = seq.ttft();
     rec.e2e = seq.e2e_latency();
   }
+  if (error != StreamError::kNone && options_.obs != nullptr)
+    options_.obs->fault().requests_failed->inc();
   std::lock_guard lock(mu_);
   records_.push_back(std::move(rec));
+  recorded_.insert(seq.id());
   callbacks_.erase(seq.id());
   if (outstanding_ > 0) --outstanding_;
   drained_.notify_all();
+}
+
+void PipelineService::fail_record(const engine::Sequence& seq, StreamError error) {
+  std::function<void(const StreamEvent&)> cb;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = callbacks_.find(seq.id());
+    if (it != callbacks_.end()) cb = it->second;
+  }
+  if (cb) cb(StreamEvent{seq.id(), -1, true, error});
+  finish_record(seq, error);
+}
+
+void PipelineService::enforce_request_budget() {
+  std::vector<kv::SeqId> doomed;
+  state_->for_each_sequence([&](const engine::Sequence& seq) {
+    if (seq.state() == engine::SeqState::kFinished ||
+        seq.state() == engine::SeqState::kAborted)
+      return;
+    if (seq.fold_backs() > options_.fault.max_request_failures)
+      doomed.push_back(seq.id());
+  });
+  for (const kv::SeqId id : doomed) {
+    GLLM_LOG_ERROR("service: request " << id << " exhausted its failure budget ("
+                                       << options_.fault.max_request_failures
+                                       << " fold-backs); terminating with an error");
+    state_->abort_sequence(id);
+    fail_record(state_->seq(id), StreamError::kWorkerFailure);
+  }
+}
+
+void PipelineService::fail_pipeline() {
+  health_.store(ServiceHealth::kFailed);
+  GLLM_LOG_ERROR("service: restart budget exhausted ("
+                 << options_.fault.max_pipeline_restarts
+                 << "); terminating every unfinished request");
+  std::vector<kv::SeqId> unfinished;
+  state_->for_each_sequence([&](const engine::Sequence& seq) {
+    if (seq.state() == engine::SeqState::kFinished ||
+        seq.state() == engine::SeqState::kAborted)
+      return;
+    unfinished.push_back(seq.id());
+  });
+  for (const kv::SeqId id : unfinished) {
+    state_->abort_sequence(id);
+    fail_record(state_->seq(id), StreamError::kWorkerFailure);
+  }
+}
+
+void PipelineService::recover(const char* why) {
+  obs::Observability* obs = options_.obs;
+  obs::Tracer* tracer = obs != nullptr ? &obs->tracer() : nullptr;
+  health_.store(ServiceHealth::kRecovering);
+  if (obs != nullptr) obs->fault().degraded->set(1.0);
+  obs::SpanGuard span(tracer, options_.pp, "fault.recover");
+  GLLM_LOG_ERROR("service: pipeline failed (" << why << "); recovering");
+
+  // Tear the dead backend down: channels close, pumps/readers join, forked
+  // children are reaped (SIGKILL past the heartbeat timeout). This is also
+  // what un-wedges stages stuck on a dropped frame.
+  backend_.shutdown();
+
+  // Fold every unfinished sequence's progress back into pending prefill —
+  // the recompute-preemption primitive pointed at failure. The sequences'
+  // token streams survive in the driver; only their KV must be recomputed,
+  // and greedy sampling on the same seeded weights regenerates the
+  // byte-identical continuation.
+  const int folded = state_->recover_all();
+  GLLM_LOG_INFO("service: folded " << folded << " sequences back into pending prefill");
+  enforce_request_budget();
+
+  while (restarts_.load() < options_.fault.max_pipeline_restarts) {
+    const int attempt = restarts_.fetch_add(1) + 1;
+    if (obs != nullptr) obs->fault().pipeline_restarts->inc();
+    const double backoff = options_.fault.restart_backoff_s *
+                           static_cast<double>(1 << std::min(attempt - 1, 5));
+    if (backoff > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    try {
+      // Full re-handshake: stage assignment, model/partition/weight-seed
+      // agreement, activation-ring wiring. Fork mode re-forks (safe despite
+      // the live server threads: glibc and the sanitizers keep their
+      // allocators fork-safe via atfork handlers, and the children only run
+      // run_worker); remote mode blocks here until replacement workers
+      // reconnect to the control port.
+      backend_ = net::make_pipeline_backend(options_, make_sampler(), tracer);
+      health_.store(ServiceHealth::kServing);
+      if (obs != nullptr) obs->fault().degraded->set(0.0);
+      GLLM_LOG_INFO("service: pipeline respawned (attempt " << attempt
+                                                            << "); serving resumes");
+      return;
+    } catch (const std::exception& e) {
+      GLLM_LOG_ERROR("service: pipeline respawn failed: " << e.what());
+      backend_.shutdown();
+    }
+  }
+  fail_pipeline();
 }
 
 void PipelineService::service_loop() {
@@ -167,35 +305,44 @@ void PipelineService::service_loop() {
     const bool admitted = admit_batches();
 
     if (state_->in_flight() > 0) {
-      // A micro-batch is in flight: its sample result is guaranteed to come.
-      std::optional<SampleResult> result;
+      SampleResult result;
+      util::PopStatus status;
       {
         obs::SpanGuard span(options_.obs != nullptr ? &options_.obs->tracer() : nullptr,
                             options_.pp, "wait.sample");
-        result = backend_.samples()->pop();
+        const double watchdog = options_.fault.sample_wait_timeout_s;
+        status = backend_.samples()->pop_for(result, watchdog > 0.0 ? watchdog : -1.0);
       }
-      if (!result) break;  // channels torn down underneath us
-      const double now = seconds_since(t0_);
-      state_->complete_batch(
-          *result, now,
-          [&](const engine::Sequence& seq, nn::TokenId token, bool done) {
-            std::function<void(const StreamEvent&)> cb;
-            {
-              std::lock_guard lock(mu_);
-              const auto it = callbacks_.find(seq.id());
-              if (it != callbacks_.end()) cb = it->second;
-            }
-            if (cb) {
-              cb(StreamEvent{seq.id(), token, false});
-              if (done) cb(StreamEvent{seq.id(), token, true});
-            }
-            if (done) finish_record(seq);
-          });
+      if (status == util::PopStatus::kOk) {
+        const double now = seconds_since(t0_);
+        state_->complete_batch(
+            result, now,
+            [&](const engine::Sequence& seq, nn::TokenId token, bool done) {
+              std::function<void(const StreamEvent&)> cb;
+              {
+                std::lock_guard lock(mu_);
+                const auto it = callbacks_.find(seq.id());
+                if (it != callbacks_.end()) cb = it->second;
+              }
+              if (cb) {
+                cb(StreamEvent{seq.id(), token, false});
+                if (done) cb(StreamEvent{seq.id(), token, true});
+              }
+              if (done) finish_record(seq);
+            });
+        continue;
+      }
+      // kClosed: the transport closed the sample channel — a worker died.
+      // kTimeout: the batch wedged (e.g. a lost frame) past the watchdog.
+      // Both take the same recovery path; teardown un-wedges stuck stages.
+      recover(status == util::PopStatus::kClosed ? "sample channel closed (worker died)"
+                                                 : "sample-wait watchdog fired");
       continue;
     }
 
     if (admitted) continue;
-    if (state_->reset_stalled_prefill()) continue;
+    if (health_.load() != ServiceHealth::kFailed && state_->reset_stalled_prefill())
+      continue;
 
     // Fully idle: wait for the next submission (or shutdown).
     if (!inbox_open) break;
@@ -207,11 +354,21 @@ void PipelineService::service_loop() {
     admit_submission(std::move(*submission));
   }
 
-  // Anything still registered but unfinished at shutdown is reported failed.
+  // Anything still registered but unfinished at shutdown is terminated with
+  // an explicit error event, so streaming clients are released, then
+  // recorded. Requests already recorded (completed, rejected, or failed
+  // during recovery) are skipped.
   state_->for_each_sequence([this](const engine::Sequence& seq) {
-    if (seq.state() == engine::SeqState::kFinished) return;
+    {
+      std::lock_guard lock(mu_);
+      if (recorded_.contains(seq.id())) return;
+    }
+    if (seq.state() == engine::SeqState::kFinished) {
+      finish_record(seq);
+      return;
+    }
     GLLM_LOG_WARN("service: request " << seq.id() << " unfinished at shutdown");
-    finish_record(seq);
+    fail_record(seq, StreamError::kShutdown);
   });
 }
 

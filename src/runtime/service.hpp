@@ -1,15 +1,33 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "net/transport.hpp"
 #include "runtime/driver_state.hpp"
 #include "runtime/pipeline_runtime.hpp"
 
 namespace gllm::runtime {
+
+/// Externally visible health of the online service.
+enum class ServiceHealth {
+  kServing,     ///< pipeline up, accepting and executing requests
+  kRecovering,  ///< a worker died; tearing down / respawning the pipeline
+  kFailed,      ///< restart budget exhausted; requests are rejected outright
+};
+
+inline const char* to_string(ServiceHealth h) {
+  switch (h) {
+    case ServiceHealth::kServing: return "serving";
+    case ServiceHealth::kRecovering: return "recovering";
+    case ServiceHealth::kFailed: return "failed";
+  }
+  return "unknown";
+}
 
 /// Online serving mode of the threaded runtime — the reproduction's analogue
 /// of the artifact's persistent `api_server`: start once, submit requests at
@@ -19,6 +37,18 @@ namespace gllm::runtime {
 /// batch runner (shared DriverState); submissions land in a thread-safe
 /// inbox that the driver drains between micro-batches, so a request submitted
 /// mid-flight joins scheduling within one iteration.
+///
+/// Fault tolerance (RuntimeOptions::fault): when a stage worker dies (or a
+/// micro-batch wedges past the sample-wait watchdog), the driver tears the
+/// pipeline down, folds every unfinished sequence back into pending prefill
+/// via AdmissionCore's recompute-preemption path, and respawns the backend
+/// (re-fork in kFork mode, re-handshake with reconnecting workers in kRemote
+/// mode). Greedy sampling on seeded weights makes recomputation emit the
+/// byte-identical continuation, so recovered runs match a fault-free
+/// reference. Requests folded back more than max_request_failures times, and
+/// everything once max_pipeline_restarts is exhausted, terminate with an
+/// explicit error-bearing StreamEvent — no accepted request ever silently
+/// hangs or vanishes.
 class PipelineService {
  public:
   PipelineService(RuntimeOptions options, std::shared_ptr<sched::IScheduler> scheduler);
@@ -32,8 +62,11 @@ class PipelineService {
 
   /// Enqueue a request (thread-safe). `on_token` (optional) is invoked from
   /// the driver thread for every sampled token, with is_last on the final
-  /// one. Oversized requests (prompt+output beyond KV capacity) are rejected
-  /// immediately with a completed=false record. Throws if not started.
+  /// one; a request that terminates without completing gets exactly one
+  /// terminal event carrying a StreamError instead. Oversized requests
+  /// (prompt+output beyond KV capacity) and submissions racing stop() are
+  /// rejected with such an event from the submitting thread. Throws only if
+  /// the service was never started.
   void submit(nn::GenRequest request,
               std::function<void(const StreamEvent&)> on_token = nullptr);
 
@@ -48,6 +81,11 @@ class PipelineService {
   std::vector<RuntimeRequestRecord> results() const;
 
   bool running() const;
+  /// Current health (thread-safe): kServing, kRecovering while the pipeline
+  /// respawns, kFailed once the restart budget is exhausted.
+  ServiceHealth health() const { return health_.load(); }
+  /// Pipeline teardown+respawn attempts so far (thread-safe).
+  int pipeline_restarts() const { return restarts_.load(); }
   const RuntimeOptions& options() const { return options_; }
 
  private:
@@ -60,7 +98,24 @@ class PipelineService {
   void admit_submission(Submission submission);
   /// Admit micro-batches up to the pipeline depth; true if any was dispatched.
   bool admit_batches();
-  void finish_record(const engine::Sequence& seq);
+  void finish_record(const engine::Sequence& seq, StreamError error = StreamError::kNone);
+  /// Fire the terminal error event for a registered sequence, then record it.
+  void fail_record(const engine::Sequence& seq, StreamError error);
+  /// Record a request that never reached the sequence table; fires cb (from
+  /// the calling thread) with a terminal error event.
+  void record_rejection(std::int64_t id,
+                        const std::function<void(const StreamEvent&)>& cb,
+                        StreamError error, bool count_outstanding);
+  nn::Sampler make_sampler() const;
+  /// Pipeline failure: tear down, fold back, enforce the per-request failure
+  /// budget, back off and respawn. Falls through to fail_pipeline() once the
+  /// restart budget is exhausted. Driver thread only.
+  void recover(const char* why);
+  /// Terminal degradation: every unfinished request gets an explicit error;
+  /// future submissions are rejected immediately.
+  void fail_pipeline();
+  /// Terminate requests folded back beyond fault.max_request_failures.
+  void enforce_request_budget();
 
   RuntimeOptions options_;
   std::shared_ptr<sched::IScheduler> scheduler_;
@@ -72,10 +127,14 @@ class PipelineService {
   std::thread driver_;
   std::chrono::steady_clock::time_point t0_;
 
+  std::atomic<ServiceHealth> health_{ServiceHealth::kServing};
+  std::atomic<int> restarts_{0};
+
   mutable std::mutex mu_;
   std::condition_variable drained_;
   std::unordered_map<std::int64_t, std::function<void(const StreamEvent&)>> callbacks_;
   std::vector<RuntimeRequestRecord> records_;
+  std::unordered_set<std::int64_t> recorded_;  ///< ids already in records_
   std::size_t outstanding_ = 0;
   bool running_ = false;
 };

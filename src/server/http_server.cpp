@@ -174,6 +174,7 @@ void HttpServer::handle_connection(int fd) {
         << "Content-Type: " << response.content_type << "\r\n"
         << "Content-Length: " << response.body.size() << "\r\n";
     if (!response.allow.empty()) oss << "Allow: " << response.allow << "\r\n";
+    if (response.retry_after > 0) oss << "Retry-After: " << response.retry_after << "\r\n";
     oss << "Connection: close\r\n\r\n" << response.body;
     send_all(fd, oss.str());
   }
@@ -194,8 +195,12 @@ HttpServer::Response HttpServer::handle_request(const std::string& method,
     return Response{404, "{\"error\":\"unknown endpoint\"}", "application/json", ""};
 
   if (path == "/health") {
-    return Response{200,
-                    "{\"status\":\"ok\",\"model\":\"" + service_.options().model.name + "\"}",
+    const runtime::ServiceHealth health = service_.health();
+    return Response{health == runtime::ServiceHealth::kFailed ? 503 : 200,
+                    std::string("{\"status\":\"") +
+                        (health == runtime::ServiceHealth::kServing ? "ok" : "degraded") +
+                        "\",\"health\":\"" + runtime::to_string(health) +
+                        "\",\"model\":\"" + service_.options().model.name + "\"}",
                     "application/json", ""};
   }
   if (path == "/metrics" || path == "/v1/stats") {
@@ -234,17 +239,35 @@ HttpServer::Response HttpServer::handle_completion(const std::string& body) {
                     ""};
   }
 
+  // Shed load while the pipeline is being respawned instead of queueing into
+  // an outage of unknown length; clients retry after the hinted delay. A
+  // permanently failed service answers the same way, minus the retry hint.
+  const runtime::ServiceHealth health = service_.health();
+  if (health != runtime::ServiceHealth::kServing) {
+    Response resp{503,
+                  std::string("{\"error\":\"service ") + runtime::to_string(health) + "\"}",
+                  "application/json", ""};
+    if (health == runtime::ServiceHealth::kRecovering) resp.retry_after = 1;
+    return resp;
+  }
+
   nn::GenRequest request;
   request.id = id;
   request.prompt.assign(prompt.begin(), prompt.end());
   request.max_new_tokens = static_cast<int>(max_tokens);
 
-  // Collect tokens through the streaming callback; resolve on the last one.
-  auto done = std::make_shared<std::promise<std::vector<nn::TokenId>>>();
+  // Collect tokens through the streaming callback; resolve on the terminal
+  // event — which either completes the request or carries a StreamError.
+  struct Outcome {
+    std::vector<nn::TokenId> tokens;
+    runtime::StreamError error = runtime::StreamError::kNone;
+  };
+  auto done = std::make_shared<std::promise<Outcome>>();
+  auto resolved = std::make_shared<std::atomic<bool>>(false);
   auto tokens = std::make_shared<std::vector<nn::TokenId>>();
-  service_.submit(request, [done, tokens](const runtime::StreamEvent& ev) {
-    if (ev.is_last) {
-      done->set_value(*tokens);
+  service_.submit(request, [done, resolved, tokens](const runtime::StreamEvent& ev) {
+    if (ev.error != runtime::StreamError::kNone || ev.is_last) {
+      if (!resolved->exchange(true)) done->set_value(Outcome{*tokens, ev.error});
     } else {
       tokens->push_back(ev.token);
     }
@@ -254,7 +277,16 @@ HttpServer::Response HttpServer::handle_completion(const std::string& body) {
   if (future.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
     return Response{503, "{\"error\":\"generation timed out\"}", "application/json", ""};
   }
-  const auto output = future.get();
+  const Outcome outcome = future.get();
+  if (outcome.error != runtime::StreamError::kNone) {
+    const char* what = runtime::to_string(outcome.error);
+    Response resp{outcome.error == runtime::StreamError::kRejected ? 400 : 503,
+                  std::string("{\"error\":\"request failed: ") + what + "\"}",
+                  "application/json", ""};
+    if (outcome.error == runtime::StreamError::kWorkerFailure) resp.retry_after = 1;
+    return resp;
+  }
+  const auto& output = outcome.tokens;
 
   std::ostringstream oss;
   oss << "{\"id\":" << id << ",\"tokens\":[";
@@ -279,15 +311,37 @@ int http_request(int port, const std::string& method, const std::string& path,
     net::close_fd(fd);
     return -1;
   }
+  // Read until headers + Content-Length bytes of body have arrived (EOF is
+  // only a fallback): the connection may be held open by an unrelated fd
+  // copy, and a complete response must not depend on seeing the close.
   std::string raw;
   char buf[4096];
+  std::size_t header_end = std::string::npos;
+  std::size_t content_length = 0;
+  bool have_length = false;
   for (;;) {
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        std::string lower = raw.substr(0, header_end);
+        for (char& c : lower)
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        const auto pos = lower.find("content-length:");
+        if (pos != std::string::npos) {
+          content_length = std::strtoull(lower.c_str() + pos + 15, nullptr, 10);
+          have_length = true;
+        }
+      }
+    }
+    if (header_end != std::string::npos && have_length &&
+        raw.size() >= header_end + 4 + content_length)
+      break;
     const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
     if (n <= 0) break;
     raw.append(buf, static_cast<std::size_t>(n));
   }
   net::close_fd(fd);
-  const auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) header_end = raw.find("\r\n\r\n");
   if (header_end == std::string::npos) return -1;
   response_body = raw.substr(header_end + 4);
   if (response_headers != nullptr) *response_headers = raw.substr(0, header_end);

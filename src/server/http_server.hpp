@@ -15,7 +15,7 @@ namespace gllm::server {
 /// synthetic-token world: prompts are token-id arrays.
 ///
 /// Endpoints:
-///   GET  /health            -> {"status":"ok","model":...}
+///   GET  /health            -> {"status":"ok","health":"serving"|..,"model":...}
 ///   GET  /metrics           -> Prometheus text exposition (0.0.4) of the
 ///                              obs::Registry (503 unless the service's
 ///                              RuntimeOptions carry an Observability)
@@ -28,6 +28,12 @@ namespace gllm::server {
 ///
 /// One thread per connection (Connection: close); requests block until the
 /// runtime finishes generating.
+///
+/// Fault surfacing: while the service is recovering a dead pipeline,
+/// completions answer 503 with a Retry-After header instead of queueing into
+/// an unknown-length outage; a request terminated by a StreamError maps to an
+/// explicit status (400 rejected, 503 shutdown/worker failure) — no client
+/// ever hangs on a vanished request.
 class HttpServer {
  public:
   /// `service` must outlive the server and be start()ed by the caller.
@@ -48,7 +54,8 @@ class HttpServer {
     int status = 500;
     std::string body;
     std::string content_type = "application/json";
-    std::string allow;  ///< Allow header value, set on 405 responses
+    std::string allow;       ///< Allow header value, set on 405 responses
+    int retry_after = 0;     ///< Retry-After seconds, set on degraded 503s
   };
 
   void accept_loop();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -7,6 +8,11 @@
 #include <utility>
 
 namespace gllm::util {
+
+/// Outcome of a timed queue pop: an item, a timeout with the queue still
+/// open, or closed-and-drained. The distinction matters to the serving
+/// driver, which treats kClosed as peer death and kTimeout as a wedged batch.
+enum class PopStatus { kOk, kTimeout, kClosed };
 
 /// Bounded multi-producer/multi-consumer blocking queue.
 ///
@@ -55,6 +61,26 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return value;
+  }
+
+  /// Timed blocking pop: kOk fills `out`; kTimeout after `timeout_s` with
+  /// nothing available; kClosed once closed and drained. A negative timeout
+  /// waits indefinitely (equivalent to pop(), minus the optional).
+  PopStatus pop_for(T& out, double timeout_s) {
+    std::unique_lock lock(mu_);
+    const auto ready = [&] { return closed_ || !items_.empty(); };
+    if (timeout_s < 0.0) {
+      not_empty_.wait(lock, ready);
+    } else if (!not_empty_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                                    ready)) {
+      return PopStatus::kTimeout;
+    }
+    if (items_.empty()) return PopStatus::kClosed;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return PopStatus::kOk;
   }
 
   /// Non-blocking pop.

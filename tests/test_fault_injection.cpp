@@ -1,0 +1,120 @@
+// Deterministic fault-injection scheduler (net/fault.hpp): one-shot specs
+// keyed on (stage, outgoing metadata frame index), plan parsing, and seeded
+// random plans — the reproducibility these tests pin down is what makes the
+// chaos-recovery proof bar (byte-identical streams) checkable at all.
+
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gllm::net {
+namespace {
+
+TEST(FaultInjector, FiresExactlyOnceAtItsCoordinate) {
+  FaultInjector inj;
+  inj.schedule(FaultSpec{FaultKind::kKillWorker, /*stage=*/1, /*at_frame=*/4});
+  ASSERT_EQ(inj.pending_count(), 1u);
+
+  EXPECT_FALSE(inj.on_metadata_frame(1, 3).any());  // wrong frame
+  EXPECT_FALSE(inj.on_metadata_frame(0, 4).any());  // wrong stage
+
+  const FiredFaults fired = inj.on_metadata_frame(1, 4);
+  EXPECT_TRUE(fired.kill);
+  EXPECT_FALSE(fired.drop || fired.corrupt || fired.stall);
+
+  // One-shot: the same coordinate never fires the spent spec again.
+  EXPECT_FALSE(inj.on_metadata_frame(1, 4).any());
+  EXPECT_EQ(inj.fired_count(), 1);
+  EXPECT_EQ(inj.pending_count(), 0u);
+}
+
+TEST(FaultInjector, DuplicateSpecsArmOnePerGeneration) {
+  // A rebuilt pipeline restarts its frame counters, so scheduling the same
+  // (stage, frame) twice means "once per pipeline generation": each visit to
+  // the coordinate consumes exactly one of the armed specs.
+  FaultInjector inj;
+  inj.schedule(FaultSpec{FaultKind::kKillWorker, 0, 0});
+  inj.schedule(FaultSpec{FaultKind::kKillWorker, 0, 0});
+
+  EXPECT_TRUE(inj.on_metadata_frame(0, 0).kill);  // generation 1
+  EXPECT_TRUE(inj.on_metadata_frame(0, 0).kill);  // generation 2
+  EXPECT_FALSE(inj.on_metadata_frame(0, 0).any());
+  EXPECT_EQ(inj.fired_count(), 2);
+}
+
+TEST(FaultInjector, DistinctKindsFireTogether) {
+  FaultInjector inj;
+  inj.schedule(FaultSpec{FaultKind::kDropFrame, 2, 7});
+  inj.schedule(FaultSpec{FaultKind::kStallHeartbeat, 2, 7});
+  const FiredFaults fired = inj.on_metadata_frame(2, 7);
+  EXPECT_TRUE(fired.drop);
+  EXPECT_TRUE(fired.stall);
+  EXPECT_FALSE(fired.kill || fired.corrupt);
+  EXPECT_EQ(inj.fired_count(), 2);
+}
+
+TEST(FaultInjector, ParseAcceptsPlansAndRejectsGarbage) {
+  const auto inj = FaultInjector::parse("kill:1@4,drop:0@2,corrupt:3@7,stall:2@0");
+  ASSERT_NE(inj, nullptr);
+  EXPECT_EQ(inj->pending_count(), 4u);
+  EXPECT_TRUE(inj->on_metadata_frame(1, 4).kill);
+  EXPECT_TRUE(inj->on_metadata_frame(0, 2).drop);
+  EXPECT_TRUE(inj->on_metadata_frame(3, 7).corrupt);
+  EXPECT_TRUE(inj->on_metadata_frame(2, 0).stall);
+
+  EXPECT_THROW(FaultInjector::parse("explode:1@4"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("kill:x@4"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse("kill:1"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse(""), std::invalid_argument);
+}
+
+TEST(FaultInjector, RandomPlanIsSeedReproducible) {
+  const std::uint64_t seed = 42;
+  const int pp = 4;
+  const int n = 6;
+  const auto a = FaultInjector::random_plan(seed, pp, n, /*frame_window=*/16);
+  const auto b = FaultInjector::random_plan(seed, pp, n, /*frame_window=*/16);
+  ASSERT_EQ(a->pending_count(), static_cast<std::size_t>(n));
+
+  // Sweep every coordinate in the window on both injectors; the fired
+  // patterns must match exactly (same seed, same plan).
+  for (int stage = 0; stage < pp; ++stage) {
+    for (std::uint64_t frame = 0; frame < 16; ++frame) {
+      const FiredFaults fa = a->on_metadata_frame(stage, frame);
+      const FiredFaults fb = b->on_metadata_frame(stage, frame);
+      EXPECT_EQ(fa.drop, fb.drop) << stage << "@" << frame;
+      EXPECT_EQ(fa.corrupt, fb.corrupt) << stage << "@" << frame;
+      EXPECT_EQ(fa.kill, fb.kill) << stage << "@" << frame;
+      EXPECT_EQ(fa.stall, fb.stall) << stage << "@" << frame;
+    }
+  }
+  // Duplicate draws (same kind at the same coordinate) fire one per sweep
+  // visit, so compare the two plans rather than assuming n distinct specs.
+  EXPECT_GE(a->fired_count(), 1);
+  EXPECT_EQ(a->fired_count(), b->fired_count());
+
+  // A different seed must produce a different plan (overwhelmingly likely
+  // with 6 draws over a 4x16x4 coordinate space).
+  const auto c = FaultInjector::random_plan(seed + 1, pp, n, 16);
+  bool differs = false;
+  const auto d = FaultInjector::random_plan(seed, pp, n, 16);
+  for (int stage = 0; stage < pp && !differs; ++stage) {
+    for (std::uint64_t frame = 0; frame < 16 && !differs; ++frame) {
+      const FiredFaults fc = c->on_metadata_frame(stage, frame);
+      const FiredFaults fd = d->on_metadata_frame(stage, frame);
+      differs = fc.drop != fd.drop || fc.corrupt != fd.corrupt || fc.kill != fd.kill ||
+                fc.stall != fd.stall;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, KindNamesRoundTrip) {
+  EXPECT_STREQ(to_string(FaultKind::kDropFrame), "drop");
+  EXPECT_STREQ(to_string(FaultKind::kCorruptFrame), "corrupt");
+  EXPECT_STREQ(to_string(FaultKind::kKillWorker), "kill");
+  EXPECT_STREQ(to_string(FaultKind::kStallHeartbeat), "stall");
+}
+
+}  // namespace
+}  // namespace gllm::net

@@ -1,0 +1,423 @@
+// Worker-failure recovery proof bar: a pipeline that loses a worker mid-run
+// (SIGKILL, dropped frame, corrupted frame, stalled heartbeat) must tear
+// down, fold every unfinished sequence back into pending prefill, respawn,
+// and finish with token streams byte-identical to a fault-free reference.
+// Requests that cannot be recovered terminate with an explicit error-bearing
+// StreamEvent — no accepted request ever silently hangs or vanishes.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <map>
+#include <thread>
+
+#include "net/fault.hpp"
+#include "net/transport.hpp"
+#include "nn/reference.hpp"
+#include "obs/obs.hpp"
+#include "runtime/service.hpp"
+#include "sched/token_throttle.hpp"
+#include "server/http_server.hpp"
+
+namespace gllm {
+namespace {
+
+constexpr std::uint64_t kWeightSeed = 1234;
+
+std::vector<nn::GenRequest> make_requests(const model::ModelConfig& cfg, int n) {
+  std::vector<nn::GenRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    nn::GenRequest r;
+    r.id = i;
+    r.prompt = nn::synthetic_prompt(cfg, 500 + static_cast<std::uint64_t>(i),
+                                    6 + (i * 7) % 30);
+    r.max_new_tokens = 4 + i % 9;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+runtime::RuntimeOptions chaos_options(int pp, const std::string& fault_plan) {
+  runtime::RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.pp = pp;
+  opt.kv_capacity_tokens = 2048;
+  opt.kv_block_size = 8;
+  opt.weight_seed = kWeightSeed;
+  opt.deployment.mode = runtime::DeploymentOptions::Mode::kFork;
+  opt.deployment.heartbeat_interval_s = 0.05;
+  opt.deployment.heartbeat_timeout_s = 1.0;
+  if (!fault_plan.empty())
+    opt.deployment.fault_injector = net::FaultInjector::parse(fault_plan);
+  opt.fault.restart_backoff_s = 0.01;
+  opt.fault.sample_wait_timeout_s = 10.0;
+  return opt;
+}
+
+std::shared_ptr<sched::IScheduler> small_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 4;
+  return std::make_shared<sched::TokenThrottleScheduler>(p);
+}
+
+std::map<std::int64_t, runtime::RuntimeRequestRecord> by_id(
+    const std::vector<runtime::RuntimeRequestRecord>& records) {
+  std::map<std::int64_t, runtime::RuntimeRequestRecord> out;
+  for (const auto& rec : records) out[rec.id] = rec;
+  return out;
+}
+
+bool no_children_left() {
+  const pid_t got = ::waitpid(-1, nullptr, WNOHANG);
+  return got < 0 && errno == ECHILD;
+}
+
+/// Run the full chaos scenario: submit `n` requests against a faulted fork
+/// deployment, require recovery to happen, and require every completed
+/// request's stream to be byte-identical to the fault-free reference model.
+void run_and_expect_byte_identical(runtime::RuntimeOptions opt, int n,
+                                   bool expect_recovery = true) {
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, n);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  obs::Observability observability;
+  opt.obs = &observability;
+
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+  for (const auto& r : reqs) service.submit(r);
+  service.drain();
+  const auto records = by_id(service.results());
+  const int restarts = service.pipeline_restarts();
+  service.stop();
+
+  ASSERT_EQ(records.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& rec = records.at(static_cast<std::int64_t>(i));
+    // The recovery guarantee: a request either completes with the exact
+    // fault-free stream, or terminates with an explicit error. It never
+    // completes with different tokens and never vanishes.
+    if (rec.completed) {
+      EXPECT_EQ(rec.output, ref[i]) << "request " << i << " diverged after recovery";
+      EXPECT_EQ(rec.error, runtime::StreamError::kNone);
+    } else {
+      EXPECT_NE(rec.error, runtime::StreamError::kNone)
+          << "request " << i << " failed without an explicit error";
+    }
+  }
+  if (expect_recovery) {
+    EXPECT_GE(restarts, 1) << "the fault never triggered a pipeline respawn";
+    EXPECT_GE(observability.fault().worker_failures->value() +
+                  observability.fault().injected->value(),
+              1.0);
+    EXPECT_GE(observability.fault().pipeline_restarts->value(), 1.0);
+    // Recovery must have ended with the service healthy again.
+    EXPECT_EQ(observability.fault().degraded->value(), 0.0);
+  }
+  EXPECT_TRUE(no_children_left());
+}
+
+class KillOneWorker : public ::testing::TestWithParam<int> {};
+
+TEST_P(KillOneWorker, ForkRecoversByteIdentical) {
+  const int pp = GetParam();
+  // SIGKILL the last stage at its 4th outgoing metadata frame — mid-run, with
+  // sequences in every lifecycle state.
+  run_and_expect_byte_identical(
+      chaos_options(pp, "kill:" + std::to_string(pp - 1) + "@4"), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, KillOneWorker, ::testing::Values(2, 4));
+
+TEST(FaultRecovery, DroppedFrameTripsWatchdogAndRecovers) {
+  // Swallow one metadata frame to stage 1: the micro-batch wedges (stage 1
+  // never sees it), no process dies, and only the driver's sample-wait
+  // watchdog can notice. Teardown then un-wedges the stuck stages.
+  auto opt = chaos_options(2, "drop:1@3");
+  opt.fault.sample_wait_timeout_s = 1.0;
+  run_and_expect_byte_identical(opt, 8);
+}
+
+TEST(FaultRecovery, CorruptedFrameKillsWorkerAndRecovers) {
+  // Flip a payload byte after CRC computation: the frame passes transport
+  // validation and fails in the worker's bounds-checked codec, which treats
+  // it as fatal — the worker exits, the driver sees the closed connection.
+  run_and_expect_byte_identical(chaos_options(2, "corrupt:1@2"), 8);
+}
+
+TEST(FaultRecovery, StalledHeartbeatDetectedAndRecovers) {
+  // Suppress driver->stage-0 heartbeats. Stage 0 sends nothing but heartbeat
+  // echoes back, so the driver-side reader for stage 0 times out within the
+  // heartbeat timeout and declares the peer dead. The first wave may finish
+  // before detection; the pause guarantees the stalled stage is declared dead
+  // by the time the second wave dispatches, which must then trigger recovery
+  // (either path yields the same byte-identical streams).
+  auto opt = chaos_options(2, "stall:0@1");
+  opt.deployment.heartbeat_timeout_s = 0.4;
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 8);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  obs::Observability observability;
+  opt.obs = &observability;
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+  for (int i = 0; i < 4; ++i) service.submit(reqs[static_cast<std::size_t>(i)]);
+  service.drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  for (int i = 4; i < 8; ++i) service.submit(reqs[static_cast<std::size_t>(i)]);
+  service.drain();
+  const auto records = by_id(service.results());
+  const int restarts = service.pipeline_restarts();
+  service.stop();
+
+  EXPECT_GE(restarts, 1);
+  EXPECT_GE(observability.fault().worker_failures->value(), 1.0);
+  ASSERT_EQ(records.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& rec = records.at(static_cast<std::int64_t>(i));
+    ASSERT_TRUE(rec.completed) << "request " << i;
+    EXPECT_EQ(rec.output, ref[i]) << "request " << i;
+  }
+  EXPECT_TRUE(no_children_left());
+}
+
+TEST(FaultRecovery, SecondGenerationFaultRecoversAgain) {
+  // The same coordinate scheduled twice arms one fault per pipeline
+  // generation: the respawned pipeline is killed again and must recover
+  // again. Raise the per-request budget so no request exhausts it.
+  auto opt = chaos_options(2, "kill:1@3,kill:1@3");
+  opt.fault.max_request_failures = 8;
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 8);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+  for (const auto& r : reqs) service.submit(r);
+  service.drain();
+  const auto records = by_id(service.results());
+  EXPECT_GE(service.pipeline_restarts(), 2);
+  service.stop();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& rec = records.at(static_cast<std::int64_t>(i));
+    ASSERT_TRUE(rec.completed) << "request " << i;
+    EXPECT_EQ(rec.output, ref[i]) << "request " << i;
+  }
+  EXPECT_TRUE(no_children_left());
+}
+
+TEST(FaultRecovery, RestartBudgetExhaustionFailsEveryRequestExplicitly) {
+  // Kill the pipeline at frame 0 of every generation with a restart budget of
+  // 2: generation 3's failure exhausts the budget, the service goes kFailed,
+  // and every request must terminate with an explicit error — drain() must
+  // still return and no callback may be left hanging.
+  auto opt = chaos_options(2, "kill:1@0,kill:1@0,kill:1@0,kill:1@0,kill:1@0");
+  opt.fault.max_pipeline_restarts = 2;
+  opt.fault.max_request_failures = 100;  // isolate the pipeline budget
+
+  obs::Observability observability;
+  opt.obs = &observability;
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 4);
+
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+
+  std::mutex mu;
+  std::map<std::int64_t, int> terminal_events;
+  std::map<std::int64_t, runtime::StreamError> terminal_errors;
+  for (const auto& r : reqs) {
+    service.submit(r, [&](const runtime::StreamEvent& ev) {
+      if (!ev.is_last && ev.error == runtime::StreamError::kNone) return;
+      std::lock_guard lock(mu);
+      ++terminal_events[ev.request_id];
+      terminal_errors[ev.request_id] = ev.error;
+    });
+  }
+  service.drain();  // must not hang even though nothing can complete
+  EXPECT_EQ(service.health(), runtime::ServiceHealth::kFailed);
+
+  // A submission into the failed service is rejected, not queued forever.
+  nn::GenRequest late;
+  late.id = 99;
+  late.prompt = nn::synthetic_prompt(cfg, 7, 8);
+  late.max_new_tokens = 4;
+  std::atomic<int> late_events{0};
+  runtime::StreamError late_error = runtime::StreamError::kNone;
+  service.submit(late, [&](const runtime::StreamEvent& ev) {
+    late_error = ev.error;
+    ++late_events;
+  });
+  service.drain();
+  const auto records = by_id(service.results());
+  service.stop();
+
+  for (const auto& r : reqs) {
+    const auto& rec = records.at(r.id);
+    EXPECT_FALSE(rec.completed);
+    EXPECT_EQ(rec.error, runtime::StreamError::kWorkerFailure) << "request " << r.id;
+    std::lock_guard lock(mu);
+    EXPECT_EQ(terminal_events[r.id], 1) << "request " << r.id;
+    EXPECT_EQ(terminal_errors[r.id], runtime::StreamError::kWorkerFailure);
+  }
+  EXPECT_EQ(late_events.load(), 1);
+  EXPECT_EQ(late_error, runtime::StreamError::kWorkerFailure);
+  EXPECT_FALSE(records.at(99).completed);
+  // Terminal degradation stays visible on the gauge.
+  EXPECT_EQ(observability.fault().degraded->value(), 1.0);
+  EXPECT_GE(observability.fault().requests_failed->value(), 5.0);
+  EXPECT_TRUE(no_children_left());
+}
+
+TEST(FaultRecovery, PerRequestFailureBudgetTerminatesOnlyTheChargedRequests) {
+  // Three generations of kills with a per-request budget of 1: any sequence
+  // folded back more than once is terminated with kWorkerFailure while the
+  // pipeline itself keeps recovering (restart budget is ample).
+  auto opt = chaos_options(2, "kill:1@1,kill:1@1,kill:1@1");
+  opt.fault.max_request_failures = 1;
+  opt.fault.max_pipeline_restarts = 10;
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 6);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+  for (const auto& r : reqs) service.submit(r);
+  service.drain();
+  const auto records = by_id(service.results());
+  EXPECT_NE(service.health(), runtime::ServiceHealth::kFailed);
+  service.stop();
+
+  ASSERT_EQ(records.size(), reqs.size());
+  int failed = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& rec = records.at(static_cast<std::int64_t>(i));
+    if (rec.completed) {
+      EXPECT_EQ(rec.output, ref[i]) << "request " << i;
+    } else {
+      EXPECT_EQ(rec.error, runtime::StreamError::kWorkerFailure);
+      ++failed;
+    }
+  }
+  // At least one sequence absorbed two folds and was terminated.
+  EXPECT_GE(failed, 1);
+  EXPECT_TRUE(no_children_left());
+}
+
+TEST(FaultRecovery, RemoteWorkersReconnectAfterKill) {
+  // Remote deployment: killing a worker hard-closes its control connection;
+  // recovery re-listens on the pinned port and the respawner loops below
+  // reconnect — the paper-world equivalent of a cluster manager restarting a
+  // failed rank.
+  const int port = 23100 + static_cast<int>(::getpid() % 1800);
+  runtime::RuntimeOptions opt = chaos_options(2, "kill:1@3");
+  opt.deployment.mode = runtime::DeploymentOptions::Mode::kRemote;
+  opt.deployment.worker_port = port;
+  opt.fault.restart_backoff_s = 0.05;
+
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 6);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> respawners;
+  for (int s = 0; s < opt.pp; ++s) {
+    respawners.emplace_back([&done, port] {
+      while (!done.load()) {
+        net::WorkerOptions wopt;
+        wopt.driver_port = port;
+        wopt.connect_timeout_s = 1.0;
+        net::run_worker(wopt);  // 0 = clean shutdown, 1 = died; loop reconnects
+      }
+    });
+  }
+
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();  // blocks until both workers handshake
+  for (const auto& r : reqs) service.submit(r);
+  service.drain();
+  const auto records = by_id(service.results());
+  const int restarts = service.pipeline_restarts();
+  done.store(true);
+  service.stop();
+  for (auto& t : respawners) t.join();
+
+  EXPECT_GE(restarts, 1);
+  ASSERT_EQ(records.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& rec = records.at(static_cast<std::int64_t>(i));
+    if (rec.completed) {
+      EXPECT_EQ(rec.output, ref[i]) << "request " << i;
+    } else {
+      EXPECT_NE(rec.error, runtime::StreamError::kNone);
+    }
+  }
+}
+
+TEST(FaultRecovery, HttpSurfacesFailureWithExplicitStatus) {
+  // Exhaust the restart budget immediately (budget 0) and check the HTTP
+  // surface: /health flips to 503/"failed", a completion answers an explicit
+  // 503 instead of hanging, and the fault counters are exported.
+  auto opt = chaos_options(2, "kill:1@0");
+  opt.fault.max_pipeline_restarts = 0;
+  obs::Observability observability;
+  opt.obs = &observability;
+
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+  server::HttpServer http(service, 0);
+  http.start();
+
+  const auto cfg = model::presets::tiny();
+  const auto prompt = nn::synthetic_prompt(cfg, 40, 10);
+  std::string body = "{\"id\":1,\"prompt\":[";
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    if (i) body += ",";
+    body += std::to_string(prompt[i]);
+  }
+  body += "],\"max_tokens\":6}";
+
+  // The first completion triggers the kill at frame 0; with no restart budget
+  // the service fails and the request must come back as an explicit error.
+  std::string response;
+  const int status =
+      server::http_request(http.port(), "POST", "/v1/completions", body, response);
+  EXPECT_EQ(status, 503);
+  EXPECT_NE(response.find("worker"), std::string::npos) << response;
+
+  std::string health;
+  EXPECT_EQ(server::http_request(http.port(), "GET", "/health", "", health), 503);
+  EXPECT_NE(health.find("\"health\":\"failed\""), std::string::npos) << health;
+
+  // A second completion is shed up front with the degraded-service 503.
+  EXPECT_EQ(server::http_request(http.port(), "POST", "/v1/completions", body, response),
+            503);
+
+  std::string metrics;
+  EXPECT_EQ(server::http_request(http.port(), "GET", "/metrics", "", metrics), 200);
+  EXPECT_NE(metrics.find("gllm_fault_worker_failures_total"), std::string::npos);
+  EXPECT_NE(metrics.find("gllm_fault_requests_failed_total"), std::string::npos);
+  EXPECT_NE(metrics.find("gllm_fault_degraded 1"), std::string::npos);
+
+  http.stop();
+  service.stop();
+  EXPECT_TRUE(no_children_left());
+}
+
+TEST(FaultRecovery, FaultFreeInjectorIsInert) {
+  // An armed injector whose coordinates are never reached must not perturb a
+  // run at all (and must not leave the service degraded).
+  auto opt = chaos_options(2, "kill:1@100000");
+  run_and_expect_byte_identical(opt, 6, /*expect_recovery=*/false);
+}
+
+}  // namespace
+}  // namespace gllm

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace gllm::kv {
 namespace {
 
@@ -9,6 +11,38 @@ TEST(KvManager, CapacityRoundsDownToBlocks) {
   KvManager kv(100, 16);
   EXPECT_EQ(kv.total_blocks(), 6);
   EXPECT_EQ(kv.capacity_tokens(), 96);
+}
+
+TEST(KvManager, CapacityOverflowRejectedNotTruncated) {
+  // capacity/block_size beyond 2^31-1 blocks used to truncate through an
+  // int32 cast, silently sizing the allocator to garbage. It must throw.
+  EXPECT_THROW(KvManager(std::numeric_limits<std::int64_t>::max(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(KvManager((static_cast<std::int64_t>(1) << 35), 8),
+               std::invalid_argument);
+}
+
+TEST(KvManagerAdopt, ZeroAdoptionReleasesEveryCacheRef) {
+  // adopt_cached_prefix that adopts nothing (cap below one block) must hand
+  // back every reference match_and_acquire took: the reclaimable capacity is
+  // unchanged and the cached blocks remain adoptable afterwards.
+  KvManager kv(16 * 8, 8, /*prefix_caching=*/true);
+  std::vector<TokenId> prompt(32);
+  for (std::size_t i = 0; i < prompt.size(); ++i) prompt[i] = static_cast<TokenId>(i);
+  ASSERT_EQ(kv.allocate_prompt(1, prompt), 0);
+  kv.register_prefix(1, prompt);
+  kv.free_seq(1);  // cache now holds the only references
+
+  const std::int64_t before = kv.free_token_capacity();
+  EXPECT_EQ(kv.adopt_cached_prefix(2, prompt, 7), 0);
+  EXPECT_FALSE(kv.has(2));
+  EXPECT_EQ(kv.free_token_capacity(), before);  // no leaked refcounts
+
+  const auto adopted = kv.adopt_cached_prefix(2, prompt, 31);
+  EXPECT_EQ(adopted, 24);
+  EXPECT_EQ(kv.seq_tokens(2), 24);
+  // Adopted token count stays consistent with the surviving block list.
+  EXPECT_EQ(static_cast<std::int64_t>(kv.table(2).blocks().size()) * 8, adopted);
 }
 
 TEST(KvManager, AllocateTracksTokens) {

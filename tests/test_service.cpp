@@ -155,6 +155,84 @@ TEST(Service, OversizedRequestRejectedImmediately) {
   service.stop();
   ASSERT_EQ(records.size(), 1u);
   EXPECT_FALSE(records[0].completed);
+  EXPECT_EQ(records[0].error, StreamError::kRejected);
+}
+
+TEST(Service, OversizedRequestStreamsTerminalErrorEvent) {
+  // A streaming client of a rejected request must receive exactly one
+  // terminal error event — never silence (the pre-fix behavior recorded the
+  // rejection but left on_token unfired, hanging any waiter).
+  const auto cfg = model::presets::tiny();
+  auto opt = tiny_options();
+  opt.kv_capacity_tokens = 64;
+  PipelineService service(opt, small_throttle());
+  service.start();
+
+  nn::GenRequest huge;
+  huge.id = 7;
+  huge.prompt = nn::synthetic_prompt(cfg, 1, 100);
+  huge.max_new_tokens = 4;
+  std::atomic<int> events{0};
+  StreamEvent last{};
+  service.submit(huge, [&](const StreamEvent& ev) {
+    last = ev;
+    ++events;
+  });
+  service.drain();
+  service.stop();
+  EXPECT_EQ(events.load(), 1);
+  EXPECT_EQ(last.request_id, 7);
+  EXPECT_TRUE(last.is_last);
+  EXPECT_EQ(last.error, StreamError::kRejected);
+}
+
+TEST(Service, SubmitRacingStopIsACleanRejection) {
+  // submit() racing stop() used to throw std::logic_error out of a perfectly
+  // well-formed call. Now every submission either completes or terminates
+  // with an explicit error event — and the race must be exception-free.
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 24);
+  PipelineService service(tiny_options(), small_throttle());
+  service.start();
+
+  std::mutex mu;
+  std::map<std::int64_t, StreamEvent> terminal;
+  std::atomic<int> submitted{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = t; i < 24; i += 3) {
+        try {
+          service.submit(reqs[static_cast<std::size_t>(i)], [&](const StreamEvent& ev) {
+            if (!ev.is_last && ev.error == StreamError::kNone) return;
+            std::lock_guard lock(mu);
+            terminal[ev.request_id] = ev;
+          });
+          ++submitted;
+        } catch (const std::logic_error&) {
+          // Only legal once stop() has fully completed (service not running).
+          EXPECT_FALSE(service.running());
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  service.stop();
+  for (auto& t : submitters) t.join();
+
+  // Every submission that got in is accounted for: a record exists and the
+  // terminal event fired (completed or error-bearing — never silent).
+  const auto records = by_id(service.results());
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(submitted.load()));
+  std::lock_guard lock(mu);
+  EXPECT_EQ(terminal.size(), records.size());
+  for (const auto& [id, rec] : records) {
+    ASSERT_TRUE(terminal.contains(id)) << "request " << id << " got no terminal event";
+    if (!rec.completed) {
+      EXPECT_NE(rec.error, StreamError::kNone);
+    }
+  }
 }
 
 TEST(Service, LifecycleGuards) {

@@ -14,11 +14,13 @@
 #include <fstream>
 #include <iostream>
 
+#include "net/fault.hpp"
 #include "nn/reference.hpp"
 #include "obs/obs.hpp"
 #include "sched/token_throttle.hpp"
 #include "server/http_server.hpp"
 #include "util/args.hpp"
+#include "util/log.hpp"
 
 using namespace gllm;
 
@@ -42,8 +44,22 @@ int main(int argc, char** argv) {
                   "listen port for worker control connections (0 = ephemeral)", "9100");
   args.add_option("heartbeat-timeout", "seconds of silence before a worker is dead",
                   "10");
+  args.add_option("fault",
+                  "deterministic fault plan: kind:stage@frame[,..] with kind in "
+                  "kill|drop|corrupt|stall (e.g. kill:1@4)",
+                  "");
+  args.add_option("fault-seed", "seeded random fault plan (N faults: --fault-count)", "0");
+  args.add_option("fault-count", "faults in the seeded random plan", "1");
+  args.add_option("restart-budget", "max pipeline teardown+respawn attempts", "8");
+  args.add_option("request-failures", "fold-backs a request survives before an error",
+                  "2");
+  args.add_option("sample-timeout",
+                  "seconds to wait on an in-flight micro-batch before declaring it "
+                  "wedged (0 = wait forever)",
+                  "60");
   args.add_option("trace-out", "write a Chrome trace-event JSON on shutdown (Perfetto)",
                   "");
+  args.add_flag("verbose", "log at info level");
 
   if (!args.parse(argc, argv)) {
     std::cerr << "error: " << args.error() << "\n\n" << args.usage();
@@ -53,6 +69,8 @@ int main(int argc, char** argv) {
     std::cout << args.usage();
     return 0;
   }
+
+  if (args.has("verbose")) util::Logger::instance().set_level(util::LogLevel::kInfo);
 
   try {
     runtime::RuntimeOptions options;
@@ -72,6 +90,17 @@ int main(int argc, char** argv) {
     }
     options.deployment.worker_port = args.get_int("worker-port");
     options.deployment.heartbeat_timeout_s = args.get_double("heartbeat-timeout");
+
+    if (!args.get("fault").empty()) {
+      options.deployment.fault_injector = net::FaultInjector::parse(args.get("fault"));
+    } else if (args.get_int64("fault-seed") != 0) {
+      options.deployment.fault_injector = net::FaultInjector::random_plan(
+          static_cast<std::uint64_t>(args.get_int64("fault-seed")), options.pp,
+          args.get_int("fault-count"));
+    }
+    options.fault.max_pipeline_restarts = args.get_int("restart-budget");
+    options.fault.max_request_failures = args.get_int("request-failures");
+    options.fault.sample_wait_timeout_s = args.get_double("sample-timeout");
 
     sched::ThrottleParams params;
     params.iter_t = args.get_int("iterp");

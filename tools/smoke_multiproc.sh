@@ -39,4 +39,36 @@ wait "$w1" "$w2"
 grep '^request' "$out/remote.log" | diff "$out/threads.txt" -
 echo "remote output matches threads"
 
+echo "== fork workers, one killed mid-stream (recovery) =="
+# Deterministic chaos: SIGKILL the stage-1 worker at its 5th metadata frame.
+# The driver must detect the death, respawn the pipeline, recompute the
+# in-flight work, and still hand back byte-identical completions.
+"$server" --workers fork --demo 3 --port 0 --worker-port 0 \
+  --fault kill:1@4 --request-failures 8 | grep '^request' > "$out/fork_chaos.txt"
+diff "$out/threads.txt" "$out/fork_chaos.txt"
+echo "fork output matches threads after worker kill + recovery"
+
+echo "== remote workers, one killed mid-stream (reconnect recovery) =="
+"$server" --workers remote --demo 3 --port 0 --worker-port 9144 \
+  --fault kill:1@3 --request-failures 8 > "$out/remote_chaos.log" 2>&1 &
+server_pid=$!
+sleep 1
+# Respawning supervisors: a faulted worker exits dirty and is relaunched so
+# it can rejoin the rebuilt pipeline; a clean driver shutdown exits 0.
+# Keep relaunching until the server is gone. A worker can exit cleanly
+# mid-run (e.g. the surviving stage gets a shutdown during recovery
+# teardown), so a zero exit must NOT end the loop — only server death does.
+respawn_worker() {
+  while kill -0 "$server_pid" 2>/dev/null; do
+    "$worker" --driver 127.0.0.1:9144 --connect-timeout 5 || true
+    sleep 0.2
+  done
+}
+respawn_worker & r1=$!
+respawn_worker & r2=$!
+wait "$server_pid"
+wait "$r1" "$r2"
+grep '^request' "$out/remote_chaos.log" | diff "$out/threads.txt" -
+echo "remote output matches threads after worker kill + reconnect"
+
 echo "== multi-process smoke passed =="
