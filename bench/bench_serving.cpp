@@ -1,0 +1,108 @@
+// bench_serving: serial-vs-epoll serving comparison behind BENCH_serving.json.
+//
+// For each front-end loop (serial baseline, epoll event loop) and each
+// concurrency level (default 64, 256, 1024 simultaneous closed-loop streams),
+// spin up a fresh tiny PipelineService + HttpServer, drive it with
+// gllm::loadgen over SSE streaming completions, and report throughput and
+// TTFT/E2EL percentiles as one JSON document on stdout.
+//
+//   ./build/bench/bench_serving --requests-per-stream 2 > BENCH_serving.json
+//
+// The serial baseline is thread-per-connection; the point of the comparison
+// is the accept/parse/stream path, both loops drive the identical pipeline.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "loadgen/loadgen.hpp"
+#include "sched/token_throttle.hpp"
+#include "server/http_server.hpp"
+#include "util/args.hpp"
+
+using namespace gllm;
+
+namespace {
+
+loadgen::LoadgenReport run_point(server::ServerOptions::Loop loop, int streams,
+                                 std::size_t requests, int pp) {
+  runtime::RuntimeOptions rt;
+  rt.model = model::presets::tiny();
+  rt.pp = pp;
+  rt.kv_capacity_tokens = 1 << 16;
+  rt.kv_block_size = 8;
+  sched::ThrottleParams params;
+  params.iter_t = 4;
+  params.max_p = 64;
+  params.min_p = 8;
+  runtime::PipelineService service(
+      rt, std::make_shared<sched::TokenThrottleScheduler>(params));
+  service.start();
+
+  server::ServerOptions so;
+  so.loop = loop;
+  so.max_conns = 4096;
+  so.shed_depth = 0;  // measure raw capacity, not the shedding policy
+  server::HttpServer server(service, so);
+  server.start();
+
+  loadgen::LoadgenOptions lg;
+  lg.port = server.port();
+  lg.mode = loadgen::LoadgenOptions::Mode::kClosedLoop;
+  lg.connections = streams;
+  lg.requests = requests;
+  lg.vocab = rt.model.vocab;
+  lg.stream = true;
+  lg.timeout_s = 300.0;
+  const loadgen::LoadgenReport report = loadgen::run(lg);
+
+  server.stop();
+  service.stop();
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_serving", "serial-vs-epoll HTTP front-end benchmark");
+  args.add_option("streams", "comma-separated concurrency levels", "64,256,1024");
+  args.add_option("requests-per-stream", "requests per concurrent stream", "2");
+  args.add_option("pp", "pipeline stages", "2");
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  std::vector<int> levels;
+  {
+    std::stringstream ss(args.get("streams"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) levels.push_back(std::stoi(tok));
+  }
+  const auto per_stream = static_cast<std::size_t>(args.get_int64("requests-per-stream"));
+  const int pp = args.get_int("pp");
+
+  std::cout << "{\n  \"results\": {\n";
+  bool first = true;
+  for (const char* loop_name : {"serial", "epoll"}) {
+    const auto loop = std::string(loop_name) == "serial"
+                          ? server::ServerOptions::Loop::kSerial
+                          : server::ServerOptions::Loop::kEpoll;
+    for (const int streams : levels) {
+      const std::size_t requests = per_stream * static_cast<std::size_t>(streams);
+      std::cerr << "bench_serving: " << loop_name << " @ " << streams << " streams, "
+                << requests << " requests...\n";
+      const loadgen::LoadgenReport report = run_point(loop, streams, requests, pp);
+      if (!first) std::cout << ",\n";
+      first = false;
+      std::cout << "    \"" << loop_name << "/" << streams << "\": " << report.json();
+    }
+  }
+  std::cout << "\n  }\n}\n";
+  return 0;
+}

@@ -1,0 +1,257 @@
+#include "loadgen/loadgen.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <mutex>
+#include <semaphore>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "util/rng.hpp"
+
+namespace gllm::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Outcome of one driven request.
+struct RequestResult {
+  int status = -1;       ///< HTTP status, -1 on transport failure
+  std::size_t tokens = 0;
+  double ttft = -1.0;    ///< first token (stream) / full response (unary)
+  double tpot = -1.0;    ///< mean inter-token gap, streams with >= 2 tokens
+  double e2el = -1.0;
+  bool ok = false;
+};
+
+std::string build_body(std::int64_t id, const std::vector<int>& prompt, int max_tokens,
+                       bool stream) {
+  std::ostringstream oss;
+  oss << "{\"id\":" << id << ",\"prompt\":[";
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    if (i) oss << ",";
+    oss << prompt[i];
+  }
+  oss << "],\"max_tokens\":" << max_tokens
+      << ",\"stream\":" << (stream ? "true" : "false") << "}";
+  return oss.str();
+}
+
+int parse_status(const std::string& head) {
+  const auto sp = head.find(' ');
+  if (sp == std::string::npos) return -1;
+  return std::atoi(head.c_str() + sp + 1);
+}
+
+/// Drive one request over a fresh connection, incrementally consuming the
+/// response so SSE token events are timestamped as they arrive.
+RequestResult drive_request(const LoadgenOptions& options, std::int64_t id,
+                            const std::vector<int>& prompt, int max_tokens) {
+  RequestResult res;
+  const int fd = net::connect_tcp(options.host, options.port, options.timeout_s);
+  if (fd < 0) return res;
+
+  const std::string body = build_body(id, prompt, max_tokens, options.stream);
+  std::ostringstream req;
+  req << "POST /v1/completions HTTP/1.1\r\nHost: " << options.host << "\r\n"
+      << "Content-Length: " << body.size() << "\r\nConnection: close\r\n\r\n"
+      << body;
+  const std::string raw = req.str();
+  const auto t0 = Clock::now();
+  if (!net::send_all(fd, raw.data(), raw.size())) {
+    net::close_fd(fd);
+    return res;
+  }
+
+  std::string in;
+  std::size_t header_end = std::string::npos;
+  std::size_t scan = 0;  ///< SSE parse position past the headers
+  double last_token_at = -1.0;
+  double gap_sum = 0.0;
+  std::size_t gaps = 0;
+  bool done = false;
+  char buf[8192];
+  for (;;) {
+    const double remaining = options.timeout_s - since(t0);
+    if (remaining <= 0.0) break;
+    if (!net::wait_readable(fd, remaining)) break;
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    in.append(buf, static_cast<std::size_t>(n));
+    const double now = since(t0);
+
+    if (header_end == std::string::npos) {
+      header_end = in.find("\r\n\r\n");
+      if (header_end == std::string::npos) continue;
+      res.status = parse_status(in.substr(0, header_end));
+      scan = header_end + 4;
+      if (res.status != 200 || !options.stream) continue;  // drain to EOF
+    }
+    if (res.status != 200 || !options.stream) continue;
+
+    // Incremental SSE scan: one `data: ...\n\n` event at a time.
+    for (;;) {
+      const auto ev_end = in.find("\n\n", scan);
+      if (ev_end == std::string::npos) break;
+      const std::string event = in.substr(scan, ev_end - scan);
+      scan = ev_end + 2;
+      if (event.find("\"token\":") != std::string::npos) {
+        ++res.tokens;
+        if (res.ttft < 0.0) {
+          res.ttft = now;
+        } else {
+          gap_sum += now - last_token_at;
+          ++gaps;
+        }
+        last_token_at = now;
+      } else if (event.find("\"done\":true") != std::string::npos) {
+        done = event.find("\"error\"") == std::string::npos;
+      }
+    }
+  }
+  net::close_fd(fd);
+
+  res.e2el = since(t0);
+  if (options.stream) {
+    res.ok = res.status == 200 && done;
+    if (gaps > 0) res.tpot = gap_sum / static_cast<double>(gaps);
+  } else if (res.status == 200 && header_end != std::string::npos) {
+    const auto toks = in.find("\"tokens\":[", header_end);
+    res.ok = toks != std::string::npos &&
+             in.find("\"finish_reason\"", header_end) != std::string::npos;
+    if (res.ok) {
+      // Token count = commas + 1 within the array (empty array -> 0).
+      const auto close = in.find(']', toks);
+      if (close != std::string::npos && close > toks + 10) {
+        res.tokens = 1;
+        for (std::size_t i = toks + 10; i < close; ++i)
+          if (in[i] == ',') ++res.tokens;
+      }
+    }
+    res.ttft = res.e2el;  // unary: first byte of tokens == full response
+  }
+  return res;
+}
+
+std::string pct_json(const util::SampleStats& s) {
+  std::ostringstream oss;
+  oss << std::setprecision(6);
+  oss << "{\"count\":" << s.count();
+  if (!s.empty()) {
+    oss << ",\"mean\":" << s.mean() << ",\"p50\":" << s.percentile(50)
+        << ",\"p90\":" << s.percentile(90) << ",\"p99\":" << s.percentile(99)
+        << ",\"max\":" << s.max();
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace
+
+std::string LoadgenReport::json() const {
+  std::ostringstream oss;
+  oss << std::setprecision(6);
+  oss << "{\"requested\":" << requested << ",\"completed\":" << completed
+      << ",\"shed\":" << shed << ",\"errors\":" << errors
+      << ",\"duration_s\":" << duration_s << ",\"throughput_rps\":" << throughput_rps
+      << ",\"output_tokens_per_s\":" << output_tokens_per_s
+      << ",\"ttft_s\":" << pct_json(ttft_s) << ",\"tpot_s\":" << pct_json(tpot_s)
+      << ",\"e2el_s\":" << pct_json(e2el_s) << "}";
+  return oss.str();
+}
+
+LoadgenReport run(const LoadgenOptions& options) {
+  // Deterministic request shapes: one trace per (spec, seed, arrival process).
+  workload::TraceBuilder builder(options.spec, options.seed);
+  workload::ArrivalProcess arrivals;
+  arrivals.kind = options.arrivals;
+  arrivals.rate = options.rate;
+  const workload::Trace trace = builder.generate_count(arrivals, options.requests);
+
+  // Per-request prompts, deterministic in (seed, index).
+  std::vector<std::vector<int>> prompts(trace.size());
+  {
+    util::Rng rng(options.seed ^ 0x70726f6d70ULL);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      prompts[i].resize(static_cast<std::size_t>(std::max(1, trace[i].prompt_len)));
+      for (auto& t : prompts[i])
+        t = static_cast<int>(rng.uniform_int(0, options.vocab - 1));
+    }
+  }
+
+  std::vector<RequestResult> results(trace.size());
+  const auto t0 = Clock::now();
+
+  if (options.mode == LoadgenOptions::Mode::kClosedLoop) {
+    // `connections` workers, one request in flight each.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    const int nconn = std::max(1, options.connections);
+    workers.reserve(static_cast<std::size_t>(nconn));
+    for (int w = 0; w < nconn; ++w) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= trace.size()) return;
+          results[i] = drive_request(options, trace[i].id, prompts[i],
+                                     std::max(1, trace[i].output_len));
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  } else {
+    // Open loop: issue at trace arrival instants, independent of completions.
+    // The in-flight cap only bounds local resources (threads/fds); it is set
+    // from `connections` and should exceed the expected concurrency.
+    std::counting_semaphore<> slots(std::max(1, options.connections));
+    std::vector<std::thread> inflight;
+    inflight.reserve(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const double wait = trace[i].arrival - since(t0);
+      if (wait > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      slots.acquire();
+      inflight.emplace_back([&, i] {
+        results[i] = drive_request(options, trace[i].id, prompts[i],
+                                   std::max(1, trace[i].output_len));
+        slots.release();
+      });
+    }
+    for (auto& t : inflight) t.join();
+  }
+
+  LoadgenReport report;
+  report.requested = trace.size();
+  report.duration_s = since(t0);
+  std::size_t output_tokens = 0;
+  for (const auto& r : results) {
+    if (r.ok) {
+      ++report.completed;
+      output_tokens += r.tokens;
+      if (r.ttft >= 0.0) report.ttft_s.add(r.ttft);
+      if (r.tpot >= 0.0) report.tpot_s.add(r.tpot);
+      report.e2el_s.add(r.e2el);
+    } else if (r.status == 503) {
+      ++report.shed;
+    } else {
+      ++report.errors;
+    }
+  }
+  if (report.duration_s > 0.0) {
+    report.throughput_rps = static_cast<double>(report.completed) / report.duration_s;
+    report.output_tokens_per_s =
+        static_cast<double>(output_tokens) / report.duration_s;
+  }
+  return report;
+}
+
+}  // namespace gllm::loadgen

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.hpp"
+#include "workload/generator.hpp"
+
+namespace gllm::loadgen {
+
+/// Load-generator configuration. Two drive modes:
+///  - kClosedLoop: `connections` workers, each holding exactly one request in
+///    flight — completions gate arrivals, so the offered load self-adjusts to
+///    the server's capacity (latency-vs-concurrency measurements).
+///  - kOpenLoop: arrivals follow the workload trace's arrival process
+///    (Poisson by default) regardless of completions — the paper's
+///    cloud-serving scenario, where a saturated server grows a backlog and
+///    sheds (throughput/SLO-vs-rate measurements).
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  enum class Mode { kClosedLoop, kOpenLoop };
+  Mode mode = Mode::kClosedLoop;
+
+  int connections = 16;      ///< closed-loop concurrency / open-loop in-flight cap
+  std::size_t requests = 64; ///< total requests to issue
+  double rate = 32.0;        ///< open-loop arrival rate (requests/s)
+  workload::ArrivalProcess::Kind arrivals = workload::ArrivalProcess::Kind::kPoisson;
+
+  /// Request shape: prompt/output token counts drawn from `spec` with `seed`;
+  /// prompt token ids are deterministic in (seed, request index) and bounded
+  /// by `vocab`.
+  workload::WorkloadSpec spec = workload::WorkloadSpec::tiny();
+  std::uint64_t seed = 42;
+  int vocab = 256;
+
+  bool stream = true;       ///< SSE client (per-token TTFT/TPOT) vs unary POST
+  double timeout_s = 120.0; ///< per-request wall-clock budget
+};
+
+/// Aggregated outcome of one load-generation run. Latencies are recorded per
+/// completed request: TTFT (first token), TPOT (mean inter-token gap of one
+/// request), E2EL (request end-to-end); all seconds.
+struct LoadgenReport {
+  std::size_t requested = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;    ///< 503 responses (admission shedding / degraded)
+  std::size_t errors = 0;  ///< transport failures and non-200/503 statuses
+  double duration_s = 0.0;
+  double throughput_rps = 0.0;       ///< completed / duration
+  double output_tokens_per_s = 0.0;  ///< generated tokens / duration
+  util::SampleStats ttft_s;
+  util::SampleStats tpot_s;
+  util::SampleStats e2el_s;
+
+  /// Render as a self-contained JSON object (the gllm_loadgen output and the
+  /// per-point payload of BENCH_serving.json).
+  std::string json() const;
+};
+
+/// Drive `POST /v1/completions` per `options` and aggregate the report.
+/// Blocks until every request has completed, failed, or timed out.
+LoadgenReport run(const LoadgenOptions& options);
+
+}  // namespace gllm::loadgen

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -128,6 +129,21 @@ ssize_t recv_some(int fd, void* buf, std::size_t len) {
     if (n < 0 && errno == EINTR) continue;
     return n;
   }
+}
+
+ssize_t send_some(int fd, const void* data, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
 }
 
 bool wait_readable(int fd, double timeout_s) {

@@ -40,6 +40,14 @@ bool recv_all(int fd, void* data, std::size_t len);
 /// One recv() with EINTR retry: >0 bytes read, 0 on orderly close, -1 error.
 ssize_t recv_some(int fd, void* buf, std::size_t len);
 
+/// One send() with EINTR retry and MSG_NOSIGNAL: >=0 bytes written, -1 on
+/// error. On a non-blocking socket a full kernel buffer returns -1 with
+/// errno EAGAIN/EWOULDBLOCK — the event-loop backpressure signal.
+ssize_t send_some(int fd, const void* data, std::size_t len);
+
+/// Set O_NONBLOCK on `fd` (event-loop sockets). False on fcntl failure.
+bool set_nonblocking(int fd, bool nonblocking = true);
+
 /// Block until `fd` is readable (or error/hup). False on timeout.
 /// `timeout_s < 0` waits forever.
 bool wait_readable(int fd, double timeout_s);

@@ -45,6 +45,34 @@ Observability::Observability(ObsConfig cfg) : tracer_(cfg.trace_ring_capacity) {
   net_channel(net_.sample, "sample", "SampleResult");
   net_channel(net_.ctrl, "ctrl", "Control-plane (hello/heartbeat/shutdown)");
 
+  http_.conns_accepted =
+      &registry_.counter("gllm_http_conns_accepted_total", "TCP connections accepted");
+  http_.conns_closed =
+      &registry_.counter("gllm_http_conns_closed_total", "HTTP connections closed");
+  http_.conns_active =
+      &registry_.gauge("gllm_http_conns_active", "Currently open HTTP connections");
+  http_.requests =
+      &registry_.counter("gllm_http_requests_total", "Complete HTTP requests parsed");
+  http_.responses =
+      &registry_.counter("gllm_http_responses_total", "HTTP responses queued for send");
+  http_.shed = &registry_.counter(
+      "gllm_http_shed_total", "Completions shed with 503 + Retry-After (queue depth)");
+  http_.parse_errors = &registry_.counter(
+      "gllm_http_parse_errors_total", "Requests rejected by the parser (400/413/431/501)");
+  http_.timeouts =
+      &registry_.counter("gllm_http_timeouts_total", "Idle/read-timeout disconnects");
+  http_.slow_client_disconnects = &registry_.counter(
+      "gllm_http_slow_client_disconnects_total",
+      "Streaming clients disconnected by the write-backpressure policy");
+  http_.backpressure_events = &registry_.counter(
+      "gllm_http_backpressure_events_total",
+      "Writes deferred on a full kernel socket buffer (EAGAIN)");
+  http_.bytes_in = &registry_.counter("gllm_http_bytes_in_total", "Request bytes read");
+  http_.bytes_out =
+      &registry_.counter("gllm_http_bytes_out_total", "Response bytes written");
+  http_.stream_events =
+      &registry_.counter("gllm_http_stream_events_total", "SSE events written");
+
   fault_.injected =
       &registry_.counter("gllm_fault_injected_total", "Faults fired by the injector");
   fault_.worker_failures = &registry_.counter("gllm_fault_worker_failures_total",

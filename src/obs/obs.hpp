@@ -54,6 +54,26 @@ struct NetMetrics {
   NetChannelMetrics ctrl;    ///< handshake, heartbeats, shutdown
 };
 
+/// Pre-registered HTTP front-end instruments: connection lifecycle, request
+/// outcomes and the event loop's backpressure/shedding decisions. Surfaced in
+/// `/v1/stats` and `/metrics` so a load generator can watch the server's
+/// admission behaviour while it drives it.
+struct HttpMetrics {
+  Counter* conns_accepted = nullptr;       ///< accepted TCP connections
+  Counter* conns_closed = nullptr;         ///< closed (any reason)
+  Gauge* conns_active = nullptr;           ///< currently open connections
+  Counter* requests = nullptr;             ///< complete requests parsed
+  Counter* responses = nullptr;            ///< responses fully queued
+  Counter* shed = nullptr;                 ///< 503s from SLO-aware shedding
+  Counter* parse_errors = nullptr;         ///< 400/413/431/501 rejections
+  Counter* timeouts = nullptr;             ///< idle/read-timeout disconnects
+  Counter* slow_client_disconnects = nullptr;  ///< backpressure-policy kills
+  Counter* backpressure_events = nullptr;  ///< kernel-buffer-full (EAGAIN) stalls
+  Counter* bytes_in = nullptr;
+  Counter* bytes_out = nullptr;
+  Counter* stream_events = nullptr;        ///< SSE events written
+};
+
 /// Pre-registered fault-tolerance instruments: injected faults, detected
 /// worker failures, pipeline restarts and the request-level outcomes of
 /// recovery (folded back vs. declared failed), plus a degraded-mode gauge.
@@ -84,6 +104,8 @@ class Observability {
   const ServingMetrics& serving() const { return serving_; }
   NetMetrics& net() { return net_; }
   const NetMetrics& net() const { return net_; }
+  HttpMetrics& http() { return http_; }
+  const HttpMetrics& http() const { return http_; }
   FaultMetrics& fault() { return fault_; }
   const FaultMetrics& fault() const { return fault_; }
 
@@ -95,6 +117,7 @@ class Observability {
   Tracer tracer_;
   ServingMetrics serving_;
   NetMetrics net_;
+  HttpMetrics http_;
   FaultMetrics fault_;
 };
 

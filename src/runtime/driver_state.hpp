@@ -74,6 +74,9 @@ class DriverState {
   // --- introspection ---------------------------------------------------------
   int in_flight() const { return core_.in_flight(); }
   bool has_waiting() const { return !core_.waiting().empty(); }
+  /// Depth of the waiting-prefill queue (driver thread only; the service
+  /// publishes it to an atomic for the HTTP front-end's admission shedding).
+  std::size_t waiting_count() const { return core_.waiting().size(); }
   std::int64_t preemptions() const { return core_.preemptions(); }
   const engine::Sequence& seq(kv::SeqId id) const { return core_.seq(id); }
   /// Prompt + generated token ids of a registered request.

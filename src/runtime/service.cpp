@@ -144,7 +144,17 @@ void PipelineService::admit_submission(Submission submission) {
     return;
   }
   const double now = seconds_since(t0_);
-  engine::Sequence* seq = state_->add_request(submission.request, now);
+  engine::Sequence* seq = nullptr;
+  try {
+    seq = state_->add_request(submission.request, now);
+  } catch (const std::invalid_argument&) {
+    // A client reused an id that is still in flight. That is the client's
+    // bug, not grounds to kill the driver thread: reject this submission
+    // with a terminal event and leave the original request untouched.
+    record_rejection(submission.request.id, submission.on_token,
+                     StreamError::kRejected, true);
+    return;
+  }
   state_->admit(seq);
   if (submission.on_token) {
     std::lock_guard lock(mu_);
@@ -303,6 +313,7 @@ void PipelineService::service_loop() {
     while (auto submission = inbox_.try_pop()) admit_submission(std::move(*submission));
 
     const bool admitted = admit_batches();
+    waiting_depth_.store(state_->waiting_count(), std::memory_order_relaxed);
 
     if (state_->in_flight() > 0) {
       SampleResult result;

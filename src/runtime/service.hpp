@@ -65,8 +65,9 @@ class PipelineService {
   /// one; a request that terminates without completing gets exactly one
   /// terminal event carrying a StreamError instead. Oversized requests
   /// (prompt+output beyond KV capacity) and submissions racing stop() are
-  /// rejected with such an event from the submitting thread. Throws only if
-  /// the service was never started.
+  /// rejected with such an event from the submitting thread; a request id
+  /// still in flight is likewise rejected (kRejected) rather than admitted
+  /// twice. Throws only if the service was never started.
   void submit(nn::GenRequest request,
               std::function<void(const StreamEvent&)> on_token = nullptr);
 
@@ -86,6 +87,12 @@ class PipelineService {
   ServiceHealth health() const { return health_.load(); }
   /// Pipeline teardown+respawn attempts so far (thread-safe).
   int pipeline_restarts() const { return restarts_.load(); }
+  /// Admission-shedding signal for the HTTP front-end (thread-safe): the
+  /// waiting-prefill queue depth as last published by the driver loop, plus
+  /// submissions still sitting in the inbox. A front door comparing this to
+  /// its shed threshold answers 503 + Retry-After instead of queueing work
+  /// the pipeline is already behind on.
+  std::size_t queue_depth() const { return waiting_depth_.load() + inbox_.size(); }
   const RuntimeOptions& options() const { return options_; }
 
  private:
@@ -129,6 +136,7 @@ class PipelineService {
 
   std::atomic<ServiceHealth> health_{ServiceHealth::kServing};
   std::atomic<int> restarts_{0};
+  std::atomic<std::size_t> waiting_depth_{0};
 
   mutable std::mutex mu_;
   std::condition_variable drained_;

@@ -1,0 +1,99 @@
+#include "server/event_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+namespace gllm::server {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("event_loop: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+// Internal key for the wake pipe's read end; connection keys start at 1 by
+// server convention, so 0 can never collide with a caller key... except the
+// listener also wants a well-known key. Use the all-ones sentinel instead.
+constexpr std::uint64_t kWakeKey = ~0ull;
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) fail("epoll_create1()");
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    ::close(epfd_);
+    fail("pipe2()");
+  }
+  wake_r_ = fds[0];
+  wake_w_ = fds[1];
+  add(wake_r_, EPOLLIN, kWakeKey);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, std::uint64_t key) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = key;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) fail("epoll_ctl(ADD)");
+}
+
+void EventLoop::mod(int fd, std::uint32_t events, std::uint64_t key) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = key;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) fail("epoll_ctl(MOD)");
+}
+
+void EventLoop::del(int fd) {
+  // Best-effort: the fd may already be closed by the kernel side.
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::wait(std::vector<Event>& out, int timeout_ms) {
+  out.clear();
+  woken_ = false;
+  epoll_event events[128];
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, events, 128, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail("epoll_wait()");
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.u64 == kWakeKey) {
+      // Drain every pending wake byte; coalesced wakes are the point.
+      char buf[256];
+      while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+      }
+      woken_ = true;
+      continue;
+    }
+    out.push_back(Event{events[i].data.u64, events[i].events});
+  }
+  return static_cast<int>(out.size());
+}
+
+void EventLoop::wake() {
+  const char byte = 1;
+  // Non-blocking write; EAGAIN means a wake is already pending — exactly the
+  // coalescing we want. EINTR retries; other errors are ignored (shutdown).
+  for (;;) {
+    const ssize_t n = ::write(wake_w_, &byte, 1);
+    if (n >= 0 || errno != EINTR) return;
+  }
+}
+
+}  // namespace gllm::server

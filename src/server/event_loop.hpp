@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gllm::server {
+
+/// Thin RAII wrapper over a Linux epoll instance plus a self-pipe wake
+/// channel — the readiness core of the HTTP front-end's event loop.
+///
+/// All fd registration and wait() calls belong to the single loop thread;
+/// wake() is the one thread-safe entry point (the pipeline driver calls it
+/// when tokens become available for a connection the loop owns). The wake
+/// pipe is registered inside the epoll set and drained transparently by
+/// wait(), so callers only ever see their own keys.
+class EventLoop {
+ public:
+  struct Event {
+    std::uint64_t key = 0;
+    std::uint32_t events = 0;  ///< EPOLL* bits
+  };
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register/re-arm/remove `fd`. `events` are EPOLL* bits (level-triggered);
+  /// `key` comes back in Event::key. Throws std::runtime_error on failure.
+  void add(int fd, std::uint32_t events, std::uint64_t key);
+  void mod(int fd, std::uint32_t events, std::uint64_t key);
+  void del(int fd);
+
+  /// Block up to `timeout_ms` (-1 = forever) and fill `out` with ready
+  /// events. Returns the number of events (0 on timeout). Wake-pipe
+  /// readiness is drained internally and reported as `woken()`.
+  int wait(std::vector<Event>& out, int timeout_ms);
+
+  /// True if the last wait() was interrupted by at least one wake() call.
+  bool woken() const { return woken_; }
+
+  /// Thread-safe: make the current/next wait() return promptly.
+  void wake();
+
+ private:
+  int epfd_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  bool woken_ = false;
+};
+
+}  // namespace gllm::server

@@ -1,0 +1,245 @@
+#include "server/http_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gllm::server {
+
+namespace {
+
+bool is_tchar(unsigned char c) {
+  // RFC 9110 token characters: the only bytes legal in methods/header names.
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(),
+                     [](char c) { return is_tchar(static_cast<unsigned char>(c)); });
+}
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Strict decimal parse for Content-Length: digits only, no sign, no
+/// whitespace, bounded so the value can never overflow or wrap negative.
+bool parse_content_length(std::string_view s, std::size_t& out) {
+  if (s.empty() || s.size() > 18) return false;
+  std::size_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+/// A bare LF (not preceded by CR) anywhere in the header region. Rejecting it
+/// outright (rather than treating it as "still looking for CRLF") keeps
+/// lenient-LF request smuggling off the table and makes the reject prompt.
+bool has_bare_lf(std::string_view head) {
+  for (std::size_t i = 0; i < head.size(); ++i)
+    if (head[i] == '\n' && (i == 0 || head[i - 1] != '\r')) return true;
+  return false;
+}
+
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (lower(a[i]) != lower(b[i])) return false;
+  return true;
+}
+
+int http_status(ParseError error) {
+  switch (error) {
+    case ParseError::kNone: return 200;
+    case ParseError::kBadRequest: return 400;
+    case ParseError::kBadVersion: return 505;
+    case ParseError::kHeadersTooLarge: return 431;
+    case ParseError::kTooManyHeaders: return 431;
+    case ParseError::kBodyTooLarge: return 413;
+    case ParseError::kUnsupported: return 501;
+  }
+  return 400;
+}
+
+const char* to_string(ParseError error) {
+  switch (error) {
+    case ParseError::kNone: return "none";
+    case ParseError::kBadRequest: return "bad_request";
+    case ParseError::kBadVersion: return "bad_version";
+    case ParseError::kHeadersTooLarge: return "headers_too_large";
+    case ParseError::kTooManyHeaders: return "too_many_headers";
+    case ParseError::kBodyTooLarge: return "body_too_large";
+    case ParseError::kUnsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers)
+    if (iequals(key, name)) return &value;
+  return nullptr;
+}
+
+ParseStatus parse_http_request(std::string_view input, const HttpLimits& limits,
+                               HttpRequest& out, std::size_t& consumed,
+                               ParseError& error) {
+  error = ParseError::kNone;
+  consumed = 0;
+
+  // Locate the end of the header block. The budget covers the whole head
+  // (request line + headers + blank line); a prefix that exceeds it without
+  // terminating is rejected without waiting for more bytes.
+  const std::size_t head_end = input.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (input.size() > limits.max_header_bytes) {
+      error = ParseError::kHeadersTooLarge;
+      return ParseStatus::kError;
+    }
+    // Without the terminator every byte so far is head-candidate; a bare LF
+    // here can only ever be a bare LF in the head (body bytes begin strictly
+    // after CRLFCRLF), so the reject is chunking-invariant.
+    if (has_bare_lf(input)) {
+      error = ParseError::kBadRequest;
+      return ParseStatus::kError;
+    }
+    return ParseStatus::kNeedMore;
+  }
+  if (has_bare_lf(input.substr(0, head_end))) {
+    error = ParseError::kBadRequest;
+    return ParseStatus::kError;
+  }
+  const std::size_t head_bytes = head_end + 4;
+  if (head_bytes > limits.max_header_bytes) {
+    error = ParseError::kHeadersTooLarge;
+    return ParseStatus::kError;
+  }
+  const std::string_view head = input.substr(0, head_end);
+
+  // Request line: METHOD SP TARGET SP VERSION (exactly two single spaces).
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    error = ParseError::kBadRequest;
+    return ParseStatus::kError;
+  }
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    error = ParseError::kBadRequest;
+    return ParseStatus::kError;
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (!is_token(method) || target.empty()) {
+    error = ParseError::kBadRequest;
+    return ParseStatus::kError;
+  }
+  for (char c : target) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7f) {  // no SP/CTL in a request target
+      error = ParseError::kBadRequest;
+      return ParseStatus::kError;
+    }
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    error = version.substr(0, 5) == "HTTP/" ? ParseError::kBadVersion
+                                            : ParseError::kBadRequest;
+    return ParseStatus::kError;
+  }
+
+  // Header fields.
+  HttpRequest req;
+  req.method = std::string(method);
+  req.target = std::string(target);
+  req.version = std::string(version);
+  std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) {
+      error = ParseError::kBadRequest;  // bare CRLF inside the header block
+      return ParseStatus::kError;
+    }
+    if (line.front() == ' ' || line.front() == '\t') {
+      error = ParseError::kBadRequest;  // obsolete line folding (RFC 9112 §5.2)
+      return ParseStatus::kError;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || !is_token(line.substr(0, colon))) {
+      error = ParseError::kBadRequest;
+      return ParseStatus::kError;
+    }
+    if (req.headers.size() >= limits.max_headers) {
+      error = ParseError::kTooManyHeaders;
+      return ParseStatus::kError;
+    }
+    req.headers.emplace_back(std::string(line.substr(0, colon)),
+                             std::string(trim_ows(line.substr(colon + 1))));
+  }
+
+  // Body framing. Chunked uploads are not accepted on this API (501); the
+  // body length comes from Content-Length alone, strictly validated and
+  // bounded BEFORE any buffering decision is made on it.
+  if (req.header("Transfer-Encoding") != nullptr) {
+    error = ParseError::kUnsupported;
+    return ParseStatus::kError;
+  }
+  std::size_t content_length = 0;
+  bool have_length = false;
+  for (const auto& [key, value] : req.headers) {
+    if (!iequals(key, "Content-Length")) continue;
+    std::size_t v = 0;
+    if (!parse_content_length(trim_ows(value), v)) {
+      error = ParseError::kBadRequest;
+      return ParseStatus::kError;
+    }
+    if (have_length && v != content_length) {
+      error = ParseError::kBadRequest;  // conflicting duplicate lengths
+      return ParseStatus::kError;
+    }
+    content_length = v;
+    have_length = true;
+  }
+  if (content_length > limits.max_body_bytes) {
+    error = ParseError::kBodyTooLarge;
+    return ParseStatus::kError;
+  }
+  if (input.size() - head_bytes < content_length) return ParseStatus::kNeedMore;
+
+  req.body = std::string(input.substr(head_bytes, content_length));
+  req.keep_alive = req.version == "HTTP/1.1";
+  if (const std::string* conn = req.header("Connection"); conn != nullptr) {
+    if (iequals(trim_ows(*conn), "close")) req.keep_alive = false;
+    else if (iequals(trim_ows(*conn), "keep-alive")) req.keep_alive = true;
+  }
+
+  out = std::move(req);
+  consumed = head_bytes + content_length;
+  return ParseStatus::kComplete;
+}
+
+}  // namespace gllm::server

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gllm::server {
+
+/// Byte budgets enforced while a request is still arriving, so an adversarial
+/// or runaway client is rejected early instead of growing server buffers
+/// without bound (RFC 6585 431 / RFC 9110 413 semantics).
+struct HttpLimits {
+  /// Request line + all header lines + the terminating blank line.
+  std::size_t max_header_bytes = 8192;
+  std::size_t max_headers = 64;
+  /// Largest acceptable Content-Length.
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+enum class ParseStatus {
+  kNeedMore,   ///< prefix is a valid but incomplete request — feed more bytes
+  kComplete,   ///< one full request parsed; `consumed` bytes belong to it
+  kError,      ///< malformed or over-limit; see the ParseError
+};
+
+enum class ParseError {
+  kNone = 0,
+  kBadRequest,       ///< malformed request line / header syntax (400)
+  kBadVersion,       ///< not HTTP/1.0 or HTTP/1.1 (505)
+  kHeadersTooLarge,  ///< header block beyond max_header_bytes (431)
+  kTooManyHeaders,   ///< more than max_headers header fields (431)
+  kBodyTooLarge,     ///< Content-Length beyond max_body_bytes (413)
+  kUnsupported,      ///< Transfer-Encoding (chunked uploads not accepted) (501)
+};
+
+/// The HTTP status code a rejected request should be answered with.
+int http_status(ParseError error);
+const char* to_string(ParseError error);
+
+/// One parsed request. Header names keep their wire spelling; lookup is
+/// case-insensitive per RFC 9110 §5.1.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection semantics after this request: HTTP/1.1 defaults to
+  /// keep-alive, HTTP/1.0 to close; an explicit Connection header wins.
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup (first match); nullptr when absent.
+  const std::string* header(std::string_view name) const;
+};
+
+/// Try to parse ONE complete request from the front of `input`.
+///
+/// This is a pure function of the accumulated byte prefix, which makes
+/// incremental parsing chunking-invariant by construction: append received
+/// bytes to a buffer and re-call until the result is not kNeedMore. On
+/// kComplete, `consumed` is the exact byte length of the request
+/// (head + body); the caller erases that prefix and may immediately parse a
+/// pipelined successor from the remainder. On kError the connection should
+/// answer http_status(error) and close. Limits fire as soon as they are
+/// provable — an over-budget header block or Content-Length is rejected
+/// without waiting for the rest of the request. Never reads past
+/// `input.size()`.
+ParseStatus parse_http_request(std::string_view input, const HttpLimits& limits,
+                               HttpRequest& out, std::size_t& consumed,
+                               ParseError& error);
+
+/// Case-insensitive ASCII string equality (header names, token values).
+bool iequals(std::string_view a, std::string_view b);
+
+}  // namespace gllm::server

@@ -1,11 +1,18 @@
 #include "server/http_server.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <cstring>
-#include <future>
+#include <deque>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
 
 #include "net/socket.hpp"
 #include "obs/obs.hpp"
@@ -15,63 +22,59 @@ namespace gllm::server {
 
 namespace {
 
-/// Read from `fd` until the full HTTP request (headers + Content-Length body)
-/// has arrived. Returns false on EOF/error before a complete request.
-bool read_http_request(int fd, std::string& raw, std::size_t& header_end,
-                       std::size_t& content_length) {
-  raw.clear();
-  char buf[4096];
-  header_end = std::string::npos;
-  content_length = 0;
-  for (;;) {
-    if (header_end == std::string::npos) {
-      header_end = raw.find("\r\n\r\n");
-      if (header_end != std::string::npos) {
-        // Parse Content-Length (case-insensitive key).
-        std::string lower = raw.substr(0, header_end);
-        for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-        const auto pos = lower.find("content-length:");
-        if (pos != std::string::npos) {
-          content_length = std::strtoull(lower.c_str() + pos + 15, nullptr, 10);
-        }
-        if (content_length > (1u << 20)) return false;  // refuse >1 MiB bodies
-      }
-    }
-    if (header_end != std::string::npos &&
-        raw.size() >= header_end + 4 + content_length) {
-      return true;
-    }
-    // net::recv_some retries EINTR, so an interrupted syscall is not
-    // mistaken for a peer close.
-    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
-    if (n <= 0) return false;
-    raw.append(buf, static_cast<std::size_t>(n));
-    if (raw.size() > (2u << 20)) return false;
-  }
-}
+constexpr std::uint64_t kListenKey = 0;
 
-bool send_all(int fd, const std::string& data) {
-  return net::send_all(fd, data.data(), data.size());
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 std::string status_text(int status) {
   switch (status) {
-    case 200:
-      return "OK";
-    case 400:
-      return "Bad Request";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    case 503:
-      return "Service Unavailable";
-    default:
-      return "Internal Server Error";
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Internal Server Error";
   }
 }
 
+void inc(obs::Counter* c, std::int64_t n = 1) {
+  if (c != nullptr) c->inc(n);
+}
+
+std::string sse_token_event(std::int64_t id, nn::TokenId token) {
+  return "data: {\"id\":" + std::to_string(id) + ",\"token\":" + std::to_string(token) +
+         "}\n\n";
+}
+
+std::string sse_terminal_event(std::int64_t id, std::size_t tokens,
+                               runtime::StreamError error) {
+  std::string out = "data: {\"id\":" + std::to_string(id) + ",\"done\":true";
+  if (error == runtime::StreamError::kNone) {
+    out += ",\"tokens\":" + std::to_string(tokens) + ",\"finish_reason\":\"length\"";
+  } else {
+    out += std::string(",\"error\":\"") + runtime::to_string(error) + "\"";
+  }
+  out += "}\n\ndata: [DONE]\n\n";
+  return out;
+}
+
+constexpr const char* kSseHead =
+    "HTTP/1.1 200 OK\r\n"
+    "Content-Type: text/event-stream\r\n"
+    "Cache-Control: no-cache\r\n"
+    "Connection: close\r\n\r\n";
+
 }  // namespace
+
+// --- JSON field helpers ------------------------------------------------------
 
 bool json_int_field(const std::string& json, const std::string& key, std::int64_t& out) {
   const std::string needle = "\"" + key + "\"";
@@ -111,87 +114,177 @@ bool json_int_array_field(const std::string& json, const std::string& key,
   }
 }
 
+bool json_bool_field(const std::string& json, const std::string& key, bool& out) {
+  const std::string needle = "\"" + key + "\"";
+  auto pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = json.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < json.size() && std::isspace(static_cast<unsigned char>(json[pos]))) ++pos;
+  if (json.compare(pos, 4, "true") == 0) {
+    out = true;
+    return true;
+  }
+  if (json.compare(pos, 5, "false") == 0) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+// --- shared stream/fan-out state --------------------------------------------
+
+/// Per-request bridge between the pipeline driver (producer of StreamEvents)
+/// and whichever loop owns the client connection (consumer). The driver
+/// NEVER blocks here: a full queue flips `overflow`, which the consumer
+/// answers with the slow-client disconnect policy. `abandoned` flips when
+/// the connection dies first; subsequent events are dropped on the floor.
+struct HttpServer::StreamState {
+  explicit StreamState(std::size_t capacity, bool sse) : cap(capacity), streaming(sse) {}
+
+  std::mutex mu;
+  std::condition_variable cv;                // serial-mode consumer waits here
+  std::deque<runtime::StreamEvent> q;        // streaming token events
+  std::vector<nn::TokenId> tokens;           // non-streaming accumulation
+  runtime::StreamError error = runtime::StreamError::kNone;
+  std::size_t cap;
+  bool streaming;
+  bool done = false;
+  bool overflow = false;
+  std::atomic<bool> abandoned{false};
+
+  // Epoll-mode wake route (set before submit, immutable afterwards).
+  std::shared_ptr<WakeHub> hub;
+  std::uint64_t conn_key = 0;
+};
+
+struct HttpServer::WakeHub {
+  std::mutex mu;
+  EventLoop* loop = nullptr;  ///< nulled at shutdown under mu
+  std::vector<std::uint64_t> ready;
+
+  void notify(std::uint64_t key) {
+    std::lock_guard lock(mu);
+    if (loop == nullptr) return;
+    ready.push_back(key);
+    loop->wake();
+  }
+  std::vector<std::uint64_t> drain() {
+    std::lock_guard lock(mu);
+    return std::exchange(ready, {});
+  }
+};
+
+/// One epoll-mode connection. Owned by the loop thread.
+struct HttpServer::Conn {
+  int fd = -1;
+  std::uint64_t key = 0;
+  std::string in;        ///< received, not yet parsed
+  std::string out;       ///< rendered, not yet sent
+  std::size_t out_off = 0;
+  bool want_write = false;      ///< EPOLLOUT armed
+  bool reading_paused = false;  ///< EPOLLIN disarmed (pipelined backlog cap)
+  bool close_after_write = false;
+  bool generating = false;
+  bool streaming = false;
+  bool keep_alive = true;
+  std::int64_t req_id = 0;
+  std::size_t streamed_tokens = 0;
+  std::shared_ptr<StreamState> stream;
+  double last_activity = 0.0;
+  double gen_start = 0.0;
+};
+
+// --- construction / lifecycle ------------------------------------------------
+
 HttpServer::HttpServer(runtime::PipelineService& service, int port)
-    : service_(service), requested_port_(port) {}
+    : service_(service) {
+  options_.port = port;
+}
+
+HttpServer::HttpServer(runtime::PipelineService& service, ServerOptions options)
+    : service_(service), options_(options) {}
 
 HttpServer::~HttpServer() { stop(); }
+
+obs::HttpMetrics* HttpServer::http_metrics() const {
+  obs::Observability* obs = service_.options().obs;
+  return obs != nullptr ? &obs->http() : nullptr;
+}
 
 void HttpServer::start() {
   if (running_.load()) return;
 
-  listen_fd_ = net::listen_tcp(requested_port_);
+  listen_fd_ = net::listen_tcp(options_.port);
   port_ = net::local_port(listen_fd_);
-
   running_.store(true);
-  acceptor_ = std::thread([this] { accept_loop(); });
-  GLLM_LOG_INFO("http server listening on 127.0.0.1:" << port_);
+
+  if (options_.loop == ServerOptions::Loop::kEpoll) {
+    net::set_nonblocking(listen_fd_);
+    loop_ = std::make_unique<EventLoop>();
+    hub_ = std::make_shared<WakeHub>();
+    hub_->loop = loop_.get();
+    loop_->add(listen_fd_, EPOLLIN, kListenKey);
+    loop_thread_ = std::thread([this] { event_loop(); });
+    GLLM_LOG_INFO("http server (epoll) listening on 127.0.0.1:" << port_);
+  } else {
+    loop_thread_ = std::thread([this] { accept_loop_serial(); });
+    GLLM_LOG_INFO("http server (serial) listening on 127.0.0.1:" << port_);
+  }
 }
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
-  net::shutdown_fd(listen_fd_);
-  net::close_fd(listen_fd_);
-  if (acceptor_.joinable()) acceptor_.join();
-  std::lock_guard lock(connections_mu_);
-  for (auto& t : connections_) {
-    if (t.joinable()) t.join();
-  }
-  connections_.clear();
-}
-
-void HttpServer::accept_loop() {
-  while (running_.load()) {
-    const int fd = net::accept_conn(listen_fd_);  // EINTR-safe; -1 once closed
-    if (fd < 0) {
-      if (!running_.load()) return;
-      continue;
+  if (options_.loop == ServerOptions::Loop::kEpoll) {
+    loop_->wake();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    // Detach the driver-callback wake route BEFORE the loop dies; callbacks
+    // for still-running generations keep firing into abandoned streams.
+    {
+      std::lock_guard lock(hub_->mu);
+      hub_->loop = nullptr;
     }
-    std::lock_guard lock(connections_mu_);
-    connections_.emplace_back([this, fd] { handle_connection(fd); });
-  }
-}
-
-void HttpServer::handle_connection(int fd) {
-  std::string raw;
-  std::size_t header_end = 0, content_length = 0;
-  if (read_http_request(fd, raw, header_end, content_length)) {
-    // Request line: METHOD SP PATH SP VERSION.
-    const auto line_end = raw.find("\r\n");
-    std::istringstream request_line(raw.substr(0, line_end));
-    std::string method, path, version;
-    request_line >> method >> path >> version;
-    const std::string body = raw.substr(header_end + 4, content_length);
-
-    Response response;
-    try {
-      response = handle_request(method, path, body);
-    } catch (const std::exception& e) {
-      response = Response{500, std::string("{\"error\":\"") + e.what() + "\"}",
-                          "application/json", ""};
+    loop_.reset();
+    hub_.reset();
+  } else {
+    net::shutdown_fd(listen_fd_);
+    net::close_fd(listen_fd_);
+    listen_fd_ = -1;
+    {
+      std::lock_guard lock(serial_mu_);
+      for (int fd : serial_fds_) net::shutdown_fd(fd);
     }
-    std::ostringstream oss;
-    oss << "HTTP/1.1 " << response.status << " " << status_text(response.status) << "\r\n"
-        << "Content-Type: " << response.content_type << "\r\n"
-        << "Content-Length: " << response.body.size() << "\r\n";
-    if (!response.allow.empty()) oss << "Allow: " << response.allow << "\r\n";
-    if (response.retry_after > 0) oss << "Retry-After: " << response.retry_after << "\r\n";
-    oss << "Connection: close\r\n\r\n" << response.body;
-    send_all(fd, oss.str());
+    if (loop_thread_.joinable()) loop_thread_.join();
+    // Join handlers WITHOUT holding serial_mu_: their last act is locking it
+    // to erase their fd, so joining under the lock would deadlock.
+    std::vector<std::thread> handlers;
+    {
+      std::lock_guard lock(serial_mu_);
+      handlers.swap(serial_threads_);
+    }
+    for (auto& t : handlers)
+      if (t.joinable()) t.join();
   }
-  net::close_fd(fd);
 }
 
-HttpServer::Response HttpServer::handle_request(const std::string& method,
-                                                const std::string& path,
-                                                const std::string& body) {
-  // Route by path first so a known path with the wrong method gets a 405
-  // (with an Allow header) instead of a misleading 404.
+// --- request dispatch (shared by both loops) ---------------------------------
+
+HttpServer::Response HttpServer::error_response(ParseError error) const {
+  Response resp;
+  resp.status = http_status(error);
+  resp.body = std::string("{\"error\":\"") + to_string(error) + "\"}";
+  return resp;
+}
+
+HttpServer::Response HttpServer::handle_get(const std::string& method,
+                                            const std::string& path) {
   const bool get_path = path == "/health" || path == "/metrics" || path == "/v1/stats";
   if (get_path && method != "GET")
     return Response{405, "{\"error\":\"method not allowed\"}", "application/json", "GET"};
   if (path == "/v1/completions" && method != "POST")
     return Response{405, "{\"error\":\"method not allowed\"}", "application/json", "POST"};
-  if (!get_path && path != "/v1/completions")
+  if (!get_path)
     return Response{404, "{\"error\":\"unknown endpoint\"}", "application/json", ""};
 
   if (path == "/health") {
@@ -200,43 +293,50 @@ HttpServer::Response HttpServer::handle_request(const std::string& method,
                     std::string("{\"status\":\"") +
                         (health == runtime::ServiceHealth::kServing ? "ok" : "degraded") +
                         "\",\"health\":\"" + runtime::to_string(health) +
-                        "\",\"model\":\"" + service_.options().model.name + "\"}",
+                        "\",\"model\":\"" + service_.options().model.name +
+                        "\",\"queue_depth\":" + std::to_string(service_.queue_depth()) +
+                        "}",
                     "application/json", ""};
   }
-  if (path == "/metrics" || path == "/v1/stats") {
-    obs::Observability* obs = service_.options().obs;
-    if (obs == nullptr)
-      return Response{503, "{\"error\":\"observability disabled\"}", "application/json", ""};
-    if (path == "/metrics")
-      return Response{200, obs->metrics().render_prometheus(),
-                      "text/plain; version=0.0.4; charset=utf-8", ""};
-    return Response{200,
-                    "{\"model\":\"" + service_.options().model.name +
-                        "\",\"metrics\":" + obs->stats_json() + "}",
-                    "application/json", ""};
-  }
-  return handle_completion(body);
+  obs::Observability* obs = service_.options().obs;
+  if (obs == nullptr)
+    return Response{503, "{\"error\":\"observability disabled\"}", "application/json", ""};
+  if (path == "/metrics")
+    return Response{200, obs->metrics().render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8", ""};
+  return Response{200,
+                  "{\"model\":\"" + service_.options().model.name +
+                      "\",\"metrics\":" + obs->stats_json() + "}",
+                  "application/json", ""};
 }
 
-HttpServer::Response HttpServer::handle_completion(const std::string& body) {
+HttpServer::Dispatch HttpServer::handle_completion(const HttpRequest& request,
+                                                   const std::shared_ptr<WakeHub>& hub,
+                                                   std::uint64_t key) {
+  const std::string& body = request.body;
+  Dispatch d;
   std::int64_t id = 0, max_tokens = 0;
   std::vector<std::int64_t> prompt;
   if (!json_int_field(body, "id", id) || !json_int_field(body, "max_tokens", max_tokens) ||
-      !json_int_array_field(body, "prompt", prompt) || prompt.empty() || max_tokens <= 0) {
-    return Response{400, "{\"error\":\"expected {id, prompt:[ints], max_tokens}\"}",
-                    "application/json", ""};
+      !json_int_array_field(body, "prompt", prompt) || prompt.empty() ||
+      max_tokens <= 0) {
+    d.response = Response{400, "{\"error\":\"expected {id, prompt:[ints], max_tokens}\"}",
+                          "application/json", ""};
+    return d;
   }
   const auto& cfg = service_.options().model;
   for (const auto token : prompt) {
     if (token < 0 || token >= cfg.vocab) {
-      return Response{400, "{\"error\":\"prompt token out of vocabulary\"}",
-                      "application/json", ""};
+      d.response = Response{400, "{\"error\":\"prompt token out of vocabulary\"}",
+                            "application/json", ""};
+      return d;
     }
   }
   if (static_cast<std::int64_t>(prompt.size()) + max_tokens >
       service_.options().kv_capacity_tokens) {
-    return Response{400, "{\"error\":\"request exceeds KV capacity\"}", "application/json",
-                    ""};
+    d.response =
+        Response{400, "{\"error\":\"request exceeds KV capacity\"}", "application/json", ""};
+    return d;
   }
 
   // Shed load while the pipeline is being respawned instead of queueing into
@@ -244,59 +344,603 @@ HttpServer::Response HttpServer::handle_completion(const std::string& body) {
   // permanently failed service answers the same way, minus the retry hint.
   const runtime::ServiceHealth health = service_.health();
   if (health != runtime::ServiceHealth::kServing) {
-    Response resp{503,
-                  std::string("{\"error\":\"service ") + runtime::to_string(health) + "\"}",
-                  "application/json", ""};
-    if (health == runtime::ServiceHealth::kRecovering) resp.retry_after = 1;
-    return resp;
+    d.response = Response{503,
+                          std::string("{\"error\":\"service ") +
+                              runtime::to_string(health) + "\"}",
+                          "application/json", ""};
+    if (health == runtime::ServiceHealth::kRecovering)
+      d.response.retry_after = options_.retry_after_s;
+    return d;
   }
 
-  nn::GenRequest request;
-  request.id = id;
-  request.prompt.assign(prompt.begin(), prompt.end());
-  request.max_new_tokens = static_cast<int>(max_tokens);
+  // SLO-aware shedding: a waiting-prefill backlog past the threshold means
+  // admitted requests would already blow their TTFT budget — answer 503 with
+  // a retry hint while the backlog is deep (degraded-mode surface of PR 4).
+  if (options_.shed_depth > 0 && service_.queue_depth() >= options_.shed_depth) {
+    inc(http_metrics() != nullptr ? http_metrics()->shed : nullptr);
+    d.response = Response{503, "{\"error\":\"overloaded, retry later\"}",
+                          "application/json", ""};
+    d.response.retry_after = options_.retry_after_s;
+    return d;
+  }
 
-  // Collect tokens through the streaming callback; resolve on the terminal
-  // event — which either completes the request or carries a StreamError.
-  struct Outcome {
-    std::vector<nn::TokenId> tokens;
-    runtime::StreamError error = runtime::StreamError::kNone;
-  };
-  auto done = std::make_shared<std::promise<Outcome>>();
-  auto resolved = std::make_shared<std::atomic<bool>>(false);
-  auto tokens = std::make_shared<std::vector<nn::TokenId>>();
-  service_.submit(request, [done, resolved, tokens](const runtime::StreamEvent& ev) {
-    if (ev.error != runtime::StreamError::kNone || ev.is_last) {
-      if (!resolved->exchange(true)) done->set_value(Outcome{*tokens, ev.error});
-    } else {
-      tokens->push_back(ev.token);
+  bool stream = false;
+  json_bool_field(body, "stream", stream);
+
+  nn::GenRequest gen;
+  gen.id = id;
+  gen.prompt.assign(prompt.begin(), prompt.end());
+  gen.max_new_tokens = static_cast<int>(max_tokens);
+
+  auto state = std::make_shared<StreamState>(options_.stream_queue_capacity, stream);
+  state->hub = hub;
+  state->conn_key = key;
+
+  // Driver-thread producer: bounded, never blocking. Token fan-out decouples
+  // here — if this queue fills because the client stopped reading, the event
+  // loop disconnects the client; the driver keeps running at full speed.
+  service_.submit(gen, [state](const runtime::StreamEvent& ev) {
+    if (state->abandoned.load(std::memory_order_acquire)) return;
+    {
+      std::lock_guard lock(state->mu);
+      if (state->streaming) {
+        if (ev.is_last || ev.error != runtime::StreamError::kNone ||
+            state->q.size() < state->cap) {
+          state->q.push_back(ev);
+        } else {
+          state->overflow = true;
+        }
+      } else if (ev.error != runtime::StreamError::kNone) {
+        state->error = ev.error;
+      } else if (!ev.is_last) {
+        state->tokens.push_back(ev.token);
+      }
+      if (ev.is_last || ev.error != runtime::StreamError::kNone) state->done = true;
     }
+    state->cv.notify_all();
+    if (state->hub != nullptr) state->hub->notify(state->conn_key);
   });
 
-  auto future = done->get_future();
-  if (future.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
-    return Response{503, "{\"error\":\"generation timed out\"}", "application/json", ""};
+  d.deferred = true;
+  d.streaming = stream;
+  d.req_id = id;
+  d.stream = std::move(state);
+  return d;
+}
+
+HttpServer::Dispatch HttpServer::dispatch_request(const HttpRequest& request,
+                                                  const std::shared_ptr<WakeHub>& hub,
+                                                  std::uint64_t key) {
+  Dispatch d;
+  try {
+    if (request.target == "/v1/completions" && request.method == "POST")
+      return handle_completion(request, hub, key);
+    d.response = handle_get(request.method, request.target);
+  } catch (const std::exception& e) {
+    d.response = Response{500, std::string("{\"error\":\"") + e.what() + "\"}",
+                          "application/json", ""};
   }
-  const Outcome outcome = future.get();
-  if (outcome.error != runtime::StreamError::kNone) {
-    const char* what = runtime::to_string(outcome.error);
-    Response resp{outcome.error == runtime::StreamError::kRejected ? 400 : 503,
+  return d;
+}
+
+HttpServer::Response HttpServer::completion_response(
+    std::int64_t id, const std::vector<nn::TokenId>& tokens,
+    runtime::StreamError error) const {
+  if (error != runtime::StreamError::kNone) {
+    const char* what = runtime::to_string(error);
+    Response resp{error == runtime::StreamError::kRejected ? 400 : 503,
                   std::string("{\"error\":\"request failed: ") + what + "\"}",
                   "application/json", ""};
-    if (outcome.error == runtime::StreamError::kWorkerFailure) resp.retry_after = 1;
+    if (error == runtime::StreamError::kWorkerFailure)
+      resp.retry_after = options_.retry_after_s;
     return resp;
   }
-  const auto& output = outcome.tokens;
-
   std::ostringstream oss;
   oss << "{\"id\":" << id << ",\"tokens\":[";
-  for (std::size_t i = 0; i < output.size(); ++i) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
     if (i) oss << ",";
-    oss << output[i];
+    oss << tokens[i];
   }
   oss << "],\"finish_reason\":\"length\"}";
   return Response{200, oss.str(), "application/json", ""};
 }
+
+std::string HttpServer::render(const Response& response, bool keep_alive) const {
+  std::ostringstream oss;
+  oss << "HTTP/1.1 " << response.status << " " << status_text(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n";
+  if (!response.allow.empty()) oss << "Allow: " << response.allow << "\r\n";
+  if (response.retry_after > 0) oss << "Retry-After: " << response.retry_after << "\r\n";
+  oss << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n\r\n"
+      << response.body;
+  return oss.str();
+}
+
+// --- epoll event loop --------------------------------------------------------
+
+void HttpServer::event_loop() {
+  std::vector<EventLoop::Event> events;
+  while (running_.load()) {
+    loop_->wait(events, 100);
+    const double now = mono_seconds();
+    for (const auto& ev : events) {
+      if (ev.key == kListenKey) {
+        accept_ready(now);
+      } else {
+        conn_event(ev.key, ev.events, now);
+      }
+    }
+    // Token fan-out: drain every stream the driver flagged since last pass.
+    for (const std::uint64_t key : hub_->drain()) {
+      auto it = conns_.find(key);
+      if (it == conns_.end()) continue;
+      drain_stream(*it->second, now);
+      // The generation may just have finished with a pipelined successor
+      // already buffered; parse it now.
+      it = conns_.find(key);
+      if (it != conns_.end() && !it->second->generating && !it->second->in.empty())
+        process_input(*it->second, now);
+    }
+    sweep_timeouts(now);
+  }
+  // Shutdown: abandon in-flight streams, close everything.
+  for (auto& [key, conn] : conns_) {
+    if (conn->stream) conn->stream->abandoned.store(true, std::memory_order_release);
+    loop_->del(conn->fd);
+    net::close_fd(conn->fd);
+    inc(http_metrics() != nullptr ? http_metrics()->conns_closed : nullptr);
+  }
+  if (http_metrics() != nullptr) http_metrics()->conns_active->set(0.0);
+  conns_.clear();
+  loop_->del(listen_fd_);
+  net::close_fd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::accept_ready(double now) {
+  obs::HttpMetrics* m = http_metrics();
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or listener gone
+    }
+    if (static_cast<int>(conns_.size()) >= options_.max_conns) {
+      // Over the accept cap: refuse outright. A best-effort 503 would need a
+      // writable socket we are not willing to babysit; closing sheds fastest.
+      net::close_fd(fd);
+      if (m != nullptr) {
+        m->conns_accepted->inc();
+        m->conns_closed->inc();
+        m->shed->inc();
+      }
+      continue;
+    }
+    net::set_nonblocking(fd);
+    if (options_.sndbuf_bytes > 0)
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    const std::uint64_t key = next_key_++;
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->key = key;
+    conn->last_activity = now;
+    loop_->add(fd, EPOLLIN, key);
+    conns_.emplace(key, std::move(conn));
+    if (m != nullptr) {
+      m->conns_accepted->inc();
+      m->conns_active->add(1.0);
+    }
+  }
+}
+
+void HttpServer::conn_event(std::uint64_t key, std::uint32_t events, double now) {
+  const auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    close_conn(key);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flush(conn);
+    if (conns_.find(key) == conns_.end()) return;  // flush may close
+  }
+  if ((events & (EPOLLIN | EPOLLHUP)) != 0) {
+    char buf[16384];
+    bool peer_closed = false;
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        inc(http_metrics() != nullptr ? http_metrics()->bytes_in : nullptr, n);
+        conn.last_activity = now;
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained
+    }
+    process_input(conn, now);
+    if (conns_.find(key) == conns_.end()) return;
+    if (peer_closed) {
+      // Peer half-closed. If a generation is still producing output we keep
+      // writing (client may legitimately shutdown(WR)); otherwise close.
+      if (!conn.generating && conn.out.size() == conn.out_off) close_conn(key);
+      else if (!conn.generating) conn.close_after_write = true;
+    }
+  }
+}
+
+void HttpServer::process_input(Conn& conn, double now) {
+  const std::uint64_t key = conn.key;
+  obs::HttpMetrics* m = http_metrics();
+  // One request at a time per connection: while a generation is in flight,
+  // pipelined successors wait unparsed in `in` (bounded below).
+  while (!conn.generating && !conn.close_after_write) {
+    if (conn.in.empty()) break;
+    HttpRequest request;
+    std::size_t consumed = 0;
+    ParseError error = ParseError::kNone;
+    const ParseStatus status =
+        parse_http_request(conn.in, options_.limits, request, consumed, error);
+    if (status == ParseStatus::kNeedMore) break;
+    if (status == ParseStatus::kError) {
+      if (m != nullptr) m->parse_errors->inc();
+      conn.keep_alive = false;
+      conn.close_after_write = true;
+      conn.in.clear();
+      queue_bytes(conn, render(error_response(error), false));
+      if (m != nullptr) m->responses->inc();
+      break;
+    }
+    conn.in.erase(0, consumed);
+    if (m != nullptr) m->requests->inc();
+    conn.keep_alive = request.keep_alive;
+
+    Dispatch d = dispatch_request(request, hub_, conn.key);
+    if (!d.deferred) {
+      queue_bytes(conn, render(d.response, conn.keep_alive));
+      if (m != nullptr) m->responses->inc();
+      if (!conn.keep_alive) conn.close_after_write = true;
+      continue;
+    }
+    conn.generating = true;
+    conn.streaming = d.streaming;
+    conn.req_id = d.req_id;
+    conn.streamed_tokens = 0;
+    conn.stream = std::move(d.stream);
+    conn.gen_start = now;
+    if (conn.streaming) queue_bytes(conn, kSseHead);
+    // Events may already be queued (synchronous rejection): drain now. The
+    // conn may die inside (slow-client policy), so re-check before touching
+    // it again — the loop condition re-evaluates `generating`, which flips
+    // back to false if the rejection already terminated the request.
+    drain_stream(conn, now);
+    if (conns_.find(key) == conns_.end()) return;
+  }
+  if (conns_.find(key) == conns_.end()) return;
+
+  // Backlog cap while generating: stop reading once a full pipelined request
+  // budget is buffered; re-armed when the generation finishes.
+  const std::size_t backlog_cap =
+      options_.limits.max_header_bytes + options_.limits.max_body_bytes;
+  const bool should_pause = conn.generating && conn.in.size() > backlog_cap;
+  if (should_pause != conn.reading_paused) {
+    conn.reading_paused = should_pause;
+    update_interest(conn);
+  }
+  flush(conn);
+}
+
+void HttpServer::drain_stream(Conn& conn, double now) {
+  if (!conn.generating || !conn.stream) return;
+  obs::HttpMetrics* m = http_metrics();
+  auto state = conn.stream;
+
+  std::deque<runtime::StreamEvent> events;
+  bool done = false, overflow = false;
+  runtime::StreamError error = runtime::StreamError::kNone;
+  std::vector<nn::TokenId> tokens;
+  {
+    std::lock_guard lock(state->mu);
+    events.swap(state->q);
+    done = state->done;
+    overflow = state->overflow;
+    error = state->error;
+    if (done && !state->streaming) tokens = state->tokens;
+  }
+
+  if (conn.streaming) {
+    if (overflow) {
+      // Slow-client policy: the per-stream queue filled because this client
+      // is not reading. Disconnecting it keeps one stalled consumer from
+      // delaying every other stream's tokens.
+      close_conn(conn.key, false, true);
+      return;
+    }
+    std::string out;
+    bool finished = false;
+    for (const auto& ev : events) {
+      if (ev.error != runtime::StreamError::kNone || ev.is_last) {
+        out += sse_terminal_event(conn.req_id, conn.streamed_tokens, ev.error);
+        finished = true;
+        break;
+      }
+      out += sse_token_event(conn.req_id, ev.token);
+      ++conn.streamed_tokens;
+      if (m != nullptr) m->stream_events->inc();
+    }
+    if (!out.empty()) {
+      queue_bytes(conn, std::move(out));
+      conn.last_activity = now;
+    }
+    if (finished) {
+      state->abandoned.store(true, std::memory_order_release);
+      conn.stream.reset();
+      conn.generating = false;
+      conn.close_after_write = true;  // SSE responses delimit by close
+      if (m != nullptr) m->responses->inc();
+    }
+    // Backpressure guard: output the kernel will not take and the client
+    // will not drain marks the client slow.
+    if (conn.out.size() - conn.out_off > options_.max_write_buffer) {
+      close_conn(conn.key, false, true);
+      return;
+    }
+    flush(conn);
+    return;
+  }
+
+  if (!done) return;
+  state->abandoned.store(true, std::memory_order_release);
+  conn.stream.reset();
+  conn.generating = false;
+  queue_bytes(conn, render(completion_response(conn.req_id, tokens, error),
+                           conn.keep_alive));
+  if (m != nullptr) m->responses->inc();
+  if (!conn.keep_alive) conn.close_after_write = true;
+  if (conn.reading_paused) {
+    conn.reading_paused = false;
+    update_interest(conn);
+  }
+  flush(conn);
+  // A pipelined successor may already be buffered; the caller (event loop /
+  // process_input's own dispatch loop) picks it up — no recursion here.
+}
+
+void HttpServer::queue_bytes(Conn& conn, std::string bytes) {
+  if (conn.out.empty()) {
+    conn.out = std::move(bytes);
+    conn.out_off = 0;
+  } else {
+    conn.out += bytes;
+  }
+}
+
+void HttpServer::flush(Conn& conn) {
+  obs::HttpMetrics* m = http_metrics();
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = net::send_some(conn.fd, conn.out.data() + conn.out_off,
+                                     conn.out.size() - conn.out_off);
+    if (n >= 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      if (m != nullptr) m->bytes_out->inc(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (m != nullptr) m->backpressure_events->inc();
+      if (conn.out_off > 0) {
+        conn.out.erase(0, conn.out_off);
+        conn.out_off = 0;
+      }
+      if (!conn.want_write) {
+        conn.want_write = true;
+        update_interest(conn);
+      }
+      return;
+    }
+    close_conn(conn.key);
+    return;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    update_interest(conn);
+  }
+  if (conn.close_after_write && !conn.generating) close_conn(conn.key);
+}
+
+void HttpServer::update_interest(Conn& conn) {
+  std::uint32_t events = 0;
+  if (!conn.reading_paused) events |= EPOLLIN;
+  if (conn.want_write) events |= EPOLLOUT;
+  loop_->mod(conn.fd, events, conn.key);
+}
+
+void HttpServer::close_conn(std::uint64_t key, bool timed_out, bool slow) {
+  const auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if (conn.stream) conn.stream->abandoned.store(true, std::memory_order_release);
+  loop_->del(conn.fd);
+  net::close_fd(conn.fd);
+  obs::HttpMetrics* m = http_metrics();
+  if (m != nullptr) {
+    m->conns_closed->inc();
+    m->conns_active->add(-1.0);
+    if (timed_out) m->timeouts->inc();
+    if (slow) m->slow_client_disconnects->inc();
+  }
+  conns_.erase(it);
+}
+
+void HttpServer::sweep_timeouts(double now) {
+  std::vector<std::pair<std::uint64_t, bool>> doomed;  // key, respond_503
+  for (const auto& [key, conn] : conns_) {
+    if (conn->generating) {
+      if (options_.generation_timeout_s > 0.0 &&
+          now - conn->gen_start > options_.generation_timeout_s)
+        doomed.emplace_back(key, !conn->streaming);
+      continue;
+    }
+    if (options_.client_timeout_s > 0.0 &&
+        now - conn->last_activity > options_.client_timeout_s &&
+        conn->out.size() == conn->out_off)
+      doomed.emplace_back(key, false);
+  }
+  for (const auto& [key, respond] : doomed) {
+    const auto it = conns_.find(key);
+    if (it == conns_.end()) continue;
+    if (respond) {
+      Conn& conn = *it->second;
+      if (conn.stream) conn.stream->abandoned.store(true, std::memory_order_release);
+      conn.stream.reset();
+      conn.generating = false;
+      conn.close_after_write = true;
+      queue_bytes(conn, render(Response{503, "{\"error\":\"generation timed out\"}",
+                                        "application/json", ""},
+                               false));
+      inc(http_metrics() != nullptr ? http_metrics()->timeouts : nullptr);
+      flush(conn);
+    } else {
+      close_conn(key, true);
+    }
+  }
+}
+
+// --- serial baseline ---------------------------------------------------------
+
+void HttpServer::accept_loop_serial() {
+  while (running_.load()) {
+    const int fd = net::accept_conn(listen_fd_);  // EINTR-safe; -1 once closed
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    std::lock_guard lock(serial_mu_);
+    if (static_cast<int>(serial_threads_.size()) >= options_.max_conns) {
+      net::close_fd(fd);
+      continue;
+    }
+    serial_fds_.insert(fd);
+    serial_threads_.emplace_back([this, fd] { handle_connection_serial(fd); });
+  }
+}
+
+void HttpServer::handle_connection_serial(int fd) {
+  obs::HttpMetrics* m = http_metrics();
+  if (m != nullptr) {
+    m->conns_accepted->inc();
+    m->conns_active->add(1.0);
+  }
+  std::string in;
+  char buf[8192];
+  HttpRequest request;
+  std::size_t consumed = 0;
+  ParseError error = ParseError::kNone;
+  ParseStatus status = ParseStatus::kNeedMore;
+  // Serial baseline reads exactly one request (Connection: close semantics).
+  for (;;) {
+    status = parse_http_request(in, options_.limits, request, consumed, error);
+    if (status != ParseStatus::kNeedMore) break;
+    if (!net::wait_readable(fd, options_.client_timeout_s)) {
+      if (m != nullptr) m->timeouts->inc();
+      status = ParseStatus::kError;
+      error = ParseError::kBadRequest;
+      break;
+    }
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    in.append(buf, static_cast<std::size_t>(n));
+    if (m != nullptr) m->bytes_in->inc(n);
+  }
+
+  const auto send_str = [&](const std::string& data) {
+    if (net::send_all(fd, data.data(), data.size()) && m != nullptr)
+      m->bytes_out->inc(static_cast<std::int64_t>(data.size()));
+  };
+
+  if (status == ParseStatus::kError) {
+    if (m != nullptr) {
+      m->parse_errors->inc();
+      m->responses->inc();
+    }
+    send_str(render(error_response(error), false));
+  } else if (status == ParseStatus::kComplete) {
+    if (m != nullptr) m->requests->inc();
+    Dispatch d = dispatch_request(request, nullptr, 0);
+    if (!d.deferred) {
+      if (m != nullptr) m->responses->inc();
+      send_str(render(d.response, false));
+    } else {
+      auto state = d.stream;
+      const double wait_s = options_.generation_timeout_s > 0.0
+                                ? options_.generation_timeout_s
+                                : 3600.0;
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::duration<double>(wait_s);
+      if (d.streaming) {
+        send_str(kSseHead);
+        std::size_t streamed = 0;
+        bool finished = false;
+        while (!finished) {
+          std::deque<runtime::StreamEvent> events;
+          {
+            std::unique_lock lock(state->mu);
+            if (!state->cv.wait_until(lock, deadline,
+                                      [&] { return !state->q.empty() || state->done; }))
+              break;
+            events.swap(state->q);
+            if (events.empty() && state->done) finished = true;
+          }
+          for (const auto& ev : events) {
+            if (ev.error != runtime::StreamError::kNone || ev.is_last) {
+              send_str(sse_terminal_event(d.req_id, streamed, ev.error));
+              finished = true;
+              break;
+            }
+            send_str(sse_token_event(d.req_id, ev.token));
+            ++streamed;
+            if (m != nullptr) m->stream_events->inc();
+          }
+        }
+        if (m != nullptr) m->responses->inc();
+      } else {
+        bool done = false;
+        std::vector<nn::TokenId> tokens;
+        runtime::StreamError gen_error = runtime::StreamError::kNone;
+        {
+          std::unique_lock lock(state->mu);
+          done = state->cv.wait_until(lock, deadline, [&] { return state->done; });
+          tokens = state->tokens;
+          gen_error = state->error;
+        }
+        if (m != nullptr) m->responses->inc();
+        send_str(render(done ? completion_response(d.req_id, tokens, gen_error)
+                             : Response{503, "{\"error\":\"generation timed out\"}",
+                                        "application/json", ""},
+                        false));
+      }
+      state->abandoned.store(true, std::memory_order_release);
+    }
+  }
+  net::close_fd(fd);
+  if (m != nullptr) {
+    m->conns_closed->inc();
+    m->conns_active->add(-1.0);
+  }
+  std::lock_guard lock(serial_mu_);
+  serial_fds_.erase(fd);
+}
+
+// --- blocking loopback client ------------------------------------------------
 
 int http_request(int port, const std::string& method, const std::string& path,
                  const std::string& body, std::string& response_body,
@@ -307,7 +951,8 @@ int http_request(int port, const std::string& method, const std::string& path,
   oss << method << " " << path << " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
       << "Content-Length: " << body.size() << "\r\nConnection: close\r\n\r\n"
       << body;
-  if (!send_all(fd, oss.str())) {
+  const std::string raw_request = oss.str();
+  if (!net::send_all(fd, raw_request.data(), raw_request.size())) {
     net::close_fd(fd);
     return -1;
   }

@@ -1,18 +1,71 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "runtime/service.hpp"
+#include "server/event_loop.hpp"
+#include "server/http_parser.hpp"
 
 namespace gllm::server {
 
-/// Minimal HTTP/1.1 frontend over the online serving runtime — the
-/// reproduction of the artifact's `gllm.entrypoints.api_server` ("RESTful API
-/// frontend ... core OpenAI-compatible APIs", paper §3.4), scaled to the
-/// synthetic-token world: prompts are token-id arrays.
+/// Front-door configuration. Defaults suit the tests/examples; production
+/// callers tune the knobs surfaced as gllm_server flags (--max-conns,
+/// --shed-depth, --client-timeout).
+struct ServerOptions {
+  int port = 0;  ///< 0 = ephemeral; read back via HttpServer::port()
+
+  /// Connection-handling loop. kEpoll is the real server: one event-loop
+  /// thread multiplexing every connection with non-blocking sockets. kSerial
+  /// is the pre-event-loop thread-per-connection handler, kept as the
+  /// benchmarking baseline (BENCH_serving.json serial-vs-epoll) — it honours
+  /// the same parser limits but closes after every response.
+  enum class Loop { kEpoll, kSerial };
+  Loop loop = Loop::kEpoll;
+
+  int max_conns = 1024;  ///< accept cap; connections beyond it are refused
+
+  /// SLO-aware admission shedding: when the service's waiting-prefill queue
+  /// depth reaches this, POST /v1/completions answers 503 + Retry-After
+  /// instead of queueing into a backlog that already blows the SLO. 0 = off.
+  std::size_t shed_depth = 256;
+  int retry_after_s = 1;  ///< Retry-After hint on shed/degraded 503s
+
+  /// Idle/read timeout: a connection that is neither mid-generation nor
+  /// sending bytes for this long is closed.
+  double client_timeout_s = 60.0;
+  /// Cap on one generation (submit -> terminal event) before the connection
+  /// is answered 503 (non-streaming) or closed (streaming). 0 = unbounded.
+  double generation_timeout_s = 120.0;
+
+  HttpLimits limits;  ///< parser byte budgets (431/413 on violation)
+
+  /// Streaming fan-out decoupling: tokens for one SSE stream queue here
+  /// between the driver thread and the event loop. A full queue marks the
+  /// client slow; the disconnect policy below kills it.
+  std::size_t stream_queue_capacity = 1024;
+  /// Slow-client disconnect threshold: an SSE stream whose unsent output
+  /// exceeds this (kernel buffer full and the backlog still growing) is
+  /// disconnected rather than allowed to wedge the pipeline's fan-out.
+  std::size_t max_write_buffer = 1 << 20;
+
+  /// SO_SNDBUF for accepted sockets (0 = kernel default). Shrinking it makes
+  /// write-backpressure (and the slow-client policy above) trigger early —
+  /// used by the stalled-client tests; rarely useful in production.
+  int sndbuf_bytes = 0;
+};
+
+/// HTTP/1.1 frontend over the online serving runtime — the reproduction of
+/// the artifact's `gllm.entrypoints.api_server` ("RESTful API frontend ...
+/// core OpenAI-compatible APIs", paper §3.4), scaled to the synthetic-token
+/// world: prompts are token-id arrays.
 ///
 /// Endpoints:
 ///   GET  /health            -> {"status":"ok","health":"serving"|..,"model":...}
@@ -21,24 +74,34 @@ namespace gllm::server {
 ///                              RuntimeOptions carry an Observability)
 ///   GET  /v1/stats          -> JSON snapshot of the same registry
 ///   POST /v1/completions    -> {"id":..,"tokens":[..],"finish_reason":"length"}
-///        body: {"id": <int>, "prompt": [<int>, ...], "max_tokens": <int>}
+///        body: {"id": <int>, "prompt": [<int>, ...], "max_tokens": <int>,
+///               "stream": true|false (default false)}
+///        With "stream": true the response is Server-Sent Events: one
+///        `data: {"id":..,"token":..}` event per sampled token, a terminal
+///        `data: {"id":..,"done":true,...}` event, then `data: [DONE]`.
 ///
 /// A wrong method on a known path yields 405 with an Allow header (RFC 9110);
-/// unknown paths yield 404.
+/// unknown paths yield 404; over-limit requests 431 (headers) / 413 (body).
 ///
-/// One thread per connection (Connection: close); requests block until the
-/// runtime finishes generating.
+/// Concurrency model (Loop::kEpoll): a single event-loop thread multiplexes
+/// every connection — non-blocking accept, incremental bounded parsing,
+/// write-backpressure via EPOLLOUT, keep-alive with pipelining. Generation
+/// never blocks the loop: the pipeline driver pushes StreamEvents into a
+/// per-stream bounded queue and wakes the loop over a self-pipe; a client
+/// that stops reading (kernel buffer full, queue overflowing) is disconnected
+/// by the slow-client policy instead of stalling the driver's token fan-out.
 ///
 /// Fault surfacing: while the service is recovering a dead pipeline,
-/// completions answer 503 with a Retry-After header instead of queueing into
-/// an unknown-length outage; a request terminated by a StreamError maps to an
-/// explicit status (400 rejected, 503 shutdown/worker failure) — no client
-/// ever hangs on a vanished request.
+/// completions answer 503 with a Retry-After header; a request terminated by
+/// a StreamError maps to an explicit status (400 rejected, 503 shutdown /
+/// worker failure) — no client ever hangs on a vanished request. When the
+/// waiting-prefill queue exceeds ServerOptions::shed_depth, completions are
+/// shed with 503 + Retry-After before touching the pipeline.
 class HttpServer {
  public:
   /// `service` must outlive the server and be start()ed by the caller.
-  /// port 0 binds an ephemeral port (see port() after start()).
   HttpServer(runtime::PipelineService& service, int port = 0);
+  HttpServer(runtime::PipelineService& service, ServerOptions options);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -48,30 +111,80 @@ class HttpServer {
   void stop();
   int port() const { return port_; }
   bool running() const { return running_.load(); }
+  const ServerOptions& options() const { return options_; }
 
  private:
   struct Response {
     int status = 500;
     std::string body;
     std::string content_type = "application/json";
-    std::string allow;       ///< Allow header value, set on 405 responses
-    int retry_after = 0;     ///< Retry-After seconds, set on degraded 503s
+    std::string allow;    ///< Allow header value, set on 405 responses
+    int retry_after = 0;  ///< Retry-After seconds, set on degraded/shed 503s
   };
 
-  void accept_loop();
-  void handle_connection(int fd);
-  Response handle_request(const std::string& method, const std::string& path,
-                          const std::string& body);
-  Response handle_completion(const std::string& body);
+  /// Shared between the event loop and the driver-thread token callbacks:
+  /// the per-stream bounded queue of the fan-out decoupling.
+  struct StreamState;
+  /// Thread-safe wake channel from driver callbacks into the event loop;
+  /// outlives the loop pointer it guards so late callbacks are safe no-ops.
+  struct WakeHub;
+  struct Conn;
+
+  /// Outcome of dispatching one parsed request: an immediate response, or a
+  /// deferred generation whose StreamState the connection now owns.
+  struct Dispatch {
+    Response response;
+    bool deferred = false;
+    bool streaming = false;
+    std::int64_t req_id = 0;
+    std::shared_ptr<StreamState> stream;
+  };
+
+  Dispatch dispatch_request(const HttpRequest& request,
+                            const std::shared_ptr<WakeHub>& hub, std::uint64_t key);
+  Response handle_get(const std::string& method, const std::string& path);
+  Dispatch handle_completion(const HttpRequest& request,
+                             const std::shared_ptr<WakeHub>& hub, std::uint64_t key);
+  Response error_response(ParseError error) const;
+  Response completion_response(std::int64_t id, const std::vector<nn::TokenId>& tokens,
+                               runtime::StreamError error) const;
+  std::string render(const Response& response, bool keep_alive) const;
+
+  // --- epoll mode ------------------------------------------------------------
+  void event_loop();
+  void accept_ready(double now);
+  void conn_event(std::uint64_t key, std::uint32_t events, double now);
+  void process_input(Conn& conn, double now);
+  void drain_stream(Conn& conn, double now);
+  void queue_bytes(Conn& conn, std::string bytes);
+  void flush(Conn& conn);
+  void update_interest(Conn& conn);
+  void close_conn(std::uint64_t key, bool timed_out = false, bool slow = false);
+  void sweep_timeouts(double now);
+
+  // --- serial baseline -------------------------------------------------------
+  void accept_loop_serial();
+  void handle_connection_serial(int fd);
+
+  obs::HttpMetrics* http_metrics() const;
 
   runtime::PipelineService& service_;
-  int requested_port_;
+  ServerOptions options_;
   int port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
-  std::thread acceptor_;
-  std::vector<std::thread> connections_;
-  std::mutex connections_mu_;
+  std::thread loop_thread_;
+
+  // Epoll-mode state (loop thread only, except hub_).
+  std::unique_ptr<EventLoop> loop_;
+  std::shared_ptr<WakeHub> hub_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_key_ = 1;
+
+  // Serial-mode state.
+  std::vector<std::thread> serial_threads_;
+  std::unordered_set<int> serial_fds_;
+  std::mutex serial_mu_;
 };
 
 /// Blocking HTTP client for tests and examples: one request per call over a
@@ -89,5 +202,7 @@ bool json_int_field(const std::string& json, const std::string& key, std::int64_
 /// Extract an integer-array field ("key": [1, 2, 3]).
 bool json_int_array_field(const std::string& json, const std::string& key,
                           std::vector<std::int64_t>& out);
+/// Extract a boolean field ("key": true/false).
+bool json_bool_field(const std::string& json, const std::string& key, bool& out);
 
 }  // namespace gllm::server

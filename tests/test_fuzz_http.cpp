@@ -1,0 +1,220 @@
+// Seed-driven fuzz battery for the incremental HTTP parser: mutate valid
+// requests (truncate, splice, bit-flip, duplicate, oversize) and assert the
+// parser never crashes, never over-reads (ASan/UBSan job), and always lands
+// in reject-or-roundtrip: kComplete prefixes re-parse to the identical
+// request, kError carries a mapped status, kNeedMore only on genuine
+// prefixes. Iteration count scales with GLLM_FUZZ_ITERS (default 10k for CI;
+// run with GLLM_FUZZ_ITERS=100000 locally).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "server/http_parser.hpp"
+#include "util/rng.hpp"
+
+namespace gllm::server {
+namespace {
+
+std::size_t fuzz_iters(std::size_t def = 10000) {
+  const char* env = std::getenv("GLLM_FUZZ_ITERS");
+  if (env == nullptr) return def;
+  const long long v = std::atoll(env);
+  return v > 0 ? static_cast<std::size_t>(v) : def;
+}
+
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> kCorpus = {
+      "GET /health HTTP/1.1\r\nHost: x\r\n\r\n",
+      "GET /metrics HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+      "POST /v1/completions HTTP/1.1\r\nHost: a\r\nContent-Length: 33\r\n\r\n"
+      "{\"id\":1,\"prompt\":[1],\"max_tokens\":2}",
+      "POST /v1/completions HTTP/1.1\r\nContent-Length: 0\r\n"
+      "X-A: 1\r\nX-B: 2\r\nX-C: 3\r\n\r\n",
+      "DELETE /thing?q=1&r=2 HTTP/1.1\r\nAccept: */*\r\nUser-Agent: fuzz\r\n\r\n",
+  };
+  return kCorpus;
+}
+
+/// One seed-driven mutation. Kinds mirror the classic byte-fuzz set.
+std::string mutate(std::string s, util::Rng& rng) {
+  if (s.empty()) return s;
+  switch (rng.uniform_int(0, 5)) {
+    case 0: {  // truncate
+      s.resize(static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(s.size()))));
+      break;
+    }
+    case 1: {  // bit flip
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+      s[i] = static_cast<char>(s[i] ^ (1 << rng.uniform_int(0, 7)));
+      break;
+    }
+    case 2: {  // splice two random halves
+      const auto& other = corpus()[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(corpus().size()) - 1))];
+      const auto cut_a = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size())));
+      const auto cut_b = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(other.size())));
+      s = s.substr(0, cut_a) + other.substr(cut_b);
+      break;
+    }
+    case 3: {  // duplicate a random slice in place
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+      const auto len = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(s.size() - i)));
+      s.insert(i, s.substr(i, len));
+      break;
+    }
+    case 4: {  // oversize: inject a long run of one byte
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size())));
+      s.insert(i, static_cast<std::size_t>(rng.uniform_int(1, 4096)),
+               static_cast<char>(rng.uniform_int(0, 255)));
+      break;
+    }
+    default: {  // random byte overwrite
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+      s[i] = static_cast<char>(rng.uniform_int(0, 255));
+      break;
+    }
+  }
+  return s;
+}
+
+TEST(FuzzHttp, MutatedRequestsNeverCrashAndRejectOrRoundtrip) {
+  util::Rng rng(0xF022ED);
+  const HttpLimits limits;  // defaults: 8 KiB headers, 1 MiB body
+  const std::size_t iters = fuzz_iters();
+  std::size_t complete = 0, error = 0, need_more = 0;
+  for (std::size_t it = 0; it < iters; ++it) {
+    std::string input = corpus()[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(corpus().size()) - 1))];
+    const int rounds = static_cast<int>(rng.uniform_int(1, 4));
+    for (int r = 0; r < rounds; ++r) input = mutate(std::move(input), rng);
+
+    HttpRequest req;
+    std::size_t consumed = 0;
+    ParseError perr = ParseError::kNone;
+    const ParseStatus status = parse_http_request(input, limits, req, consumed, perr);
+
+    switch (status) {
+      case ParseStatus::kComplete: {
+        ++complete;
+        ASSERT_LE(consumed, input.size()) << "iter " << it;
+        ASSERT_GT(consumed, 0u) << "iter " << it;
+        // Roundtrip: the consumed prefix alone re-parses to the same request.
+        HttpRequest again;
+        std::size_t consumed2 = 0;
+        ParseError perr2 = ParseError::kNone;
+        ASSERT_EQ(parse_http_request(std::string_view(input).substr(0, consumed),
+                                     limits, again, consumed2, perr2),
+                  ParseStatus::kComplete)
+            << "iter " << it;
+        ASSERT_EQ(consumed2, consumed) << "iter " << it;
+        ASSERT_EQ(again.method, req.method) << "iter " << it;
+        ASSERT_EQ(again.target, req.target) << "iter " << it;
+        ASSERT_EQ(again.headers, req.headers) << "iter " << it;
+        ASSERT_EQ(again.body, req.body) << "iter " << it;
+        break;
+      }
+      case ParseStatus::kError: {
+        ++error;
+        ASSERT_NE(perr, ParseError::kNone) << "iter " << it;
+        const int http = http_status(perr);
+        ASSERT_TRUE(http == 400 || http == 413 || http == 431 || http == 501 ||
+                    http == 505)
+            << "iter " << it << " status " << http;
+        break;
+      }
+      case ParseStatus::kNeedMore: {
+        ++need_more;
+        // A kNeedMore prefix must still be kNeedMore after appending one more
+        // arbitrary byte OR resolve; it must never have been an already-
+        // complete request (monotonicity spot-check on a subsample).
+        if (it % 64 == 0 && !input.empty()) {
+          HttpRequest r2;
+          std::size_t c2 = 0;
+          ParseError e2 = ParseError::kNone;
+          ASSERT_EQ(parse_http_request(
+                        std::string_view(input).substr(0, input.size() - 1), limits,
+                        r2, c2, e2),
+                    ParseStatus::kNeedMore)
+              << "iter " << it;
+        }
+        break;
+      }
+    }
+  }
+  // The mutation engine must actually exercise all three outcomes.
+  EXPECT_GT(complete, 0u);
+  EXPECT_GT(error, 0u);
+  EXPECT_GT(need_more, 0u);
+}
+
+TEST(FuzzHttp, MutatedInputsAreChunkingInvariant) {
+  util::Rng rng(0xC4A0F);
+  const HttpLimits limits;
+  const std::size_t iters = fuzz_iters() / 4;
+  for (std::size_t it = 0; it < iters; ++it) {
+    std::string input = corpus()[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(corpus().size()) - 1))];
+    input = mutate(std::move(input), rng);
+
+    HttpRequest whole_req;
+    std::size_t whole_consumed = 0;
+    ParseError whole_err = ParseError::kNone;
+    const ParseStatus whole =
+        parse_http_request(input, limits, whole_req, whole_consumed, whole_err);
+
+    // Re-parse the accumulated prefix after each random-size chunk; the first
+    // non-kNeedMore outcome must equal the all-at-once outcome.
+    std::string buffer;
+    std::size_t pos = 0;
+    ParseStatus got = ParseStatus::kNeedMore;
+    HttpRequest got_req;
+    std::size_t got_consumed = 0;
+    ParseError got_err = ParseError::kNone;
+    while (pos < input.size() && got == ParseStatus::kNeedMore) {
+      const auto take = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(input.size() - pos)));
+      buffer.append(input, pos, take);
+      pos += take;
+      got = parse_http_request(buffer, limits, got_req, got_consumed, got_err);
+    }
+    ASSERT_EQ(got, whole) << "iter " << it;
+    if (whole == ParseStatus::kComplete) {
+      ASSERT_EQ(got_consumed, whole_consumed) << "iter " << it;
+      ASSERT_EQ(got_req.body, whole_req.body) << "iter " << it;
+      ASSERT_EQ(got_req.headers, whole_req.headers) << "iter " << it;
+    } else if (whole == ParseStatus::kError) {
+      ASSERT_EQ(got_err, whole_err) << "iter " << it;
+    }
+  }
+}
+
+TEST(FuzzHttp, PureGarbageNeverCrashes) {
+  util::Rng rng(0xBADF00D);
+  const HttpLimits limits;
+  const std::size_t iters = fuzz_iters() / 4;
+  for (std::size_t it = 0; it < iters; ++it) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 2048));
+    std::string input(len, '\0');
+    for (auto& c : input) c = static_cast<char>(rng.uniform_int(0, 255));
+    HttpRequest req;
+    std::size_t consumed = 0;
+    ParseError perr = ParseError::kNone;
+    const ParseStatus status = parse_http_request(input, limits, req, consumed, perr);
+    if (status == ParseStatus::kComplete) {
+      ASSERT_LE(consumed, input.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gllm::server

@@ -1,0 +1,254 @@
+// Seed-driven fuzz battery for the gllm::net wire layer: CRC-framed frames
+// (decode_frame) and the bounded WireReader message codecs. Valid frames are
+// mutated (truncate, splice, bit-flip, duplicate, oversize the length field)
+// and decoded; the invariants are no crash / no over-read (ASan/UBSan job)
+// and strict reject-or-roundtrip: an unmutated frame decodes to its exact
+// payload, a mutated one either still decodes (mutation hit dead bytes) or
+// rejects with a precise status — never garbage output. GLLM_FUZZ_ITERS
+// scales iterations (default 10k; 100k+ locally).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace gllm::net {
+namespace {
+
+std::size_t fuzz_iters(std::size_t def = 10000) {
+  const char* env = std::getenv("GLLM_FUZZ_ITERS");
+  if (env == nullptr) return def;
+  const long long v = std::atoll(env);
+  return v > 0 ? static_cast<std::size_t>(v) : def;
+}
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes random_payload(util::Rng& rng, std::size_t max_len) {
+  Bytes p(static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return p;
+}
+
+MsgType random_type(util::Rng& rng) {
+  static const MsgType kTypes[] = {
+      MsgType::kHello,        MsgType::kHelloAck,  MsgType::kReady,
+      MsgType::kHeartbeat,    MsgType::kShutdown,  MsgType::kStepMetadata,
+      MsgType::kActivations,  MsgType::kSampleResult, MsgType::kStreamEvent,
+  };
+  return kTypes[rng.uniform_int(0, 8)];
+}
+
+Bytes mutate(Bytes b, util::Rng& rng) {
+  if (b.empty()) return b;
+  switch (rng.uniform_int(0, 5)) {
+    case 0: {  // truncate
+      b.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(b.size()))));
+      break;
+    }
+    case 1: {  // bit flip
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1));
+      b[i] = static_cast<std::uint8_t>(b[i] ^ (1u << rng.uniform_int(0, 7)));
+      break;
+    }
+    case 2: {  // duplicate a slice
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1));
+      const auto len = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(b.size() - i)));
+      b.insert(b.begin() + static_cast<std::ptrdiff_t>(i),
+               b.begin() + static_cast<std::ptrdiff_t>(i),
+               b.begin() + static_cast<std::ptrdiff_t>(i + len));
+      break;
+    }
+    case 3: {  // splice: swap tail with a reversed copy of the head
+      const auto cut = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(b.size())));
+      Bytes head(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(cut));
+      Bytes out(b.rbegin(), b.rbegin() + static_cast<std::ptrdiff_t>(b.size() - cut));
+      out.insert(out.end(), head.begin(), head.end());
+      b = std::move(out);
+      break;
+    }
+    case 4: {  // oversize the length field (bytes 8..11 of the header)
+      if (b.size() >= kFrameHeaderBytes) {
+        const std::uint32_t huge =
+            kMaxFramePayload + static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 20));
+        std::memcpy(b.data() + 8, &huge, sizeof(huge));
+      } else {
+        b.push_back(0xFF);
+      }
+      break;
+    }
+    default: {  // random byte overwrite
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1));
+      b[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      break;
+    }
+  }
+  return b;
+}
+
+TEST(FuzzWire, UnmutatedFramesRoundtripExactly) {
+  util::Rng rng(0x00F);
+  for (std::size_t it = 0; it < fuzz_iters() / 10; ++it) {
+    const MsgType type = random_type(rng);
+    const Bytes payload = random_payload(rng, 512);
+    const Bytes framed = encode_frame(type, payload);
+    Frame out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(framed, out, consumed), FrameDecodeStatus::kOk);
+    ASSERT_EQ(consumed, framed.size());
+    ASSERT_EQ(out.type, type);
+    ASSERT_EQ(out.payload, payload);
+  }
+}
+
+TEST(FuzzWire, MutatedFramesNeverCrashAndRejectCleanly) {
+  util::Rng rng(0xF4A3E);
+  const std::size_t iters = fuzz_iters();
+  std::size_t ok = 0, rejected = 0, need_more = 0;
+  for (std::size_t it = 0; it < iters; ++it) {
+    Bytes framed = encode_frame(random_type(rng), random_payload(rng, 256));
+    const int rounds = static_cast<int>(rng.uniform_int(1, 3));
+    for (int r = 0; r < rounds; ++r) framed = mutate(std::move(framed), rng);
+
+    Frame out;
+    std::size_t consumed = 0;
+    switch (decode_frame(framed, out, consumed)) {
+      case FrameDecodeStatus::kOk:
+        ++ok;
+        // A decode that claims success must stay inside the buffer and under
+        // the payload cap — the no-over-read/no-wild-allocation contract.
+        ASSERT_LE(consumed, framed.size()) << "iter " << it;
+        ASSERT_LE(out.payload.size(), kMaxFramePayload) << "iter " << it;
+        ASSERT_EQ(consumed, kFrameHeaderBytes + out.payload.size()) << "iter " << it;
+        break;
+      case FrameDecodeStatus::kNeedMore:
+        ++need_more;
+        break;
+      default:
+        ++rejected;
+        break;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(need_more, 0u);
+}
+
+TEST(FuzzWire, OversizedLengthFieldRejectedWithoutAllocation) {
+  util::Rng rng(0x0513E);
+  for (std::size_t it = 0; it < fuzz_iters() / 10; ++it) {
+    Bytes framed = encode_frame(MsgType::kHeartbeat, random_payload(rng, 64));
+    const std::uint32_t huge =
+        kMaxFramePayload + static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 24));
+    std::memcpy(framed.data() + 8, &huge, sizeof(huge));
+    Frame out;
+    std::size_t consumed = 0;
+    // Must reject from the header alone — never try to read/allocate `huge`.
+    ASSERT_EQ(decode_frame(framed, out, consumed), FrameDecodeStatus::kTooLarge);
+  }
+}
+
+TEST(FuzzWire, TruncatedFramesAreNeedMoreUntilChecksumable) {
+  util::Rng rng(0x73C);
+  for (std::size_t it = 0; it < fuzz_iters() / 20; ++it) {
+    const Bytes payload = random_payload(rng, 128);
+    const Bytes framed = encode_frame(MsgType::kStepMetadata, payload);
+    for (std::size_t n = 0; n < framed.size(); ++n) {
+      Frame out;
+      std::size_t consumed = 0;
+      const auto status =
+          decode_frame(std::span(framed.data(), n), out, consumed);
+      ASSERT_EQ(status, FrameDecodeStatus::kNeedMore)
+          << "iter " << it << " prefix " << n;
+    }
+  }
+}
+
+// --- message codecs over adversarial bytes -----------------------------------
+
+TEST(FuzzWire, MessageDecodersNeverOverreadOnGarbage) {
+  util::Rng rng(0xDEC0DE);
+  const std::size_t iters = fuzz_iters();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const Bytes garbage = random_payload(rng, 512);
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {
+        WireReader r(garbage);
+        runtime::StepMetadata m;
+        (void)decode(r, m);
+        break;
+      }
+      case 1: {
+        WireReader r(garbage);
+        runtime::SampleResult s;
+        (void)decode(r, s);
+        break;
+      }
+      case 2: {
+        WireReader r(garbage);
+        runtime::StreamEvent e;
+        (void)decode(r, e);
+        break;
+      }
+      case 3: {
+        WireReader r(garbage);
+        Hello h;
+        (void)decode(r, h);
+        break;
+      }
+      default: {
+        WireReader r(garbage);
+        HelloAck a;
+        (void)decode(r, a);
+        break;
+      }
+    }
+  }
+}
+
+TEST(FuzzWire, MutatedStreamEventsRejectOrRoundtrip) {
+  util::Rng rng(0x5EE);
+  const std::size_t iters = fuzz_iters() / 4;
+  for (std::size_t it = 0; it < iters; ++it) {
+    runtime::StreamEvent ev;
+    ev.request_id = rng.uniform_int(0, 1 << 20);
+    ev.token = static_cast<nn::TokenId>(rng.uniform_int(-1, 1 << 16));
+    ev.is_last = rng.bernoulli(0.5);
+    ev.error = static_cast<runtime::StreamError>(rng.uniform_int(0, 3));
+    WireWriter w;
+    encode(w, ev);
+    Bytes bytes = w.take();
+
+    // Unmutated: must roundtrip exactly.
+    {
+      WireReader r(bytes);
+      runtime::StreamEvent back;
+      ASSERT_TRUE(decode(r, back)) << "iter " << it;
+      ASSERT_EQ(back.request_id, ev.request_id);
+      ASSERT_EQ(back.token, ev.token);
+      ASSERT_EQ(back.is_last, ev.is_last);
+      ASSERT_EQ(back.error, ev.error);
+    }
+    // Truncated: must reject (bounded reader), never crash.
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes.resize(cut);
+    WireReader r(bytes);
+    runtime::StreamEvent back;
+    ASSERT_FALSE(decode(r, back)) << "iter " << it;
+  }
+}
+
+}  // namespace
+}  // namespace gllm::net

@@ -1,0 +1,307 @@
+// Property tests for the incremental HTTP/1.1 request parser: the parse is a
+// pure function of the accumulated byte prefix, so its result must be
+// invariant under how the bytes were chunked — 1-byte drip, random splits and
+// all-at-once must agree exactly, including the error and consumed count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/http_parser.hpp"
+#include "util/rng.hpp"
+
+namespace gllm::server {
+namespace {
+
+struct ParseOutcome {
+  ParseStatus status = ParseStatus::kNeedMore;
+  ParseError error = ParseError::kNone;
+  std::size_t consumed = 0;
+  HttpRequest request;
+
+  bool operator==(const ParseOutcome& o) const {
+    return status == o.status && error == o.error && consumed == o.consumed &&
+           request.method == o.request.method && request.target == o.request.target &&
+           request.version == o.request.version && request.body == o.request.body &&
+           request.keep_alive == o.request.keep_alive &&
+           request.headers == o.request.headers;
+  }
+};
+
+ParseOutcome parse_all(const std::string& input, const HttpLimits& limits = {}) {
+  ParseOutcome out;
+  out.status = parse_http_request(input, limits, out.request, out.consumed, out.error);
+  return out;
+}
+
+/// Feed `input` in the given chunk sizes, re-parsing the accumulated prefix
+/// after each chunk (the server's incremental loop). Returns the outcome at
+/// the first non-kNeedMore result, or the final kNeedMore.
+ParseOutcome parse_chunked(const std::string& input, const std::vector<std::size_t>& cuts,
+                           const HttpLimits& limits = {}) {
+  std::string buffer;
+  std::size_t pos = 0;
+  ParseOutcome out;
+  for (const std::size_t len : cuts) {
+    buffer.append(input, pos, len);
+    pos += len;
+    out = parse_all(buffer, limits);
+    if (out.status != ParseStatus::kNeedMore) return out;
+  }
+  return out;
+}
+
+std::vector<std::size_t> one_byte_cuts(std::size_t n) {
+  return std::vector<std::size_t>(n, 1);
+}
+
+std::vector<std::size_t> random_cuts(std::size_t n, util::Rng& rng) {
+  std::vector<std::size_t> cuts;
+  std::size_t left = n;
+  while (left > 0) {
+    const auto take = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(left)));
+    cuts.push_back(take);
+    left -= take;
+  }
+  return cuts;
+}
+
+const std::string kSimpleGet = "GET /health HTTP/1.1\r\nHost: x\r\n\r\n";
+const std::string kPost =
+    "POST /v1/completions HTTP/1.1\r\nHost: a.b\r\nContent-Length: 11\r\n"
+    "X-Trace: 42\r\n\r\nhello world";
+
+TEST(HttpParser, ParsesSimpleGet) {
+  const auto out = parse_all(kSimpleGet);
+  ASSERT_EQ(out.status, ParseStatus::kComplete);
+  EXPECT_EQ(out.consumed, kSimpleGet.size());
+  EXPECT_EQ(out.request.method, "GET");
+  EXPECT_EQ(out.request.target, "/health");
+  EXPECT_EQ(out.request.version, "HTTP/1.1");
+  EXPECT_TRUE(out.request.keep_alive);
+  EXPECT_TRUE(out.request.body.empty());
+}
+
+TEST(HttpParser, ParsesPostWithBody) {
+  const auto out = parse_all(kPost);
+  ASSERT_EQ(out.status, ParseStatus::kComplete);
+  EXPECT_EQ(out.consumed, kPost.size());
+  EXPECT_EQ(out.request.body, "hello world");
+  ASSERT_NE(out.request.header("content-length"), nullptr);
+  EXPECT_EQ(*out.request.header("content-length"), "11");
+}
+
+// --- chunking invariance -----------------------------------------------------
+
+TEST(HttpParser, OneByteDripMatchesAllAtOnce) {
+  for (const auto& input : {kSimpleGet, kPost}) {
+    const auto whole = parse_all(input);
+    const auto dripped = parse_chunked(input, one_byte_cuts(input.size()));
+    EXPECT_TRUE(whole == dripped) << input;
+  }
+}
+
+TEST(HttpParser, RandomSplitsMatchAllAtOnce) {
+  util::Rng rng(7);
+  for (int round = 0; round < 500; ++round) {
+    const std::string& input = (round % 2 == 0) ? kPost : kSimpleGet;
+    const auto whole = parse_all(input);
+    const auto split = parse_chunked(input, random_cuts(input.size(), rng));
+    ASSERT_TRUE(whole == split) << "round " << round;
+  }
+}
+
+TEST(HttpParser, ErrorsAreChunkingInvariantToo) {
+  const std::string bad = "GET  /two-spaces HTTP/1.1\r\nHost: x\r\n\r\n";
+  const auto whole = parse_all(bad);
+  ASSERT_EQ(whole.status, ParseStatus::kError);
+  util::Rng rng(11);
+  for (int round = 0; round < 200; ++round) {
+    const auto split = parse_chunked(bad, random_cuts(bad.size(), rng));
+    ASSERT_EQ(split.status, ParseStatus::kError) << "round " << round;
+    ASSERT_EQ(split.error, whole.error) << "round " << round;
+  }
+}
+
+// --- header semantics --------------------------------------------------------
+
+TEST(HttpParser, HeaderLookupIsCaseInsensitive) {
+  const std::string req =
+      "GET / HTTP/1.1\r\nhOsT: example\r\nX-MiXeD-CaSe: v\r\n\r\n";
+  const auto out = parse_all(req);
+  ASSERT_EQ(out.status, ParseStatus::kComplete);
+  for (const char* spelling : {"Host", "host", "HOST", "hOsT"}) {
+    ASSERT_NE(out.request.header(spelling), nullptr) << spelling;
+    EXPECT_EQ(*out.request.header(spelling), "example");
+  }
+  ASSERT_NE(out.request.header("x-mixed-case"), nullptr);
+  EXPECT_EQ(*out.request.header("X-MIXED-CASE"), "v");
+  // Wire spelling is preserved in the headers vector.
+  EXPECT_EQ(out.request.headers[0].first, "hOsT");
+}
+
+TEST(HttpParser, HeaderValuesAreOwsTrimmed) {
+  const auto out = parse_all("GET / HTTP/1.1\r\nX-Pad: \t padded \t \r\n\r\n");
+  ASSERT_EQ(out.status, ParseStatus::kComplete);
+  EXPECT_EQ(*out.request.header("x-pad"), "padded");
+}
+
+TEST(HttpParser, ConnectionHeaderControlsKeepAlive) {
+  EXPECT_TRUE(parse_all("GET / HTTP/1.1\r\n\r\n").request.keep_alive);
+  EXPECT_FALSE(
+      parse_all("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").request.keep_alive);
+  EXPECT_FALSE(parse_all("GET / HTTP/1.0\r\n\r\n").request.keep_alive);
+  EXPECT_TRUE(
+      parse_all("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").request.keep_alive);
+}
+
+// --- pipelining --------------------------------------------------------------
+
+TEST(HttpParser, PipelinedSecondRequestPreservedAcrossFirst) {
+  const std::string two = kPost + kSimpleGet;
+  auto first = parse_all(two);
+  ASSERT_EQ(first.status, ParseStatus::kComplete);
+  ASSERT_EQ(first.consumed, kPost.size());
+  EXPECT_EQ(first.request.method, "POST");
+
+  const std::string rest = two.substr(first.consumed);
+  const auto second = parse_all(rest);
+  ASSERT_EQ(second.status, ParseStatus::kComplete);
+  EXPECT_EQ(second.request.method, "GET");
+  EXPECT_EQ(second.request.target, "/health");
+  EXPECT_EQ(second.consumed, rest.size());
+}
+
+TEST(HttpParser, PipelinedPairChunkingInvariant) {
+  const std::string two = kSimpleGet + kPost;
+  util::Rng rng(23);
+  for (int round = 0; round < 200; ++round) {
+    // Drip the concatenation; collect both requests as the server would.
+    std::string buffer;
+    std::size_t pos = 0;
+    std::vector<HttpRequest> got;
+    for (const std::size_t len : random_cuts(two.size(), rng)) {
+      buffer.append(two, pos, len);
+      pos += len;
+      for (;;) {
+        HttpRequest req;
+        std::size_t consumed = 0;
+        ParseError error = ParseError::kNone;
+        if (parse_http_request(buffer, {}, req, consumed, error) !=
+            ParseStatus::kComplete)
+          break;
+        buffer.erase(0, consumed);
+        got.push_back(std::move(req));
+      }
+    }
+    ASSERT_EQ(got.size(), 2u) << "round " << round;
+    EXPECT_EQ(got[0].method, "GET");
+    EXPECT_EQ(got[1].method, "POST");
+    EXPECT_EQ(got[1].body, "hello world");
+  }
+}
+
+// --- limits ------------------------------------------------------------------
+
+TEST(HttpParser, OversizedHeaderBlockIs431BeforeCompletion) {
+  HttpLimits limits;
+  limits.max_header_bytes = 128;
+  // No terminator in sight and already past the budget: reject immediately.
+  const std::string big = "GET / HTTP/1.1\r\nX-Big: " + std::string(200, 'a');
+  const auto out = parse_all(big, limits);
+  ASSERT_EQ(out.status, ParseStatus::kError);
+  EXPECT_EQ(out.error, ParseError::kHeadersTooLarge);
+  EXPECT_EQ(http_status(out.error), 431);
+}
+
+TEST(HttpParser, TooManyHeadersIs431) {
+  HttpLimits limits;
+  limits.max_headers = 4;
+  std::string req = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) req += "X-H" + std::to_string(i) + ": v\r\n";
+  req += "\r\n";
+  const auto out = parse_all(req, limits);
+  ASSERT_EQ(out.status, ParseStatus::kError);
+  EXPECT_EQ(out.error, ParseError::kTooManyHeaders);
+  EXPECT_EQ(http_status(out.error), 431);
+}
+
+TEST(HttpParser, OversizedContentLengthIs413BeforeBodyArrives) {
+  HttpLimits limits;
+  limits.max_body_bytes = 64;
+  // Headers complete, declared body over budget, zero body bytes sent yet:
+  // the parser must reject from the declaration alone.
+  const std::string head =
+      "POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+  const auto out = parse_all(head, limits);
+  ASSERT_EQ(out.status, ParseStatus::kError);
+  EXPECT_EQ(out.error, ParseError::kBodyTooLarge);
+  EXPECT_EQ(http_status(out.error), 413);
+}
+
+TEST(HttpParser, ContentLengthValidation) {
+  EXPECT_EQ(parse_all("POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n").error,
+            ParseError::kBadRequest);
+  EXPECT_EQ(parse_all("POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n").error,
+            ParseError::kBadRequest);
+  EXPECT_EQ(parse_all("POST / HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n").error,
+            ParseError::kBadRequest);
+  // Conflicting duplicates are a 400 (request smuggling guard).
+  EXPECT_EQ(parse_all("POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                      "Content-Length: 4\r\n\r\nabc")
+                .error,
+            ParseError::kBadRequest);
+  // Agreeing duplicates are tolerated.
+  const auto ok = parse_all(
+      "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc");
+  EXPECT_EQ(ok.status, ParseStatus::kComplete);
+  EXPECT_EQ(ok.request.body, "abc");
+}
+
+TEST(HttpParser, RejectsMalformedSyntax) {
+  EXPECT_EQ(parse_all("GET\r\n\r\n").error, ParseError::kBadRequest);
+  EXPECT_EQ(parse_all("GET / HTTP/2.0\r\n\r\n").error, ParseError::kBadVersion);
+  EXPECT_EQ(http_status(ParseError::kBadVersion), 505);
+  EXPECT_EQ(parse_all("GET / FTP/1.1\r\n\r\n").error, ParseError::kBadRequest);
+  EXPECT_EQ(parse_all("G@T / HTTP/1.1\r\n\r\n").error, ParseError::kBadRequest);
+  EXPECT_EQ(parse_all("GET /a b HTTP/1.1\r\n\r\n").error, ParseError::kBadRequest);
+  // Bare LF line endings are not accepted.
+  EXPECT_EQ(parse_all("GET / HTTP/1.1\nHost: x\n\n").status, ParseStatus::kError);
+  // obs-fold (leading whitespace continuation) is rejected.
+  EXPECT_EQ(parse_all("GET / HTTP/1.1\r\nX: a\r\n b\r\n\r\n").error,
+            ParseError::kBadRequest);
+  // Header name with spaces / empty name.
+  EXPECT_EQ(parse_all("GET / HTTP/1.1\r\nBad Header: v\r\n\r\n").error,
+            ParseError::kBadRequest);
+  EXPECT_EQ(parse_all("GET / HTTP/1.1\r\n: v\r\n\r\n").error, ParseError::kBadRequest);
+}
+
+TEST(HttpParser, TransferEncodingUnsupported) {
+  const auto out =
+      parse_all("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_EQ(out.status, ParseStatus::kError);
+  EXPECT_EQ(out.error, ParseError::kUnsupported);
+  EXPECT_EQ(http_status(out.error), 501);
+}
+
+TEST(HttpParser, NeedMoreOnIncompletePrefixes) {
+  // Every strict prefix of a valid request is kNeedMore, never an error.
+  for (const auto& input : {kSimpleGet, kPost}) {
+    for (std::size_t n = 0; n < input.size(); ++n) {
+      const auto out = parse_all(input.substr(0, n));
+      ASSERT_EQ(out.status, ParseStatus::kNeedMore) << "prefix " << n << " of " << input;
+    }
+  }
+}
+
+TEST(HttpParser, IequalsBasics) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_FALSE(iequals("x", "y"));
+}
+
+}  // namespace
+}  // namespace gllm::server

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
+#include "net/socket.hpp"
 #include "obs/obs.hpp"
 #include "sched/token_throttle.hpp"
 #include "server/http_server.hpp"
@@ -220,6 +222,174 @@ TEST(HttpJson, FieldParsers) {
   EXPECT_TRUE(arr.empty());
   EXPECT_FALSE(json_int_array_field("{\"prompt\":[1,}", "prompt", arr));
   EXPECT_FALSE(json_int_array_field("{}", "prompt", arr));
+}
+
+/// Read from `fd` until `pred(raw)` or EOF/timeout; returns the raw bytes.
+template <typename Pred>
+std::string read_until(int fd, Pred pred, double timeout_s = 30.0) {
+  std::string raw;
+  char buf[4096];
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!pred(raw)) {
+    const double left =
+        timeout_s -
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (left <= 0.0 || !net::wait_readable(fd, left)) break;
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  return raw;
+}
+
+TEST_F(HttpServerTest, StreamingCompletionEmitsSseTokens) {
+  const auto cfg = model::presets::tiny();
+  nn::GenRequest request;
+  request.id = 11;
+  request.prompt = nn::synthetic_prompt(cfg, 21, 10);
+  request.max_new_tokens = 5;
+  const auto reference = nn::generate_reference(cfg, kSeed, {request});
+
+  const int fd = net::connect_tcp("127.0.0.1", server_->port());
+  ASSERT_GE(fd, 0);
+  std::string body = completion_body(11, request.prompt, 5);
+  body.insert(body.size() - 1, ",\"stream\":true");
+  const std::string req = "POST /v1/completions HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
+  ASSERT_TRUE(net::send_all(fd, req.data(), req.size()));
+  const std::string raw = read_until(
+      fd, [](const std::string& r) { return r.find("data: [DONE]\n\n") != std::string::npos; });
+  net::close_fd(fd);
+
+  EXPECT_NE(raw.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(raw.find("Content-Type: text/event-stream"), std::string::npos);
+  std::string expected;
+  for (const auto token : reference[0])
+    expected += "data: {\"id\":11,\"token\":" + std::to_string(token) + "}\n\n";
+  expected += "data: {\"id\":11,\"done\":true,\"tokens\":" +
+              std::to_string(reference[0].size()) +
+              ",\"finish_reason\":\"length\"}\n\ndata: [DONE]\n\n";
+  const auto head_end = raw.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(raw.substr(head_end + 4), expected);
+}
+
+TEST_F(HttpServerTest, KeepAliveServesPipelinedRequests) {
+  const int fd = net::connect_tcp("127.0.0.1", server_->port());
+  ASSERT_GE(fd, 0);
+  // Two pipelined GETs on one keep-alive connection: both must be answered,
+  // in order, without dropping the second request's bytes.
+  const std::string two =
+      "GET /health HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /v1/stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  ASSERT_TRUE(net::send_all(fd, two.data(), two.size()));
+  const std::string raw = read_until(fd, [](const std::string& r) {
+    return r.find("\"counters\"") != std::string::npos;
+  });
+  net::close_fd(fd);
+  const auto first = raw.find("HTTP/1.1 200");
+  ASSERT_NE(first, std::string::npos);
+  const auto second = raw.find("HTTP/1.1 200", first + 1);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_NE(raw.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(raw.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_NE(raw.find("Connection: close"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, PipelinedCompletionAfterGenerationIsServed) {
+  const auto cfg = model::presets::tiny();
+  nn::GenRequest request;
+  request.id = 31;
+  request.prompt = nn::synthetic_prompt(cfg, 33, 8);
+  request.max_new_tokens = 4;
+  const auto reference = nn::generate_reference(cfg, kSeed, {request});
+
+  // completion POST (generation defers the response) + pipelined GET: the GET
+  // must be parked until the generation finishes, then answered on the same
+  // connection.
+  const std::string body = completion_body(31, request.prompt, 4);
+  const std::string two = "POST /v1/completions HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body +
+                          "GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  const int fd = net::connect_tcp("127.0.0.1", server_->port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(net::send_all(fd, two.data(), two.size()));
+  const std::string raw = read_until(fd, [](const std::string& r) {
+    return r.find("\"status\":\"ok\"") != std::string::npos;
+  });
+  net::close_fd(fd);
+  EXPECT_NE(raw.find("\"finish_reason\":\"length\""), std::string::npos);
+  std::vector<std::int64_t> tokens;
+  const auto body_at = raw.find("{\"id\":31");
+  ASSERT_NE(body_at, std::string::npos);
+  ASSERT_TRUE(json_int_array_field(raw.substr(body_at), "tokens", tokens));
+  ASSERT_EQ(tokens.size(), reference[0].size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) EXPECT_EQ(tokens[i], reference[0][i]);
+}
+
+TEST_F(HttpServerTest, OversizedHeadersRejected431) {
+  const int fd = net::connect_tcp("127.0.0.1", server_->port());
+  ASSERT_GE(fd, 0);
+  const std::string req = "GET /health HTTP/1.1\r\nX-Big: " + std::string(10000, 'a') +
+                          "\r\n\r\n";
+  ASSERT_TRUE(net::send_all(fd, req.data(), req.size()));
+  const std::string raw = read_until(
+      fd, [](const std::string& r) { return r.find("\r\n\r\n") != std::string::npos; });
+  net::close_fd(fd);
+  EXPECT_NE(raw.find("HTTP/1.1 431"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, OversizedBodyRejected413BeforeUpload) {
+  const int fd = net::connect_tcp("127.0.0.1", server_->port());
+  ASSERT_GE(fd, 0);
+  // Declare a 2 MiB body (limit: 1 MiB) and send none of it: the reject must
+  // come from the declaration alone.
+  const std::string req =
+      "POST /v1/completions HTTP/1.1\r\nHost: t\r\nContent-Length: 2097152\r\n\r\n";
+  ASSERT_TRUE(net::send_all(fd, req.data(), req.size()));
+  const std::string raw = read_until(
+      fd, [](const std::string& r) { return r.find("\r\n\r\n") != std::string::npos; });
+  net::close_fd(fd);
+  EXPECT_NE(raw.find("HTTP/1.1 413"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, ChunkedUploadRejected501) {
+  const int fd = net::connect_tcp("127.0.0.1", server_->port());
+  ASSERT_GE(fd, 0);
+  const std::string req =
+      "POST /v1/completions HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  ASSERT_TRUE(net::send_all(fd, req.data(), req.size()));
+  const std::string raw = read_until(
+      fd, [](const std::string& r) { return r.find("\r\n\r\n") != std::string::npos; });
+  net::close_fd(fd);
+  EXPECT_NE(raw.find("HTTP/1.1 501"), std::string::npos);
+}
+
+TEST(HttpServerSerial, SerialBaselineServesCompletions) {
+  const auto cfg = model::presets::tiny();
+  runtime::PipelineService service(tiny_options(), small_throttle());
+  service.start();
+  ServerOptions so;
+  so.loop = ServerOptions::Loop::kSerial;
+  HttpServer server(service, so);
+  server.start();
+
+  nn::GenRequest request;
+  request.id = 3;
+  request.prompt = nn::synthetic_prompt(cfg, 8, 9);
+  request.max_new_tokens = 4;
+  const auto reference = nn::generate_reference(cfg, kSeed, {request});
+  std::string body;
+  const int status = http_request(server.port(), "POST", "/v1/completions",
+                                  completion_body(3, request.prompt, 4), body);
+  EXPECT_EQ(status, 200);
+  std::vector<std::int64_t> tokens;
+  ASSERT_TRUE(json_int_array_field(body, "tokens", tokens));
+  ASSERT_EQ(tokens.size(), reference[0].size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) EXPECT_EQ(tokens[i], reference[0][i]);
+
+  server.stop();
+  service.stop();
 }
 
 TEST(HttpServerLifecycle, StartStopIdempotent) {

@@ -1,0 +1,366 @@
+// Concurrency soak for the epoll HTTP front-end: N simultaneous SSE streams
+// must each be byte-identical to the greedy-sampling reference, a stalled
+// client (connects, requests, never reads) must neither delay the other
+// streams nor survive the slow-client disconnect policy, and the SLO-aware
+// admission shed must answer 503 + Retry-After when the waiting-prefill
+// backlog exceeds the configured depth. Labelled `soak` in ctest: excluded
+// from the default unit run, executed by the dedicated soak CI step and
+// `tools/check.sh --soak`.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "nn/reference.hpp"
+#include "obs/obs.hpp"
+#include "sched/token_throttle.hpp"
+#include "server/http_server.hpp"
+
+namespace gllm::server {
+namespace {
+
+constexpr std::uint64_t kSeed = 1234;
+
+runtime::RuntimeOptions tiny_options() {
+  runtime::RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.pp = 2;
+  opt.kv_capacity_tokens = 4096;
+  opt.kv_block_size = 8;
+  opt.weight_seed = kSeed;
+  return opt;
+}
+
+std::shared_ptr<sched::IScheduler> small_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 4;
+  return std::make_shared<sched::TokenThrottleScheduler>(p);
+}
+
+std::string streaming_body(std::int64_t id, const std::vector<nn::TokenId>& prompt,
+                           int max_tokens) {
+  std::string body = "{\"id\":" + std::to_string(id) + ",\"prompt\":[";
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    if (i) body += ",";
+    body += std::to_string(prompt[i]);
+  }
+  body += "],\"max_tokens\":" + std::to_string(max_tokens) + ",\"stream\":true}";
+  return body;
+}
+
+std::string post_request(const std::string& body) {
+  return "POST /v1/completions HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+}
+
+/// The exact SSE byte stream the server must emit for one completed greedy
+/// generation: one token event per sampled token, the terminal done event,
+/// then the [DONE] sentinel.
+std::string expected_sse_bytes(std::int64_t id, const std::vector<nn::TokenId>& tokens) {
+  std::string out;
+  for (const auto token : tokens)
+    out += "data: {\"id\":" + std::to_string(id) + ",\"token\":" + std::to_string(token) +
+           "}\n\n";
+  out += "data: {\"id\":" + std::to_string(id) + ",\"done\":true,\"tokens\":" +
+         std::to_string(tokens.size()) + ",\"finish_reason\":\"length\"}\n\n" +
+         "data: [DONE]\n\n";
+  return out;
+}
+
+struct StreamCapture {
+  int status = -1;
+  std::string head;
+  std::string body;       ///< raw bytes after the header terminator
+  double ttft_s = -1.0;   ///< first token event
+  bool eof = false;
+};
+
+/// Raw-socket streaming client: sends one streaming completion, reads to EOF,
+/// records the first-token instant.
+StreamCapture stream_completion(int port, std::int64_t id,
+                                const std::vector<nn::TokenId>& prompt, int max_tokens,
+                                double timeout_s = 60.0) {
+  StreamCapture cap;
+  const int fd = net::connect_tcp("127.0.0.1", port);
+  if (fd < 0) return cap;
+  const std::string req = post_request(streaming_body(id, prompt, max_tokens));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+  if (!net::send_all(fd, req.data(), req.size())) {
+    net::close_fd(fd);
+    return cap;
+  }
+  std::string raw;
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  for (;;) {
+    const double remaining = timeout_s - elapsed();
+    if (remaining <= 0.0) break;
+    if (!net::wait_readable(fd, remaining)) break;
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+    if (n == 0) {
+      cap.eof = true;
+      break;
+    }
+    if (n < 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        cap.head = raw.substr(0, header_end);
+        cap.status = std::atoi(cap.head.c_str() + cap.head.find(' ') + 1);
+      }
+    }
+    if (cap.ttft_s < 0.0 && header_end != std::string::npos &&
+        raw.find("\"token\":", header_end) != std::string::npos)
+      cap.ttft_s = elapsed();
+  }
+  net::close_fd(fd);
+  if (header_end != std::string::npos) cap.body = raw.substr(header_end + 4);
+  return cap;
+}
+
+TEST(ServerConcurrentSoak, SixtyFourStreamsAreByteIdenticalToReference) {
+  constexpr int kStreams = 64;
+  const auto cfg = model::presets::tiny();
+
+  // Ground truth: greedy reference continuations for all 64 prompts.
+  std::vector<nn::GenRequest> requests(kStreams);
+  for (int i = 0; i < kStreams; ++i) {
+    requests[static_cast<std::size_t>(i)].id = i;
+    requests[static_cast<std::size_t>(i)].prompt =
+        nn::synthetic_prompt(cfg, 300 + static_cast<std::uint64_t>(i), 6 + i % 5);
+    requests[static_cast<std::size_t>(i)].max_new_tokens = 3 + i % 6;
+  }
+  const auto reference = nn::generate_reference(cfg, kSeed, requests);
+
+  obs::Observability obs;
+  auto options = tiny_options();
+  options.obs = &obs;
+  runtime::PipelineService service(options, small_throttle());
+  service.start();
+  ServerOptions so;
+  so.max_conns = 2 * kStreams;
+  HttpServer server(service, so);
+  server.start();
+
+  std::vector<std::thread> clients;
+  std::vector<StreamCapture> captures(kStreams);
+  for (int i = 0; i < kStreams; ++i) {
+    clients.emplace_back([&, i] {
+      captures[static_cast<std::size_t>(i)] =
+          stream_completion(server.port(), i, requests[static_cast<std::size_t>(i)].prompt,
+                            requests[static_cast<std::size_t>(i)].max_new_tokens);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kStreams; ++i) {
+    const auto& cap = captures[static_cast<std::size_t>(i)];
+    ASSERT_EQ(cap.status, 200) << "stream " << i;
+    EXPECT_NE(cap.head.find("Content-Type: text/event-stream"), std::string::npos)
+        << "stream " << i;
+    // Byte-identical to the single-client reference rendering.
+    EXPECT_EQ(cap.body, expected_sse_bytes(i, reference[static_cast<std::size_t>(i)]))
+        << "stream " << i;
+    EXPECT_GE(cap.ttft_s, 0.0) << "stream " << i;
+  }
+  EXPECT_EQ(obs.http().slow_client_disconnects->value(), 0);
+
+  server.stop();
+  service.stop();
+}
+
+TEST(ServerConcurrentSoak, StalledClientIsDisconnectedAndDoesNotDelayOthers) {
+  const auto cfg = model::presets::tiny();
+  obs::Observability obs;
+  auto options = tiny_options();
+  options.obs = &obs;
+  runtime::PipelineService service(options, small_throttle());
+  service.start();
+
+  ServerOptions so;
+  // Make backpressure observable fast: tiny kernel send buffer, tiny unsent
+  // backlog allowance.
+  so.sndbuf_bytes = 4096;
+  so.max_write_buffer = 2048;
+  HttpServer server(service, so);
+  server.start();
+
+  // The stalled client: sends a long streaming request, then never reads.
+  // Shrinking its receive buffer (together with the server's shrunken send
+  // buffer above) caps how many bytes TCP will absorb before the server's
+  // writes hit EAGAIN and its unsent backlog starts growing.
+  const int stalled = net::connect_tcp("127.0.0.1", server.port());
+  ASSERT_GE(stalled, 0);
+  {
+    const int rcvbuf = 1024;
+    ::setsockopt(stalled, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  const auto stall_prompt = nn::synthetic_prompt(cfg, 900, 8);
+  const std::string stall_req = post_request(streaming_body(77, stall_prompt, 1500));
+  ASSERT_TRUE(net::send_all(stalled, stall_req.data(), stall_req.size()));
+  // Deliberately never recv() on `stalled`.
+
+  // Meanwhile: normal streaming clients must complete with correct bytes and
+  // a TTFT that proves they were not serialized behind the stalled stream.
+  constexpr int kOthers = 8;
+  std::vector<nn::GenRequest> requests(kOthers);
+  for (int i = 0; i < kOthers; ++i) {
+    requests[static_cast<std::size_t>(i)].id = i;
+    requests[static_cast<std::size_t>(i)].prompt =
+        nn::synthetic_prompt(cfg, 700 + static_cast<std::uint64_t>(i), 8);
+    requests[static_cast<std::size_t>(i)].max_new_tokens = 4;
+  }
+  const auto reference = nn::generate_reference(cfg, kSeed, requests);
+
+  std::vector<std::thread> clients;
+  std::vector<StreamCapture> captures(kOthers);
+  for (int i = 0; i < kOthers; ++i) {
+    clients.emplace_back([&, i] {
+      captures[static_cast<std::size_t>(i)] =
+          stream_completion(server.port(), i, requests[static_cast<std::size_t>(i)].prompt,
+                            requests[static_cast<std::size_t>(i)].max_new_tokens, 30.0);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kOthers; ++i) {
+    const auto& cap = captures[static_cast<std::size_t>(i)];
+    ASSERT_EQ(cap.status, 200) << "stream " << i;
+    EXPECT_EQ(cap.body, expected_sse_bytes(i, reference[static_cast<std::size_t>(i)]))
+        << "stream " << i;
+    // Not delayed behind the stalled stream's 1500-token generation: TTFT is
+    // bounded by a small multiple of a healthy run, far under the stalled
+    // stream's full duration.
+    EXPECT_LT(cap.ttft_s, 10.0) << "stream " << i;
+  }
+
+  // The stalled client must be disconnected by the slow-client policy: its
+  // socket reaches EOF/reset while the server keeps serving, and the metric
+  // records the kill.
+  // First wait for the server-side verdict (we must NOT read the socket
+  // while waiting — the whole point is that the client never drains)...
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (obs.http().slow_client_disconnects->value() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_GE(obs.http().slow_client_disconnects->value(), 1);
+
+  // ...then drain: the connection must reach EOF/reset, proving the server
+  // really cut it off rather than just counting it.
+  bool disconnected = false;
+  char sink[4096];
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!net::wait_readable(stalled, 1.0)) continue;
+    const ssize_t n = net::recv_some(stalled, sink, sizeof(sink));
+    if (n <= 0) {
+      disconnected = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(disconnected);
+  net::close_fd(stalled);
+
+  server.stop();
+  service.stop();
+}
+
+TEST(ServerConcurrentSoak, BacklogBeyondShedDepthAnswers503RetryAfter) {
+  const auto cfg = model::presets::tiny();
+  obs::Observability obs;
+  auto options = tiny_options();
+  options.obs = &obs;
+  // Starve prefill, not KV: plenty of KV capacity (no preemption thrash) but
+  // a ~4-token per-iteration prefill budget against 600-token prompts keeps
+  // requests parked in the waiting-prefill queue for a sustained window —
+  // the backlog the shed threshold is measured against.
+  options.kv_capacity_tokens = 16384;
+  sched::ThrottleParams p;
+  p.max_p = 4;
+  p.min_p = 1;
+  p.iter_t = 1;
+  runtime::PipelineService service(options,
+                                   std::make_shared<sched::TokenThrottleScheduler>(p));
+  service.start();
+
+  ServerOptions so;
+  so.shed_depth = 3;
+  so.retry_after_s = 7;
+  HttpServer server(service, so);
+  server.start();
+
+  // Fill the backlog with background streaming requests. Arrivals are
+  // staggered so the early ones are ADMITTED (and pile up in waiting-prefill
+  // behind the KV wall) instead of shedding each other through a momentary
+  // inbox spike — the backlog must be real queued work, not a burst artifact.
+  constexpr int kBackground = 8;
+  std::vector<std::thread> background;
+  for (int i = 0; i < kBackground; ++i) {
+    background.emplace_back([&, i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10 * i));
+      (void)stream_completion(server.port(), 1000 + i,
+                              nn::synthetic_prompt(cfg, 50 + static_cast<std::uint64_t>(i), 600),
+                              8, 60.0);
+    });
+  }
+
+  // Probe until the shed fires: 503 with the configured Retry-After. Each
+  // probe carries its own 250ms deadline — a probe that races admission
+  // (queue momentarily below shed_depth) would otherwise wait FCFS behind the
+  // entire starved backlog and block the loop past the shed window. A shed
+  // answer is immediate, so the deadline only ever abandons admitted probes.
+  bool shed_seen = false;
+  std::int64_t probe_id = 2000;  // unique per probe: ids may not be reused in flight
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!shed_seen && std::chrono::steady_clock::now() < deadline) {
+    const auto prompt = nn::synthetic_prompt(cfg, 99, 4);
+    const std::string body = streaming_body(probe_id++, prompt, 4);
+    const int fd = net::connect_tcp("127.0.0.1", server.port());
+    ASSERT_GE(fd, 0);
+    const std::string req =
+        "POST /v1/completions HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+    ASSERT_TRUE(net::send_all(fd, req.data(), req.size()));
+    std::string raw;
+    char buf[4096];
+    const auto probe_deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+    while (raw.find("overloaded") == std::string::npos) {
+      const double left = std::chrono::duration<double>(
+                              probe_deadline - std::chrono::steady_clock::now())
+                              .count();
+      if (left <= 0.0 || !net::wait_readable(fd, left)) break;
+      const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      raw.append(buf, static_cast<std::size_t>(n));
+    }
+    net::close_fd(fd);
+    if (raw.find("HTTP/1.1 503") != std::string::npos &&
+        raw.find("Retry-After: 7") != std::string::npos &&
+        raw.find("overloaded") != std::string::npos) {
+      shed_seen = true;
+    }
+  }
+  for (auto& t : background) t.join();
+
+  EXPECT_TRUE(shed_seen) << "no 503+Retry-After within the probe window";
+  EXPECT_GE(obs.http().shed->value(), 1);
+
+  server.stop();
+  service.stop();
+}
+
+}  // namespace
+}  // namespace gllm::server

@@ -1,32 +1,56 @@
 #!/usr/bin/env bash
 # Full local check: the tier-1 verify build/test pass (ROADMAP.md), then an
-# ASan+UBSan instrumented build of the unit tests (-DGLLM_SANITIZE).
+# ASan+UBSan instrumented build of the unit + fuzz tests (-DGLLM_SANITIZE).
 #
-# Usage: tools/check.sh [--no-sanitize]
+# The default run excludes the `soak` ctest label (long-running concurrency
+# soaks, see tests/CMakeLists.txt); pass --soak to run them too, in both the
+# plain and sanitizer builds. GLLM_FUZZ_ITERS scales the fuzz batteries
+# (default 10000 per battery; crank it up for a long local fuzz run).
+#
+# Usage: tools/check.sh [--no-sanitize] [--soak]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+sanitize=1
+soak=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitize) sanitize=0 ;;
+    --soak) soak=1 ;;
+    *) echo "usage: tools/check.sh [--no-sanitize] [--soak]" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1 verify (build/) =="
 cmake -B build -S .
 cmake --build build -j "$jobs"
-ctest --test-dir build --output-on-failure -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs" -LE soak
 tools/smoke_multiproc.sh build
 
-if [[ "${1:-}" == "--no-sanitize" ]]; then
+if [[ "$soak" == 1 ]]; then
+  echo "== soak tests (build/) =="
+  ctest --test-dir build --output-on-failure -L soak
+fi
+
+if [[ "$sanitize" == 0 ]]; then
   echo "== sanitizer pass skipped =="
   exit 0
 fi
 
-echo "== ASan/UBSan unit tests (build-asan/) =="
+echo "== ASan/UBSan unit + fuzz tests (build-asan/) =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGLLM_SANITIZE=address,undefined \
   -DGLLM_BUILD_BENCH=OFF \
   -DGLLM_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
-ctest --test-dir build-asan --output-on-failure -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs" -LE soak
 tools/smoke_multiproc.sh build-asan
+
+if [[ "$soak" == 1 ]]; then
+  echo "== soak tests (build-asan/) =="
+  ctest --test-dir build-asan --output-on-failure -L soak
+fi
 
 echo "== all checks passed =="

@@ -1,0 +1,136 @@
+// gllm_loadgen: multi-connection load generator for the gllm HTTP front-end —
+// the reproduction's analogue of the paper's benchmark client (open-loop
+// Poisson arrivals over the workload traces, TTFT/TPOT/E2EL percentiles).
+//
+//   gllm_server --port 8080 &
+//   gllm_loadgen --port 8080 --mode closed --connections 64 --requests 256
+//   gllm_loadgen --port 8080 --mode open --rate 64 --requests 512 --json out.json
+//
+// With --spawn the tool instead runs self-contained: it starts an in-process
+// PipelineService + HttpServer (tiny model), drives it, and reports — the
+// one-command smoke/benchmark path used by tools/smoke_multiproc.sh and the
+// serving benchmark.
+
+#include <fstream>
+#include <iostream>
+
+#include "loadgen/loadgen.hpp"
+#include "sched/token_throttle.hpp"
+#include "server/http_server.hpp"
+#include "util/args.hpp"
+#include "util/log.hpp"
+
+using namespace gllm;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("gllm_loadgen", "HTTP load generator for /v1/completions");
+  args.add_option("host", "server host", "127.0.0.1");
+  args.add_option("port", "server port (required unless --spawn)", "0");
+  args.add_option("mode", "closed (concurrency-gated) | open (Poisson arrivals)",
+                  "closed");
+  args.add_option("connections", "closed-loop concurrency / open-loop in-flight cap",
+                  "16");
+  args.add_option("requests", "total requests", "64");
+  args.add_option("rate", "open-loop arrival rate, requests/s", "32");
+  args.add_option("workload", "request-shape preset: tiny | sharegpt | azure", "tiny");
+  args.add_option("seed", "trace/prompt seed", "42");
+  args.add_option("timeout", "per-request budget, seconds", "120");
+  args.add_option("json", "write the JSON report to this file ('-' = stdout only)", "-");
+  args.add_flag("no-stream", "unary POST instead of SSE streaming");
+  args.add_flag("spawn", "start an in-process tiny server and drive it");
+  args.add_option("spawn-loop", "with --spawn: epoll | serial", "epoll");
+  args.add_option("spawn-pp", "with --spawn: pipeline stages", "2");
+  args.add_option("spawn-shed-depth", "with --spawn: server shed threshold", "256");
+  args.add_flag("verbose", "log at info level");
+
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << args.usage();
+    return 0;
+  }
+  if (args.has("verbose")) util::Logger::instance().set_level(util::LogLevel::kInfo);
+
+  try {
+    loadgen::LoadgenOptions options;
+    options.host = args.get("host");
+    options.port = args.get_int("port");
+    options.connections = args.get_int("connections");
+    options.requests = static_cast<std::size_t>(args.get_int64("requests"));
+    options.rate = args.get_double("rate");
+    options.seed = static_cast<std::uint64_t>(args.get_int64("seed"));
+    options.timeout_s = args.get_double("timeout");
+    options.stream = !args.has("no-stream");
+
+    const std::string mode = args.get("mode");
+    if (mode == "open") {
+      options.mode = loadgen::LoadgenOptions::Mode::kOpenLoop;
+    } else if (mode != "closed") {
+      std::cerr << "error: --mode must be closed or open\n";
+      return 2;
+    }
+
+    const std::string workload = args.get("workload");
+    if (workload == "tiny") {
+      options.spec = workload::WorkloadSpec::tiny();
+    } else if (workload == "sharegpt") {
+      options.spec = workload::WorkloadSpec::sharegpt();
+    } else if (workload == "azure") {
+      options.spec = workload::WorkloadSpec::azure_conv();
+    } else {
+      std::cerr << "error: --workload must be tiny, sharegpt or azure\n";
+      return 2;
+    }
+
+    std::unique_ptr<runtime::PipelineService> service;
+    std::unique_ptr<server::HttpServer> server;
+    if (args.has("spawn")) {
+      runtime::RuntimeOptions rt;
+      rt.model = model::presets::tiny();
+      rt.pp = args.get_int("spawn-pp");
+      rt.kv_capacity_tokens = 8192;
+      rt.kv_block_size = 8;
+      sched::ThrottleParams params;
+      params.iter_t = 4;
+      params.max_p = 64;
+      params.min_p = 8;
+      service = std::make_unique<runtime::PipelineService>(
+          rt, std::make_shared<sched::TokenThrottleScheduler>(params));
+      service->start();
+      server::ServerOptions so;
+      so.loop = args.get("spawn-loop") == "serial" ? server::ServerOptions::Loop::kSerial
+                                                   : server::ServerOptions::Loop::kEpoll;
+      so.shed_depth = static_cast<std::size_t>(args.get_int64("spawn-shed-depth"));
+      server = std::make_unique<server::HttpServer>(*service, so);
+      server->start();
+      options.port = server->port();
+      options.vocab = rt.model.vocab;
+      std::cerr << "gllm_loadgen: spawned tiny server on 127.0.0.1:" << options.port
+                << " (loop=" << args.get("spawn-loop") << ")\n";
+    } else if (options.port <= 0) {
+      std::cerr << "error: --port is required (or use --spawn)\n";
+      return 2;
+    }
+
+    const loadgen::LoadgenReport report = loadgen::run(options);
+
+    if (server) server->stop();
+    if (service) service->stop();
+
+    const std::string json = report.json();
+    std::cout << json << "\n";
+    const std::string path = args.get("json");
+    if (path != "-" && !path.empty()) {
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open " + path);
+      out << json << "\n";
+    }
+    // Non-zero exit when nothing completed: lets shell smoke tests assert.
+    return report.completed > 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -59,6 +59,13 @@ int main(int argc, char** argv) {
                   "60");
   args.add_option("trace-out", "write a Chrome trace-event JSON on shutdown (Perfetto)",
                   "");
+  args.add_option("loop", "connection handling: epoll | serial (baseline)", "epoll");
+  args.add_option("max-conns", "accept cap: concurrent connections", "1024");
+  args.add_option("shed-depth",
+                  "shed completions with 503 + Retry-After once the waiting-prefill "
+                  "queue reaches this depth (0 = never shed)",
+                  "256");
+  args.add_option("client-timeout", "idle/read timeout per connection, seconds", "60");
   args.add_flag("verbose", "log at info level");
 
   if (!args.parse(argc, argv)) {
@@ -124,10 +131,25 @@ int main(int argc, char** argv) {
                 << "...\n";
     }
     service.start();
-    server::HttpServer server(service, args.get_int("port"));
+
+    server::ServerOptions server_options;
+    server_options.port = args.get_int("port");
+    const std::string loop = args.get("loop");
+    if (loop == "serial") {
+      server_options.loop = server::ServerOptions::Loop::kSerial;
+    } else if (loop != "epoll") {
+      std::cerr << "error: --loop must be epoll or serial\n";
+      return 2;
+    }
+    server_options.max_conns = args.get_int("max-conns");
+    server_options.shed_depth = static_cast<std::size_t>(args.get_int64("shed-depth"));
+    server_options.client_timeout_s = args.get_double("client-timeout");
+
+    server::HttpServer server(service, server_options);
     server.start();
     std::cout << "gllm_server: listening on 127.0.0.1:" << server.port() << " (model "
-              << options.model.name << ", pp=" << options.pp << ")\n";
+              << options.model.name << ", pp=" << options.pp << ", loop=" << loop
+              << ")\n";
 
     const int demo = args.get_int("demo");
     if (demo > 0) {

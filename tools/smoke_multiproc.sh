@@ -71,4 +71,24 @@ wait "$r1" "$r2"
 grep '^request' "$out/remote_chaos.log" | diff "$out/threads.txt" -
 echo "remote output matches threads after worker kill + reconnect"
 
+echo "== loadgen vs fork-worker server (16 concurrent clients) =="
+# Serving-path smoke: a persistent gllm_server with fork()ed stage workers,
+# driven by gllm_loadgen with 16 concurrent closed-loop SSE clients. Proves
+# the epoll front-end, the loadgen client, and the multi-process backend
+# compose end to end: every request must complete (no sheds, no errors).
+loadgen="$build/tools/gllm_loadgen"
+"$server" --workers fork --port 9145 --worker-port 0 --demo 0 > "$out/serve.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 50); do
+  grep -q 'listening on' "$out/serve.log" 2>/dev/null && break
+  kill -0 "$server_pid" 2>/dev/null || { cat "$out/serve.log"; exit 1; }
+  sleep 0.2
+done
+"$loadgen" --port 9145 --connections 16 --requests 32 --json "$out/loadgen.json"
+kill -INT "$server_pid"
+wait "$server_pid"
+grep -q '"completed":32' "$out/loadgen.json" || {
+  echo "loadgen smoke: expected 32 completed requests"; cat "$out/loadgen.json"; exit 1; }
+echo "loadgen smoke passed"
+
 echo "== multi-process smoke passed =="
