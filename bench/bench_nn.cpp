@@ -1,0 +1,168 @@
+// bench_nn: tensor-parallel scaling of the CPU transformer behind
+// BENCH_nn.json.
+//
+// For tp in {1, 2, 4}, build one sharded nn::TransformerStage holding a
+// bench-sized model (bigger than presets::tiny() so the per-shard GEMMs
+// dominate the fork-join overhead) and measure:
+//
+//   prefill  — tokens/s forwarding a 128-token prompt in one pass
+//   decode   — tokens/s stepping a batch of 8 streams one token at a time
+//
+// Output is one JSON document on stdout:
+//
+//   ./build/bench/bench_nn > /tmp/bench_nn.json
+//
+// The tp speedup ceiling is min(tp, cores): shards execute on the shared
+// util::ThreadPool, so a 1-core host reports tp parity (the fork-join layer
+// adds only its constant overhead), while an 8-core runner shows tp=4
+// decode >= 2x tp=1. GLLM_THREADS oversubscribes the pool if set.
+
+#include <chrono>
+#include <iostream>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "nn/reference.hpp"
+#include "nn/stage.hpp"
+#include "util/args.hpp"
+
+using namespace gllm;
+
+namespace {
+
+model::ModelConfig bench_model() {
+  model::ModelConfig m;
+  m.name = "bench-nn";
+  m.n_layers = 6;
+  m.hidden = 256;
+  m.n_heads = 8;
+  m.n_kv_heads = 8;  // MHA: every tp in {1,2,4,8} keeps whole GQA groups
+  m.head_dim = 32;
+  m.intermediate = 768;
+  m.vocab = 512;
+  m.validate();
+  return m;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr std::uint64_t kSeed = 2025;
+constexpr int kBlockSize = 16;
+
+struct Point {
+  double prefill_tps = 0;
+  double decode_tps = 0;
+};
+
+Point run_tp(const model::ModelConfig& cfg, int tp, int prefill_tokens,
+             int decode_streams, int decode_steps, int repeats) {
+  const model::StageShape shape{0, cfg.n_layers, true, true};
+  const std::int32_t blocks = 512;
+  nn::TransformerStage stage(cfg, shape, kSeed, blocks, kBlockSize, tp);
+
+  // --- prefill: one full-prompt pass, repeated over fresh positions -------
+  const auto prompt =
+      nn::synthetic_prompt(cfg, 7, static_cast<std::size_t>(prefill_tokens));
+  nn::ItemView item;
+  item.context = 0;
+  item.n_tokens = prefill_tokens;
+  item.blocks.resize(static_cast<std::size_t>(blocks));
+  std::iota(item.blocks.begin(), item.blocks.end(), 0);
+  item.wants_logits = false;
+
+  // Warm up once (first touch of weights and pools), then time.
+  {
+    auto h = stage.embed(prompt);
+    stage.forward(h, {&item, 1});
+  }
+  const double t0 = now_s();
+  for (int r = 0; r < repeats; ++r) {
+    auto h = stage.embed(prompt);
+    stage.forward(h, {&item, 1});
+  }
+  const double prefill_s = now_s() - t0;
+
+  // --- decode: a batch of streams stepping one token each -----------------
+  // Each stream owns a disjoint block range; contexts start where the
+  // prefill warm-up left realistic cache depth.
+  std::vector<nn::ItemView> streams(static_cast<std::size_t>(decode_streams));
+  std::vector<nn::TokenId> step_tokens(static_cast<std::size_t>(decode_streams));
+  const int blocks_per_stream = blocks / decode_streams;
+  for (int s = 0; s < decode_streams; ++s) {
+    auto& it = streams[static_cast<std::size_t>(s)];
+    it.blocks.resize(static_cast<std::size_t>(blocks_per_stream));
+    std::iota(it.blocks.begin(), it.blocks.end(), s * blocks_per_stream);
+    it.n_tokens = 0;
+    it.context = 0;
+    step_tokens[static_cast<std::size_t>(s)] =
+        static_cast<nn::TokenId>((31 * s + 5) % cfg.vocab);
+  }
+  // Seed each stream with an 8-token context so attention reads the cache.
+  for (auto& it : streams) {
+    const auto seed_prompt = nn::synthetic_prompt(cfg, 11, 8);
+    it.n_tokens = 8;
+    auto h = stage.embed(seed_prompt);
+    stage.forward(h, {&it, 1});
+    it.context = 8;
+    it.n_tokens = 1;
+  }
+
+  const double d0 = now_s();
+  for (int step = 0; step < decode_steps; ++step) {
+    auto h = stage.embed(step_tokens);
+    stage.forward(h, streams);
+    for (auto& it : streams) ++it.context;
+  }
+  const double decode_s = now_s() - d0;
+
+  Point p;
+  p.prefill_tps = static_cast<double>(prefill_tokens) * repeats / prefill_s;
+  p.decode_tps = static_cast<double>(decode_streams) * decode_steps / decode_s;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_nn", "tensor-parallel nn stage throughput");
+  args.add_option("prefill-tokens", "prompt length per prefill pass", "128");
+  args.add_option("decode-streams", "concurrent decode streams", "8");
+  args.add_option("decode-steps", "decode iterations", "24");
+  args.add_option("repeats", "prefill repetitions", "4");
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  const auto cfg = bench_model();
+  const int prefill_tokens = args.get_int("prefill-tokens");
+  const int decode_streams = args.get_int("decode-streams");
+  const int decode_steps = args.get_int("decode-steps");
+  const int repeats = args.get_int("repeats");
+
+  std::cout << "{\n  \"model\": \"" << cfg.name << "\",\n"
+            << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+            << ",\n  \"results\": {\n";
+  bool first = true;
+  for (int tp : {1, 2, 4}) {
+    const Point p =
+        run_tp(cfg, tp, prefill_tokens, decode_streams, decode_steps, repeats);
+    if (!first) std::cout << ",\n";
+    first = false;
+    std::cout << "    \"tp" << tp << "\": {\"prefill_tokens_per_s\": " << p.prefill_tps
+              << ", \"decode_tokens_per_s\": " << p.decode_tps << "}";
+    std::cerr << "tp=" << tp << " prefill " << p.prefill_tps << " tok/s, decode "
+              << p.decode_tps << " tok/s\n";
+  }
+  std::cout << "\n  }\n}\n";
+  return 0;
+}

@@ -14,8 +14,10 @@ void DisaggConfig::validate() const {
   model.validate();
   if (prefill_gpus <= 0 || decode_gpus <= 0)
     throw std::invalid_argument("DisaggConfig: both instances need GPUs");
-  if (prefill_gpus + decode_gpus > cluster.total_gpus())
+  if (tp <= 0) throw std::invalid_argument("DisaggConfig: tp must be > 0");
+  if ((prefill_gpus + decode_gpus) * tp > cluster.total_gpus())
     throw std::invalid_argument("DisaggConfig: instance sizes exceed cluster GPUs");
+  model::validate_tp(model, tp);
   if (gpu_memory_util <= 0.0 || gpu_memory_util > 1.0)
     throw std::invalid_argument("DisaggConfig: gpu_memory_util must be in (0, 1]");
   if (prefill_chunk <= 0) throw std::invalid_argument("DisaggConfig: prefill_chunk <= 0");
@@ -26,10 +28,10 @@ DisaggEngine::DisaggEngine(DisaggConfig cfg)
   cfg_.validate();
   prefill_.plan = model::PartitionPlan(cfg_.model, cfg_.prefill_gpus);
   decode_.plan = model::PartitionPlan(cfg_.model, cfg_.decode_gpus);
-  prefill_.kv_capacity =
-      model::kv_token_capacity(prefill_.plan, cfg_.cluster.gpu, cfg_.gpu_memory_util);
-  decode_.kv_capacity =
-      model::kv_token_capacity(decode_.plan, cfg_.cluster.gpu, cfg_.gpu_memory_util);
+  prefill_.kv_capacity = model::kv_token_capacity(prefill_.plan, cfg_.cluster.gpu,
+                                                  cfg_.gpu_memory_util, cfg_.tp);
+  decode_.kv_capacity = model::kv_token_capacity(decode_.plan, cfg_.cluster.gpu,
+                                                 cfg_.gpu_memory_util, cfg_.tp);
   if (prefill_.kv_capacity < cfg_.kv_block_size || decode_.kv_capacity < cfg_.kv_block_size)
     throw std::invalid_argument("DisaggEngine: model does not fit on an instance");
   prefill_.first_gpu = 0;
@@ -169,7 +171,13 @@ void DisaggEngine::try_schedule_decode() {
 
 double DisaggEngine::stage_time(const Instance& inst, const Batch& batch, int stage,
                                 bool charge_sched) const {
-  double t = cost_.stage_time(inst.plan.stage(stage), batch.work);
+  // `first_gpu` is the instance's first stage slot; each stage occupies `tp`
+  // consecutive devices, so device indices scale by tp.
+  const int first_dev = (inst.first_gpu + stage) * cfg_.tp;
+  const hw::CommModel comm(
+      cfg_.tp > 1 ? cfg_.cluster.link_between(first_dev, first_dev + cfg_.tp - 1)
+                  : hw::links::loopback());
+  double t = cost_.stage_time(inst.plan.stage(stage), batch.work, cfg_.tp, comm);
   t *= 1.0 + cfg_.runtime.serial_cpu_fraction;
   if (charge_sched) t += cfg_.runtime.sched_overhead;
   return t;
@@ -199,8 +207,9 @@ void DisaggEngine::on_stage_done(bool is_prefill, std::uint64_t batch_id, int st
   const int stages = static_cast<int>(inst.stage_free.size());
   if (stage + 1 < stages) {
     const Batch& batch = batches_.at(batch_id);
-    const int from_gpu = inst.first_gpu + stage;
-    const hw::CommModel comm(cfg_.cluster.link_between(from_gpu, from_gpu + 1));
+    const int from_dev = (inst.first_gpu + stage) * cfg_.tp;
+    const int to_dev = (inst.first_gpu + stage + 1) * cfg_.tp;
+    const hw::CommModel comm(cfg_.cluster.link_between(from_dev, to_dev));
     const double hop = comm.p2p_time(cost_.activation_bytes(batch.total_new_tokens));
     sim_.call_in(hop, [this, is_prefill, batch_id, stage] {
       Instance& target = instance(is_prefill);
@@ -252,8 +261,8 @@ void DisaggEngine::pump_transfers() {
     core_->decode_kv().allocate(seq->id(), tokens);
     const double bytes =
         static_cast<double>(cfg_.model.kv_bytes_per_token()) * static_cast<double>(tokens);
-    const hw::CommModel comm(
-        cfg_.cluster.link_between(cfg_.prefill_gpus - 1, cfg_.prefill_gpus));
+    const hw::CommModel comm(cfg_.cluster.link_between(cfg_.prefill_gpus * cfg_.tp - 1,
+                                                       cfg_.prefill_gpus * cfg_.tp));
     sim_.call_in(comm.p2p_time(bytes), [this, seq] { on_transfer_done(seq); });
     it = transfer_wait_.erase(it);
   }

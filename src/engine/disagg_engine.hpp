@@ -25,8 +25,11 @@ namespace gllm::engine {
 struct DisaggConfig {
   model::ModelConfig model;
   hw::ClusterSpec cluster;
-  int prefill_gpus = 2;  ///< PP depth of the prefill instance (GPUs [0, p))
-  int decode_gpus = 2;   ///< PP depth of the decode instance (GPUs [p, p+d))
+  int prefill_gpus = 2;  ///< PP depth of the prefill instance (GPUs [0, p*tp))
+  int decode_gpus = 2;   ///< PP depth of the decode instance (GPUs [p*tp, (p+d)*tp))
+  /// Tensor-parallel width of every stage in both instances; stage `s` of an
+  /// instance occupies `tp` consecutive GPUs.
+  int tp = 1;
   double gpu_memory_util = 0.90;
   int kv_block_size = 16;
   RuntimeModel runtime = RuntimeModel::gllm_async();

@@ -14,6 +14,7 @@ void EngineConfig::validate() const {
   if (pp <= 0 || tp <= 0) throw std::invalid_argument("EngineConfig: pp/tp must be > 0");
   if (pp * tp > cluster.total_gpus())
     throw std::invalid_argument("EngineConfig: pp*tp exceeds cluster GPUs");
+  model::validate_tp(model, tp);
   if (gpu_memory_util <= 0.0 || gpu_memory_util > 1.0)
     throw std::invalid_argument("EngineConfig: gpu_memory_util must be in (0, 1]");
   if (kv_block_size <= 0) throw std::invalid_argument("EngineConfig: block size must be > 0");
@@ -152,17 +153,15 @@ void PipelineEngine::try_schedule() {
 }
 
 double PipelineEngine::stage_forward_time(const Batch& batch, int stage) const {
-  double t = cost_.stage_time(plan_.stage(stage), batch.work, cfg_.tp);
+  // The cost model charges the TP-sharded compute plus the two per-layer
+  // ring all-reduces over the stage's actual TP-group link.
+  const int first_gpu = stage * cfg_.tp;
+  const hw::CommModel comm(
+      cfg_.tp > 1 ? cfg_.cluster.link_between(first_gpu, first_gpu + cfg_.tp - 1)
+                  : hw::links::loopback());
+  double t = cost_.stage_time(plan_.stage(stage), batch.work, cfg_.tp, comm);
   // Serialized CPU prep (vLLM-style coupled metadata) inflates every stage.
   t *= 1.0 + cfg_.runtime.serial_cpu_fraction;
-  // Tensor-parallel collectives: two all-reduces per layer over the stage's
-  // TP group link.
-  if (cfg_.tp > 1) {
-    const int first_gpu = stage * cfg_.tp;
-    const hw::CommModel comm(cfg_.cluster.link_between(first_gpu, first_gpu + cfg_.tp - 1));
-    const double bytes = cost_.activation_bytes(batch.total_new_tokens);
-    t += 2.0 * plan_.stage(stage).n_layers * comm.allreduce_time(bytes, cfg_.tp);
-  }
   // Driver scheduling cost is serialized before stage-0 execution.
   if (stage == 0) t += cfg_.runtime.sched_overhead;
   return t;

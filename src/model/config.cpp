@@ -136,9 +136,12 @@ ModelConfig tiny() {
   m.name = "tiny";
   m.n_layers = 8;
   m.hidden = 64;
-  m.n_heads = 4;
-  m.n_kv_heads = 2;
-  m.head_dim = 16;
+  // 8 query heads over 4 KV heads (GQA group of 2): every tp in {1, 2, 4}
+  // divides both head counts and `intermediate`, so the tiny model can run
+  // tensor-parallel sharded in tests.
+  m.n_heads = 8;
+  m.n_kv_heads = 4;
+  m.head_dim = 8;
   m.intermediate = 172;
   m.vocab = 256;
   m.dtype_bytes = 4;  // the CPU runtime computes in fp32

@@ -7,14 +7,20 @@
 
 namespace gllm::model {
 
-CostModel::CostModel(ModelConfig cfg, hw::GpuSpec gpu)
-    : cfg_(std::move(cfg)), gpu_(std::move(gpu)) {
+CostModel::CostModel(ModelConfig cfg, hw::GpuSpec gpu, hw::LinkSpec tp_link)
+    : cfg_(std::move(cfg)), gpu_(std::move(gpu)), tp_comm_(std::move(tp_link)) {
   cfg_.validate();
 }
 
 StageTimeBreakdown CostModel::stage_breakdown(const StageShape& shape,
                                               std::span<const WorkItem> batch,
                                               int tp) const {
+  return stage_breakdown(shape, batch, tp, tp_comm_);
+}
+
+StageTimeBreakdown CostModel::stage_breakdown(const StageShape& shape,
+                                              std::span<const WorkItem> batch, int tp,
+                                              const hw::CommModel& comm) const {
   if (tp < 1) throw std::invalid_argument("CostModel: tp must be >= 1");
   StageTimeBreakdown out;
 
@@ -90,14 +96,27 @@ StageTimeBreakdown CostModel::stage_breakdown(const StageShape& shape,
   out.kv_bytes = kv_bytes / tp;
   out.gemm_time = std::max(out.gemm_flops / flops_rate, out.weight_bytes / bw);
   out.attn_time = std::max(out.attn_flops / flops_rate, out.kv_bytes / bw);
+  // Tensor-parallel collectives: the row-sharded attention output and MLP
+  // down projections each end in a ring all-reduce of the batch's
+  // activations, two per layer. Payload scales with hidden * new tokens.
+  if (tp > 1) {
+    const double act = activation_bytes(static_cast<int>(total_tokens));
+    out.comm_bytes = 2.0 * shape.n_layers * act;
+    out.comm_time = 2.0 * shape.n_layers * comm.allreduce_time(act, tp);
+  }
   out.overhead = shape.n_layers * gpu_.kernel_overhead + gpu_.iteration_overhead;
-  out.total = out.gemm_time + out.attn_time + out.overhead;
+  out.total = out.gemm_time + out.attn_time + out.comm_time + out.overhead;
   return out;
 }
 
 double CostModel::stage_time(const StageShape& shape, std::span<const WorkItem> batch,
                              int tp) const {
   return stage_breakdown(shape, batch, tp).total;
+}
+
+double CostModel::stage_time(const StageShape& shape, std::span<const WorkItem> batch,
+                             int tp, const hw::CommModel& comm) const {
+  return stage_breakdown(shape, batch, tp, comm).total;
 }
 
 std::int64_t kv_token_capacity(const PartitionPlan& plan, const hw::GpuSpec& gpu,
@@ -117,6 +136,65 @@ std::int64_t kv_token_capacity(const PartitionPlan& plan, const hw::GpuSpec& gpu
     capacity = std::min(capacity, static_cast<std::int64_t>(budget / per_token));
   }
   return capacity;
+}
+
+std::int64_t kv_token_capacity(const ParallelPlan& plan, const hw::GpuSpec& gpu,
+                               double gpu_memory_util) {
+  return kv_token_capacity(plan.partition(), gpu, gpu_memory_util, plan.tp());
+}
+
+std::vector<ParallelPlanChoice> search_parallel_plans(const ModelConfig& cfg,
+                                                      const hw::ClusterSpec& cluster,
+                                                      double gpu_memory_util,
+                                                      std::int64_t min_kv_tokens) {
+  cfg.validate();
+  const CostModel cost(cfg, cluster.gpu);
+
+  // Canonical mixed batch: one max-size prefill chunk plus a decode cohort at
+  // moderate context — the steady-state iteration Token Throttling aims for.
+  std::vector<WorkItem> batch;
+  batch.push_back(WorkItem{2048, 0, true, false});
+  for (int i = 0; i < 32; ++i) batch.push_back(WorkItem{1, 512, false, true});
+  int batch_tokens = 0;
+  for (const WorkItem& w : batch) batch_tokens += w.new_tokens;
+
+  std::vector<ParallelPlanChoice> out;
+  for (int pp = 1; pp <= std::min(cfg.n_layers, cluster.total_gpus()); ++pp) {
+    for (int tp = 1; pp * tp <= cluster.total_gpus(); ++tp) {
+      try {
+        validate_tp(cfg, tp);
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+      const ParallelPlan plan(cfg, pp, tp);
+      const std::int64_t kv = kv_token_capacity(plan, cluster.gpu, gpu_memory_util);
+      if (kv < min_kv_tokens) continue;
+
+      double bottleneck = 0.0;
+      for (int s = 0; s < pp; ++s) {
+        const int first_gpu = s * tp;
+        const hw::CommModel comm(tp > 1
+                                     ? cluster.link_between(first_gpu, first_gpu + tp - 1)
+                                     : hw::links::loopback());
+        bottleneck =
+            std::max(bottleneck, cost.stage_time(plan.stage(s), batch, tp, comm));
+      }
+      ParallelPlanChoice choice;
+      choice.pp = pp;
+      choice.tp = tp;
+      choice.kv_capacity_tokens = kv;
+      choice.step_time = bottleneck;
+      choice.throughput = bottleneck > 0.0 ? batch_tokens / bottleneck : 0.0;
+      out.push_back(choice);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.throughput != b.throughput) return a.throughput > b.throughput;
+    // Tie-break: fewer devices first, then shallower pipelines.
+    if (a.pp * a.tp != b.pp * b.tp) return a.pp * a.tp < b.pp * b.tp;
+    return a.pp < b.pp;
+  });
+  return out;
 }
 
 }  // namespace gllm::model

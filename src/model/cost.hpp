@@ -2,8 +2,11 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
+#include "hw/cluster.hpp"
 #include "hw/gpu.hpp"
+#include "hw/interconnect.hpp"
 #include "model/config.hpp"
 #include "model/partition.hpp"
 
@@ -23,8 +26,10 @@ struct StageTimeBreakdown {
   double attn_flops = 0;
   double weight_bytes = 0;
   double kv_bytes = 0;
+  double comm_bytes = 0;  ///< activation payload reduced across the TP group
   double gemm_time = 0;
   double attn_time = 0;
+  double comm_time = 0;   ///< ring all-reduce time (0 when tp == 1)
   double overhead = 0;
   double total = 0;
 };
@@ -46,16 +51,26 @@ struct StageTimeBreakdown {
 /// policies and queueing are exact; only kernel latency is modelled.
 class CostModel {
  public:
-  CostModel(ModelConfig cfg, hw::GpuSpec gpu);
+  /// `tp_link` is the interconnect the TP group's collectives ride when the
+  /// per-call overloads are not given an explicit CommModel (engines pass
+  /// their cluster's actual link per stage).
+  CostModel(ModelConfig cfg, hw::GpuSpec gpu,
+            hw::LinkSpec tp_link = hw::links::nvlink());
 
   /// Forward time of `shape`'s layers over `batch`, optionally TP-sharded
-  /// `tp` ways (compute and traffic divided; collectives are charged by the
-  /// engine, not here).
+  /// `tp` ways: compute and memory traffic are divided by `tp`, and the two
+  /// per-layer ring all-reduces (post-attention, post-MLP) over the batch's
+  /// activations are charged here via hw::CommModel — TP is not free.
   double stage_time(const StageShape& shape, std::span<const WorkItem> batch,
                     int tp = 1) const;
+  double stage_time(const StageShape& shape, std::span<const WorkItem> batch, int tp,
+                    const hw::CommModel& comm) const;
 
   StageTimeBreakdown stage_breakdown(const StageShape& shape,
                                      std::span<const WorkItem> batch, int tp = 1) const;
+  StageTimeBreakdown stage_breakdown(const StageShape& shape,
+                                     std::span<const WorkItem> batch, int tp,
+                                     const hw::CommModel& comm) const;
 
   /// Bytes of activations handed to the next stage for `tokens` batched tokens.
   double activation_bytes(int tokens) const {
@@ -69,10 +84,12 @@ class CostModel {
 
   const ModelConfig& config() const { return cfg_; }
   const hw::GpuSpec& gpu() const { return gpu_; }
+  const hw::CommModel& tp_comm() const { return tp_comm_; }
 
  private:
   ModelConfig cfg_;
   hw::GpuSpec gpu_;
+  hw::CommModel tp_comm_;
 };
 
 /// KV-cache token capacity of a PP deployment: for each stage, the memory
@@ -81,5 +98,28 @@ class CostModel {
 /// stage must hold KV for every resident token).
 std::int64_t kv_token_capacity(const PartitionPlan& plan, const hw::GpuSpec& gpu,
                                double gpu_memory_util, int tp = 1);
+std::int64_t kv_token_capacity(const ParallelPlan& plan, const hw::GpuSpec& gpu,
+                               double gpu_memory_util);
+
+/// One candidate (pp, tp) mapping scored by the two-dimensional search.
+struct ParallelPlanChoice {
+  int pp = 1;
+  int tp = 1;
+  std::int64_t kv_capacity_tokens = 0;  ///< under the per-GPU memory bound
+  double step_time = 0;    ///< bottleneck stage forward time, collectives included
+  double throughput = 0;   ///< canonical-batch tokens/s at that bottleneck
+};
+
+/// Two-dimensional partition search: enumerate every (pp, tp) mapping with
+/// `pp <= n_layers`, `tp` dividing the head/FFN dimensions and `pp * tp <=
+/// cluster.total_gpus()`, keep those whose KV capacity under the per-GPU
+/// memory bound (`kv_token_capacity`) reaches `min_kv_tokens`, and rank by
+/// simulated throughput on a canonical mixed batch (one chunked prefill +
+/// a decode cohort). Collectives ride the cluster's actual links, so wide TP
+/// on a PCIe ring loses to deeper PP exactly as in the paper's testbed.
+/// Returns feasible choices sorted best-first; empty if nothing fits.
+std::vector<ParallelPlanChoice> search_parallel_plans(
+    const ModelConfig& cfg, const hw::ClusterSpec& cluster, double gpu_memory_util,
+    std::int64_t min_kv_tokens = 2048);
 
 }  // namespace gllm::model

@@ -44,4 +44,25 @@ double PartitionPlan::max_stage_weight_bytes() const {
   return best;
 }
 
+void validate_tp(const ModelConfig& cfg, int tp) {
+  if (tp <= 0) throw std::invalid_argument("validate_tp: tp must be > 0");
+  if (cfg.n_heads % tp != 0)
+    throw std::invalid_argument("validate_tp: tp=" + std::to_string(tp) +
+                                " does not divide n_heads=" + std::to_string(cfg.n_heads));
+  if (cfg.n_kv_heads % tp != 0)
+    throw std::invalid_argument("validate_tp: tp=" + std::to_string(tp) +
+                                " does not divide n_kv_heads=" +
+                                std::to_string(cfg.n_kv_heads) +
+                                " (GQA groups must stay intact)");
+  if (cfg.intermediate % tp != 0)
+    throw std::invalid_argument("validate_tp: tp=" + std::to_string(tp) +
+                                " does not divide intermediate=" +
+                                std::to_string(cfg.intermediate));
+}
+
+ParallelPlan::ParallelPlan(const ModelConfig& cfg, int pp, int tp)
+    : partition_(cfg, pp), tp_(tp) {
+  validate_tp(cfg, tp);
+}
+
 }  // namespace gllm::model

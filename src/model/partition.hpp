@@ -39,4 +39,37 @@ class PartitionPlan {
   std::vector<StageShape> shapes_;
 };
 
+/// Throws std::invalid_argument unless the model can be tensor-parallel
+/// sharded `tp` ways: the query heads, KV heads (GQA groups stay intact —
+/// every query head's KV head must live in the same shard) and the FFN
+/// intermediate dimension must all divide evenly.
+void validate_tp(const ModelConfig& cfg, int tp);
+
+/// Two-dimensional parallelism mapping: `pp` pipeline stages, each sharded
+/// `tp` ways across its tensor-parallel group. Wraps the 1-D layer split and
+/// adds the TP divisibility validation; `pp * tp` devices total, stage `s`
+/// occupying devices `[s*tp, (s+1)*tp)`.
+class ParallelPlan {
+ public:
+  ParallelPlan(const ModelConfig& cfg, int pp, int tp);
+
+  int pp() const { return partition_.stages(); }
+  int tp() const { return tp_; }
+  int total_devices() const { return pp() * tp_; }
+
+  const PartitionPlan& partition() const { return partition_; }
+  const StageShape& stage(int s) const { return partition_.stage(s); }
+  const ModelConfig& config() const { return partition_.config(); }
+
+  /// Per-device weight bytes for stage `s`: the stage's footprint divided
+  /// across its TP group.
+  double device_weight_bytes(int s) const {
+    return partition_.stage_weight_bytes(s) / tp_;
+  }
+
+ private:
+  PartitionPlan partition_;
+  int tp_ = 1;
+};
+
 }  // namespace gllm::model

@@ -248,6 +248,7 @@ void DriverTransport::wait_ready() {
     HelloAck ack;
     ack.stage = s;
     ack.pp = pp;
+    ack.tp = options_.tp;
     ack.model = options_.model;
     ack.weight_seed = options_.weight_seed;
     ack.kv_capacity_tokens = options_.kv_capacity_tokens;
@@ -532,6 +533,7 @@ int run_worker(const WorkerOptions& opt) {
   std::unique_ptr<Conn> next;  // activations out, to stage+1
   try {
     ack.model.validate();
+    model::validate_tp(ack.model, ack.tp);
     if (stage < 0 || stage >= pp) throw std::invalid_argument("stage out of range");
     if (ack.kv_block_size <= 0 || ack.kv_capacity_tokens <= 0)
       throw std::invalid_argument("bad kv config");
@@ -578,7 +580,7 @@ int run_worker(const WorkerOptions& opt) {
   runtime::StageWorker worker(ack.model, shape, ack.weight_seed, kv_blocks,
                               ack.kv_block_size, meta_q, stage > 0 ? &act_in_q : nullptr,
                               !last ? &act_out_q : nullptr, last ? &sample_q : nullptr,
-                              sampler, tracer, stage);
+                              sampler, tracer, stage, ack.tp);
   worker.start();
 
   if (!driver.send(MsgType::kReady, {}, sent_stats(net_metrics, MsgType::kReady))) {
@@ -717,7 +719,7 @@ PipelineBackend make_pipeline_backend(const runtime::RuntimeOptions& opt,
     backend.local =
         runtime::assemble_pipeline(opt.model, opt.pp, opt.weight_seed,
                                    opt.kv_capacity_tokens, opt.kv_block_size,
-                                   std::move(sampler), tracer);
+                                   std::move(sampler), tracer, opt.tp);
     return backend;
   }
   backend.remote = std::make_unique<DriverTransport>(opt);

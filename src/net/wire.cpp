@@ -325,6 +325,7 @@ bool decode_model(WireReader& r, model::ModelConfig& m) {
 void encode(WireWriter& w, const HelloAck& a) {
   w.i32(a.stage);
   w.i32(a.pp);
+  w.i32(a.tp);
   encode_model(w, a.model);
   w.u64(a.weight_seed);
   w.i64(a.kv_capacity_tokens);
@@ -340,7 +341,7 @@ void encode(WireWriter& w, const HelloAck& a) {
 }
 
 bool decode(WireReader& r, HelloAck& a) {
-  return r.i32(a.stage) && r.i32(a.pp) && decode_model(r, a.model) &&
+  return r.i32(a.stage) && r.i32(a.pp) && r.i32(a.tp) && decode_model(r, a.model) &&
          r.u64(a.weight_seed) && r.i64(a.kv_capacity_tokens) &&
          r.i32(a.kv_block_size) && r.boolean(a.greedy_sampling) && r.i32(a.top_k) &&
          r.f32(a.temperature) && r.u64(a.sampler_seed) && r.str(a.next_host, 256) &&

@@ -13,7 +13,8 @@ namespace gllm::net {
 /// Wire protocol version, carried in every frame header and in the Hello
 /// handshake. Bump on any incompatible change to the encodings below.
 /// v2: StreamEvent carries a terminal error code.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// v3: HelloAck carries the tensor-parallel width.
+inline constexpr std::uint16_t kWireVersion = 3;
 
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the per-frame checksum.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
@@ -110,6 +111,7 @@ struct Hello {
 struct HelloAck {
   std::int32_t stage = 0;
   std::int32_t pp = 1;
+  std::int32_t tp = 1;  ///< tensor-parallel width of every stage (v3)
   model::ModelConfig model;
   std::uint64_t weight_seed = 0;
   std::int64_t kv_capacity_tokens = 0;

@@ -1,0 +1,45 @@
+#include "nn/allreduce.hpp"
+
+#include <stdexcept>
+
+#include "util/threadpool.hpp"
+
+namespace gllm::nn {
+
+AllReduce::AllReduce(int tp) : tp_(tp) {
+  if (tp < 1) throw std::invalid_argument("AllReduce: tp must be >= 1");
+}
+
+void AllReduce::run_sharded(const std::function<void(int)>& fn) const {
+  if (tp_ == 1) {
+    fn(0);
+    return;
+  }
+  // grain 1: one lane per shard. With fewer pool threads than shards the
+  // chunks merge and a lane runs several shards serially — same result,
+  // because every shard's work is self-contained.
+  util::ThreadPool::shared().parallel_for(
+      0, static_cast<std::size_t>(tp_),
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) fn(static_cast<int>(r));
+      },
+      /*grain=*/1);
+}
+
+void AllReduce::reduce(std::span<const float> partials, int chunks,
+                       std::span<float> out) {
+  const std::size_t n = out.size();
+  if (chunks < 1 || partials.size() != n * static_cast<std::size_t>(chunks))
+    throw std::invalid_argument("AllReduce::reduce: partials/out size mismatch");
+  for (std::size_t j = 0; j < n; ++j) {
+    float acc = partials[j];
+    for (int c = 1; c < chunks; ++c)
+      acc += partials[static_cast<std::size_t>(c) * n + j];
+    out[j] = acc;
+  }
+  ++ops_;
+  bytes_ += static_cast<std::int64_t>(n) * chunks *
+            static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace gllm::nn

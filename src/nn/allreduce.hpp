@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace gllm::nn {
+
+/// In-process tensor-parallel collective for the shard-major CPU runtime.
+///
+/// Two halves, mirroring a real TP group:
+///  * `run_sharded(fn)` is the fork-join: fn(shard) runs for every shard in
+///    [0, tp) on the shared thread pool, one execution lane per shard, and
+///    returns when all lanes finish. Shards must touch disjoint state — each
+///    writes only its own weight slice, KV pool and scratch columns.
+///  * `reduce(...)` is the deterministic summation: per-chunk partial sums
+///    are folded in fixed ascending chunk order. Float addition is not
+///    associative, so the *chunk order*, never the thread schedule, defines
+///    the result — any shard count that owns whole chunks produces
+///    bit-identical outputs (the token-equality proof bar across tp).
+class AllReduce {
+ public:
+  explicit AllReduce(int tp);
+
+  int tp() const { return tp_; }
+
+  /// Fork-join over the shards. Safe to call from any thread; must not be
+  /// nested inside another shared-pool parallel_for.
+  void run_sharded(const std::function<void(int shard)>& fn) const;
+
+  /// out[j] = partials[0*n + j] + partials[1*n + j] + ... for j in [0, n),
+  /// n = out.size(), `partials` chunk-major with `chunks` slabs of n floats.
+  /// Counts one collective and `chunks * n * sizeof(float)` reduced bytes.
+  void reduce(std::span<const float> partials, int chunks, std::span<float> out);
+
+  /// Collective counters, for /v1/stats-style reporting and tests.
+  std::int64_t ops() const { return ops_; }
+  std::int64_t bytes() const { return bytes_; }
+
+ private:
+  int tp_ = 1;
+  std::int64_t ops_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace gllm::nn

@@ -5,14 +5,16 @@
 namespace gllm::nn {
 
 KvPool::KvPool(const model::ModelConfig& cfg, int first_layer, int n_layers,
-               std::int32_t n_blocks, int block_size)
+               std::int32_t n_blocks, int block_size, int n_kv_heads)
     : first_layer_(first_layer),
       n_layers_(n_layers),
       block_size_(block_size),
       n_blocks_(n_blocks),
-      kv_dim_(cfg.n_kv_heads * cfg.head_dim) {
+      kv_dim_((n_kv_heads > 0 ? n_kv_heads : cfg.n_kv_heads) * cfg.head_dim) {
   if (n_layers <= 0 || n_blocks < 0 || block_size <= 0)
     throw std::invalid_argument("KvPool: invalid geometry");
+  if (n_kv_heads < 0 || n_kv_heads > cfg.n_kv_heads)
+    throw std::invalid_argument("KvPool: n_kv_heads override out of range");
   const std::int64_t rows =
       static_cast<std::int64_t>(n_layers) * n_blocks * block_size;
   k_ = tensor::Tensor({rows, kv_dim_});

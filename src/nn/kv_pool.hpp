@@ -17,8 +17,10 @@ namespace gllm::nn {
 /// tables across workers.
 class KvPool {
  public:
+  /// `n_kv_heads` overrides the model's KV head count (a tensor-parallel
+  /// shard's pool holds only its own heads); 0 means all of them.
   KvPool(const model::ModelConfig& cfg, int first_layer, int n_layers,
-         std::int32_t n_blocks, int block_size);
+         std::int32_t n_blocks, int block_size, int n_kv_heads = 0);
 
   int first_layer() const { return first_layer_; }
   int n_layers() const { return n_layers_; }

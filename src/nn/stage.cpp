@@ -28,6 +28,36 @@ tensor::Tensor ones(std::vector<std::int64_t> shape) {
   return t;
 }
 
+/// Rows [row0, row0 + n) of `src` as a fresh tensor.
+tensor::Tensor slice_rows(const tensor::Tensor& src, std::int64_t row0, std::int64_t n) {
+  tensor::Tensor out({n, src.dim(1)});
+  for (std::int64_t r = 0; r < n; ++r) {
+    const auto s = src.row(row0 + r);
+    auto d = out.row(r);
+    std::copy(s.begin(), s.end(), d.begin());
+  }
+  return out;
+}
+
+/// Columns [col0, col0 + n) of every row of `src` as a fresh tensor.
+tensor::Tensor slice_cols(const tensor::Tensor& src, std::int64_t col0, std::int64_t n) {
+  tensor::Tensor out({src.dim(0), n});
+  for (std::int64_t r = 0; r < src.dim(0); ++r) {
+    const auto s = src.row(r);
+    auto d = out.row(r);
+    std::copy(s.begin() + col0, s.begin() + col0 + n, d.begin());
+  }
+  return out;
+}
+
+/// Sequential dot product — the one reduction order every projection uses,
+/// regardless of which shard computes it.
+inline float dot(const float* a, const float* b, std::int64_t n) {
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
 constexpr float kNormEps = 1e-5f;
 constexpr int kEmbedSlot = 100;
 constexpr int kHeadSlot = 101;
@@ -36,28 +66,65 @@ constexpr int kHeadSlot = 101;
 
 TransformerStage::TransformerStage(model::ModelConfig cfg, model::StageShape shape,
                                    std::uint64_t seed, std::int32_t kv_blocks,
-                                   int kv_block_size)
-    : cfg_(std::move(cfg)),
-      shape_(shape),
-      pool_(cfg_, shape.first_layer, shape.n_layers, kv_blocks, kv_block_size) {
+                                   int kv_block_size, int tp)
+    : cfg_(std::move(cfg)), shape_(shape), tp_(tp), allreduce_(tp) {
   cfg_.validate();
+  model::validate_tp(cfg_, tp);
+  heads_per_shard_ = cfg_.n_heads / tp_;
+  kv_heads_per_shard_ = cfg_.n_kv_heads / tp_;
+  group_ = cfg_.n_heads / cfg_.n_kv_heads;
+
   const std::int64_t h = cfg_.hidden;
   const std::int64_t q_dim = static_cast<std::int64_t>(cfg_.n_heads) * cfg_.head_dim;
   const std::int64_t kv_dim = static_cast<std::int64_t>(cfg_.n_kv_heads) * cfg_.head_dim;
   const std::int64_t inter = cfg_.intermediate;
 
+  // Fixed reduction chunking over `intermediate`: n_kv_heads nearly-even
+  // contiguous ranges, remainder to the earliest chunks. Shard boundaries
+  // always fall on chunk boundaries (tp divides n_kv_heads).
+  const int chunks = cfg_.n_kv_heads;
+  inter_chunk_begin_.resize(static_cast<std::size_t>(chunks) + 1);
+  const std::int64_t base = inter / chunks;
+  const std::int64_t extra = inter % chunks;
+  std::int64_t at = 0;
+  for (int c = 0; c <= chunks; ++c) {
+    inter_chunk_begin_[static_cast<std::size_t>(c)] = at;
+    if (c < chunks) at += base + (c < extra ? 1 : 0);
+  }
+
   layers_.reserve(static_cast<std::size_t>(shape.n_layers));
   for (int l = shape.first_layer; l < shape.last_layer_exclusive(); ++l) {
+    // Build the full deterministic tensors, then cut each shard's slice —
+    // shard rows/columns are bitwise-equal to the unsharded weights.
+    const tensor::Tensor wq = init_tensor(seed, l, 0, {q_dim, h}, h);
+    const tensor::Tensor wk = init_tensor(seed, l, 1, {kv_dim, h}, h);
+    const tensor::Tensor wv = init_tensor(seed, l, 2, {kv_dim, h}, h);
+    const tensor::Tensor wo = init_tensor(seed, l, 3, {h, q_dim}, q_dim);
+    const tensor::Tensor w_gate = init_tensor(seed, l, 4, {inter, h}, h);
+    const tensor::Tensor w_up = init_tensor(seed, l, 5, {inter, h}, h);
+    const tensor::Tensor w_down = init_tensor(seed, l, 6, {h, inter}, inter);
+
     LayerWeights w;
-    w.wq = init_tensor(seed, l, 0, {q_dim, h}, h);
-    w.wk = init_tensor(seed, l, 1, {kv_dim, h}, h);
-    w.wv = init_tensor(seed, l, 2, {kv_dim, h}, h);
-    w.wo = init_tensor(seed, l, 3, {h, q_dim}, q_dim);
-    w.w_gate = init_tensor(seed, l, 4, {inter, h}, h);
-    w.w_up = init_tensor(seed, l, 5, {inter, h}, h);
-    w.w_down = init_tensor(seed, l, 6, {h, inter}, inter);
     w.norm_attn = ones({h});
     w.norm_mlp = ones({h});
+    w.shards.reserve(static_cast<std::size_t>(tp_));
+    for (int r = 0; r < tp_; ++r) {
+      const std::int64_t q0 = static_cast<std::int64_t>(r) * q_shard_dim();
+      const std::int64_t kv0 = static_cast<std::int64_t>(r) * kv_shard_dim();
+      const std::int64_t i0 =
+          inter_chunk_begin_[static_cast<std::size_t>(r * kv_heads_per_shard_)];
+      const std::int64_t i1 =
+          inter_chunk_begin_[static_cast<std::size_t>((r + 1) * kv_heads_per_shard_)];
+      ShardWeights sw;
+      sw.wq = slice_rows(wq, q0, q_shard_dim());
+      sw.wk = slice_rows(wk, kv0, kv_shard_dim());
+      sw.wv = slice_rows(wv, kv0, kv_shard_dim());
+      sw.wo = slice_cols(wo, q0, q_shard_dim());
+      sw.w_gate = slice_rows(w_gate, i0, i1 - i0);
+      sw.w_up = slice_rows(w_up, i0, i1 - i0);
+      sw.w_down = slice_cols(w_down, i0, i1 - i0);
+      w.shards.push_back(std::move(sw));
+    }
     layers_.push_back(std::move(w));
   }
   if (shape.has_embedding) {
@@ -67,6 +134,11 @@ TransformerStage::TransformerStage(model::ModelConfig cfg, model::StageShape sha
     final_norm_ = ones({h});
     lm_head_ = init_tensor(seed, -1, kHeadSlot, {cfg_.vocab, h}, h);
   }
+
+  pools_.reserve(static_cast<std::size_t>(tp_));
+  for (int r = 0; r < tp_; ++r)
+    pools_.emplace_back(cfg_, shape.first_layer, shape.n_layers, kv_blocks,
+                        kv_block_size, kv_heads_per_shard_);
 }
 
 tensor::Tensor TransformerStage::embed(std::span<const TokenId> tokens) const {
@@ -103,9 +175,11 @@ void TransformerStage::attention(int layer, tensor::Tensor& hidden,
   const std::int64_t h = cfg_.hidden;
   const std::int64_t q_dim = static_cast<std::int64_t>(cfg_.n_heads) * cfg_.head_dim;
   const std::int64_t kv_dim = static_cast<std::int64_t>(cfg_.n_kv_heads) * cfg_.head_dim;
-  const int group = cfg_.n_heads / cfg_.n_kv_heads;
+  const int hd = cfg_.head_dim;
   const auto inv_sqrt_d = static_cast<float>(1.0 / std::sqrt(cfg_.head_dim));
-  const int bs = pool_.block_size();
+  const int bs = pools_.front().block_size();
+  const int chunks = cfg_.n_kv_heads;
+  const std::int64_t chunk_q = static_cast<std::int64_t>(group_) * hd;
 
   xn_ = tensor::Tensor({rows, h});
   for (std::int64_t r = 0; r < rows; ++r)
@@ -114,63 +188,107 @@ void TransformerStage::attention(int layer, tensor::Tensor& hidden,
   q_ = tensor::Tensor({rows, q_dim});
   k_ = tensor::Tensor({rows, kv_dim});
   v_ = tensor::Tensor({rows, kv_dim});
-  tensor::matmul_nt(xn_, w.wq, q_);
-  tensor::matmul_nt(xn_, w.wk, k_);
-  tensor::matmul_nt(xn_, w.wv, v_);
-
   attn_ = tensor::Tensor({rows, q_dim});
+  partial_ = tensor::Tensor({static_cast<std::int64_t>(chunks) * rows, h});
 
-  std::int64_t row0 = 0;
-  for (const ItemView& item : items) {
-    // RoPE + KV write for the item's new tokens.
-    for (int i = 0; i < item.n_tokens; ++i) {
-      const std::int64_t pos = item.context + i;
-      tensor::rope_row(q_.row(row0 + i), cfg_.n_heads, cfg_.head_dim, pos);
-      tensor::rope_row(k_.row(row0 + i), cfg_.n_kv_heads, cfg_.head_dim, pos);
-      const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(pos / bs));
-      const int slot = static_cast<int>(pos % bs);
-      auto kdst = pool_.k_slot(layer, block, slot);
-      auto vdst = pool_.v_slot(layer, block, slot);
-      const auto ksrc = k_.row(row0 + i);
-      const auto vsrc = v_.row(row0 + i);
-      std::copy(ksrc.begin(), ksrc.end(), kdst.begin());
-      std::copy(vsrc.begin(), vsrc.end(), vdst.begin());
-    }
-    // Causal attention over the paged cache (deterministic sequential
-    // reduction in logical position order).
-    for (int i = 0; i < item.n_tokens; ++i) {
-      const std::int64_t pos = item.context + i;
-      const auto qrow = q_.row(row0 + i);
-      auto orow = attn_.row(row0 + i);
-      std::vector<float> scores(static_cast<std::size_t>(pos) + 1);
-      for (int head = 0; head < cfg_.n_heads; ++head) {
-        const int kv_head = head / group;
-        const float* qh = qrow.data() + static_cast<std::size_t>(head) * cfg_.head_dim;
-        for (std::int64_t p = 0; p <= pos; ++p) {
-          const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(p / bs));
-          const auto krow = pool_.k_slot(layer, block, static_cast<int>(p % bs));
-          const float* kh = krow.data() + static_cast<std::size_t>(kv_head) * cfg_.head_dim;
-          float dot = 0.0f;
-          for (int d = 0; d < cfg_.head_dim; ++d) dot += qh[d] * kh[d];
-          scores[static_cast<std::size_t>(p)] = dot * inv_sqrt_d;
-        }
-        tensor::softmax_inplace(scores);
-        float* oh = orow.data() + static_cast<std::size_t>(head) * cfg_.head_dim;
-        std::fill(oh, oh + cfg_.head_dim, 0.0f);
-        for (std::int64_t p = 0; p <= pos; ++p) {
-          const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(p / bs));
-          const auto vrow = pool_.v_slot(layer, block, static_cast<int>(p % bs));
-          const float* vh = vrow.data() + static_cast<std::size_t>(kv_head) * cfg_.head_dim;
-          const float prob = scores[static_cast<std::size_t>(p)];
-          for (int d = 0; d < cfg_.head_dim; ++d) oh[d] += prob * vh[d];
-        }
+  // Shard phase: each lane computes its own Q/K/V columns, applies RoPE to
+  // its own heads, writes its own KV pool, runs attention for its own query
+  // heads (the matching KV head is local — GQA groups stay intact) and emits
+  // per-chunk partial sums of the output projection. All writes are to
+  // shard-private columns/slabs, so lanes never race.
+  allreduce_.run_sharded([&](int shard) {
+    const ShardWeights& sw = w.shards[static_cast<std::size_t>(shard)];
+    KvPool& pool = pools_[static_cast<std::size_t>(shard)];
+    const std::int64_t q0 = static_cast<std::int64_t>(shard) * q_shard_dim();
+    const std::int64_t kv0 = static_cast<std::int64_t>(shard) * kv_shard_dim();
+
+    for (std::int64_t m = 0; m < rows; ++m) {
+      const float* x = xn_.row(m).data();
+      float* qrow = q_.row(m).data();
+      float* krow = k_.row(m).data();
+      float* vrow = v_.row(m).data();
+      for (std::int64_t j = 0; j < q_shard_dim(); ++j)
+        qrow[q0 + j] = dot(x, sw.wq.row(j).data(), h);
+      for (std::int64_t j = 0; j < kv_shard_dim(); ++j) {
+        krow[kv0 + j] = dot(x, sw.wk.row(j).data(), h);
+        vrow[kv0 + j] = dot(x, sw.wv.row(j).data(), h);
       }
     }
-    row0 += item.n_tokens;
-  }
+
+    std::int64_t row0 = 0;
+    for (const ItemView& item : items) {
+      // RoPE + KV write for the item's new tokens (this shard's heads only).
+      for (int i = 0; i < item.n_tokens; ++i) {
+        const std::int64_t pos = item.context + i;
+        const std::int64_t m = row0 + i;
+        tensor::rope_row(q_.row(m).subspan(static_cast<std::size_t>(q0),
+                                           static_cast<std::size_t>(q_shard_dim())),
+                         heads_per_shard_, hd, pos);
+        tensor::rope_row(k_.row(m).subspan(static_cast<std::size_t>(kv0),
+                                           static_cast<std::size_t>(kv_shard_dim())),
+                         kv_heads_per_shard_, hd, pos);
+        const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(pos / bs));
+        const int slot = static_cast<int>(pos % bs);
+        auto kdst = pool.k_slot(layer, block, slot);
+        auto vdst = pool.v_slot(layer, block, slot);
+        std::copy(k_.row(m).begin() + kv0, k_.row(m).begin() + kv0 + kv_shard_dim(),
+                  kdst.begin());
+        std::copy(v_.row(m).begin() + kv0, v_.row(m).begin() + kv0 + kv_shard_dim(),
+                  vdst.begin());
+      }
+      // Causal attention over the shard's paged cache (deterministic
+      // sequential reduction in logical position order).
+      for (int i = 0; i < item.n_tokens; ++i) {
+        const std::int64_t pos = item.context + i;
+        const float* qrow = q_.row(row0 + i).data();
+        float* orow = attn_.row(row0 + i).data();
+        std::vector<float> scores(static_cast<std::size_t>(pos) + 1);
+        for (int hl = 0; hl < heads_per_shard_; ++hl) {
+          const int head = shard * heads_per_shard_ + hl;
+          const int kv_local = hl / group_;
+          const float* qh = qrow + static_cast<std::size_t>(head) * hd;
+          for (std::int64_t p = 0; p <= pos; ++p) {
+            const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(p / bs));
+            const auto kslot = pool.k_slot(layer, block, static_cast<int>(p % bs));
+            const float* kh = kslot.data() + static_cast<std::size_t>(kv_local) * hd;
+            scores[static_cast<std::size_t>(p)] = dot(qh, kh, hd) * inv_sqrt_d;
+          }
+          tensor::softmax_inplace(scores);
+          float* oh = orow + static_cast<std::size_t>(head) * hd;
+          std::fill(oh, oh + hd, 0.0f);
+          for (std::int64_t p = 0; p <= pos; ++p) {
+            const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(p / bs));
+            const auto vslot = pool.v_slot(layer, block, static_cast<int>(p % bs));
+            const float* vh = vslot.data() + static_cast<std::size_t>(kv_local) * hd;
+            const float prob = scores[static_cast<std::size_t>(p)];
+            for (int d = 0; d < hd; ++d) oh[d] += prob * vh[d];
+          }
+        }
+      }
+      row0 += item.n_tokens;
+    }
+
+    // Output projection: one partial slab per owned chunk (chunk = one KV
+    // head's group of query columns), never merged locally — the reduce
+    // phase folds all chunks in fixed order for every tp.
+    for (int c = shard * kv_heads_per_shard_; c < (shard + 1) * kv_heads_per_shard_;
+         ++c) {
+      const std::int64_t col0 = static_cast<std::int64_t>(c) * chunk_q;
+      const std::int64_t local0 = col0 - q0;
+      for (std::int64_t m = 0; m < rows; ++m) {
+        const float* arow = attn_.row(m).data() + col0;
+        float* prow = partial_.row(static_cast<std::int64_t>(c) * rows + m).data();
+        for (std::int64_t j = 0; j < h; ++j)
+          prow[j] = dot(arow, sw.wo.row(j).data() + local0, chunk_q);
+      }
+    }
+  });
 
   proj_ = tensor::Tensor({rows, h});
-  tensor::matmul_nt(attn_, w.wo, proj_);
+  {
+    obs::SpanGuard span(tracer_, track_, "stage.allreduce");
+    allreduce_.reduce(partial_.flat(), chunks, proj_.flat());
+  }
   for (std::int64_t r = 0; r < rows; ++r) tensor::add_inplace(hidden.row(r), proj_.row(r));
 }
 
@@ -179,6 +297,7 @@ void TransformerStage::mlp(int layer, tensor::Tensor& hidden) {
   const std::int64_t rows = hidden.dim(0);
   const std::int64_t h = cfg_.hidden;
   const std::int64_t inter = cfg_.intermediate;
+  const int chunks = cfg_.n_kv_heads;
 
   xn_ = tensor::Tensor({rows, h});
   for (std::int64_t r = 0; r < rows; ++r)
@@ -187,12 +306,54 @@ void TransformerStage::mlp(int layer, tensor::Tensor& hidden) {
   gate_ = tensor::Tensor({rows, inter});
   up_ = tensor::Tensor({rows, inter});
   act_ = tensor::Tensor({rows, inter});
+  partial_ = tensor::Tensor({static_cast<std::int64_t>(chunks) * rows, h});
+
+  // Shard phase: gate/up are row-sharded over the shard's intermediate
+  // range, SwiGLU is elementwise on that range, and the down projection
+  // emits per-chunk partials exactly like the attention output.
+  allreduce_.run_sharded([&](int shard) {
+    const ShardWeights& sw = w.shards[static_cast<std::size_t>(shard)];
+    const std::int64_t i0 =
+        inter_chunk_begin_[static_cast<std::size_t>(shard * kv_heads_per_shard_)];
+    const std::int64_t i1 =
+        inter_chunk_begin_[static_cast<std::size_t>((shard + 1) * kv_heads_per_shard_)];
+
+    for (std::int64_t m = 0; m < rows; ++m) {
+      const float* x = xn_.row(m).data();
+      float* grow = gate_.row(m).data();
+      float* urow = up_.row(m).data();
+      for (std::int64_t j = 0; j < i1 - i0; ++j) {
+        grow[i0 + j] = dot(x, sw.w_gate.row(j).data(), h);
+        urow[i0 + j] = dot(x, sw.w_up.row(j).data(), h);
+      }
+      tensor::swiglu_row(
+          gate_.row(m).subspan(static_cast<std::size_t>(i0),
+                               static_cast<std::size_t>(i1 - i0)),
+          up_.row(m).subspan(static_cast<std::size_t>(i0),
+                             static_cast<std::size_t>(i1 - i0)),
+          act_.row(m).subspan(static_cast<std::size_t>(i0),
+                              static_cast<std::size_t>(i1 - i0)));
+    }
+
+    for (int c = shard * kv_heads_per_shard_; c < (shard + 1) * kv_heads_per_shard_;
+         ++c) {
+      const std::int64_t c0 = inter_chunk_begin_[static_cast<std::size_t>(c)];
+      const std::int64_t cw = inter_chunk_begin_[static_cast<std::size_t>(c) + 1] - c0;
+      const std::int64_t local0 = c0 - i0;
+      for (std::int64_t m = 0; m < rows; ++m) {
+        const float* arow = act_.row(m).data() + c0;
+        float* prow = partial_.row(static_cast<std::int64_t>(c) * rows + m).data();
+        for (std::int64_t j = 0; j < h; ++j)
+          prow[j] = dot(arow, sw.w_down.row(j).data() + local0, cw);
+      }
+    }
+  });
+
   down_ = tensor::Tensor({rows, h});
-  tensor::matmul_nt(xn_, w.w_gate, gate_);
-  tensor::matmul_nt(xn_, w.w_up, up_);
-  for (std::int64_t r = 0; r < rows; ++r)
-    tensor::swiglu_row(gate_.row(r), up_.row(r), act_.row(r));
-  tensor::matmul_nt(act_, w.w_down, down_);
+  {
+    obs::SpanGuard span(tracer_, track_, "stage.allreduce");
+    allreduce_.reduce(partial_.flat(), chunks, down_.flat());
+  }
   for (std::int64_t r = 0; r < rows; ++r) tensor::add_inplace(hidden.row(r), down_.row(r));
 }
 

@@ -7,7 +7,9 @@
 #include "kv/prefix_cache.hpp"  // TokenId
 #include "model/config.hpp"
 #include "model/partition.hpp"
+#include "nn/allreduce.hpp"
 #include "nn/kv_pool.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace gllm::nn {
@@ -24,33 +26,69 @@ struct ItemView {
   bool wants_logits = false;        ///< sample from this item's last new row
 };
 
+/// One tensor-parallel shard's slice of a decoder layer (Megatron layout):
+/// Q/K/V and gate/up are row-sharded (the shard computes its own output
+/// columns from the full input), O and down are column-sharded (the shard
+/// contributes partial sums over its own input columns, combined by the
+/// deterministic all-reduce).
+struct ShardWeights {
+  tensor::Tensor wq, wk, wv;      // [q_shard|kv_shard, hidden]
+  tensor::Tensor wo;              // [hidden, q_shard]
+  tensor::Tensor w_gate, w_up;    // [inter_shard, hidden]
+  tensor::Tensor w_down;          // [hidden, inter_shard]
+};
+
 /// Weights of one decoder layer (GQA attention + SwiGLU MLP, RMSNorm).
+/// Norm gammas are replicated; everything else lives in per-shard slices
+/// (a single slice covering the whole layer when tp == 1).
 struct LayerWeights {
-  tensor::Tensor wq, wk, wv, wo;          // projections, [out, in]
-  tensor::Tensor norm_attn, norm_mlp;     // RMSNorm gammas
-  tensor::Tensor w_gate, w_up, w_down;    // MLP
+  tensor::Tensor norm_attn, norm_mlp;  // RMSNorm gammas, replicated
+  std::vector<ShardWeights> shards;    // size tp
 };
 
 /// A contiguous slice of a decoder-only transformer with paged-KV attention —
-/// what one pipeline-stage worker executes. Holding the whole model in a
-/// single stage gives the reference engine used for token-equality checks.
+/// what one pipeline-stage worker executes, optionally sharded `tp` ways
+/// across the shared thread pool. Holding the whole model in a single stage
+/// gives the reference engine used for token-equality checks.
 ///
 /// Weights are generated deterministically from (seed, layer, tensor) so any
-/// partitioning of the same model id produces identical layer weights.
+/// partitioning of the same model id produces identical layer weights; shard
+/// slices are cut from the full deterministic tensors, so a shard's rows are
+/// bitwise-equal to the corresponding rows of the unsharded weights.
+///
+/// Bit-reproducibility across tp: every row-sharded projection is a
+/// sequential dot per output element (identical no matter which shard owns
+/// it), and both column-sharded projections (attention output, MLP down)
+/// always accumulate per-chunk partial sums at the finest sharding
+/// granularity — `n_kv_heads` chunks — which AllReduce::reduce folds in fixed
+/// chunk order. Any tp dividing n_kv_heads owns whole chunks, so tp 1/2/4
+/// and the single-stage reference produce bit-identical activations.
 class TransformerStage {
  public:
   TransformerStage(model::ModelConfig cfg, model::StageShape shape, std::uint64_t seed,
-                   std::int32_t kv_blocks, int kv_block_size);
+                   std::int32_t kv_blocks, int kv_block_size, int tp = 1);
 
   const model::ModelConfig& config() const { return cfg_; }
   const model::StageShape& shape() const { return shape_; }
-  KvPool& kv_pool() { return pool_; }
+  int tp() const { return tp_; }
+  KvPool& kv_pool() { return pools_.front(); }
+  KvPool& kv_pool(int shard) { return pools_.at(static_cast<std::size_t>(shard)); }
+
+  /// Emit `stage.allreduce` spans on `tracer` track `track` (null disables).
+  void set_tracer(obs::Tracer* tracer, int track) {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
+  /// Collective counters (reduce-phase invocations / folded bytes).
+  std::int64_t allreduce_ops() const { return allreduce_.ops(); }
+  std::int64_t allreduce_bytes() const { return allreduce_.bytes(); }
 
   /// Embed token ids into hidden states (first stage only).
   tensor::Tensor embed(std::span<const TokenId> tokens) const;
 
   /// Run this stage's layers in-place over `hidden` ([sum n_tokens, hidden]),
-  /// writing new K/V into the pool. Rows are ordered item-by-item.
+  /// writing new K/V into the per-shard pools. Rows are ordered item-by-item.
   void forward(tensor::Tensor& hidden, std::span<const ItemView> items);
 
   /// Final norm + LM head over the last new row of each logits-wanting item
@@ -61,16 +99,30 @@ class TransformerStage {
   void attention(int layer, tensor::Tensor& hidden, std::span<const ItemView> items);
   void mlp(int layer, tensor::Tensor& hidden);
 
+  // Shard geometry (see the class comment for the chunk invariants).
+  std::int64_t q_shard_dim() const { return heads_per_shard_ * cfg_.head_dim; }
+  std::int64_t kv_shard_dim() const { return kv_heads_per_shard_ * cfg_.head_dim; }
+
   model::ModelConfig cfg_;
   model::StageShape shape_;
+  int tp_ = 1;
+  int heads_per_shard_ = 0;
+  int kv_heads_per_shard_ = 0;
+  int group_ = 1;  ///< query heads per KV head (GQA group width)
+  /// Reduction chunk boundaries over `intermediate`: n_kv_heads nearly-even
+  /// contiguous ranges (remainder to the earliest), shared by every tp.
+  std::vector<std::int64_t> inter_chunk_begin_;
   std::vector<LayerWeights> layers_;
   tensor::Tensor embedding_;   // [vocab, hidden], first stage
   tensor::Tensor final_norm_;  // [hidden], last stage
   tensor::Tensor lm_head_;     // [vocab, hidden], last stage
-  KvPool pool_;
+  std::vector<KvPool> pools_;  // one per shard, each holding its own KV heads
+  AllReduce allreduce_;
+  obs::Tracer* tracer_ = nullptr;
+  int track_ = 0;
 
   // scratch buffers reused across forwards
-  tensor::Tensor xn_, q_, k_, v_, attn_, proj_, gate_, up_, act_, down_;
+  tensor::Tensor xn_, q_, k_, v_, attn_, proj_, gate_, up_, act_, down_, partial_;
 };
 
 }  // namespace gllm::nn

@@ -88,9 +88,10 @@ void PipelineHandles::shutdown() {
 PipelineHandles assemble_pipeline(const model::ModelConfig& model, int pp,
                                   std::uint64_t weight_seed, std::int64_t kv_capacity,
                                   int kv_block_size, nn::Sampler sampler,
-                                  obs::Tracer* tracer) {
+                                  obs::Tracer* tracer, int tp) {
   PipelineHandles handles;
   const model::PartitionPlan partition(model, pp);
+  model::validate_tp(model, tp);
   const auto kv_blocks = static_cast<std::int32_t>(kv_capacity / kv_block_size);
 
   handles.samples = std::make_unique<SampleChannel>(1024);
@@ -108,7 +109,7 @@ PipelineHandles assemble_pipeline(const model::ModelConfig& model, int pp,
     handles.workers.push_back(std::make_unique<StageWorker>(
         model, partition.stage(s), weight_seed, kv_blocks, kv_block_size,
         *handles.meta_channels[static_cast<std::size_t>(s)], in, out, sout, sampler,
-        tracer, s));
+        tracer, s, tp));
   }
   for (auto& w : handles.workers) w->start();
   for (auto& ch : handles.meta_channels) handles.channel_ptrs.push_back(ch.get());

@@ -106,12 +106,13 @@ struct PipelineHandles {
   void shutdown();
 };
 
-/// Build and start the stage workers for `model` partitioned `pp` ways.
-/// `tracer` (nullable) gives each worker a span track equal to its stage
-/// index; it must outlive the workers.
+/// Build and start the stage workers for `model` partitioned `pp` ways, each
+/// stage sharded `tp` ways over the shared thread pool. `tracer` (nullable)
+/// gives each worker a span track equal to its stage index; it must outlive
+/// the workers.
 PipelineHandles assemble_pipeline(const model::ModelConfig& model, int pp,
                                   std::uint64_t weight_seed, std::int64_t kv_capacity,
                                   int kv_block_size, nn::Sampler sampler,
-                                  obs::Tracer* tracer = nullptr);
+                                  obs::Tracer* tracer = nullptr, int tp = 1);
 
 }  // namespace gllm::runtime

@@ -64,6 +64,10 @@ struct FaultToleranceOptions {
 struct RuntimeOptions {
   model::ModelConfig model;       ///< typically model::presets::tiny()
   int pp = 2;                     ///< pipeline stages == worker threads
+  /// Tensor-parallel width of every stage: each stage's heads/FFN are sharded
+  /// `tp` ways over the shared thread pool (nn::AllReduce fork-join). Token
+  /// streams are bit-identical for any valid tp.
+  int tp = 1;
   std::int64_t kv_capacity_tokens = 4096;
   int kv_block_size = 8;
   std::uint64_t weight_seed = 1234;

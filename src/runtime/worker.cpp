@@ -12,8 +12,8 @@ StageWorker::StageWorker(const model::ModelConfig& cfg, model::StageShape shape,
                          std::uint64_t seed, std::int32_t kv_blocks, int kv_block_size,
                          MetaChannel& meta_in, ActChannel* act_in, ActChannel* act_out,
                          SampleChannel* samples_out, nn::Sampler sampler,
-                         obs::Tracer* tracer, int track)
-    : stage_(cfg, shape, seed, kv_blocks, kv_block_size),
+                         obs::Tracer* tracer, int track, int tp)
+    : stage_(cfg, shape, seed, kv_blocks, kv_block_size, tp),
       sampler_(sampler),
       meta_in_(meta_in),
       act_in_(act_in),
@@ -21,6 +21,7 @@ StageWorker::StageWorker(const model::ModelConfig& cfg, model::StageShape shape,
       samples_out_(samples_out),
       tracer_(tracer),
       track_(track) {
+  stage_.set_tracer(tracer, track);
   if (shape.has_lm_head && samples_out_ == nullptr)
     throw std::invalid_argument("StageWorker: last stage needs a sample channel");
   if (!shape.has_lm_head && act_out_ == nullptr)

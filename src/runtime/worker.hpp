@@ -26,7 +26,7 @@ class StageWorker {
               std::int32_t kv_blocks, int kv_block_size, MetaChannel& meta_in,
               ActChannel* act_in, ActChannel* act_out, SampleChannel* samples_out,
               nn::Sampler sampler = nn::Sampler{}, obs::Tracer* tracer = nullptr,
-              int track = 0);
+              int track = 0, int tp = 1);
 
   void start();
   void join();

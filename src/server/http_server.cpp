@@ -306,7 +306,9 @@ HttpServer::Response HttpServer::handle_get(const std::string& method,
                     "text/plain; version=0.0.4; charset=utf-8", ""};
   return Response{200,
                   "{\"model\":\"" + service_.options().model.name +
-                      "\",\"metrics\":" + obs->stats_json() + "}",
+                      "\",\"pp\":" + std::to_string(service_.options().pp) +
+                      ",\"tp\":" + std::to_string(service_.options().tp) +
+                      ",\"metrics\":" + obs->stats_json() + "}",
                   "application/json", ""};
 }
 

@@ -1,6 +1,7 @@
 #include "util/threadpool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace gllm::util {
 
@@ -96,7 +97,17 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  // GLLM_THREADS overrides the hardware default — e.g. to oversubscribe a
+  // small host so tensor-parallel shards genuinely interleave, or to pin the
+  // pool to 1 lane when debugging. Read once at first use.
+  static ThreadPool pool([] {
+    std::size_t threads = 0;
+    if (const char* env = std::getenv("GLLM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0 && v <= 1024) threads = static_cast<std::size_t>(v);
+    }
+    return threads;
+  }());
   return pool;
 }
 

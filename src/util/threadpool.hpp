@@ -32,7 +32,10 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 1);
 
-  /// Process-wide default pool (hardware_concurrency threads).
+  /// Process-wide default pool (hardware_concurrency threads; the
+  /// GLLM_THREADS environment variable overrides the size when set to a
+  /// positive integer — useful to oversubscribe small hosts so TP shards
+  /// actually interleave, or to serialise the pool for debugging).
   static ThreadPool& shared();
 
  private:

@@ -21,6 +21,7 @@
 #include "obs/obs.hpp"
 #include "runtime/service.hpp"
 #include "sched/token_throttle.hpp"
+#include "tsan_skip.hpp"
 #include "server/http_server.hpp"
 
 namespace gllm {
@@ -127,6 +128,7 @@ void run_and_expect_byte_identical(runtime::RuntimeOptions opt, int n,
 class KillOneWorker : public ::testing::TestWithParam<int> {};
 
 TEST_P(KillOneWorker, ForkRecoversByteIdentical) {
+  GLLM_SKIP_IF_TSAN_FORK();
   const int pp = GetParam();
   // SIGKILL the last stage at its 4th outgoing metadata frame — mid-run, with
   // sequences in every lifecycle state.
@@ -137,6 +139,7 @@ TEST_P(KillOneWorker, ForkRecoversByteIdentical) {
 INSTANTIATE_TEST_SUITE_P(Depths, KillOneWorker, ::testing::Values(2, 4));
 
 TEST(FaultRecovery, DroppedFrameTripsWatchdogAndRecovers) {
+  GLLM_SKIP_IF_TSAN_FORK();
   // Swallow one metadata frame to stage 1: the micro-batch wedges (stage 1
   // never sees it), no process dies, and only the driver's sample-wait
   // watchdog can notice. Teardown then un-wedges the stuck stages.
@@ -146,6 +149,7 @@ TEST(FaultRecovery, DroppedFrameTripsWatchdogAndRecovers) {
 }
 
 TEST(FaultRecovery, CorruptedFrameKillsWorkerAndRecovers) {
+  GLLM_SKIP_IF_TSAN_FORK();
   // Flip a payload byte after CRC computation: the frame passes transport
   // validation and fails in the worker's bounds-checked codec, which treats
   // it as fatal — the worker exits, the driver sees the closed connection.
@@ -153,6 +157,7 @@ TEST(FaultRecovery, CorruptedFrameKillsWorkerAndRecovers) {
 }
 
 TEST(FaultRecovery, StalledHeartbeatDetectedAndRecovers) {
+  GLLM_SKIP_IF_TSAN_FORK();
   // Suppress driver->stage-0 heartbeats. Stage 0 sends nothing but heartbeat
   // echoes back, so the driver-side reader for stage 0 times out within the
   // heartbeat timeout and declares the peer dead. The first wave may finish
@@ -190,6 +195,7 @@ TEST(FaultRecovery, StalledHeartbeatDetectedAndRecovers) {
 }
 
 TEST(FaultRecovery, SecondGenerationFaultRecoversAgain) {
+  GLLM_SKIP_IF_TSAN_FORK();
   // The same coordinate scheduled twice arms one fault per pipeline
   // generation: the respawned pipeline is killed again and must recover
   // again. Raise the per-request budget so no request exhausts it.
@@ -215,6 +221,7 @@ TEST(FaultRecovery, SecondGenerationFaultRecoversAgain) {
 }
 
 TEST(FaultRecovery, RestartBudgetExhaustionFailsEveryRequestExplicitly) {
+  GLLM_SKIP_IF_TSAN_FORK();
   // Kill the pipeline at frame 0 of every generation with a restart budget of
   // 2: generation 3's failure exhausts the budget, the service goes kFailed,
   // and every request must terminate with an explicit error — drain() must
@@ -278,6 +285,7 @@ TEST(FaultRecovery, RestartBudgetExhaustionFailsEveryRequestExplicitly) {
 }
 
 TEST(FaultRecovery, PerRequestFailureBudgetTerminatesOnlyTheChargedRequests) {
+  GLLM_SKIP_IF_TSAN_FORK();
   // Three generations of kills with a per-request budget of 1: any sequence
   // folded back more than once is terminated with kWorkerFailure while the
   // pipeline itself keeps recovering (restart budget is ample).
@@ -363,6 +371,7 @@ TEST(FaultRecovery, RemoteWorkersReconnectAfterKill) {
 }
 
 TEST(FaultRecovery, HttpSurfacesFailureWithExplicitStatus) {
+  GLLM_SKIP_IF_TSAN_FORK();
   // Exhaust the restart budget immediately (budget 0) and check the HTTP
   // surface: /health flips to 503/"failed", a completion answers an explicit
   // 503 instead of hanging, and the fault counters are exported.
@@ -413,6 +422,7 @@ TEST(FaultRecovery, HttpSurfacesFailureWithExplicitStatus) {
 }
 
 TEST(FaultRecovery, FaultFreeInjectorIsInert) {
+  GLLM_SKIP_IF_TSAN_FORK();
   // An armed injector whose coordinates are never reached must not perturb a
   // run at all (and must not leave the service degraded).
   auto opt = chaos_options(2, "kill:1@100000");

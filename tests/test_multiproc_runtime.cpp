@@ -22,6 +22,7 @@
 #include "runtime/service.hpp"
 #include "sched/token_throttle.hpp"
 #include "server/http_server.hpp"
+#include "tsan_skip.hpp"
 
 namespace gllm {
 namespace {
@@ -71,6 +72,7 @@ bool no_children_left() {
 class ForkRuntimeTokenEquality : public ::testing::TestWithParam<int> {};
 
 TEST_P(ForkRuntimeTokenEquality, MatchesReferenceAndInProcessExactly) {
+  GLLM_SKIP_IF_TSAN_FORK();
   const int pp = GetParam();
   const auto cfg = model::presets::tiny();
   const auto reqs = make_requests(cfg, 8);

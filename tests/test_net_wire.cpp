@@ -139,6 +139,7 @@ TEST(WireRoundTrip, StreamEventAndControlMessages) {
   HelloAck ack;
   ack.stage = 1;
   ack.pp = 4;
+  ack.tp = 2;
   ack.model = model::presets::tiny();
   ack.weight_seed = 99;
   ack.kv_capacity_tokens = 4096;
@@ -155,6 +156,7 @@ TEST(WireRoundTrip, StreamEventAndControlMessages) {
   ASSERT_TRUE(decoded(encoded(ack), out));
   EXPECT_EQ(out.stage, ack.stage);
   EXPECT_EQ(out.pp, ack.pp);
+  EXPECT_EQ(out.tp, ack.tp);
   EXPECT_EQ(out.model.name, ack.model.name);
   EXPECT_EQ(out.model.n_layers, ack.model.n_layers);
   EXPECT_EQ(out.model.vocab, ack.model.vocab);

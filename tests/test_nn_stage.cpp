@@ -216,6 +216,106 @@ TEST(StageApi, ForwardValidatesRowCount) {
   EXPECT_THROW(stage.forward(h, {&item, 1}), std::invalid_argument);
 }
 
+TEST(TensorParallel, ShardedForwardBitExactVsUnsharded) {
+  // The tentpole invariant: tp in {1, 2, 4} must produce logits bitwise
+  // identical to the unsharded stage (canonical chunked reduction order).
+  const auto cfg = model::presets::tiny();
+  TransformerStage ref(cfg, full_shape(cfg), kSeed, 16, kBs);
+  const auto prompt = synthetic_prompt(cfg, 8, 11);
+
+  ItemView item;
+  item.context = 0;
+  item.n_tokens = static_cast<int>(prompt.size());
+  item.blocks = identity_blocks(16);
+  item.wants_logits = true;
+
+  auto h_ref = ref.embed(prompt);
+  ref.forward(h_ref, {&item, 1});
+  const auto l_ref = ref.logits(h_ref, {&item, 1});
+
+  for (int tp : {1, 2, 4}) {
+    TransformerStage sharded(cfg, full_shape(cfg), kSeed, 16, kBs, tp);
+    EXPECT_EQ(sharded.tp(), tp);
+    auto h = sharded.embed(prompt);
+    sharded.forward(h, {&item, 1});
+    const auto l = sharded.logits(h, {&item, 1});
+    ASSERT_EQ(l.numel(), l_ref.numel());
+    for (std::int64_t i = 0; i < l_ref.numel(); ++i)
+      ASSERT_EQ(l_ref.at(i), l.at(i)) << "tp=" << tp << " logit " << i;
+  }
+}
+
+TEST(TensorParallel, ShardedDecodeBitExactVsUnsharded) {
+  // Greedy multi-step decode: cache state written by sharded attention must
+  // round-trip identically (per-shard KV pools hold disjoint head slices).
+  const auto cfg = model::presets::tiny();
+  const auto prompt = synthetic_prompt(cfg, 9, 7);
+  constexpr int kSteps = 6;
+
+  auto run = [&](int tp) {
+    TransformerStage stage(cfg, full_shape(cfg), kSeed, 32, kBs, tp);
+    std::vector<TokenId> tokens = prompt;
+    std::vector<TokenId> out;
+    ItemView item;
+    item.blocks = identity_blocks(32);
+    item.wants_logits = true;
+    item.context = 0;
+    item.n_tokens = static_cast<int>(prompt.size());
+    auto h = stage.embed(tokens);
+    stage.forward(h, {&item, 1});
+    auto l = stage.logits(h, {&item, 1});
+    for (int s = 0; s < kSteps; ++s) {
+      const auto next = static_cast<TokenId>(tensor::argmax(l.row(0)));
+      out.push_back(next);
+      item.context += item.n_tokens;
+      item.n_tokens = 1;
+      auto h1 = stage.embed({&next, 1});
+      stage.forward(h1, {&item, 1});
+      l = stage.logits(h1, {&item, 1});
+    }
+    return out;
+  };
+
+  const auto ref = run(1);
+  EXPECT_EQ(run(2), ref);
+  EXPECT_EQ(run(4), ref);
+}
+
+TEST(TensorParallel, ShardKvPoolsHoldOnlyOwnHeads) {
+  const auto cfg = model::presets::tiny();
+  TransformerStage stage(cfg, full_shape(cfg), kSeed, 8, kBs, 2);
+  EXPECT_EQ(stage.kv_pool(0).kv_dim(), cfg.n_kv_heads / 2 * cfg.head_dim);
+  EXPECT_EQ(stage.kv_pool(1).kv_dim(), cfg.n_kv_heads / 2 * cfg.head_dim);
+}
+
+TEST(TensorParallel, AllreduceCountersAdvance) {
+  const auto cfg = model::presets::tiny();
+  TransformerStage stage(cfg, full_shape(cfg), kSeed, 8, kBs, 2);
+  EXPECT_EQ(stage.allreduce_ops(), 0);
+  const auto prompt = synthetic_prompt(cfg, 10, 4);
+  ItemView item;
+  item.context = 0;
+  item.n_tokens = 4;
+  item.blocks = identity_blocks(8);
+  auto h = stage.embed(prompt);
+  stage.forward(h, {&item, 1});
+  // Two reduce calls (attention output + MLP down) per layer.
+  EXPECT_EQ(stage.allreduce_ops(), 2 * cfg.n_layers);
+  EXPECT_GT(stage.allreduce_bytes(), 0);
+}
+
+TEST(TensorParallel, InvalidTpRejected) {
+  const auto cfg = model::presets::tiny();
+  // tiny() has n_kv_heads = 4: tp = 3 breaks head divisibility, tp = 8
+  // breaks GQA groups.
+  EXPECT_THROW(TransformerStage(cfg, full_shape(cfg), kSeed, 8, kBs, 3),
+               std::invalid_argument);
+  EXPECT_THROW(TransformerStage(cfg, full_shape(cfg), kSeed, 8, kBs, 8),
+               std::invalid_argument);
+  EXPECT_THROW(TransformerStage(cfg, full_shape(cfg), kSeed, 8, kBs, 0),
+               std::invalid_argument);
+}
+
 TEST(KvPoolGeometry, SlotAddressingAndBounds) {
   const auto cfg = model::presets::tiny();
   KvPool pool(cfg, 2, 3, 4, kBs);  // layers 2..4

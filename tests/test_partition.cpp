@@ -90,6 +90,46 @@ TEST(PartitionPlan, StageOutOfRangeThrows) {
   EXPECT_THROW(plan.stage(2), std::out_of_range);
 }
 
+TEST(ValidateTp, AcceptsDivisibleWidths) {
+  const auto cfg = presets::qwen2_5_32b();  // 40 heads, 8 KV heads, inter 27648
+  for (int tp : {1, 2, 4, 8}) EXPECT_NO_THROW(validate_tp(cfg, tp));
+}
+
+TEST(ValidateTp, RejectsIndivisibleWidths) {
+  const auto cfg = presets::tiny();  // 8 heads, 4 KV heads, inter 172
+  EXPECT_THROW(validate_tp(cfg, 0), std::invalid_argument);
+  EXPECT_THROW(validate_tp(cfg, -2), std::invalid_argument);
+  EXPECT_THROW(validate_tp(cfg, 3), std::invalid_argument);   // 8 % 3
+  EXPECT_THROW(validate_tp(cfg, 8), std::invalid_argument);   // splits GQA groups
+  EXPECT_THROW(validate_tp(cfg, 16), std::invalid_argument);
+}
+
+TEST(ParallelPlanTest, TwoDimensionalGeometry) {
+  const auto cfg = presets::qwen2_5_32b();
+  const ParallelPlan plan(cfg, 4, 2);
+  EXPECT_EQ(plan.pp(), 4);
+  EXPECT_EQ(plan.tp(), 2);
+  EXPECT_EQ(plan.total_devices(), 8);
+  // Per-device weight load is the stage's bytes divided across its shards.
+  for (int s = 0; s < 4; ++s)
+    EXPECT_DOUBLE_EQ(plan.device_weight_bytes(s),
+                     plan.partition().stage_weight_bytes(s) / 2.0);
+}
+
+TEST(ParallelPlanTest, InvalidDimensionsThrow) {
+  const auto cfg = presets::tiny();  // 8 layers
+  EXPECT_THROW(ParallelPlan(cfg, 9, 1), std::invalid_argument);   // pp > n_layers
+  EXPECT_THROW(ParallelPlan(cfg, 2, 3), std::invalid_argument);   // bad tp
+  EXPECT_THROW(ParallelPlan(cfg, 0, 1), std::invalid_argument);
+}
+
+TEST(ParallelPlanTest, DegeneratePpOneKeepsBothEnds) {
+  const ParallelPlan plan(presets::tiny(), 1, 4);
+  EXPECT_TRUE(plan.stage(0).has_embedding);
+  EXPECT_TRUE(plan.stage(0).has_lm_head);
+  EXPECT_EQ(plan.total_devices(), 4);
+}
+
 class PartitionProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(PartitionProperty, EveryStageNonEmptyAndBalanced) {

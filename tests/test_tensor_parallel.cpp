@@ -1,0 +1,171 @@
+// Two-dimensional parallelism proof bar (tentpole of the TP×PP refactor):
+// greedy token streams from the real runtime must be byte-identical to the
+// single-stage unsharded reference for every (pp, tp) in {1,2,4} × {1,2,4},
+// and the worker-failure recovery path must preserve that equality when the
+// respawned pipeline is tensor-parallel.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <map>
+
+#include "net/fault.hpp"
+#include "nn/reference.hpp"
+#include "obs/obs.hpp"
+#include "runtime/pipeline_runtime.hpp"
+#include "runtime/service.hpp"
+#include "sched/token_throttle.hpp"
+#include "tsan_skip.hpp"
+
+namespace gllm {
+namespace {
+
+constexpr std::uint64_t kWeightSeed = 1234;
+
+std::vector<nn::GenRequest> make_requests(const model::ModelConfig& cfg, int n) {
+  std::vector<nn::GenRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    nn::GenRequest r;
+    r.id = i;
+    r.prompt = nn::synthetic_prompt(cfg, 500 + static_cast<std::uint64_t>(i),
+                                    6 + (i * 7) % 30);
+    r.max_new_tokens = 3 + i % 9;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+runtime::RuntimeOptions tiny_options(int pp, int tp) {
+  runtime::RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.pp = pp;
+  opt.tp = tp;
+  opt.kv_capacity_tokens = 2048;
+  opt.kv_block_size = 8;
+  opt.weight_seed = kWeightSeed;
+  return opt;
+}
+
+std::shared_ptr<sched::IScheduler> small_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 4;
+  return std::make_shared<sched::TokenThrottleScheduler>(p);
+}
+
+bool no_children_left() {
+  const pid_t got = ::waitpid(-1, nullptr, WNOHANG);
+  return got < 0 && errno == ECHILD;
+}
+
+/// (pp, tp) grid — the full two-dimensional parallelism space under test.
+class TpPpTokenEquality : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TpPpTokenEquality, MatchesUnshardedReferenceExactly) {
+  const auto [pp, tp] = GetParam();
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 10);
+  // The reference is the unsharded (tp=1) single-stage greedy decoder.
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  runtime::PipelineRuntime rt(tiny_options(pp, tp), small_throttle());
+  const auto report = rt.run(reqs);
+  ASSERT_EQ(report.requests.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(report.requests[i].completed);
+    EXPECT_EQ(report.requests[i].output, ref[i])
+        << "request " << i << " diverged at pp=" << pp << " tp=" << tp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TpPpTokenEquality,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 2}, std::pair{1, 4},
+                      std::pair{2, 1}, std::pair{2, 2}, std::pair{2, 4},
+                      std::pair{4, 1}, std::pair{4, 2}, std::pair{4, 4}),
+    [](const ::testing::TestParamInfo<std::pair<int, int>>& info) {
+      return "pp" + std::to_string(info.param.first) + "_tp" +
+             std::to_string(info.param.second);
+    });
+
+TEST(TensorParallelRuntime, PreemptionUnderTinyKvStillTokenExact) {
+  // Recompute preemption rebuilds per-shard KV pools; the replayed stream
+  // must stay byte-identical when stages are sharded.
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 8);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  auto opt = tiny_options(2, 2);
+  opt.kv_capacity_tokens = 160;  // forces recompute preemption
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 2;
+  p.enable_ut = false;
+  p.kv_thresh = 0.0;
+  runtime::PipelineRuntime rt(opt, std::make_shared<sched::TokenThrottleScheduler>(p));
+  const auto report = rt.run(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(report.requests[i].completed);
+    EXPECT_EQ(report.requests[i].output, ref[i]) << "request " << i;
+  }
+}
+
+TEST(TensorParallelRuntime, InvalidTpRejectedUpfront) {
+  // tiny() has 4 KV heads: tp=3 breaks divisibility, tp=8 breaks GQA groups.
+  EXPECT_THROW(runtime::PipelineRuntime(tiny_options(2, 3), small_throttle()).run({}),
+               std::invalid_argument);
+  EXPECT_THROW(runtime::PipelineRuntime(tiny_options(2, 8), small_throttle()).run({}),
+               std::invalid_argument);
+}
+
+TEST(TensorParallelRecovery, ForkKillReplaysByteIdenticalAtTp2) {
+  GLLM_SKIP_IF_TSAN_FORK();
+  // The fault-recovery replay at tp=2: SIGKILL stage 1 of a forked pp=2
+  // pipeline mid-run; the respawned sharded pipeline must finish every
+  // recovered request with the exact fault-free stream.
+  const auto cfg = model::presets::tiny();
+  const auto reqs = make_requests(cfg, 8);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  auto opt = tiny_options(2, 2);
+  opt.deployment.mode = runtime::DeploymentOptions::Mode::kFork;
+  opt.deployment.heartbeat_interval_s = 0.05;
+  opt.deployment.heartbeat_timeout_s = 1.0;
+  opt.deployment.fault_injector = net::FaultInjector::parse("kill:1@4");
+  opt.fault.restart_backoff_s = 0.01;
+  opt.fault.sample_wait_timeout_s = 10.0;
+
+  obs::Observability observability;
+  opt.obs = &observability;
+
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+  for (const auto& r : reqs) service.submit(r);
+  service.drain();
+  std::map<std::int64_t, runtime::RuntimeRequestRecord> records;
+  for (const auto& rec : service.results()) records[rec.id] = rec;
+  const int restarts = service.pipeline_restarts();
+  service.stop();
+
+  ASSERT_EQ(records.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& rec = records.at(static_cast<std::int64_t>(i));
+    if (rec.completed) {
+      EXPECT_EQ(rec.output, ref[i]) << "request " << i << " diverged after recovery";
+      EXPECT_EQ(rec.error, runtime::StreamError::kNone);
+    } else {
+      EXPECT_NE(rec.error, runtime::StreamError::kNone);
+    }
+  }
+  EXPECT_GE(restarts, 1) << "the injected kill never triggered a respawn";
+  EXPECT_EQ(observability.fault().degraded->value(), 0.0);
+  EXPECT_TRUE(no_children_left());
+}
+
+}  // namespace
+}  // namespace gllm

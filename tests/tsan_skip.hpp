@@ -1,0 +1,33 @@
+// ThreadSanitizer cannot follow fork() without exec once threads are
+// involved: a child forked from (or forking into) a multi-threaded process
+// dies with "starting new threads after multi-threaded fork is not
+// supported", and the documented die_after_fork=0 escape hatch trades that
+// for corrupted runtime state ("dup thread with used id") and flaky
+// failures. Fork-mode runtime tests therefore skip themselves under TSan:
+// the same code paths run threads-mode in the TSan job (which is the
+// shared-memory concurrency TSan exists to check) and fork-mode under the
+// plain and ASan/UBSan builds. kRemote tests are unaffected — exec resets
+// the TSan runtime.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#if defined(__SANITIZE_THREAD__)
+#define GLLM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GLLM_TSAN 1
+#endif
+#endif
+#ifndef GLLM_TSAN
+#define GLLM_TSAN 0
+#endif
+
+// Use at the top of any test that fork()s workers without exec.
+#define GLLM_SKIP_IF_TSAN_FORK()                                          \
+  do {                                                                    \
+    if (GLLM_TSAN)                                                        \
+      GTEST_SKIP() << "fork-without-exec is unsupported under "           \
+                      "ThreadSanitizer; this path is covered by the "     \
+                      "plain and ASan/UBSan builds";                      \
+  } while (0)

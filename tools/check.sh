@@ -7,18 +7,28 @@
 # plain and sanitizer builds. GLLM_FUZZ_ITERS scales the fuzz batteries
 # (default 10000 per battery; crank it up for a long local fuzz run).
 #
-# Usage: tools/check.sh [--no-sanitize] [--soak]
+# Usage: tools/check.sh [--no-sanitize] [--soak] [--tsan]
+#
+# --tsan adds a ThreadSanitizer build (build-tsan/) running the unit-label
+# tests — the pipeline runtime, the nn tensor-parallel fork-join, and the
+# transport pumps are all multithreaded, so TSan guards the sharding layer's
+# no-data-race invariant. Tests that fork() workers without exec skip
+# themselves under TSan (tests/tsan_skip.hpp): TSan cannot follow
+# fork-without-exec, and those paths stay covered by the plain and
+# ASan/UBSan runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 sanitize=1
 soak=0
+tsan=0
 for arg in "$@"; do
   case "$arg" in
     --no-sanitize) sanitize=0 ;;
     --soak) soak=1 ;;
-    *) echo "usage: tools/check.sh [--no-sanitize] [--soak]" >&2; exit 2 ;;
+    --tsan) tsan=1 ;;
+    *) echo "usage: tools/check.sh [--no-sanitize] [--soak] [--tsan]" >&2; exit 2 ;;
   esac
 done
 
@@ -36,6 +46,17 @@ fi
 if [[ "$sanitize" == 0 ]]; then
   echo "== sanitizer pass skipped =="
   exit 0
+fi
+
+if [[ "$tsan" == 1 ]]; then
+  echo "== TSan unit tests (build-tsan/) =="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGLLM_SANITIZE=thread \
+    -DGLLM_BUILD_BENCH=OFF \
+    -DGLLM_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs"
+  GLLM_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L unit
 fi
 
 echo "== ASan/UBSan unit + fuzz tests (build-asan/) =="

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   util::ArgParser args("gllm_server", "HTTP serving frontend over the threaded runtime");
   args.add_option("port", "listen port (0 = ephemeral)", "8080");
   args.add_option("pp", "pipeline stages", "2");
+  args.add_option("tp", "tensor-parallel shards per stage", "1");
   args.add_option("kv-capacity", "KV cache capacity in tokens", "8192");
   args.add_option("iterp", "#T", "4");
   args.add_option("maxp", "#MaxP", "64");
@@ -83,6 +84,7 @@ int main(int argc, char** argv) {
     runtime::RuntimeOptions options;
     options.model = model::presets::tiny();
     options.pp = args.get_int("pp");
+    options.tp = args.get_int("tp");
     options.kv_capacity_tokens = args.get_int64("kv-capacity");
     options.kv_block_size = 8;
 
@@ -148,8 +150,8 @@ int main(int argc, char** argv) {
     server::HttpServer server(service, server_options);
     server.start();
     std::cout << "gllm_server: listening on 127.0.0.1:" << server.port() << " (model "
-              << options.model.name << ", pp=" << options.pp << ", loop=" << loop
-              << ")\n";
+              << options.model.name << ", pp=" << options.pp << ", tp=" << options.tp
+              << ", loop=" << loop << ")\n";
 
     const int demo = args.get_int("demo");
     if (demo > 0) {
