@@ -1,0 +1,191 @@
+// bench_router: fleet front-door scaling behind BENCH_router.json.
+//
+// Two question sets, each swept over 1 -> 2 -> 3 in-process replicas behind
+// one FleetRouter (tiny model, pp=2 each, shared weight seed):
+//
+//  - proxy overhead ("direct/1" vs "router/N", shedding disabled): what does
+//    the extra epoll hop cost, and what does raw throughput do as replicas
+//    are added? On a single-vCPU host the pipeline compute is the shared
+//    bottleneck, so router/N is expected flat — the interesting number is
+//    router/1 vs direct/1.
+//
+//  - admission capacity ("capacity/N" vs "overload/N", per-replica shed
+//    threshold): N replicas are offered streams-per-replica x N concurrent
+//    closed-loop streams. The router's spreading (exact in-flight counts +
+//    polled waiting_prefill) must keep every replica below its shed
+//    threshold, so the fleet serves the whole burst shed-free — while the
+//    same offered load pointed at a single replica ("overload/N") sheds. The
+//    shed-free concurrency therefore scales linearly with replica count even
+//    where compute cannot.
+//
+//   ./build/bench/bench_router > BENCH_router.json
+//
+// Replicas are in-process (PipelineService + HttpServer), the router attaches
+// via RouterOptions::backends — same topology as tests/test_router.cpp; the
+// forked-binary path is covered by tools/smoke_router.sh.
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "loadgen/loadgen.hpp"
+#include "obs/obs.hpp"
+#include "router/router.hpp"
+#include "sched/token_throttle.hpp"
+#include "server/http_server.hpp"
+#include "util/args.hpp"
+
+using namespace gllm;
+
+namespace {
+
+/// N replicas + router, torn down on scope exit.
+struct FleetHarness {
+  std::vector<std::unique_ptr<obs::Observability>> obs;
+  std::vector<std::unique_ptr<runtime::PipelineService>> services;
+  std::vector<std::unique_ptr<server::HttpServer>> servers;
+  obs::Observability router_obs;
+  std::unique_ptr<router::FleetRouter> router;
+
+  ~FleetHarness() {
+    if (router) router->stop();
+    for (auto& s : servers) s->stop();
+    for (auto& s : services) s->stop();
+  }
+};
+
+runtime::RuntimeOptions replica_runtime(obs::Observability* o) {
+  runtime::RuntimeOptions rt;
+  rt.model = model::presets::tiny();
+  rt.pp = 2;
+  rt.kv_capacity_tokens = 1 << 16;
+  rt.kv_block_size = 8;
+  rt.obs = o;
+  return rt;
+}
+
+std::shared_ptr<sched::IScheduler> throttle() {
+  sched::ThrottleParams params;
+  params.iter_t = 4;
+  params.max_p = 64;
+  params.min_p = 8;
+  return std::make_shared<sched::TokenThrottleScheduler>(params);
+}
+
+std::unique_ptr<FleetHarness> make_fleet(int replicas, std::size_t shed_depth) {
+  auto fleet = std::make_unique<FleetHarness>();
+  std::vector<std::pair<std::string, int>> backends;
+  for (int i = 0; i < replicas; ++i) {
+    auto o = std::make_unique<obs::Observability>();
+    auto svc = std::make_unique<runtime::PipelineService>(replica_runtime(o.get()),
+                                                          throttle());
+    svc->start();
+    server::ServerOptions so;
+    so.max_conns = 4096;
+    so.shed_depth = shed_depth;
+    auto srv = std::make_unique<server::HttpServer>(*svc, so);
+    srv->start();
+    backends.emplace_back("127.0.0.1", srv->port());
+    fleet->obs.push_back(std::move(o));
+    fleet->services.push_back(std::move(svc));
+    fleet->servers.push_back(std::move(srv));
+  }
+  router::RouterOptions ro;
+  ro.backends = backends;
+  ro.poll_interval_s = 0.2;
+  ro.obs = &fleet->router_obs;
+  fleet->router = std::make_unique<router::FleetRouter>(ro);
+  fleet->router->start();
+  return fleet;
+}
+
+loadgen::LoadgenReport drive(int port, int connections, std::size_t requests,
+                             int max_retries = 0) {
+  loadgen::LoadgenOptions lg;
+  lg.port = port;
+  lg.mode = loadgen::LoadgenOptions::Mode::kClosedLoop;
+  lg.connections = connections;
+  lg.requests = requests;
+  lg.vocab = model::presets::tiny().vocab;
+  lg.stream = true;
+  lg.timeout_s = 300.0;
+  lg.max_retries = max_retries;
+  lg.max_retry_wait_s = 0.2;  // don't let Retry-After sleeps quantize the rps
+  return loadgen::run(lg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_router", "fleet front-door replica-scaling benchmark");
+  args.add_option("replicas", "comma-separated replica counts", "1,2,3");
+  args.add_option("connections", "closed-loop concurrent streams (throughput sweep)",
+                  "32");
+  args.add_option("requests", "requests per point (throughput sweep)", "128");
+  args.add_option("shed-depth", "per-replica admission threshold (capacity sweep)",
+                  "8");
+  args.add_option("streams-per-replica", "offered concurrency per replica "
+                  "(capacity sweep; must sit under shed-depth)", "6");
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  std::vector<int> replica_counts;
+  {
+    std::stringstream ss(args.get("replicas"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) replica_counts.push_back(std::stoi(tok));
+  }
+  const int connections = args.get_int("connections");
+  const auto requests = static_cast<std::size_t>(args.get_int64("requests"));
+  const auto shed_depth = static_cast<std::size_t>(args.get_int64("shed-depth"));
+  const int per_replica = args.get_int("streams-per-replica");
+
+  std::cout << "{\n  \"results\": {\n";
+  bool first = true;
+  const auto emit = [&](const std::string& label, const loadgen::LoadgenReport& r) {
+    if (!first) std::cout << ",\n";
+    first = false;
+    std::cout << "    \"" << label << "\": " << r.json();
+    std::cerr << "bench_router: " << label << ": " << r.completed << "/" << r.requested
+              << " completed, " << r.throughput_rps << " rps\n";
+  };
+
+  {
+    // Baseline: loadgen straight at one replica, no router in the path.
+    auto fleet = make_fleet(1, /*shed_depth=*/0);
+    emit("direct/1", drive(fleet->servers[0]->port(), connections, requests));
+  }
+  for (const int n : replica_counts) {
+    auto fleet = make_fleet(n, /*shed_depth=*/0);
+    emit("router/" + std::to_string(n),
+         drive(fleet->router->port(), connections, requests));
+  }
+  for (const int n : replica_counts) {
+    // Matched load: per_replica x n concurrent streams over n replicas must
+    // complete shed-free (the scaling claim: shed==0 at every n).
+    const int conns = per_replica * n;
+    const auto burst = static_cast<std::size_t>(conns) * 4;
+    {
+      auto fleet = make_fleet(n, shed_depth);
+      emit("capacity/" + std::to_string(n),
+           drive(fleet->router->port(), conns, burst));
+    }
+    // The same offered load against ONE replica: sheds for n > 1, pricing
+    // what the fleet's aggregate admission headroom is worth.
+    if (n > 1) {
+      auto fleet = make_fleet(1, shed_depth);
+      emit("overload/" + std::to_string(n),
+           drive(fleet->router->port(), conns, burst));
+    }
+  }
+  std::cout << "\n  }\n}\n";
+  return 0;
+}

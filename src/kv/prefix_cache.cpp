@@ -2,9 +2,10 @@
 
 namespace gllm::kv {
 
-std::uint64_t PrefixCache::chain_hash(std::uint64_t prev, std::span<const TokenId> block) {
+std::uint64_t chain_block_hash(std::uint64_t prev, std::span<const TokenId> block) {
   // FNV-1a over the token bytes, seeded by the previous block's hash so equal
-  // blocks at different prompt offsets do not collide.
+  // blocks at different prompt offsets do not collide. Token values only —
+  // see the stability contract in the header.
   std::uint64_t h = prev ^ 0xcbf29ce484222325ULL;
   for (TokenId t : block) {
     auto v = static_cast<std::uint64_t>(static_cast<std::uint32_t>(t));
@@ -16,13 +17,23 @@ std::uint64_t PrefixCache::chain_hash(std::uint64_t prev, std::span<const TokenI
   return h;
 }
 
+std::uint64_t prompt_prefix_hash(std::span<const TokenId> tokens,
+                                 std::int64_t block_size) {
+  if (block_size <= 0) return 0;
+  const auto bs = static_cast<std::size_t>(block_size);
+  std::uint64_t h = 0;
+  for (std::size_t off = 0; off + bs <= tokens.size(); off += bs)
+    h = chain_block_hash(h, tokens.subspan(off, bs));
+  return h;
+}
+
 PrefixCache::Match PrefixCache::match_and_acquire(std::span<const TokenId> tokens) {
   ++lookups_;
   Match match;
   const auto block_size = static_cast<std::size_t>(allocator_.block_size());
   std::uint64_t h = 0;
   for (std::size_t off = 0; off + block_size <= tokens.size(); off += block_size) {
-    h = chain_hash(h, tokens.subspan(off, block_size));
+    h = chain_block_hash(h, tokens.subspan(off, block_size));
     auto it = by_hash_.find(h);
     if (it == by_hash_.end()) break;
     allocator_.add_ref(it->second.block);
@@ -43,7 +54,7 @@ void PrefixCache::insert(std::span<const TokenId> tokens, std::span<const BlockI
   std::size_t block_idx = 0;
   for (std::size_t off = 0; off + block_size <= tokens.size(); off += block_size, ++block_idx) {
     if (block_idx >= blocks.size()) break;
-    h = chain_hash(h, tokens.subspan(off, block_size));
+    h = chain_block_hash(h, tokens.subspan(off, block_size));
     if (by_hash_.contains(h)) continue;
     allocator_.add_ref(blocks[block_idx]);  // cache's own reference
     lru_.push_front(h);

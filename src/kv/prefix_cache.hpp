@@ -12,6 +12,26 @@ namespace gllm::kv {
 
 using TokenId = std::int32_t;
 
+/// Chained per-block prompt hash: the hash of block k covers its tokens AND
+/// every block before it (`prev` is block k-1's hash, 0 for the first block).
+///
+/// STABILITY CONTRACT: this is the identity prefix-aware routing keys on, so
+/// it must be a pure function of the token *values* — never of pointers,
+/// container addresses or anything ASLR-dependent — and must produce the same
+/// value for the same tokens in every process, on every host, in every run.
+/// (FNV-1a over the little-endian token words, seeded by `prev`.) Changing it
+/// invalidates router affinity but nothing else; cached blocks never outlive
+/// one process.
+std::uint64_t chain_block_hash(std::uint64_t prev, std::span<const TokenId> block);
+
+/// Hash of the longest whole-block prefix of `tokens` under `block_size`
+/// (the chained hash of its last full block). 0 when the prompt is shorter
+/// than one block — callers treat 0 as "no routable prefix". Shares
+/// chain_block_hash with PrefixCache, so a router using this lands multi-turn
+/// prompts exactly where their cached KV blocks live.
+std::uint64_t prompt_prefix_hash(std::span<const TokenId> tokens,
+                                 std::int64_t block_size);
+
 /// Hash-chained prompt-prefix cache (the vLLM "automatic prefix caching"
 /// scheme the paper integrates, §3.4).
 ///
@@ -59,8 +79,6 @@ class PrefixCache {
     BlockId block;
     std::list<std::uint64_t>::iterator lru_it;
   };
-
-  static std::uint64_t chain_hash(std::uint64_t prev, std::span<const TokenId> block);
 
   BlockAllocator& allocator_;
   std::unordered_map<std::uint64_t, Entry> by_hash_;

@@ -31,6 +31,8 @@ struct RequestResult {
   double tpot = -1.0;    ///< mean inter-token gap, streams with >= 2 tokens
   double e2el = -1.0;
   bool ok = false;
+  double retry_after = -1.0;    ///< Retry-After seconds on a 503, else -1
+  std::vector<int> token_ids;   ///< with LoadgenOptions::collect_tokens
 };
 
 std::string build_body(std::int64_t id, const std::vector<int>& prompt, int max_tokens,
@@ -50,6 +52,12 @@ int parse_status(const std::string& head) {
   const auto sp = head.find(' ');
   if (sp == std::string::npos) return -1;
   return std::atoi(head.c_str() + sp + 1);
+}
+
+double parse_retry_after(const std::string& head) {
+  const auto pos = head.find("Retry-After:");
+  if (pos == std::string::npos) return -1.0;
+  return std::atof(head.c_str() + pos + 12);
 }
 
 /// Drive one request over a fresh connection, incrementally consuming the
@@ -93,6 +101,7 @@ RequestResult drive_request(const LoadgenOptions& options, std::int64_t id,
       header_end = in.find("\r\n\r\n");
       if (header_end == std::string::npos) continue;
       res.status = parse_status(in.substr(0, header_end));
+      if (res.status == 503) res.retry_after = parse_retry_after(in.substr(0, header_end));
       scan = header_end + 4;
       if (res.status != 200 || !options.stream) continue;  // drain to EOF
     }
@@ -104,8 +113,11 @@ RequestResult drive_request(const LoadgenOptions& options, std::int64_t id,
       if (ev_end == std::string::npos) break;
       const std::string event = in.substr(scan, ev_end - scan);
       scan = ev_end + 2;
-      if (event.find("\"token\":") != std::string::npos) {
+      const auto tok = event.find("\"token\":");
+      if (tok != std::string::npos) {
         ++res.tokens;
+        if (options.collect_tokens)
+          res.token_ids.push_back(std::atoi(event.c_str() + tok + 8));
         if (res.ttft < 0.0) {
           res.ttft = now;
         } else {
@@ -135,6 +147,18 @@ RequestResult drive_request(const LoadgenOptions& options, std::int64_t id,
         res.tokens = 1;
         for (std::size_t i = toks + 10; i < close; ++i)
           if (in[i] == ',') ++res.tokens;
+        if (options.collect_tokens) {
+          const char* p = in.c_str() + toks + 10;
+          const char* stop = in.c_str() + close;
+          while (p < stop) {
+            char* end = nullptr;
+            const long v = std::strtol(p, &end, 10);
+            if (end == p) break;
+            res.token_ids.push_back(static_cast<int>(v));
+            p = end;
+            while (p < stop && (*p == ',' || *p == ' ')) ++p;
+          }
+        }
       }
     }
     res.ttft = res.e2el;  // unary: first byte of tokens == full response
@@ -162,6 +186,7 @@ std::string LoadgenReport::json() const {
   oss << std::setprecision(6);
   oss << "{\"requested\":" << requested << ",\"completed\":" << completed
       << ",\"shed\":" << shed << ",\"errors\":" << errors
+      << ",\"retries\":" << retries
       << ",\"duration_s\":" << duration_s << ",\"throughput_rps\":" << throughput_rps
       << ",\"output_tokens_per_s\":" << output_tokens_per_s
       << ",\"ttft_s\":" << pct_json(ttft_s) << ",\"tpot_s\":" << pct_json(tpot_s)
@@ -189,7 +214,25 @@ LoadgenReport run(const LoadgenOptions& options) {
   }
 
   std::vector<RequestResult> results(trace.size());
+  std::atomic<std::size_t> retries_total{0};
   const auto t0 = Clock::now();
+
+  // One request, with bounded 503 retries honouring the server's Retry-After
+  // hint (the router and the replicas both send one on shed/degraded 503s).
+  const auto drive_with_retries = [&](std::size_t i) {
+    RequestResult r = drive_request(options, trace[i].id, prompts[i],
+                                    std::max(1, trace[i].output_len));
+    for (int attempt = 0; r.status == 503 && attempt < options.max_retries;
+         ++attempt) {
+      const double hint = r.retry_after >= 0.0 ? r.retry_after : 1.0;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(hint, options.max_retry_wait_s)));
+      retries_total.fetch_add(1);
+      r = drive_request(options, trace[i].id, prompts[i],
+                        std::max(1, trace[i].output_len));
+    }
+    results[i] = std::move(r);
+  };
 
   if (options.mode == LoadgenOptions::Mode::kClosedLoop) {
     // `connections` workers, one request in flight each.
@@ -202,8 +245,7 @@ LoadgenReport run(const LoadgenOptions& options) {
         for (;;) {
           const std::size_t i = next.fetch_add(1);
           if (i >= trace.size()) return;
-          results[i] = drive_request(options, trace[i].id, prompts[i],
-                                     std::max(1, trace[i].output_len));
+          drive_with_retries(i);
         }
       });
     }
@@ -221,8 +263,7 @@ LoadgenReport run(const LoadgenOptions& options) {
         std::this_thread::sleep_for(std::chrono::duration<double>(wait));
       slots.acquire();
       inflight.emplace_back([&, i] {
-        results[i] = drive_request(options, trace[i].id, prompts[i],
-                                   std::max(1, trace[i].output_len));
+        drive_with_retries(i);
         slots.release();
       });
     }
@@ -232,14 +273,18 @@ LoadgenReport run(const LoadgenOptions& options) {
   LoadgenReport report;
   report.requested = trace.size();
   report.duration_s = since(t0);
+  report.retries = retries_total.load();
   std::size_t output_tokens = 0;
-  for (const auto& r : results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
     if (r.ok) {
       ++report.completed;
       output_tokens += r.tokens;
       if (r.ttft >= 0.0) report.ttft_s.add(r.ttft);
       if (r.tpot >= 0.0) report.tpot_s.add(r.tpot);
       report.e2el_s.add(r.e2el);
+      if (options.collect_tokens)
+        report.tokens.emplace_back(trace[i].id, r.token_ids);
     } else if (r.status == 503) {
       ++report.shed;
     } else {

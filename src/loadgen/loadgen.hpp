@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/stats.hpp"
 #include "workload/generator.hpp"
@@ -37,6 +39,19 @@ struct LoadgenOptions {
 
   bool stream = true;       ///< SSE client (per-token TTFT/TPOT) vs unary POST
   double timeout_s = 120.0; ///< per-request wall-clock budget
+
+  /// 503 handling: with max_retries > 0 a shed request is re-driven after
+  /// honouring the response's Retry-After header (capped by
+  /// max_retry_wait_s; 1s when the header is absent). Retries are counted
+  /// separately in the report — a request only lands in `shed` once every
+  /// retry was refused too.
+  int max_retries = 0;
+  double max_retry_wait_s = 5.0;
+
+  /// Record every generated token id per request (LoadgenReport::tokens) —
+  /// the raw material for byte/token-identity diffs across runs (e.g. the
+  /// router failover check in tools/smoke_router.sh).
+  bool collect_tokens = false;
 };
 
 /// Aggregated outcome of one load-generation run. Latencies are recorded per
@@ -47,12 +62,17 @@ struct LoadgenReport {
   std::size_t completed = 0;
   std::size_t shed = 0;    ///< 503 responses (admission shedding / degraded)
   std::size_t errors = 0;  ///< transport failures and non-200/503 statuses
+  std::size_t retries = 0; ///< 503s re-driven after honouring Retry-After
   double duration_s = 0.0;
   double throughput_rps = 0.0;       ///< completed / duration
   double output_tokens_per_s = 0.0;  ///< generated tokens / duration
   util::SampleStats ttft_s;
   util::SampleStats tpot_s;
   util::SampleStats e2el_s;
+
+  /// Per-request (id, generated token ids) of completed requests, in request
+  /// order; only populated with LoadgenOptions::collect_tokens.
+  std::vector<std::pair<std::int64_t, std::vector<int>>> tokens;
 
   /// Render as a self-contained JSON object (the gllm_loadgen output and the
   /// per-point payload of BENCH_serving.json).

@@ -93,6 +93,35 @@ int connect_tcp(const std::string& host, int port, double timeout_s) {
   }
 }
 
+int connect_tcp_nonblocking(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (!resolve_ipv4(host, addr.sin_addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc == 0 || errno == EINPROGRESS) return fd;
+  // Synchronous refusal (possible on loopback): connect() already consumed
+  // the error, so SO_ERROR would read 0 — report failure here instead.
+  ::close(fd);
+  return -1;
+}
+
+int socket_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return errno;
+  return err;
+}
+
 bool send_all(int fd, const void* data, std::size_t len) {
   const char* p = static_cast<const char*>(data);
   std::size_t sent = 0;

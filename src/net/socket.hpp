@@ -30,6 +30,16 @@ int accept_conn(int listen_fd);
 /// IPv4 address or "localhost". Returns the fd, or -1 on timeout/error.
 int connect_tcp(const std::string& host, int port, double timeout_s = 5.0);
 
+/// Begin a non-blocking connect to host:port (event-loop upstreams): returns
+/// an O_NONBLOCK fd with the connect completed or in progress — register it
+/// for EPOLLOUT and read the outcome with socket_error() once writable.
+/// Returns -1 only on immediate, definitive failure (bad address, no fds).
+int connect_tcp_nonblocking(const std::string& host, int port);
+
+/// Pending SO_ERROR of a socket (0 = none), cleared by the call: the
+/// completion status of a non-blocking connect once EPOLLOUT fires.
+int socket_error(int fd);
+
 /// Write exactly `len` bytes, retrying short writes and EINTR.
 bool send_all(int fd, const void* data, std::size_t len);
 

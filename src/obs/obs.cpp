@@ -87,6 +87,23 @@ Observability::Observability(ObsConfig cfg) : tracer_(cfg.trace_ring_capacity) {
       "Requests terminated with an explicit error event");
   fault_.degraded = &registry_.gauge(
       "gllm_fault_degraded", "1 while the service is recovering or failed, else 0");
+
+  router_.requests_routed = &registry_.counter(
+      "gllm_router_requests_routed_total", "Completions dispatched to a replica");
+  router_.prefix_hits = &registry_.counter(
+      "gllm_router_prefix_hits_total", "Placements won by prompt-prefix affinity");
+  router_.sheds_retried = &registry_.counter(
+      "gllm_router_sheds_retried_total", "Upstream 503s escalated to a sibling replica");
+  router_.sheds_exhausted = &registry_.counter(
+      "gllm_router_sheds_exhausted_total",
+      "503s returned to clients (every replica saturated or dead)");
+  router_.failovers = &registry_.counter(
+      "gllm_router_failovers_total",
+      "In-flight requests replayed from scratch on a sibling after a replica died");
+  router_.replica_deaths = &registry_.counter(
+      "gllm_router_replica_deaths_total", "Replicas marked dead (poll or proxy error)");
+  router_.replicas_alive =
+      &registry_.gauge("gllm_router_replicas_alive", "Replicas currently routable");
 }
 
 }  // namespace gllm::obs

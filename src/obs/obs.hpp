@@ -74,6 +74,20 @@ struct HttpMetrics {
   Counter* stream_events = nullptr;        ///< SSE events written
 };
 
+/// Pre-registered fleet-router instruments: placement decisions, cross-replica
+/// shed escalation and failover activity of the gllm::router front door.
+/// Surfaced through the router's own /metrics and /v1/stats, so the fleet's
+/// routing behaviour is observable separately from any one replica's load.
+struct RouterMetrics {
+  Counter* requests_routed = nullptr;     ///< completions dispatched to a replica
+  Counter* prefix_hits = nullptr;         ///< placements won by prefix affinity
+  Counter* sheds_retried = nullptr;       ///< upstream 503s retried on a sibling
+  Counter* sheds_exhausted = nullptr;     ///< 503s returned (every replica saturated/dead)
+  Counter* failovers = nullptr;           ///< in-flight requests replayed on a sibling
+  Counter* replica_deaths = nullptr;      ///< replicas marked dead (poll or proxy error)
+  Gauge* replicas_alive = nullptr;        ///< replicas currently routable
+};
+
 /// Pre-registered fault-tolerance instruments: injected faults, detected
 /// worker failures, pipeline restarts and the request-level outcomes of
 /// recovery (folded back vs. declared failed), plus a degraded-mode gauge.
@@ -108,6 +122,8 @@ class Observability {
   const HttpMetrics& http() const { return http_; }
   FaultMetrics& fault() { return fault_; }
   const FaultMetrics& fault() const { return fault_; }
+  RouterMetrics& router() { return router_; }
+  const RouterMetrics& router() const { return router_; }
 
   /// JSON summary of every registered instrument (the /v1/stats body).
   std::string stats_json() const { return registry_.render_json(); }
@@ -119,6 +135,7 @@ class Observability {
   NetMetrics net_;
   HttpMetrics http_;
   FaultMetrics fault_;
+  RouterMetrics router_;
 };
 
 }  // namespace gllm::obs

@@ -1,0 +1,150 @@
+#include "router/fleet.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+
+#include "net/socket.hpp"
+#include "util/log.hpp"
+
+namespace gllm::router {
+
+namespace {
+
+/// Kernel-assigned free loopback port: bind 0, read it back, release.
+int allocate_port() {
+  const int fd = net::listen_tcp(0);
+  const int port = net::local_port(fd);
+  net::close_fd(fd);
+  return port;
+}
+
+bool wait_health(int port, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const int fd = net::connect_tcp("127.0.0.1", port, 0.5);
+    if (fd >= 0) {
+      const std::string req =
+          "GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+      std::string resp;
+      if (net::send_all(fd, req.data(), req.size())) {
+        char buf[512];
+        while (net::wait_readable(fd, 1.0)) {
+          const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+          if (n <= 0) break;
+          resp.append(buf, static_cast<std::size_t>(n));
+        }
+      }
+      net::close_fd(fd);
+      if (resp.compare(0, 12, "HTTP/1.1 200") == 0) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+}  // namespace
+
+FleetSupervisor::FleetSupervisor(FleetOptions options)
+    : options_(std::move(options)) {}
+
+FleetSupervisor::~FleetSupervisor() { stop(); }
+
+pid_t FleetSupervisor::exec_replica(int port) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fleet: fork() failed");
+  if (pid == 0) {
+    std::vector<std::string> args;
+    args.push_back(options_.server_bin);
+    args.push_back("--port");
+    args.push_back(std::to_string(port));
+    for (const auto& a : options_.replica_args) args.push_back(a);
+    std::vector<char*> argv;
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(options_.server_bin.c_str(), argv.data());
+    ::perror("fleet: execv gllm_server");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+std::vector<std::pair<std::string, int>> FleetSupervisor::spawn() {
+  std::vector<std::pair<std::string, int>> endpoints;
+  for (int i = 0; i < options_.replicas; ++i) {
+    const int port = allocate_port();
+    const pid_t pid = exec_replica(port);
+    pids_.push_back(pid);
+    ports_.push_back(port);
+    endpoints.emplace_back("127.0.0.1", port);
+  }
+  for (int i = 0; i < options_.replicas; ++i) {
+    if (!wait_health(ports_[static_cast<std::size_t>(i)],
+                     options_.health_timeout_s)) {
+      GLLM_LOG_WARN("fleet: replica " << i << " (pid "
+                                      << pids_[static_cast<std::size_t>(i)]
+                                      << ") not healthy after "
+                                      << options_.health_timeout_s << "s");
+      continue;
+    }
+    // Parsed by tools/smoke_router.sh to pick a victim for the chaos kill.
+    GLLM_LOG_INFO("fleet: replica " << i << ": pid "
+                                    << pids_[static_cast<std::size_t>(i)]
+                                    << " port "
+                                    << ports_[static_cast<std::size_t>(i)]);
+  }
+  return endpoints;
+}
+
+void FleetSupervisor::start_respawn_loop() {
+  if (!options_.respawn || running_.exchange(true)) return;
+  respawn_thread_ = std::thread([this] {
+    while (running_.load()) {
+      for (std::size_t i = 0; i < pids_.size(); ++i) {
+        if (pids_[i] <= 0) continue;
+        int status = 0;
+        const pid_t r = ::waitpid(pids_[i], &status, WNOHANG);
+        if (r != pids_[i]) continue;
+        GLLM_LOG_WARN("fleet: replica " << i << " (pid " << pids_[i]
+                                        << ") exited; respawning on port "
+                                        << ports_[i]);
+        // fork+exec only — safe with the router's threads running.
+        pids_[i] = exec_replica(ports_[i]);
+        GLLM_LOG_INFO("fleet: replica " << i << ": pid " << pids_[i] << " port "
+                                        << ports_[i]);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options_.reap_interval_s));
+    }
+  });
+}
+
+void FleetSupervisor::stop() {
+  running_.store(false);
+  if (respawn_thread_.joinable()) respawn_thread_.join();
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (pids_[i] <= 0) continue;
+    ::kill(pids_[i], SIGTERM);
+  }
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (pids_[i] <= 0) continue;
+    int status = 0;
+    ::waitpid(pids_[i], &status, 0);
+    pids_[i] = -1;
+  }
+}
+
+pid_t FleetSupervisor::pid(std::size_t i) const {
+  return i < pids_.size() ? pids_[i] : -1;
+}
+
+int FleetSupervisor::port(std::size_t i) const {
+  return i < ports_.size() ? ports_[i] : -1;
+}
+
+}  // namespace gllm::router

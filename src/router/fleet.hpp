@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <sys/types.h>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gllm::router {
+
+struct FleetOptions {
+  std::string server_bin;  ///< path to the gllm_server executable
+  int replicas = 1;
+  std::vector<std::string> replica_args;  ///< passed through after --port
+  double health_timeout_s = 30.0;  ///< per-replica /health wait at spawn
+  bool respawn = false;  ///< re-exec a replica whose process exits
+  double reap_interval_s = 0.5;
+};
+
+/// Spawns and supervises N gllm_server replica processes on ephemeral
+/// loopback ports (fork+execv — the same single-binary-many-processes shape
+/// as the multiprocess pipeline runtime). Ports are allocated by binding
+/// port 0, reading the assignment back, and closing — the replica re-binds
+/// it; the race window is harmless on a loopback dev box and irrelevant in
+/// tests, which attach to in-process servers instead.
+///
+/// IMPORTANT: spawn() forks, so it must run before the caller starts any
+/// threads (the router's poller/event loop). Respawns later are fork+exec,
+/// which is safe in a threaded process.
+class FleetSupervisor {
+ public:
+  explicit FleetSupervisor(FleetOptions options);
+  ~FleetSupervisor();
+
+  /// Fork+exec every replica and wait until each answers /health (or the
+  /// per-replica timeout lapses — a replica that never comes up is left to
+  /// the router's death detection). Returns the endpoints in replica order.
+  std::vector<std::pair<std::string, int>> spawn();
+
+  /// Begin the reap/respawn loop (only useful with options.respawn; no-op
+  /// otherwise). Call after the router is up.
+  void start_respawn_loop();
+
+  /// SIGTERM + waitpid every live replica.
+  void stop();
+
+  pid_t pid(std::size_t i) const;
+  int port(std::size_t i) const;
+  std::size_t size() const { return pids_.size(); }
+
+ private:
+  pid_t exec_replica(int port);
+
+  FleetOptions options_;
+  std::vector<pid_t> pids_;
+  std::vector<int> ports_;
+  std::thread respawn_thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace gllm::router

@@ -1,0 +1,78 @@
+#include "router/policy.hpp"
+
+#include <algorithm>
+
+namespace gllm::router {
+
+PlacementPolicy::PlacementPolicy(std::size_t affinity_capacity)
+    : capacity_(affinity_capacity > 0 ? affinity_capacity : 1) {}
+
+Placement PlacementPolicy::place(std::uint64_t hash,
+                                 const std::vector<Replica>& replicas) const {
+  Placement out;
+
+  // Load score: polled backlog + our own unacknowledged dispatches. A replica
+  // that has never answered a poll scores as empty (it just started; the
+  // in-flight term still spreads load while the first poll is pending).
+  const auto score = [](const Replica& r) -> std::int64_t {
+    return (r.ever_polled ? r.stats.waiting_prefill : 0) + r.inflight;
+  };
+
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < replicas.size(); ++i)
+    if (replicas[i].alive) alive.push_back(i);
+  std::stable_sort(alive.begin(), alive.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return score(replicas[a]) < score(replicas[b]);
+                   });
+
+  std::size_t affinity = replicas.size();  // sentinel: none
+  if (hash != 0) {
+    const auto it = map_.find(hash);
+    if (it != map_.end()) {
+      const std::size_t r = it->second->second;
+      if (r < replicas.size() && replicas[r].alive) {
+        affinity = r;
+        // LRU touch: reading an entry keeps it hot.
+        lru_.splice(lru_.begin(), lru_, it->second);
+      }
+    }
+  }
+
+  if (affinity < replicas.size()) {
+    out.candidates.push_back(affinity);
+    out.prefix_hit = true;
+  }
+  for (const std::size_t i : alive)
+    if (i != affinity) out.candidates.push_back(i);
+  return out;
+}
+
+void PlacementPolicy::record(std::uint64_t hash, std::size_t replica) {
+  if (hash == 0) return;
+  const auto it = map_.find(hash);
+  if (it != map_.end()) {
+    it->second->second = replica;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(hash, replica);
+  map_[hash] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void PlacementPolicy::forget_replica(std::size_t replica) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->second == replica) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace gllm::router

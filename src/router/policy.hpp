@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "router/stats.hpp"
+
+namespace gllm::router {
+
+/// Ordered placement decision for one request: candidate replica indices,
+/// best first. The proxy tries them in order — dead/saturated candidates
+/// escalate to the next — and only answers 503 once the list is exhausted.
+struct Placement {
+  std::vector<std::size_t> candidates;
+  bool prefix_hit = false;  ///< first candidate won by prompt-prefix affinity
+};
+
+/// Prefix-cache-aware, load-balanced placement (paper §3.4: the API frontend
+/// routes across data-parallel replicas).
+///
+/// Two signals, in priority order:
+///   1. Prompt-prefix affinity: requests whose prompt shares a cached prefix
+///      with an earlier request are steered to the replica that served it, so
+///      the replica's kv::PrefixCache can skip the shared prefill. The key is
+///      kv::prompt_prefix_hash — process-independent, so the router's hash of
+///      the prompt equals what any replica's cache would compute.
+///   2. Least-waiting-prefill: everything else sorts by the replica's polled
+///      waiting_prefill depth plus the router's own in-flight count (the
+///      in-flight term covers dispatches newer than the last poll).
+///
+/// The affinity map is a bounded LRU keyed by prefix hash; capacity bounds
+/// router memory, and an evicted entry merely costs a replica-side prefill.
+/// Single-threaded: owned and called only by the router's event-loop thread.
+class PlacementPolicy {
+ public:
+  explicit PlacementPolicy(std::size_t affinity_capacity = 4096);
+
+  /// Rank all alive replicas for a request with prompt-prefix hash `hash`
+  /// (0 = no usable prefix: skip affinity). `replicas` is a fresh snapshot.
+  Placement place(std::uint64_t hash, const std::vector<Replica>& replicas) const;
+
+  /// Record that the request with prefix hash `hash` was dispatched to
+  /// `replica` — future prompts sharing the prefix will prefer it.
+  void record(std::uint64_t hash, std::size_t replica);
+
+  /// Drop every affinity entry pointing at `replica` (it died; its prefix
+  /// cache is gone, so steering there is pure cost once it respawns).
+  void forget_replica(std::size_t replica);
+
+  std::size_t affinity_size() const { return map_.size(); }
+
+ private:
+  std::size_t capacity_;
+  // LRU: list holds (hash, replica) most-recent-first; map points into it.
+  mutable std::list<std::pair<std::uint64_t, std::size_t>> lru_;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t, std::size_t>>::iterator>
+      map_;
+};
+
+}  // namespace gllm::router

@@ -1,0 +1,720 @@
+#include "router/router.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#include "kv/prefix_cache.hpp"
+#include "net/socket.hpp"
+#include "server/http_server.hpp"
+#include "util/log.hpp"
+
+namespace gllm::router {
+
+namespace {
+
+constexpr std::uint64_t kListenKey = 0;
+
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+void inc(obs::Counter* c) {
+  if (c != nullptr) c->inc();
+}
+
+}  // namespace
+
+FleetRouter::FleetRouter(RouterOptions options)
+    : options_(std::move(options)),
+      table_(options_.backends),
+      poller_(table_, options_.poll_interval_s, options_.stats_timeout_s),
+      policy_(options_.affinity_capacity) {}
+
+FleetRouter::~FleetRouter() { stop(); }
+
+obs::RouterMetrics* FleetRouter::metrics() const {
+  return options_.obs != nullptr ? &options_.obs->router() : nullptr;
+}
+
+void FleetRouter::refresh_alive_gauge() {
+  if (options_.obs != nullptr)
+    options_.obs->router().replicas_alive->set(
+        static_cast<double>(table_.alive_count()));
+}
+
+void FleetRouter::start() {
+  if (running_.load()) return;
+
+  listen_fd_ = net::listen_tcp(options_.port);
+  port_ = net::local_port(listen_fd_);
+  net::set_nonblocking(listen_fd_);
+
+  // Seed the table before accepting traffic so the first placements already
+  // see real queue depths (and so dead backends are known up front).
+  poller_.poll_once();
+  refresh_alive_gauge();
+  poller_.start();
+
+  running_.store(true);
+  loop_ = std::make_unique<server::EventLoop>();
+  loop_->add(listen_fd_, EPOLLIN, kListenKey);
+  loop_thread_ = std::thread([this] { event_loop(); });
+  GLLM_LOG_INFO("fleet router listening on 127.0.0.1:" << port_ << " ("
+                                                       << table_.size()
+                                                       << " replicas)");
+}
+
+void FleetRouter::stop() {
+  if (!running_.exchange(false)) return;
+  poller_.stop();
+  loop_->wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  loop_.reset();
+}
+
+// --- event loop --------------------------------------------------------------
+
+void FleetRouter::event_loop() {
+  std::vector<server::EventLoop::Event> events;
+  while (running_.load()) {
+    loop_->wait(events, 100);
+    const double now = mono_seconds();
+    for (const auto& ev : events) {
+      if (ev.key == kListenKey)
+        accept_ready(now);
+      else if (clients_.find(ev.key) != clients_.end())
+        client_event(ev.key, ev.events, now);
+      else if (upstreams_.find(ev.key) != upstreams_.end())
+        upstream_event(ev.key, ev.events, now);
+      // else: key already closed by an earlier event this round
+    }
+    sweep_timeouts(now);
+  }
+  for (auto& [key, c] : clients_) {
+    loop_->del(c->fd);
+    net::close_fd(c->fd);
+  }
+  clients_.clear();
+  for (auto& [key, u] : upstreams_) {
+    loop_->del(u->fd);
+    net::close_fd(u->fd);
+  }
+  upstreams_.clear();
+  loop_->del(listen_fd_);
+  net::close_fd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void FleetRouter::accept_ready(double now) {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or listener gone
+    }
+    if (static_cast<int>(clients_.size()) >= options_.max_conns) {
+      net::close_fd(fd);
+      continue;
+    }
+    net::set_nonblocking(fd);
+    const std::uint64_t key = next_key_++;
+    auto c = std::make_unique<Client>();
+    c->fd = fd;
+    c->key = key;
+    c->last_activity = now;
+    loop_->add(fd, EPOLLIN, key);
+    clients_.emplace(key, std::move(c));
+  }
+}
+
+void FleetRouter::client_event(std::uint64_t key, std::uint32_t events, double now) {
+  const auto it = clients_.find(key);
+  if (it == clients_.end()) return;
+  Client& c = *it->second;
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    close_client(key);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flush_client(c);
+    if (clients_.find(key) == clients_.end()) return;
+  }
+  if ((events & (EPOLLIN | EPOLLHUP)) != 0) {
+    char buf[16384];
+    bool peer_closed = false;
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        c.last_activity = now;
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained
+    }
+    process_client_input(c, now);
+    if (clients_.find(key) == clients_.end()) return;
+    if (peer_closed) {
+      // A proxied stream the client no longer reads is pure waste: tear down
+      // both sides instead of generating into a void.
+      close_client(key);
+    }
+  }
+}
+
+void FleetRouter::process_client_input(Client& c, double now) {
+  const std::uint64_t key = c.key;
+  // One completion at a time per connection: pipelined successors wait
+  // unparsed in `in` until the active proxy attempt chain finishes.
+  while (!c.proxying && !c.close_after_write) {
+    if (c.in.empty()) break;
+    server::HttpRequest request;
+    std::size_t consumed = 0;
+    server::ParseError error = server::ParseError::kNone;
+    const server::ParseStatus status =
+        server::parse_http_request(c.in, options_.limits, request, consumed, error);
+    if (status == server::ParseStatus::kNeedMore) break;
+    if (status == server::ParseStatus::kError) {
+      c.keep_alive = false;
+      c.in.clear();
+      respond(c, server::http_status(error),
+              std::string("{\"error\":\"") + server::to_string(error) + "\"}");
+      break;
+    }
+    c.in.erase(0, consumed);
+    c.keep_alive = request.keep_alive;
+    if (request.method == "POST" && request.target == "/v1/completions")
+      begin_completion(c, request, now);
+    else
+      handle_local(c, request);
+    if (clients_.find(key) == clients_.end()) return;
+  }
+  flush_client(c);
+}
+
+void FleetRouter::handle_local(Client& c, const server::HttpRequest& request) {
+  const std::string& path = request.target;
+  const bool get_path = path == "/health" || path == "/metrics" || path == "/v1/stats";
+  if (get_path && request.method != "GET") {
+    respond(c, 405, "{\"error\":\"method not allowed\"}", 0, "application/json", "GET");
+    return;
+  }
+  if (path == "/v1/completions") {  // wrong method (POST handled upstream)
+    respond(c, 405, "{\"error\":\"method not allowed\"}", 0, "application/json",
+            "POST");
+    return;
+  }
+  if (!get_path) {
+    respond(c, 404, "{\"error\":\"unknown endpoint\"}");
+    return;
+  }
+  if (path == "/health") {
+    const std::size_t alive = table_.alive_count();
+    respond(c, alive > 0 ? 200 : 503,
+            std::string("{\"status\":\"") + (alive > 0 ? "ok" : "down") +
+                "\",\"role\":\"router\",\"replicas\":" +
+                std::to_string(table_.size()) +
+                ",\"alive\":" + std::to_string(alive) + "}");
+    return;
+  }
+  if (path == "/v1/stats") {
+    respond(c, 200, stats_body());
+    return;
+  }
+  // /metrics
+  if (options_.obs == nullptr) {
+    respond(c, 503, "{\"error\":\"observability disabled\"}");
+    return;
+  }
+  respond(c, 200, options_.obs->metrics().render_prometheus(), 0,
+          "text/plain; version=0.0.4; charset=utf-8");
+}
+
+std::string FleetRouter::stats_body() const {
+  const auto replicas = table_.snapshot();
+  std::ostringstream oss;
+  std::size_t alive = 0;
+  for (const auto& r : replicas)
+    if (r.alive) ++alive;
+  oss << "{\"schema_version\":2,\"role\":\"router\",\"replicas_total\":"
+      << replicas.size() << ",\"replicas_alive\":" << alive << ",\"replicas\":[";
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    const Replica& r = replicas[i];
+    if (i > 0) oss << ",";
+    oss << "{\"index\":" << i << ",\"host\":\"" << r.host << "\",\"port\":" << r.port
+        << ",\"alive\":" << (r.alive ? "true" : "false")
+        << ",\"inflight\":" << r.inflight << ",\"dispatched\":" << r.dispatched
+        << ",\"waiting_prefill\":" << r.stats.waiting_prefill
+        << ",\"running_decodes\":" << r.stats.running_decodes
+        << ",\"prefix_cache_blocks\":" << r.stats.prefix_cache_blocks
+        << ",\"restart_budget_remaining\":" << r.stats.restart_budget_remaining
+        << "}";
+  }
+  oss << "]";
+  if (options_.obs != nullptr) oss << ",\"metrics\":" << options_.obs->stats_json();
+  oss << "}";
+  return oss.str();
+}
+
+// --- completion proxying -----------------------------------------------------
+
+void FleetRouter::begin_completion(Client& c, const server::HttpRequest& request,
+                                   double now) {
+  const std::string& body = request.body;
+
+  // Only what placement and failover need is parsed here; full request
+  // validation stays replica-side so router and single-server deployments
+  // reject identically.
+  c.req_id = 0;
+  server::json_int_field(body, "id", c.req_id);
+  bool stream = false;
+  server::json_bool_field(body, "stream", stream);
+  c.streaming = stream;
+
+  c.prefix_hash = 0;
+  std::vector<std::int64_t> prompt;
+  if (server::json_int_array_field(body, "prompt", prompt) && !prompt.empty()) {
+    // Hash with the fleet's real block geometry when a replica has reported
+    // it; the fallback only matters until the first successful poll.
+    int block_size = options_.kv_block_size_fallback;
+    for (const auto& r : table_.snapshot()) {
+      if (r.ever_polled && r.stats.kv_block_size > 0) {
+        block_size = r.stats.kv_block_size;
+        break;
+      }
+    }
+    std::vector<kv::TokenId> tokens(prompt.begin(), prompt.end());
+    c.prefix_hash = kv::prompt_prefix_hash(tokens, block_size);
+  }
+
+  const Placement p = policy_.place(c.prefix_hash, table_.snapshot());
+  c.candidates = p.candidates;
+  c.cand_idx = 0;
+  c.first_is_prefix_hit = p.prefix_hit;
+  c.failovers = 0;
+  c.shed_seen = false;
+  c.head_forwarded = false;
+  c.tokens_forwarded = 0;
+  c.terminal_forwarded = false;
+
+  // Rebuilt once and replayed VERBATIM on shed escalation and failover:
+  // identical body -> identical greedy token stream on any sibling.
+  c.upstream_request =
+      "POST /v1/completions HTTP/1.1\r\nHost: gllm-router\r\n"
+      "Content-Type: application/json\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  c.proxying = true;
+  start_attempt(c, now);
+}
+
+bool FleetRouter::start_attempt(Client& c, double now) {
+  for (;;) {
+    const auto snapshot = table_.snapshot();
+    while (c.cand_idx < c.candidates.size() &&
+           !snapshot[c.candidates[c.cand_idx]].alive)
+      ++c.cand_idx;
+    if (c.cand_idx >= c.candidates.size()) {
+      attempt_failed(c, false, now);  // exhausted: 503 or synthesized terminal
+      return false;
+    }
+    const std::size_t r = c.candidates[c.cand_idx];
+    const int fd =
+        net::connect_tcp_nonblocking(snapshot[r].host, snapshot[r].port);
+    if (fd < 0) {
+      // Synchronous refusal: the replica process is gone.
+      table_.mark_dead(r);
+      policy_.forget_replica(r);
+      if (metrics() != nullptr) inc(metrics()->replica_deaths);
+      refresh_alive_gauge();
+      ++c.cand_idx;
+      continue;
+    }
+    const std::uint64_t key = next_key_++;
+    auto u = std::make_unique<Upstream>();
+    u->fd = fd;
+    u->key = key;
+    u->client_key = c.key;
+    u->replica = r;
+    u->connecting = true;
+    u->connect_deadline = now + options_.connect_timeout_s;
+    u->out = c.upstream_request;
+    loop_->add(fd, EPOLLOUT, key);
+    upstreams_.emplace(key, std::move(u));
+
+    c.upstream_key = key;
+    c.current_replica = r;
+    policy_.record(c.prefix_hash, r);
+    table_.note_dispatch(r);
+    if (metrics() != nullptr) {
+      inc(metrics()->requests_routed);
+      if (c.cand_idx == 0 && c.first_is_prefix_hit) inc(metrics()->prefix_hits);
+    }
+    return true;
+  }
+}
+
+/// Terminal failure of the current attempt chain: every candidate is dead or
+/// (when `from_shed`) saturated. Before any response byte reached the client
+/// this is a plain 503 + Retry-After; mid-stream it becomes a synthesized
+/// terminal SSE error event so the client unblocks with an explicit failure
+/// instead of a silent EOF.
+void FleetRouter::attempt_failed(Client& c, bool /*unused*/, double now) {
+  if (c.head_forwarded) {
+    if (!c.terminal_forwarded)
+      queue_to_client(c, "data: {\"id\":" + std::to_string(c.req_id) +
+                             ",\"done\":true,\"error\":\"worker failure\"}\n\n");
+    queue_to_client(c, "data: [DONE]\n\n");
+    if (metrics() != nullptr) inc(metrics()->sheds_exhausted);
+    finish_request(c, true);
+    return;
+  }
+  if (metrics() != nullptr) inc(metrics()->sheds_exhausted);
+  respond(c, 503,
+          c.shed_seen ? "{\"error\":\"all replicas saturated\"}"
+                      : "{\"error\":\"no replica available\"}",
+          options_.retry_after_s);
+  finish_request(c, false);
+  (void)now;
+}
+
+void FleetRouter::upstream_event(std::uint64_t key, std::uint32_t events,
+                                 double now) {
+  const auto it = upstreams_.find(key);
+  if (it == upstreams_.end()) return;
+  const std::uint64_t client_key = it->second->client_key;
+  handle_upstream_event(*it->second, events, now);
+  // The attempt chain may have finished without closing the client (e.g. a
+  // keep-alive 503): a pipelined successor could already be buffered.
+  const auto cit = clients_.find(client_key);
+  if (cit != clients_.end() && !cit->second->proxying &&
+      !cit->second->close_after_write && !cit->second->in.empty())
+    process_client_input(*cit->second, now);
+}
+
+void FleetRouter::handle_upstream_event(Upstream& u, std::uint32_t events,
+                                        double now) {
+  const std::uint64_t key = u.key;
+  if (clients_.find(u.client_key) == clients_.end()) {
+    close_upstream(key, true);
+    return;
+  }
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    upstream_dead(u, now);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (u.connecting) {
+      if (net::socket_error(u.fd) != 0) {
+        upstream_dead(u, now);
+        return;
+      }
+      u.connecting = false;
+    }
+    while (u.out_off < u.out.size()) {
+      const ssize_t n =
+          net::send_some(u.fd, u.out.data() + u.out_off, u.out.size() - u.out_off);
+      if (n >= 0) {
+        u.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      upstream_dead(u, now);
+      return;
+    }
+    if (u.out_off >= u.out.size()) loop_->mod(u.fd, EPOLLIN, key);
+  }
+  if ((events & (EPOLLIN | EPOLLHUP)) != 0) {
+    char buf[16384];
+    bool eof = false;
+    for (;;) {
+      const ssize_t n = ::recv(u.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        u.in.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained
+    }
+    process_upstream_input(u, now);
+    // The attempt may have completed (upstream closed) inside.
+    const auto again = upstreams_.find(key);
+    if (again == upstreams_.end()) return;
+    if (eof) upstream_dead(*again->second, now);
+  }
+}
+
+void FleetRouter::process_upstream_input(Upstream& u, double now) {
+  const auto cit = clients_.find(u.client_key);
+  if (cit == clients_.end()) {
+    close_upstream(u.key, true);
+    return;
+  }
+  Client& c = *cit->second;
+
+  if (!u.head_parsed) {
+    const auto pos = u.in.find("\r\n\r\n");
+    if (pos == std::string::npos) {
+      if (u.in.size() > (64u << 10)) upstream_dead(u, now);  // runaway head
+      return;
+    }
+    u.head = u.in.substr(0, pos + 4);
+    u.in.erase(0, pos + 4);
+    u.head_parsed = true;
+    u.status = u.head.size() > 12 ? std::atoi(u.head.c_str() + 9) : 0;
+    u.is_sse = u.head.find("text/event-stream") != std::string::npos;
+    const auto cl = u.head.find("Content-Length:");
+    if (cl != std::string::npos) {
+      u.content_length =
+          static_cast<std::size_t>(std::atoll(u.head.c_str() + cl + 15));
+      u.have_content_length = true;
+    }
+
+    if (u.status == 503) {
+      // Replica-side shed (queue over shed-depth, or recovering): escalate
+      // to the next-best candidate instead of bouncing the client.
+      close_upstream(u.key, true);
+      c.shed_seen = true;
+      ++c.cand_idx;
+      if (start_attempt(c, now) && metrics() != nullptr)
+        inc(metrics()->sheds_retried);
+      return;
+    }
+  }
+
+  if (u.status == 200 && u.is_sse) {
+    if (!c.head_forwarded) {
+      queue_to_client(c, u.head);
+      c.head_forwarded = true;
+    }
+    // Forward complete SSE events only — a client never holds a torn event,
+    // which is what makes skip-replay failover byte-exact.
+    for (;;) {
+      const auto pos = u.in.find("\n\n");
+      if (pos == std::string::npos) break;
+      std::string event = u.in.substr(0, pos + 2);
+      u.in.erase(0, pos + 2);
+      if (event.find("\"token\":") != std::string::npos) {
+        ++u.tokens_seen;
+        // Replay skip: this attempt re-decodes from scratch; only tokens the
+        // client has not already seen are forwarded.
+        if (u.tokens_seen > c.tokens_forwarded) {
+          queue_to_client(c, std::move(event));
+          c.tokens_forwarded = u.tokens_seen;
+        }
+      } else if (event.find("\"done\":true") != std::string::npos) {
+        if (!c.terminal_forwarded) {
+          queue_to_client(c, std::move(event));
+          c.terminal_forwarded = true;
+        }
+      } else if (event.find("[DONE]") != std::string::npos) {
+        queue_to_client(c, std::move(event));
+        close_upstream(u.key, true);
+        finish_request(c, true);  // SSE responses delimit by close
+        return;
+      } else {
+        queue_to_client(c, std::move(event));  // future event kinds: pass through
+      }
+    }
+    // Slow-client policy: a reader this far behind wedges router memory.
+    if (c.out.size() - c.out_off > options_.max_write_buffer) {
+      close_client(c.key);
+      return;
+    }
+    flush_client(c);
+    return;
+  }
+
+  // Unary response (200 JSON, or a 4xx/5xx other than the shed 503):
+  // buffered whole and forwarded verbatim, so failover before completion
+  // never leaves the client with a partial body.
+  if (u.have_content_length && u.in.size() >= u.content_length) {
+    queue_to_client(c, u.head + u.in.substr(0, u.content_length));
+    close_upstream(u.key, true);
+    finish_request(c, true);  // upstream head says Connection: close
+  }
+  (void)now;
+}
+
+void FleetRouter::upstream_dead(Upstream& u, double now) {
+  const std::uint64_t ukey = u.key;
+  const std::size_t replica = u.replica;
+  const auto cit = clients_.find(u.client_key);
+
+  // A length-less response (not our replicas' dialect, but legal HTTP) is
+  // delimited by EOF: that EOF is completion, not death.
+  if (cit != clients_.end() && u.head_parsed && u.status != 503 && !u.is_sse &&
+      !u.have_content_length) {
+    Client& c = *cit->second;
+    queue_to_client(c, u.head + u.in);
+    close_upstream(ukey, true);
+    finish_request(c, true);
+    return;
+  }
+
+  close_upstream(ukey, true);
+  table_.mark_dead(replica);
+  policy_.forget_replica(replica);
+  if (metrics() != nullptr) inc(metrics()->replica_deaths);
+  refresh_alive_gauge();
+  if (cit == clients_.end()) return;
+  Client& c = *cit->second;
+
+  ++c.failovers;
+  if (c.failovers > options_.max_failovers) {
+    attempt_failed(c, false, now);
+    return;
+  }
+  // Replay from scratch on a sibling: fresh placement (the dead replica's
+  // affinity entries are gone), full request re-sent, head/token skip state
+  // in the Client carries over.
+  const Placement p = policy_.place(c.prefix_hash, table_.snapshot());
+  c.candidates = p.candidates;
+  c.cand_idx = 0;
+  c.first_is_prefix_hit = p.prefix_hit;
+  if (start_attempt(c, now) && metrics() != nullptr) inc(metrics()->failovers);
+}
+
+void FleetRouter::finish_request(Client& c, bool close_client_after) {
+  if (c.current_replica != SIZE_MAX) c.current_replica = SIZE_MAX;
+  c.proxying = false;
+  c.upstream_key = 0;
+  if (close_client_after) c.close_after_write = true;
+  flush_client(c);
+  // A buffered pipelined successor is picked up by the caller's
+  // process_client_input pass (client_event / upstream_event epilogue).
+}
+
+// --- client plumbing ---------------------------------------------------------
+
+void FleetRouter::respond(Client& c, int status, const std::string& body,
+                          int retry_after, const std::string& content_type,
+                          const std::string& allow) {
+  std::ostringstream oss;
+  oss << "HTTP/1.1 " << status << " " << status_text(status) << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n";
+  if (!allow.empty()) oss << "Allow: " << allow << "\r\n";
+  if (retry_after > 0) oss << "Retry-After: " << retry_after << "\r\n";
+  oss << "Connection: " << (c.keep_alive ? "keep-alive" : "close") << "\r\n\r\n"
+      << body;
+  queue_to_client(c, oss.str());
+  if (!c.keep_alive) c.close_after_write = true;
+}
+
+void FleetRouter::queue_to_client(Client& c, std::string bytes) {
+  if (c.out.empty()) {
+    c.out = std::move(bytes);
+    c.out_off = 0;
+  } else {
+    c.out += bytes;
+  }
+}
+
+void FleetRouter::flush_client(Client& c) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t n =
+        net::send_some(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off);
+    if (n >= 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (c.out_off > 0) {
+        c.out.erase(0, c.out_off);
+        c.out_off = 0;
+      }
+      if (!c.want_write) {
+        c.want_write = true;
+        update_interest(c);
+      }
+      return;
+    }
+    close_client(c.key);
+    return;
+  }
+  c.out.clear();
+  c.out_off = 0;
+  if (c.want_write) {
+    c.want_write = false;
+    update_interest(c);
+  }
+  if (c.close_after_write && !c.proxying) close_client(c.key);
+}
+
+void FleetRouter::update_interest(Client& c) {
+  std::uint32_t events = EPOLLIN;
+  if (c.want_write) events |= EPOLLOUT;
+  loop_->mod(c.fd, events, c.key);
+}
+
+void FleetRouter::close_client(std::uint64_t key) {
+  const auto it = clients_.find(key);
+  if (it == clients_.end()) return;
+  const std::uint64_t ukey = it->second->upstream_key;
+  loop_->del(it->second->fd);
+  net::close_fd(it->second->fd);
+  clients_.erase(it);
+  if (ukey != 0) close_upstream(ukey, true);
+}
+
+void FleetRouter::close_upstream(std::uint64_t key, bool note_done) {
+  const auto it = upstreams_.find(key);
+  if (it == upstreams_.end()) return;
+  Upstream& u = *it->second;
+  if (note_done) table_.note_done(u.replica);
+  const auto cit = clients_.find(u.client_key);
+  if (cit != clients_.end() && cit->second->upstream_key == key)
+    cit->second->upstream_key = 0;
+  loop_->del(u.fd);
+  net::close_fd(u.fd);
+  upstreams_.erase(it);
+}
+
+void FleetRouter::sweep_timeouts(double now) {
+  // Stalled connects fail over; idle non-proxying clients are dropped.
+  std::vector<std::uint64_t> stalled;
+  for (const auto& [key, u] : upstreams_)
+    if (u->connecting && now > u->connect_deadline) stalled.push_back(key);
+  for (const std::uint64_t key : stalled) {
+    const auto it = upstreams_.find(key);
+    if (it != upstreams_.end()) upstream_dead(*it->second, now);
+  }
+
+  if (options_.client_timeout_s <= 0.0) return;
+  std::vector<std::uint64_t> idle;
+  for (const auto& [key, c] : clients_)
+    if (!c->proxying && now - c->last_activity > options_.client_timeout_s &&
+        c->out.size() == c->out_off)
+      idle.push_back(key);
+  for (const std::uint64_t key : idle) close_client(key);
+}
+
+}  // namespace gllm::router

@@ -1,0 +1,188 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "router/policy.hpp"
+#include "router/stats.hpp"
+#include "server/event_loop.hpp"
+#include "server/http_parser.hpp"
+
+namespace gllm::router {
+
+struct RouterOptions {
+  int port = 0;  ///< 0 = ephemeral; read back via FleetRouter::port()
+
+  /// Replica endpoints (host, port). The router never starts replicas itself;
+  /// FleetSupervisor (fleet.hpp) or the operator provides live endpoints.
+  std::vector<std::pair<std::string, int>> backends;
+
+  double poll_interval_s = 0.5;   ///< /v1/stats poll cadence
+  double stats_timeout_s = 0.5;   ///< per-replica poll deadline
+  double connect_timeout_s = 2.0;  ///< upstream non-blocking connect deadline
+
+  int max_conns = 1024;        ///< client-accept cap; beyond it refused
+  int retry_after_s = 1;       ///< Retry-After on router-origin 503s
+  double client_timeout_s = 60.0;  ///< idle client disconnect
+
+  /// Failover budget: how many times one request may be replayed on a
+  /// sibling after its serving replica died. Shed (503) escalation is
+  /// bounded separately by the candidate list and does not consume this.
+  int max_failovers = 3;
+
+  server::HttpLimits limits;           ///< client-side parser budgets
+  std::size_t max_write_buffer = 1 << 20;  ///< slow-client disconnect threshold
+
+  /// Block size for kv::prompt_prefix_hash when no replica has reported one
+  /// yet (v1 replicas never report it). Must match the fleet's
+  /// --kv-block-size for affinity to line up with replica caches.
+  int kv_block_size_fallback = 8;
+  std::size_t affinity_capacity = 4096;  ///< prefix-affinity LRU entries
+
+  obs::Observability* obs = nullptr;  ///< router-side metrics (optional)
+};
+
+/// Multi-replica fleet front door (paper §3.4: the API frontend dispatching
+/// across data-parallel pipeline replicas).
+///
+/// One epoll thread proxies `POST /v1/completions` to a replica chosen by
+/// PlacementPolicy (prefix-cache affinity, then least-waiting-prefill from
+/// the background stats poll), relaying the replica's response byte-for-byte
+/// — SSE streams are forwarded event-at-a-time, so a client never receives a
+/// torn event. `GET /health`, `/v1/stats` and `/metrics` are answered locally
+/// with fleet-level views.
+///
+/// Shed escalation: a replica's 503 sends the request to the next-best
+/// candidate; the client only sees 503 (+ Retry-After) once every alive
+/// replica has refused.
+///
+/// Failover: a replica dying mid-request (connect refused, EOF mid-stream) is
+/// marked dead immediately and the request is replayed FROM SCRATCH on a
+/// sibling. Because replicas share the model preset and weight seed, greedy
+/// decoding reproduces the identical token sequence, so the router replays
+/// the stream and skips exactly the response head and the first n token
+/// events the client already holds — the client-observed byte stream is
+/// identical to a fault-free run (DESIGN decision 11).
+class FleetRouter {
+ public:
+  explicit FleetRouter(RouterOptions options);
+  ~FleetRouter();
+
+  FleetRouter(const FleetRouter&) = delete;
+  FleetRouter& operator=(const FleetRouter&) = delete;
+
+  void start();
+  void stop();
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+  ReplicaTable& table() { return table_; }
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  /// One client connection. `proxying` gates pipelining: buffered successor
+  /// requests wait until the active completion finishes.
+  struct Client {
+    int fd = -1;
+    std::uint64_t key = 0;
+    std::string in;
+    std::string out;
+    std::size_t out_off = 0;
+    bool want_write = false;
+    bool close_after_write = false;
+    bool keep_alive = true;
+    double last_activity = 0;
+
+    // Active proxied completion (valid while proxying).
+    bool proxying = false;
+    std::uint64_t upstream_key = 0;  ///< 0 = between attempts
+    std::string upstream_request;    ///< rebuilt request, replayed verbatim
+    bool streaming = false;
+    std::int64_t req_id = 0;  ///< for synthesized terminal events
+    std::uint64_t prefix_hash = 0;
+    std::vector<std::size_t> candidates;  ///< remaining shed-escalation order
+    std::size_t cand_idx = 0;
+    bool first_is_prefix_hit = false;
+    std::size_t current_replica = SIZE_MAX;
+    int failovers = 0;
+    bool shed_seen = false;  ///< at least one upstream 503 this request
+
+    // Forwarding state — the failover skip-replay bookkeeping.
+    bool head_forwarded = false;      ///< response head already sent to client
+    std::size_t tokens_forwarded = 0;  ///< SSE token events already sent
+    bool terminal_forwarded = false;   ///< the {"done":true} event
+  };
+
+  /// One upstream (router -> replica) connection serving a single attempt.
+  struct Upstream {
+    int fd = -1;
+    std::uint64_t key = 0;
+    std::uint64_t client_key = 0;
+    std::size_t replica = 0;
+    bool connecting = true;
+    double connect_deadline = 0;
+    std::string out;  ///< request bytes still to send
+    std::size_t out_off = 0;
+    std::string in;  ///< unprocessed response bytes
+    bool head_parsed = false;
+    int status = 0;
+    std::string head;  ///< raw header block incl. blank line
+    bool is_sse = false;
+    std::size_t content_length = 0;
+    bool have_content_length = false;
+    std::size_t tokens_seen = 0;  ///< token events parsed this attempt
+  };
+
+  void event_loop();
+  void accept_ready(double now);
+  void client_event(std::uint64_t key, std::uint32_t events, double now);
+  void upstream_event(std::uint64_t key, std::uint32_t events, double now);
+  void process_client_input(Client& c, double now);
+  void handle_local(Client& c, const server::HttpRequest& request);
+  void begin_completion(Client& c, const server::HttpRequest& request, double now);
+  /// Dispatch to the next alive candidate; false when the chain is exhausted
+  /// (attempt_failed already answered the client).
+  bool start_attempt(Client& c, double now);
+  void attempt_failed(Client& c, bool replica_died, double now);
+  void handle_upstream_event(Upstream& u, std::uint32_t events, double now);
+  void process_upstream_input(Upstream& u, double now);
+  void upstream_dead(Upstream& u, double now);
+  void finish_request(Client& c, bool close_client_after);
+  void respond(Client& c, int status, const std::string& body, int retry_after = 0,
+               const std::string& content_type = "application/json",
+               const std::string& allow = "");
+  void queue_to_client(Client& c, std::string bytes);
+  void flush_client(Client& c);
+  void update_interest(Client& c);
+  void close_client(std::uint64_t key);
+  void close_upstream(std::uint64_t key, bool note_done);
+  void sweep_timeouts(double now);
+  std::string stats_body() const;
+  void refresh_alive_gauge();
+  obs::RouterMetrics* metrics() const;
+
+  RouterOptions options_;
+  ReplicaTable table_;
+  StatsPoller poller_;
+  PlacementPolicy policy_;
+
+  int port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread loop_thread_;
+
+  // Loop-thread state.
+  std::unique_ptr<server::EventLoop> loop_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Client>> clients_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Upstream>> upstreams_;
+  std::uint64_t next_key_ = 1;
+};
+
+}  // namespace gllm::router

@@ -1,0 +1,213 @@
+#include "router/stats.hpp"
+
+#include <poll.h>
+
+#include <chrono>
+#include <utility>
+
+#include "net/socket.hpp"
+#include "server/http_server.hpp"
+
+namespace gllm::router {
+
+namespace {
+
+/// Extract a JSON string field ("key": "value", no escape handling — the
+/// stats schema never emits escapes in the fields we read).
+bool json_string_field(const std::string& json, const std::string& key,
+                       std::string& out) {
+  const std::string needle = "\"" + key + "\"";
+  auto pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = json.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  pos = json.find('"', pos + 1);
+  if (pos == std::string::npos) return false;
+  const auto end = json.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = json.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+double mono_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Single-shot connect with a hard deadline — unlike net::connect_tcp this
+/// does NOT retry a refused connection, so a dead replica costs one round
+/// trip per poll instead of the full timeout.
+int connect_once(const std::string& host, int port, double timeout_s) {
+  const int fd = net::connect_tcp_nonblocking(host, port);
+  if (fd < 0) return -1;
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  const int ms = timeout_s > 0 ? static_cast<int>(timeout_s * 1000.0) : 0;
+  const int rc = ::poll(&pfd, 1, ms > 0 ? ms : 1);
+  if (rc <= 0 || net::socket_error(fd) != 0) {
+    net::close_fd(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+bool parse_stats_json(const std::string& json, ReplicaStats& out) {
+  if (!json_string_field(json, "model", out.model)) return false;
+  std::int64_t v = 0;
+  if (server::json_int_field(json, "schema_version", v))
+    out.schema_version = static_cast<int>(v);
+  if (server::json_int_field(json, "pp", v)) out.pp = static_cast<int>(v);
+  if (server::json_int_field(json, "tp", v)) out.tp = static_cast<int>(v);
+  if (server::json_int_field(json, "kv_block_size", v))
+    out.kv_block_size = static_cast<int>(v);
+  server::json_int_field(json, "waiting_prefill", out.waiting_prefill);
+  server::json_int_field(json, "running_decodes", out.running_decodes);
+  server::json_int_field(json, "prefix_cache_blocks", out.prefix_cache_blocks);
+  server::json_int_field(json, "restart_budget_remaining",
+                         out.restart_budget_remaining);
+  return true;
+}
+
+bool fetch_stats(const std::string& host, int port, double timeout_s,
+                 ReplicaStats& out) {
+  const double deadline = mono_now() + timeout_s;
+  const int fd = connect_once(host, port, timeout_s);
+  if (fd < 0) return false;
+  net::set_nonblocking(fd, false);
+
+  const std::string request =
+      "GET /v1/stats HTTP/1.1\r\nHost: " + host +
+      "\r\nConnection: close\r\n\r\n";
+  if (!net::send_all(fd, request.data(), request.size())) {
+    net::close_fd(fd);
+    return false;
+  }
+
+  // Connection: close — read to EOF, bounded by the deadline.
+  std::string response;
+  char buf[4096];
+  bool ok = false;
+  for (;;) {
+    const double left = deadline - mono_now();
+    if (left <= 0 || !net::wait_readable(fd, left)) break;
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+    if (n < 0) break;
+    if (n == 0) {
+      ok = true;
+      break;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+    if (response.size() > (1u << 20)) break;  // runaway guard
+  }
+  net::close_fd(fd);
+  if (!ok) return false;
+
+  if (response.compare(0, 12, "HTTP/1.1 200") != 0) return false;
+  const auto header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  return parse_stats_json(response.substr(header_end + 4), out);
+}
+
+// --- ReplicaTable ------------------------------------------------------------
+
+ReplicaTable::ReplicaTable(std::vector<std::pair<std::string, int>> endpoints)
+    : n_(endpoints.size()) {
+  replicas_.reserve(n_);
+  for (auto& [host, port] : endpoints) {
+    Replica r;
+    r.host = std::move(host);
+    r.port = port;
+    replicas_.push_back(std::move(r));
+  }
+}
+
+std::vector<Replica> ReplicaTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_;
+}
+
+std::size_t ReplicaTable::alive_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& r : replicas_)
+    if (r.alive) ++n;
+  return n;
+}
+
+void ReplicaTable::poll_success(std::size_t i, const ReplicaStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (i >= n_) return;
+  replicas_[i].stats = stats;
+  replicas_[i].alive = true;
+  replicas_[i].ever_polled = true;
+  replicas_[i].poll_failures = 0;
+}
+
+void ReplicaTable::poll_failure(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (i >= n_) return;
+  if (++replicas_[i].poll_failures >= kDeadAfterFailures)
+    replicas_[i].alive = false;
+}
+
+void ReplicaTable::mark_dead(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (i >= n_) return;
+  replicas_[i].alive = false;
+  replicas_[i].poll_failures = kDeadAfterFailures;
+}
+
+void ReplicaTable::note_dispatch(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (i >= n_) return;
+  ++replicas_[i].inflight;
+  ++replicas_[i].dispatched;
+}
+
+void ReplicaTable::note_done(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (i >= n_) return;
+  if (replicas_[i].inflight > 0) --replicas_[i].inflight;
+}
+
+// --- StatsPoller -------------------------------------------------------------
+
+StatsPoller::StatsPoller(ReplicaTable& table, double interval_s, double timeout_s)
+    : table_(table), interval_s_(interval_s), timeout_s_(timeout_s) {}
+
+StatsPoller::~StatsPoller() { stop(); }
+
+void StatsPoller::poll_once() {
+  const auto replicas = table_.snapshot();
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    ReplicaStats stats;
+    if (fetch_stats(replicas[i].host, replicas[i].port, timeout_s_, stats))
+      table_.poll_success(i, stats);
+    else
+      table_.poll_failure(i);
+  }
+}
+
+void StatsPoller::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load()) {
+      poll_once();
+      // Sleep in small slices so stop() takes effect promptly.
+      const int slices = interval_s_ > 0 ? static_cast<int>(interval_s_ * 20) : 1;
+      for (int s = 0; s < (slices > 0 ? slices : 1) && running_.load(); ++s)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+}
+
+void StatsPoller::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace gllm::router

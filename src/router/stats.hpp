@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gllm::router {
+
+/// One replica's self-reported load, parsed from its `GET /v1/stats` payload
+/// (schema v2, src/server/http_server.cpp). Parsing is forward- and
+/// backward-compatible by construction: unknown keys are ignored and absent
+/// keys keep their defaults, so a v1 payload (no "schema_version") and a
+/// future v3 payload both produce a usable snapshot.
+struct ReplicaStats {
+  int schema_version = 1;  ///< v1 payloads predate the key
+  std::string model;
+  int pp = 0;
+  int tp = 0;
+  int kv_block_size = 0;                    ///< 0 = unreported (v1)
+  std::int64_t waiting_prefill = 0;         ///< prefill backlog incl. inbox
+  std::int64_t running_decodes = 0;         ///< decode-queue depth
+  std::int64_t prefix_cache_blocks = 0;     ///< cached prompt-prefix blocks
+  std::int64_t restart_budget_remaining = 0;  ///< pipeline respawns left
+};
+
+/// Parse a /v1/stats JSON body into `out`. Returns false only when the text
+/// is not recognisably a stats payload (no "model" key) — missing numeric
+/// fields are not an error, they keep their defaults.
+bool parse_stats_json(const std::string& json, ReplicaStats& out);
+
+/// One replica endpoint plus the router's live view of it. `alive` flips on
+/// poll failures (kDeadAfterFailures consecutive) or immediately on a proxy
+/// error, and flips back on the next successful poll — which is how a
+/// supervisor-respawned or self-recovered replica rejoins the rotation.
+struct Replica {
+  std::string host;
+  int port = 0;
+  ReplicaStats stats;
+  bool alive = true;
+  bool ever_polled = false;  ///< stats are meaningless until the first poll
+  int poll_failures = 0;     ///< consecutive; reset on success
+  std::int64_t inflight = 0;  ///< router-side: dispatched, not yet finished
+  std::int64_t dispatched = 0;  ///< router-side: total completions sent here
+};
+
+/// Thread-safe table of the fleet's replicas, shared between the stats
+/// poller (writer) and the proxy loop (reader + inflight accounting).
+class ReplicaTable {
+ public:
+  static constexpr int kDeadAfterFailures = 2;
+
+  ReplicaTable(std::vector<std::pair<std::string, int>> endpoints);
+
+  std::size_t size() const { return n_; }
+  std::vector<Replica> snapshot() const;
+  std::size_t alive_count() const;
+
+  /// Poller outcomes.
+  void poll_success(std::size_t i, const ReplicaStats& stats);
+  void poll_failure(std::size_t i);
+
+  /// Proxy outcomes. mark_dead is immediate (a refused connect or a mid-
+  /// stream EOF is stronger evidence than a missed poll).
+  void mark_dead(std::size_t i);
+  void note_dispatch(std::size_t i);
+  void note_done(std::size_t i);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Replica> replicas_;
+  std::size_t n_;
+};
+
+/// Fetch + parse one replica's /v1/stats with a hard deadline on every
+/// phase (connect, send, read). Exposed for tests; the poller calls it.
+bool fetch_stats(const std::string& host, int port, double timeout_s,
+                 ReplicaStats& out);
+
+/// Background /v1/stats poller: one thread sweeping every replica each
+/// `interval_s`, updating the shared table. Death detection here is the slow
+/// path (kDeadAfterFailures missed polls); the proxy's connection errors are
+/// the fast path. Start/stop bracketed by the router.
+class StatsPoller {
+ public:
+  StatsPoller(ReplicaTable& table, double interval_s, double timeout_s = 0.5);
+  ~StatsPoller();
+
+  void start();
+  void stop();
+
+  /// Sweep every replica once, synchronously (also used by tests and by the
+  /// router's startup to seed the table before accepting traffic).
+  void poll_once();
+
+ private:
+  ReplicaTable& table_;
+  double interval_s_;
+  double timeout_s_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace gllm::router

@@ -77,6 +77,15 @@ class DriverState {
   /// Depth of the waiting-prefill queue (driver thread only; the service
   /// publishes it to an atomic for the HTTP front-end's admission shedding).
   std::size_t waiting_count() const { return core_.waiting().size(); }
+  /// Depth of the decode queue (driver thread only; published like
+  /// waiting_count so /v1/stats can report live load to a fleet router).
+  std::size_t decoding_count() const { return core_.decoding().size(); }
+  /// Blocks currently held by the prompt-prefix cache (0 when prefix caching
+  /// is off). Driver thread only; published alongside the queue depths.
+  std::size_t prefix_cache_blocks() const {
+    const kv::PrefixCache* cache = core_.prefill_kv().prefix_cache();
+    return cache != nullptr ? cache->size() : 0;
+  }
   std::int64_t preemptions() const { return core_.preemptions(); }
   const engine::Sequence& seq(kv::SeqId id) const { return core_.seq(id); }
   /// Prompt + generated token ids of a registered request.

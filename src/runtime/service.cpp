@@ -314,6 +314,8 @@ void PipelineService::service_loop() {
 
     const bool admitted = admit_batches();
     waiting_depth_.store(state_->waiting_count(), std::memory_order_relaxed);
+    running_depth_.store(state_->decoding_count(), std::memory_order_relaxed);
+    prefix_blocks_.store(state_->prefix_cache_blocks(), std::memory_order_relaxed);
 
     if (state_->in_flight() > 0) {
       SampleResult result;

@@ -93,6 +93,20 @@ class PipelineService {
   /// its shed threshold answers 503 + Retry-After instead of queueing work
   /// the pipeline is already behind on.
   std::size_t queue_depth() const { return waiting_depth_.load() + inbox_.size(); }
+  /// Decode-queue depth as last published by the driver loop (thread-safe).
+  /// Together with queue_depth() this is the live load signal a fleet router
+  /// balances on (/v1/stats "running_decodes").
+  std::size_t running_decodes() const { return running_depth_.load(); }
+  /// Blocks held by the prompt-prefix cache as last published by the driver
+  /// loop (0 when prefix caching is off). Thread-safe.
+  std::size_t prefix_cache_blocks() const { return prefix_blocks_.load(); }
+  /// Pipeline restarts the fault budget still allows (thread-safe; clamps at
+  /// 0 once exhausted). A router treats a replica with no budget left as one
+  /// failure away from kFailed when weighing placements.
+  int restart_budget_remaining() const {
+    const int left = options_.fault.max_pipeline_restarts - restarts_.load();
+    return left > 0 ? left : 0;
+  }
   const RuntimeOptions& options() const { return options_; }
 
  private:
@@ -137,6 +151,8 @@ class PipelineService {
   std::atomic<ServiceHealth> health_{ServiceHealth::kServing};
   std::atomic<int> restarts_{0};
   std::atomic<std::size_t> waiting_depth_{0};
+  std::atomic<std::size_t> running_depth_{0};
+  std::atomic<std::size_t> prefix_blocks_{0};
 
   mutable std::mutex mu_;
   std::condition_variable drained_;

@@ -304,10 +304,25 @@ HttpServer::Response HttpServer::handle_get(const std::string& method,
   if (path == "/metrics")
     return Response{200, obs->metrics().render_prometheus(),
                     "text/plain; version=0.0.4; charset=utf-8", ""};
+  // /v1/stats schema v2: the stable top-level scalars a fleet router needs
+  // for placement (live queue depths, prefix-cache footprint, remaining
+  // restart budget, KV geometry). "schema_version" gates parsers: consumers
+  // must ignore unknown keys and default absent ones, so v1 payloads (no
+  // version key) and future versions both parse. The obs registry dump stays
+  // under "metrics" and carries no compatibility promise.
   return Response{200,
-                  "{\"model\":\"" + service_.options().model.name +
+                  "{\"schema_version\":2,\"model\":\"" + service_.options().model.name +
                       "\",\"pp\":" + std::to_string(service_.options().pp) +
                       ",\"tp\":" + std::to_string(service_.options().tp) +
+                      ",\"kv_block_size\":" +
+                      std::to_string(service_.options().kv_block_size) +
+                      ",\"waiting_prefill\":" + std::to_string(service_.queue_depth()) +
+                      ",\"running_decodes\":" +
+                      std::to_string(service_.running_decodes()) +
+                      ",\"prefix_cache_blocks\":" +
+                      std::to_string(service_.prefix_cache_blocks()) +
+                      ",\"restart_budget_remaining\":" +
+                      std::to_string(service_.restart_budget_remaining()) +
                       ",\"metrics\":" + obs->stats_json() + "}",
                   "application/json", ""};
 }

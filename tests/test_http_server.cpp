@@ -192,6 +192,21 @@ TEST_F(HttpServerTest, StatsEndpointReturnsJson) {
   EXPECT_NE(body.find("\"model\":\"tiny\""), std::string::npos);
   EXPECT_NE(body.find("\"counters\""), std::string::npos);
   EXPECT_NE(body.find("gllm_requests_admitted_total"), std::string::npos);
+
+  // Schema v2: the stable placement fields a fleet router keys on.
+  std::int64_t v = -1;
+  ASSERT_TRUE(json_int_field(body, "schema_version", v));
+  EXPECT_EQ(v, 2);
+  ASSERT_TRUE(json_int_field(body, "kv_block_size", v));
+  EXPECT_EQ(v, 8);
+  ASSERT_TRUE(json_int_field(body, "waiting_prefill", v));
+  EXPECT_GE(v, 0);
+  ASSERT_TRUE(json_int_field(body, "running_decodes", v));
+  EXPECT_GE(v, 0);
+  ASSERT_TRUE(json_int_field(body, "prefix_cache_blocks", v));
+  EXPECT_GE(v, 0);
+  ASSERT_TRUE(json_int_field(body, "restart_budget_remaining", v));
+  EXPECT_GT(v, 0);  // no faults injected: full budget remains
 }
 
 TEST(HttpServerNoObs, MetricsUnavailableWithoutObservability) {

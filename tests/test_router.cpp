@@ -3,8 +3,22 @@
 
 #include <gtest/gtest.h>
 
-#include <set>
+#include <sys/socket.h>
 
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "kv/prefix_cache.hpp"
+#include "loadgen/loadgen.hpp"
+#include "net/socket.hpp"
+#include "obs/obs.hpp"
+#include "router/router.hpp"
+#include "router/stats.hpp"
+#include "sched/token_throttle.hpp"
+#include "server/http_server.hpp"
 #include "workload/generator.hpp"
 
 namespace gllm::serve {
@@ -167,3 +181,696 @@ TEST(DataParallel, DpVsPpTradeoffRuns) {
 
 }  // namespace
 }  // namespace gllm::serve
+
+// ---------------------------------------------------------------------------
+// gllm::router — the online fleet front door (prefix-aware placement, shed
+// escalation, mid-stream failover). Everything below runs real sockets over
+// loopback; the replicas are in-process PipelineService + HttpServer pairs
+// sharing a weight seed, so greedy token streams are comparable byte-for-byte.
+// ---------------------------------------------------------------------------
+
+namespace gllm::router {
+namespace {
+
+constexpr std::uint64_t kSeed = 1234;
+
+runtime::RuntimeOptions tiny_options() {
+  runtime::RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.pp = 2;
+  opt.kv_capacity_tokens = 2048;
+  opt.kv_block_size = 8;
+  opt.weight_seed = kSeed;
+  return opt;
+}
+
+std::shared_ptr<sched::IScheduler> small_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 2;
+  return std::make_shared<sched::TokenThrottleScheduler>(p);
+}
+
+std::string completion_body(std::int64_t id, const std::vector<nn::TokenId>& prompt,
+                            int max_tokens, bool stream = false) {
+  std::string body = "{\"id\":" + std::to_string(id) + ",\"prompt\":[";
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    if (i) body += ",";
+    body += std::to_string(prompt[i]);
+  }
+  body += "],\"max_tokens\":" + std::to_string(max_tokens);
+  if (stream) body += ",\"stream\":true";
+  body += "}";
+  return body;
+}
+
+std::string raw_completion_request(const std::string& body) {
+  return "POST /v1/completions HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+}
+
+/// Send raw bytes, read the full response to EOF.
+std::string raw_round_trip(int port, const std::string& raw, double timeout_s = 60.0) {
+  const int fd = net::connect_tcp("127.0.0.1", port, 5.0);
+  if (fd < 0) return {};
+  if (!net::send_all(fd, raw.data(), raw.size())) {
+    net::close_fd(fd);
+    return {};
+  }
+  std::string in;
+  char buf[8192];
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (elapsed >= timeout_s) break;
+    if (!net::wait_readable(fd, timeout_s - elapsed)) break;
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    in.append(buf, static_cast<std::size_t>(n));
+  }
+  net::close_fd(fd);
+  return in;
+}
+
+int count_token_events(const std::string& response) {
+  int n = 0;
+  for (std::size_t pos = 0;
+       (pos = response.find("\"token\":", pos)) != std::string::npos; pos += 8)
+    ++n;
+  return n;
+}
+
+// --- prompt-prefix hash: the routing key shared with kv::PrefixCache --------
+
+TEST(PrefixHash, ShorterThanOneBlockIsZero) {
+  const std::vector<kv::TokenId> t{1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(kv::prompt_prefix_hash(t, 8), 0u);
+  EXPECT_EQ(kv::prompt_prefix_hash(t, 0), 0u);
+  EXPECT_EQ(kv::prompt_prefix_hash(std::vector<kv::TokenId>{}, 8), 0u);
+}
+
+TEST(PrefixHash, GoldenValuesAreProcessIndependent) {
+  // Hard-coded expected values: the hash is a pure function of the token
+  // values, so these must hold in every process on every host forever (the
+  // router hashes in one process, the replica cache in another). If this
+  // test breaks, the hash function changed — bump it knowingly.
+  std::vector<kv::TokenId> t;
+  for (kv::TokenId i = 1; i <= 16; ++i) t.push_back(i);
+  EXPECT_EQ(kv::prompt_prefix_hash(std::span<const kv::TokenId>(t.data(), 8), 8),
+            0x6489bd86fccf7badULL);
+  EXPECT_EQ(kv::prompt_prefix_hash(t, 8), 0xc0d81e5d5b65d210ULL);
+  const std::vector<kv::TokenId> sevens(8, 7);
+  EXPECT_EQ(kv::prompt_prefix_hash(sevens, 4), 0xc24f4d612e61c200ULL);
+}
+
+TEST(PrefixHash, DependsOnlyOnWholeBlocks) {
+  std::vector<kv::TokenId> t;
+  for (kv::TokenId i = 0; i < 20; ++i) t.push_back(i * 3);
+  const auto full = kv::prompt_prefix_hash(t, 8);
+  const auto sixteen =
+      kv::prompt_prefix_hash(std::span<const kv::TokenId>(t.data(), 16), 8);
+  EXPECT_EQ(full, sixteen);  // tokens 16..19 are a partial block: ignored
+  // A change inside the partial tail does not move the hash...
+  auto mutated = t;
+  mutated[19] = 999;
+  EXPECT_EQ(kv::prompt_prefix_hash(mutated, 8), full);
+  // ...a change inside a whole block does, even in the first block.
+  mutated = t;
+  mutated[0] = 999;
+  EXPECT_NE(kv::prompt_prefix_hash(mutated, 8), full);
+}
+
+TEST(PrefixHash, ChainingIsOrderSensitive) {
+  const std::vector<kv::TokenId> a{1, 2, 3, 4};
+  const std::vector<kv::TokenId> b{5, 6, 7, 8};
+  const auto ha = kv::chain_block_hash(0, a);
+  const auto hb = kv::chain_block_hash(0, b);
+  EXPECT_NE(ha, hb);
+  EXPECT_NE(kv::chain_block_hash(ha, b), kv::chain_block_hash(hb, a));
+}
+
+// --- /v1/stats payload parsing: v1, v2 and future schemas -------------------
+
+TEST(StatsJson, ParsesV2Payload) {
+  ReplicaStats s;
+  ASSERT_TRUE(parse_stats_json(
+      "{\"schema_version\":2,\"model\":\"tiny\",\"pp\":2,\"tp\":1,"
+      "\"kv_block_size\":8,\"waiting_prefill\":5,\"running_decodes\":3,"
+      "\"prefix_cache_blocks\":17,\"restart_budget_remaining\":2}",
+      s));
+  EXPECT_EQ(s.schema_version, 2);
+  EXPECT_EQ(s.model, "tiny");
+  EXPECT_EQ(s.pp, 2);
+  EXPECT_EQ(s.kv_block_size, 8);
+  EXPECT_EQ(s.waiting_prefill, 5);
+  EXPECT_EQ(s.running_decodes, 3);
+  EXPECT_EQ(s.prefix_cache_blocks, 17);
+  EXPECT_EQ(s.restart_budget_remaining, 2);
+}
+
+TEST(StatsJson, V1PayloadKeepsDefaults) {
+  // A pre-v2 server: no schema_version, no kv_block_size, no queue gauges.
+  ReplicaStats s;
+  ASSERT_TRUE(parse_stats_json("{\"model\":\"qwen\",\"pp\":4,\"tp\":2}", s));
+  EXPECT_EQ(s.schema_version, 1);
+  EXPECT_EQ(s.model, "qwen");
+  EXPECT_EQ(s.pp, 4);
+  EXPECT_EQ(s.tp, 2);
+  EXPECT_EQ(s.kv_block_size, 0);  // unreported
+  EXPECT_EQ(s.waiting_prefill, 0);
+}
+
+TEST(StatsJson, FutureSchemaAndUnknownKeysTolerated) {
+  ReplicaStats s;
+  ASSERT_TRUE(parse_stats_json(
+      "{\"schema_version\":9,\"model\":\"next\",\"brand_new_gauge\":42,"
+      "\"waiting_prefill\":1}",
+      s));
+  EXPECT_EQ(s.schema_version, 9);
+  EXPECT_EQ(s.waiting_prefill, 1);
+}
+
+TEST(StatsJson, RejectsNonStatsText) {
+  ReplicaStats s;
+  EXPECT_FALSE(parse_stats_json("", s));
+  EXPECT_FALSE(parse_stats_json("{\"error\":\"nope\"}", s));
+  EXPECT_FALSE(parse_stats_json("<html>502</html>", s));
+}
+
+TEST(StatsJson, FetchFromLiveServerCrossProcessShape) {
+  // fetch_stats against a real HttpServer: the wire payload a v2 replica in
+  // another process would serve parses into a full snapshot.
+  obs::Observability obs;
+  auto opt = tiny_options();
+  opt.obs = &obs;
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+  server::HttpServer server(service);
+  server.start();
+
+  ReplicaStats s;
+  ASSERT_TRUE(fetch_stats("127.0.0.1", server.port(), 2.0, s));
+  EXPECT_EQ(s.schema_version, 2);
+  EXPECT_EQ(s.model, "tiny");
+  EXPECT_EQ(s.pp, 2);
+  EXPECT_EQ(s.kv_block_size, 8);
+  EXPECT_GT(s.restart_budget_remaining, 0);
+
+  server.stop();
+  service.stop();
+  // And a dead endpoint fails fast instead of hanging.
+  ReplicaStats dead;
+  EXPECT_FALSE(fetch_stats("127.0.0.1", server.port(), 0.5, dead));
+}
+
+// --- ReplicaTable: poll-driven death and revival ----------------------------
+
+TEST(ReplicaTableTest, DiesAfterConsecutivePollFailuresRevivesOnSuccess) {
+  ReplicaTable table({{"127.0.0.1", 1}, {"127.0.0.1", 2}});
+  EXPECT_EQ(table.alive_count(), 2u);
+
+  table.poll_failure(0);
+  EXPECT_EQ(table.alive_count(), 2u);  // one miss is not death
+  table.poll_failure(0);
+  EXPECT_EQ(table.alive_count(), 1u);
+  EXPECT_FALSE(table.snapshot()[0].alive);
+
+  ReplicaStats healthy;
+  healthy.model = "tiny";
+  table.poll_success(0, healthy);  // respawned replica rejoins
+  EXPECT_EQ(table.alive_count(), 2u);
+  EXPECT_TRUE(table.snapshot()[0].ever_polled);
+
+  // A success between failures resets the consecutive counter.
+  table.poll_failure(1);
+  table.poll_success(1, healthy);
+  table.poll_failure(1);
+  EXPECT_EQ(table.alive_count(), 2u);
+
+  table.mark_dead(1);  // proxy fast path: immediate
+  EXPECT_EQ(table.alive_count(), 1u);
+}
+
+TEST(ReplicaTableTest, InflightAccounting) {
+  ReplicaTable table({{"127.0.0.1", 1}});
+  table.note_dispatch(0);
+  table.note_dispatch(0);
+  table.note_done(0);
+  const auto snap = table.snapshot();
+  EXPECT_EQ(snap[0].inflight, 1);
+  EXPECT_EQ(snap[0].dispatched, 2);
+}
+
+// --- PlacementPolicy: least-waiting-prefill + prefix affinity ---------------
+
+std::vector<Replica> three_replicas(std::int64_t w0, std::int64_t w1,
+                                    std::int64_t w2) {
+  std::vector<Replica> r(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    r[i].host = "127.0.0.1";
+    r[i].port = static_cast<int>(9000 + i);
+    r[i].ever_polled = true;
+  }
+  r[0].stats.waiting_prefill = w0;
+  r[1].stats.waiting_prefill = w1;
+  r[2].stats.waiting_prefill = w2;
+  return r;
+}
+
+TEST(PlacementPolicyTest, OrdersByWaitingPrefill) {
+  PlacementPolicy policy;
+  const auto p = policy.place(0, three_replicas(5, 1, 3));
+  ASSERT_EQ(p.candidates.size(), 3u);
+  EXPECT_EQ(p.candidates[0], 1u);
+  EXPECT_EQ(p.candidates[1], 2u);
+  EXPECT_EQ(p.candidates[2], 0u);
+  EXPECT_FALSE(p.prefix_hit);
+}
+
+TEST(PlacementPolicyTest, RouterInflightCoversPollLag) {
+  // Equal polled depth, but the router just dispatched twice to replica 0:
+  // its own in-flight count must break the tie.
+  auto replicas = three_replicas(2, 2, 2);
+  replicas[0].inflight = 2;
+  const auto p = PlacementPolicy().place(0, replicas);
+  EXPECT_EQ(p.candidates[0], 1u);  // stable: ties keep index order
+  EXPECT_EQ(p.candidates.back(), 0u);
+}
+
+TEST(PlacementPolicyTest, DeadReplicasExcluded) {
+  auto replicas = three_replicas(1, 2, 3);
+  replicas[0].alive = false;
+  const auto p = PlacementPolicy().place(0, replicas);
+  ASSERT_EQ(p.candidates.size(), 2u);
+  EXPECT_EQ(p.candidates[0], 1u);
+  EXPECT_EQ(p.candidates[1], 2u);
+}
+
+TEST(PlacementPolicyTest, AffinityBeatsLoadAndEscalationFallsBack) {
+  PlacementPolicy policy;
+  policy.record(0xabcULL, 2);
+  const auto p = policy.place(0xabcULL, three_replicas(0, 0, 50));
+  ASSERT_GE(p.candidates.size(), 3u);
+  EXPECT_EQ(p.candidates[0], 2u);  // prefix affinity wins despite the load...
+  EXPECT_TRUE(p.prefix_hit);
+  EXPECT_EQ(p.candidates[1], 0u);  // ...but escalation order is load-sorted
+  // Hash 0 means "no routable prefix": affinity must not fire.
+  const auto p0 = policy.place(0, three_replicas(0, 0, 50));
+  EXPECT_FALSE(p0.prefix_hit);
+  EXPECT_EQ(p0.candidates[0], 0u);
+}
+
+TEST(PlacementPolicyTest, DeadAffinityTargetSkipped) {
+  PlacementPolicy policy;
+  policy.record(0xabcULL, 0);
+  auto replicas = three_replicas(0, 1, 2);
+  replicas[0].alive = false;
+  const auto p = policy.place(0xabcULL, replicas);
+  EXPECT_FALSE(p.prefix_hit);
+  EXPECT_EQ(p.candidates[0], 1u);
+}
+
+TEST(PlacementPolicyTest, LruEvictsAtCapacityAndForgetDropsReplica) {
+  PlacementPolicy policy(/*affinity_capacity=*/2);
+  policy.record(1, 0);
+  policy.record(2, 1);
+  policy.record(3, 2);  // evicts hash 1 (least recent)
+  EXPECT_EQ(policy.affinity_size(), 2u);
+  EXPECT_FALSE(policy.place(1, three_replicas(0, 0, 0)).prefix_hit);
+  EXPECT_TRUE(policy.place(2, three_replicas(0, 0, 0)).prefix_hit);
+  EXPECT_TRUE(policy.place(3, three_replicas(0, 0, 0)).prefix_hit);
+
+  policy.forget_replica(2);  // replica 2 died: its cached prefixes are gone
+  EXPECT_EQ(policy.affinity_size(), 1u);
+  EXPECT_FALSE(policy.place(3, three_replicas(0, 0, 0)).prefix_hit);
+  EXPECT_TRUE(policy.place(2, three_replicas(0, 0, 0)).prefix_hit);
+}
+
+// --- fakes: a replica that sheds every completion ---------------------------
+
+/// Minimal replica stand-in: healthy /v1/stats, 503 + Retry-After for every
+/// POST — the deterministic way to force the router's shed-escalation path
+/// (a real replica's shed threshold depends on timing).
+class FakeShedReplica {
+ public:
+  FakeShedReplica() {
+    listen_fd_ = net::listen_tcp(0);
+    if (listen_fd_ < 0) throw std::runtime_error("fake replica: listen failed");
+    port_ = net::local_port(listen_fd_);
+    thread_ = std::thread([this] { serve(); });
+  }
+  ~FakeShedReplica() {
+    running_.store(false);
+    if (thread_.joinable()) thread_.join();
+    net::close_fd(listen_fd_);
+  }
+  int port() const { return port_; }
+  int posts_seen() const { return posts_.load(); }
+
+ private:
+  void serve() {
+    while (running_.load()) {
+      if (!net::wait_readable(listen_fd_, 0.05)) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::string in;
+      char buf[4096];
+      while (in.find("\r\n\r\n") == std::string::npos) {
+        if (!net::wait_readable(fd, 1.0)) break;
+        const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+        if (n <= 0) break;
+        in.append(buf, static_cast<std::size_t>(n));
+      }
+      std::string body, head;
+      if (in.rfind("GET", 0) == 0) {
+        body =
+            "{\"schema_version\":2,\"model\":\"fake\",\"pp\":1,\"tp\":1,"
+            "\"kv_block_size\":8,\"waiting_prefill\":0,\"running_decodes\":0,"
+            "\"prefix_cache_blocks\":0,\"restart_budget_remaining\":3}";
+        head = "HTTP/1.1 200 OK\r\n";
+      } else {
+        posts_.fetch_add(1);
+        body = "{\"error\":\"saturated\"}";
+        head = "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 0\r\n";
+      }
+      const std::string response = head + "Content-Type: application/json\r\nContent-Length: " +
+                                   std::to_string(body.size()) +
+                                   "\r\nConnection: close\r\n\r\n" + body;
+      net::send_all(fd, response.data(), response.size());
+      net::close_fd(fd);
+    }
+  }
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{true};
+  std::atomic<int> posts_{0};
+  std::thread thread_;
+};
+
+// --- FleetRouter end-to-end over real replicas ------------------------------
+
+class FleetRouterTest : public ::testing::Test {
+ protected:
+  void start_fleet(std::size_t n, double poll_interval_s = 0.1) {
+    std::vector<std::pair<std::string, int>> backends;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto obs = std::make_unique<obs::Observability>();
+      auto opt = tiny_options();
+      opt.obs = obs.get();
+      auto svc =
+          std::make_unique<runtime::PipelineService>(opt, small_throttle());
+      svc->start();
+      auto srv = std::make_unique<server::HttpServer>(*svc);
+      srv->start();
+      backends.emplace_back("127.0.0.1", srv->port());
+      obs_.push_back(std::move(obs));
+      services_.push_back(std::move(svc));
+      servers_.push_back(std::move(srv));
+    }
+    RouterOptions ro;
+    ro.backends = backends;
+    ro.poll_interval_s = poll_interval_s;
+    ro.obs = &router_obs_;
+    router_ = std::make_unique<FleetRouter>(ro);
+    router_->start();
+    ASSERT_GT(router_->port(), 0);
+  }
+
+  void stop_replica(std::size_t i) {
+    servers_[i]->stop();
+    services_[i]->stop();
+  }
+
+  /// Fault-free reference bytes for `raw`, served by a standalone replica
+  /// outside the fleet (a PipelineService rejects a request id it has
+  /// already recorded, so the reference must not consume the id on a fleet
+  /// member that may serve the routed copy later).
+  std::string reference_stream(const std::string& raw) {
+    obs::Observability obs;
+    auto opt = tiny_options();
+    opt.obs = &obs;
+    runtime::PipelineService service(opt, small_throttle());
+    service.start();
+    server::HttpServer server(service);
+    server.start();
+    const std::string bytes = raw_round_trip(server.port(), raw);
+    server.stop();
+    service.stop();
+    return bytes;
+  }
+
+  void TearDown() override {
+    if (router_) router_->stop();
+    for (auto& s : servers_)
+      if (s) s->stop();
+    for (auto& s : services_)
+      if (s) s->stop();
+  }
+
+  obs::Observability router_obs_;
+  std::vector<std::unique_ptr<obs::Observability>> obs_;
+  std::vector<std::unique_ptr<runtime::PipelineService>> services_;
+  std::vector<std::unique_ptr<server::HttpServer>> servers_;
+  std::unique_ptr<FleetRouter> router_;
+};
+
+TEST_F(FleetRouterTest, LocalEndpointsServeFleetViews) {
+  start_fleet(2);
+  std::string body;
+  EXPECT_EQ(server::http_request(router_->port(), "GET", "/health", "", body), 200);
+  EXPECT_NE(body.find("\"role\":\"router\""), std::string::npos);
+  EXPECT_NE(body.find("\"replicas\":2"), std::string::npos);
+
+  EXPECT_EQ(server::http_request(router_->port(), "GET", "/v1/stats", "", body), 200);
+  EXPECT_NE(body.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"replicas_total\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"waiting_prefill\""), std::string::npos);
+
+  EXPECT_EQ(server::http_request(router_->port(), "GET", "/metrics", "", body), 200);
+  EXPECT_NE(body.find("gllm_router_requests_routed_total"), std::string::npos);
+
+  EXPECT_EQ(server::http_request(router_->port(), "GET", "/nope", "", body), 404);
+  EXPECT_EQ(server::http_request(router_->port(), "POST", "/health", "", body), 405);
+  EXPECT_EQ(server::http_request(router_->port(), "GET", "/v1/completions", "", body),
+            405);
+}
+
+TEST_F(FleetRouterTest, ProxiedCompletionMatchesReference) {
+  start_fleet(2);
+  const auto cfg = model::presets::tiny();
+  nn::GenRequest request;
+  request.id = 1;
+  request.prompt = nn::synthetic_prompt(cfg, 5, 12);
+  request.max_new_tokens = 6;
+  const auto reference = nn::generate_reference(cfg, kSeed, {request});
+
+  std::string body;
+  const int status =
+      server::http_request(router_->port(), "POST", "/v1/completions",
+                           completion_body(1, request.prompt, 6), body);
+  ASSERT_EQ(status, 200);
+  std::vector<std::int64_t> tokens;
+  ASSERT_TRUE(server::json_int_array_field(body, "tokens", tokens));
+  ASSERT_EQ(tokens.size(), reference[0].size());
+  for (std::size_t i = 0; i < tokens.size(); ++i)
+    EXPECT_EQ(tokens[i], reference[0][i]) << "token " << i;
+  EXPECT_EQ(router_obs_.router().requests_routed->value(), 1);
+}
+
+TEST_F(FleetRouterTest, StreamedProxyIsByteIdenticalToDirect) {
+  start_fleet(2);
+  const auto prompt = nn::synthetic_prompt(model::presets::tiny(), 11, 16);
+  const std::string raw = raw_completion_request(completion_body(7, prompt, 8, true));
+
+  const std::string direct = reference_stream(raw);
+  ASSERT_NE(direct.find("data: [DONE]"), std::string::npos);
+  const std::string via_router = raw_round_trip(router_->port(), raw);
+  EXPECT_EQ(via_router, direct);
+}
+
+TEST_F(FleetRouterTest, PrefixAffinityRoutesRepeatPromptsToSameReplica) {
+  start_fleet(2);
+  const auto prompt = nn::synthetic_prompt(model::presets::tiny(), 21, 32);
+  std::string body;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(server::http_request(router_->port(), "POST", "/v1/completions",
+                                   completion_body(100 + i, prompt, 2), body),
+              200);
+  }
+  // All four share the prompt prefix: after the first placement the other
+  // three must hit the affinity map and land on the same replica.
+  EXPECT_EQ(router_obs_.router().prefix_hits->value(), 3);
+  const auto snap = router_->table().snapshot();
+  EXPECT_EQ(snap[0].dispatched + snap[1].dispatched, 4);
+  EXPECT_TRUE(snap[0].dispatched == 0 || snap[1].dispatched == 0)
+      << "affinity split a shared prefix across replicas";
+}
+
+TEST_F(FleetRouterTest, FailoverMidStreamIsByteIdentical) {
+  start_fleet(2);
+  const auto prompt = nn::synthetic_prompt(model::presets::tiny(), 31, 12);
+  // Long generation: the victim replica is killed while it still has most of
+  // the stream left to produce.
+  const std::string raw = raw_completion_request(completion_body(9, prompt, 600, true));
+  const std::string reference = reference_stream(raw);
+  ASSERT_NE(reference.find("data: [DONE]"), std::string::npos);
+  ASSERT_EQ(count_token_events(reference), 600);
+
+  const int fd = net::connect_tcp("127.0.0.1", router_->port(), 5.0);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(net::send_all(fd, raw.data(), raw.size()));
+
+  std::string in;
+  char buf[8192];
+  bool killed = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (elapsed >= 60.0) break;
+    if (!killed && count_token_events(in) >= 3) {
+      // The stream is live: find the serving replica and kill it.
+      const auto snap = router_->table().snapshot();
+      for (std::size_t i = 0; i < snap.size(); ++i) {
+        if (snap[i].inflight > 0) {
+          stop_replica(i);
+          killed = true;
+          break;
+        }
+      }
+    }
+    if (!net::wait_readable(fd, 0.05)) continue;
+    const ssize_t n = net::recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    in.append(buf, static_cast<std::size_t>(n));
+  }
+  net::close_fd(fd);
+
+  ASSERT_TRUE(killed) << "stream finished before the kill could land";
+  // The client-observed bytes are identical to the fault-free run: same head,
+  // same 600 token events, same terminal — the replay skipped exactly what
+  // had already been forwarded.
+  EXPECT_EQ(in, reference);
+  EXPECT_GE(router_obs_.router().failovers->value(), 1);
+  EXPECT_GE(router_obs_.router().replica_deaths->value(), 1);
+}
+
+TEST_F(FleetRouterTest, AllReplicasDeadYields503ThenHealthDown) {
+  start_fleet(2, /*poll_interval_s=*/0.05);
+  stop_replica(0);
+  stop_replica(1);
+  const auto prompt = nn::synthetic_prompt(model::presets::tiny(), 41, 8);
+  const std::string response =
+      raw_round_trip(router_->port(), raw_completion_request(completion_body(1, prompt, 2)));
+  EXPECT_EQ(response.rfind("HTTP/1.1 503", 0), 0u) << response;
+  EXPECT_NE(response.find("Retry-After:"), std::string::npos);
+  EXPECT_NE(response.find("no replica available"), std::string::npos);
+
+  // Give the poller a couple of sweeps to notice, then /health flips down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  std::string body;
+  EXPECT_EQ(server::http_request(router_->port(), "GET", "/health", "", body), 503);
+  EXPECT_NE(body.find("\"alive\":0"), std::string::npos);
+}
+
+TEST(FleetRouterShed, EscalatesPastSaturatedReplicaToSibling) {
+  FakeShedReplica shed;
+
+  obs::Observability replica_obs;
+  auto opt = tiny_options();
+  opt.obs = &replica_obs;
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+  server::HttpServer server(service);
+  server.start();
+
+  obs::Observability router_obs;
+  RouterOptions ro;
+  // The shedding fake is placed first on ties (lower index), so every
+  // completion hits it before escalating to the real sibling.
+  ro.backends = {{"127.0.0.1", shed.port()}, {"127.0.0.1", server.port()}};
+  ro.obs = &router_obs;
+  FleetRouter router(ro);
+  router.start();
+
+  const auto cfg = model::presets::tiny();
+  nn::GenRequest request;
+  request.id = 3;
+  request.prompt = nn::synthetic_prompt(cfg, 5, 12);
+  request.max_new_tokens = 4;
+  const auto reference = nn::generate_reference(cfg, kSeed, {request});
+
+  std::string body;
+  const int status =
+      server::http_request(router.port(), "POST", "/v1/completions",
+                           completion_body(3, request.prompt, 4), body);
+  ASSERT_EQ(status, 200) << body;  // the client never saw the 503
+  std::vector<std::int64_t> tokens;
+  ASSERT_TRUE(server::json_int_array_field(body, "tokens", tokens));
+  ASSERT_EQ(tokens.size(), reference[0].size());
+  for (std::size_t i = 0; i < tokens.size(); ++i)
+    EXPECT_EQ(tokens[i], reference[0][i]);
+
+  EXPECT_GE(shed.posts_seen(), 1);
+  EXPECT_GE(router_obs.router().sheds_retried->value(), 1);
+  EXPECT_EQ(router_obs.router().sheds_exhausted->value(), 0);
+
+  router.stop();
+  server.stop();
+  service.stop();
+}
+
+TEST(FleetRouterShed, AllSaturatedYields503WithRetryAfter) {
+  FakeShedReplica a, b;
+  obs::Observability router_obs;
+  RouterOptions ro;
+  ro.backends = {{"127.0.0.1", a.port()}, {"127.0.0.1", b.port()}};
+  ro.retry_after_s = 2;
+  ro.obs = &router_obs;
+  FleetRouter router(ro);
+  router.start();
+
+  const auto prompt = nn::synthetic_prompt(model::presets::tiny(), 51, 8);
+  const std::string response =
+      raw_round_trip(router.port(), raw_completion_request(completion_body(4, prompt, 2)));
+  EXPECT_EQ(response.rfind("HTTP/1.1 503", 0), 0u) << response;
+  EXPECT_NE(response.find("Retry-After: 2"), std::string::npos);
+  EXPECT_NE(response.find("all replicas saturated"), std::string::npos);
+  EXPECT_GE(a.posts_seen() + b.posts_seen(), 2);  // both were tried
+  EXPECT_GE(router_obs.router().sheds_exhausted->value(), 1);
+
+  router.stop();
+}
+
+// --- loadgen: Retry-After-honouring 503 retries -----------------------------
+
+TEST(LoadgenRetry, BoundedRetriesHonourRetryAfterAndAreCountedSeparately) {
+  FakeShedReplica shed;
+  loadgen::LoadgenOptions options;
+  options.port = shed.port();
+  options.connections = 1;
+  options.requests = 3;
+  options.stream = false;
+  options.max_retries = 2;
+  options.max_retry_wait_s = 0.0;  // the fake hints Retry-After: 0 anyway
+  options.timeout_s = 10.0;
+
+  const auto report = loadgen::run(options);
+  EXPECT_EQ(report.requested, 3u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_EQ(report.shed, 3u);     // each request sheds once, after...
+  EXPECT_EQ(report.retries, 6u);  // ...exactly max_retries re-drives
+  EXPECT_EQ(shed.posts_seen(), 9);
+
+  // With retries disabled nothing is re-driven.
+  options.max_retries = 0;
+  const auto once = loadgen::run(options);
+  EXPECT_EQ(once.shed, 3u);
+  EXPECT_EQ(once.retries, 0u);
+}
+
+}  // namespace
+}  // namespace gllm::router

@@ -37,6 +37,7 @@ cmake -B build -S .
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs" -LE soak
 tools/smoke_multiproc.sh build
+tools/smoke_router.sh build
 
 if [[ "$soak" == 1 ]]; then
   echo "== soak tests (build/) =="
@@ -68,6 +69,7 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" -LE soak
 tools/smoke_multiproc.sh build-asan
+tools/smoke_router.sh build-asan
 
 if [[ "$soak" == 1 ]]; then
   echo "== soak tests (build-asan/) =="

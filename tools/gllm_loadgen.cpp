@@ -11,6 +11,7 @@
 // one-command smoke/benchmark path used by tools/smoke_multiproc.sh and the
 // serving benchmark.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -36,6 +37,14 @@ int main(int argc, char** argv) {
   args.add_option("seed", "trace/prompt seed", "42");
   args.add_option("timeout", "per-request budget, seconds", "120");
   args.add_option("json", "write the JSON report to this file ('-' = stdout only)", "-");
+  args.add_option("max-retries",
+                  "re-drive a 503-shed request up to N times, honouring Retry-After",
+                  "0");
+  args.add_option("max-retry-wait", "cap on one Retry-After sleep, seconds", "5");
+  args.add_option("dump-tokens",
+                  "write completed requests' token ids ('id: t1 t2 ...' per line, "
+                  "sorted by id) — diffable across runs for identity checks",
+                  "");
   args.add_flag("no-stream", "unary POST instead of SSE streaming");
   args.add_flag("spawn", "start an in-process tiny server and drive it");
   args.add_option("spawn-loop", "with --spawn: epoll | serial", "epoll");
@@ -63,6 +72,9 @@ int main(int argc, char** argv) {
     options.seed = static_cast<std::uint64_t>(args.get_int64("seed"));
     options.timeout_s = args.get_double("timeout");
     options.stream = !args.has("no-stream");
+    options.max_retries = args.get_int("max-retries");
+    options.max_retry_wait_s = args.get_double("max-retry-wait");
+    options.collect_tokens = !args.get("dump-tokens").empty();
 
     const std::string mode = args.get("mode");
     if (mode == "open") {
@@ -126,6 +138,19 @@ int main(int argc, char** argv) {
       std::ofstream out(path);
       if (!out) throw std::runtime_error("cannot open " + path);
       out << json << "\n";
+    }
+    const std::string dump = args.get("dump-tokens");
+    if (!dump.empty()) {
+      auto tokens = report.tokens;
+      std::sort(tokens.begin(), tokens.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::ofstream out(dump);
+      if (!out) throw std::runtime_error("cannot open " + dump);
+      for (const auto& [id, ids] : tokens) {
+        out << id << ":";
+        for (const int t : ids) out << " " << t;
+        out << "\n";
+      }
     }
     // Non-zero exit when nothing completed: lets shell smoke tests assert.
     return report.completed > 0 ? 0 : 1;

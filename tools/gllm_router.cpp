@@ -1,0 +1,187 @@
+// gllm_router: multi-replica fleet front door — spawns (or attaches to) N
+// gllm_server replicas and proxies /v1/completions across them with
+// prefix-cache-aware placement, least-waiting-prefill balancing,
+// cross-replica shed escalation and byte-identical greedy-stream failover.
+//
+//   gllm_router --replicas 3 --port 8080 &
+//   curl localhost:8080/health
+//   curl -d '{"id":1,"prompt":[5,9,23,7],"max_tokens":8}' localhost:8080/v1/completions
+//
+//   gllm_router --backends 127.0.0.1:8081,127.0.0.1:8082   # attach mode
+//
+// With --demo N, the binary serves itself: spins up the fleet, fires N
+// loopback requests through the router, prints the responses and exits.
+
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "router/fleet.hpp"
+#include "router/router.hpp"
+#include "server/http_server.hpp"
+#include "util/args.hpp"
+#include "util/log.hpp"
+
+using namespace gllm;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+/// "host:port,host:port" -> endpoint list; empty host means loopback.
+std::vector<std::pair<std::string, int>> parse_backends(const std::string& spec) {
+  std::vector<std::pair<std::string, int>> out;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    auto end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    const auto colon = item.rfind(':');
+    if (colon == std::string::npos)
+      throw std::runtime_error("--backends entries must be host:port, got '" + item +
+                               "'");
+    std::string host = item.substr(0, colon);
+    if (host.empty()) host = "127.0.0.1";
+    out.emplace_back(host, std::stoi(item.substr(colon + 1)));
+    start = end + 1;
+  }
+  return out;
+}
+
+/// Directory of argv[0], for locating the sibling gllm_server binary.
+std::string sibling_binary(const char* argv0, const std::string& name) {
+  const std::string self(argv0);
+  const auto slash = self.rfind('/');
+  if (slash == std::string::npos) return name;
+  return self.substr(0, slash + 1) + name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("gllm_router",
+                       "fleet front door: prefix-aware routing over N replicas");
+  args.add_option("port", "listen port (0 = ephemeral)", "8080");
+  args.add_option("replicas", "gllm_server replicas to spawn (ignored with --backends)",
+                  "3");
+  args.add_option("server-bin", "gllm_server binary for spawned replicas "
+                  "(default: sibling of this binary)", "");
+  args.add_option("replica-args",
+                  "comma-separated extra flags passed to every spawned replica "
+                  "(e.g. --replica-args=--pp,2,--maxp,32)",
+                  "");
+  args.add_option("backends",
+                  "attach to running replicas instead of spawning: host:port,host:port",
+                  "");
+  args.add_option("poll-interval", "replica /v1/stats poll cadence, seconds", "0.5");
+  args.add_option("connect-timeout", "upstream connect deadline, seconds", "2");
+  args.add_option("max-failovers", "replays of one request after replica deaths", "3");
+  args.add_option("max-conns", "accept cap: concurrent client connections", "1024");
+  args.add_option("retry-after", "Retry-After seconds on router-origin 503s", "1");
+  args.add_option("client-timeout", "idle client disconnect, seconds", "60");
+  args.add_option("kv-block-size", "prefix-hash block size until replicas report one",
+                  "8");
+  args.add_option("demo", "route N self-generated requests and exit (0 = serve forever)",
+                  "0");
+  args.add_flag("respawn", "re-exec a spawned replica whose process exits");
+  args.add_flag("verbose", "log at info level");
+
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << args.usage();
+    return 0;
+  }
+  if (args.has("verbose")) util::Logger::instance().set_level(util::LogLevel::kInfo);
+
+  try {
+    router::RouterOptions options;
+    options.port = args.get_int("port");
+    options.poll_interval_s = args.get_double("poll-interval");
+    options.connect_timeout_s = args.get_double("connect-timeout");
+    options.max_failovers = args.get_int("max-failovers");
+    options.max_conns = args.get_int("max-conns");
+    options.retry_after_s = args.get_int("retry-after");
+    options.client_timeout_s = args.get_double("client-timeout");
+    options.kv_block_size_fallback = args.get_int("kv-block-size");
+
+    obs::Observability observability;
+    options.obs = &observability;
+
+    router::FleetSupervisor* supervisor = nullptr;
+    router::FleetOptions fleet_options;
+    if (!args.get("backends").empty()) {
+      options.backends = parse_backends(args.get("backends"));
+    } else {
+      fleet_options.server_bin = args.get("server-bin").empty()
+                                     ? sibling_binary(argv[0], "gllm_server")
+                                     : args.get("server-bin");
+      fleet_options.replicas = args.get_int("replicas");
+      fleet_options.respawn = args.has("respawn");
+      const std::string extra = args.get("replica-args");
+      std::size_t start = 0;
+      while (start < extra.size()) {
+        auto end = extra.find(',', start);
+        if (end == std::string::npos) end = extra.size();
+        if (end > start)
+          fleet_options.replica_args.push_back(extra.substr(start, end - start));
+        start = end + 1;
+      }
+    }
+
+    // spawn() forks — it MUST precede the router's threads (poller + loop).
+    router::FleetSupervisor fleet(fleet_options);
+    if (options.backends.empty()) {
+      supervisor = &fleet;
+      options.backends = supervisor->spawn();
+      for (std::size_t i = 0; i < supervisor->size(); ++i)
+        std::cout << "replica " << i << ": pid " << supervisor->pid(i) << " port "
+                  << supervisor->port(i) << "\n"
+                  << std::flush;
+    }
+    if (options.backends.empty()) {
+      std::cerr << "error: no replicas (use --replicas or --backends)\n";
+      return 2;
+    }
+
+    router::FleetRouter router(options);
+    router.start();
+    if (supervisor != nullptr) supervisor->start_respawn_loop();
+    std::cout << "gllm_router: listening on 127.0.0.1:" << router.port() << " ("
+              << options.backends.size() << " replicas)\n"
+              << std::flush;
+
+    const int demo = args.get_int("demo");
+    if (demo > 0) {
+      for (int i = 0; i < demo; ++i) {
+        std::string body = "{\"id\":" + std::to_string(i) + ",\"prompt\":[";
+        for (int j = 0; j < 10; ++j) {
+          if (j) body += ",";
+          body += std::to_string(3 + 7 * i + j);
+        }
+        body += "],\"max_tokens\":6}";
+        std::string response;
+        const int status =
+            server::http_request(router.port(), "POST", "/v1/completions", body, response);
+        std::cout << "request " << i << " -> HTTP " << status << " " << response << "\n";
+      }
+    } else {
+      std::signal(SIGINT, on_signal);
+      std::signal(SIGTERM, on_signal);
+      while (!g_stop) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::cout << "shutting down...\n";
+    }
+
+    router.stop();
+    if (supervisor != nullptr) supervisor->stop();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -149,9 +149,12 @@ int main(int argc, char** argv) {
 
     server::HttpServer server(service, server_options);
     server.start();
+    // Flushed eagerly: supervisors (tools/smoke_*.sh, gllm_router logs) tail
+    // the redirected stdout for this line to learn the server is up.
     std::cout << "gllm_server: listening on 127.0.0.1:" << server.port() << " (model "
               << options.model.name << ", pp=" << options.pp << ", tp=" << options.tp
-              << ", loop=" << loop << ")\n";
+              << ", loop=" << loop << ")\n"
+              << std::flush;
 
     const int demo = args.get_int("demo");
     if (demo > 0) {

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Router fleet smoke: the gllm_router front door over 3 spawned gllm_server
+# replicas must serve a loadgen run with token streams identical to a single
+# directly-driven gllm_server (same trace seed, same weight seed) — and keep
+# doing so when one replica is SIGKILLed mid-run (the failover replay path of
+# DESIGN.md §11). Token identity is checked with gllm_loadgen --dump-tokens,
+# which writes one "id: t1 t2 ..." line per completed request, diffable
+# across runs.
+#
+# Usage: tools/smoke_router.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build=${1:-build}
+server="$build/tools/gllm_server"
+router="$build/tools/gllm_router"
+loadgen="$build/tools/gllm_loadgen"
+out=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$out"
+}
+trap cleanup EXIT
+
+requests=48
+connections=8
+seed=42
+
+wait_listening() { # <logfile> <pid>
+  for _ in $(seq 1 100); do
+    grep -q 'listening on' "$1" 2>/dev/null && return 0
+    kill -0 "$2" 2>/dev/null || { cat "$1"; return 1; }
+    sleep 0.1
+  done
+  cat "$1"; return 1
+}
+
+echo "== single-replica reference =="
+"$server" --port 9152 --demo 0 > "$out/server.log" 2>&1 &
+server_pid=$!
+wait_listening "$out/server.log" "$server_pid"
+"$loadgen" --port 9152 --connections $connections --requests $requests --seed $seed \
+  --dump-tokens "$out/ref.txt" --json "$out/ref.json"
+kill -INT "$server_pid"
+wait "$server_pid"
+grep -q "\"completed\":$requests" "$out/ref.json" || {
+  echo "reference run: expected $requests completed"; cat "$out/ref.json"; exit 1; }
+
+echo "== 3-replica fleet, same trace =="
+"$router" --replicas 3 --port 9153 > "$out/router.log" 2>&1 &
+router_pid=$!
+wait_listening "$out/router.log" "$router_pid"
+"$loadgen" --port 9153 --connections $connections --requests $requests --seed $seed \
+  --dump-tokens "$out/fleet.txt" --json "$out/fleet.json"
+kill -INT "$router_pid"
+wait "$router_pid"
+grep -q "\"completed\":$requests" "$out/fleet.json" || {
+  echo "fleet run: expected $requests completed"; cat "$out/fleet.json"; exit 1; }
+diff "$out/ref.txt" "$out/fleet.txt"
+echo "3-replica fleet tokens match the single-replica reference"
+
+echo "== 3-replica fleet, one replica SIGKILLed mid-run (failover) =="
+# Fresh fleet (a replica rejects a request id it has already recorded, and
+# the chaos run replays the same trace). The router prints each replica's
+# pid; the victim is killed -9 shortly after the run starts, so in-flight
+# streams must be replayed on a sibling with the already-forwarded prefix
+# skipped — the client-side token dump must still match the reference.
+"$router" --replicas 3 --port 9154 > "$out/chaos_router.log" 2>&1 &
+router_pid=$!
+wait_listening "$out/chaos_router.log" "$router_pid"
+victim=$(awk '/^replica 1:/ {print $4}' "$out/chaos_router.log")
+[ -n "$victim" ] || { echo "could not parse victim pid"; cat "$out/chaos_router.log"; exit 1; }
+"$loadgen" --port 9154 --connections $connections --requests $requests --seed $seed \
+  --max-retries 5 --dump-tokens "$out/chaos.txt" --json "$out/chaos.json" &
+loadgen_pid=$!
+sleep 0.4
+kill -9 "$victim" 2>/dev/null || true
+wait "$loadgen_pid"
+kill -INT "$router_pid"
+wait "$router_pid"
+grep -q "\"completed\":$requests" "$out/chaos.json" || {
+  echo "chaos run: expected $requests completed"; cat "$out/chaos.json"; exit 1; }
+diff "$out/ref.txt" "$out/chaos.txt"
+echo "fleet tokens still match the reference after killing replica 1"
+
+echo "== router smoke passed =="
