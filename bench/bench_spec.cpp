@@ -1,0 +1,165 @@
+// bench_spec: speculative-decoding gains behind BENCH_spec.json.
+//
+// Two legs:
+//  - DES sweep: the discrete-event gLLM engine with the acceptance-rate
+//    speculation model, over --spec-k x acceptance. Each decode step feeds
+//    1 + k rows (verification cost in the stage-time model) and emits
+//    1 + accepted tokens, so the sweep exposes the break-even curve: at low
+//    acceptance the extra rows only cost, at high acceptance TPOT drops.
+//  - Runtime spot-check: the real threaded pipeline with the n-gram proposer,
+//    --spec off vs on, reporting output tokens/s and asserting token identity
+//    (greedy verification means speculation must never change the stream).
+//    The CPU forward's cost is linear in fed rows — no memory-bandwidth
+//    headroom to hide drafts in — so this leg checks correctness and
+//    bookkeeping overhead, not wall-clock gains; the DES leg models those.
+//
+//   ./build/bench/bench_spec > BENCH_spec.json
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nn/reference.hpp"
+#include "runtime/pipeline_runtime.hpp"
+#include "sched/token_throttle.hpp"
+#include "serve/sweep.hpp"
+#include "util/args.hpp"
+
+using namespace gllm;
+
+namespace {
+
+serve::SweepPoint des_point(int k, double acceptance, double rate, double duration) {
+  auto options = serve::SystemOptions::gllm(model::presets::qwen2_5_32b(),
+                                            hw::clusters::l20_node(4), 4);
+  options.spec_lookahead = k;
+  options.spec_acceptance = acceptance;
+  return serve::run_at_rate(options, workload::WorkloadSpec::sharegpt(), rate, duration,
+                            /*seed=*/7);
+}
+
+struct RuntimePoint {
+  double output_tokens_per_s = 0.0;
+  double wall_seconds = 0.0;
+  bool tokens_match = true;
+};
+
+/// Repetitive prompts (period 4) so the n-gram proposer has a high acceptance
+/// rate, with the non-speculative run of the identical trace as both the
+/// throughput baseline and the token-identity oracle.
+RuntimePoint runtime_point(const spec::SpecConfig& spec_cfg,
+                           const std::vector<std::vector<nn::TokenId>>* oracle,
+                           std::vector<std::vector<nn::TokenId>>* outputs) {
+  runtime::RuntimeOptions rt;
+  rt.model = model::presets::tiny();
+  rt.pp = 2;
+  rt.kv_capacity_tokens = 1 << 14;
+  rt.kv_block_size = 8;
+  rt.spec = spec_cfg;
+
+  std::vector<nn::GenRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    nn::GenRequest r;
+    r.id = i;
+    const auto base = nn::synthetic_prompt(rt.model, 100 + static_cast<std::uint64_t>(i), 4);
+    for (int rep = 0; rep < 4; ++rep)
+      r.prompt.insert(r.prompt.end(), base.begin(), base.end());
+    r.max_new_tokens = 24;
+    requests.push_back(std::move(r));
+  }
+
+  sched::ThrottleParams params;
+  params.iter_t = 4;
+  params.max_p = 64;
+  params.min_p = 8;
+  runtime::PipelineRuntime runtime(
+      rt, std::make_shared<sched::TokenThrottleScheduler>(params));
+  const runtime::RuntimeReport report = runtime.run(requests);
+
+  RuntimePoint point;
+  point.wall_seconds = report.wall_seconds;
+  std::size_t output_tokens = 0;
+  for (std::size_t i = 0; i < report.requests.size(); ++i) {
+    output_tokens += report.requests[i].output.size();
+    if (outputs != nullptr) outputs->push_back(report.requests[i].output);
+    if (oracle != nullptr && report.requests[i].output != (*oracle)[i])
+      point.tokens_match = false;
+  }
+  if (report.wall_seconds > 0.0)
+    point.output_tokens_per_s =
+        static_cast<double>(output_tokens) / report.wall_seconds;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_spec", "speculative decoding: DES sweep + runtime check");
+  args.add_option("spec-k", "comma-separated draft depths", "0,2,4,8");
+  args.add_option("acceptance", "comma-separated acceptance rates", "0.0,0.3,0.6,0.9");
+  // Unsaturated by default: speculation trades extra verify rows for fewer
+  // steps, which only wins while the decode cohort leaves #D headroom. High
+  // rates push every system into the budget-bound regime where drafts crowd
+  // out other sequences (visible by re-running with --rate 6).
+  args.add_option("rate", "DES request rate (req/s)", "0.5");
+  args.add_option("duration", "DES request-sending window (s)", "40");
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  std::vector<int> ks;
+  {
+    std::stringstream ss(args.get("spec-k"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) ks.push_back(std::stoi(tok));
+  }
+  std::vector<double> alphas;
+  {
+    std::stringstream ss(args.get("acceptance"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) alphas.push_back(std::stod(tok));
+  }
+  const double rate = args.get_double("rate");
+  const double duration = args.get_double("duration");
+
+  std::cout << "{\n  \"des_sweep\": {\n";
+  bool first = true;
+  for (const int k : ks) {
+    for (const double alpha : alphas) {
+      if (k == 0 && alpha != alphas.front()) continue;  // acceptance moot at k=0
+      std::cerr << "bench_spec: DES k=" << k << " acceptance=" << alpha << "...\n";
+      const serve::SweepPoint p = des_point(k, alpha, rate, duration);
+      if (!first) std::cout << ",\n";
+      first = false;
+      std::cout << "    \"k" << k << "/a" << alpha << "\": {\"spec_k\":" << k
+                << ",\"acceptance\":" << alpha << ",\"mean_tpot_s\":" << p.mean_tpot
+                << ",\"mean_ttft_s\":" << p.mean_ttft
+                << ",\"mean_e2el_s\":" << p.mean_e2el
+                << ",\"tokens_per_s\":" << p.throughput << "}";
+    }
+  }
+  std::cout << "\n  },\n  \"runtime_spot_check\": {\n";
+
+  std::cerr << "bench_spec: runtime spec=off...\n";
+  std::vector<std::vector<nn::TokenId>> oracle;
+  const RuntimePoint off = runtime_point(spec::SpecConfig{}, nullptr, &oracle);
+  spec::SpecConfig ngram;
+  ngram.mode = spec::Mode::kNgram;
+  ngram.k = 4;
+  std::cerr << "bench_spec: runtime spec=ngram k=4...\n";
+  const RuntimePoint on = runtime_point(ngram, &oracle, nullptr);
+
+  std::cout << "    \"off\": {\"output_tokens_per_s\":" << off.output_tokens_per_s
+            << ",\"wall_s\":" << off.wall_seconds << "},\n";
+  std::cout << "    \"ngram_k4\": {\"output_tokens_per_s\":" << on.output_tokens_per_s
+            << ",\"wall_s\":" << on.wall_seconds
+            << ",\"tokens_match_reference\":" << (on.tokens_match ? "true" : "false")
+            << "}\n  }\n}\n";
+  return on.tokens_match ? 0 : 1;
+}

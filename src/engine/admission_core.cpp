@@ -74,6 +74,7 @@ sched::ScheduleContext AdmissionCore::build_context(double now, int cohort) cons
   ctx.kv_free_rate = decode_kv().free_rate();
   ctx.kv_free_tokens = decode_kv().free_token_capacity();
   ctx.total_decode_seqs = static_cast<std::int64_t>(decoding_.size());
+  ctx.spec_lookahead = cfg_.spec_lookahead;
 
   // cohort < 0: global view. Otherwise only this virtual engine's sequences
   // (plus unassigned prompts, which the engine pins on first admission).
@@ -103,8 +104,9 @@ Sequence* AdmissionCore::youngest_idle_victim(kv::SeqId exclude) {
   return nullptr;
 }
 
-bool AdmissionCore::allocate_decode_with_preemption(kv::SeqId id, double now) {
-  while (!decode_kv().allocate(id, 1)) {
+bool AdmissionCore::allocate_decode_with_preemption(kv::SeqId id, std::int64_t n_tokens,
+                                                    double now) {
+  while (!decode_kv().allocate(id, n_tokens)) {
     Sequence* victim = youngest_idle_victim(id);
     if (victim == nullptr) return false;
     decode_kv().free_seq(victim->id());
@@ -134,11 +136,31 @@ AdmittedBatch AdmissionCore::materialize(const sched::MicroBatchPlan& plan, doub
       // of this very plan was materialised — it is Waiting now, skip it.
       if (s.state() != SeqState::kDecoding || s.in_flight()) continue;
       const std::int64_t ctx_before = decode_kv().seq_tokens(planned.seq);
-      if (!allocate_decode_with_preemption(planned.seq, now)) continue;  // skip this step
+
+      // Speculative lookahead: the proposer may shorten (or skip) the planned
+      // window. The cap keeps accepted tokens inside the output budget — at
+      // most output_len - generated tokens can still be emitted, one of which
+      // is always the verified/bonus token.
+      int proposed = 0;
+      const int max_k =
+          std::min(planned.spec_tokens, s.output_len() - s.generated() - 1);
+      if (max_k > 0) {
+        proposed = spec_propose_ ? spec_propose_(s, max_k) : max_k;
+        proposed = std::clamp(proposed, 0, max_k);
+      }
+      // All 1 + proposed rows allocate up front; under KV pressure degrade to
+      // a plain decode step before giving up on the item entirely.
+      if (!allocate_decode_with_preemption(planned.seq, 1 + proposed, now)) {
+        if (proposed == 0 || !allocate_decode_with_preemption(planned.seq, 1, now))
+          continue;  // skip this step
+        proposed = 0;
+      }
       s.on_decode_scheduled();
-      batch.plan.items.push_back(sched::CommittedItem{planned, ctx_before});
-      batch.work.push_back(model::WorkItem{1, ctx_before, false, true});
-      batch.plan.total_new_tokens += 1;
+      sched::BatchItem step = planned;
+      step.spec_tokens = proposed;
+      batch.plan.items.push_back(sched::CommittedItem{step, ctx_before});
+      batch.work.push_back(model::WorkItem{1 + proposed, ctx_before, false, true});
+      batch.plan.total_new_tokens += 1 + proposed;
     } else {
       if (s.state() != SeqState::kWaiting || planned.n_tokens > s.remaining_prefill())
         throw std::logic_error("AdmissionCore: scheduler planned an invalid prefill chunk");
@@ -194,6 +216,62 @@ int AdmissionCore::complete(std::uint64_t batch_id, double now,
   for (const sched::BatchItem& item : node.mapped()) {
     Entry& e = entry(item.seq);
     Sequence& s = *e.seq;
+
+    if (item.phase == sched::Phase::kDecode && hooks != nullptr && hooks->verify) {
+      // Speculative retirement: the step fed 1 + spec_tokens rows through the
+      // pipeline; the hook reports how many tokens leave it (accepted prefix
+      // plus the corrected/bonus token). Rejected rows roll back out of the
+      // decode pool so their blocks are reusable immediately.
+      VerifyOutcome outcome = hooks->verify(s, item.spec_tokens);
+      int emitted = std::clamp(outcome.emitted, 1, 1 + item.spec_tokens);
+      emitted = std::min(emitted, s.output_len() - s.generated());
+      const int accepted = std::min(emitted - 1, item.spec_tokens);
+      if (!outcome.tokens.empty()) {
+        if (static_cast<int>(outcome.tokens.size()) < emitted)
+          throw std::logic_error("AdmissionCore: verify outcome short of emitted tokens");
+        e.tokens.insert(e.tokens.end(), outcome.tokens.begin(),
+                        outcome.tokens.begin() + emitted);
+      }
+      const bool done = s.on_decode_completed(now, emitted);
+      if (done) {
+        decode_kv().free_seq(s.id());
+        decoding_.erase(std::find(decoding_.begin(), decoding_.end(), &s));
+        ++finished;
+      } else if (1 + item.spec_tokens > emitted) {
+        const std::int64_t freed =
+            decode_kv().rollback(s.id(), 1 + item.spec_tokens - emitted);
+        if (cfg_.obs != nullptr && freed > 0)
+          cfg_.obs->spec().rollback_blocks->inc(freed);
+      }
+      if (cfg_.obs != nullptr) {
+        auto& sp = cfg_.obs->spec();
+        sp.tokens_proposed->inc(item.spec_tokens);
+        sp.tokens_accepted->inc(accepted);
+        sp.tokens_rejected->inc(item.spec_tokens - accepted);
+        if (item.spec_tokens > 0) {
+          sp.acceptance_rate->observe(static_cast<double>(accepted) / item.spec_tokens);
+          cfg_.obs->tracer().instant(cfg_.trace_track, "spec.verify",
+                                     {{"seq", static_cast<double>(s.id())},
+                                      {"proposed", static_cast<double>(item.spec_tokens)},
+                                      {"accepted", static_cast<double>(accepted)}});
+        }
+        if (done) {
+          auto& m = cfg_.obs->serving();
+          m.requests_completed->inc();
+          m.ttft_seconds->observe(s.ttft());
+          m.tpot_seconds->observe(s.tpot());
+        }
+      }
+      if (hooks->on_token) {
+        for (int i = 0; i < emitted; ++i) {
+          const kv::TokenId token =
+              i < static_cast<int>(outcome.tokens.size()) ? outcome.tokens[i] : -1;
+          hooks->on_token(s, token, done && i == emitted - 1);
+        }
+      }
+      continue;
+    }
+
     const bool samples_token =
         item.phase == sched::Phase::kDecode || item.last_prefill_chunk;
     kv::TokenId token = -1;
@@ -208,6 +286,10 @@ int AdmissionCore::complete(std::uint64_t batch_id, double now,
       if (done) {
         decode_kv().free_seq(s.id());
         decoding_.erase(std::find(decoding_.begin(), decoding_.end(), &s));
+      } else if (item.spec_tokens > 0) {
+        // Speculative rows scheduled but retired without a verifier (no
+        // verify hook): drop them so the KV row count stays one past context.
+        decode_kv().rollback(s.id(), item.spec_tokens);
       }
     } else {
       const bool prompt_done = s.on_chunk_completed(item.last_prefill_chunk, now);

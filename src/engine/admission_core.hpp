@@ -38,6 +38,11 @@ struct AdmissionConfig {
   /// Trace track admission instants (preemption, stalled-prefill reset) are
   /// recorded on — by convention the executor's driver track.
   int trace_track = 0;
+  /// Speculative-decoding lookahead k (0 = off). Every decode step may carry
+  /// up to k draft tokens; they count against the throttle's #D via
+  /// ScheduleContext.spec_lookahead and allocate KV rows up front, rolled
+  /// back on rejection at completion.
+  int spec_lookahead = 0;
 };
 
 /// Result of materialising one scheduler plan: the committed items plus the
@@ -52,6 +57,16 @@ struct AdmittedBatch {
   int total_new_tokens() const { return plan.total_new_tokens; }
 };
 
+/// Outcome of verifying one sequence's speculative decode step (see
+/// spec::verify_greedy). `emitted` tokens leave the step (1 = every proposal
+/// rejected, proposed + 1 = full acceptance plus bonus token); `tokens` holds
+/// their ids for token-bearing executors and stays empty in the DES, whose
+/// verify hook only models acceptance counts.
+struct VerifyOutcome {
+  int emitted = 1;
+  std::vector<kv::TokenId> tokens;
+};
+
 /// Callbacks consumed while retiring a batch. The threaded runtime wires real
 /// token ids through these; the DES engines pass none.
 struct CompletionHooks {
@@ -59,8 +74,13 @@ struct CompletionHooks {
   /// prefill chunk). The token is appended to the sequence's stored token
   /// stream before state transitions run.
   std::function<kv::TokenId(const Sequence&)> sample;
-  /// Invoked after the item's transitions, with done=true when the sequence
-  /// finished on this step.
+  /// Speculative verification for decode steps. When set, every decode item
+  /// retires through this instead of `sample`: the hook reports how many of
+  /// the step's `proposed` draft tokens were accepted (emitted = accepted + 1).
+  /// The core then rolls rejected rows back out of the decode KV pool.
+  std::function<VerifyOutcome(const Sequence&, int proposed)> verify;
+  /// Invoked after the item's transitions, once per emitted token, with
+  /// done=true on the final token of a finished sequence.
   std::function<void(const Sequence&, kv::TokenId, bool done)> on_token;
 };
 
@@ -105,6 +125,15 @@ class AdmissionCore {
   /// engines ship the KV cache first). Unset = direct entry.
   void set_prompt_ready_hook(std::function<void(Sequence*)> hook) {
     on_prompt_ready_ = std::move(hook);
+  }
+
+  /// Speculative proposer hook: called while materialising a decode step with
+  /// the per-step lookahead cap (already clamped so accepted tokens can never
+  /// overshoot the output budget); returns how many draft tokens were
+  /// actually proposed (0..max_k). Unset with spec_lookahead > 0 (the DES
+  /// engines) assumes the full window is always proposed.
+  void set_spec_proposer(std::function<int(const Sequence&, int max_k)> hook) {
+    spec_propose_ = std::move(hook);
   }
 
   // --- scheduling ----------------------------------------------------------
@@ -185,14 +214,15 @@ class AdmissionCore {
   /// in flight (Sequence::in_flight() covers steps committed into the batch
   /// under construction) and not `exclude` itself.
   Sequence* youngest_idle_victim(kv::SeqId exclude);
-  /// Allocate one decode token, evicting victims until it fits or no victim
-  /// remains (vLLM recompute preemption).
-  bool allocate_decode_with_preemption(kv::SeqId id, double now);
+  /// Allocate `n_tokens` decode rows, evicting victims until they fit or no
+  /// victim remains (vLLM recompute preemption).
+  bool allocate_decode_with_preemption(kv::SeqId id, std::int64_t n_tokens, double now);
 
   AdmissionConfig cfg_;
   std::unique_ptr<kv::KvManager> prefill_kv_;
   std::unique_ptr<kv::KvManager> decode_kv_;  ///< null in unified mode
   std::function<void(Sequence*)> on_prompt_ready_;
+  std::function<int(const Sequence&, int)> spec_propose_;
 
   std::unordered_map<kv::SeqId, Entry> seqs_;
   std::deque<Sequence*> waiting_;    ///< FCFS; preempted re-enter at the front

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "engine/runtime_model.hpp"
 #include "hw/cluster.hpp"
 #include "model/config.hpp"
@@ -42,6 +44,16 @@ struct EngineConfig {
   /// clock on the tracer at run(), so scrape traces only while the engine that
   /// produced them is alive.
   obs::Observability* obs = nullptr;
+
+  /// Speculative decoding, acceptance-rate-parameterized (the DES carries no
+  /// real tokens, so acceptance is modelled instead of computed): every
+  /// decode step feeds 1 + spec_lookahead rows — charged as real per-stage
+  /// compute and counted against the throttle's #D — and emits a
+  /// deterministic pseudo-random number of tokens with per-draft acceptance
+  /// probability `spec_acceptance`. 0 = off.
+  int spec_lookahead = 0;
+  double spec_acceptance = 0.0;
+  std::uint64_t spec_seed = 1;  ///< seeds the acceptance draws (reproducible)
 
   void validate() const;
 };

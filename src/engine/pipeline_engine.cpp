@@ -18,6 +18,10 @@ void EngineConfig::validate() const {
   if (gpu_memory_util <= 0.0 || gpu_memory_util > 1.0)
     throw std::invalid_argument("EngineConfig: gpu_memory_util must be in (0, 1]");
   if (kv_block_size <= 0) throw std::invalid_argument("EngineConfig: block size must be > 0");
+  if (spec_lookahead < 0)
+    throw std::invalid_argument("EngineConfig: spec_lookahead must be >= 0");
+  if (spec_acceptance < 0.0 || spec_acceptance > 1.0)
+    throw std::invalid_argument("EngineConfig: spec_acceptance must be in [0, 1]");
 }
 
 PipelineEngine::PipelineEngine(EngineConfig cfg, std::shared_ptr<sched::IScheduler> scheduler)
@@ -43,6 +47,7 @@ RunResult PipelineEngine::run(const workload::Trace& trace) {
   admission.prefix_caching = cfg_.prefix_caching;
   admission.obs = cfg_.obs;
   admission.trace_track = cfg_.pp;  // driver track sits after the stage tracks
+  admission.spec_lookahead = cfg_.spec_lookahead;
   core_.emplace(admission);
   if (cfg_.obs != nullptr) {
     // Trace in simulated seconds: the tracer reads the DES clock, so spans
@@ -219,10 +224,44 @@ void PipelineEngine::pump_stage(int stage) {
   enter_stage(batch_id, stage);
 }
 
+namespace {
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 void PipelineEngine::complete_batch(std::uint64_t batch_id) {
   if (batches_.erase(batch_id) == 0)
     throw std::logic_error("PipelineEngine: completing unknown batch");
-  core_->complete(batch_id, sim_.now());
+  if (cfg_.spec_lookahead > 0) {
+    // Acceptance-rate model: draft position i of a step is accepted with
+    // probability spec_acceptance, independently, stopping at the first
+    // rejection (greedy prefix acceptance). The draw is a pure hash of
+    // (seed, seq, generated, i), so a run is reproducible event-order-free.
+    CompletionHooks hooks;
+    hooks.verify = [this](const Sequence& s, int proposed) {
+      VerifyOutcome out;
+      int accepted = 0;
+      while (accepted < proposed) {
+        const std::uint64_t draw = splitmix64(
+            splitmix64(splitmix64(cfg_.spec_seed ^ static_cast<std::uint64_t>(s.id())) ^
+                       static_cast<std::uint64_t>(s.generated())) ^
+            static_cast<std::uint64_t>(accepted));
+        const double u =
+            static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+        if (u >= cfg_.spec_acceptance) break;
+        ++accepted;
+      }
+      out.emitted = accepted + 1;
+      return out;
+    };
+    core_->complete(batch_id, sim_.now(), &hooks);
+  } else {
+    core_->complete(batch_id, sim_.now());
+  }
   try_schedule();
 }
 

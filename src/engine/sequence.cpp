@@ -1,5 +1,6 @@
 #include "engine/sequence.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gllm::engine {
@@ -52,10 +53,11 @@ void Sequence::on_decode_scheduled() {
   decode_in_flight_ = true;
 }
 
-bool Sequence::on_decode_completed(double now) {
+bool Sequence::on_decode_completed(double now, int emitted) {
   if (!decode_in_flight_) throw std::logic_error("Sequence: decode completion unexpected");
+  if (emitted < 1) throw std::invalid_argument("Sequence: decode must emit >= 1 token");
   decode_in_flight_ = false;
-  ++generated_;
+  generated_ += std::min(emitted, spec_.output_len - generated_);
   if (done()) {
     state_ = SeqState::kFinished;
     finish_time_ = now;

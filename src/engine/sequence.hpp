@@ -54,8 +54,11 @@ class Sequence {
   int generated() const { return generated_; }
   bool decode_in_flight() const { return decode_in_flight_; }
   void on_decode_scheduled();
-  /// Returns true when the sequence reached its output length.
-  bool on_decode_completed(double now);
+  /// Retire one decode step that emitted `emitted` tokens (1 without
+  /// speculation; up to k+1 when a speculative window is accepted — the
+  /// count is clamped to the remaining output budget). Returns true when the
+  /// sequence reached its output length.
+  bool on_decode_completed(double now, int emitted = 1);
 
   bool done() const { return generated_ >= spec_.output_len; }
 

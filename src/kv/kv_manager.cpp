@@ -173,6 +173,17 @@ void KvManager::register_prefix(SeqId id, std::span<const TokenId> tokens) {
   prefix_->insert(tokens, it->second.blocks());
 }
 
+std::int64_t KvManager::rollback(SeqId id, std::int64_t n_tokens) {
+  if (n_tokens < 0)
+    throw std::invalid_argument("KvManager::rollback: negative token count");
+  const auto it = tables_.find(id);
+  if (it == tables_.end()) return 0;
+  const auto popped = it->second.truncate(n_tokens);
+  for (BlockId b : popped) allocator_.release(b);
+  if (it->second.n_tokens() == 0) tables_.erase(it);
+  return static_cast<std::int64_t>(popped.size());
+}
+
 void KvManager::free_seq(SeqId id) {
   const auto it = tables_.find(id);
   if (it == tables_.end()) return;

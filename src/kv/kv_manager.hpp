@@ -80,6 +80,13 @@ class KvManager {
   /// Release all of `id`'s blocks (preemption or completion).
   void free_seq(SeqId id);
 
+  /// Drop the trailing `n_tokens` of `id`'s cache (speculative-decode
+  /// rollback), releasing any block that no longer holds a live token.
+  /// Refcount-correct for blocks shared with the prefix cache: release only
+  /// drops this sequence's reference. Returns the number of blocks freed from
+  /// this table (0 for an unknown sequence); `n_tokens` is clamped.
+  std::int64_t rollback(SeqId id, std::int64_t n_tokens);
+
   const KvStats& stats() const { return stats_; }
   const PrefixCache* prefix_cache() const { return prefix_.get(); }
 

@@ -1,5 +1,6 @@
 #include "kv/page_table.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gllm::kv {
@@ -32,6 +33,20 @@ BlockId PageTable::block_of(std::int64_t token_index) const {
   if (token_index < 0 || token_index >= n_tokens_)
     throw std::out_of_range("PageTable::block_of: token index out of range");
   return blocks_[static_cast<std::size_t>(token_index / block_size_)];
+}
+
+std::vector<BlockId> PageTable::truncate(std::int64_t n) {
+  if (n < 0) throw std::invalid_argument("PageTable::truncate: negative count");
+  n = std::min(n, n_tokens_);
+  n_tokens_ -= n;
+  const std::int64_t keep =
+      n_tokens_ == 0 ? 0 : (n_tokens_ + block_size_ - 1) / block_size_;
+  std::vector<BlockId> popped;
+  while (static_cast<std::int64_t>(blocks_.size()) > keep) {
+    popped.push_back(blocks_.back());
+    blocks_.pop_back();
+  }
+  return popped;
 }
 
 int PageTable::slack() const {

@@ -33,6 +33,12 @@ class PageTable {
   /// Physical block holding token index `i`.
   BlockId block_of(std::int64_t token_index) const;
 
+  /// Drop the trailing `n` tokens (speculative-decode rollback). Returns the
+  /// blocks that no longer hold any of this table's tokens, in pop order; the
+  /// caller owns releasing them back to the allocator. `n` is clamped to
+  /// n_tokens().
+  std::vector<BlockId> truncate(std::int64_t n);
+
   /// Free capacity in the final block (0 when exactly full or empty).
   int slack() const;
 

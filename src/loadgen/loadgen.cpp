@@ -188,7 +188,9 @@ std::string LoadgenReport::json() const {
       << ",\"shed\":" << shed << ",\"errors\":" << errors
       << ",\"retries\":" << retries
       << ",\"duration_s\":" << duration_s << ",\"throughput_rps\":" << throughput_rps
+      << ",\"output_tokens\":" << output_tokens
       << ",\"output_tokens_per_s\":" << output_tokens_per_s
+      << ",\"mean_output_len\":" << mean_output_len
       << ",\"ttft_s\":" << pct_json(ttft_s) << ",\"tpot_s\":" << pct_json(tpot_s)
       << ",\"e2el_s\":" << pct_json(e2el_s) << "}";
   return oss.str();
@@ -274,12 +276,11 @@ LoadgenReport run(const LoadgenOptions& options) {
   report.requested = trace.size();
   report.duration_s = since(t0);
   report.retries = retries_total.load();
-  std::size_t output_tokens = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     if (r.ok) {
       ++report.completed;
-      output_tokens += r.tokens;
+      report.output_tokens += r.tokens;
       if (r.ttft >= 0.0) report.ttft_s.add(r.ttft);
       if (r.tpot >= 0.0) report.tpot_s.add(r.tpot);
       report.e2el_s.add(r.e2el);
@@ -294,8 +295,11 @@ LoadgenReport run(const LoadgenOptions& options) {
   if (report.duration_s > 0.0) {
     report.throughput_rps = static_cast<double>(report.completed) / report.duration_s;
     report.output_tokens_per_s =
-        static_cast<double>(output_tokens) / report.duration_s;
+        static_cast<double>(report.output_tokens) / report.duration_s;
   }
+  if (report.completed > 0)
+    report.mean_output_len = static_cast<double>(report.output_tokens) /
+                             static_cast<double>(report.completed);
   return report;
 }
 

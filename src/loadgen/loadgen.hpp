@@ -65,7 +65,9 @@ struct LoadgenReport {
   std::size_t retries = 0; ///< 503s re-driven after honouring Retry-After
   double duration_s = 0.0;
   double throughput_rps = 0.0;       ///< completed / duration
+  std::size_t output_tokens = 0;     ///< generated tokens across completed requests
   double output_tokens_per_s = 0.0;  ///< generated tokens / duration
+  double mean_output_len = 0.0;      ///< generated tokens / completed requests
   util::SampleStats ttft_s;
   util::SampleStats tpot_s;
   util::SampleStats e2el_s;

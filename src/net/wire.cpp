@@ -166,6 +166,7 @@ void encode_item(WireWriter& w, const runtime::ItemMeta& im) {
   w.boolean(im.is_prefill);
   w.boolean(im.last_chunk);
   w.boolean(im.wants_logits);
+  w.i32(im.spec_tokens);
   w.u32(static_cast<std::uint32_t>(im.input_tokens.size()));
   for (const nn::TokenId t : im.input_tokens) w.i32(t);
 }
@@ -181,6 +182,11 @@ bool decode_item(WireReader& r, runtime::ItemMeta& im) {
   if (!r.boolean(im.is_prefill) || !r.boolean(im.last_chunk) ||
       !r.boolean(im.wants_logits))
     return false;
+  // Draft rows are a strict subset of the fed rows (n_tokens = 1 + spec for
+  // speculative decode items), so anything else is a malformed stream.
+  if (!r.i32(im.spec_tokens) || im.spec_tokens < 0 ||
+      (im.spec_tokens > 0 && im.spec_tokens >= im.n_tokens))
+    return false;
   std::uint32_t n_tokens;
   if (!r.u32(n_tokens) || n_tokens > r.remaining() / 4) return false;
   im.input_tokens.resize(n_tokens);
@@ -192,7 +198,7 @@ bool decode_item(WireReader& r, runtime::ItemMeta& im) {
 
 /// Smallest possible encoded ItemMeta: guards the pre-reserve of the items
 /// vector against absurd counts in corrupt input.
-constexpr std::size_t kMinItemBytes = 8 + 4 + 8 + 4 + 3 + 4;
+constexpr std::size_t kMinItemBytes = 8 + 4 + 8 + 4 + 3 + 4 + 4;
 
 }  // namespace
 

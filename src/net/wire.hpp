@@ -14,7 +14,8 @@ namespace gllm::net {
 /// handshake. Bump on any incompatible change to the encodings below.
 /// v2: StreamEvent carries a terminal error code.
 /// v3: HelloAck carries the tensor-parallel width.
-inline constexpr std::uint16_t kWireVersion = 3;
+/// v4: ItemMeta carries the speculative draft-token count.
+inline constexpr std::uint16_t kWireVersion = 4;
 
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the per-frame checksum.
 std::uint32_t crc32(std::span<const std::uint8_t> data);

@@ -362,14 +362,23 @@ tensor::Tensor TransformerStage::logits(const tensor::Tensor& hidden,
   if (!shape_.has_lm_head)
     throw std::logic_error("TransformerStage::logits: stage has no LM head");
   std::int64_t wanting = 0;
-  for (const auto& item : items) wanting += item.wants_logits ? 1 : 0;
+  for (const auto& item : items) {
+    if (!item.wants_logits) continue;
+    if (item.logit_rows < 1 || item.logit_rows > item.n_tokens)
+      throw std::invalid_argument("TransformerStage::logits: bad logit_rows");
+    wanting += item.logit_rows;
+  }
 
   tensor::Tensor sampled({wanting, cfg_.hidden});
   std::int64_t row0 = 0, out = 0;
   for (const ItemView& item : items) {
     if (item.wants_logits) {
-      tensor::rmsnorm_row(hidden.row(row0 + item.n_tokens - 1), final_norm_.flat(),
-                          kNormEps, sampled.row(out++));
+      // The trailing logit_rows rows, in feed order — a speculative step
+      // reads one greedy target per fed row (position C+i for row i).
+      for (int r = item.n_tokens - item.logit_rows; r < item.n_tokens; ++r) {
+        tensor::rmsnorm_row(hidden.row(row0 + r), final_norm_.flat(), kNormEps,
+                            sampled.row(out++));
+      }
     }
     row0 += item.n_tokens;
   }

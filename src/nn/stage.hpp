@@ -23,7 +23,11 @@ struct ItemView {
   std::int64_t context = 0;
   int n_tokens = 0;
   std::vector<kv::BlockId> blocks;  ///< page table covering context + n_tokens
-  bool wants_logits = false;        ///< sample from this item's last new row
+  bool wants_logits = false;        ///< sample from this item's trailing rows
+  /// Trailing rows to produce logits for when wants_logits is set. 1 for
+  /// ordinary steps; a speculative decode step wants one target token per fed
+  /// row (the last accepted token plus every draft token), so k + 1.
+  int logit_rows = 1;
 };
 
 /// One tensor-parallel shard's slice of a decoder layer (Megatron layout):

@@ -104,6 +104,18 @@ Observability::Observability(ObsConfig cfg) : tracer_(cfg.trace_ring_capacity) {
       "gllm_router_replica_deaths_total", "Replicas marked dead (poll or proxy error)");
   router_.replicas_alive =
       &registry_.gauge("gllm_router_replicas_alive", "Replicas currently routable");
+
+  spec_.tokens_proposed = &registry_.counter(
+      "gllm_spec_tokens_proposed_total", "Draft tokens fed through verification");
+  spec_.tokens_accepted = &registry_.counter(
+      "gllm_spec_tokens_accepted_total", "Draft tokens the target model agreed with");
+  spec_.tokens_rejected = &registry_.counter(
+      "gllm_spec_tokens_rejected_total", "Draft tokens rejected and rolled back");
+  spec_.rollback_blocks = &registry_.counter(
+      "gllm_spec_rollback_blocks_total", "KV blocks freed by speculative rollback");
+  spec_.acceptance_rate = &registry_.histogram(
+      "gllm_spec_acceptance_rate", "Accepted/proposed draft fraction per spec step",
+      Histogram::linear_bounds(0.125, 0.125, 8));  // 0.125 .. 1.0
 }
 
 }  // namespace gllm::obs

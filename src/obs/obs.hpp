@@ -102,6 +102,19 @@ struct FaultMetrics {
   Gauge* degraded = nullptr;             ///< 1 while recovering or failed
 };
 
+/// Pre-registered speculative-decoding instruments: proposal/acceptance
+/// volume, the per-step acceptance-rate distribution, and KV rows/blocks
+/// rolled back for rejected drafts. Incremented by AdmissionCore at step
+/// retirement, so the DES engines and the threaded runtime report through the
+/// same names in `/v1/stats` and `/metrics`.
+struct SpecMetrics {
+  Counter* tokens_proposed = nullptr;  ///< draft tokens fed for verification
+  Counter* tokens_accepted = nullptr;  ///< draft tokens the target agreed with
+  Counter* tokens_rejected = nullptr;  ///< draft tokens rolled back
+  Counter* rollback_blocks = nullptr;  ///< KV blocks freed by spec rollback
+  Histogram* acceptance_rate = nullptr;  ///< accepted/proposed per spec step
+};
+
 /// The unified observability handle threaded through the serving layers:
 /// one metrics registry + one span tracer + the pre-registered serving
 /// instruments. Layers hold an `Observability*` that defaults to nullptr —
@@ -124,6 +137,8 @@ class Observability {
   const FaultMetrics& fault() const { return fault_; }
   RouterMetrics& router() { return router_; }
   const RouterMetrics& router() const { return router_; }
+  SpecMetrics& spec() { return spec_; }
+  const SpecMetrics& spec() const { return spec_; }
 
   /// JSON summary of every registered instrument (the /v1/stats body).
   std::string stats_json() const { return registry_.render_json(); }
@@ -136,6 +151,7 @@ class Observability {
   HttpMetrics http_;
   FaultMetrics fault_;
   RouterMetrics router_;
+  SpecMetrics spec_;
 };
 
 }  // namespace gllm::obs

@@ -8,8 +8,19 @@ PlacementPolicy::PlacementPolicy(std::size_t affinity_capacity)
     : capacity_(affinity_capacity > 0 ? affinity_capacity : 1) {}
 
 Placement PlacementPolicy::place(std::uint64_t hash,
-                                 const std::vector<Replica>& replicas) const {
+                                 const std::vector<Replica>& replicas) {
   Placement out;
+
+  // Purge affinity for every replica that died since the last placement. The
+  // proxy calls forget_replica on the failures it sees itself; this catches
+  // the poller-detected deaths, which land in the snapshot only.
+  if (seen_deaths_.size() < replicas.size()) seen_deaths_.resize(replicas.size(), 0);
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    if (replicas[i].deaths != seen_deaths_[i]) {
+      forget_replica(i);
+      seen_deaths_[i] = replicas[i].deaths;
+    }
+  }
 
   // Load score: polled backlog + our own unacknowledged dispatches. A replica
   // that has never answered a poll scores as empty (it just started; the

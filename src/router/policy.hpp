@@ -40,7 +40,10 @@ class PlacementPolicy {
 
   /// Rank all alive replicas for a request with prompt-prefix hash `hash`
   /// (0 = no usable prefix: skip affinity). `replicas` is a fresh snapshot.
-  Placement place(std::uint64_t hash, const std::vector<Replica>& replicas) const;
+  /// Reconciles death epochs first: any replica whose `deaths` moved since the
+  /// last call has its affinity entries purged, so poller-detected deaths (and
+  /// respawns behind them) can't leave stale steering in the LRU.
+  Placement place(std::uint64_t hash, const std::vector<Replica>& replicas);
 
   /// Record that the request with prefix hash `hash` was dispatched to
   /// `replica` — future prompts sharing the prefix will prefer it.
@@ -54,6 +57,8 @@ class PlacementPolicy {
 
  private:
   std::size_t capacity_;
+  /// Last-seen Replica::deaths per replica index (grown on demand).
+  std::vector<std::int64_t> seen_deaths_;
   // LRU: list holds (hash, replica) most-recent-first; map points into it.
   mutable std::list<std::pair<std::uint64_t, std::size_t>> lru_;
   std::unordered_map<std::uint64_t,

@@ -150,13 +150,16 @@ void ReplicaTable::poll_success(std::size_t i, const ReplicaStats& stats) {
 void ReplicaTable::poll_failure(std::size_t i) {
   std::lock_guard<std::mutex> lock(mu_);
   if (i >= n_) return;
-  if (++replicas_[i].poll_failures >= kDeadAfterFailures)
+  if (++replicas_[i].poll_failures >= kDeadAfterFailures) {
+    if (replicas_[i].alive) ++replicas_[i].deaths;
     replicas_[i].alive = false;
+  }
 }
 
 void ReplicaTable::mark_dead(std::size_t i) {
   std::lock_guard<std::mutex> lock(mu_);
   if (i >= n_) return;
+  if (replicas_[i].alive) ++replicas_[i].deaths;
   replicas_[i].alive = false;
   replicas_[i].poll_failures = kDeadAfterFailures;
 }

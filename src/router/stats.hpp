@@ -42,6 +42,11 @@ struct Replica {
   bool alive = true;
   bool ever_polled = false;  ///< stats are meaningless until the first poll
   int poll_failures = 0;     ///< consecutive; reset on success
+  /// Death epoch: bumped on every alive -> dead transition (poller or proxy
+  /// detected). A respawned replica starts with an empty prefix cache, so
+  /// consumers holding per-replica caches (the placement policy's affinity
+  /// LRU) purge their entries whenever this moves.
+  std::int64_t deaths = 0;
   std::int64_t inflight = 0;  ///< router-side: dispatched, not yet finished
   std::int64_t dispatched = 0;  ///< router-side: total completions sent here
 };

@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "model/partition.hpp"
+#include "obs/obs.hpp"
+#include "spec/verifier.hpp"
 
 namespace gllm::runtime {
 
@@ -18,13 +20,32 @@ engine::AdmissionConfig admission_config(std::int64_t kv_capacity_tokens, int kv
   cfg.prefix_caching = config.prefix_caching;
   cfg.obs = config.obs;
   cfg.trace_track = config.trace_track;
+  cfg.spec_lookahead = config.spec.enabled() ? config.spec.k : 0;
   return cfg;
 }
 }  // namespace
 
 DriverState::DriverState(std::int64_t kv_capacity_tokens, int kv_block_size,
                          int pipeline_depth, DriverConfig config)
-    : core_(admission_config(kv_capacity_tokens, kv_block_size, pipeline_depth, config)) {}
+    : core_(admission_config(kv_capacity_tokens, kv_block_size, pipeline_depth, config)),
+      obs_(config.obs),
+      trace_track_(config.trace_track) {
+  if (!config.spec.enabled()) return;
+  config.spec.validate();
+  proposer_ = spec::make_proposer(config.spec, config.model, config.weight_seed,
+                                  kv_block_size);
+  core_.set_spec_proposer([this](const engine::Sequence& s, int max_k) {
+    std::vector<nn::TokenId> drafts =
+        proposer_->propose(s.id(), core_.tokens(s.id()), max_k);
+    const int proposed = static_cast<int>(drafts.size());
+    if (obs_ != nullptr)
+      obs_->tracer().instant(trace_track_, "spec.propose",
+                             {{"seq", static_cast<double>(s.id())},
+                              {"proposed", static_cast<double>(proposed)}});
+    proposals_[s.id()] = std::move(drafts);
+    return proposed;
+  });
+}
 
 engine::Sequence* DriverState::add_request(const nn::GenRequest& request, double arrival) {
   workload::RequestSpec spec{request.id, arrival, static_cast<int>(request.prompt.size()),
@@ -44,15 +65,25 @@ bool DriverState::materialize_and_dispatch(sched::MicroBatchPlan plan, double no
     const auto& tokens = core_.tokens(c.item.seq);
     ItemMeta im;
     im.seq = c.item.seq;
-    im.n_tokens = c.item.n_tokens;
     im.context = c.context;
     im.blocks = core_.prefill_kv().table(c.item.seq).blocks();
     im.is_prefill = c.item.phase == sched::Phase::kPrefill;
     im.last_chunk = im.is_prefill && c.item.last_prefill_chunk;
     im.wants_logits = !im.is_prefill || c.item.last_prefill_chunk;
+    im.spec_tokens = im.is_prefill ? 0 : c.item.spec_tokens;
+    im.n_tokens = c.item.n_tokens + im.spec_tokens;
     im.input_tokens.assign(
         tokens.begin() + static_cast<std::ptrdiff_t>(c.context),
         tokens.begin() + static_cast<std::ptrdiff_t>(c.context + c.item.n_tokens));
+    if (im.spec_tokens > 0) {
+      // Admission may have committed fewer draft rows than proposed (KV
+      // pressure); trim the ledger to what actually rides in this step.
+      std::vector<nn::TokenId>& drafts = proposals_.at(im.seq);
+      drafts.resize(static_cast<std::size_t>(im.spec_tokens));
+      im.input_tokens.insert(im.input_tokens.end(), drafts.begin(), drafts.end());
+    } else if (!im.is_prefill && proposer_) {
+      proposals_[im.seq].clear();
+    }
     meta.items.push_back(std::move(im));
   }
 
@@ -65,16 +96,46 @@ bool DriverState::materialize_and_dispatch(sched::MicroBatchPlan plan, double no
 int DriverState::complete_batch(
     const SampleResult& result, double now,
     const std::function<void(const engine::Sequence&, nn::TokenId, bool)>& on_token) {
-  std::unordered_map<kv::SeqId, nn::TokenId> sampled(result.tokens.begin(),
-                                                     result.tokens.end());
+  // Group the sampled rows per sequence in feed order: a speculative decode
+  // step returns 1 + spec_tokens targets for the same sequence. A sequence
+  // appears in at most one item per micro-batch, so grouping is unambiguous.
+  std::unordered_map<kv::SeqId, std::vector<nn::TokenId>> sampled;
+  sampled.reserve(result.tokens.size());
+  for (const auto& [seq, token] : result.tokens) sampled[seq].push_back(token);
+
   engine::CompletionHooks hooks;
   hooks.sample = [&sampled](const engine::Sequence& seq) {
     const auto it = sampled.find(seq.id());
-    if (it == sampled.end())
+    if (it == sampled.end() || it->second.empty())
       throw std::logic_error("DriverState: missing sampled token for sequence");
-    return it->second;
+    return it->second.front();
   };
-  if (on_token) hooks.on_token = on_token;
+  if (proposer_) {
+    hooks.verify = [this, &sampled](const engine::Sequence& s,
+                                    int proposed) -> engine::VerifyOutcome {
+      const auto it = sampled.find(s.id());
+      if (it == sampled.end() ||
+          static_cast<int>(it->second.size()) != proposed + 1)
+        throw std::logic_error("DriverState: sampled row count mismatch in verify");
+      const auto pit = proposals_.find(s.id());
+      if (pit == proposals_.end() ||
+          static_cast<int>(pit->second.size()) != proposed)
+        throw std::logic_error("DriverState: proposal ledger out of sync");
+      const spec::VerifyResult vr = spec::verify_greedy(pit->second, it->second);
+      engine::VerifyOutcome out;
+      out.emitted = vr.accepted + 1;
+      out.tokens = vr.emitted;
+      return out;
+    };
+  }
+  hooks.on_token = [this, &on_token](const engine::Sequence& s, nn::TokenId t,
+                                     bool is_last) {
+    if (is_last && proposer_) {
+      proposer_->forget(s.id());
+      proposals_.erase(s.id());
+    }
+    if (on_token) on_token(s, t, is_last);
+  };
   return core_.complete(result.batch_id, now, &hooks);
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/admission_core.hpp"
@@ -10,6 +11,7 @@
 #include "nn/reference.hpp"
 #include "runtime/worker.hpp"
 #include "sched/types.hpp"
+#include "spec/proposer.hpp"
 
 namespace gllm::runtime {
 
@@ -21,6 +23,12 @@ struct DriverConfig {
   obs::Observability* obs = nullptr;
   /// Trace track for admission instants (by convention pp, the driver track).
   int trace_track = 0;
+  /// Speculative decoding (mode kOff disables). Draft-model proposals build a
+  /// halved-depth copy of `model` seeded with `weight_seed`, so both must be
+  /// set whenever spec.mode == kDraft.
+  spec::SpecConfig spec;
+  model::ModelConfig model;
+  std::uint64_t weight_seed = 0;
 };
 
 /// The driver worker's scheduling state, shared between PipelineRuntime
@@ -65,11 +73,20 @@ class DriverState {
   /// Pipeline-failure recovery: fold every unfinished sequence back into
   /// pending prefill and rebuild the KV pools (engine::AdmissionCore's
   /// recompute-preemption machinery pointed at failure instead of KV
-  /// pressure). Returns the number of sequences folded.
-  int recover_all() { return core_.recover_all(); }
+  /// pressure). Returns the number of sequences folded. In-flight speculative
+  /// proposals die with the batches they rode in; the proposer re-syncs from
+  /// the replayed history on the next propose call.
+  int recover_all() {
+    proposals_.clear();
+    return core_.recover_all();
+  }
 
   /// Terminate a non-finished sequence with an explicit failure (kAborted).
-  void abort_sequence(kv::SeqId id) { core_.abort_sequence(id); }
+  void abort_sequence(kv::SeqId id) {
+    if (proposer_) proposer_->forget(id);
+    proposals_.erase(id);
+    core_.abort_sequence(id);
+  }
 
   // --- introspection ---------------------------------------------------------
   int in_flight() const { return core_.in_flight(); }
@@ -100,6 +117,14 @@ class DriverState {
 
  private:
   engine::AdmissionCore core_;
+  /// Draft-token source when speculative decoding is on (null = off).
+  std::unique_ptr<spec::Proposer> proposer_;
+  /// Drafts proposed for the in-flight decode step of each sequence, consumed
+  /// by verification in complete_batch. At most one entry per sequence: a
+  /// sequence has at most one decode step in flight.
+  std::unordered_map<kv::SeqId, std::vector<nn::TokenId>> proposals_;
+  obs::Observability* obs_ = nullptr;
+  int trace_track_ = 0;
 };
 
 /// The assembled worker pipeline: per-stage metadata channels, inter-stage

@@ -19,6 +19,10 @@ struct ItemMeta {
   bool is_prefill = false;
   bool last_chunk = false;
   bool wants_logits = false;
+  /// Speculative draft tokens included in this step (decode only): the item's
+  /// n_tokens = 1 + spec_tokens and the last stage samples one greedy target
+  /// per fed row instead of just the last.
+  int spec_tokens = 0;
   std::vector<nn::TokenId> input_tokens;  ///< ids to embed (first stage only needs them)
 };
 

@@ -27,6 +27,10 @@ PipelineRuntime::PipelineRuntime(RuntimeOptions options,
   options_.model.validate();
   if (options_.pp <= 0) throw std::invalid_argument("PipelineRuntime: pp must be > 0");
   if (!scheduler_) throw std::invalid_argument("PipelineRuntime: scheduler required");
+  options_.spec.validate();
+  if (options_.spec.enabled() && !options_.greedy_sampling)
+    throw std::invalid_argument(
+        "PipelineRuntime: speculative decoding requires greedy sampling");
 }
 
 RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
@@ -46,8 +50,15 @@ RuntimeReport PipelineRuntime::run(const std::vector<nn::GenRequest>& requests,
   }
 
   // --- driver state (validated before any thread spawns) -------------------
+  DriverConfig driver_cfg;
+  driver_cfg.prefix_caching = options_.prefix_caching;
+  driver_cfg.obs = options_.obs;
+  driver_cfg.trace_track = options_.pp;
+  driver_cfg.spec = options_.spec;
+  driver_cfg.model = options_.model;
+  driver_cfg.weight_seed = options_.weight_seed;
   DriverState state(options_.kv_capacity_tokens, options_.kv_block_size, options_.pp,
-                    DriverConfig{options_.prefix_caching, options_.obs, options_.pp});
+                    driver_cfg);
 
   // Requests enter the waiting queue in arrival order; with respect_arrivals
   // only once their submission instant passes.

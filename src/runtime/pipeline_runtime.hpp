@@ -85,6 +85,11 @@ struct RuntimeOptions {
   /// integrates vLLM-style automatic prefix caching). Token outputs remain
   /// bit-identical; only the reused prefix's computation is skipped.
   bool prefix_caching = false;
+  /// Speculative decoding (spec.mode != kOff): the driver drafts up to
+  /// spec.k tokens per decode step and the last stage verifies all k+1 rows
+  /// in one forward. Requires greedy sampling — token identity with the
+  /// non-speculative stream is only defined for greedy verification.
+  spec::SpecConfig spec;
   /// Observability sink. Metrics are always recorded when non-null; spans
   /// additionally when its tracer is enabled. Tracks 0..pp-1 are the stage
   /// workers, pp the driver. Must outlive the run.

@@ -25,6 +25,10 @@ PipelineService::PipelineService(RuntimeOptions options,
   options_.model.validate();
   if (options_.pp <= 0) throw std::invalid_argument("PipelineService: pp must be > 0");
   if (!scheduler_) throw std::invalid_argument("PipelineService: scheduler required");
+  options_.spec.validate();
+  if (options_.spec.enabled() && !options_.greedy_sampling)
+    throw std::invalid_argument(
+        "PipelineService: speculative decoding requires greedy sampling");
 }
 
 PipelineService::~PipelineService() { stop(); }
@@ -60,10 +64,16 @@ void PipelineService::start() {
     tracer.set_track_name(options_.pp, "driver");
     scheduler_->set_observability(options_.obs, options_.pp);
   }
+  DriverConfig driver_cfg;
+  driver_cfg.prefix_caching = options_.prefix_caching;
+  driver_cfg.obs = options_.obs;
+  driver_cfg.trace_track = options_.pp;
+  driver_cfg.spec = options_.spec;
+  driver_cfg.model = options_.model;
+  driver_cfg.weight_seed = options_.weight_seed;
   state_ = std::make_unique<DriverState>(options_.kv_capacity_tokens,
                                          options_.kv_block_size, options_.pp,
-                                         DriverConfig{options_.prefix_caching,
-                                                      options_.obs, options_.pp});
+                                         driver_cfg);
   // Deployment-agnostic pipeline (threads / forked processes / remote
   // workers). Fork mode requires this process to still be single-threaded
   // here — start() the service before spawning server threads.

@@ -63,6 +63,7 @@ void StageWorker::process(const StepMetadata& meta) {
     view.n_tokens = im.n_tokens;
     view.blocks = im.blocks;
     view.wants_logits = im.wants_logits;
+    if (!im.is_prefill) view.logit_rows = 1 + im.spec_tokens;
     items.push_back(std::move(view));
     all_tokens.insert(all_tokens.end(), im.input_tokens.begin(), im.input_tokens.end());
   }
@@ -92,8 +93,13 @@ void StageWorker::process(const StepMetadata& meta) {
     std::int64_t out = 0;
     for (const ItemMeta& im : meta.items) {
       if (!im.wants_logits) continue;
-      const nn::TokenId token = sampler_.sample(logits.row(out++));
-      result.tokens.emplace_back(im.seq, token);
+      // One sampled target per logit row; a speculative decode step returns
+      // 1 + spec_tokens entries for the same sequence, in feed order.
+      const int rows = im.is_prefill ? 1 : 1 + im.spec_tokens;
+      for (int r = 0; r < rows; ++r) {
+        const nn::TokenId token = sampler_.sample(logits.row(out++));
+        result.tokens.emplace_back(im.seq, token);
+      }
     }
     if (tracer_ != nullptr)
       tracer_->instant(track_, "sample.return",

@@ -82,15 +82,23 @@ MicroBatchPlan TokenThrottleScheduler::plan(const ScheduleContext& ctx) {
   MicroBatchPlan out;
 
   // --- Decode Token Throttling (3.2): an even share of all running decodes.
+  // Under speculative decoding every decode step feeds 1 + k rows (the last
+  // accepted token plus k draft tokens), and all of them are real per-stage
+  // compute — so each item costs 1 + k against #D and the KV bound. An item
+  // is admitted only when it fits the remaining budget, except the very
+  // first (progress guarantee), so the per-step decode row bound is exactly
+  // max(#D, 1 + k) — never exceeded beyond that.
   const std::int64_t d_budget = decode_budget(ctx);
+  const std::int64_t d_cost = 1 + std::max(ctx.spec_lookahead, 0);
   std::int64_t kv_budget = ctx.kv_free_tokens;
   std::int64_t d_taken = 0;
   for (const auto& d : ctx.runnable_decodes) {
-    if (d_taken >= d_budget) break;
+    if (d_taken > 0 && d_taken + d_cost > d_budget) break;
     if (static_cast<int>(out.items.size()) >= params_.max_batch_seqs) break;
-    out.items.push_back(BatchItem{d.seq, Phase::kDecode, 1, d.context, false});
-    ++d_taken;
-    --kv_budget;
+    out.items.push_back(
+        BatchItem{d.seq, Phase::kDecode, 1, d.context, false, ctx.spec_lookahead});
+    d_taken += d_cost;
+    kv_budget -= d_cost;
   }
 
   // --- Prefill Token Throttling (3.1): decoupled budget, FCFS chunk fill.

@@ -21,6 +21,10 @@ struct BatchItem {
   int n_tokens = 0;               ///< chunk size (1 for a decode step)
   std::int64_t context = 0;       ///< KV tokens already cached
   bool last_prefill_chunk = false;///< this chunk completes the prompt
+  /// Speculative lookahead budgeted for this decode step: the step feeds
+  /// `1 + spec_tokens` rows, all of which count against the throttle's #D
+  /// (decode only; always 0 for prefill chunks).
+  int spec_tokens = 0;
 };
 
 /// What the scheduler hands the engine each iteration.
@@ -82,6 +86,10 @@ struct ScheduleContext {
   std::int64_t total_decode_seqs = 0;       ///< #RD: running decodes incl. in-flight
   double kv_free_rate = 1.0;                ///< KV_free in [0, 1]
   std::int64_t kv_free_tokens = 0;          ///< admissible new KV tokens (planning bound)
+  /// Speculative-decoding lookahead k: every decode step may carry up to k
+  /// draft tokens, so planners must cost a decode item as `1 + k` tokens
+  /// against #D and the KV bound (0 = speculation off).
+  int spec_lookahead = 0;
 
   /// Total tokens awaiting prefill (#WP), counting only schedulable requests.
   std::int64_t waiting_prefill_tokens() const;

@@ -15,6 +15,9 @@ engine::EngineConfig SystemOptions::engine_config() const {
   cfg.record_busy_intervals = record_busy_intervals;
   cfg.cohort_pinning = cohort_pinning;
   cfg.obs = obs;
+  cfg.spec_lookahead = spec_lookahead;
+  cfg.spec_acceptance = spec_acceptance;
+  cfg.spec_seed = spec_seed;
   return cfg;
 }
 

@@ -32,6 +32,12 @@ struct SystemOptions {
   bool prefix_caching = false;
   bool record_busy_intervals = false;  ///< Figure 4 utilization timelines
   bool cohort_pinning = false;         ///< vLLM-V0 virtual-engine pinning
+  /// Speculative decoding (DES acceptance model): draft tokens per decode
+  /// step (0 = off) and per-position acceptance probability. See
+  /// engine::EngineConfig for semantics.
+  int spec_lookahead = 0;
+  double spec_acceptance = 0.0;
+  std::uint64_t spec_seed = 1;
   /// Observability sink passed through to the engine (null = off).
   obs::Observability* obs = nullptr;
 

@@ -1,0 +1,126 @@
+#include "spec/proposer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace gllm::spec {
+
+std::vector<TokenId> NgramProposer::propose(SeqId /*id*/,
+                                            std::span<const TokenId> history,
+                                            int max_k) {
+  if (max_k <= 0) return {};
+  const std::size_t len = history.size();
+  for (int n = ngram_max_; n >= ngram_min_; --n) {
+    const auto gram = static_cast<std::size_t>(n);
+    if (len < gram + 1) continue;
+    const TokenId* suffix = history.data() + (len - gram);
+    // Most recent earlier occurrence wins: local repetition is the better
+    // predictor, and scanning backwards makes the choice deterministic.
+    for (std::size_t start = len - gram; start-- > 0;) {
+      if (!std::equal(suffix, suffix + gram, history.data() + start)) continue;
+      const std::size_t follow = start + gram;
+      const std::size_t stop = std::min(follow + static_cast<std::size_t>(max_k), len);
+      return {history.begin() + static_cast<std::ptrdiff_t>(follow),
+              history.begin() + static_cast<std::ptrdiff_t>(stop)};
+    }
+  }
+  return {};
+}
+
+DraftProposer::DraftProposer(const model::ModelConfig& draft, std::uint64_t weight_seed,
+                             std::int64_t kv_capacity_tokens, int kv_block_size)
+    : cfg_(draft),
+      kv_(kv_capacity_tokens, kv_block_size),
+      stage_(cfg_,
+             [&] {
+               model::StageShape shape;
+               shape.first_layer = 0;
+               shape.n_layers = cfg_.n_layers;
+               shape.has_embedding = true;
+               shape.has_lm_head = true;
+               return shape;
+             }(),
+             weight_seed, static_cast<std::int32_t>(kv_.total_blocks()), kv_block_size) {}
+
+bool DraftProposer::feed(SeqId id, std::span<const TokenId> tokens, TokenId& argmax_out) {
+  const std::int64_t context = kv_.seq_tokens(id);
+  if (!kv_.allocate(id, static_cast<std::int64_t>(tokens.size()))) return false;
+  nn::ItemView item;
+  item.context = context;
+  item.n_tokens = static_cast<int>(tokens.size());
+  item.blocks = kv_.table(id).blocks();
+  item.wants_logits = true;
+  tensor::Tensor hidden = stage_.embed(tokens);
+  stage_.forward(hidden, {&item, 1});
+  const tensor::Tensor logits = stage_.logits(hidden, {&item, 1});
+  argmax_out = static_cast<TokenId>(tensor::argmax(logits.row(0)));
+  return true;
+}
+
+std::vector<TokenId> DraftProposer::propose(SeqId id, std::span<const TokenId> history,
+                                            int max_k) {
+  if (max_k <= 0 || history.empty()) return {};
+  auto& fed = fed_[id];
+  // Roll the draft KV back to the longest common prefix with the new history
+  // (rejected proposals rewind for free), keeping at least the final history
+  // token un-fed so the forward below always produces fresh logits.
+  std::size_t lcp = 0;
+  const std::size_t cap = std::min(fed.size(), history.size() - 1);
+  while (lcp < cap && fed[lcp] == history[lcp]) ++lcp;
+  if (fed.size() > lcp) {
+    kv_.rollback(id, static_cast<std::int64_t>(fed.size() - lcp));
+    fed.resize(lcp);
+  }
+
+  std::vector<TokenId> proposals;
+  TokenId next = 0;
+  if (!feed(id, history.subspan(lcp), next)) {
+    // Draft pool exhausted: drop this sequence's draft state so its blocks
+    // are reclaimable, propose nothing, rebuild next step.
+    forget(id);
+    return {};
+  }
+  fed.insert(fed.end(), history.begin() + static_cast<std::ptrdiff_t>(lcp),
+             history.end());
+  proposals.push_back(next);
+  while (static_cast<int>(proposals.size()) < max_k) {
+    const TokenId in = proposals.back();
+    TokenId out = 0;
+    if (!feed(id, {&in, 1}, out)) break;  // state stays consistent; partial is fine
+    fed.push_back(in);
+    proposals.push_back(out);
+  }
+  return proposals;
+}
+
+void DraftProposer::forget(SeqId id) {
+  kv_.free_seq(id);
+  fed_.erase(id);
+}
+
+model::ModelConfig draft_config(const model::ModelConfig& target) {
+  model::ModelConfig draft = target;
+  draft.n_layers = std::max(1, target.n_layers / 2);
+  draft.name = target.name + "-draft";
+  return draft;
+}
+
+std::unique_ptr<Proposer> make_proposer(const SpecConfig& cfg,
+                                        const model::ModelConfig& target,
+                                        std::uint64_t weight_seed, int kv_block_size) {
+  cfg.validate();
+  switch (cfg.mode) {
+    case Mode::kNgram:
+      return std::make_unique<NgramProposer>(cfg.ngram_min, cfg.ngram_max);
+    case Mode::kDraft:
+      return std::make_unique<DraftProposer>(draft_config(target), weight_seed,
+                                             cfg.draft_kv_capacity_tokens,
+                                             kv_block_size);
+    case Mode::kOff: break;
+  }
+  throw std::logic_error("spec::make_proposer: mode is off");
+}
+
+}  // namespace gllm::spec

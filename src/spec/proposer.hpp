@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/kv_manager.hpp"
+#include "model/config.hpp"
+#include "nn/stage.hpp"
+#include "spec/spec.hpp"
+
+namespace gllm::spec {
+
+using kv::SeqId;
+using kv::TokenId;
+
+/// Draft-token source for speculative decoding. The driver calls propose()
+/// once per scheduled decode step with the sequence's full visible history
+/// (prompt + every token emitted so far) and feeds the result through the
+/// target pipeline for verification.
+///
+/// Contract: propose() is a deterministic function of the per-sequence state
+/// it has itself accumulated plus `history` — never of wall clock, RNG, or
+/// verification outcomes it was not told about. Determinism is what lets the
+/// fault-recovery path replay a generation and land on byte-identical
+/// streams (the proposer may propose *differently* after a replay; the
+/// verifier makes emitted tokens independent of proposal quality).
+class Proposer {
+ public:
+  virtual ~Proposer() = default;
+
+  /// Up to `max_k` draft continuations of `history` for sequence `id`.
+  /// Returning fewer (or none) is always legal; the step then verifies a
+  /// shorter window.
+  virtual std::vector<TokenId> propose(SeqId id, std::span<const TokenId> history,
+                                       int max_k) = 0;
+
+  /// Sequence finished or was aborted: drop any per-sequence state.
+  virtual void forget(SeqId id) { (void)id; }
+
+  virtual const char* name() const = 0;
+};
+
+/// Prompt-lookup / n-gram proposer: finds the most recent earlier occurrence
+/// of the history's trailing n-gram (longest n first, n in
+/// [ngram_min, ngram_max]) and proposes the tokens that followed it.
+/// Stateless and allocation-light — the cheap end of the proposer spectrum,
+/// strong on repetitive output (code, structured text).
+class NgramProposer final : public Proposer {
+ public:
+  NgramProposer(int ngram_min, int ngram_max)
+      : ngram_min_(ngram_min), ngram_max_(ngram_max) {}
+
+  std::vector<TokenId> propose(SeqId id, std::span<const TokenId> history,
+                               int max_k) override;
+  const char* name() const override { return "ngram"; }
+
+ private:
+  int ngram_min_;
+  int ngram_max_;
+};
+
+/// Small-transformer draft proposer: a private single-stage `nn` model (same
+/// vocab as the target, fewer layers) with its own paged KV cache. Per
+/// sequence it tracks which tokens it has already fed; on each propose() it
+/// rolls its KV back to the longest common prefix with the new history
+/// (verification rejections rewind it for free), feeds the un-fed suffix in
+/// one forward, then decodes `max_k` greedy draft tokens autoregressively.
+///
+/// KV pressure degrades gracefully: a failed draft allocation drops that
+/// sequence's draft state and proposes nothing this step; the next propose()
+/// rebuilds from scratch.
+class DraftProposer final : public Proposer {
+ public:
+  DraftProposer(const model::ModelConfig& draft, std::uint64_t weight_seed,
+                std::int64_t kv_capacity_tokens, int kv_block_size);
+
+  std::vector<TokenId> propose(SeqId id, std::span<const TokenId> history,
+                               int max_k) override;
+  void forget(SeqId id) override;
+  const char* name() const override { return "draft"; }
+
+  const model::ModelConfig& config() const { return cfg_; }
+
+ private:
+  /// Feed `tokens` (KV rows `context..context+n`) and return the greedy token
+  /// from the last row. Throws nothing; returns false on KV exhaustion.
+  bool feed(SeqId id, std::span<const TokenId> tokens, TokenId& argmax_out);
+
+  model::ModelConfig cfg_;
+  kv::KvManager kv_;  ///< declared before stage_: sizes the stage's pool
+  nn::TransformerStage stage_;
+  std::unordered_map<SeqId, std::vector<TokenId>> fed_;  ///< tokens with live KV
+};
+
+/// The draft model derived from a target config: same vocab/width, half the
+/// layers (min 1). Different depth ⇒ different distribution ⇒ partial
+/// acceptance, which is exactly what exercises the rollback path.
+model::ModelConfig draft_config(const model::ModelConfig& target);
+
+/// Factory over SpecConfig.mode (must be enabled()).
+std::unique_ptr<Proposer> make_proposer(const SpecConfig& cfg,
+                                        const model::ModelConfig& target,
+                                        std::uint64_t weight_seed, int kv_block_size);
+
+}  // namespace gllm::spec

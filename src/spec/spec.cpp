@@ -1,0 +1,33 @@
+#include "spec/spec.hpp"
+
+#include <stdexcept>
+
+namespace gllm::spec {
+
+void SpecConfig::validate() const {
+  if (mode == Mode::kOff) return;
+  if (k <= 0) throw std::invalid_argument("spec: --spec-k must be >= 1");
+  if (ngram_min < 1 || ngram_max < ngram_min)
+    throw std::invalid_argument("spec: require 1 <= ngram_min <= ngram_max");
+  if (draft_kv_capacity_tokens <= 0)
+    throw std::invalid_argument("spec: draft KV capacity must be positive");
+}
+
+Mode parse_mode(const std::string& name) {
+  if (name == "off") return Mode::kOff;
+  if (name == "ngram") return Mode::kNgram;
+  if (name == "draft") return Mode::kDraft;
+  throw std::invalid_argument("spec: unknown mode '" + name +
+                              "' (expected off, ngram or draft)");
+}
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kNgram: return "ngram";
+    case Mode::kDraft: return "draft";
+  }
+  return "?";
+}
+
+}  // namespace gllm::spec

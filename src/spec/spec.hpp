@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gllm::spec {
+
+/// Draft-token source selection for speculative decoding.
+enum class Mode {
+  kOff,
+  kNgram,  ///< deterministic prompt-lookup over the sequence's own history
+  kDraft,  ///< small draft transformer (same vocab, fewer layers)
+};
+
+/// Speculative-decoding knobs, threaded from the CLI through the runtime and
+/// the DES engines. `k` is the per-step lookahead: each decode step feeds the
+/// last accepted token plus up to `k` draft tokens through one pipelined
+/// forward, so the step costs `1 + k` decode rows against the throttle's #D
+/// budget (DESIGN.md decision 12).
+struct SpecConfig {
+  Mode mode = Mode::kOff;
+  int k = 4;          ///< max proposed tokens per decode step
+  int ngram_min = 1;  ///< shortest suffix the n-gram proposer will match
+  int ngram_max = 3;  ///< longest suffix tried first (most specific wins)
+  /// KV capacity of the draft model's private cache (tokens). The draft
+  /// cache self-heals under pressure (a failed allocation drops that
+  /// sequence's draft state and proposes nothing), so this can be small.
+  std::int64_t draft_kv_capacity_tokens = 4096;
+
+  bool enabled() const { return mode != Mode::kOff && k > 0; }
+  void validate() const;
+};
+
+/// Parse "off" | "ngram" | "draft" (throws std::invalid_argument otherwise).
+Mode parse_mode(const std::string& name);
+const char* mode_name(Mode mode);
+
+}  // namespace gllm::spec

@@ -1,0 +1,26 @@
+#include "spec/verifier.hpp"
+
+#include <stdexcept>
+
+namespace gllm::spec {
+
+VerifyResult verify_greedy(std::span<const TokenId> proposed,
+                           std::span<const TokenId> target) {
+  if (target.size() != proposed.size() + 1)
+    throw std::invalid_argument("spec::verify_greedy: need one target per fed row");
+  VerifyResult result;
+  while (result.accepted < static_cast<int>(proposed.size()) &&
+         proposed[static_cast<std::size_t>(result.accepted)] ==
+             target[static_cast<std::size_t>(result.accepted)])
+    ++result.accepted;
+  result.emitted.assign(target.begin(), target.begin() + result.accepted + 1);
+  return result;
+}
+
+std::int64_t rollback_rejected(kv::KvManager& kv, SeqId id, int proposed, int accepted) {
+  if (accepted > proposed)
+    throw std::invalid_argument("spec::rollback_rejected: accepted > proposed");
+  return kv.rollback(id, proposed - accepted);
+}
+
+}  // namespace gllm::spec

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kv/kv_manager.hpp"
+
+namespace gllm::spec {
+
+using kv::SeqId;
+using kv::TokenId;
+
+/// Outcome of greedy verification for one sequence's speculative step.
+struct VerifyResult {
+  int accepted = 0;              ///< proposed tokens that matched (prefix)
+  std::vector<TokenId> emitted;  ///< accepted tokens + 1 corrected/bonus token
+};
+
+/// Greedy acceptance rule. The speculative step fed rows for
+/// [last_token, d_1..d_k] through the target pipeline, producing the target
+/// model's greedy token after each row: `target` = t_0..t_k (size k+1).
+/// Accept the longest prefix of proposals the target agrees with, then emit
+/// one more target token — the correction after the first mismatch, or the
+/// bonus token t_k on full acceptance. Emitted tokens are target-model tokens
+/// by construction, which is the whole token-identity argument: the stream
+/// equals non-speculative greedy decoding no matter what was proposed.
+VerifyResult verify_greedy(std::span<const TokenId> proposed,
+                           std::span<const TokenId> target);
+
+/// Roll back the KV rows of rejected draft tokens. The step appended
+/// `1 + proposed` rows; `1 + accepted` stay live (the row of each emitted
+/// token except the last, whose KV is computed by the next step). Returns the
+/// number of blocks freed.
+std::int64_t rollback_rejected(kv::KvManager& kv, SeqId id, int proposed, int accepted);
+
+}  // namespace gllm::spec

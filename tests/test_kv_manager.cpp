@@ -96,6 +96,87 @@ TEST(KvManager, SlackAllocationNeedsNoBlock) {
   EXPECT_FALSE(kv.allocate(1, 1));
 }
 
+// --- speculative-decode tail rollback ---------------------------------------
+
+TEST(KvManagerRollback, AcrossBlockBoundaryFreesTheEmptiedBlock) {
+  KvManager kv(64, 16);
+  kv.allocate(1, 20);  // 2 blocks: 16 full + 4 in the tail block
+  const std::int64_t free_before = kv.free_blocks();
+  // Dropping 8 tokens crosses back over the block boundary: the tail block
+  // empties (and is freed); 4 of the drops land in the first block.
+  EXPECT_EQ(kv.rollback(1, 8), 1);
+  EXPECT_EQ(kv.seq_tokens(1), 12);
+  EXPECT_EQ(kv.table(1).blocks().size(), 1u);
+  EXPECT_EQ(kv.free_blocks(), free_before + 1);
+  // The freed slack is immediately reusable.
+  EXPECT_TRUE(kv.allocate(1, 8));
+  EXPECT_EQ(kv.seq_tokens(1), 20);
+}
+
+TEST(KvManagerRollback, ExactlyAtBlockEdge) {
+  KvManager kv(64, 16);
+  kv.allocate(1, 32);  // exactly 2 full blocks
+  // Dropping one whole block's worth lands exactly on the edge: one block
+  // freed, the survivor still full.
+  EXPECT_EQ(kv.rollback(1, 16), 1);
+  EXPECT_EQ(kv.seq_tokens(1), 16);
+  EXPECT_EQ(kv.table(1).blocks().size(), 1u);
+  // Rolling a partial tail back exactly onto the edge also frees its block.
+  kv.allocate(1, 4);  // 20 tokens, 2 blocks
+  EXPECT_EQ(kv.rollback(1, 4), 1);
+  EXPECT_EQ(kv.seq_tokens(1), 16);
+  EXPECT_EQ(kv.table(1).blocks().size(), 1u);
+  // A rollback entirely inside one block frees nothing.
+  EXPECT_EQ(kv.rollback(1, 3), 0);
+  EXPECT_EQ(kv.seq_tokens(1), 13);
+  EXPECT_EQ(kv.table(1).blocks().size(), 1u);
+}
+
+TEST(KvManagerRollback, SharedCachedPrefixKeepsItsReferences) {
+  // Two sequences share a cached 16-token prefix; rolling one of them back
+  // through the shared region must only drop *its* references — the other
+  // sequence and the cache keep theirs, and the pool frees nothing.
+  KvManager kv(16 * 8, 8, /*prefix_caching=*/true);
+  std::vector<TokenId> prompt(16);
+  for (std::size_t i = 0; i < prompt.size(); ++i) prompt[i] = static_cast<TokenId>(i);
+  ASSERT_EQ(kv.allocate_prompt(1, prompt), 0);
+  kv.register_prefix(1, prompt);
+  ASSERT_EQ(kv.allocate_prompt(2, prompt), 16);  // full prefix reuse
+  ASSERT_TRUE(kv.allocate(2, 5));                // private decode tail
+
+  // Rolling back the private tail frees its (private) block.
+  std::int64_t free_before = kv.free_blocks();
+  EXPECT_EQ(kv.rollback(2, 5), 1);
+  EXPECT_EQ(kv.free_blocks(), free_before + 1);
+
+  // Rolling back into the shared prefix pops a block from seq 2's table but
+  // the pool must not free it: seq 1 and the prefix cache still hold it.
+  free_before = kv.free_blocks();
+  EXPECT_EQ(kv.rollback(2, 8), 1);
+  EXPECT_EQ(kv.free_blocks(), free_before);
+  EXPECT_EQ(kv.seq_tokens(1), 16);  // the sibling is untouched...
+  EXPECT_EQ(kv.table(1).blocks().size(), 2u);
+  kv.free_seq(1);
+  kv.free_seq(2);
+  // ...and the cached prefix survived the rollback intact.
+  EXPECT_EQ(kv.adopt_cached_prefix(3, prompt, 16), 16);
+}
+
+TEST(KvManagerRollback, ClampedAndDoubleRollbackIsIdempotent) {
+  KvManager kv(64, 16);
+  kv.allocate(1, 20);
+  EXPECT_EQ(kv.rollback(1, 0), 0);  // no-op
+  EXPECT_EQ(kv.seq_tokens(1), 20);
+  // Over-rollback clamps to the whole sequence and drops its (now empty)
+  // table; a second rollback finds nothing and must be a clean no-op.
+  EXPECT_EQ(kv.rollback(1, 100), 2);
+  EXPECT_EQ(kv.seq_tokens(1), 0);
+  EXPECT_FALSE(kv.has(1));
+  EXPECT_EQ(kv.rollback(1, 8), 0);
+  EXPECT_EQ(kv.free_blocks(), kv.total_blocks());
+  EXPECT_THROW(kv.rollback(1, -1), std::invalid_argument);
+}
+
 TEST(KvManager, FreeSeqIdempotentAndUnknownTableThrows) {
   KvManager kv(64, 16);
   kv.allocate(1, 16);

@@ -42,6 +42,8 @@ runtime::StepMetadata random_metadata(util::Rng& rng) {
     im.is_prefill = rng.bernoulli(0.5);
     im.last_chunk = rng.bernoulli(0.5);
     im.wants_logits = rng.bernoulli(0.5);
+    if (im.n_tokens > 1)
+      im.spec_tokens = static_cast<int>(rng.uniform_int(0, im.n_tokens - 1));
     const auto n_tokens = rng.uniform_int(0, 32);
     for (std::int64_t t = 0; t < n_tokens; ++t)
       im.input_tokens.push_back(static_cast<nn::TokenId>(rng.uniform_int(0, 1 << 16)));
@@ -74,7 +76,7 @@ bool operator_eq(const runtime::ItemMeta& a, const runtime::ItemMeta& b) {
   return a.seq == b.seq && a.n_tokens == b.n_tokens && a.context == b.context &&
          a.blocks == b.blocks && a.is_prefill == b.is_prefill &&
          a.last_chunk == b.last_chunk && a.wants_logits == b.wants_logits &&
-         a.input_tokens == b.input_tokens;
+         a.spec_tokens == b.spec_tokens && a.input_tokens == b.input_tokens;
 }
 
 // --- round trips -------------------------------------------------------------

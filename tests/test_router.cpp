@@ -508,6 +508,50 @@ TEST(PlacementPolicyTest, LruEvictsAtCapacityAndForgetDropsReplica) {
   EXPECT_TRUE(policy.place(2, three_replicas(0, 0, 0)).prefix_hit);
 }
 
+TEST(PlacementPolicyTest, PollerDetectedRespawnPurgesStaleAffinity) {
+  // Regression: a replica declared dead by the *poller* (not the proxy) never
+  // went through the proxy's forget_replica call. Once the supervisor
+  // respawned it — alive again, prefix cache empty — stale affinity entries
+  // kept steering prefix-sharing prompts at it. The death epoch in the
+  // snapshot must purge those entries on the next placement.
+  PlacementPolicy policy;
+  policy.record(0xfeedULL, 0);
+  EXPECT_TRUE(policy.place(0xfeedULL, three_replicas(0, 0, 0)).prefix_hit);
+
+  // Replica 0 died and respawned between placements: alive in the snapshot,
+  // but with a bumped death epoch.
+  auto respawned = three_replicas(0, 0, 0);
+  respawned[0].deaths = 1;
+  const auto p = policy.place(0xfeedULL, respawned);
+  EXPECT_FALSE(p.prefix_hit);
+  EXPECT_EQ(policy.affinity_size(), 0u);
+
+  // Same epoch on the next call: no further purge, fresh entries stick.
+  policy.record(0xfeedULL, 0);
+  EXPECT_TRUE(policy.place(0xfeedULL, respawned).prefix_hit);
+}
+
+TEST(ReplicaTableTest, DeathEpochBumpsOnEveryAliveToDeadTransition) {
+  ReplicaTable table({{"127.0.0.1", 9000}});
+  // Below the threshold: still alive, no epoch movement.
+  table.poll_failure(0);
+  EXPECT_TRUE(table.snapshot()[0].alive);
+  EXPECT_EQ(table.snapshot()[0].deaths, 0);
+  // Crossing the threshold: one transition, one epoch.
+  table.poll_failure(0);
+  EXPECT_FALSE(table.snapshot()[0].alive);
+  EXPECT_EQ(table.snapshot()[0].deaths, 1);
+  // Already dead: more failures and proxy mark_dead must not re-bump.
+  table.poll_failure(0);
+  table.mark_dead(0);
+  EXPECT_EQ(table.snapshot()[0].deaths, 1);
+  // Respawn (successful poll) then proxy-detected death: second epoch.
+  table.poll_success(0, ReplicaStats{});
+  EXPECT_TRUE(table.snapshot()[0].alive);
+  table.mark_dead(0);
+  EXPECT_EQ(table.snapshot()[0].deaths, 2);
+}
+
 // --- fakes: a replica that sheds every completion ---------------------------
 
 /// Minimal replica stand-in: healthy /v1/stats, 503 + Retry-After for every

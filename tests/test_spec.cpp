@@ -1,0 +1,451 @@
+// gllm::spec — speculative decoding.
+//
+// Layered like the subsystem itself: proposer units (n-gram and draft-model
+// drafting), the greedy verification rule and its KV rollback, the throttle's
+// #D accounting for draft rows, end-to-end token identity on the real
+// pipeline runtime (the load-bearing property: speculation must never change
+// the greedy stream, at any (pp, tp), in-process or forked), and the DES
+// acceptance-rate model's TPOT curve.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "engine/pipeline_engine.hpp"
+#include "kv/kv_manager.hpp"
+#include "runtime/pipeline_runtime.hpp"
+#include "sched/token_throttle.hpp"
+#include "spec/proposer.hpp"
+#include "spec/spec.hpp"
+#include "spec/verifier.hpp"
+#include "tsan_skip.hpp"
+#include "workload/generator.hpp"
+
+namespace gllm {
+namespace {
+
+constexpr std::uint64_t kWeightSeed = 1234;
+
+using Tokens = std::vector<kv::TokenId>;
+
+// ---- config ----------------------------------------------------------------
+
+TEST(SpecConfig, ParseModeRoundTrips) {
+  EXPECT_EQ(spec::parse_mode("off"), spec::Mode::kOff);
+  EXPECT_EQ(spec::parse_mode("ngram"), spec::Mode::kNgram);
+  EXPECT_EQ(spec::parse_mode("draft"), spec::Mode::kDraft);
+  EXPECT_THROW(spec::parse_mode("medusa"), std::invalid_argument);
+  EXPECT_STREQ(spec::mode_name(spec::Mode::kNgram), "ngram");
+}
+
+TEST(SpecConfig, ValidateRejectsBadKnobs) {
+  spec::SpecConfig cfg;
+  cfg.mode = spec::Mode::kNgram;
+  cfg.k = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.k = 4;
+  cfg.ngram_min = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ngram_min = 3;
+  cfg.ngram_max = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // Off skips validation entirely (the CLI default must never throw).
+  cfg.mode = spec::Mode::kOff;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_FALSE(cfg.enabled());
+}
+
+// ---- n-gram proposer -------------------------------------------------------
+
+TEST(NgramProposer, ProposesContinuationOfRepeatedPattern) {
+  spec::NgramProposer p(1, 3);
+  // ... 7 8 9 | 7 8 9 | 7 8 — trailing "7 8" last occurred before a "9 7".
+  const Tokens history = {7, 8, 9, 7, 8, 9, 7, 8};
+  const Tokens drafts = p.propose(1, history, 4);
+  ASSERT_GE(drafts.size(), 2u);
+  EXPECT_EQ(drafts[0], 9);
+  EXPECT_EQ(drafts[1], 7);
+}
+
+TEST(NgramProposer, RespectsMaxK) {
+  spec::NgramProposer p(1, 3);
+  const Tokens history = {5, 6, 5, 6, 5, 6, 5, 6, 5, 6};
+  EXPECT_LE(p.propose(1, history, 2).size(), 2u);
+  EXPECT_TRUE(p.propose(1, history, 0).empty());
+}
+
+TEST(NgramProposer, NoMatchProposesNothing) {
+  spec::NgramProposer p(2, 3);  // min 2: the unique trailing bigram never recurs
+  const Tokens history = {1, 2, 3, 4, 5, 6};
+  EXPECT_TRUE(p.propose(1, history, 4).empty());
+}
+
+TEST(NgramProposer, LongestSuffixMatchWinsOverShorter) {
+  spec::NgramProposer p(1, 3);
+  // Trailing trigram "1 2 3" matched at the front (followed by 100); the
+  // shorter suffix "3" alone also occurs later followed by 200. Most specific
+  // context must win.
+  const Tokens history = {1, 2, 3, 100, 9, 3, 200, 9, 1, 2, 3};
+  const Tokens drafts = p.propose(1, history, 1);
+  ASSERT_EQ(drafts.size(), 1u);
+  EXPECT_EQ(drafts[0], 100);
+}
+
+// ---- draft-model proposer --------------------------------------------------
+
+TEST(DraftProposer, DeterministicAndBoundedByMaxK) {
+  const auto target = model::presets::tiny();
+  const auto draft_cfg = spec::draft_config(target);
+  EXPECT_LT(draft_cfg.n_layers, target.n_layers);
+  EXPECT_EQ(draft_cfg.vocab, target.vocab);
+
+  spec::DraftProposer a(draft_cfg, kWeightSeed, 4096, 8);
+  spec::DraftProposer b(draft_cfg, kWeightSeed, 4096, 8);
+  const Tokens history = nn::synthetic_prompt(target, 7, 12);
+  const Tokens d1 = a.propose(1, history, 4);
+  EXPECT_LE(d1.size(), 4u);
+  EXPECT_FALSE(d1.empty());  // healthy cache: the draft always has an opinion
+  EXPECT_EQ(d1, b.propose(99, history, 4));  // same weights+history, any seq
+}
+
+TEST(DraftProposer, ForgetThenReproposeMatches) {
+  const auto target = model::presets::tiny();
+  spec::DraftProposer p(spec::draft_config(target), kWeightSeed, 4096, 8);
+  const Tokens history = nn::synthetic_prompt(target, 11, 10);
+  const Tokens before = p.propose(3, history, 3);
+  p.forget(3);
+  EXPECT_EQ(p.propose(3, history, 3), before);
+}
+
+TEST(DraftProposer, IncrementalFeedMatchesColdStart) {
+  // The KV-reuse path (roll back to the longest common prefix, feed the
+  // suffix) must produce the same drafts as feeding the whole history fresh.
+  const auto target = model::presets::tiny();
+  spec::DraftProposer warm(spec::draft_config(target), kWeightSeed, 4096, 8);
+  spec::DraftProposer cold(spec::draft_config(target), kWeightSeed, 4096, 8);
+  Tokens history = nn::synthetic_prompt(target, 13, 8);
+  (void)warm.propose(5, history, 4);
+  history.push_back(3);  // one accepted token; warm rolls back + feeds one row
+  history.push_back(9);
+  EXPECT_EQ(warm.propose(5, history, 4), cold.propose(5, history, 4));
+}
+
+TEST(DraftProposer, KvExhaustionDegradesToNoProposal) {
+  const auto target = model::presets::tiny();
+  // One block of 8 tokens: a 40-token history can never fit.
+  spec::DraftProposer p(spec::draft_config(target), kWeightSeed, 8, 8);
+  const Tokens history = nn::synthetic_prompt(target, 17, 40);
+  EXPECT_TRUE(p.propose(1, history, 4).empty());
+  EXPECT_TRUE(p.propose(1, history, 4).empty());  // stays degraded, no crash
+}
+
+// ---- greedy verification ---------------------------------------------------
+
+TEST(VerifyGreedy, FullAcceptanceEmitsAllPlusBonus) {
+  const Tokens proposed = {10, 11, 12};
+  const Tokens target = {10, 11, 12, 13};  // t_0..t_3
+  const auto r = spec::verify_greedy(proposed, target);
+  EXPECT_EQ(r.accepted, 3);
+  EXPECT_EQ(r.emitted, (Tokens{10, 11, 12, 13}));
+}
+
+TEST(VerifyGreedy, FirstMismatchEmitsCorrection) {
+  const Tokens proposed = {10, 99, 12};
+  const Tokens target = {10, 11, 12, 13};
+  const auto r = spec::verify_greedy(proposed, target);
+  EXPECT_EQ(r.accepted, 1);
+  // The emitted stream is exactly what sequential greedy decoding produces:
+  // the agreed token then the target's correction. Later agreement (12) is
+  // unreachable — its context included the rejected 99.
+  EXPECT_EQ(r.emitted, (Tokens{10, 11}));
+}
+
+TEST(VerifyGreedy, ImmediateMismatchStillEmitsOneToken) {
+  const auto r = spec::verify_greedy(Tokens{99}, Tokens{42, 7});
+  EXPECT_EQ(r.accepted, 0);
+  EXPECT_EQ(r.emitted, Tokens{42});
+}
+
+TEST(VerifyGreedy, EmptyProposalIsPlainDecode) {
+  const auto r = spec::verify_greedy(Tokens{}, Tokens{42});
+  EXPECT_EQ(r.accepted, 0);
+  EXPECT_EQ(r.emitted, Tokens{42});
+}
+
+TEST(VerifyGreedy, EmittedTokensAreAlwaysTargetTokens) {
+  // The token-identity argument in one property: whatever is proposed, the
+  // emitted prefix equals the target row outputs.
+  const Tokens all_targets = {5, 6, 7, 8, 9};
+  for (const Tokens& proposed :
+       {Tokens{5, 6, 7, 8}, Tokens{5, 0, 0, 0}, Tokens{0, 6, 7, 8}, Tokens{}}) {
+    const Tokens target(all_targets.begin(),
+                        all_targets.begin() +
+                            static_cast<std::ptrdiff_t>(proposed.size()) + 1);
+    const auto r = spec::verify_greedy(proposed, target);
+    ASSERT_EQ(r.emitted.size(), static_cast<std::size_t>(r.accepted) + 1);
+    for (int i = 0; i <= r.accepted; ++i)
+      EXPECT_EQ(r.emitted[static_cast<std::size_t>(i)],
+                target[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RollbackRejected, FreesExactlyTheRejectedRows) {
+  kv::KvManager kv(64, 8);
+  ASSERT_TRUE(kv.allocate(1, 14));  // context C+1 = 14 rows live
+  // A k=4 step appended 1 + 4 rows (rows 14..18); 2 were accepted, so
+  // 1 + 2 = 3 stay and 2 are rolled back: 19 -> 17 tokens.
+  ASSERT_TRUE(kv.allocate(1, 5));
+  EXPECT_EQ(kv.seq_tokens(1), 19);
+  const std::int64_t freed = spec::rollback_rejected(kv, 1, /*proposed=*/4,
+                                                     /*accepted=*/2);
+  EXPECT_EQ(kv.seq_tokens(1), 17);
+  EXPECT_EQ(freed, 0);  // 17 tokens still span 3 blocks of 8
+  // Full rejection of a k=7 step crosses back over a block edge:
+  // 17 + 8 = 25 rows (4 blocks) -> keep 1 -> 18 rows (3 blocks).
+  ASSERT_TRUE(kv.allocate(1, 8));
+  EXPECT_EQ(spec::rollback_rejected(kv, 1, 7, 0), 1);
+  EXPECT_EQ(kv.seq_tokens(1), 18);
+}
+
+TEST(RollbackRejected, FullAcceptanceRollsBackNothing) {
+  kv::KvManager kv(64, 8);
+  ASSERT_TRUE(kv.allocate(2, 10));
+  EXPECT_EQ(spec::rollback_rejected(kv, 2, 4, 4), 0);
+  EXPECT_EQ(kv.seq_tokens(2), 10);
+}
+
+// ---- throttle #D accounting ------------------------------------------------
+
+sched::ScheduleContext decode_ctx(int runnable, int lookahead, int depth = 4) {
+  sched::ScheduleContext ctx;
+  ctx.pipeline_depth = depth;
+  for (int i = 0; i < runnable; ++i)
+    ctx.runnable_decodes.push_back(sched::DecodeSeq{100 + i, 50});
+  ctx.total_decode_seqs = runnable;
+  ctx.kv_free_rate = 1.0;
+  ctx.kv_free_tokens = 1 << 20;
+  ctx.spec_lookahead = lookahead;
+  return ctx;
+}
+
+TEST(ThrottleSpec, DecodeItemsCarryTheLookahead) {
+  sched::TokenThrottleScheduler sched{sched::ThrottleParams{}};
+  const auto ctx = decode_ctx(8, 3);
+  const auto plan = sched.plan(ctx);
+  ASSERT_FALSE(plan.empty());
+  for (const auto& item : plan.items) {
+    ASSERT_EQ(item.phase, sched::Phase::kDecode);
+    EXPECT_EQ(item.spec_tokens, 3);
+    EXPECT_EQ(item.n_tokens, 1);
+  }
+}
+
+TEST(ThrottleSpec, DraftRowsNeverExceedTheDecodeBound) {
+  sched::TokenThrottleScheduler sched{sched::ThrottleParams{}};
+  for (const int k : {0, 1, 2, 4, 8, 64}) {
+    for (const int runnable : {1, 3, 16, 200}) {
+      const auto ctx = decode_ctx(runnable, k);
+      const std::int64_t budget = sched.decode_budget(ctx);
+      const auto plan = sched.plan(ctx);
+      std::int64_t rows = 0;
+      for (const auto& item : plan.items)
+        if (item.phase == sched::Phase::kDecode) rows += 1 + item.spec_tokens;
+      // Effective bound max(#D, 1 + k): the first item is always admitted
+      // (progress guarantee), everything beyond must fit the budget.
+      EXPECT_LE(rows, std::max<std::int64_t>(budget, 1 + k))
+          << "k=" << k << " runnable=" << runnable << " #D=" << budget;
+      EXPECT_GE(rows, std::min<std::int64_t>(runnable, 1));  // progress
+    }
+  }
+}
+
+TEST(ThrottleSpec, LookaheadShrinksTheAdmittedCohort) {
+  sched::TokenThrottleScheduler sched{sched::ThrottleParams{}};
+  const auto plain = sched.plan(decode_ctx(200, 0));
+  const auto spec4 = sched.plan(decode_ctx(200, 4));
+  // Same #D (it counts rows, not sequences) => ~5x fewer sequences per step.
+  EXPECT_LT(spec4.items.size(), plain.items.size());
+}
+
+// ---- runtime token identity ------------------------------------------------
+
+std::vector<nn::GenRequest> spec_requests(const model::ModelConfig& cfg, int n) {
+  std::vector<nn::GenRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    nn::GenRequest r;
+    r.id = i;
+    // Half the prompts repeat a short pattern (n-gram-friendly, exercises
+    // acceptance), half are plain synthetic (exercises rejection/rollback).
+    if (i % 2 == 0) {
+      const Tokens base =
+          nn::synthetic_prompt(cfg, 500 + static_cast<std::uint64_t>(i), 4);
+      for (int rep = 0; rep < 3; ++rep)
+        r.prompt.insert(r.prompt.end(), base.begin(), base.end());
+    } else {
+      r.prompt = nn::synthetic_prompt(cfg, 500 + static_cast<std::uint64_t>(i),
+                                      6 + (i * 7) % 20);
+    }
+    r.max_new_tokens = 4 + i % 9;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+runtime::RuntimeOptions spec_options(int pp, int tp, spec::Mode mode, int k = 4) {
+  runtime::RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.pp = pp;
+  opt.tp = tp;
+  opt.kv_capacity_tokens = 2048;
+  opt.kv_block_size = 8;
+  opt.weight_seed = kWeightSeed;
+  opt.spec.mode = mode;
+  opt.spec.k = k;
+  return opt;
+}
+
+std::shared_ptr<sched::IScheduler> small_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 4;
+  return std::make_shared<sched::TokenThrottleScheduler>(p);
+}
+
+class SpecTokenIdentity
+    : public ::testing::TestWithParam<std::tuple<int, int, spec::Mode>> {};
+
+TEST_P(SpecTokenIdentity, MatchesNonSpeculativeReference) {
+  const auto [pp, tp, mode] = GetParam();
+  const auto cfg = model::presets::tiny();
+  const auto reqs = spec_requests(cfg, 8);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  runtime::PipelineRuntime rt(spec_options(pp, tp, mode), small_throttle());
+  const auto report = rt.run(reqs);
+  ASSERT_EQ(report.requests.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(report.requests[i].completed);
+    EXPECT_EQ(report.requests[i].output, ref[i]) << "request " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpecTokenIdentity,
+    ::testing::Combine(::testing::Values(1, 2), ::testing::Values(1, 2),
+                       ::testing::Values(spec::Mode::kNgram, spec::Mode::kDraft)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, spec::Mode>>& info) {
+      return std::string("pp") + std::to_string(std::get<0>(info.param)) + "tp" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             spec::mode_name(std::get<2>(info.param));
+    });
+
+TEST(SpecRuntime, ForkWorkersTokenIdentical) {
+  GLLM_SKIP_IF_TSAN_FORK();
+  const auto cfg = model::presets::tiny();
+  const auto reqs = spec_requests(cfg, 8);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  auto opt = spec_options(2, 1, spec::Mode::kNgram);
+  opt.deployment.mode = runtime::DeploymentOptions::Mode::kFork;
+  runtime::PipelineRuntime rt(std::move(opt), small_throttle());
+  const auto report = rt.run(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    EXPECT_EQ(report.requests[i].output, ref[i]) << "request " << i;
+}
+
+TEST(SpecRuntime, KvPressureStillTokenIdentical) {
+  // A tiny pool forces both recompute preemption and the degrade-to-one-row
+  // path (a draft allocation that does not fit proposes nothing).
+  const auto cfg = model::presets::tiny();
+  const auto reqs = spec_requests(cfg, 8);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  auto opt = spec_options(2, 1, spec::Mode::kNgram);
+  opt.kv_capacity_tokens = 160;
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 2;
+  p.enable_ut = false;
+  p.kv_thresh = 0.0;
+  runtime::PipelineRuntime rt(std::move(opt),
+                              std::make_shared<sched::TokenThrottleScheduler>(p));
+  const auto report = rt.run(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(report.requests[i].completed);
+    EXPECT_EQ(report.requests[i].output, ref[i]) << "request " << i;
+  }
+}
+
+TEST(SpecRuntime, RequiresGreedySampling) {
+  auto opt = spec_options(2, 1, spec::Mode::kNgram);
+  opt.greedy_sampling = false;
+  EXPECT_THROW(runtime::PipelineRuntime(std::move(opt), small_throttle()),
+               std::invalid_argument);
+}
+
+// ---- DES acceptance model --------------------------------------------------
+
+workload::Trace des_trace(double rate, double duration) {
+  workload::TraceBuilder builder(workload::WorkloadSpec::sharegpt(), 5);
+  workload::ArrivalProcess arrivals;
+  arrivals.rate = rate;
+  return builder.generate_for_duration(arrivals, duration);
+}
+
+engine::EngineConfig des_config(int lookahead, double acceptance) {
+  engine::EngineConfig cfg;
+  cfg.model = model::presets::qwen2_5_32b();
+  cfg.cluster = hw::clusters::l20_node(4);
+  cfg.pp = 4;
+  cfg.spec_lookahead = lookahead;
+  cfg.spec_acceptance = acceptance;
+  return cfg;
+}
+
+TEST(SpecDes, TpotImprovesAtHighAcceptance) {
+  // Unsaturated rate: drafts ride the fixed per-step cost instead of
+  // crowding other sequences out of #D. The ISSUE's headline claim.
+  const auto trace = des_trace(0.5, 25.0);
+  const auto throttle = std::make_shared<sched::TokenThrottleScheduler>(
+      sched::ThrottleParams{});
+  const auto baseline = engine::PipelineEngine(des_config(0, 0.0), throttle).run(trace);
+  const auto mid = engine::PipelineEngine(des_config(4, 0.6), throttle).run(trace);
+  const auto high = engine::PipelineEngine(des_config(4, 0.9), throttle).run(trace);
+  ASSERT_GT(baseline.completed_requests(), 0u);
+  EXPECT_EQ(mid.completed_requests(), baseline.completed_requests());
+  EXPECT_LT(mid.mean_tpot(), baseline.mean_tpot());
+  EXPECT_LT(high.mean_tpot(), mid.mean_tpot());
+}
+
+TEST(SpecDes, ZeroAcceptanceOnlyCosts) {
+  // All drafts rejected: every step pays 1 + k rows for one emitted token.
+  const auto trace = des_trace(0.5, 25.0);
+  const auto throttle = std::make_shared<sched::TokenThrottleScheduler>(
+      sched::ThrottleParams{});
+  const auto baseline = engine::PipelineEngine(des_config(0, 0.0), throttle).run(trace);
+  const auto wasted = engine::PipelineEngine(des_config(4, 0.0), throttle).run(trace);
+  EXPECT_GT(wasted.mean_tpot(), baseline.mean_tpot());
+}
+
+TEST(SpecDes, DeterministicAndOutputLengthsUnchanged) {
+  // The acceptance draws are seeded: same trace + config => identical run.
+  // And speculation only changes *when* tokens land, never how many.
+  const auto trace = des_trace(1.0, 15.0);
+  const auto throttle = std::make_shared<sched::TokenThrottleScheduler>(
+      sched::ThrottleParams{});
+  const auto a = engine::PipelineEngine(des_config(4, 0.6), throttle).run(trace);
+  const auto b = engine::PipelineEngine(des_config(4, 0.6), throttle).run(trace);
+  const auto plain = engine::PipelineEngine(des_config(0, 0.0), throttle).run(trace);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].output_len, b.requests[i].output_len);
+    EXPECT_DOUBLE_EQ(a.requests[i].e2e, b.requests[i].e2e);
+    EXPECT_EQ(a.requests[i].output_len, plain.requests[i].output_len) << i;
+  }
+}
+
+}  // namespace
+}  // namespace gllm

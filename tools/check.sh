@@ -38,6 +38,7 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs" -LE soak
 tools/smoke_multiproc.sh build
 tools/smoke_router.sh build
+tools/smoke_spec.sh build
 
 if [[ "$soak" == 1 ]]; then
   echo "== soak tests (build/) =="
@@ -70,6 +71,7 @@ cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" -LE soak
 tools/smoke_multiproc.sh build-asan
 tools/smoke_router.sh build-asan
+tools/smoke_spec.sh build-asan
 
 if [[ "$soak" == 1 ]]; then
   echo "== soak tests (build-asan/) =="

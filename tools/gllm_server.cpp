@@ -19,6 +19,7 @@
 #include "obs/obs.hpp"
 #include "sched/token_throttle.hpp"
 #include "server/http_server.hpp"
+#include "spec/spec.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
 
@@ -40,6 +41,8 @@ int main(int argc, char** argv) {
   args.add_option("minp", "#MinP", "8");
   args.add_option("demo", "serve N self-generated requests and exit (0 = serve forever)",
                   "0");
+  args.add_option("spec", "speculative decoding: off | ngram | draft", "off");
+  args.add_option("spec-k", "draft tokens proposed per decode step", "4");
   args.add_option("workers", "stage hosting: threads | fork | remote", "threads");
   args.add_option("worker-port",
                   "listen port for worker control connections (0 = ephemeral)", "9100");
@@ -87,6 +90,8 @@ int main(int argc, char** argv) {
     options.tp = args.get_int("tp");
     options.kv_capacity_tokens = args.get_int64("kv-capacity");
     options.kv_block_size = 8;
+    options.spec.mode = spec::parse_mode(args.get("spec"));
+    options.spec.k = args.get_int("spec-k");
 
     const std::string workers = args.get("workers");
     if (workers == "fork") {
@@ -153,7 +158,8 @@ int main(int argc, char** argv) {
     // the redirected stdout for this line to learn the server is up.
     std::cout << "gllm_server: listening on 127.0.0.1:" << server.port() << " (model "
               << options.model.name << ", pp=" << options.pp << ", tp=" << options.tp
-              << ", loop=" << loop << ")\n"
+              << ", loop=" << loop << ", spec=" << spec::mode_name(options.spec.mode)
+              << ")\n"
               << std::flush;
 
     const int demo = args.get_int("demo");
