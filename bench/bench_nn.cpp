@@ -1,21 +1,25 @@
-// bench_nn: tensor-parallel scaling of the CPU transformer behind
-// BENCH_nn.json.
+// bench_nn: microkernel (ISA x quant) x tensor-parallel throughput of the
+// CPU transformer behind BENCH_nn.json.
 //
-// For tp in {1, 2, 4}, build one sharded nn::TransformerStage holding a
-// bench-sized model (bigger than presets::tiny() so the per-shard GEMMs
-// dominate the fork-join overhead) and measure:
+// For every available dispatch path — scalar and (when the host executes
+// AVX2+FMA) avx2 — crossed with quant in {fp32, int8} and tp in {1, 2},
+// build one sharded nn::TransformerStage holding a bench-sized model (bigger
+// than presets::tiny() so the per-shard GEMMs dominate the fork-join
+// overhead) and measure:
 //
 //   prefill  — tokens/s forwarding a 128-token prompt in one pass
 //   decode   — tokens/s stepping a batch of 8 streams one token at a time
 //
-// Output is one JSON document on stdout:
+// Output is one JSON document on stdout (schema_version 2; keys are
+// "<isa>_<quant>_tp<N>"):
 //
 //   ./build/bench/bench_nn > /tmp/bench_nn.json
 //
-// The tp speedup ceiling is min(tp, cores): shards execute on the shared
-// util::ThreadPool, so a 1-core host reports tp parity (the fork-join layer
-// adds only its constant overhead), while an 8-core runner shows tp=4
-// decode >= 2x tp=1. GLLM_THREADS oversubscribes the pool if set.
+// The AVX2-over-scalar decode-GEMM speedup is the PR's acceptance gate
+// (>= 2x on an AVX2 host). The tp speedup ceiling stays min(tp, cores):
+// shards execute on the shared util::ThreadPool, so a 1-core host reports tp
+// parity while the kernel paths still separate cleanly (dispatch is per
+// element, not per thread). GLLM_THREADS oversubscribes the pool if set.
 
 #include <chrono>
 #include <iostream>
@@ -23,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "nn/kernels/kernels.hpp"
 #include "nn/reference.hpp"
 #include "nn/stage.hpp"
 #include "util/args.hpp"
@@ -59,11 +64,11 @@ struct Point {
   double decode_tps = 0;
 };
 
-Point run_tp(const model::ModelConfig& cfg, int tp, int prefill_tokens,
-             int decode_streams, int decode_steps, int repeats) {
+Point run_tp(const model::ModelConfig& cfg, nn::kernels::Config kcfg, int tp,
+             int prefill_tokens, int decode_streams, int decode_steps, int repeats) {
   const model::StageShape shape{0, cfg.n_layers, true, true};
   const std::int32_t blocks = 512;
-  nn::TransformerStage stage(cfg, shape, kSeed, blocks, kBlockSize, tp);
+  nn::TransformerStage stage(cfg, shape, kSeed, blocks, kBlockSize, tp, kcfg);
 
   // --- prefill: one full-prompt pass, repeated over fresh positions -------
   const auto prompt =
@@ -149,19 +154,33 @@ int main(int argc, char** argv) {
   const int decode_steps = args.get_int("decode-steps");
   const int repeats = args.get_int("repeats");
 
-  std::cout << "{\n  \"model\": \"" << cfg.name << "\",\n"
+  const bool avx2 = nn::kernels::isa_available(nn::kernels::Isa::kAvx2);
+  std::vector<nn::kernels::Isa> isas{nn::kernels::Isa::kScalar};
+  if (avx2) isas.push_back(nn::kernels::Isa::kAvx2);
+
+  std::cout << "{\n  \"schema_version\": 2,\n  \"model\": \"" << cfg.name << "\",\n"
             << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+            << ",\n  \"avx2_supported\": " << (avx2 ? "true" : "false")
             << ",\n  \"results\": {\n";
   bool first = true;
-  for (int tp : {1, 2, 4}) {
-    const Point p =
-        run_tp(cfg, tp, prefill_tokens, decode_streams, decode_steps, repeats);
-    if (!first) std::cout << ",\n";
-    first = false;
-    std::cout << "    \"tp" << tp << "\": {\"prefill_tokens_per_s\": " << p.prefill_tps
-              << ", \"decode_tokens_per_s\": " << p.decode_tps << "}";
-    std::cerr << "tp=" << tp << " prefill " << p.prefill_tps << " tok/s, decode "
-              << p.decode_tps << " tok/s\n";
+  for (nn::kernels::Isa isa : isas) {
+    for (model::QuantMode quant :
+         {model::QuantMode::kFp32, model::QuantMode::kInt8}) {
+      for (int tp : {1, 2}) {
+        const nn::kernels::Config kcfg{isa, quant};
+        const Point p = run_tp(cfg, kcfg, tp, prefill_tokens, decode_streams,
+                               decode_steps, repeats);
+        const std::string key = std::string(nn::kernels::isa_name(isa)) + "_" +
+                                model::to_string(quant) + "_tp" + std::to_string(tp);
+        if (!first) std::cout << ",\n";
+        first = false;
+        std::cout << "    \"" << key << "\": {\"prefill_tokens_per_s\": "
+                  << p.prefill_tps << ", \"decode_tokens_per_s\": " << p.decode_tps
+                  << "}";
+        std::cerr << key << " prefill " << p.prefill_tps << " tok/s, decode "
+                  << p.decode_tps << " tok/s\n";
+      }
+    }
   }
   std::cout << "\n  }\n}\n";
   return 0;

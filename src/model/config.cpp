@@ -4,6 +4,20 @@
 
 namespace gllm::model {
 
+const char* to_string(QuantMode q) {
+  switch (q) {
+    case QuantMode::kFp32: return "fp32";
+    case QuantMode::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+QuantMode parse_quant(const std::string& s) {
+  if (s == "fp32") return QuantMode::kFp32;
+  if (s == "int8") return QuantMode::kInt8;
+  throw std::invalid_argument("parse_quant: expected fp32 or int8, got '" + s + "'");
+}
+
 std::int64_t ModelConfig::attn_params_per_layer() const {
   const std::int64_t q_dim = static_cast<std::int64_t>(n_heads) * head_dim;
   const std::int64_t kv_dim = static_cast<std::int64_t>(n_kv_heads) * head_dim;

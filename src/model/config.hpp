@@ -5,6 +5,18 @@
 
 namespace gllm::model {
 
+/// Weight numeric mode of the linear projections (q/k/v/o, gate/up/down, LM
+/// head). kInt8 is symmetric per-output-channel weight-only quantization
+/// (scale = max|row| / 127, fp32 activations and accumulation); norms and the
+/// embedding table always stay in the base dtype. A quantized deployment is a
+/// *declared* numeric mode: token streams are deterministic and
+/// parallelism-invariant within the mode, but differ from fp32 streams.
+enum class QuantMode : std::uint8_t { kFp32 = 0, kInt8 = 1 };
+
+const char* to_string(QuantMode q);
+/// Parses "fp32" | "int8"; throws std::invalid_argument otherwise.
+QuantMode parse_quant(const std::string& s);
+
 /// Architecture description of a decoder-only transformer (the only family
 /// the paper serves). All parameter/byte accounting used by the cost model
 /// and KV manager derives from these fields.
@@ -19,6 +31,10 @@ struct ModelConfig {
   int vocab = 0;
   int dtype_bytes = 2;  ///< bf16 by default.
   bool tie_embeddings = false;
+  /// Numeric mode of the linear projection weights (weight-only int8 or the
+  /// base dtype). Affects weight-byte accounting (partition plans, the cost
+  /// model's bandwidth term) and the CPU runtime's packed weight caches.
+  QuantMode quant = QuantMode::kFp32;
 
   /// Mixture-of-experts (0 experts = dense). Each layer carries `n_experts`
   /// independent SwiGLU MLPs plus a router; each token activates
@@ -45,8 +61,26 @@ struct ModelConfig {
   std::int64_t lm_head_params() const;    ///< output projection (0 if tied)
   std::int64_t total_params() const;
 
+  /// Bytes per *linear-projection* parameter under the active quant mode.
+  /// int8 stores 1 byte per weight; the fp32 per-output-channel scales are
+  /// K-fold smaller than the weights and are ignored by this accounting.
+  double linear_weight_bytes_per_param() const {
+    return quant == QuantMode::kInt8 ? 1.0 : static_cast<double>(dtype_bytes);
+  }
+  /// Linear-projection parameters of one layer (everything quantization
+  /// applies to: q/k/v/o + gate/up/down; norms excluded).
+  std::int64_t linear_params_per_layer() const {
+    return attn_params_per_layer() + mlp_params_per_layer();
+  }
+
   double total_weight_bytes() const {
-    return static_cast<double>(total_params()) * dtype_bytes;
+    const double linear =
+        static_cast<double>(linear_params_per_layer()) * n_layers +
+        static_cast<double>(lm_head_params());
+    const double other = static_cast<double>(total_params()) -
+                         static_cast<double>(linear_params_per_layer()) * n_layers -
+                         static_cast<double>(lm_head_params());
+    return linear * linear_weight_bytes_per_param() + other * dtype_bytes;
   }
 
   /// KV cache bytes for one token in one layer (K and V).

@@ -79,11 +79,14 @@ StageTimeBreakdown CostModel::stage_breakdown(const StageShape& shape,
         std::min(e / k, 1.0 + 1.5 * std::sqrt(e * std::log(e) / assignments));
     gemm_flops *= imbalance;
   }
-  double weight_bytes = resident_linear * cfg_.dtype_bytes;
+  // Weight traffic follows the stored numeric mode: int8-quantized linear
+  // weights stream one byte per parameter, cutting the bandwidth term the
+  // same way the runtime's packed caches shrink.
+  double weight_bytes = resident_linear * cfg_.linear_weight_bytes_per_param();
   if (shape.has_lm_head && sampled > 0) {
     const double head = static_cast<double>(cfg_.embedding_params());
     gemm_flops += 2.0 * head * static_cast<double>(sampled);
-    weight_bytes += head * cfg_.dtype_bytes;
+    weight_bytes += head * cfg_.linear_weight_bytes_per_param();
   }
 
   const double eff = gpu_.flops_efficiency(static_cast<double>(total_tokens));

@@ -35,7 +35,14 @@ std::int64_t PartitionPlan::stage_params(int s) const {
 }
 
 double PartitionPlan::stage_weight_bytes(int s) const {
-  return static_cast<double>(stage_params(s)) * cfg_.dtype_bytes;
+  const StageShape& shape = stage(s);
+  // Linear projections (and the LM head, which the runtime packs the same
+  // way) take quant-dependent bytes; norms and the embedding stay at the
+  // base dtype.
+  double linear = static_cast<double>(cfg_.linear_params_per_layer()) * shape.n_layers;
+  if (shape.has_lm_head) linear += static_cast<double>(cfg_.lm_head_params());
+  const double other = static_cast<double>(stage_params(s)) - linear;
+  return linear * cfg_.linear_weight_bytes_per_param() + other * cfg_.dtype_bytes;
 }
 
 double PartitionPlan::max_stage_weight_bytes() const {

@@ -316,14 +316,20 @@ void encode_model(WireWriter& w, const model::ModelConfig& m) {
   w.boolean(m.tie_embeddings);
   w.i32(m.n_experts);
   w.i32(m.experts_per_token);
+  w.u8(static_cast<std::uint8_t>(m.quant));  // v5
 }
 
 bool decode_model(WireReader& r, model::ModelConfig& m) {
-  return r.str(m.name, 256) && r.i32(m.n_layers) && r.i32(m.hidden) &&
-         r.i32(m.n_heads) && r.i32(m.n_kv_heads) && r.i32(m.head_dim) &&
-         r.i32(m.intermediate) && r.i32(m.vocab) && r.i32(m.dtype_bytes) &&
-         r.boolean(m.tie_embeddings) && r.i32(m.n_experts) &&
-         r.i32(m.experts_per_token);
+  std::uint8_t quant = 0;
+  if (!(r.str(m.name, 256) && r.i32(m.n_layers) && r.i32(m.hidden) &&
+        r.i32(m.n_heads) && r.i32(m.n_kv_heads) && r.i32(m.head_dim) &&
+        r.i32(m.intermediate) && r.i32(m.vocab) && r.i32(m.dtype_bytes) &&
+        r.boolean(m.tie_embeddings) && r.i32(m.n_experts) &&
+        r.i32(m.experts_per_token) && r.u8(quant)))
+    return false;
+  if (quant > static_cast<std::uint8_t>(model::QuantMode::kInt8)) return false;
+  m.quant = static_cast<model::QuantMode>(quant);
+  return true;
 }
 
 }  // namespace

@@ -15,7 +15,8 @@ namespace gllm::net {
 /// v2: StreamEvent carries a terminal error code.
 /// v3: HelloAck carries the tensor-parallel width.
 /// v4: ItemMeta carries the speculative draft-token count.
-inline constexpr std::uint16_t kWireVersion = 4;
+/// v5: ModelConfig carries the weight quantization mode.
+inline constexpr std::uint16_t kWireVersion = 5;
 
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the per-frame checksum.
 std::uint32_t crc32(std::span<const std::uint8_t> data);

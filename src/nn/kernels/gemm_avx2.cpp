@@ -1,0 +1,160 @@
+// AVX2/FMA microkernels — the only TU compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt). Everything here is reached exclusively through the
+// runtime dispatcher in kernels.cpp after a cpuid probe, so the rest of the
+// binary stays executable on any x86-64.
+//
+// Determinism-per-path rule: every output element folds its K products the
+// same way regardless of blocking, threading or sharding — 8 lane
+// accumulators over floor(K/8)*8 (lane j holds the partial sum of indices
+// congruent to j mod 8), a fixed pairwise horizontal fold
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)), then the sequential scalar tail.
+// The 4-row unrolling below only shares x loads across independent
+// accumulators; it never changes any element's fold.
+
+#if !defined(GLLM_KERNELS_NO_AVX2)
+
+#include <immintrin.h>
+
+#include "nn/kernels/kernels_internal.hpp"
+
+namespace gllm::nn::kernels::avx2 {
+
+namespace {
+
+/// The fixed pairwise fold of one 8-lane accumulator.
+inline float hsum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);            // lanes i + i+4
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));   // (0+2, 1+3, ..)
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));  // (0+2) + (1+3)
+  return _mm_cvtss_f32(s);
+}
+
+/// Widen 8 int8 weights to fp32 lanes.
+inline __m256 load8_i8(const std::int8_t* p) {
+  const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+}
+
+}  // namespace
+
+float dot_f32(const float* a, const float* b, std::int64_t n) {
+  const std::int64_t n8 = n & ~std::int64_t{7};
+  __m256 acc = _mm256_setzero_ps();
+  for (std::int64_t i = 0; i < n8; i += 8)
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  float s = hsum(acc);
+  for (std::int64_t i = n8; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy_f32(float a, const float* x, float* y, std::int64_t n) {
+  const std::int64_t n8 = n & ~std::int64_t{7};
+  const __m256 av = _mm256_set1_ps(a);
+  for (std::int64_t i = 0; i < n8; i += 8) {
+    const __m256 yv =
+        _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, yv);
+  }
+  for (std::int64_t i = n8; i < n; ++i) y[i] += a * x[i];
+}
+
+void gemm_f32(const float* x, std::int64_t ldx, std::int64_t m, const PackedWeights& w,
+              float* y, std::int64_t ldy, std::int64_t n0, std::int64_t n1) {
+  const std::int64_t k = w.k();
+  const std::int64_t k8 = k & ~std::int64_t{7};
+  for (std::int64_t mi = 0; mi < m; ++mi) {
+    const float* xrow = x + mi * ldx;
+    float* yrow = y + mi * ldy;
+    std::int64_t ni = n0;
+    for (; ni + 4 <= n1; ni += 4) {
+      const float* w0 = w.f32_row(ni);
+      const float* w1 = w.f32_row(ni + 1);
+      const float* w2 = w.f32_row(ni + 2);
+      const float* w3 = w.f32_row(ni + 3);
+      __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+      __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+      for (std::int64_t kk = 0; kk < k8; kk += 8) {
+        const __m256 xv = _mm256_loadu_ps(xrow + kk);
+        a0 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w0 + kk), a0);
+        a1 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w1 + kk), a1);
+        a2 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w2 + kk), a2);
+        a3 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w3 + kk), a3);
+      }
+      float s0 = hsum(a0), s1 = hsum(a1), s2 = hsum(a2), s3 = hsum(a3);
+      for (std::int64_t kk = k8; kk < k; ++kk) {
+        const float xv = xrow[kk];
+        s0 += xv * w0[kk];
+        s1 += xv * w1[kk];
+        s2 += xv * w2[kk];
+        s3 += xv * w3[kk];
+      }
+      yrow[ni] = s0;
+      yrow[ni + 1] = s1;
+      yrow[ni + 2] = s2;
+      yrow[ni + 3] = s3;
+    }
+    for (; ni < n1; ++ni) {
+      const float* wr = w.f32_row(ni);
+      __m256 acc = _mm256_setzero_ps();
+      for (std::int64_t kk = 0; kk < k8; kk += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(xrow + kk), _mm256_loadu_ps(wr + kk), acc);
+      float s = hsum(acc);
+      for (std::int64_t kk = k8; kk < k; ++kk) s += xrow[kk] * wr[kk];
+      yrow[ni] = s;
+    }
+  }
+}
+
+void gemm_i8(const float* x, std::int64_t ldx, std::int64_t m, const PackedWeights& w,
+             float* y, std::int64_t ldy, std::int64_t n0, std::int64_t n1) {
+  const std::int64_t k = w.k();
+  const std::int64_t k8 = k & ~std::int64_t{7};
+  for (std::int64_t mi = 0; mi < m; ++mi) {
+    const float* xrow = x + mi * ldx;
+    float* yrow = y + mi * ldy;
+    std::int64_t ni = n0;
+    for (; ni + 4 <= n1; ni += 4) {
+      const std::int8_t* w0 = w.i8_row(ni);
+      const std::int8_t* w1 = w.i8_row(ni + 1);
+      const std::int8_t* w2 = w.i8_row(ni + 2);
+      const std::int8_t* w3 = w.i8_row(ni + 3);
+      __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+      __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+      for (std::int64_t kk = 0; kk < k8; kk += 8) {
+        const __m256 xv = _mm256_loadu_ps(xrow + kk);
+        a0 = _mm256_fmadd_ps(xv, load8_i8(w0 + kk), a0);
+        a1 = _mm256_fmadd_ps(xv, load8_i8(w1 + kk), a1);
+        a2 = _mm256_fmadd_ps(xv, load8_i8(w2 + kk), a2);
+        a3 = _mm256_fmadd_ps(xv, load8_i8(w3 + kk), a3);
+      }
+      float s0 = hsum(a0), s1 = hsum(a1), s2 = hsum(a2), s3 = hsum(a3);
+      for (std::int64_t kk = k8; kk < k; ++kk) {
+        const float xv = xrow[kk];
+        s0 += xv * static_cast<float>(w0[kk]);
+        s1 += xv * static_cast<float>(w1[kk]);
+        s2 += xv * static_cast<float>(w2[kk]);
+        s3 += xv * static_cast<float>(w3[kk]);
+      }
+      yrow[ni] = s0 * w.scale(ni);
+      yrow[ni + 1] = s1 * w.scale(ni + 1);
+      yrow[ni + 2] = s2 * w.scale(ni + 2);
+      yrow[ni + 3] = s3 * w.scale(ni + 3);
+    }
+    for (; ni < n1; ++ni) {
+      const std::int8_t* wr = w.i8_row(ni);
+      __m256 acc = _mm256_setzero_ps();
+      for (std::int64_t kk = 0; kk < k8; kk += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(xrow + kk), load8_i8(wr + kk), acc);
+      float s = hsum(acc);
+      for (std::int64_t kk = k8; kk < k; ++kk)
+        s += xrow[kk] * static_cast<float>(wr[kk]);
+      yrow[ni] = s * w.scale(ni);
+    }
+  }
+}
+
+}  // namespace gllm::nn::kernels::avx2
+
+#endif  // !GLLM_KERNELS_NO_AVX2

@@ -1,0 +1,207 @@
+#include "nn/kernels/kernels.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "nn/kernels/kernels_internal.hpp"
+#include "tensor/ops.hpp"
+#include "util/threadpool.hpp"
+
+namespace gllm::nn::kernels {
+
+namespace {
+
+/// Scalar GEMM over output features [n0, n1): the strict sequential K-fold,
+/// bit-identical to the historical per-element `dot` in nn/stage.cpp.
+void gemm_scalar(const float* x, std::int64_t ldx, std::int64_t m,
+                 const PackedWeights& w, float* y, std::int64_t ldy, std::int64_t n0,
+                 std::int64_t n1) {
+  const std::int64_t k = w.k();
+  const bool int8 = w.quant() == model::QuantMode::kInt8;
+  for (std::int64_t mi = 0; mi < m; ++mi) {
+    const float* xrow = x + mi * ldx;
+    float* yrow = y + mi * ldy;
+    if (int8) {
+      for (std::int64_t ni = n0; ni < n1; ++ni) {
+        const std::int8_t* wr = w.i8_row(ni);
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk)
+          acc += xrow[kk] * static_cast<float>(wr[kk]);
+        yrow[ni] = acc * w.scale(ni);
+      }
+    } else {
+      for (std::int64_t ni = n0; ni < n1; ++ni) {
+        const float* wr = w.f32_row(ni);
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) acc += xrow[kk] * wr[kk];
+        yrow[ni] = acc;
+      }
+    }
+  }
+}
+
+void gemm_tile(Isa isa, const float* x, std::int64_t ldx, std::int64_t m,
+               const PackedWeights& w, float* y, std::int64_t ldy, std::int64_t n0,
+               std::int64_t n1) {
+  if (isa == Isa::kAvx2) {
+#if !defined(GLLM_KERNELS_NO_AVX2)
+    if (w.quant() == model::QuantMode::kInt8)
+      avx2::gemm_i8(x, ldx, m, w, y, ldy, n0, n1);
+    else
+      avx2::gemm_f32(x, ldx, m, w, y, ldy, n0, n1);
+    return;
+#else
+    throw std::runtime_error("kernels::Gemm: AVX2 path not compiled into this binary");
+#endif
+  }
+  gemm_scalar(x, ldx, m, w, y, ldy, n0, n1);
+}
+
+bool cpu_has_avx2_fma() {
+#if defined(GLLM_KERNELS_NO_AVX2)
+  return false;
+#elif defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+const char* quant_name(model::QuantMode q) { return model::to_string(q); }
+
+bool isa_available(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kAvx2: return cpu_has_avx2_fma();
+  }
+  return false;
+}
+
+Isa best_isa() { return cpu_has_avx2_fma() ? Isa::kAvx2 : Isa::kScalar; }
+
+Isa resolve_isa() {
+  const char* env = std::getenv("GLLM_ISA");
+  if (env == nullptr || *env == '\0') return best_isa();
+  const std::string v(env);
+  if (v == "auto") return best_isa();
+  if (v == "scalar") return Isa::kScalar;
+  if (v == "avx2") {
+    if (!isa_available(Isa::kAvx2))
+      throw std::runtime_error("GLLM_ISA=avx2 but this host cannot execute AVX2+FMA");
+    return Isa::kAvx2;
+  }
+  throw std::invalid_argument("GLLM_ISA must be scalar, avx2 or auto; got '" + v + "'");
+}
+
+PackedWeights PackedWeights::pack(const tensor::Tensor& w, model::QuantMode quant) {
+  return pack(w, 0, w.rank() == 2 ? w.dim(1) : 0, quant);
+}
+
+PackedWeights PackedWeights::pack(const tensor::Tensor& w, std::int64_t k0,
+                                  std::int64_t k, model::QuantMode quant) {
+  if (w.rank() != 2) throw std::invalid_argument("PackedWeights: weight must be 2-D");
+  if (k0 < 0 || k <= 0 || k0 + k > w.dim(1))
+    throw std::invalid_argument("PackedWeights: column slice out of range");
+
+  PackedWeights p;
+  p.n_ = w.dim(0);
+  p.k_ = k;
+  p.stride_ = (k + 7) / 8 * 8;  // pad rows to 8 elements for aligned-ish tiles
+  p.quant_ = quant;
+  if (quant == model::QuantMode::kInt8) {
+    p.i8_.assign(static_cast<std::size_t>(p.n_ * p.stride_), 0);
+    p.scales_.resize(static_cast<std::size_t>(p.n_));
+    for (std::int64_t i = 0; i < p.n_; ++i) {
+      const float* src = w.row(i).data() + k0;
+      float maxabs = 0.0f;
+      for (std::int64_t j = 0; j < k; ++j) maxabs = std::max(maxabs, std::fabs(src[j]));
+      const float scale = maxabs > 0.0f ? maxabs / 127.0f : 0.0f;
+      p.scales_[static_cast<std::size_t>(i)] = scale;
+      std::int8_t* dst = p.i8_.data() + i * p.stride_;
+      if (scale > 0.0f) {
+        const float inv = 1.0f / scale;
+        for (std::int64_t j = 0; j < k; ++j) {
+          // lrintf = round to nearest even (default FP env) — deterministic.
+          long q = std::lrintf(src[j] * inv);
+          if (q > 127) q = 127;
+          if (q < -127) q = -127;
+          dst[j] = static_cast<std::int8_t>(q);
+        }
+      }
+    }
+  } else {
+    p.f32_.assign(static_cast<std::size_t>(p.n_ * p.stride_), 0.0f);
+    for (std::int64_t i = 0; i < p.n_; ++i) {
+      const float* src = w.row(i).data() + k0;
+      float* dst = p.f32_.data() + i * p.stride_;
+      for (std::int64_t j = 0; j < k; ++j) dst[j] = src[j];
+    }
+  }
+  return p;
+}
+
+std::int64_t PackedWeights::packed_bytes() const {
+  return static_cast<std::int64_t>(f32_.size() * sizeof(float)) +
+         static_cast<std::int64_t>(i8_.size()) +
+         static_cast<std::int64_t>(scales_.size() * sizeof(float));
+}
+
+void Gemm::run(Isa isa, const float* x, std::int64_t ldx, std::int64_t m,
+               const PackedWeights& w, float* y, std::int64_t ldy, bool parallel) {
+  if (w.empty() || m <= 0) return;
+  const std::int64_t n = w.n();
+  if (!parallel) {
+    gemm_tile(isa, x, ldx, m, w, y, ldy, 0, n);
+    return;
+  }
+  // Intra-op threading: tile the *output features* across the shared pool.
+  // Each element's K-fold is fixed per path, so any split is bit-identical
+  // to the inline run. Grain keeps tiles big enough to amortize dispatch.
+  util::ThreadPool::shared().parallel_for(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end) {
+        gemm_tile(isa, x, ldx, m, w, y, ldy, static_cast<std::int64_t>(begin),
+                  static_cast<std::int64_t>(end));
+      },
+      /*grain=*/16);
+}
+
+float DotSoftmax::dot(Isa isa, const float* a, const float* b, std::int64_t n) {
+#if !defined(GLLM_KERNELS_NO_AVX2)
+  if (isa == Isa::kAvx2) return avx2::dot_f32(a, b, n);
+#else
+  if (isa == Isa::kAvx2)
+    throw std::runtime_error("kernels::DotSoftmax: AVX2 path not compiled in");
+#endif
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void DotSoftmax::axpy(Isa isa, float a, const float* x, float* y, std::int64_t n) {
+#if !defined(GLLM_KERNELS_NO_AVX2)
+  if (isa == Isa::kAvx2) {
+    avx2::axpy_f32(a, x, y, n);
+    return;
+  }
+#else
+  if (isa == Isa::kAvx2)
+    throw std::runtime_error("kernels::DotSoftmax: AVX2 path not compiled in");
+#endif
+  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void DotSoftmax::softmax(std::span<float> row) { tensor::softmax_inplace(row); }
+
+}  // namespace gllm::nn::kernels

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gllm::nn::kernels {
+
+/// Compute microkernel dispatch paths for the CPU transformer.
+///
+/// Determinism contract (the rule that keeps every token-identity proof bar
+/// intact): within one path, the reduction order over K for an output element
+/// is a pure function of K — identical for every element, every (M, N)
+/// blocking, every thread split and every tensor-parallel sharding. The
+/// scalar path is the plain sequential fold (bit-identical to the historical
+/// `nn` implementation); the AVX2 path is 8 lane accumulators over
+/// floor(K/8)*8 folded pairwise in fixed order, then a sequential tail.
+/// Cross-path outputs agree only to rounding (tested ulp bounds in
+/// tests/test_nn_kernels.cpp), so an ISA is a *numeric mode*: streams are
+/// bit-deterministic per path, not across paths.
+enum class Isa { kScalar, kAvx2 };
+
+const char* isa_name(Isa isa);
+const char* quant_name(model::QuantMode q);
+
+/// True when this binary can execute `isa` on this host: the AVX2 translation
+/// unit was compiled in (x86 toolchain) and cpuid reports AVX2 + FMA.
+/// kScalar is always available.
+bool isa_available(Isa isa);
+
+/// Best ISA the host supports (cpuid probe).
+Isa best_isa();
+
+/// Dispatch resolution: the GLLM_ISA environment variable (`scalar`, `avx2`,
+/// or `auto`/unset) overrides the cpuid pick. Read at every call — stages
+/// resolve at construction, so tests can force a path per pipeline. Throws
+/// std::runtime_error when the override names an ISA this host cannot run,
+/// or std::invalid_argument for an unrecognized value.
+Isa resolve_isa();
+
+/// Resolved dispatch configuration of one stage: which microkernel path and
+/// which weight numeric mode its packed caches use.
+struct Config {
+  Isa isa = Isa::kScalar;
+  model::QuantMode quant = model::QuantMode::kFp32;
+
+  static Config resolve(model::QuantMode quant) { return Config{resolve_isa(), quant}; }
+};
+
+/// Packed (and optionally int8-quantized) weight cache for the GEMM
+/// y[m, n] = sum_k x[m, k] * w[n, k]. Packing copies rows of a [N, K_full]
+/// row-major tensor — optionally a column slice [k0, k0 + k), i.e. one
+/// reduction chunk — into padded storage owned by the stage, so the hot loop
+/// never touches the original tensor.
+///
+/// int8 mode: symmetric per-output-channel quantization at the granularity of
+/// the packed slice — scale_n = max|w[n, k0..k0+k)| / 127, values rounded to
+/// nearest and clamped to [-127, 127], fp32 accumulation at dispatch time.
+/// Because stages pack per reduction chunk (the same canonical chunk grid for
+/// every tp), every tensor-parallel width quantizes identical (row, chunk)
+/// slices and produces bit-identical packed weights.
+class PackedWeights {
+ public:
+  PackedWeights() = default;
+
+  /// Pack all of `w` ([N, K] row-major).
+  static PackedWeights pack(const tensor::Tensor& w, model::QuantMode quant);
+  /// Pack the column slice [k0, k0 + k) of every row of `w`.
+  static PackedWeights pack(const tensor::Tensor& w, std::int64_t k0, std::int64_t k,
+                            model::QuantMode quant);
+
+  std::int64_t n() const { return n_; }
+  std::int64_t k() const { return k_; }
+  model::QuantMode quant() const { return quant_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Resident bytes of the packed representation (values + scales), for
+  /// stats-style reporting.
+  std::int64_t packed_bytes() const;
+
+  // Row accessors for the microkernels (padded stride, zero-filled tail).
+  const float* f32_row(std::int64_t i) const { return f32_.data() + i * stride_; }
+  const std::int8_t* i8_row(std::int64_t i) const { return i8_.data() + i * stride_; }
+  float scale(std::int64_t i) const { return scales_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::int64_t n_ = 0;
+  std::int64_t k_ = 0;
+  std::int64_t stride_ = 0;  ///< row stride in elements, K rounded up to 8
+  model::QuantMode quant_ = model::QuantMode::kFp32;
+  std::vector<float> f32_;        // fp32 mode values
+  std::vector<std::int8_t> i8_;   // int8 mode values
+  std::vector<float> scales_;     // int8 per-output-channel scales
+};
+
+/// Blocked GEMM over a packed weight cache: y[m, n] = sum_k x[m, k] * w[n, k]
+/// (int8: * scale_n). `x` rows live at stride `ldx`, `y` rows at stride
+/// `ldy` — both may point into larger scratch tensors, which is how stages
+/// write shard-private column ranges.
+///
+/// `parallel` spreads output-feature tiles across the shared thread pool's
+/// idle workers (intra-op threading). Stages pass tp == 1 here: with tp > 1
+/// the AllReduce fork-join already owns the pool lanes and nesting would
+/// deadlock-or-oversubscribe, so sharded stages run their tiles inline.
+/// Threading never changes results: the split is over output elements only,
+/// and each element's K-fold is fixed per path.
+struct Gemm {
+  static void run(Isa isa, const float* x, std::int64_t ldx, std::int64_t m,
+                  const PackedWeights& w, float* y, std::int64_t ldy,
+                  bool parallel = false);
+};
+
+/// Attention inner kernels: the score dot product, the numerically-stable
+/// softmax and the probability-weighted V accumulation (axpy). softmax is
+/// shared scalar code on every path — its cost is linear and tiny next to the
+/// dots — so softmax outputs are bit-identical across ISAs.
+struct DotSoftmax {
+  static float dot(Isa isa, const float* a, const float* b, std::int64_t n);
+  static void axpy(Isa isa, float a, const float* x, float* y, std::int64_t n);
+  static void softmax(std::span<float> row);
+};
+
+}  // namespace gllm::nn::kernels

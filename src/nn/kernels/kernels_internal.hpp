@@ -1,0 +1,24 @@
+#pragma once
+
+// Internal seam between the generic dispatch TU (kernels.cpp) and the AVX2
+// microkernel TU (gemm_avx2.cpp, compiled with -mavx2 -mfma). Only the
+// kernels implementation includes this.
+
+#include <cstdint>
+
+#include "nn/kernels/kernels.hpp"
+
+namespace gllm::nn::kernels::avx2 {
+
+// Defined in gemm_avx2.cpp when the toolchain can build AVX2 code; the
+// dispatcher never calls them unless isa_available(Isa::kAvx2), which also
+// requires the cpuid probe to pass at runtime.
+float dot_f32(const float* a, const float* b, std::int64_t n);
+void axpy_f32(float a, const float* x, float* y, std::int64_t n);
+/// Output features [n0, n1) of the packed GEMM for all m rows of x.
+void gemm_f32(const float* x, std::int64_t ldx, std::int64_t m, const PackedWeights& w,
+              float* y, std::int64_t ldy, std::int64_t n0, std::int64_t n1);
+void gemm_i8(const float* x, std::int64_t ldx, std::int64_t m, const PackedWeights& w,
+             float* y, std::int64_t ldy, std::int64_t n0, std::int64_t n1);
+
+}  // namespace gllm::nn::kernels::avx2

@@ -39,25 +39,6 @@ tensor::Tensor slice_rows(const tensor::Tensor& src, std::int64_t row0, std::int
   return out;
 }
 
-/// Columns [col0, col0 + n) of every row of `src` as a fresh tensor.
-tensor::Tensor slice_cols(const tensor::Tensor& src, std::int64_t col0, std::int64_t n) {
-  tensor::Tensor out({src.dim(0), n});
-  for (std::int64_t r = 0; r < src.dim(0); ++r) {
-    const auto s = src.row(r);
-    auto d = out.row(r);
-    std::copy(s.begin() + col0, s.begin() + col0 + n, d.begin());
-  }
-  return out;
-}
-
-/// Sequential dot product — the one reduction order every projection uses,
-/// regardless of which shard computes it.
-inline float dot(const float* a, const float* b, std::int64_t n) {
-  float acc = 0.0f;
-  for (std::int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
-}
-
 constexpr float kNormEps = 1e-5f;
 constexpr int kEmbedSlot = 100;
 constexpr int kHeadSlot = 101;
@@ -66,10 +47,15 @@ constexpr int kHeadSlot = 101;
 
 TransformerStage::TransformerStage(model::ModelConfig cfg, model::StageShape shape,
                                    std::uint64_t seed, std::int32_t kv_blocks,
-                                   int kv_block_size, int tp)
+                                   int kv_block_size, int tp,
+                                   std::optional<kernels::Config> kcfg)
     : cfg_(std::move(cfg)), shape_(shape), tp_(tp), allreduce_(tp) {
   cfg_.validate();
   model::validate_tp(cfg_, tp);
+  kcfg_ = kcfg ? *kcfg : kernels::Config::resolve(cfg_.quant);
+  cfg_.quant = kcfg_.quant;  // explicit kernel config wins; keep accounting honest
+  if (!kernels::isa_available(kcfg_.isa))
+    throw std::runtime_error("TransformerStage: requested ISA not available on this host");
   heads_per_shard_ = cfg_.n_heads / tp_;
   kv_heads_per_shard_ = cfg_.n_kv_heads / tp_;
   group_ = cfg_.n_heads / cfg_.n_kv_heads;
@@ -92,10 +78,15 @@ TransformerStage::TransformerStage(model::ModelConfig cfg, model::StageShape sha
     if (c < chunks) at += base + (c < extra ? 1 : 0);
   }
 
+  const model::QuantMode quant = kcfg_.quant;
+  const std::int64_t chunk_q = static_cast<std::int64_t>(group_) * cfg_.head_dim;
+
   layers_.reserve(static_cast<std::size_t>(shape.n_layers));
   for (int l = shape.first_layer; l < shape.last_layer_exclusive(); ++l) {
-    // Build the full deterministic tensors, then cut each shard's slice —
-    // shard rows/columns are bitwise-equal to the unsharded weights.
+    // Build the full deterministic tensors, then pack each shard's slice —
+    // shard rows are bitwise-equal to the unsharded weights, and the
+    // column-sharded projections pack per canonical chunk so int8 scales are
+    // computed over identical (row, chunk) slices for every tp.
     const tensor::Tensor wq = init_tensor(seed, l, 0, {q_dim, h}, h);
     const tensor::Tensor wk = init_tensor(seed, l, 1, {kv_dim, h}, h);
     const tensor::Tensor wv = init_tensor(seed, l, 2, {kv_dim, h}, h);
@@ -116,13 +107,25 @@ TransformerStage::TransformerStage(model::ModelConfig cfg, model::StageShape sha
       const std::int64_t i1 =
           inter_chunk_begin_[static_cast<std::size_t>((r + 1) * kv_heads_per_shard_)];
       ShardWeights sw;
-      sw.wq = slice_rows(wq, q0, q_shard_dim());
-      sw.wk = slice_rows(wk, kv0, kv_shard_dim());
-      sw.wv = slice_rows(wv, kv0, kv_shard_dim());
-      sw.wo = slice_cols(wo, q0, q_shard_dim());
-      sw.w_gate = slice_rows(w_gate, i0, i1 - i0);
-      sw.w_up = slice_rows(w_up, i0, i1 - i0);
-      sw.w_down = slice_cols(w_down, i0, i1 - i0);
+      sw.wq = kernels::PackedWeights::pack(slice_rows(wq, q0, q_shard_dim()), quant);
+      sw.wk = kernels::PackedWeights::pack(slice_rows(wk, kv0, kv_shard_dim()), quant);
+      sw.wv = kernels::PackedWeights::pack(slice_rows(wv, kv0, kv_shard_dim()), quant);
+      sw.w_gate = kernels::PackedWeights::pack(slice_rows(w_gate, i0, i1 - i0), quant);
+      sw.w_up = kernels::PackedWeights::pack(slice_rows(w_up, i0, i1 - i0), quant);
+      sw.wo.reserve(static_cast<std::size_t>(kv_heads_per_shard_));
+      sw.w_down.reserve(static_cast<std::size_t>(kv_heads_per_shard_));
+      for (int c = r * kv_heads_per_shard_; c < (r + 1) * kv_heads_per_shard_; ++c) {
+        const std::int64_t c0 = inter_chunk_begin_[static_cast<std::size_t>(c)];
+        const std::int64_t cw = inter_chunk_begin_[static_cast<std::size_t>(c) + 1] - c0;
+        sw.wo.push_back(kernels::PackedWeights::pack(
+            wo, static_cast<std::int64_t>(c) * chunk_q, chunk_q, quant));
+        sw.w_down.push_back(kernels::PackedWeights::pack(w_down, c0, cw, quant));
+      }
+      packed_bytes_ += sw.wq.packed_bytes() + sw.wk.packed_bytes() +
+                       sw.wv.packed_bytes() + sw.w_gate.packed_bytes() +
+                       sw.w_up.packed_bytes();
+      for (const auto& p : sw.wo) packed_bytes_ += p.packed_bytes();
+      for (const auto& p : sw.w_down) packed_bytes_ += p.packed_bytes();
       w.shards.push_back(std::move(sw));
     }
     layers_.push_back(std::move(w));
@@ -132,7 +135,9 @@ TransformerStage::TransformerStage(model::ModelConfig cfg, model::StageShape sha
   }
   if (shape.has_lm_head) {
     final_norm_ = ones({h});
-    lm_head_ = init_tensor(seed, -1, kHeadSlot, {cfg_.vocab, h}, h);
+    lm_head_ = kernels::PackedWeights::pack(
+        init_tensor(seed, -1, kHeadSlot, {cfg_.vocab, h}, h), quant);
+    packed_bytes_ += lm_head_.packed_bytes();
   }
 
   pools_.reserve(static_cast<std::size_t>(tp_));
@@ -180,6 +185,10 @@ void TransformerStage::attention(int layer, tensor::Tensor& hidden,
   const int bs = pools_.front().block_size();
   const int chunks = cfg_.n_kv_heads;
   const std::int64_t chunk_q = static_cast<std::int64_t>(group_) * hd;
+  // Intra-op GEMM threading only when this stage is unsharded: with tp > 1
+  // the AllReduce fork-join already owns the pool lanes (see kernels.hpp).
+  const bool par = tp_ == 1;
+  if (rows == 0) return;
 
   xn_ = tensor::Tensor({rows, h});
   for (std::int64_t r = 0; r < rows; ++r)
@@ -202,18 +211,12 @@ void TransformerStage::attention(int layer, tensor::Tensor& hidden,
     const std::int64_t q0 = static_cast<std::int64_t>(shard) * q_shard_dim();
     const std::int64_t kv0 = static_cast<std::int64_t>(shard) * kv_shard_dim();
 
-    for (std::int64_t m = 0; m < rows; ++m) {
-      const float* x = xn_.row(m).data();
-      float* qrow = q_.row(m).data();
-      float* krow = k_.row(m).data();
-      float* vrow = v_.row(m).data();
-      for (std::int64_t j = 0; j < q_shard_dim(); ++j)
-        qrow[q0 + j] = dot(x, sw.wq.row(j).data(), h);
-      for (std::int64_t j = 0; j < kv_shard_dim(); ++j) {
-        krow[kv0 + j] = dot(x, sw.wk.row(j).data(), h);
-        vrow[kv0 + j] = dot(x, sw.wv.row(j).data(), h);
-      }
-    }
+    // Q/K/V projections: blocked GEMMs writing this shard's column ranges of
+    // the shared scratch tensors (ldx/ldy stride over the full row width).
+    const float* x0 = xn_.row(0).data();
+    kernels::Gemm::run(kcfg_.isa, x0, h, rows, sw.wq, q_.row(0).data() + q0, q_dim, par);
+    kernels::Gemm::run(kcfg_.isa, x0, h, rows, sw.wk, k_.row(0).data() + kv0, kv_dim, par);
+    kernels::Gemm::run(kcfg_.isa, x0, h, rows, sw.wv, v_.row(0).data() + kv0, kv_dim, par);
 
     std::int64_t row0 = 0;
     for (const ItemView& item : items) {
@@ -251,17 +254,18 @@ void TransformerStage::attention(int layer, tensor::Tensor& hidden,
             const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(p / bs));
             const auto kslot = pool.k_slot(layer, block, static_cast<int>(p % bs));
             const float* kh = kslot.data() + static_cast<std::size_t>(kv_local) * hd;
-            scores[static_cast<std::size_t>(p)] = dot(qh, kh, hd) * inv_sqrt_d;
+            scores[static_cast<std::size_t>(p)] =
+                kernels::DotSoftmax::dot(kcfg_.isa, qh, kh, hd) * inv_sqrt_d;
           }
-          tensor::softmax_inplace(scores);
+          kernels::DotSoftmax::softmax(scores);
           float* oh = orow + static_cast<std::size_t>(head) * hd;
           std::fill(oh, oh + hd, 0.0f);
           for (std::int64_t p = 0; p <= pos; ++p) {
             const kv::BlockId block = item.blocks.at(static_cast<std::size_t>(p / bs));
             const auto vslot = pool.v_slot(layer, block, static_cast<int>(p % bs));
             const float* vh = vslot.data() + static_cast<std::size_t>(kv_local) * hd;
-            const float prob = scores[static_cast<std::size_t>(p)];
-            for (int d = 0; d < hd; ++d) oh[d] += prob * vh[d];
+            kernels::DotSoftmax::axpy(kcfg_.isa, scores[static_cast<std::size_t>(p)],
+                                      vh, oh, hd);
           }
         }
       }
@@ -274,13 +278,11 @@ void TransformerStage::attention(int layer, tensor::Tensor& hidden,
     for (int c = shard * kv_heads_per_shard_; c < (shard + 1) * kv_heads_per_shard_;
          ++c) {
       const std::int64_t col0 = static_cast<std::int64_t>(c) * chunk_q;
-      const std::int64_t local0 = col0 - q0;
-      for (std::int64_t m = 0; m < rows; ++m) {
-        const float* arow = attn_.row(m).data() + col0;
-        float* prow = partial_.row(static_cast<std::int64_t>(c) * rows + m).data();
-        for (std::int64_t j = 0; j < h; ++j)
-          prow[j] = dot(arow, sw.wo.row(j).data() + local0, chunk_q);
-      }
+      const kernels::PackedWeights& wo_c =
+          sw.wo[static_cast<std::size_t>(c - shard * kv_heads_per_shard_)];
+      kernels::Gemm::run(kcfg_.isa, attn_.row(0).data() + col0, q_dim, rows, wo_c,
+                         partial_.row(static_cast<std::int64_t>(c) * rows).data(), h,
+                         par);
     }
   });
 
@@ -298,6 +300,8 @@ void TransformerStage::mlp(int layer, tensor::Tensor& hidden) {
   const std::int64_t h = cfg_.hidden;
   const std::int64_t inter = cfg_.intermediate;
   const int chunks = cfg_.n_kv_heads;
+  const bool par = tp_ == 1;
+  if (rows == 0) return;
 
   xn_ = tensor::Tensor({rows, h});
   for (std::int64_t r = 0; r < rows; ++r)
@@ -318,14 +322,11 @@ void TransformerStage::mlp(int layer, tensor::Tensor& hidden) {
     const std::int64_t i1 =
         inter_chunk_begin_[static_cast<std::size_t>((shard + 1) * kv_heads_per_shard_)];
 
+    kernels::Gemm::run(kcfg_.isa, xn_.row(0).data(), h, rows, sw.w_gate,
+                       gate_.row(0).data() + i0, inter, par);
+    kernels::Gemm::run(kcfg_.isa, xn_.row(0).data(), h, rows, sw.w_up,
+                       up_.row(0).data() + i0, inter, par);
     for (std::int64_t m = 0; m < rows; ++m) {
-      const float* x = xn_.row(m).data();
-      float* grow = gate_.row(m).data();
-      float* urow = up_.row(m).data();
-      for (std::int64_t j = 0; j < i1 - i0; ++j) {
-        grow[i0 + j] = dot(x, sw.w_gate.row(j).data(), h);
-        urow[i0 + j] = dot(x, sw.w_up.row(j).data(), h);
-      }
       tensor::swiglu_row(
           gate_.row(m).subspan(static_cast<std::size_t>(i0),
                                static_cast<std::size_t>(i1 - i0)),
@@ -338,14 +339,11 @@ void TransformerStage::mlp(int layer, tensor::Tensor& hidden) {
     for (int c = shard * kv_heads_per_shard_; c < (shard + 1) * kv_heads_per_shard_;
          ++c) {
       const std::int64_t c0 = inter_chunk_begin_[static_cast<std::size_t>(c)];
-      const std::int64_t cw = inter_chunk_begin_[static_cast<std::size_t>(c) + 1] - c0;
-      const std::int64_t local0 = c0 - i0;
-      for (std::int64_t m = 0; m < rows; ++m) {
-        const float* arow = act_.row(m).data() + c0;
-        float* prow = partial_.row(static_cast<std::int64_t>(c) * rows + m).data();
-        for (std::int64_t j = 0; j < h; ++j)
-          prow[j] = dot(arow, sw.w_down.row(j).data() + local0, cw);
-      }
+      const kernels::PackedWeights& wd_c =
+          sw.w_down[static_cast<std::size_t>(c - shard * kv_heads_per_shard_)];
+      kernels::Gemm::run(kcfg_.isa, act_.row(0).data() + c0, inter, rows, wd_c,
+                         partial_.row(static_cast<std::int64_t>(c) * rows).data(), h,
+                         par);
     }
   });
 
@@ -383,7 +381,11 @@ tensor::Tensor TransformerStage::logits(const tensor::Tensor& hidden,
     row0 += item.n_tokens;
   }
   tensor::Tensor logits({wanting, cfg_.vocab});
-  tensor::matmul_nt(sampled, lm_head_, logits);
+  // The LM head runs outside any AllReduce fork-join (forward has returned),
+  // so intra-op threading is always safe here.
+  if (wanting > 0)
+    kernels::Gemm::run(kcfg_.isa, sampled.row(0).data(), cfg_.hidden, wanting,
+                       lm_head_, logits.row(0).data(), cfg_.vocab, /*parallel=*/true);
   return logits;
 }
 

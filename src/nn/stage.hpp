@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "model/config.hpp"
 #include "model/partition.hpp"
 #include "nn/allreduce.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "nn/kv_pool.hpp"
 #include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
@@ -35,11 +37,16 @@ struct ItemView {
 /// columns from the full input), O and down are column-sharded (the shard
 /// contributes partial sums over its own input columns, combined by the
 /// deterministic all-reduce).
+/// All projections live as packed (optionally int8-quantized) kernel caches,
+/// built once at construction from the full deterministic tensors. The
+/// column-sharded projections (O, down) are packed *per reduction chunk* on
+/// the canonical n_kv_heads grid, so every tp width quantizes identical
+/// (row, chunk) slices and the packed bytes are bit-identical across tp.
 struct ShardWeights {
-  tensor::Tensor wq, wk, wv;      // [q_shard|kv_shard, hidden]
-  tensor::Tensor wo;              // [hidden, q_shard]
-  tensor::Tensor w_gate, w_up;    // [inter_shard, hidden]
-  tensor::Tensor w_down;          // [hidden, inter_shard]
+  kernels::PackedWeights wq, wk, wv;    // [q_shard|kv_shard, hidden]
+  kernels::PackedWeights w_gate, w_up;  // [inter_shard, hidden]
+  std::vector<kernels::PackedWeights> wo;      // per owned chunk: [hidden, chunk_q]
+  std::vector<kernels::PackedWeights> w_down;  // per owned chunk: [hidden, chunk_w]
 };
 
 /// Weights of one decoder layer (GQA attention + SwiGLU MLP, RMSNorm).
@@ -60,21 +67,31 @@ struct LayerWeights {
 /// slices are cut from the full deterministic tensors, so a shard's rows are
 /// bitwise-equal to the corresponding rows of the unsharded weights.
 ///
-/// Bit-reproducibility across tp: every row-sharded projection is a
-/// sequential dot per output element (identical no matter which shard owns
+/// Bit-reproducibility across tp: every row-sharded projection runs through
+/// `nn::kernels`, whose per-element K-fold is a pure function of K within a
+/// dispatch path (identical no matter which shard or pool thread computes
 /// it), and both column-sharded projections (attention output, MLP down)
 /// always accumulate per-chunk partial sums at the finest sharding
 /// granularity — `n_kv_heads` chunks — which AllReduce::reduce folds in fixed
 /// chunk order. Any tp dividing n_kv_heads owns whole chunks, so tp 1/2/4
-/// and the single-stage reference produce bit-identical activations.
+/// and the single-stage reference produce bit-identical activations *per
+/// path*; switching ISA or quant mode is a declared numeric-mode change.
 class TransformerStage {
  public:
+  /// `kcfg` pins the microkernel dispatch (ISA + quant mode); by default it
+  /// resolves from cpuid/GLLM_ISA and cfg.quant. When given explicitly its
+  /// quant mode wins and is written back to config().quant so weight-byte
+  /// accounting stays consistent with the packed caches.
   TransformerStage(model::ModelConfig cfg, model::StageShape shape, std::uint64_t seed,
-                   std::int32_t kv_blocks, int kv_block_size, int tp = 1);
+                   std::int32_t kv_blocks, int kv_block_size, int tp = 1,
+                   std::optional<kernels::Config> kcfg = std::nullopt);
 
   const model::ModelConfig& config() const { return cfg_; }
   const model::StageShape& shape() const { return shape_; }
   int tp() const { return tp_; }
+  const kernels::Config& kernel_config() const { return kcfg_; }
+  /// Resident bytes of all packed weight caches (values + int8 scales).
+  std::int64_t packed_weight_bytes() const { return packed_bytes_; }
   KvPool& kv_pool() { return pools_.front(); }
   KvPool& kv_pool(int shard) { return pools_.at(static_cast<std::size_t>(shard)); }
 
@@ -116,10 +133,12 @@ class TransformerStage {
   /// Reduction chunk boundaries over `intermediate`: n_kv_heads nearly-even
   /// contiguous ranges (remainder to the earliest), shared by every tp.
   std::vector<std::int64_t> inter_chunk_begin_;
+  kernels::Config kcfg_;          ///< resolved microkernel path + quant mode
+  std::int64_t packed_bytes_ = 0;
   std::vector<LayerWeights> layers_;
-  tensor::Tensor embedding_;   // [vocab, hidden], first stage
-  tensor::Tensor final_norm_;  // [hidden], last stage
-  tensor::Tensor lm_head_;     // [vocab, hidden], last stage
+  tensor::Tensor embedding_;           // [vocab, hidden], first stage
+  tensor::Tensor final_norm_;          // [hidden], last stage
+  kernels::PackedWeights lm_head_;     // [vocab, hidden], last stage
   std::vector<KvPool> pools_;  // one per shard, each holding its own KV heads
   AllReduce allreduce_;
   obs::Tracer* tracer_ = nullptr;

@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 
 #include "net/socket.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "obs/obs.hpp"
 #include "util/log.hpp"
 
@@ -314,6 +315,11 @@ HttpServer::Response HttpServer::handle_get(const std::string& method,
                   "{\"schema_version\":2,\"model\":\"" + service_.options().model.name +
                       "\",\"pp\":" + std::to_string(service_.options().pp) +
                       ",\"tp\":" + std::to_string(service_.options().tp) +
+                      // Additive keys (consumers ignore unknown): the active
+                      // microkernel dispatch path and weight numeric mode.
+                      ",\"isa\":\"" + nn::kernels::isa_name(nn::kernels::resolve_isa()) +
+                      "\",\"quant\":\"" +
+                      model::to_string(service_.options().model.quant) + "\"" +
                       ",\"kv_block_size\":" +
                       std::to_string(service_.options().kv_block_size) +
                       ",\"waiting_prefill\":" + std::to_string(service_.queue_depth()) +

@@ -1,0 +1,215 @@
+// Forced-dispatch proof bar: under GLLM_ISA=scalar and GLLM_ISA=avx2 the
+// full runtime — every (pp, tp) in {1,2}^2, plus a speculative-decoding
+// pipeline and the int8 numeric mode — streams tokens identical to the
+// reference decoder resolved onto the same path, and /v1/stats reports the
+// active ISA and quant mode. AVX2 variants self-skip on hosts without
+// AVX2+FMA.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "nn/kernels/kernels.hpp"
+#include "nn/reference.hpp"
+#include "obs/obs.hpp"
+#include "runtime/pipeline_runtime.hpp"
+#include "sched/token_throttle.hpp"
+#include "server/http_server.hpp"
+#include "spec/spec.hpp"
+
+namespace gllm {
+namespace {
+
+constexpr std::uint64_t kWeightSeed = 1234;
+
+class ScopedIsaEnv {
+ public:
+  explicit ScopedIsaEnv(const char* value) {
+    const char* old = std::getenv("GLLM_ISA");
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv("GLLM_ISA", value, 1);
+  }
+  ~ScopedIsaEnv() {
+    if (had_old_)
+      ::setenv("GLLM_ISA", old_.c_str(), 1);
+    else
+      ::unsetenv("GLLM_ISA");
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+bool isa_env_supported(const std::string& isa) {
+  return isa != "avx2" || nn::kernels::isa_available(nn::kernels::Isa::kAvx2);
+}
+
+std::vector<nn::GenRequest> make_requests(const model::ModelConfig& cfg, int n) {
+  std::vector<nn::GenRequest> reqs;
+  for (int i = 0; i < n; ++i) {
+    nn::GenRequest r;
+    r.id = i;
+    r.prompt = nn::synthetic_prompt(cfg, 800 + static_cast<std::uint64_t>(i),
+                                    6 + (i * 5) % 20);
+    r.max_new_tokens = 3 + i % 7;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+runtime::RuntimeOptions tiny_options(int pp, int tp, model::QuantMode quant) {
+  runtime::RuntimeOptions opt;
+  opt.model = model::presets::tiny();
+  opt.model.quant = quant;
+  opt.pp = pp;
+  opt.tp = tp;
+  opt.kv_capacity_tokens = 2048;
+  opt.kv_block_size = 8;
+  opt.weight_seed = kWeightSeed;
+  return opt;
+}
+
+std::shared_ptr<sched::IScheduler> small_throttle() {
+  sched::ThrottleParams p;
+  p.max_p = 64;
+  p.min_p = 8;
+  p.iter_t = 4;
+  return std::make_shared<sched::TokenThrottleScheduler>(p);
+}
+
+/// Reference and runtime resolved onto the same forced path must agree
+/// token-for-token (no golden files: both halves are computed in-process).
+void expect_runtime_matches_reference(int pp, int tp, model::QuantMode quant,
+                                      spec::Mode spec_mode = spec::Mode::kOff) {
+  auto cfg = model::presets::tiny();
+  cfg.quant = quant;
+  const auto reqs = make_requests(cfg, 8);
+  const auto ref = nn::generate_reference(cfg, kWeightSeed, reqs);
+
+  auto opt = tiny_options(pp, tp, quant);
+  opt.spec.mode = spec_mode;
+  opt.spec.k = 4;
+  runtime::PipelineRuntime rt(opt, small_throttle());
+  const auto report = rt.run(reqs);
+  ASSERT_EQ(report.requests.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(report.requests[i].completed);
+    EXPECT_EQ(report.requests[i].output, ref[i])
+        << "request " << i << " diverged at pp=" << pp << " tp=" << tp
+        << " quant=" << model::to_string(quant);
+  }
+}
+
+/// (pp, tp, GLLM_ISA) — the forced-dispatch grid.
+class ForcedIsaTokenEquality
+    : public ::testing::TestWithParam<std::tuple<int, int, std::string>> {};
+
+TEST_P(ForcedIsaTokenEquality, RuntimeMatchesReferenceOnForcedPath) {
+  const auto [pp, tp, isa] = GetParam();
+  if (!isa_env_supported(isa)) GTEST_SKIP() << "host cannot execute AVX2+FMA";
+  ScopedIsaEnv env(isa.c_str());
+  expect_runtime_matches_reference(pp, tp, model::QuantMode::kFp32);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ForcedIsaTokenEquality,
+    ::testing::Combine(::testing::Values(1, 2), ::testing::Values(1, 2),
+                       ::testing::Values(std::string("scalar"), std::string("avx2"))),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, std::string>>& info) {
+      return "pp" + std::to_string(std::get<0>(info.param)) + "_tp" +
+             std::to_string(std::get<1>(info.param)) + "_" + std::get<2>(info.param);
+    });
+
+TEST(ForcedIsaSpecDecode, NgramPipelineTokenIdenticalPerPath) {
+  for (const std::string isa : {"scalar", "avx2"}) {
+    if (!isa_env_supported(isa)) continue;
+    ScopedIsaEnv env(isa.c_str());
+    expect_runtime_matches_reference(2, 1, model::QuantMode::kFp32, spec::Mode::kNgram);
+  }
+}
+
+TEST(ForcedIsaInt8, RuntimeMatchesInt8ReferencePerPath) {
+  // int8 is a declared numeric mode: its goldens are the int8 reference run
+  // through the same kernels, never the fp32 stream.
+  for (const std::string isa : {"scalar", "avx2"}) {
+    if (!isa_env_supported(isa)) continue;
+    ScopedIsaEnv env(isa.c_str());
+    expect_runtime_matches_reference(2, 2, model::QuantMode::kInt8);
+  }
+}
+
+TEST(ForcedIsaDeterminism, RerunsStreamBitIdenticalTokensPerPath) {
+  for (const std::string isa : {"scalar", "avx2"}) {
+    if (!isa_env_supported(isa)) continue;
+    ScopedIsaEnv env(isa.c_str());
+    const auto cfg = model::presets::tiny();
+    const auto reqs = make_requests(cfg, 6);
+    runtime::PipelineRuntime a(tiny_options(2, 1, model::QuantMode::kFp32),
+                               small_throttle());
+    runtime::PipelineRuntime b(tiny_options(2, 1, model::QuantMode::kFp32),
+                               small_throttle());
+    const auto ra = a.run(reqs);
+    const auto rb = b.run(reqs);
+    ASSERT_EQ(ra.requests.size(), rb.requests.size());
+    for (std::size_t i = 0; i < ra.requests.size(); ++i)
+      EXPECT_EQ(ra.requests[i].output, rb.requests[i].output)
+          << "rerun diverged on " << isa << " request " << i;
+  }
+}
+
+TEST(StageKernelConfig, ReflectsForcedIsaAndQuant) {
+  ScopedIsaEnv env("scalar");
+  auto cfg = model::presets::tiny();
+  model::StageShape shape;
+  shape.first_layer = 0;
+  shape.n_layers = cfg.n_layers;
+  shape.has_embedding = true;
+  shape.has_lm_head = true;
+
+  cfg.quant = model::QuantMode::kInt8;
+  nn::TransformerStage int8_stage(cfg, shape, kWeightSeed, 16, 8);
+  EXPECT_EQ(int8_stage.kernel_config().isa, nn::kernels::Isa::kScalar);
+  EXPECT_EQ(int8_stage.kernel_config().quant, model::QuantMode::kInt8);
+
+  cfg.quant = model::QuantMode::kFp32;
+  nn::TransformerStage fp32_stage(cfg, shape, kWeightSeed, 16, 8);
+  // int8 packed caches must be roughly 4x smaller (1 byte vs 4 per weight,
+  // plus the K-fold-smaller per-channel scales).
+  EXPECT_LT(int8_stage.packed_weight_bytes(), fp32_stage.packed_weight_bytes() / 3);
+
+  // An explicit kernel config wins over the env and writes its quant back.
+  nn::TransformerStage forced(
+      cfg, shape, kWeightSeed, 16, 8, 1,
+      nn::kernels::Config{nn::kernels::Isa::kScalar, model::QuantMode::kInt8});
+  EXPECT_EQ(forced.config().quant, model::QuantMode::kInt8);
+  EXPECT_EQ(forced.packed_weight_bytes(), int8_stage.packed_weight_bytes());
+}
+
+TEST(StatsEndpoint, ReportsActiveIsaAndQuantMode) {
+  ScopedIsaEnv env("scalar");
+  obs::Observability observability;
+  auto opt = tiny_options(2, 1, model::QuantMode::kInt8);
+  opt.obs = &observability;
+  runtime::PipelineService service(opt, small_throttle());
+  service.start();
+  server::HttpServer server(service);
+  server.start();
+
+  std::string body;
+  const int status = server::http_request(server.port(), "GET", "/v1/stats", "", body);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"isa\":\"scalar\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"quant\":\"int8\""), std::string::npos) << body;
+
+  server.stop();
+  service.stop();
+}
+
+}  // namespace
+}  // namespace gllm

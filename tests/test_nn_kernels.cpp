@@ -1,0 +1,451 @@
+// Kernel-equivalence battery for nn::kernels (tentpole of the SIMD + int8
+// PR): property-based (M, N, K) sweeps over every dispatch path, proving the
+// determinism contract — bit-identical reruns per path, thread-split and
+// row-shard invariance within a path, scalar <-> AVX2 agreement within
+// analytic floating-point error bounds — plus the int8 quantization
+// round-trip and GEMM error bounds against per-channel scale theory.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nn/kernels/kernels.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace gllm::nn::kernels {
+namespace {
+
+// The sweep grid: remainder K-tails (not multiples of 8), single rows/cols,
+// the 4-row unroll remainder (N = 5, 17), and the tiny-model chunk widths
+// the stages actually dispatch (hidden = 64, intermediate/n_kv_heads = 43,
+// intermediate = 172).
+constexpr std::int64_t kMs[] = {1, 3, 8};
+constexpr std::int64_t kNs[] = {1, 4, 5, 16, 17};
+constexpr std::int64_t kKs[] = {1, 7, 8, 9, 32, 43, 64, 100, 172, 257};
+
+tensor::Tensor random_tensor(std::int64_t n, std::int64_t k, std::uint64_t seed) {
+  tensor::Tensor t({n, k});
+  util::Rng rng(seed);
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+std::vector<float> random_vec(std::int64_t n, std::uint64_t seed) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  util::Rng rng(seed);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+/// y[m, n] via the packed-weight GEMM (contiguous x and y).
+std::vector<float> run_gemm(Isa isa, const std::vector<float>& x, std::int64_t m,
+                            const PackedWeights& w, bool parallel = false) {
+  std::vector<float> y(static_cast<std::size_t>(m * w.n()), 0.0f);
+  Gemm::run(isa, x.data(), w.k(), m, w, y.data(), w.n(), parallel);
+  return y;
+}
+
+/// Double-precision reference y = x w^T for error bounds, plus the per-element
+/// absolute magnitude sum Σ_k |x_k w_nk| that scales the rounding tolerance.
+void reference_gemm(const std::vector<float>& x, std::int64_t m, const tensor::Tensor& w,
+                    std::vector<double>& y, std::vector<double>& mag) {
+  const std::int64_t n = w.dim(0), k = w.dim(1);
+  y.assign(static_cast<std::size_t>(m * n), 0.0);
+  mag.assign(static_cast<std::size_t>(m * n), 0.0);
+  for (std::int64_t mi = 0; mi < m; ++mi) {
+    for (std::int64_t ni = 0; ni < n; ++ni) {
+      double acc = 0.0, a = 0.0;
+      const float* wr = w.row(ni).data();
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const double p = static_cast<double>(x[static_cast<std::size_t>(mi * k + kk)]) *
+                         static_cast<double>(wr[kk]);
+        acc += p;
+        a += std::fabs(p);
+      }
+      y[static_cast<std::size_t>(mi * n + ni)] = acc;
+      mag[static_cast<std::size_t>(mi * n + ni)] = a;
+    }
+  }
+}
+
+/// Rounding tolerance of a K-term fp32 fold: c * K * eps * Σ|products|.
+double fold_tolerance(std::int64_t k, double mag) {
+  const double eps = std::numeric_limits<float>::epsilon();
+  return 8.0 * static_cast<double>(k) * eps * mag + 1e-12;
+}
+
+class ScopedIsaEnv {
+ public:
+  explicit ScopedIsaEnv(const char* value) {
+    const char* old = std::getenv("GLLM_ISA");
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr)
+      ::setenv("GLLM_ISA", value, 1);
+    else
+      ::unsetenv("GLLM_ISA");
+  }
+  ~ScopedIsaEnv() {
+    if (had_old_)
+      ::setenv("GLLM_ISA", old_.c_str(), 1);
+    else
+      ::unsetenv("GLLM_ISA");
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+#define SKIP_WITHOUT_AVX2()                                        \
+  do {                                                             \
+    if (!isa_available(Isa::kAvx2))                                \
+      GTEST_SKIP() << "host cannot execute AVX2+FMA; scalar-only"; \
+  } while (0)
+
+// --- fp32 path equivalence ---------------------------------------------------
+
+TEST(KernelGemm, ScalarMatchesSequentialFoldExactly) {
+  // The scalar path's contract: per-element strictly sequential fp32 fold —
+  // the reduction order the repo's historical projections used, which every
+  // runtime-vs-reference token bar implicitly pins.
+  for (std::int64_t m : kMs)
+    for (std::int64_t n : kNs)
+      for (std::int64_t k : kKs) {
+        const auto w = random_tensor(n, k, 7000 + static_cast<std::uint64_t>(n * k));
+        const auto x = random_vec(m * k, 9000 + static_cast<std::uint64_t>(m * k));
+        const auto packed = PackedWeights::pack(w, model::QuantMode::kFp32);
+        const auto y = run_gemm(Isa::kScalar, x, m, packed);
+        for (std::int64_t mi = 0; mi < m; ++mi)
+          for (std::int64_t ni = 0; ni < n; ++ni) {
+            float acc = 0.0f;
+            const float* wr = w.row(ni).data();
+            for (std::int64_t kk = 0; kk < k; ++kk)
+              acc += x[static_cast<std::size_t>(mi * k + kk)] * wr[kk];
+            ASSERT_EQ(y[static_cast<std::size_t>(mi * n + ni)], acc)
+                << "m=" << mi << " n=" << ni << " K=" << k;
+          }
+      }
+}
+
+TEST(KernelGemm, CrossPathAgreementWithinFoldTolerance) {
+  SKIP_WITHOUT_AVX2();
+  // Different fold order, same value up to fp32 rounding: both paths must sit
+  // within the analytic K-fold tolerance of the double-precision reference.
+  for (std::int64_t m : kMs)
+    for (std::int64_t n : kNs)
+      for (std::int64_t k : kKs) {
+        const auto w = random_tensor(n, k, 100 + static_cast<std::uint64_t>(n * 1000 + k));
+        const auto x = random_vec(m * k, 200 + static_cast<std::uint64_t>(m * 1000 + k));
+        const auto packed = PackedWeights::pack(w, model::QuantMode::kFp32);
+        const auto ys = run_gemm(Isa::kScalar, x, m, packed);
+        const auto yv = run_gemm(Isa::kAvx2, x, m, packed);
+        std::vector<double> ref, mag;
+        reference_gemm(x, m, w, ref, mag);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          const double tol = fold_tolerance(k, mag[i]);
+          EXPECT_NEAR(static_cast<double>(ys[i]), ref[i], tol) << "scalar K=" << k;
+          EXPECT_NEAR(static_cast<double>(yv[i]), ref[i], tol) << "avx2 K=" << k;
+          EXPECT_NEAR(static_cast<double>(yv[i]), static_cast<double>(ys[i]), 2 * tol)
+              << "cross-path K=" << k;
+        }
+      }
+}
+
+TEST(KernelGemm, BitIdenticalRerunsPerPath) {
+  // Within one path, reruns — and the threaded split — are bit-identical.
+  const std::int64_t m = 5, n = 37, k = 97;
+  const auto w = random_tensor(n, k, 42);
+  const auto x = random_vec(m * k, 43);
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2}) {
+    if (!isa_available(isa)) continue;
+    const auto packed = PackedWeights::pack(w, model::QuantMode::kFp32);
+    const auto a = run_gemm(isa, x, m, packed);
+    const auto b = run_gemm(isa, x, m, packed);
+    const auto c = run_gemm(isa, x, m, packed, /*parallel=*/true);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+        << isa_name(isa) << " rerun diverged";
+    EXPECT_EQ(0, std::memcmp(a.data(), c.data(), a.size() * sizeof(float)))
+        << isa_name(isa) << " threaded split diverged";
+  }
+}
+
+TEST(KernelGemm, RowShardSplitIsBitInvariant) {
+  // The tp row-sharding identity: packing row slices separately and writing
+  // disjoint output columns reproduces the unsharded output bit-for-bit
+  // (each element's K-fold never depends on which shard owns it).
+  const std::int64_t m = 4, n = 24, k = 50, half = n / 2;
+  const auto w = random_tensor(n, k, 77);
+  const auto x = random_vec(m * k, 78);
+  tensor::Tensor lo({half, k}), hi({half, k});
+  for (std::int64_t r = 0; r < half; ++r) {
+    std::memcpy(lo.row(r).data(), w.row(r).data(), static_cast<std::size_t>(k) * 4);
+    std::memcpy(hi.row(r).data(), w.row(half + r).data(), static_cast<std::size_t>(k) * 4);
+  }
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2}) {
+    if (!isa_available(isa)) continue;
+    const auto full = run_gemm(isa, x, m, PackedWeights::pack(w, model::QuantMode::kFp32));
+    std::vector<float> sharded(static_cast<std::size_t>(m * n), 0.0f);
+    const auto plo = PackedWeights::pack(lo, model::QuantMode::kFp32);
+    const auto phi = PackedWeights::pack(hi, model::QuantMode::kFp32);
+    Gemm::run(isa, x.data(), k, m, plo, sharded.data(), n);
+    Gemm::run(isa, x.data(), k, m, phi, sharded.data() + half, n);
+    EXPECT_EQ(0, std::memcmp(full.data(), sharded.data(), full.size() * sizeof(float)))
+        << isa_name(isa);
+  }
+}
+
+TEST(PackedWeights, ColumnSlicePackMatchesManualSlice) {
+  // pack(w, k0, k) must copy exactly columns [k0, k0 + k) of every row and
+  // zero the padded tail — the per-chunk packing the column-sharded
+  // projections rely on.
+  const std::int64_t n = 6, kfull = 43, k0 = 10, k = 13;
+  const auto w = random_tensor(n, kfull, 555);
+  const auto p = PackedWeights::pack(w, k0, k, model::QuantMode::kFp32);
+  ASSERT_EQ(p.n(), n);
+  ASSERT_EQ(p.k(), k);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* row = p.f32_row(r);
+    for (std::int64_t j = 0; j < k; ++j)
+      EXPECT_EQ(row[j], w.row(r).data()[k0 + j]) << "r=" << r << " j=" << j;
+    for (std::int64_t j = k; j < (k + 7) / 8 * 8; ++j)
+      EXPECT_EQ(row[j], 0.0f) << "pad r=" << r << " j=" << j;
+  }
+  EXPECT_THROW(PackedWeights::pack(w, 40, 10, model::QuantMode::kFp32),
+               std::invalid_argument);
+}
+
+// --- int8 quantization -------------------------------------------------------
+
+TEST(PackedWeightsInt8, RoundTripWithinHalfScale) {
+  // Symmetric per-output-channel theory: scale = maxabs/127 and round-to-
+  // nearest bound every reconstruction error by scale/2.
+  for (std::int64_t n : kNs)
+    for (std::int64_t k : kKs) {
+      const auto w = random_tensor(n, k, 300 + static_cast<std::uint64_t>(n * k));
+      const auto p = PackedWeights::pack(w, model::QuantMode::kInt8);
+      for (std::int64_t r = 0; r < n; ++r) {
+        float maxabs = 0.0f;
+        for (std::int64_t j = 0; j < k; ++j)
+          maxabs = std::max(maxabs, std::fabs(w.row(r).data()[j]));
+        ASSERT_FLOAT_EQ(p.scale(r), maxabs / 127.0f);
+        const std::int8_t* q = p.i8_row(r);
+        for (std::int64_t j = 0; j < k; ++j) {
+          EXPECT_LE(std::fabs(w.row(r).data()[j] -
+                              p.scale(r) * static_cast<float>(q[j])),
+                    p.scale(r) * 0.5f + 1e-7f)
+              << "r=" << r << " j=" << j;
+        }
+      }
+    }
+}
+
+TEST(PackedWeightsInt8, AllZeroRowGetsZeroScaleAndZeroCodes) {
+  tensor::Tensor w({2, 9});
+  w.fill(0.0f);
+  w.row(1).data()[3] = 2.54f;  // second row quantizes normally
+  const auto p = PackedWeights::pack(w, model::QuantMode::kInt8);
+  EXPECT_EQ(p.scale(0), 0.0f);
+  for (std::int64_t j = 0; j < 9; ++j) EXPECT_EQ(p.i8_row(0)[j], 0);
+  EXPECT_FLOAT_EQ(p.scale(1), 2.54f / 127.0f);
+  EXPECT_EQ(p.i8_row(1)[3], 127);
+}
+
+TEST(KernelGemmInt8, ErrorBoundedByPerChannelScaleTheory) {
+  // |y_int8 - y_fp| <= Σ_k |x_k| * (scale_n / 2) plus fp32 fold rounding:
+  // the weight-quantization error per product is at most scale/2 * |x_k|.
+  for (std::int64_t m : kMs)
+    for (std::int64_t n : kNs)
+      for (std::int64_t k : kKs) {
+        const auto w = random_tensor(n, k, 400 + static_cast<std::uint64_t>(n * k));
+        const auto x = random_vec(m * k, 500 + static_cast<std::uint64_t>(m + k));
+        const auto packed = PackedWeights::pack(w, model::QuantMode::kInt8);
+        const auto y = run_gemm(Isa::kScalar, x, m, packed);
+        std::vector<double> ref, mag;
+        reference_gemm(x, m, w, ref, mag);
+        for (std::int64_t mi = 0; mi < m; ++mi) {
+          double xsum = 0.0;
+          for (std::int64_t kk = 0; kk < k; ++kk)
+            xsum += std::fabs(x[static_cast<std::size_t>(mi * k + kk)]);
+          for (std::int64_t ni = 0; ni < n; ++ni) {
+            const std::size_t i = static_cast<std::size_t>(mi * n + ni);
+            const double quant_err =
+                0.5 * static_cast<double>(packed.scale(ni)) * xsum;
+            const double tol =
+                1.01 * quant_err + fold_tolerance(k, mag[i] + quant_err) + 1e-6;
+            EXPECT_NEAR(static_cast<double>(y[i]), ref[i], tol)
+                << "m=" << mi << " n=" << ni << " K=" << k;
+          }
+        }
+      }
+}
+
+TEST(KernelGemmInt8, CrossPathAgreementAndBitStability) {
+  SKIP_WITHOUT_AVX2();
+  for (std::int64_t k : kKs) {
+    const std::int64_t m = 3, n = 17;
+    const auto w = random_tensor(n, k, 600 + static_cast<std::uint64_t>(k));
+    const auto x = random_vec(m * k, 700 + static_cast<std::uint64_t>(k));
+    const auto packed = PackedWeights::pack(w, model::QuantMode::kInt8);
+    const auto ys = run_gemm(Isa::kScalar, x, m, packed);
+    const auto ys2 = run_gemm(Isa::kScalar, x, m, packed);
+    const auto yv = run_gemm(Isa::kAvx2, x, m, packed);
+    const auto yv2 = run_gemm(Isa::kAvx2, x, m, packed, /*parallel=*/true);
+    EXPECT_EQ(0, std::memcmp(ys.data(), ys2.data(), ys.size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(yv.data(), yv2.data(), yv.size() * sizeof(float)));
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      // Same quantized weights on both paths; only the fp32 fold differs.
+      double xm = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        xm += std::fabs(static_cast<double>(x[static_cast<std::size_t>(
+                  static_cast<std::int64_t>(i) / n * k + kk)])) *
+              127.0 * static_cast<double>(packed.scale(static_cast<std::int64_t>(i) %
+                                                       static_cast<std::int64_t>(n)));
+      EXPECT_NEAR(static_cast<double>(yv[i]), static_cast<double>(ys[i]),
+                  2 * fold_tolerance(k, xm))
+          << "K=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelGemmInt8, QuantizedPackIsSliceInvariant) {
+  // Chunked packing (the column-sharded layout) quantizes each (row, chunk)
+  // slice independently of tp — two chunk packs of the same slice are
+  // byte-identical however the surrounding tensor is sharded.
+  const std::int64_t n = 8, k = 86, half = 43;
+  const auto w = random_tensor(n, k, 808);
+  const auto a = PackedWeights::pack(w, 0, half, model::QuantMode::kInt8);
+  const auto b = PackedWeights::pack(w, 0, half, model::QuantMode::kInt8);
+  for (std::int64_t r = 0; r < n; ++r) {
+    ASSERT_EQ(a.scale(r), b.scale(r));
+    EXPECT_EQ(0, std::memcmp(a.i8_row(r), b.i8_row(r), static_cast<std::size_t>(half)));
+  }
+  // And the chunk's scale reflects only the chunk's own maxabs.
+  float maxabs = 0.0f;
+  for (std::int64_t j = 0; j < half; ++j)
+    maxabs = std::max(maxabs, std::fabs(w.row(0).data()[j]));
+  EXPECT_FLOAT_EQ(a.scale(0), maxabs / 127.0f);
+}
+
+// --- dot / axpy --------------------------------------------------------------
+
+TEST(DotSoftmaxKernels, ScalarDotIsSequentialAndCrossPathBounded) {
+  for (std::int64_t n : {1LL, 7LL, 8LL, 9LL, 64LL, 257LL}) {
+    const auto a = random_vec(n, 900 + static_cast<std::uint64_t>(n));
+    const auto b = random_vec(n, 901 + static_cast<std::uint64_t>(n));
+    float seq = 0.0f;
+    double ref = 0.0, mag = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      seq += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+      const double p = static_cast<double>(a[static_cast<std::size_t>(i)]) *
+                       static_cast<double>(b[static_cast<std::size_t>(i)]);
+      ref += p;
+      mag += std::fabs(p);
+    }
+    EXPECT_EQ(DotSoftmax::dot(Isa::kScalar, a.data(), b.data(), n), seq);
+    if (isa_available(Isa::kAvx2)) {
+      EXPECT_NEAR(static_cast<double>(DotSoftmax::dot(Isa::kAvx2, a.data(), b.data(), n)),
+                  ref, fold_tolerance(n, mag));
+    }
+  }
+}
+
+TEST(DotSoftmaxKernels, AxpyMatchesScalarWithinRounding) {
+  for (std::int64_t n : {1LL, 8LL, 13LL, 64LL}) {
+    const auto x = random_vec(n, 910 + static_cast<std::uint64_t>(n));
+    const float alpha = 0.37f;
+    std::vector<float> ys(static_cast<std::size_t>(n), 1.0f);
+    std::vector<float> yv(static_cast<std::size_t>(n), 1.0f);
+    DotSoftmax::axpy(Isa::kScalar, alpha, x.data(), ys.data(), n);
+    for (std::int64_t i = 0; i < n; ++i)
+      ASSERT_FLOAT_EQ(ys[static_cast<std::size_t>(i)],
+                      1.0f + alpha * x[static_cast<std::size_t>(i)]);
+    if (isa_available(Isa::kAvx2)) {
+      DotSoftmax::axpy(Isa::kAvx2, alpha, x.data(), yv.data(), n);
+      for (std::int64_t i = 0; i < n; ++i)
+        EXPECT_NEAR(yv[static_cast<std::size_t>(i)], ys[static_cast<std::size_t>(i)],
+                    1e-6f);
+    }
+  }
+}
+
+// --- dispatch resolution -----------------------------------------------------
+
+TEST(IsaResolve, EnvOverrideBehaviors) {
+  {
+    ScopedIsaEnv env("scalar");
+    EXPECT_EQ(resolve_isa(), Isa::kScalar);
+  }
+  {
+    ScopedIsaEnv env("auto");
+    EXPECT_EQ(resolve_isa(), best_isa());
+  }
+  {
+    ScopedIsaEnv env(nullptr);  // unset
+    EXPECT_EQ(resolve_isa(), best_isa());
+  }
+  {
+    ScopedIsaEnv env("avx2");
+    if (isa_available(Isa::kAvx2))
+      EXPECT_EQ(resolve_isa(), Isa::kAvx2);
+    else
+      EXPECT_THROW(resolve_isa(), std::runtime_error);
+  }
+  {
+    ScopedIsaEnv env("neon");
+    EXPECT_THROW(resolve_isa(), std::invalid_argument);
+  }
+}
+
+TEST(IsaResolve, NamesAndAvailability) {
+  EXPECT_STREQ(isa_name(Isa::kScalar), "scalar");
+  EXPECT_STREQ(isa_name(Isa::kAvx2), "avx2");
+  EXPECT_TRUE(isa_available(Isa::kScalar));
+  EXPECT_STREQ(quant_name(model::QuantMode::kInt8), "int8");
+  EXPECT_EQ(model::parse_quant("int8"), model::QuantMode::kInt8);
+  EXPECT_EQ(model::parse_quant("fp32"), model::QuantMode::kFp32);
+  EXPECT_THROW(model::parse_quant("fp8"), std::invalid_argument);
+}
+
+TEST(KernelGemm, StridedScratchWrites) {
+  // ldx/ldy striding into larger scratch rows — how stages write shard-
+  // private column ranges — must leave surrounding columns untouched.
+  const std::int64_t m = 3, n = 5, k = 11, ldx = 20, ldy = 13, off = 4;
+  const auto w = random_tensor(n, k, 1234);
+  std::vector<float> x(static_cast<std::size_t>(m * ldx), 0.0f);
+  util::Rng rng(4321);
+  for (std::int64_t mi = 0; mi < m; ++mi)
+    for (std::int64_t kk = 0; kk < k; ++kk)
+      x[static_cast<std::size_t>(mi * ldx + kk)] = static_cast<float>(rng.normal());
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2}) {
+    if (!isa_available(isa)) continue;
+    std::vector<float> y(static_cast<std::size_t>(m * ldy), -7.0f);
+    const auto packed = PackedWeights::pack(w, model::QuantMode::kFp32);
+    Gemm::run(isa, x.data(), ldx, m, packed, y.data() + off, ldy);
+    // Contiguous run over the same logical inputs.
+    std::vector<float> xc(static_cast<std::size_t>(m * k));
+    for (std::int64_t mi = 0; mi < m; ++mi)
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        xc[static_cast<std::size_t>(mi * k + kk)] = x[static_cast<std::size_t>(mi * ldx + kk)];
+    const auto yc = run_gemm(isa, xc, m, packed);
+    for (std::int64_t mi = 0; mi < m; ++mi) {
+      for (std::int64_t ni = 0; ni < n; ++ni)
+        EXPECT_EQ(y[static_cast<std::size_t>(mi * ldy + off + ni)],
+                  yc[static_cast<std::size_t>(mi * n + ni)])
+            << isa_name(isa);
+      for (std::int64_t j = 0; j < off; ++j)
+        EXPECT_EQ(y[static_cast<std::size_t>(mi * ldy + j)], -7.0f) << isa_name(isa);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gllm::nn::kernels

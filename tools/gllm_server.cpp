@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "net/fault.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "nn/reference.hpp"
 #include "obs/obs.hpp"
 #include "sched/token_throttle.hpp"
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
                   "0");
   args.add_option("spec", "speculative decoding: off | ngram | draft", "off");
   args.add_option("spec-k", "draft tokens proposed per decode step", "4");
+  args.add_option("quant", "linear-weight quantization: fp32 | int8", "fp32");
   args.add_option("workers", "stage hosting: threads | fork | remote", "threads");
   args.add_option("worker-port",
                   "listen port for worker control connections (0 = ephemeral)", "9100");
@@ -92,6 +94,7 @@ int main(int argc, char** argv) {
     options.kv_block_size = 8;
     options.spec.mode = spec::parse_mode(args.get("spec"));
     options.spec.k = args.get_int("spec-k");
+    options.model.quant = model::parse_quant(args.get("quant"));
 
     const std::string workers = args.get("workers");
     if (workers == "fork") {
@@ -159,7 +162,8 @@ int main(int argc, char** argv) {
     std::cout << "gllm_server: listening on 127.0.0.1:" << server.port() << " (model "
               << options.model.name << ", pp=" << options.pp << ", tp=" << options.tp
               << ", loop=" << loop << ", spec=" << spec::mode_name(options.spec.mode)
-              << ")\n"
+              << ", isa=" << nn::kernels::isa_name(nn::kernels::resolve_isa())
+              << ", quant=" << model::to_string(options.model.quant) << ")\n"
               << std::flush;
 
     const int demo = args.get_int("demo");

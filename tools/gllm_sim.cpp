@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   util::ArgParser args("gllm_sim", "simulated distributed LLM serving benchmark");
   args.add_option("system", "preset: gllm | vllm | sglang | tdpipe | custom", "gllm");
   args.add_option("model", "model preset", "qwen2.5-32b");
+  args.add_option("quant", "linear-weight quantization: fp32 | int8", "fp32");
   args.add_option("cluster", "cluster preset", "l20x4");
   args.add_option("pp", "pipeline-parallel degree", "4");
   args.add_option("tp", "tensor-parallel degree", "1");
@@ -92,7 +93,10 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto model = parse_model(args.get("model"));
+    auto model = parse_model(args.get("model"));
+    // Weight-only quantization feeds the partition plan's per-stage weight
+    // bytes and the DES cost model's bandwidth term.
+    model.quant = model::parse_quant(args.get("quant"));
     const auto cluster = parse_cluster(args.get("cluster"));
     const int pp = args.get_int("pp");
     const int tp = args.get_int("tp");
@@ -166,8 +170,9 @@ int main(int argc, char** argv) {
     serve::ServingSystem server(options);
     std::cerr << "serving " << trace.size() << " requests on " << options.label << " ("
               << model.name << ", " << cluster.name << ", pp=" << options.pp
-              << ", tp=" << options.tp << ", KV capacity "
-              << server.engine().kv_capacity_tokens() << " tokens)\n";
+              << ", tp=" << options.tp << ", quant=" << model::to_string(model.quant)
+              << ", KV capacity " << server.engine().kv_capacity_tokens()
+              << " tokens)\n";
     const auto result = server.run(trace);
 
     if (observability) {
